@@ -1,0 +1,63 @@
+//! Frontier data-structure micro-benchmarks: sparse vs dense
+//! accumulation and membership, underpinning the push/pull switch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use egraph_core::frontier::{FrontierKind, NextFrontier, VertexSubset};
+use egraph_core::util::AtomicBitmap;
+use std::hint::black_box;
+
+const NV: usize = 1 << 20;
+
+fn bench_accumulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_frontier_accumulate");
+    for &active in &[1usize << 8, 1 << 14, 1 << 18] {
+        let vertices: Vec<u32> = (0..active as u32).map(|i| i.wrapping_mul(2654435761) % NV as u32).collect();
+        group.throughput(Throughput::Elements(active as u64));
+        group.bench_with_input(BenchmarkId::new("sparse", active), &vertices, |b, vs| {
+            b.iter(|| {
+                let nf = NextFrontier::new(FrontierKind::Sparse, NV);
+                for chunk in vs.chunks(256) {
+                    nf.extend(chunk);
+                }
+                black_box(nf.finish().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense", active), &vertices, |b, vs| {
+            b.iter(|| {
+                let nf = NextFrontier::new(FrontierKind::Dense, NV);
+                for chunk in vs.chunks(256) {
+                    nf.extend(chunk);
+                }
+                black_box(nf.finish().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier_membership");
+    let members: Vec<u32> = (0..NV as u32).step_by(37).collect();
+    let dense = VertexSubset::from_vec(members).into_dense(NV);
+    group.throughput(Throughput::Elements(NV as u64 / 64));
+    group.bench_function("dense_contains_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for v in (0..NV as u32).step_by(64) {
+                hits += usize::from(dense.contains(v));
+            }
+            black_box(hits)
+        })
+    });
+    let bitmap = AtomicBitmap::new(NV);
+    for v in (0..NV).step_by(37) {
+        bitmap.set(v);
+    }
+    group.bench_function("bitmap_count_ones", |b| {
+        b.iter(|| black_box(bitmap.count_ones()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulation, bench_membership);
+criterion_main!(benches);

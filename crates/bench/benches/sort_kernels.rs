@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the pre-processing sort kernels
+//! (the §3.2 comparison at kernel granularity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use egraph_core::types::EdgeRecord;
+use std::hint::black_box;
+
+fn edges(scale: u32) -> Vec<egraph_core::types::Edge> {
+    egraph_bench::graphs::rmat(scale).into_edges()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjacency_build_kernels");
+    for scale in [14u32, 16] {
+        let input = edges(scale);
+        let nv = 1usize << scale;
+        group.throughput(Throughput::Elements(input.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("radix_sort", scale), &input, |b, input| {
+            b.iter(|| {
+                let mut data = input.clone();
+                egraph_sort::radix_sort_by_key(
+                    &mut data,
+                    egraph_sort::key_bits(nv),
+                    |e| e.src() as u64,
+                );
+                black_box(data.len())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("count_sort", scale), &input, |b, input| {
+            b.iter(|| {
+                let out = egraph_sort::count_sort_by_key(input, nv, |e| e.src() as u64);
+                black_box(out.sorted.len())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("std_unstable", scale), &input, |b, input| {
+            b.iter(|| {
+                let mut data = input.clone();
+                data.sort_unstable_by_key(|e| e.src());
+                black_box(data.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_sum");
+    for size in [1usize << 16, 1 << 20] {
+        let input: Vec<u64> = (0..size as u64).map(|i| i % 7).collect();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("exclusive", size), &input, |b, input| {
+            b.iter(|| {
+                let mut data = input.clone();
+                black_box(egraph_parallel::exclusive_prefix_sum(&mut data))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts, bench_scan);
+criterion_main!(benches);

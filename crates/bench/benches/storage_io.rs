@@ -1,0 +1,47 @@
+//! Storage-format throughput: encode/decode rates of the binary edge
+//! format and the cost of the chunked (overlappable) read path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use egraph_core::types::{Edge, EdgeList};
+use egraph_storage::{read_edge_list, read_edge_list_chunked, write_edge_list};
+use std::hint::black_box;
+
+fn graph(scale: u32) -> EdgeList<Edge> {
+    egraph_bench::graphs::rmat(scale)
+}
+
+fn bench_format(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_format");
+    for scale in [14u32, 17] {
+        let g = graph(scale);
+        let mut file = Vec::new();
+        write_edge_list(&mut file, &g).unwrap();
+        group.throughput(Throughput::Bytes(file.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("encode", scale), &g, |b, g| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(file.len());
+                write_edge_list(&mut out, g).unwrap();
+                black_box(out.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decode_whole", scale), &file, |b, file| {
+            b.iter(|| {
+                let g: EdgeList<Edge> = read_edge_list(&file[..]).unwrap();
+                black_box(g.num_edges())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decode_chunked", scale), &file, |b, file| {
+            b.iter(|| {
+                let mut total = 0usize;
+                read_edge_list_chunked::<Edge, _>(&file[..], |chunk| total += chunk.len())
+                    .unwrap();
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_format);
+criterion_main!(benches);

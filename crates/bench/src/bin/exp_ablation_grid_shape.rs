@@ -1,0 +1,79 @@
+//! Ablation: why the grid pays off on power-law graphs but not on the
+//! road graph (§8, Table 5's "PR US-Road → edge array" row).
+//!
+//! "Since the graph has a lower per-vertex degree than the RMAT and
+//! Twitter graphs, the grid data structure reduces only slightly the
+//! cache miss ratio, and therefore its pre-processing cost is not
+//! amortized."
+//!
+//! This experiment measures the *simulated* LLC miss ratio of one
+//! PageRank iteration on the edge array vs the grid, on both graph
+//! shapes, and reports the miss-ratio reduction each enjoys.
+
+use egraph_bench::{fmt_pct, graphs, llc, ExperimentCtx, ResultTable};
+use egraph_core::algo::pagerank;
+use egraph_core::preprocess::{GridBuilder, Strategy};
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    ctx.banner(
+        "exp_ablation_grid_shape",
+        "ablation: grid miss-ratio gain by graph shape (supports Table 5)",
+    );
+
+    let cfg = pagerank::PagerankConfig {
+        iterations: 1,
+        ..Default::default()
+    };
+    let mut table = ResultTable::new(
+        "ablation_grid_shape",
+        &["graph", "avg degree", "edge-array miss", "grid miss", "reduction"],
+    );
+
+    // The road graph keeps its natural (DIMACS-like) edge order here:
+    // the paper's §8 claim is precisely that the *ordered* road edge
+    // array already has decent locality that the grid cannot improve
+    // much.
+    for (name, graph) in [
+        ("RMAT (power-law)", graphs::rmat(ctx.scale)),
+        ("US-Road (low degree)", graphs::road_like_ordered(ctx.scale)),
+    ] {
+        let degrees = graphs::out_degrees_u32(&graph);
+        let avg = graph.num_edges() as f64 / graph.num_vertices() as f64;
+
+        let probe = llc::probe_for(graph.num_vertices(), 12);
+        pagerank::edge_centric_probed(&graph, &degrees, cfg, pagerank::PushSync::Atomics, &probe);
+        let edge_miss = probe.report().overall_miss_ratio();
+
+        // Grid side matched to the simulated LLC (as in exp_fig5_table4).
+        let side = {
+            let cap = llc::scaled_machine_b(graph.num_vertices() * 12).capacity;
+            let range = (cap / (2 * 12)).max(64);
+            graph.num_vertices().div_ceil(range).clamp(8, 256)
+        };
+        let grid = GridBuilder::new(Strategy::RadixSort).side(side).build(&graph);
+        let probe = llc::probe_for(graph.num_vertices(), 12);
+        pagerank::grid_push_probed(&grid, &degrees, cfg, false, &probe);
+        let grid_miss = probe.report().overall_miss_ratio();
+
+        let reduction = if edge_miss < 0.01 {
+            "— (nothing to improve)".to_string()
+        } else {
+            format!("{:.1}x", edge_miss / grid_miss.max(1e-3))
+        };
+        table.add_row(vec![
+            name.into(),
+            format!("{avg:.1}"),
+            fmt_pct(edge_miss),
+            fmt_pct(grid_miss),
+            reduction,
+        ]);
+    }
+    table.print();
+    println!();
+    println!("expected shape (§8): the power-law edge array misses constantly and the");
+    println!("grid fixes it (large reduction); the spatially-ordered road edge array");
+    println!("barely misses at all, so the grid has nothing to improve — which is why");
+    println!("its pre-processing amortizes on Twitter but not on US-Road (Table 5).");
+    ctx.save(&table);
+}

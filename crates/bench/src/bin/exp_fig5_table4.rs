@@ -1,0 +1,158 @@
+//! Figure 5 + Table 4: cache-locality optimizations. BFS and PageRank
+//! on four layouts — unsorted adjacency list, neighbor-sorted
+//! adjacency list, edge array, and grid — with times (Fig. 5) and
+//! simulated LLC miss ratios (Table 4).
+//!
+//! Expected shape: the grid halves the miss ratio and wins PageRank
+//! end-to-end despite its pre-processing; for BFS the grid's algorithm
+//! time improves but pre-processing makes it the slowest overall;
+//! sorting the per-vertex arrays never pays (same miss ratio, more
+//! pre-processing).
+
+use egraph_bench::{fmt_pct, fmt_secs, graphs, llc, ExperimentCtx, ResultTable};
+use egraph_core::algo::{bfs, pagerank};
+use egraph_core::layout::EdgeDirection;
+use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    ctx.banner("exp_fig5_table4", "Figure 5 + Table 4 (cache-locality layouts)");
+
+    let graph = graphs::rmat(ctx.scale);
+    let degrees = graphs::out_degrees_u32(&graph);
+    let root = graphs::best_root(&graph);
+    let side = graphs::grid_side(graph.num_vertices());
+    let pr_cfg = pagerank::PagerankConfig::default();
+    println!(
+        "graph: RMAT{} ({} edges); grid {side}x{side}\n",
+        ctx.scale,
+        graph.num_edges()
+    );
+
+    let (adj, pre_adj) =
+        CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build_timed(&graph);
+    let (adj_sorted, pre_sorted) = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+        .sort_neighbors(true)
+        .build_timed(&graph);
+    let (grid, pre_grid) = GridBuilder::new(Strategy::RadixSort).side(side).build_timed(&graph);
+
+    let mut fig5 = ResultTable::new(
+        "fig5_cache_layout_times",
+        &["algorithm", "layout", "preprocess(s)", "algorithm(s)", "total(s)"],
+    );
+    let mut table4 = ResultTable::new("table4_llc_miss_ratios", &["layout", "BFS", "Pagerank"]);
+
+    // --- timing runs (NullProbe, full speed) ---
+    let bfs_adj = bfs::push(&adj, root).algorithm_seconds();
+    let bfs_sorted = bfs::push(&adj_sorted, root).algorithm_seconds();
+    let bfs_edge = bfs::edge_centric(&graph, root).algorithm_seconds();
+    let bfs_grid = bfs::grid(&grid, root).algorithm_seconds();
+
+    let pr_adj = pagerank::push(adj.out(), &degrees, pr_cfg, pagerank::PushSync::Atomics).seconds;
+    let pr_sorted =
+        pagerank::push(adj_sorted.out(), &degrees, pr_cfg, pagerank::PushSync::Atomics).seconds;
+    let pr_edge =
+        pagerank::edge_centric(&graph, &degrees, pr_cfg, pagerank::PushSync::Atomics).seconds;
+    let pr_grid = pagerank::grid_push(&grid, &degrees, pr_cfg, false).seconds;
+
+    let rows = [
+        ("adj. unsorted", pre_adj.seconds, bfs_adj, pr_adj),
+        ("adj. sorted", pre_sorted.seconds, bfs_sorted, pr_sorted),
+        ("edge array", 0.0, bfs_edge, pr_edge),
+        ("grid", pre_grid.seconds, bfs_grid, pr_grid),
+    ];
+    for (name, pre, bfs_s, pr_s) in rows {
+        fig5.add_row(vec![
+            "bfs".into(),
+            name.into(),
+            fmt_secs(pre),
+            fmt_secs(bfs_s),
+            fmt_secs(pre + bfs_s),
+        ]);
+        fig5.add_row(vec![
+            "pagerank".into(),
+            name.into(),
+            fmt_secs(pre),
+            fmt_secs(pr_s),
+            fmt_secs(pre + pr_s),
+        ]);
+    }
+    fig5.print();
+
+    // --- miss-ratio runs (probed, one PR iteration / full BFS) ---
+    println!("\nmeasuring LLC miss ratios (scaled machine-B cache)…");
+    let pr_probe_cfg = pagerank::PagerankConfig {
+        iterations: 1,
+        ..pr_cfg
+    };
+    let mut add_llc = |name: &str, bfs_miss: f64, pr_miss: f64| {
+        table4.add_row(vec![name.into(), fmt_pct(bfs_miss), fmt_pct(pr_miss)]);
+    };
+
+    let probe = llc::probe_for(graph.num_vertices(), 1);
+    bfs::push_probed(&adj, root, &probe);
+    let b = probe.report().overall_miss_ratio();
+    let probe = llc::probe_for(graph.num_vertices(), 12);
+    pagerank::push_probed(
+        adj.out(),
+        &degrees,
+        pr_probe_cfg,
+        pagerank::PushSync::Atomics,
+        &probe,
+    );
+    add_llc("adj. unsorted", b, probe.report().overall_miss_ratio());
+
+    let probe = llc::probe_for(graph.num_vertices(), 1);
+    bfs::push_probed(&adj_sorted, root, &probe);
+    let b = probe.report().overall_miss_ratio();
+    let probe = llc::probe_for(graph.num_vertices(), 12);
+    pagerank::push_probed(
+        adj_sorted.out(),
+        &degrees,
+        pr_probe_cfg,
+        pagerank::PushSync::Atomics,
+        &probe,
+    );
+    add_llc("adj. sorted", b, probe.report().overall_miss_ratio());
+
+    let probe = llc::probe_for(graph.num_vertices(), 1);
+    bfs::edge_centric_probed(&graph, root, &probe);
+    let b = probe.report().overall_miss_ratio();
+    let probe = llc::probe_for(graph.num_vertices(), 12);
+    pagerank::edge_centric_probed(
+        &graph,
+        &degrees,
+        pr_probe_cfg,
+        pagerank::PushSync::Atomics,
+        &probe,
+    );
+    add_llc("edge array", b, probe.report().overall_miss_ratio());
+
+    // The probed grid must be sized to the *simulated* LLC, exactly as
+    // the paper's 256x256 was sized to machine B's 16 MB: two vertex
+    // ranges of metadata should fit the scaled cache.
+    let probe_side = {
+        let cap = llc::scaled_machine_b(graph.num_vertices() * 12).capacity;
+        let range = (cap / (2 * 12)).max(64);
+        graph.num_vertices().div_ceil(range).clamp(8, 256)
+    };
+    let grid_probe_layout = GridBuilder::new(Strategy::RadixSort)
+        .side(probe_side)
+        .build(&graph);
+    println!("(probed grid uses side {probe_side}, matched to the scaled LLC)");
+    let probe = llc::probe_for(graph.num_vertices(), 1);
+    bfs::grid_probed(&grid_probe_layout, root, &probe);
+    let b = probe.report().overall_miss_ratio();
+    let probe = llc::probe_for(graph.num_vertices(), 12);
+    pagerank::grid_push_probed(&grid_probe_layout, &degrees, pr_probe_cfg, false, &probe);
+    add_llc("grid", b, probe.report().overall_miss_ratio());
+
+    println!();
+    table4.print();
+    println!();
+    println!("paper Table 4 (RMAT26): edge array 57%/83%, grid 23%/35%,");
+    println!("adj 63%/78%, adj sorted 63%/78% — grid halves the miss ratio,");
+    println!("sorting neighbor arrays changes nothing.");
+    ctx.save(&fig5);
+    ctx.save(&table4);
+}

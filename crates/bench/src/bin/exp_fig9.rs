@@ -1,0 +1,106 @@
+//! Figure 9: NUMA-aware data placement vs interleaving, for BFS and
+//! PageRank on machines A (2 NUMA nodes) and B (4 nodes).
+//!
+//! Partitioning cost is measured for real (`numa_sim::partition_by_target`);
+//! the algorithm bar is the measured single-node time scaled by the
+//! locality cost model (DESIGN.md §4). Expected shape: NUMA-awareness
+//! pays end-to-end only for PageRank and only on machine B; for BFS it
+//! loses on both machines (partitioning dwarfs the run, and frontier
+//! concentration causes memory contention).
+
+use egraph_bench::{fmt_ratio, fmt_secs, graphs, ExperimentCtx, ResultTable};
+use egraph_core::algo::{bfs, pagerank};
+use egraph_core::layout::EdgeDirection;
+use egraph_core::numa_sim::{bfs_locality, pagerank_locality, partition_by_target, DataPolicy};
+use egraph_core::preprocess::{CsrBuilder, Strategy};
+use egraph_numa::{CostModel, MemoryBoundness, Topology};
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    ctx.banner("exp_fig9", "Figure 9 (NUMA-aware vs interleaved, BFS & PageRank, machines A/B)");
+
+    let graph = graphs::rmat(ctx.scale);
+    let degrees = graphs::out_degrees_u32(&graph);
+    let root = graphs::best_root(&graph);
+
+    // Best algorithm configurations per the earlier sections:
+    // push-pull BFS, pull-without-locks PageRank.
+    let (adj, pre) = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build_timed(&graph);
+    let bfs_measured = bfs::push_pull(&adj, root).algorithm_seconds();
+    let pr_measured = pagerank::pull(
+        adj.incoming(),
+        &degrees,
+        pagerank::PagerankConfig::default(),
+    )
+    .seconds;
+
+    let mut table = ResultTable::new(
+        "fig9_numa",
+        &["algo", "machine", "policy", "preprocess(s)", "partition(s)", "algorithm(s)", "total(s)"],
+    );
+
+    let mut totals = std::collections::BTreeMap::new();
+    for topo in [Topology::machine_a(), Topology::machine_b()] {
+        let model = CostModel::new(topo.clone());
+        let partition = partition_by_target(&graph, topo.num_nodes);
+        for policy in [DataPolicy::Interleaved, DataPolicy::NumaAware] {
+            let partition_s = match policy {
+                DataPolicy::Interleaved => 0.0,
+                DataPolicy::NumaAware => partition.seconds,
+            };
+            let policy_name = match policy {
+                DataPolicy::Interleaved => "inter.",
+                DataPolicy::NumaAware => "NUMA",
+            };
+            // BFS.
+            let profile = bfs_locality(&graph, root, policy, topo.num_nodes);
+            let modeled = profile.modeled(&model, bfs_measured, MemoryBoundness::TRAVERSAL);
+            let total = pre.seconds + partition_s + modeled.modeled_seconds;
+            totals.insert(format!("bfs/{}/{policy_name}", topo.name), total);
+            table.add_row(vec![
+                "bfs".into(),
+                topo.name.into(),
+                policy_name.into(),
+                fmt_secs(pre.seconds),
+                fmt_secs(partition_s),
+                fmt_secs(modeled.modeled_seconds),
+                fmt_secs(total),
+            ]);
+            // PageRank.
+            let profile = pagerank_locality(&graph, policy, topo.num_nodes);
+            let modeled = profile.modeled(&model, pr_measured, MemoryBoundness::PAGERANK);
+            let total = pre.seconds + partition_s + modeled.modeled_seconds;
+            totals.insert(format!("pagerank/{}/{policy_name}", topo.name), total);
+            table.add_row(vec![
+                "pagerank".into(),
+                topo.name.into(),
+                policy_name.into(),
+                fmt_secs(pre.seconds),
+                fmt_secs(partition_s),
+                fmt_secs(modeled.modeled_seconds),
+                fmt_secs(total),
+            ]);
+        }
+    }
+    table.print();
+
+    println!();
+    let ratio = |a: &str, b: &str| totals[a] / totals[b].max(1e-9);
+    println!(
+        "PR machine B: interleaved/NUMA total = {} (paper: NUMA wins, ~2x algorithm gain)",
+        fmt_ratio(ratio("pagerank/machine-B/inter.", "pagerank/machine-B/NUMA"))
+    );
+    println!(
+        "PR machine A: interleaved/NUMA total = {} (paper: NUMA does NOT pay end-to-end)",
+        fmt_ratio(ratio("pagerank/machine-A/inter.", "pagerank/machine-A/NUMA"))
+    );
+    println!(
+        "BFS machine B: NUMA/interleaved total = {} (paper: ~1.8x slower)",
+        fmt_ratio(ratio("bfs/machine-B/NUMA", "bfs/machine-B/inter."))
+    );
+    println!(
+        "BFS machine A: NUMA/interleaved total = {} (paper: ~3.5x slower)",
+        fmt_ratio(ratio("bfs/machine-A/NUMA", "bfs/machine-A/inter."))
+    );
+    ctx.save(&table);
+}

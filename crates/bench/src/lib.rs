@@ -1,0 +1,134 @@
+//! The experiment harness: shared plumbing for the per-figure/table
+//! binaries in `src/bin/` (see `DESIGN.md` §5 for the experiment
+//! index).
+//!
+//! Every binary follows the same shape: build the scaled dataset, run
+//! each configuration the paper compares, print the same rows/series
+//! the paper reports (with the paper's own numbers alongside for shape
+//! comparison), and drop a CSV under `bench_results/`.
+//!
+//! # Scaling
+//!
+//! The paper's machines had 32 cores and 256 GB of RAM; experiments
+//! default to RMAT-16-sized inputs and accept `--scale N` (or the
+//! `EGRAPH_SCALE` environment variable) to grow them. Relative
+//! comparisons — who wins, and by roughly what factor — are
+//! scale-stable (the paper's own Fig. 2 shows linear scaling), which is
+//! what `EXPERIMENTS.md` records.
+
+pub mod graphs;
+pub mod llc;
+pub mod table;
+pub mod trace;
+
+use std::path::PathBuf;
+
+pub use table::ResultTable;
+
+/// Shared context of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentCtx {
+    /// RMAT scale used for synthetic datasets (vertices = 2^scale).
+    pub scale: u32,
+    /// Where CSV outputs are written.
+    pub out_dir: PathBuf,
+}
+
+impl ExperimentCtx {
+    /// Builds a context from `--scale N` / `--out DIR` command-line
+    /// arguments and the `EGRAPH_SCALE` environment variable.
+    pub fn from_args() -> Self {
+        let mut scale: u32 = std::env::var("EGRAPH_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(16);
+        let mut out_dir = PathBuf::from("bench_results");
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    scale = args[i + 1].parse().unwrap_or(scale);
+                    i += 2;
+                }
+                "--out" if i + 1 < args.len() => {
+                    out_dir = PathBuf::from(&args[i + 1]);
+                    i += 2;
+                }
+                other => {
+                    eprintln!("ignoring unknown argument: {other}");
+                    i += 1;
+                }
+            }
+        }
+        Self { scale, out_dir }
+    }
+
+    /// Prints the experiment banner.
+    pub fn banner(&self, experiment: &str, paper_artifact: &str) {
+        println!("=== {experiment} — reproducing {paper_artifact} ===");
+        println!(
+            "scale: RMAT-{} ({} vertices); threads: {}",
+            self.scale,
+            1u64 << self.scale,
+            egraph_parallel::current_num_threads()
+        );
+        println!();
+    }
+
+    /// Saves a table as CSV under the output directory; prints the
+    /// path. I/O failures are reported, not fatal (the console output
+    /// already has the data).
+    pub fn save(&self, table: &ResultTable) {
+        match table.save_csv(&self.out_dir) {
+            Ok(path) => println!("\nsaved: {}", path.display()),
+            Err(e) => eprintln!("\ncould not save CSV: {e}"),
+        }
+    }
+}
+
+/// Repetitions used by timing-sensitive experiments (override with
+/// `EGRAPH_REPS`); the minimum of N runs filters the scheduling noise
+/// of shared hosts.
+pub fn reps() -> usize {
+    std::env::var("EGRAPH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
+/// Runs `f` (which returns a value and its wall-clock seconds) `reps`
+/// times and returns the fastest run's value and time.
+pub fn min_time<T>(reps: usize, mut f: impl FnMut() -> (T, f64)) -> (T, f64) {
+    let mut best: Option<(T, f64)> = None;
+    for _ in 0..reps.max(1) {
+        let (value, secs) = f();
+        let better = best.as_ref().map(|&(_, b)| secs < b).unwrap_or(true);
+        if better {
+            best = Some((value, secs));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Formats seconds with sensible precision for table cells.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+/// Formats a ratio like "3.3x".
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.1}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.0}%", f * 100.0)
+}

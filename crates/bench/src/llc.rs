@@ -1,0 +1,72 @@
+//! LLC scaling for miss-ratio experiments.
+//!
+//! The paper measures miss ratios with RMAT-26 metadata (hundreds of
+//! megabytes) against a 16 MB LLC — a footprint-to-cache ratio of
+//! roughly 50:1. Reproduction graphs are smaller, so simulating the
+//! full 16 MB cache would let all metadata become resident and flatten
+//! every ratio to ~0. We instead scale the simulated LLC so the
+//! footprint-to-cache ratio matches the paper's setup; the *relative*
+//! behaviour of the layouts (grid halves the miss ratio, sorting
+//! neighbor arrays changes nothing) is preserved. Documented as a
+//! substitution in `DESIGN.md` §4.
+
+use egraph_cachesim::{CacheConfig, CacheHierarchy, HierarchyProbe, LlcProbe};
+
+/// Footprint-to-LLC ratio of the paper's measurement setup: RMAT-26
+/// PageRank metadata (2^26 vertices × 12 B ≈ 800 MB) on machine B's
+/// 16 MB LLC.
+pub const PAPER_FOOTPRINT_RATIO: f64 = 50.0;
+
+/// A cache sized so `metadata_bytes / capacity ≈ PAPER_FOOTPRINT_RATIO`,
+/// with machine B's associativity and line size.
+pub fn scaled_machine_b(metadata_bytes: usize) -> CacheConfig {
+    let capacity = ((metadata_bytes as f64 / PAPER_FOOTPRINT_RATIO) as usize)
+        .next_power_of_two()
+        .clamp(8 * 1024, 16 * 1024 * 1024);
+    CacheConfig {
+        capacity,
+        ways: 16,
+        line_size: 64,
+    }
+}
+
+/// A hierarchy probe (private L2 + scaled LLC + stream prefetcher) for
+/// a graph with `num_vertices` vertices and `meta_bytes_per_vertex` of
+/// metadata. LLC-level statistics match the semantics of the hardware
+/// counters the paper read.
+pub fn probe_for(num_vertices: usize, meta_bytes_per_vertex: usize) -> HierarchyProbe {
+    let llc = scaled_machine_b(num_vertices * meta_bytes_per_vertex);
+    // Machine B's L2:LLC ratio is 2 MB : 16 MB = 1:8.
+    let l2 = CacheConfig {
+        capacity: (llc.capacity / 8).max(4 * 1024),
+        ways: 16,
+        line_size: 64,
+    };
+    HierarchyProbe::new(CacheHierarchy::new(l2, llc))
+}
+
+/// A flat single-level probe over the scaled LLC (no L2 filtering);
+/// kept for ablations against [`probe_for`].
+pub fn flat_probe_for(num_vertices: usize, meta_bytes_per_vertex: usize) -> LlcProbe {
+    LlcProbe::new(scaled_machine_b(num_vertices * meta_bytes_per_vertex))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_preserved() {
+        let cfg = scaled_machine_b(800 << 20);
+        assert_eq!(cfg.capacity, 16 * 1024 * 1024);
+        let small = scaled_machine_b(100 << 20);
+        let ratio = (100 << 20) as f64 / small.capacity as f64;
+        assert!((25.0..=100.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn capacity_is_clamped() {
+        assert_eq!(scaled_machine_b(1).capacity, 8 * 1024);
+        assert_eq!(scaled_machine_b(usize::MAX / 2).capacity, 16 * 1024 * 1024);
+    }
+}

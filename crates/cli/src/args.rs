@@ -1,0 +1,193 @@
+//! A small flag parser: `--name value` pairs plus positional
+//! arguments, with typed accessors and helpful errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+    /// Flags that were read at least once (to report unknown ones).
+    consumed: std::cell::RefCell<std::collections::BTreeSet<String>>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug)]
+pub enum ArgError {
+    /// `--flag` appeared with no value.
+    MissingValue(String),
+    /// A required flag or positional is absent.
+    Missing(String),
+    /// A value failed to parse.
+    Invalid {
+        /// Flag name.
+        name: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Flags were supplied that the command does not know.
+    Unknown(Vec<String>),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(name) => write!(f, "flag --{name} needs a value"),
+            ArgError::Missing(name) => write!(f, "missing required argument: {name}"),
+            ArgError::Invalid {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid value '{value}' for --{name}: expected {expected}"),
+            ArgError::Unknown(names) => {
+                write!(f, "unknown flags: ")?;
+                for (i, n) in names.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "--{n}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` into positionals and `--name value` flags.
+    pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(name) = argv[i].strip_prefix("--") {
+                let value = argv
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                args.flags.insert(name.to_string(), value);
+                i += 2;
+            } else {
+                args.positional.push(argv[i].clone());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `n`-th positional argument, required.
+    pub fn positional(&self, n: usize, what: &str) -> Result<&str, ArgError> {
+        self.positional
+            .get(n)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::Missing(what.to_string()))
+    }
+
+    /// Number of positional arguments.
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.consumed.borrow_mut().insert(name.to_string());
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::Invalid {
+                name: name.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Errors if any provided flag was never consumed by the command.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<String> = self
+            .flags
+            .keys()
+            .filter(|k| !consumed.contains(*k))
+            .cloned()
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError::Unknown(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(&argv(&["run", "bfs", "--scale", "20", "--flow", "push"])).unwrap();
+        assert_eq!(a.positional(0, "cmd").unwrap(), "run");
+        assert_eq!(a.positional(1, "algo").unwrap(), "bfs");
+        assert_eq!(a.get("scale"), Some("20"));
+        assert_eq!(a.get_or("flow", "pull"), "push");
+        assert_eq!(a.get_or("strategy", "radix"), "radix");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(matches!(
+            Args::parse(&argv(&["--scale"])),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            Args::parse(&argv(&["--scale", "--out"])),
+            Err(ArgError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn typed_parsing() {
+        let a = Args::parse(&argv(&["--scale", "20"])).unwrap();
+        assert_eq!(a.get_parsed_or("scale", 16u32, "integer").unwrap(), 20);
+        assert_eq!(a.get_parsed_or("iters", 10u32, "integer").unwrap(), 10);
+        let bad = Args::parse(&argv(&["--scale", "banana"])).unwrap();
+        assert!(bad.get_parsed_or("scale", 16u32, "integer").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = Args::parse(&argv(&["--scale", "20", "--bogus", "1"])).unwrap();
+        let _ = a.get("scale");
+        assert!(matches!(a.reject_unknown(), Err(ArgError::Unknown(_))));
+    }
+
+    #[test]
+    fn missing_positional() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        assert!(matches!(a.positional(0, "command"), Err(ArgError::Missing(_))));
+    }
+}

@@ -1,0 +1,625 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::time::Instant;
+
+use egraph_core::algo::{bfs, pagerank, spmv, sssp, wcc};
+use egraph_core::layout::EdgeDirection;
+use egraph_core::metrics::TimeBreakdown;
+use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use egraph_core::roadmap;
+use egraph_core::types::{Edge, EdgeList, EdgeRecord, WEdge};
+use egraph_numa::Topology;
+use egraph_storage::{read_edge_list, write_edge_list, FormatError};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+egraph — multicore graph processing, every technique selectable
+
+USAGE:
+  egraph generate <rmat|twitter|road|netflix|uniform> --out FILE [options]
+  egraph info <FILE>
+  egraph run <bfs|pagerank|sssp|wcc|spmv> <FILE> [options]
+  egraph advise [--algo A] [--vertices N] [--edges M] [--machine a|b|single]
+  egraph partition <FILE> [--nodes N]
+  egraph convert <IN> <OUT> [--from snap|dimacs|bin] [--to snap|bin] [--weighted true]
+
+GENERATE OPTIONS:
+  --scale N        log2 of the vertex count (default 16)
+  --edge-factor N  edges per vertex for rmat/uniform (default 16)
+  --seed N         RNG seed (default 42)
+  --width/--height lattice dimensions for road
+  --users/--items/--ratings   bipartite shape for netflix
+  --weighted true  attach deterministic weights (rmat/road/uniform)
+
+RUN OPTIONS:
+  --layout adj|edge|grid   data layout (default adj)
+  --flow push|pull|push-pull   information flow (default push)
+  --sync locks|atomics     synchronization for push (default atomics)
+  --strategy radix|count|dynamic   pre-processing (default radix)
+  --root N     source vertex for bfs/sssp (default 0)
+  --iters N    PageRank iterations (default 10)
+  --side N     grid side (default 256 clamped to the graph)
+  --sorted true    sort per-vertex neighbor arrays
+  --save FILE  store the result array (the end-to-end 'store' phase)
+  --threads N  worker threads (or EGRAPH_THREADS)";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> CliResult {
+    let args = Args::parse(argv)?;
+    if args.positional_len() == 0 {
+        return Err("no command given".into());
+    }
+    match args.positional(0, "command")? {
+        "generate" => cmd_generate(&args),
+        "info" => cmd_info(&args),
+        "run" => cmd_run(&args),
+        "advise" => cmd_advise(&args),
+        "partition" => cmd_partition(&args),
+        "convert" => cmd_convert(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'").into()),
+    }
+}
+
+fn cmd_generate(args: &Args) -> CliResult {
+    let kind = args.positional(1, "generator kind")?.to_string();
+    let out = args
+        .get("out")
+        .ok_or("generate needs --out FILE")?
+        .to_string();
+    let scale: u32 = args.get_parsed_or("scale", 16, "integer")?;
+    let seed: u64 = args.get_parsed_or("seed", 42, "integer")?;
+    let edge_factor: usize = args.get_parsed_or("edge-factor", 16, "integer")?;
+    let weighted = args.get_or("weighted", "false") == "true";
+
+    let started = Instant::now();
+    let unweighted: Option<EdgeList<Edge>> = match kind.as_str() {
+        "rmat" => Some(egraph_graphgen::rmat(scale, edge_factor, seed)),
+        "twitter" => Some(egraph_graphgen::twitter_like(scale, seed)),
+        "road" => {
+            let nv = 1usize << scale;
+            let width: usize =
+                args.get_parsed_or("width", (nv as f64 / 4.0).sqrt() as usize, "integer")?;
+            let height: usize = args.get_parsed_or("height", nv / width.max(1), "integer")?;
+            Some(egraph_graphgen::road_like(width, height))
+        }
+        "uniform" => Some(egraph_graphgen::uniform(
+            1usize << scale,
+            edge_factor << scale,
+            seed,
+        )),
+        "netflix" => {
+            let users: usize = args.get_parsed_or("users", 1usize << scale, "integer")?;
+            let items: usize = args.get_parsed_or("items", (users / 32).max(16), "integer")?;
+            let ratings: usize = args.get_parsed_or("ratings", 40, "integer")?;
+            args.reject_unknown()?;
+            let graph = egraph_graphgen::netflix_like(users, items, ratings, seed);
+            let mut w = BufWriter::new(File::create(&out)?);
+            write_edge_list(&mut w, &graph)?;
+            println!(
+                "wrote {} ({} users + {} items, {} weighted ratings) in {:.2}s",
+                out,
+                users,
+                items,
+                graph.num_edges(),
+                started.elapsed().as_secs_f64()
+            );
+            return Ok(());
+        }
+        other => return Err(format!("unknown generator '{other}'").into()),
+    };
+    args.reject_unknown()?;
+
+    let graph = unweighted.expect("handled above");
+    let mut w = BufWriter::new(File::create(&out)?);
+    if weighted {
+        let weighted_graph: EdgeList<WEdge> = graph.map_records(|e| {
+            let h = (e.src as u64 ^ ((e.dst as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            WEdge::new(e.src, e.dst, 0.25 + (h >> 40) as f32 % 16.0)
+        });
+        write_edge_list(&mut w, &weighted_graph)?;
+    } else {
+        write_edge_list(&mut w, &graph)?;
+    }
+    println!(
+        "wrote {} ({} vertices, {} edges{}) in {:.2}s",
+        out,
+        graph.num_vertices(),
+        graph.num_edges(),
+        if weighted { ", weighted" } else { "" },
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// Loads a file as unweighted or weighted, whichever the header says.
+enum AnyGraph {
+    Unweighted(EdgeList<Edge>),
+    Weighted(EdgeList<WEdge>),
+}
+
+fn load_any(path: &str) -> Result<AnyGraph, Box<dyn Error>> {
+    let r = BufReader::new(File::open(path)?);
+    match read_edge_list::<Edge, _>(r) {
+        Ok(g) => Ok(AnyGraph::Unweighted(g)),
+        Err(FormatError::WeightednessMismatch { .. }) => {
+            let r = BufReader::new(File::open(path)?);
+            Ok(AnyGraph::Weighted(read_edge_list::<WEdge, _>(r)?))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn cmd_info(args: &Args) -> CliResult {
+    let path = args.positional(1, "input file")?;
+    args.reject_unknown()?;
+    let graph = load_any(path)?;
+    fn describe<E: EdgeRecord>(graph: &EdgeList<E>, weighted: bool) {
+        let s = egraph_core::inspect::summarize(graph);
+        println!("vertices:     {}", s.num_vertices);
+        println!("edges:        {}", s.num_edges);
+        println!("weighted:     {weighted}");
+        println!("avg degree:   {:.2}", s.avg_degree);
+        println!("max degree:   {} out / {} in", s.max_out_degree, s.max_in_degree);
+        println!(
+            "sinks:        {} ({:.1}%)",
+            s.sinks,
+            100.0 * s.sinks as f64 / s.num_vertices.max(1) as f64
+        );
+        println!("isolated:     {}", s.isolated);
+        println!("self-loops:   {}", s.self_loops);
+        println!("duplicates:   {}", s.duplicate_edges);
+        println!("symmetric:    {}", s.symmetric);
+        println!(
+            "memory:       {:.1} MB as edge array",
+            (s.num_edges * std::mem::size_of::<E>()) as f64 / 1e6
+        );
+    }
+    match &graph {
+        AnyGraph::Unweighted(g) => describe(g, false),
+        AnyGraph::Weighted(g) => describe(g, true),
+    }
+    Ok(())
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, Box<dyn Error>> {
+    match name {
+        "radix" => Ok(Strategy::RadixSort),
+        "count" => Ok(Strategy::CountSort),
+        "dynamic" => Ok(Strategy::Dynamic),
+        other => Err(format!("unknown strategy '{other}' (radix|count|dynamic)").into()),
+    }
+}
+
+fn print_breakdown(b: &TimeBreakdown, extra: &str) {
+    println!();
+    println!("  load:         {:>8.3}s", b.load);
+    println!("  pre-process:  {:>8.3}s", b.preprocess);
+    if b.partition > 0.0 {
+        println!("  partition:    {:>8.3}s", b.partition);
+    }
+    println!("  algorithm:    {:>8.3}s", b.algorithm);
+    if b.store > 0.0 {
+        println!("  store:        {:>8.3}s", b.store);
+    }
+    println!("  ------------------------");
+    println!("  end-to-end:   {:>8.3}s   {}", b.total(), extra);
+}
+
+/// Stores a `u32` result array if `--save` was given; returns the
+/// seconds spent (the paper's "storing the results" phase).
+fn save_u32(save: Option<&str>, values: &[u32]) -> Result<f64, Box<dyn Error>> {
+    match save {
+        None => Ok(0.0),
+        Some(path) => {
+            let (res, secs) = egraph_core::metrics::timed(|| -> std::io::Result<()> {
+                let w = BufWriter::new(File::create(path)?);
+                egraph_storage::write_u32_result(w, values)
+            });
+            res?;
+            println!("saved result to {path}");
+            Ok(secs)
+        }
+    }
+}
+
+/// Stores an `f32` result array if `--save` was given.
+fn save_f32(save: Option<&str>, values: &[f32]) -> Result<f64, Box<dyn Error>> {
+    match save {
+        None => Ok(0.0),
+        Some(path) => {
+            let (res, secs) = egraph_core::metrics::timed(|| -> std::io::Result<()> {
+                let w = BufWriter::new(File::create(path)?);
+                egraph_storage::write_f32_result(w, values)
+            });
+            res?;
+            println!("saved result to {path}");
+            Ok(secs)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_run(args: &Args) -> CliResult {
+    let algo = args.positional(1, "algorithm")?.to_string();
+    let path = args.positional(2, "input file")?.to_string();
+    let layout = args.get_or("layout", "adj").to_string();
+    let flow = args.get_or("flow", "push").to_string();
+    let sync = args.get_or("sync", "atomics").to_string();
+    let strategy = parse_strategy(args.get_or("strategy", "radix"))?;
+    let root: u32 = args.get_parsed_or("root", 0, "vertex id")?;
+    let iters: usize = args.get_parsed_or("iters", 10, "integer")?;
+    let sorted = args.get_or("sorted", "false") == "true";
+    if let Some(threads) = args.get("threads") {
+        // Must happen before the global pool is first used.
+        std::env::set_var("EGRAPH_THREADS", threads);
+    }
+    let _ = args.get("side"); // consumed later by grid layouts
+    let save = args.get("save").map(str::to_string);
+    args.reject_unknown()?;
+
+    let load_start = Instant::now();
+    let any = load_any(&path)?;
+    let load = load_start.elapsed().as_secs_f64();
+
+    match (algo.as_str(), any) {
+        ("bfs", AnyGraph::Unweighted(graph)) => {
+            run_bfs(&graph, &layout, &flow, &sync, strategy, sorted, root, load, save.as_deref(), args)
+        }
+        ("pagerank", AnyGraph::Unweighted(graph)) => {
+            run_pagerank(&graph, &layout, &flow, &sync, strategy, iters, load, save.as_deref(), args)
+        }
+        ("wcc", AnyGraph::Unweighted(graph)) => run_wcc(&graph, &layout, strategy, load, save.as_deref()),
+        ("sssp", AnyGraph::Weighted(graph)) => run_sssp(&graph, &layout, strategy, root, load, save.as_deref()),
+        ("spmv", AnyGraph::Weighted(graph)) => run_spmv(&graph, &layout, strategy, load, save.as_deref()),
+        ("sssp" | "spmv", AnyGraph::Unweighted(_)) => {
+            Err("this algorithm needs a weighted graph (generate with --weighted true)".into())
+        }
+        ("bfs" | "pagerank" | "wcc", AnyGraph::Weighted(_)) => {
+            Err("this build of the command expects an unweighted graph for that algorithm".into())
+        }
+        (other, _) => Err(format!("unknown algorithm '{other}'").into()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_bfs(
+    graph: &EdgeList<Edge>,
+    layout: &str,
+    flow: &str,
+    _sync: &str,
+    strategy: Strategy,
+    sorted: bool,
+    root: u32,
+    load: f64,
+    save: Option<&str>,
+    args: &Args,
+) -> CliResult {
+    if root as usize >= graph.num_vertices() {
+        return Err(format!("root {root} out of range").into());
+    }
+    let result;
+    let mut breakdown = TimeBreakdown {
+        load,
+        ..Default::default()
+    };
+    match (layout, flow) {
+        ("adj", "push") => {
+            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out)
+                .sort_neighbors(sorted)
+                .build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            result = bfs::push(&adj, root);
+        }
+        ("adj", "pull") => {
+            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::In)
+                .sort_neighbors(sorted)
+                .build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            result = bfs::pull(&adj, root);
+        }
+        ("adj", "push-pull") => {
+            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Both)
+                .sort_neighbors(sorted)
+                .build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            result = bfs::push_pull(&adj, root);
+        }
+        ("edge", "push") => {
+            result = bfs::edge_centric(graph, root);
+        }
+        ("grid", "push") => {
+            let side: usize =
+                args.get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
+            let (g, pre) = GridBuilder::new(strategy).side(side).build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            result = bfs::grid(&g, root);
+        }
+        (l, f) => return Err(format!("bfs does not support layout {l} with flow {f}").into()),
+    }
+    breakdown.algorithm = result.algorithm_seconds();
+    breakdown.store = save_u32(save, &result.parent)?;
+    println!(
+        "bfs from {root}: {} reachable, {} iterations",
+        result.reachable_count(),
+        result.iterations.len()
+    );
+    print_breakdown(&breakdown, "");
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pagerank(
+    graph: &EdgeList<Edge>,
+    layout: &str,
+    flow: &str,
+    sync: &str,
+    strategy: Strategy,
+    iters: usize,
+    load: f64,
+    save: Option<&str>,
+    args: &Args,
+) -> CliResult {
+    let degrees: Vec<u32> = graph.out_degrees().iter().map(|&d| d as u32).collect();
+    let cfg = pagerank::PagerankConfig {
+        iterations: iters,
+        ..Default::default()
+    };
+    let push_sync = match sync {
+        "locks" => pagerank::PushSync::Locks,
+        "atomics" => pagerank::PushSync::Atomics,
+        other => return Err(format!("unknown sync '{other}' (locks|atomics)").into()),
+    };
+    let mut breakdown = TimeBreakdown {
+        load,
+        ..Default::default()
+    };
+    let result = match (layout, flow) {
+        ("adj", "push") => {
+            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            pagerank::push(adj.out(), &degrees, cfg, push_sync)
+        }
+        ("adj", "pull") => {
+            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::In).build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            pagerank::pull(adj.incoming(), &degrees, cfg)
+        }
+        ("edge", "push") => pagerank::edge_centric(graph, &degrees, cfg, push_sync),
+        ("grid", "push") => {
+            let side: usize =
+                args.get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
+            let (g, pre) = GridBuilder::new(strategy).side(side).build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            pagerank::grid_push(&g, &degrees, cfg, sync == "locks")
+        }
+        ("grid", "pull") => {
+            let side: usize =
+                args.get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
+            let (g, pre) = GridBuilder::new(strategy)
+                .side(side)
+                .transposed(true)
+                .build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            pagerank::grid_pull(&g, &degrees, cfg)
+        }
+        (l, f) => return Err(format!("pagerank does not support layout {l} with flow {f}").into()),
+    };
+    breakdown.algorithm = result.seconds;
+    breakdown.store = save_f32(save, &result.ranks)?;
+    let top = result.top_k(3);
+    println!("pagerank: {} iterations; top vertices {:?}", result.iterations, top);
+    print_breakdown(&breakdown, "");
+    Ok(())
+}
+
+fn run_wcc(graph: &EdgeList<Edge>, layout: &str, strategy: Strategy, load: f64, save: Option<&str>) -> CliResult {
+    let mut breakdown = TimeBreakdown {
+        load,
+        ..Default::default()
+    };
+    let result = match layout {
+        "edge" => wcc::edge_centric(graph),
+        "adj" => {
+            let pre_start = Instant::now();
+            let undirected = graph.to_undirected();
+            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(&undirected);
+            breakdown.preprocess = pre_start.elapsed().as_secs_f64().max(pre.seconds);
+            wcc::push(&adj)
+        }
+        other => return Err(format!("wcc supports layouts adj|edge, not {other}").into()),
+    };
+    breakdown.algorithm = result.algorithm_seconds();
+    breakdown.store = save_u32(save, &result.label)?;
+    println!("wcc: {} components", result.component_count());
+    print_breakdown(&breakdown, "");
+    Ok(())
+}
+
+fn run_sssp(graph: &EdgeList<WEdge>, layout: &str, strategy: Strategy, root: u32, load: f64, save: Option<&str>) -> CliResult {
+    if root as usize >= graph.num_vertices() {
+        return Err(format!("root {root} out of range").into());
+    }
+    let mut breakdown = TimeBreakdown {
+        load,
+        ..Default::default()
+    };
+    let result = match layout {
+        "adj" => {
+            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            sssp::push(&adj, root)
+        }
+        "edge" => sssp::edge_centric(graph, root),
+        other => return Err(format!("sssp supports layouts adj|edge, not {other}").into()),
+    };
+    breakdown.algorithm = result.algorithm_seconds();
+    breakdown.store = save_f32(save, &result.dist)?;
+    println!(
+        "sssp from {root}: {} reachable, {} iterations",
+        result.reachable_count(),
+        result.iterations.len()
+    );
+    print_breakdown(&breakdown, "");
+    Ok(())
+}
+
+fn run_spmv(graph: &EdgeList<WEdge>, layout: &str, strategy: Strategy, load: f64, save: Option<&str>) -> CliResult {
+    let x = vec![1.0f32; graph.num_vertices()];
+    let mut breakdown = TimeBreakdown {
+        load,
+        ..Default::default()
+    };
+    let result = match layout {
+        "edge" => spmv::edge_centric(graph, &x),
+        "adj" => {
+            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(graph);
+            breakdown.preprocess = pre.seconds;
+            spmv::push(adj.out(), &x)
+        }
+        other => return Err(format!("spmv supports layouts adj|edge, not {other}").into()),
+    };
+    breakdown.algorithm = result.seconds;
+    breakdown.store = save_f32(save, &result.y)?;
+    let norm: f64 = result.y.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+    println!("spmv: |y| = {norm:.3}");
+    print_breakdown(&breakdown, "");
+    Ok(())
+}
+
+fn cmd_advise(args: &Args) -> CliResult {
+    let algo_name = args.get_or("algo", "bfs").to_string();
+    let vertices: usize = args.get_parsed_or("vertices", 1 << 26, "integer")?;
+    let edges: usize = args.get_parsed_or("edges", 1 << 30, "integer")?;
+    let high_diameter = args.get_or("high-diameter", "false") == "true";
+    let seconds: f64 = args.get_parsed_or("seconds", 5.0, "number")?;
+    let machine = match args.get_or("machine", "b") {
+        "a" => Topology::machine_a(),
+        "b" => Topology::machine_b(),
+        "single" => Topology::single_node(),
+        other => return Err(format!("unknown machine '{other}' (a|b|single)").into()),
+    };
+    args.reject_unknown()?;
+
+    let algo = match algo_name.as_str() {
+        "bfs" | "sssp" | "wcc" => roadmap::AlgorithmTraits::traversal(seconds),
+        "pagerank" | "als" => roadmap::AlgorithmTraits::full_graph_iterative(seconds),
+        "spmv" => roadmap::AlgorithmTraits::single_pass(),
+        other => return Err(format!("unknown algorithm '{other}'").into()),
+    };
+    let graph = roadmap::GraphTraits::new(vertices, edges, high_diameter);
+    let r = roadmap::recommend(&algo, &graph, &machine);
+    println!("recommendation for {algo_name} on {} ({} nodes):", machine.name, machine.num_nodes);
+    println!(
+        "  layout {:?}, flow {:?}, lock-free {}, NUMA-aware {}, build with {}",
+        r.layout,
+        r.flow,
+        r.lock_free,
+        r.numa_aware,
+        r.preprocessing.name()
+    );
+    for line in &r.rationale {
+        println!("  * {line}");
+    }
+    Ok(())
+}
+
+fn cmd_partition(args: &Args) -> CliResult {
+    let path = args.positional(1, "input file")?;
+    let nodes: usize = args.get_parsed_or("nodes", 4, "integer")?;
+    args.reject_unknown()?;
+    let graph = match load_any(path)? {
+        AnyGraph::Unweighted(g) => g,
+        AnyGraph::Weighted(g) => g.map_records(|e| Edge::new(e.src, e.dst)),
+    };
+    let partition = egraph_core::numa_sim::partition_by_target(&graph, nodes);
+    println!("partitioned into {nodes} nodes in {:.3}s:", partition.seconds);
+    for (node, (range, edges)) in partition
+        .vertex_ranges
+        .iter()
+        .zip(&partition.per_node_edges)
+        .enumerate()
+    {
+        println!(
+            "  node {node}: vertices {:>9}..{:<9}  edges {:>9}",
+            range.start,
+            range.end,
+            edges.len()
+        );
+    }
+    Ok(())
+}
+
+fn default_side(num_vertices: usize) -> usize {
+    (num_vertices / (1 << 18)).clamp(8, 256)
+}
+
+/// Guesses a text/binary format from a file extension.
+fn guess_format(path: &str) -> &'static str {
+    if path.ends_with(".gr") {
+        "dimacs"
+    } else if path.ends_with(".txt") || path.ends_with(".snap") || path.ends_with(".el") {
+        "snap"
+    } else {
+        "bin"
+    }
+}
+
+fn cmd_convert(args: &Args) -> CliResult {
+    let input = args.positional(1, "input file")?.to_string();
+    let output = args.positional(2, "output file")?.to_string();
+    let from = args.get_or("from", guess_format(&input)).to_string();
+    let to = args.get_or("to", guess_format(&output)).to_string();
+    let weighted = args.get_or("weighted", "false") == "true";
+    args.reject_unknown()?;
+
+    // Load into the weighted or unweighted in-memory form.
+    let graph: AnyGraph = match from.as_str() {
+        "bin" => load_any(&input)?,
+        "dimacs" => AnyGraph::Weighted(egraph_storage::read_dimacs(BufReader::new(
+            File::open(&input)?,
+        ))?),
+        "snap" => {
+            let r = BufReader::new(File::open(&input)?);
+            if weighted {
+                AnyGraph::Weighted(egraph_storage::read_snap::<WEdge, _>(r, None)?)
+            } else {
+                AnyGraph::Unweighted(egraph_storage::read_snap::<Edge, _>(r, None)?)
+            }
+        }
+        other => return Err(format!("unknown input format '{other}'").into()),
+    };
+
+    let mut w = BufWriter::new(File::create(&output)?);
+    let (nv, ne) = match (&graph, to.as_str()) {
+        (AnyGraph::Unweighted(g), "bin") => {
+            write_edge_list(&mut w, g)?;
+            (g.num_vertices(), g.num_edges())
+        }
+        (AnyGraph::Weighted(g), "bin") => {
+            write_edge_list(&mut w, g)?;
+            (g.num_vertices(), g.num_edges())
+        }
+        (AnyGraph::Unweighted(g), "snap") => {
+            egraph_storage::write_snap(&mut w, g)?;
+            (g.num_vertices(), g.num_edges())
+        }
+        (AnyGraph::Weighted(g), "snap") => {
+            egraph_storage::write_snap(&mut w, g)?;
+            (g.num_vertices(), g.num_edges())
+        }
+        (_, other) => return Err(format!("unknown output format '{other}'").into()),
+    };
+    println!("converted {input} ({from}) -> {output} ({to}): {nv} vertices, {ne} edges");
+    Ok(())
+}

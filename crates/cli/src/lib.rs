@@ -1,0 +1,8 @@
+//! Library surface of the `egraph` command-line driver.
+//!
+//! The binary is a thin wrapper around [`commands::dispatch`]; exposing
+//! the modules as a library lets integration tests drive every
+//! subcommand in-process.
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,25 @@
+//! `egraph` — the command-line driver of EverythingGraph-rs.
+//!
+//! ```text
+//! egraph generate rmat --scale 20 --out graph.egr
+//! egraph info graph.egr
+//! egraph run bfs graph.egr --layout adj --flow push --strategy radix
+//! egraph advise --algo pagerank --vertices 62000000 --edges 1468000000 --machine b
+//! ```
+
+use std::process::ExitCode;
+
+use egraph_cli::commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

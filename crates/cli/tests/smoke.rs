@@ -1,0 +1,145 @@
+//! In-process smoke tests of every CLI subcommand.
+
+use egraph_cli::commands::dispatch;
+
+fn argv(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("egraph-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn generate_info_run_roundtrip() {
+    let path = tmp("smoke_rmat.egr");
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "10", "--out", &path, "--seed", "5",
+    ]))
+    .expect("generate");
+    dispatch(&argv(&["info", &path])).expect("info");
+    dispatch(&argv(&[
+        "run", "bfs", &path, "--layout", "adj", "--flow", "push",
+    ]))
+    .expect("bfs adj push");
+    dispatch(&argv(&[
+        "run", "bfs", &path, "--layout", "adj", "--flow", "push-pull",
+    ]))
+    .expect("bfs push-pull");
+    dispatch(&argv(&["run", "bfs", &path, "--layout", "edge"])).expect("bfs edge");
+    dispatch(&argv(&[
+        "run", "bfs", &path, "--layout", "grid", "--side", "4",
+    ]))
+    .expect("bfs grid");
+    dispatch(&argv(&[
+        "run", "pagerank", &path, "--layout", "grid", "--flow", "pull", "--side", "4",
+        "--iters", "3",
+    ]))
+    .expect("pagerank grid pull");
+    dispatch(&argv(&["run", "wcc", &path, "--layout", "edge"])).expect("wcc edge");
+    dispatch(&argv(&["partition", &path, "--nodes", "4"])).expect("partition");
+}
+
+#[test]
+fn weighted_pipeline() {
+    let path = tmp("smoke_weighted.egr");
+    dispatch(&argv(&[
+        "generate", "road", "--scale", "8", "--out", &path, "--weighted", "true",
+    ]))
+    .expect("generate weighted road");
+    dispatch(&argv(&["run", "sssp", &path, "--layout", "adj"])).expect("sssp");
+    dispatch(&argv(&["run", "spmv", &path, "--layout", "edge"])).expect("spmv");
+}
+
+#[test]
+fn netflix_generator() {
+    let path = tmp("smoke_netflix.egr");
+    dispatch(&argv(&[
+        "generate", "netflix", "--out", &path, "--users", "100", "--items", "20",
+        "--ratings", "5",
+    ]))
+    .expect("generate netflix");
+    dispatch(&argv(&["info", &path])).expect("info netflix");
+}
+
+#[test]
+fn advise_all_machines() {
+    for machine in ["a", "b", "single"] {
+        dispatch(&argv(&["advise", "--algo", "pagerank", "--machine", machine]))
+            .expect("advise");
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    assert!(dispatch(&argv(&[])).is_err(), "no command");
+    assert!(dispatch(&argv(&["frobnicate"])).is_err(), "unknown command");
+    assert!(
+        dispatch(&argv(&["run", "bfs", "/nonexistent.egr"])).is_err(),
+        "missing file"
+    );
+    assert!(
+        dispatch(&argv(&["generate", "rmat", "--scale", "8"])).is_err(),
+        "missing --out"
+    );
+    let path = tmp("smoke_err.egr");
+    dispatch(&argv(&["generate", "rmat", "--scale", "8", "--out", &path])).unwrap();
+    assert!(
+        dispatch(&argv(&["run", "sssp", &path])).is_err(),
+        "sssp needs weights"
+    );
+    assert!(
+        dispatch(&argv(&["run", "bfs", &path, "--root", "999999999"])).is_err(),
+        "root out of range"
+    );
+    assert!(
+        dispatch(&argv(&["run", "bfs", &path, "--bogus-flag", "1"])).is_err(),
+        "unknown flag"
+    );
+}
+
+#[test]
+fn help_prints() {
+    dispatch(&argv(&["help"])).expect("help");
+}
+
+#[test]
+fn save_results_roundtrip() {
+    let graph = tmp("smoke_save.egr");
+    let out = tmp("smoke_save_result.egr");
+    dispatch(&argv(&["generate", "rmat", "--scale", "9", "--out", &graph])).unwrap();
+    dispatch(&argv(&["run", "bfs", &graph, "--save", &out])).expect("bfs --save");
+    let parents =
+        egraph_storage::read_u32_result(std::fs::File::open(&out).unwrap()).expect("readable");
+    assert_eq!(parents.len(), 512);
+}
+
+#[test]
+fn convert_roundtrips_through_text() {
+    let bin1 = tmp("smoke_conv.egr");
+    let snap = tmp("smoke_conv.txt");
+    let bin2 = tmp("smoke_conv2.egr");
+    dispatch(&argv(&["generate", "rmat", "--scale", "8", "--out", &bin1])).unwrap();
+    dispatch(&argv(&["convert", &bin1, &snap])).expect("bin -> snap");
+    dispatch(&argv(&["convert", &snap, &bin2])).expect("snap -> bin");
+    let a = egraph_storage::read_edge_list::<egraph_core::types::Edge, _>(
+        std::fs::File::open(&bin1).unwrap(),
+    )
+    .unwrap();
+    let b = egraph_storage::read_edge_list::<egraph_core::types::Edge, _>(
+        std::fs::File::open(&bin2).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(a.edges(), b.edges());
+}
+
+#[test]
+fn convert_reads_dimacs() {
+    let gr = tmp("smoke_conv.gr");
+    std::fs::write(&gr, "c tiny\np sp 3 2\na 1 2 4\na 2 3 6\n").unwrap();
+    let out = tmp("smoke_conv_dimacs.egr");
+    dispatch(&argv(&["convert", &gr, &out])).expect("dimacs -> bin");
+    dispatch(&argv(&["run", "sssp", &out])).expect("sssp on converted dimacs");
+}

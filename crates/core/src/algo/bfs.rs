@@ -1,0 +1,616 @@
+//! Breadth-first search in every configuration the paper studies:
+//! vertex-centric push (atomics or locks), vertex-centric pull with
+//! early termination, direction-optimizing push-pull (Beamer's
+//! heuristic, as in Ligra), edge-centric, and grid.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use egraph_cachesim::{MemProbe, NullProbe};
+
+use crate::engine::{self, PullOp, PushOp};
+use crate::frontier::{FrontierKind, VertexSubset};
+use crate::layout::{Adjacency, AdjacencyList, Grid};
+use crate::metrics::{timed, IterStat, StepMode};
+use crate::types::{EdgeList, EdgeRecord, VertexId, INVALID_VERTEX};
+use crate::util::{AtomicBitmap, StripedLocks, UnsyncSlice};
+
+/// BFS metadata footprint: one byte of visited state per vertex ("a
+/// cache line only contains the metadata associated with very few
+/// vertices (64 in the case of BFS)", §5.2).
+const BFS_META_BYTES: u64 = 1;
+
+/// The direction-optimizing switch thresholds (Beamer et al. \[2\]):
+/// switch to pull when the frontier's out-edges exceed |E| / 20.
+const PUSH_PULL_EDGE_DIVISOR: usize = 20;
+
+/// The result of a BFS run.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// BFS tree: `parent[v]` is the predecessor of `v`, or
+    /// [`INVALID_VERTEX`] if `v` is unreachable. `parent[root] == root`.
+    pub parent: Vec<VertexId>,
+    /// Discovery depth per vertex (`u32::MAX` if unreachable).
+    pub level: Vec<u32>,
+    /// Per-iteration statistics (Fig. 6).
+    pub iterations: Vec<IterStat>,
+}
+
+impl BfsResult {
+    /// Number of vertices reachable from the root (including it).
+    pub fn reachable_count(&self) -> usize {
+        self.parent.iter().filter(|&&p| p != INVALID_VERTEX).count()
+    }
+
+    /// Total algorithm seconds across iterations.
+    pub fn algorithm_seconds(&self) -> f64 {
+        self.iterations.iter().map(|s| s.seconds).sum()
+    }
+}
+
+/// Shared BFS state: atomically claimed parents plus discovery levels.
+struct BfsState {
+    parent: Vec<AtomicU32>,
+    level: Vec<AtomicU32>,
+    round: AtomicU32,
+}
+
+impl BfsState {
+    fn new(nv: usize, root: VertexId) -> Self {
+        let state = Self {
+            parent: (0..nv).map(|_| AtomicU32::new(INVALID_VERTEX)).collect(),
+            level: (0..nv).map(|_| AtomicU32::new(u32::MAX)).collect(),
+            round: AtomicU32::new(0),
+        };
+        state.parent[root as usize].store(root, Ordering::Relaxed);
+        state.level[root as usize].store(0, Ordering::Relaxed);
+        state
+    }
+
+    fn into_result(self, iterations: Vec<IterStat>) -> BfsResult {
+        BfsResult {
+            parent: self.parent.into_iter().map(AtomicU32::into_inner).collect(),
+            level: self.level.into_iter().map(AtomicU32::into_inner).collect(),
+            iterations,
+        }
+    }
+}
+
+/// Push rule claiming destinations with a compare-and-swap.
+struct AtomicPushOp<'a> {
+    state: &'a BfsState,
+}
+
+impl<E: EdgeRecord> PushOp<E> for AtomicPushOp<'_> {
+    const META_BYTES: u64 = BFS_META_BYTES;
+
+    #[inline]
+    fn push(&self, e: &E) -> bool {
+        let dst = e.dst() as usize;
+        if self.state.parent[dst].load(Ordering::Relaxed) != INVALID_VERTEX {
+            return false;
+        }
+        let won = self.state.parent[dst]
+            .compare_exchange(INVALID_VERTEX, e.src(), Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok();
+        if won {
+            self.state.level[dst].store(
+                self.state.round.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+        won
+    }
+
+    #[inline]
+    fn source_active(&self, src: VertexId) -> bool {
+        // Edge-centric/grid scans: only sources discovered in the
+        // previous round push this round.
+        let round = self.state.round.load(Ordering::Relaxed);
+        self.state.level[src as usize].load(Ordering::Relaxed) == round - 1
+    }
+}
+
+/// Vertex-centric push BFS with atomic parent claims (the baseline
+/// "adj. push" configuration).
+pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
+    push_probed(adj, root, &NullProbe)
+}
+
+/// [`push`] with cache instrumentation.
+pub fn push_probed<E: EdgeRecord, P: MemProbe>(
+    adj: &AdjacencyList<E>,
+    root: VertexId,
+    probe: &P,
+) -> BfsResult {
+    let out = adj.out();
+    let state = BfsState::new(out.num_vertices(), root);
+    let op = AtomicPushOp { state: &state };
+    let mut frontier = VertexSubset::single(root);
+    let mut iterations = Vec::new();
+    while !frontier.is_empty() {
+        state.round.fetch_add(1, Ordering::Relaxed);
+        let frontier_size = frontier.len();
+        let (next, seconds) = timed(|| {
+            engine::vertex_push(out, &frontier, &op, probe, FrontierKind::Sparse)
+        });
+        iterations.push(IterStat {
+            frontier_size,
+            edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
+            seconds,
+            mode: StepMode::Push,
+        });
+        frontier = next;
+    }
+    state.into_result(iterations)
+}
+
+/// Vertex-centric push BFS with per-vertex (striped) locks — the
+/// paper's "push (with locks)" configuration (§6.1.2).
+pub fn push_locked<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
+    let out = adj.out();
+    let nv = out.num_vertices();
+    let mut parent = vec![INVALID_VERTEX; nv];
+    let mut level = vec![u32::MAX; nv];
+    parent[root as usize] = root;
+    level[root as usize] = 0;
+    let locks = StripedLocks::default();
+    let mut iterations = Vec::new();
+
+    struct LockedPushOp<'a> {
+        parent: UnsyncSlice<'a, VertexId>,
+        level: UnsyncSlice<'a, u32>,
+        locks: &'a StripedLocks,
+        round: u32,
+    }
+    impl<E: EdgeRecord> PushOp<E> for LockedPushOp<'_> {
+        const META_BYTES: u64 = BFS_META_BYTES;
+
+        #[inline]
+        fn push(&self, e: &E) -> bool {
+            let dst = e.dst();
+            self.locks.with(dst, || {
+                // SAFETY: every access to `parent[dst]`/`level[dst]`
+                // during the parallel step happens under the stripe
+                // lock of `dst`, so the element is never accessed
+                // concurrently.
+                unsafe {
+                    if self.parent.read(dst as usize) != INVALID_VERTEX {
+                        return false;
+                    }
+                    self.parent.write(dst as usize, e.src());
+                    self.level.write(dst as usize, self.round);
+                    true
+                }
+            })
+        }
+    }
+
+    let mut frontier = VertexSubset::single(root);
+    let mut round = 0u32;
+    while !frontier.is_empty() {
+        round += 1;
+        let frontier_size = frontier.len();
+        let op = LockedPushOp {
+            parent: UnsyncSlice::new(&mut parent),
+            level: UnsyncSlice::new(&mut level),
+            locks: &locks,
+            round,
+        };
+        let (next, seconds) = timed(|| {
+            engine::vertex_push(out, &frontier, &op, &NullProbe, FrontierKind::Sparse)
+        });
+        iterations.push(IterStat {
+            frontier_size,
+            edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
+            seconds,
+            mode: StepMode::Push,
+        });
+        frontier = next;
+    }
+    BfsResult {
+        parent,
+        level,
+        iterations,
+    }
+}
+
+/// Pull rule: an undiscovered vertex scans its in-neighbors for a
+/// member of the previous frontier and stops at the first hit — no
+/// synchronization needed, since each vertex only writes itself.
+struct PullState<'a> {
+    state: &'a BfsState,
+    in_frontier: &'a AtomicBitmap,
+    activated: &'a AtomicBitmap,
+}
+
+impl<E: EdgeRecord> PullOp<E> for PullState<'_> {
+    const META_BYTES: u64 = BFS_META_BYTES;
+
+    #[inline]
+    fn wants_pull(&self, dst: VertexId) -> bool {
+        self.state.parent[dst as usize].load(Ordering::Relaxed) == INVALID_VERTEX
+    }
+
+    #[inline]
+    fn pull(&self, dst: VertexId, e: &E) -> bool {
+        let u = e.src();
+        if self.in_frontier.get(u as usize) {
+            // Only this thread writes `dst`'s state in pull mode.
+            self.state.parent[dst as usize].store(u, Ordering::Relaxed);
+            self.state.level[dst as usize].store(
+                self.state.round.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            self.activated.set(dst as usize);
+            return true; // Early termination (§6.1.1).
+        }
+        false
+    }
+
+    #[inline]
+    fn activated(&self, dst: VertexId) -> bool {
+        self.activated.get(dst as usize)
+    }
+}
+
+/// Vertex-centric pull BFS (lock free). Requires in-edges.
+pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
+    pull_probed(adj, root, &NullProbe)
+}
+
+/// [`pull`] with cache instrumentation.
+pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
+    adj: &AdjacencyList<E>,
+    root: VertexId,
+    probe: &P,
+) -> BfsResult {
+    let incoming = adj.incoming();
+    let nv = incoming.num_vertices();
+    let state = BfsState::new(nv, root);
+    let mut iterations = Vec::new();
+
+    let mut frontier = VertexSubset::single(root).into_dense(nv);
+    while !frontier.is_empty() {
+        state.round.fetch_add(1, Ordering::Relaxed);
+        let frontier_size = frontier.len();
+        let in_frontier = match &frontier {
+            VertexSubset::Dense { bitmap, .. } => bitmap,
+            VertexSubset::Sparse(_) => unreachable!("pull frontier is always dense"),
+        };
+        let activated = AtomicBitmap::new(nv);
+        let op = PullState {
+            state: &state,
+            in_frontier,
+            activated: &activated,
+        };
+        let (next, seconds) =
+            timed(|| engine::vertex_pull(incoming, &op, probe, FrontierKind::Dense));
+        iterations.push(IterStat {
+            frontier_size,
+            edges_scanned: 0,
+            seconds,
+            mode: StepMode::Pull,
+        });
+        frontier = next;
+    }
+    state.into_result(iterations)
+}
+
+/// Direction-optimizing BFS: starts pushing, switches to pull while the
+/// frontier is a large fraction of the graph, then back (Beamer \[2\],
+/// Ligra \[29\]). Requires both edge directions (hence the doubled
+/// pre-processing cost of Fig. 1).
+pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
+    push_pull_probed(adj, root, &NullProbe)
+}
+
+/// [`push_pull`] with cache instrumentation.
+pub fn push_pull_probed<E: EdgeRecord, P: MemProbe>(
+    adj: &AdjacencyList<E>,
+    root: VertexId,
+    probe: &P,
+) -> BfsResult {
+    let out = adj.out();
+    let incoming = adj.incoming();
+    let nv = out.num_vertices();
+    let edge_threshold = (out.num_edges() / PUSH_PULL_EDGE_DIVISOR).max(1);
+    let state = BfsState::new(nv, root);
+    let mut iterations = Vec::new();
+
+    let mut frontier = VertexSubset::single(root);
+    while !frontier.is_empty() {
+        state.round.fetch_add(1, Ordering::Relaxed);
+        let frontier_size = frontier.len();
+        let frontier_edges = frontier.out_edge_count(|v| out.degree(v));
+        let use_pull = frontier_edges + frontier_size > edge_threshold;
+        if use_pull {
+            let dense = frontier.into_dense(nv);
+            let in_frontier = match &dense {
+                VertexSubset::Dense { bitmap, .. } => bitmap,
+                VertexSubset::Sparse(_) => unreachable!(),
+            };
+            let activated = AtomicBitmap::new(nv);
+            let op = PullState {
+                state: &state,
+                in_frontier,
+                activated: &activated,
+            };
+            let (next, seconds) =
+                timed(|| engine::vertex_pull(incoming, &op, probe, FrontierKind::Dense));
+            iterations.push(IterStat {
+                frontier_size,
+                edges_scanned: frontier_edges,
+                seconds,
+                mode: StepMode::Pull,
+            });
+            frontier = next;
+        } else {
+            let op = AtomicPushOp { state: &state };
+            let (next, seconds) = timed(|| {
+                engine::vertex_push(out, &frontier, &op, probe, FrontierKind::Sparse)
+            });
+            iterations.push(IterStat {
+                frontier_size,
+                edges_scanned: frontier_edges,
+                seconds,
+                mode: StepMode::Push,
+            });
+            frontier = next;
+        }
+    }
+    state.into_result(iterations)
+}
+
+/// Edge-centric BFS: every iteration streams the whole edge array and
+/// pushes from last round's discoveries (§4.1's "full scan" drawback).
+pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, root: VertexId) -> BfsResult {
+    edge_centric_probed(edges, root, &NullProbe)
+}
+
+/// [`edge_centric`] with cache instrumentation.
+pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
+    edges: &EdgeList<E>,
+    root: VertexId,
+    probe: &P,
+) -> BfsResult {
+    let nv = edges.num_vertices();
+    let state = BfsState::new(nv, root);
+    let op = AtomicPushOp { state: &state };
+    let mut iterations = Vec::new();
+    let mut active = 1usize;
+    while active > 0 {
+        state.round.fetch_add(1, Ordering::Relaxed);
+        let (next, seconds) = timed(|| {
+            engine::edge_push(edges.edges(), nv, &op, probe, FrontierKind::Dense)
+        });
+        iterations.push(IterStat {
+            frontier_size: active,
+            edges_scanned: edges.num_edges(),
+            seconds,
+            mode: StepMode::Push,
+        });
+        active = next.len();
+    }
+    state.into_result(iterations)
+}
+
+/// Grid BFS: push over grid cells with column ownership; sources are
+/// filtered to last round's discoveries.
+pub fn grid<E: EdgeRecord>(grid: &Grid<E>, root: VertexId) -> BfsResult {
+    grid_probed(grid, root, &NullProbe)
+}
+
+/// [`grid`] with cache instrumentation.
+pub fn grid_probed<E: EdgeRecord, P: MemProbe>(
+    grid: &Grid<E>,
+    root: VertexId,
+    probe: &P,
+) -> BfsResult {
+    let nv = grid.num_vertices();
+    let state = BfsState::new(nv, root);
+    let op = AtomicPushOp { state: &state };
+    let mut iterations = Vec::new();
+    let mut active = 1usize;
+    while active > 0 {
+        state.round.fetch_add(1, Ordering::Relaxed);
+        let (next, seconds) =
+            timed(|| engine::grid_push_columns(grid, &op, probe, FrontierKind::Dense));
+        iterations.push(IterStat {
+            frontier_size: active,
+            edges_scanned: grid.num_edges(),
+            seconds,
+            mode: StepMode::Push,
+        });
+        active = next.len();
+    }
+    state.into_result(iterations)
+}
+
+/// A serial reference BFS used by tests and result validation.
+pub fn reference<E: EdgeRecord>(out: &Adjacency<E>, root: VertexId) -> Vec<u32> {
+    let nv = out.num_vertices();
+    let mut level = vec![u32::MAX; nv];
+    level[root as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(u) = queue.pop_front() {
+        for e in out.neighbors(u) {
+            let v = e.dst() as usize;
+            if level[v] == u32::MAX {
+                level[v] = level[u as usize] + 1;
+                queue.push_back(e.dst());
+            }
+        }
+    }
+    level
+}
+
+/// Validates that a BFS result is a correct shortest-hop tree for the
+/// graph; returns the number of reachable vertices.
+///
+/// # Panics
+///
+/// Panics (with a description) if the parent array or levels are
+/// inconsistent with `reference` levels.
+pub fn validate<E: EdgeRecord>(out: &Adjacency<E>, root: VertexId, result: &BfsResult) -> usize {
+    let expected = reference(out, root);
+    assert_eq!(expected.len(), result.level.len());
+    for v in 0..expected.len() {
+        assert_eq!(
+            result.level[v], expected[v],
+            "vertex {v}: level {} != reference {}",
+            result.level[v], expected[v]
+        );
+        if expected[v] != u32::MAX && v as u32 != root {
+            let p = result.parent[v];
+            assert_ne!(p, INVALID_VERTEX, "reachable vertex {v} has no parent");
+            assert_eq!(
+                expected[p as usize] + 1,
+                expected[v],
+                "vertex {v}: parent {p} is not one level up"
+            );
+        }
+    }
+    expected.iter().filter(|&&l| l != u32::MAX).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::EdgeDirection;
+    use crate::preprocess::{CsrBuilder, GridBuilder, Strategy};
+    use crate::types::Edge;
+
+    /// A deterministic pseudo-random graph with a giant component.
+    fn test_graph(nv: usize, ne: usize, seed: u64) -> EdgeList<Edge> {
+        let mut state = seed | 1;
+        let mut edges = Vec::with_capacity(ne + nv);
+        // A chain guarantees reachability structure worth testing.
+        for v in 0..nv as u32 / 2 {
+            edges.push(Edge::new(v, v + 1));
+        }
+        for _ in 0..ne {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((state >> 33) % nv as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dst = ((state >> 33) % nv as u64) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        EdgeList::new(nv, edges).unwrap()
+    }
+
+    fn layouts(input: &EdgeList<Edge>) -> (AdjacencyList<Edge>, Grid<Edge>) {
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build(input);
+        let grid = GridBuilder::new(Strategy::RadixSort).side(8).build(input);
+        (adj, grid)
+    }
+
+    #[test]
+    fn push_matches_reference() {
+        let input = test_graph(500, 2000, 42);
+        let (adj, _) = layouts(&input);
+        let result = push(&adj, 0);
+        let reachable = validate(adj.out(), 0, &result);
+        assert!(reachable > 200);
+        assert_eq!(result.reachable_count(), reachable);
+    }
+
+    #[test]
+    fn push_locked_matches_reference() {
+        let input = test_graph(400, 1500, 7);
+        let (adj, _) = layouts(&input);
+        let result = push_locked(&adj, 0);
+        validate(adj.out(), 0, &result);
+    }
+
+    #[test]
+    fn pull_matches_reference() {
+        let input = test_graph(400, 1500, 11);
+        let (adj, _) = layouts(&input);
+        let result = pull(&adj, 0);
+        validate(adj.out(), 0, &result);
+        assert!(result.iterations.iter().all(|s| s.mode == StepMode::Pull));
+    }
+
+    #[test]
+    fn push_pull_matches_reference_and_switches() {
+        let input = test_graph(2000, 30_000, 13);
+        let (adj, _) = layouts(&input);
+        let result = push_pull(&adj, 0);
+        validate(adj.out(), 0, &result);
+        // A dense random graph must trigger at least one pull step.
+        assert!(result.iterations.iter().any(|s| s.mode == StepMode::Pull));
+        assert!(result.iterations.iter().any(|s| s.mode == StepMode::Push));
+    }
+
+    #[test]
+    fn edge_centric_matches_reference() {
+        let input = test_graph(300, 1000, 17);
+        let (adj, _) = layouts(&input);
+        let result = edge_centric(&input, 0);
+        validate(adj.out(), 0, &result);
+    }
+
+    #[test]
+    fn grid_matches_reference() {
+        let input = test_graph(300, 1000, 19);
+        let (adj, grid_layout) = layouts(&input);
+        let result = grid(&grid_layout, 0);
+        validate(adj.out(), 0, &result);
+    }
+
+    #[test]
+    fn disconnected_root_only() {
+        let input = EdgeList::new(5, vec![Edge::new(1, 2)]).unwrap();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build(&input);
+        let result = push(&adj, 0);
+        assert_eq!(result.reachable_count(), 1);
+        assert_eq!(result.parent[0], 0);
+        assert_eq!(result.parent[3], INVALID_VERTEX);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_harmless() {
+        let input = EdgeList::new(
+            3,
+            vec![
+                Edge::new(0, 0),
+                Edge::new(0, 1),
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+            ],
+        )
+        .unwrap();
+        let adj = CsrBuilder::new(Strategy::CountSort, EdgeDirection::Both).build(&input);
+        for result in [push(&adj, 0), pull(&adj, 0), push_pull(&adj, 0)] {
+            assert_eq!(result.reachable_count(), 3);
+            assert_eq!(result.level[2], 2);
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_levels() {
+        let input = test_graph(800, 5000, 23);
+        let (adj, grid_layout) = layouts(&input);
+        let baseline = reference(adj.out(), 0);
+        for (name, result) in [
+            ("push", push(&adj, 0)),
+            ("push_locked", push_locked(&adj, 0)),
+            ("pull", pull(&adj, 0)),
+            ("push_pull", push_pull(&adj, 0)),
+            ("edge", edge_centric(&input, 0)),
+            ("grid", grid(&grid_layout, 0)),
+        ] {
+            assert_eq!(result.level, baseline, "{name}");
+        }
+    }
+
+    #[test]
+    fn iteration_stats_recorded() {
+        let input = test_graph(500, 3000, 29);
+        let (adj, _) = layouts(&input);
+        let result = push(&adj, 0);
+        assert!(!result.iterations.is_empty());
+        assert_eq!(result.iterations[0].frontier_size, 1);
+        assert!(result.algorithm_seconds() >= 0.0);
+    }
+}

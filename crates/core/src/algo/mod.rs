@@ -1,0 +1,19 @@
+//! The six study algorithms (§2), each implemented for every data
+//! layout × information flow × synchronization combination the paper
+//! evaluates.
+//!
+//! | Algorithm | Kind | Active set per step | Layout variants |
+//! |---|---|---|---|
+//! | [`bfs`] | traversal | small subset | adj push/pull/push-pull, edge array, grid |
+//! | [`wcc`] | traversal (undirected) | shrinking subset | adj push, edge array |
+//! | [`sssp`] | traversal (weighted) | subset, re-activation | adj push, edge array |
+//! | [`pagerank`] | ranking | whole graph | adj push/pull, edge array, grid push/pull |
+//! | [`spmv`] | single pass | whole graph | adj push, edge array, adj pull |
+//! | [`als`] | machine learning (bipartite) | one side per half-step | adj pull |
+
+pub mod als;
+pub mod bfs;
+pub mod pagerank;
+pub mod spmv;
+pub mod sssp;
+pub mod wcc;

@@ -1,0 +1,750 @@
+//! PageRank \[24\] in every configuration of Fig. 3, Fig. 5 and Fig. 8:
+//! vertex-centric push (locks or atomics), vertex-centric pull (no
+//! locks), edge-centric, grid push (cells+locks or columns without
+//! locks) and grid pull (rows without locks).
+//!
+//! All variants run the same fixed number of power iterations (the
+//! paper uses 10) with damping 0.85 and produce identical ranks up to
+//! floating-point reassociation.
+
+use egraph_cachesim::{MemProbe, NullProbe};
+use egraph_parallel::atomicf::AtomicF32;
+use std::sync::atomic::Ordering;
+
+use crate::engine::{self, PullOp, PushOp};
+use crate::frontier::{FrontierKind, VertexSubset};
+use crate::layout::{Adjacency, Grid};
+use crate::metrics::timed;
+use crate::types::{EdgeList, EdgeRecord, VertexId};
+use crate::util::{StripedLocks, UnsyncSlice};
+
+/// PageRank metadata footprint: rank + degree + accumulator ≈ 12 bytes
+/// ("a cache line can fit at most 6 vertices for Pagerank", §5.2 —
+/// 64 / 6 ≈ 11).
+const PR_META_BYTES: u64 = 12;
+
+/// Configuration of a PageRank run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PagerankConfig {
+    /// Maximum number of power iterations (the paper uses 10).
+    pub iterations: usize,
+    /// Damping factor.
+    pub damping: f32,
+    /// Optional convergence threshold: stop early once the L1 change
+    /// of the rank vector drops below this (an extension beyond the
+    /// paper's fixed iteration count; `None` reproduces the paper).
+    pub tolerance: Option<f32>,
+}
+
+impl Default for PagerankConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 10,
+            damping: 0.85,
+            tolerance: None,
+        }
+    }
+}
+
+/// L1 distance between consecutive rank vectors, computed in parallel.
+fn l1_delta(a: &[f32], b: &[f32]) -> f32 {
+    egraph_parallel::parallel_reduce(
+        0..a.len(),
+        1 << 14,
+        || 0.0f64,
+        |acc, r| {
+            acc + r
+                .map(|v| (a[v] - b[v]).abs() as f64)
+                .sum::<f64>()
+        },
+        |x, y| x + y,
+    ) as f32
+}
+
+/// Returns `true` when iteration should stop early under `cfg`.
+fn converged(cfg: &PagerankConfig, old: &[f32], new: &[f32]) -> bool {
+    match cfg.tolerance {
+        None => false,
+        Some(tol) => l1_delta(old, new) < tol,
+    }
+}
+
+/// The result of a PageRank run.
+#[derive(Debug, Clone)]
+pub struct PagerankResult {
+    /// Final rank per vertex.
+    pub ranks: Vec<f32>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Wall-clock seconds spent in the algorithm.
+    pub seconds: f64,
+}
+
+impl PagerankResult {
+    /// Indices of the `k` highest-ranked vertices, descending.
+    pub fn top_k(&self, k: usize) -> Vec<VertexId> {
+        let mut idx: Vec<VertexId> = (0..self.ranks.len() as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            self.ranks[b as usize]
+                .partial_cmp(&self.ranks[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Per-source contribution table: `contrib[u] = rank[u] / out_degree[u]`.
+fn contributions(ranks: &[f32], out_degrees: &[u32]) -> Vec<f32> {
+    egraph_parallel::ops::parallel_init(ranks.len(), 1 << 14, |v| {
+        let d = out_degrees[v];
+        if d == 0 {
+            0.0
+        } else {
+            ranks[v] / d as f32
+        }
+    })
+}
+
+/// Folds accumulated neighbor sums into the next rank vector.
+fn finalize(acc: &[f32], damping: f32, nv: usize) -> Vec<f32> {
+    let base = (1.0 - damping) / nv as f32;
+    egraph_parallel::ops::parallel_init(nv, 1 << 14, |v| base + damping * acc[v])
+}
+
+/// Vertex-centric pull without locks: each vertex sums the
+/// contributions of its in-neighbors and writes only its own
+/// accumulator (Fig. 8, "adj. pull (no lock)").
+pub fn pull<E: EdgeRecord>(
+    incoming: &Adjacency<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+) -> PagerankResult {
+    pull_probed(incoming, out_degrees, cfg, &NullProbe)
+}
+
+/// [`pull`] with cache instrumentation.
+pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
+    incoming: &Adjacency<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    probe: &P,
+) -> PagerankResult {
+    let nv = incoming.num_vertices();
+    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
+    let mut executed = 0usize;
+    let (_, seconds) = timed(|| {
+        for _ in 0..cfg.iterations {
+            let contrib = contributions(&ranks, out_degrees);
+            let mut acc = vec![0.0f32; nv];
+            {
+                struct PrPull<'a> {
+                    contrib: &'a [f32],
+                    acc: UnsyncSlice<'a, f32>,
+                }
+                impl<E: EdgeRecord> PullOp<E> for PrPull<'_> {
+                    const META_BYTES: u64 = PR_META_BYTES;
+
+                    #[inline]
+                    fn wants_pull(&self, _dst: VertexId) -> bool {
+                        true
+                    }
+
+                    #[inline]
+                    fn pull(&self, dst: VertexId, e: &E) -> bool {
+                        // SAFETY: `vertex_pull` assigns each `dst` to
+                        // exactly one worker, so `acc[dst]` has a single
+                        // writer.
+                        unsafe {
+                            self.acc
+                                .update(dst as usize, |a| *a += self.contrib[e.src() as usize]);
+                        }
+                        false
+                    }
+
+                    #[inline]
+                    fn activated(&self, _dst: VertexId) -> bool {
+                        false
+                    }
+                }
+                let op = PrPull {
+                    contrib: &contrib,
+                    acc: UnsyncSlice::new(&mut acc),
+                };
+                engine::vertex_pull(incoming, &op, probe, FrontierKind::Sparse);
+            }
+            let new_ranks = finalize(&acc, cfg.damping, nv);
+            executed += 1;
+            let stop = converged(&cfg, &ranks, &new_ranks);
+            ranks = new_ranks;
+            if stop {
+                break;
+            }
+        }
+    });
+    PagerankResult {
+        ranks,
+        iterations: executed,
+        seconds,
+    }
+}
+
+/// Push rule accumulating into atomic floats (CAS loops).
+struct PrPushAtomic<'a> {
+    contrib: &'a [f32],
+    acc: &'a [AtomicF32],
+}
+
+impl<E: EdgeRecord> PushOp<E> for PrPushAtomic<'_> {
+    const META_BYTES: u64 = PR_META_BYTES;
+
+    #[inline]
+    fn push(&self, e: &E) -> bool {
+        self.acc[e.dst() as usize].fetch_add(self.contrib[e.src() as usize], Ordering::Relaxed);
+        false
+    }
+}
+
+/// Push rule accumulating under striped per-vertex locks — the paper's
+/// lock-based synchronization ("40% of the algorithm execution time is
+/// spent in code protected by locks", §6.1.2).
+struct PrPushLocked<'a> {
+    contrib: &'a [f32],
+    acc: UnsyncSlice<'a, f32>,
+    locks: &'a StripedLocks,
+}
+
+impl<E: EdgeRecord> PushOp<E> for PrPushLocked<'_> {
+    const META_BYTES: u64 = PR_META_BYTES;
+
+    #[inline]
+    fn push(&self, e: &E) -> bool {
+        let dst = e.dst();
+        self.locks.with(dst, || {
+            // SAFETY: `acc[dst]` is only touched under `dst`'s stripe
+            // lock during the parallel step.
+            unsafe {
+                self.acc
+                    .update(dst as usize, |a| *a += self.contrib[e.src() as usize]);
+            }
+        });
+        false
+    }
+}
+
+/// Push rule with *plain* writes, for drivers that guarantee exclusive
+/// destination ownership (grid columns).
+struct PrPushExclusive<'a> {
+    contrib: &'a [f32],
+    acc: UnsyncSlice<'a, f32>,
+}
+
+impl<E: EdgeRecord> PushOp<E> for PrPushExclusive<'_> {
+    const META_BYTES: u64 = PR_META_BYTES;
+
+    #[inline]
+    fn push(&self, e: &E) -> bool {
+        // SAFETY: only used with `grid_push_columns`, which gives this
+        // worker exclusive ownership of every destination in its
+        // columns.
+        unsafe {
+            self.acc
+                .update(e.dst() as usize, |a| *a += self.contrib[e.src() as usize]);
+        }
+        false
+    }
+}
+
+/// Synchronization flavor of a push-mode PageRank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushSync {
+    /// Striped per-vertex locks (the paper's baseline).
+    Locks,
+    /// Atomic compare-and-swap accumulation (ablation).
+    Atomics,
+}
+
+/// Vertex-centric push PageRank over an out-adjacency (Fig. 8, "adj.
+/// push (locks)").
+pub fn push<E: EdgeRecord>(
+    out: &Adjacency<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    sync: PushSync,
+) -> PagerankResult {
+    push_probed(out, out_degrees, cfg, sync, &NullProbe)
+}
+
+/// [`push`] with cache instrumentation.
+pub fn push_probed<E: EdgeRecord, P: MemProbe>(
+    out: &Adjacency<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    sync: PushSync,
+    probe: &P,
+) -> PagerankResult {
+    let nv = out.num_vertices();
+    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
+    let all = VertexSubset::all(nv);
+    let mut executed = 0usize;
+    let (_, seconds) = timed(|| {
+        for _ in 0..cfg.iterations {
+            let contrib = contributions(&ranks, out_degrees);
+            let acc = run_push_step(
+                PushDriver::Vertex { out, all: &all },
+                &contrib,
+                nv,
+                sync,
+                probe,
+            );
+            let new_ranks = finalize(&acc, cfg.damping, nv);
+            executed += 1;
+            let stop = converged(&cfg, &ranks, &new_ranks);
+            ranks = new_ranks;
+            if stop {
+                break;
+            }
+        }
+    });
+    PagerankResult {
+        ranks,
+        iterations: executed,
+        seconds,
+    }
+}
+
+/// Edge-centric PageRank over the raw edge array (Fig. 3b).
+pub fn edge_centric<E: EdgeRecord>(
+    edges: &EdgeList<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    sync: PushSync,
+) -> PagerankResult {
+    edge_centric_probed(edges, out_degrees, cfg, sync, &NullProbe)
+}
+
+/// [`edge_centric`] with cache instrumentation.
+pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
+    edges: &EdgeList<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    sync: PushSync,
+    probe: &P,
+) -> PagerankResult {
+    let nv = edges.num_vertices();
+    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
+    let mut executed = 0usize;
+    let (_, seconds) = timed(|| {
+        for _ in 0..cfg.iterations {
+            let contrib = contributions(&ranks, out_degrees);
+            let acc = run_push_step(PushDriver::EdgeArray(edges), &contrib, nv, sync, probe);
+            let new_ranks = finalize(&acc, cfg.damping, nv);
+            executed += 1;
+            let stop = converged(&cfg, &ranks, &new_ranks);
+            ranks = new_ranks;
+            if stop {
+                break;
+            }
+        }
+    });
+    PagerankResult {
+        ranks,
+        iterations: executed,
+        seconds,
+    }
+}
+
+/// Grid-push PageRank. `locked = true` iterates cells in arbitrary
+/// parallel order with striped locks ("grid (locks)"); `locked = false`
+/// uses column ownership and plain writes ("grid (no lock)") — Fig. 8.
+pub fn grid_push<E: EdgeRecord>(
+    grid: &Grid<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    locked: bool,
+) -> PagerankResult {
+    grid_push_probed(grid, out_degrees, cfg, locked, &NullProbe)
+}
+
+/// [`grid_push`] with cache instrumentation.
+pub fn grid_push_probed<E: EdgeRecord, P: MemProbe>(
+    grid: &Grid<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    locked: bool,
+    probe: &P,
+) -> PagerankResult {
+    let nv = grid.num_vertices();
+    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
+    let mut executed = 0usize;
+    let (_, seconds) = timed(|| {
+        for _ in 0..cfg.iterations {
+            let contrib = contributions(&ranks, out_degrees);
+            let driver = if locked {
+                PushDriver::GridCells(grid)
+            } else {
+                PushDriver::GridColumns(grid)
+            };
+            let sync = if locked {
+                PushSync::Locks
+            } else {
+                PushSync::Atomics // ignored by GridColumns (exclusive writes)
+            };
+            let acc = run_push_step(driver, &contrib, nv, sync, probe);
+            let new_ranks = finalize(&acc, cfg.damping, nv);
+            executed += 1;
+            let stop = converged(&cfg, &ranks, &new_ranks);
+            ranks = new_ranks;
+            if stop {
+                break;
+            }
+        }
+    });
+    PagerankResult {
+        ranks,
+        iterations: executed,
+        seconds,
+    }
+}
+
+/// Grid-pull PageRank over a **transposed** grid: row ownership makes
+/// the receiving vertex exclusive, so no locks are needed.
+pub fn grid_pull<E: EdgeRecord>(
+    transposed: &Grid<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+) -> PagerankResult {
+    grid_pull_probed(transposed, out_degrees, cfg, &NullProbe)
+}
+
+/// [`grid_pull`] with cache instrumentation.
+pub fn grid_pull_probed<E: EdgeRecord, P: MemProbe>(
+    transposed: &Grid<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    probe: &P,
+) -> PagerankResult {
+    let nv = transposed.num_vertices();
+    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
+    let mut executed = 0usize;
+    let (_, seconds) = timed(|| {
+        for _ in 0..cfg.iterations {
+            let contrib = contributions(&ranks, out_degrees);
+            let mut acc = vec![0.0f32; nv];
+            {
+                struct PrGridPull<'a> {
+                    contrib: &'a [f32],
+                    acc: UnsyncSlice<'a, f32>,
+                }
+                impl<E: EdgeRecord> PullOp<E> for PrGridPull<'_> {
+                    const META_BYTES: u64 = PR_META_BYTES;
+
+                    #[inline]
+                    fn wants_pull(&self, _dst: VertexId) -> bool {
+                        true
+                    }
+
+                    #[inline]
+                    fn pull(&self, receiver: VertexId, e: &E) -> bool {
+                        // SAFETY: `grid_pull_rows` gives this worker
+                        // exclusive ownership of every receiver in its
+                        // rows (the grid is transposed, so receivers
+                        // group by row).
+                        unsafe {
+                            self.acc.update(receiver as usize, |a| {
+                                *a += self.contrib[e.dst() as usize]
+                            });
+                        }
+                        false
+                    }
+
+                    #[inline]
+                    fn activated(&self, _dst: VertexId) -> bool {
+                        false
+                    }
+                }
+                let op = PrGridPull {
+                    contrib: &contrib,
+                    acc: UnsyncSlice::new(&mut acc),
+                };
+                engine::grid_pull_rows(transposed, &op, probe, FrontierKind::Sparse);
+            }
+            let new_ranks = finalize(&acc, cfg.damping, nv);
+            executed += 1;
+            let stop = converged(&cfg, &ranks, &new_ranks);
+            ranks = new_ranks;
+            if stop {
+                break;
+            }
+        }
+    });
+    PagerankResult {
+        ranks,
+        iterations: executed,
+        seconds,
+    }
+}
+
+/// Which driver a push step runs on.
+enum PushDriver<'a, E: EdgeRecord> {
+    Vertex {
+        out: &'a Adjacency<E>,
+        all: &'a VertexSubset,
+    },
+    EdgeArray(&'a EdgeList<E>),
+    GridCells(&'a Grid<E>),
+    GridColumns(&'a Grid<E>),
+}
+
+/// Runs one accumulation step with the chosen driver/synchronization
+/// and returns the accumulator as plain floats.
+fn run_push_step<E: EdgeRecord, P: MemProbe>(
+    driver: PushDriver<'_, E>,
+    contrib: &[f32],
+    nv: usize,
+    sync: PushSync,
+    probe: &P,
+) -> Vec<f32> {
+    match (&driver, sync) {
+        (PushDriver::GridColumns(grid), _) => {
+            let mut acc = vec![0.0f32; nv];
+            {
+                let op = PrPushExclusive {
+                    contrib,
+                    acc: UnsyncSlice::new(&mut acc),
+                };
+                engine::grid_push_columns(*grid, &op, probe, FrontierKind::Sparse);
+            }
+            acc
+        }
+        (_, PushSync::Atomics) => {
+            let acc: Vec<AtomicF32> = (0..nv).map(|_| AtomicF32::new(0.0)).collect();
+            let op = PrPushAtomic {
+                contrib,
+                acc: &acc,
+            };
+            dispatch_push(driver, &op, probe);
+            acc.into_iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect()
+        }
+        (_, PushSync::Locks) => {
+            let locks = StripedLocks::default();
+            let mut acc = vec![0.0f32; nv];
+            {
+                let op = PrPushLocked {
+                    contrib,
+                    acc: UnsyncSlice::new(&mut acc),
+                    locks: &locks,
+                };
+                dispatch_push(driver, &op, probe);
+            }
+            acc
+        }
+    }
+}
+
+fn dispatch_push<E: EdgeRecord, O: PushOp<E>, P: MemProbe>(
+    driver: PushDriver<'_, E>,
+    op: &O,
+    probe: &P,
+) {
+    match driver {
+        PushDriver::Vertex { out, all } => {
+            engine::vertex_push(out, all, op, probe, FrontierKind::Sparse);
+        }
+        PushDriver::EdgeArray(edges) => {
+            engine::edge_push(edges.edges(), edges.num_vertices(), op, probe, FrontierKind::Sparse);
+        }
+        PushDriver::GridCells(grid) => {
+            engine::grid_push_cells(grid, op, probe, FrontierKind::Sparse);
+        }
+        PushDriver::GridColumns(grid) => {
+            engine::grid_push_columns(grid, op, probe, FrontierKind::Sparse);
+        }
+    }
+}
+
+/// Serial reference PageRank for validation.
+pub fn reference<E: EdgeRecord>(
+    edges: &EdgeList<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+) -> Vec<f32> {
+    let nv = edges.num_vertices();
+    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
+    for _ in 0..cfg.iterations {
+        let mut acc = vec![0.0f32; nv];
+        for e in edges.edges() {
+            let d = out_degrees[e.src() as usize];
+            if d > 0 {
+                acc[e.dst() as usize] += ranks[e.src() as usize] / d as f32;
+            }
+        }
+        let base = (1.0 - cfg.damping) / nv as f32;
+        for v in 0..nv {
+            ranks[v] = base + cfg.damping * acc[v];
+        }
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::EdgeDirection;
+    use crate::preprocess::{CsrBuilder, GridBuilder, Strategy};
+    use crate::types::Edge;
+
+    fn test_graph(nv: usize, ne: usize, seed: u64) -> EdgeList<Edge> {
+        let mut state = seed | 1;
+        let mut edges = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((state >> 33) % nv as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dst = ((state >> 33) % nv as u64) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        EdgeList::new(nv, edges).unwrap()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, name: &str) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert!(
+                (a[i] - b[i]).abs() <= tol * (a[i].abs() + b[i].abs() + 1e-6),
+                "{name}: rank[{i}] {} vs {}",
+                a[i],
+                b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let input = test_graph(300, 4000, 99);
+        let degrees: Vec<u32> = input.out_degrees().iter().map(|&d| d as u32).collect();
+        let cfg = PagerankConfig {
+            iterations: 5,
+            ..Default::default()
+        };
+        let expected = reference(&input, &degrees, cfg);
+
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build(&input);
+        let grid_n = GridBuilder::new(Strategy::RadixSort).side(4).build(&input);
+        let grid_t = GridBuilder::new(Strategy::RadixSort)
+            .side(4)
+            .transposed(true)
+            .build(&input);
+
+        let variants: Vec<(&str, PagerankResult)> = vec![
+            ("pull", pull(adj.incoming(), &degrees, cfg)),
+            ("push-locks", push(adj.out(), &degrees, cfg, PushSync::Locks)),
+            (
+                "push-atomics",
+                push(adj.out(), &degrees, cfg, PushSync::Atomics),
+            ),
+            (
+                "edge-atomics",
+                edge_centric(&input, &degrees, cfg, PushSync::Atomics),
+            ),
+            (
+                "edge-locks",
+                edge_centric(&input, &degrees, cfg, PushSync::Locks),
+            ),
+            ("grid-nolock", grid_push(&grid_n, &degrees, cfg, false)),
+            ("grid-locks", grid_push(&grid_n, &degrees, cfg, true)),
+            ("grid-pull", grid_pull(&grid_t, &degrees, cfg)),
+        ];
+        for (name, result) in variants {
+            assert_eq!(result.iterations, 5);
+            assert_close(&result.ranks, &expected, 1e-3, name);
+        }
+    }
+
+    #[test]
+    fn ranks_sum_to_at_most_one() {
+        // With dangling vertices, total rank leaks but never exceeds 1.
+        let input = test_graph(200, 1000, 5);
+        let degrees: Vec<u32> = input.out_degrees().iter().map(|&d| d as u32).collect();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::In).build(&input);
+        let result = pull(adj.incoming(), &degrees, PagerankConfig::default());
+        let total: f32 = result.ranks.iter().sum();
+        assert!(total <= 1.0 + 1e-3, "total = {total}");
+        assert!(total > 0.1);
+    }
+
+    #[test]
+    fn hub_ranks_highest() {
+        // A star graph: everyone points at vertex 0.
+        let edges: Vec<Edge> = (1..100).map(|v| Edge::new(v, 0)).collect();
+        let input = EdgeList::new(100, edges).unwrap();
+        let degrees: Vec<u32> = input.out_degrees().iter().map(|&d| d as u32).collect();
+        let adj = CsrBuilder::new(Strategy::CountSort, EdgeDirection::In).build(&input);
+        let result = pull(adj.incoming(), &degrees, PagerankConfig::default());
+        assert_eq!(result.top_k(1), vec![0]);
+        assert!(result.ranks[0] > 10.0 * result.ranks[1]);
+    }
+
+    #[test]
+    fn tolerance_stops_early_with_same_answer() {
+        let input = test_graph(200, 2000, 12);
+        let degrees: Vec<u32> = input.out_degrees().iter().map(|&d| d as u32).collect();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::In).build(&input);
+        let exact = pull(
+            adj.incoming(),
+            &degrees,
+            PagerankConfig {
+                iterations: 100,
+                ..Default::default()
+            },
+        );
+        let tol = pull(
+            adj.incoming(),
+            &degrees,
+            PagerankConfig {
+                iterations: 100,
+                tolerance: Some(1e-7),
+                ..Default::default()
+            },
+        );
+        assert!(
+            tol.iterations < exact.iterations,
+            "tolerance should stop early: {} vs {}",
+            tol.iterations,
+            exact.iterations
+        );
+        for v in 0..exact.ranks.len() {
+            assert!(
+                (tol.ranks[v] - exact.ranks[v]).abs() < 1e-4,
+                "rank[{v}] diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn result_reports_executed_iterations() {
+        let input = test_graph(50, 300, 4);
+        let degrees: Vec<u32> = input.out_degrees().iter().map(|&d| d as u32).collect();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::In).build(&input);
+        let cfg = PagerankConfig {
+            iterations: 7,
+            ..Default::default()
+        };
+        assert_eq!(pull(adj.incoming(), &degrees, cfg).iterations, 7);
+    }
+
+    #[test]
+    fn zero_iterations_keeps_uniform() {
+        let input = test_graph(50, 100, 3);
+        let degrees: Vec<u32> = input.out_degrees().iter().map(|&d| d as u32).collect();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::In).build(&input);
+        let cfg = PagerankConfig {
+            iterations: 0,
+            ..Default::default()
+        };
+        let result = pull(adj.incoming(), &degrees, cfg);
+        assert!(result.ranks.iter().all(|&r| (r - 0.02).abs() < 1e-6));
+    }
+}

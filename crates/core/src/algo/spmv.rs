@@ -1,0 +1,262 @@
+//! Sparse matrix–vector multiplication: `y = A·x` where `A` is the
+//! graph's (weighted) adjacency matrix.
+//!
+//! "SpMV is an algorithm that makes only a single pass over the graph.
+//! Here, edge-centric computation produces the best end-to-end result,
+//! since the cost of building adjacency lists for vertex-centric
+//! execution is not amortized by any gains in algorithm execution
+//! time." (§4.2)
+
+use std::sync::atomic::Ordering;
+
+use egraph_cachesim::{MemProbe, NullProbe};
+use egraph_parallel::atomicf::AtomicF32;
+
+use crate::engine::{self, PullOp, PushOp};
+use crate::frontier::{FrontierKind, VertexSubset};
+use crate::layout::Adjacency;
+use crate::metrics::timed;
+use crate::types::{EdgeList, EdgeRecord, VertexId};
+use crate::util::UnsyncSlice;
+
+/// The result of an SpMV run.
+#[derive(Debug, Clone)]
+pub struct SpmvResult {
+    /// The output vector `y`.
+    pub y: Vec<f32>,
+    /// Wall-clock seconds of the single pass.
+    pub seconds: f64,
+}
+
+struct SpmvPushOp<'a> {
+    x: &'a [f32],
+    y: &'a [AtomicF32],
+}
+
+impl<E: EdgeRecord> PushOp<E> for SpmvPushOp<'_> {
+    const META_BYTES: u64 = 4;
+
+    #[inline]
+    fn push(&self, e: &E) -> bool {
+        self.y[e.dst() as usize]
+            .fetch_add(e.weight() * self.x[e.src() as usize], Ordering::Relaxed);
+        false
+    }
+}
+
+/// Edge-centric SpMV: one streaming pass over the edge array, atomic
+/// accumulation into `y`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != edges.num_vertices()`.
+pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, x: &[f32]) -> SpmvResult {
+    edge_centric_probed(edges, x, &NullProbe)
+}
+
+/// [`edge_centric`] with cache instrumentation.
+pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
+    edges: &EdgeList<E>,
+    x: &[f32],
+    probe: &P,
+) -> SpmvResult {
+    let nv = edges.num_vertices();
+    assert_eq!(x.len(), nv, "input vector length");
+    let y: Vec<AtomicF32> = (0..nv).map(|_| AtomicF32::new(0.0)).collect();
+    let op = SpmvPushOp { x, y: &y };
+    let (_, seconds) = timed(|| {
+        engine::edge_push(edges.edges(), nv, &op, probe, FrontierKind::Sparse);
+    });
+    SpmvResult {
+        y: y.into_iter().map(|v| v.load(Ordering::Relaxed)).collect(),
+        seconds,
+    }
+}
+
+/// Vertex-centric push SpMV over an out-adjacency (the "adj" bar of
+/// Fig. 3c — its pre-processing is what never pays off).
+pub fn push<E: EdgeRecord>(out: &Adjacency<E>, x: &[f32]) -> SpmvResult {
+    push_probed(out, x, &NullProbe)
+}
+
+/// [`push`] with cache instrumentation.
+pub fn push_probed<E: EdgeRecord, P: MemProbe>(
+    out: &Adjacency<E>,
+    x: &[f32],
+    probe: &P,
+) -> SpmvResult {
+    let nv = out.num_vertices();
+    assert_eq!(x.len(), nv, "input vector length");
+    let y: Vec<AtomicF32> = (0..nv).map(|_| AtomicF32::new(0.0)).collect();
+    let op = SpmvPushOp { x, y: &y };
+    let all = VertexSubset::all(nv);
+    let (_, seconds) = timed(|| {
+        engine::vertex_push(out, &all, &op, probe, FrontierKind::Sparse);
+    });
+    SpmvResult {
+        y: y.into_iter().map(|v| v.load(Ordering::Relaxed)).collect(),
+        seconds,
+    }
+}
+
+/// Vertex-centric pull SpMV over an in-adjacency: each output element
+/// is summed by its own vertex — no synchronization at all.
+pub fn pull<E: EdgeRecord>(incoming: &Adjacency<E>, x: &[f32]) -> SpmvResult {
+    let nv = incoming.num_vertices();
+    assert_eq!(x.len(), nv, "input vector length");
+    let mut y = vec![0.0f32; nv];
+    let (_, seconds) = timed(|| {
+        struct SpmvPull<'a> {
+            x: &'a [f32],
+            y: UnsyncSlice<'a, f32>,
+        }
+        impl<E: EdgeRecord> PullOp<E> for SpmvPull<'_> {
+            const META_BYTES: u64 = 4;
+
+            #[inline]
+            fn wants_pull(&self, _dst: VertexId) -> bool {
+                true
+            }
+
+            #[inline]
+            fn pull(&self, dst: VertexId, e: &E) -> bool {
+                // SAFETY: `vertex_pull` gives `dst` a single writer.
+                unsafe {
+                    self.y
+                        .update(dst as usize, |a| *a += e.weight() * self.x[e.src() as usize]);
+                }
+                false
+            }
+
+            #[inline]
+            fn activated(&self, _dst: VertexId) -> bool {
+                false
+            }
+        }
+        let op = SpmvPull {
+            x,
+            y: UnsyncSlice::new(&mut y),
+        };
+        engine::vertex_pull(incoming, &op, &NullProbe, FrontierKind::Sparse);
+    });
+    SpmvResult { y, seconds }
+}
+
+/// Grid SpMV: column-exclusive push with plain writes (no locks, no
+/// atomics) — the grid's structural synchronization applied to the
+/// single-pass kernel.
+pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>, x: &[f32]) -> SpmvResult {
+    let nv = grid.num_vertices();
+    assert_eq!(x.len(), nv, "input vector length");
+    let mut y = vec![0.0f32; nv];
+    let (_, seconds) = timed(|| {
+        struct GridOp<'a> {
+            x: &'a [f32],
+            y: UnsyncSlice<'a, f32>,
+        }
+        impl<E: EdgeRecord> PushOp<E> for GridOp<'_> {
+            const META_BYTES: u64 = 4;
+
+            #[inline]
+            fn push(&self, e: &E) -> bool {
+                // SAFETY: `grid_push_columns` gives this worker
+                // exclusive ownership of every destination in its
+                // columns.
+                unsafe {
+                    self.y.update(e.dst() as usize, |a| {
+                        *a += e.weight() * self.x[e.src() as usize]
+                    });
+                }
+                false
+            }
+        }
+        let op = GridOp {
+            x,
+            y: UnsyncSlice::new(&mut y),
+        };
+        engine::grid_push_columns(grid, &op, &NullProbe, FrontierKind::Sparse);
+    });
+    SpmvResult { y, seconds }
+}
+
+/// Serial reference SpMV.
+pub fn reference<E: EdgeRecord>(edges: &EdgeList<E>, x: &[f32]) -> Vec<f32> {
+    let mut y = vec![0.0f32; edges.num_vertices()];
+    for e in edges.edges() {
+        y[e.dst() as usize] += e.weight() * x[e.src() as usize];
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::EdgeDirection;
+    use crate::preprocess::{CsrBuilder, Strategy};
+    use crate::types::WEdge;
+
+    fn test_matrix(nv: usize, ne: usize, seed: u64) -> EdgeList<WEdge> {
+        let mut state = seed | 1;
+        let mut edges = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((state >> 33) % nv as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dst = ((state >> 33) % nv as u64) as u32;
+            edges.push(WEdge::new(src, dst, ((state >> 20) % 16) as f32 / 4.0));
+        }
+        EdgeList::new(nv, edges).unwrap()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        for i in 0..a.len() {
+            assert!(
+                (a[i] - b[i]).abs() < 1e-2 * (1.0 + a[i].abs()),
+                "y[{i}]: {} vs {}",
+                a[i],
+                b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let input = test_matrix(300, 3000, 55);
+        let x: Vec<f32> = (0..300).map(|i| (i % 10) as f32 / 3.0).collect();
+        let expected = reference(&input, &x);
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build(&input);
+        let g = crate::preprocess::GridBuilder::new(Strategy::RadixSort)
+            .side(4)
+            .build(&input);
+        assert_close(&edge_centric(&input, &x).y, &expected);
+        assert_close(&push(adj.out(), &x).y, &expected);
+        assert_close(&pull(adj.incoming(), &x).y, &expected);
+        assert_close(&grid(&g, &x).y, &expected);
+    }
+
+    #[test]
+    fn identity_like_matrix() {
+        // Each vertex points at itself with weight 2 => y = 2x.
+        let edges: Vec<WEdge> = (0..10u32).map(|v| WEdge::new(v, v, 2.0)).collect();
+        let input = EdgeList::new(10, edges).unwrap();
+        let x: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let y = edge_centric(&input, &x).y;
+        for i in 0..10 {
+            assert_eq!(y[i], 2.0 * i as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input vector length")]
+    fn rejects_wrong_vector_size() {
+        let input = test_matrix(10, 20, 9);
+        let _ = edge_centric(&input, &[1.0]);
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero() {
+        let input: EdgeList<WEdge> = EdgeList::new(4, vec![]).unwrap();
+        let y = edge_centric(&input, &[1.0; 4]).y;
+        assert_eq!(y, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,503 @@
+//! Weakly connected components via label propagation.
+//!
+//! WCC runs on the undirected view of the graph. The paper's §8
+//! observation: adjacency lists must be built from a doubled
+//! (undirected) edge list — extra pre-processing — while the
+//! edge-centric kernel simply propagates labels in both directions of
+//! each stored edge at no pre-processing cost. Which side wins depends
+//! on the diameter: low-diameter graphs converge in few iterations
+//! (edge array wins), high-diameter graphs need many (adjacency list
+//! wins).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use egraph_cachesim::{MemProbe, NullProbe};
+
+use crate::engine::{self, PullOp, PushOp};
+use crate::frontier::{FrontierKind, VertexSubset};
+use crate::types::VertexId;
+use crate::util::AtomicBitmap;
+use crate::layout::AdjacencyList;
+use crate::metrics::{timed, IterStat, StepMode};
+use crate::types::{EdgeList, EdgeRecord};
+
+/// The result of a WCC run.
+#[derive(Debug, Clone)]
+pub struct WccResult {
+    /// Component label per vertex (the minimum vertex id in the
+    /// component).
+    pub label: Vec<u32>,
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterStat>,
+}
+
+impl WccResult {
+    /// Number of distinct components.
+    pub fn component_count(&self) -> usize {
+        let mut labels: Vec<u32> = self.label.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Total algorithm seconds.
+    pub fn algorithm_seconds(&self) -> f64 {
+        self.iterations.iter().map(|s| s.seconds).sum()
+    }
+}
+
+struct WccPushOp<'a> {
+    label: &'a [AtomicU32],
+}
+
+impl<E: EdgeRecord> PushOp<E> for WccPushOp<'_> {
+    const META_BYTES: u64 = 4;
+
+    #[inline]
+    fn push(&self, e: &E) -> bool {
+        let l = self.label[e.src() as usize].load(Ordering::Relaxed);
+        // `fetch_min` returns the previous value; the label moved (and
+        // the destination re-activates) iff the previous value was
+        // larger.
+        self.label[e.dst() as usize].fetch_min(l, Ordering::Relaxed) > l
+    }
+}
+
+/// Vertex-centric push WCC over an **undirected** adjacency list
+/// (build it from [`EdgeList::to_undirected`], which is what doubles
+/// the pre-processing cost).
+pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
+    push_probed(adj, &NullProbe)
+}
+
+/// [`push`] with cache instrumentation.
+pub fn push_probed<E: EdgeRecord, P: MemProbe>(adj: &AdjacencyList<E>, probe: &P) -> WccResult {
+    let out = adj.out();
+    let nv = out.num_vertices();
+    let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
+    let op = WccPushOp { label: &label };
+    let mut frontier = VertexSubset::all(nv);
+    let mut iterations = Vec::new();
+    while !frontier.is_empty() {
+        let frontier_size = frontier.len();
+        let (next, seconds) =
+            timed(|| engine::vertex_push(out, &frontier, &op, probe, FrontierKind::Dense));
+        iterations.push(IterStat {
+            frontier_size,
+            edges_scanned: 0,
+            seconds,
+            mode: StepMode::Push,
+        });
+        frontier = next;
+    }
+    WccResult {
+        label: label.into_iter().map(AtomicU32::into_inner).collect(),
+        iterations,
+    }
+}
+
+/// Edge-centric WCC over the raw (directed) edge array: each stored
+/// edge propagates the smaller label to the other endpoint, so no
+/// undirected copy — and no pre-processing at all — is needed.
+pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>) -> WccResult {
+    let nv = edges.num_vertices();
+    let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
+    let mut iterations = Vec::new();
+    loop {
+        let changed = AtomicBool::new(false);
+        let (_, seconds) = timed(|| {
+            egraph_parallel::parallel_for(
+                0..edges.num_edges(),
+                egraph_parallel::DEFAULT_GRAIN,
+                |r| {
+                    let mut any = false;
+                    for e in &edges.edges()[r] {
+                        let (s, d) = (e.src() as usize, e.dst() as usize);
+                        let ls = label[s].load(Ordering::Relaxed);
+                        let ld = label[d].load(Ordering::Relaxed);
+                        if ls < ld {
+                            any |= label[d].fetch_min(ls, Ordering::Relaxed) > ls;
+                        } else if ld < ls {
+                            any |= label[s].fetch_min(ld, Ordering::Relaxed) > ld;
+                        }
+                    }
+                    if any {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                },
+            );
+        });
+        iterations.push(IterStat {
+            frontier_size: nv,
+            edges_scanned: edges.num_edges(),
+            seconds,
+            mode: StepMode::Push,
+        });
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    WccResult {
+        label: label.into_iter().map(AtomicU32::into_inner).collect(),
+        iterations,
+    }
+}
+
+/// Pull rule for label propagation: a vertex folds the minimum of its
+/// neighbors' labels into its own slot — single writer per vertex, no
+/// synchronization beyond atomic loads/stores. Labels only decrease,
+/// so racing with a neighbor's concurrent update can only read an
+/// *earlier or newer-but-smaller* value; both preserve convergence.
+struct WccPullOp<'a> {
+    label: &'a [AtomicU32],
+    activated: &'a AtomicBitmap,
+    in_frontier: &'a AtomicBitmap,
+}
+
+impl<E: EdgeRecord> PullOp<E> for WccPullOp<'_> {
+    const META_BYTES: u64 = 4;
+
+    #[inline]
+    fn wants_pull(&self, _dst: VertexId) -> bool {
+        true
+    }
+
+    #[inline]
+    fn pull(&self, dst: VertexId, e: &E) -> bool {
+        // Works over an in-adjacency (neighbor = src) or, for
+        // undirected graphs, an out-adjacency (neighbor = dst).
+        let u = if e.src() == dst { e.dst() } else { e.src() };
+        // Only labels that moved last round can lower ours.
+        if !self.in_frontier.get(u as usize) {
+            return false;
+        }
+        let lu = self.label[u as usize].load(Ordering::Relaxed);
+        if lu < self.label[dst as usize].load(Ordering::Relaxed) {
+            self.label[dst as usize].store(lu, Ordering::Relaxed);
+            self.activated.set(dst as usize);
+        }
+        false
+    }
+
+    #[inline]
+    fn activated(&self, dst: VertexId) -> bool {
+        self.activated.get(dst as usize)
+    }
+}
+
+/// Vertex-centric pull WCC over an **undirected** adjacency list: no
+/// locks, no CAS — each vertex writes only itself (§6.1.2 applied to
+/// label propagation).
+pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
+    let incoming = adj.incoming_opt().unwrap_or_else(|| adj.out());
+    let nv = incoming.num_vertices();
+    let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
+    let mut frontier = VertexSubset::all(nv);
+    let mut iterations = Vec::new();
+    while !frontier.is_empty() {
+        let frontier_size = frontier.len();
+        let dense = frontier.into_dense(nv);
+        let in_frontier = match &dense {
+            VertexSubset::Dense { bitmap, .. } => bitmap,
+            VertexSubset::Sparse(_) => unreachable!("converted above"),
+        };
+        let activated = AtomicBitmap::new(nv);
+        let op = WccPullOp {
+            label: &label,
+            activated: &activated,
+            in_frontier,
+        };
+        let (next, seconds) =
+            timed(|| engine::vertex_pull(incoming, &op, &NullProbe, FrontierKind::Dense));
+        iterations.push(IterStat {
+            frontier_size,
+            edges_scanned: incoming.num_edges(),
+            seconds,
+            mode: StepMode::Pull,
+        });
+        frontier = next;
+    }
+    WccResult {
+        label: label.into_iter().map(AtomicU32::into_inner).collect(),
+        iterations,
+    }
+}
+
+/// Direction-optimizing WCC: push rounds while the active set is
+/// small, pull rounds while it is large (the Ligra recipe applied to
+/// label propagation). Requires an undirected adjacency list.
+pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
+    let out = adj.out();
+    let nv = out.num_vertices();
+    let edge_threshold = (out.num_edges() / 20).max(1);
+    let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
+    let mut frontier = VertexSubset::all(nv);
+    let mut iterations = Vec::new();
+    while !frontier.is_empty() {
+        let frontier_size = frontier.len();
+        let frontier_edges = frontier.out_edge_count(|v| out.degree(v));
+        if frontier_edges + frontier_size > edge_threshold {
+            // Pull round.
+            let dense = frontier.into_dense(nv);
+            let in_frontier = match &dense {
+                VertexSubset::Dense { bitmap, .. } => bitmap,
+                VertexSubset::Sparse(_) => unreachable!(),
+            };
+            let activated = AtomicBitmap::new(nv);
+            let op = WccPullOp {
+                label: &label,
+                activated: &activated,
+                in_frontier,
+            };
+            let (next, seconds) =
+                timed(|| engine::vertex_pull(out, &op, &NullProbe, FrontierKind::Dense));
+            iterations.push(IterStat {
+                frontier_size,
+                edges_scanned: out.num_edges(),
+                seconds,
+                mode: StepMode::Pull,
+            });
+            frontier = next;
+        } else {
+            let op = WccPushOp { label: &label };
+            let (next, seconds) =
+                timed(|| engine::vertex_push(out, &frontier, &op, &NullProbe, FrontierKind::Dense));
+            iterations.push(IterStat {
+                frontier_size,
+                edges_scanned: frontier_edges,
+                seconds,
+                mode: StepMode::Push,
+            });
+            frontier = next;
+        }
+    }
+    WccResult {
+        label: label.into_iter().map(AtomicU32::into_inner).collect(),
+        iterations,
+    }
+}
+
+/// Grid WCC: like [`edge_centric`] but iterating cells in grid order,
+/// so the labels of a cell's two vertex ranges stay cache-resident —
+/// the §5 locality argument applied to label propagation.
+pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>) -> WccResult {
+    let nv = grid.num_vertices();
+    let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
+    let side = grid.side();
+    let mut iterations = Vec::new();
+    loop {
+        let changed = AtomicBool::new(false);
+        let (_, seconds) = timed(|| {
+            egraph_parallel::parallel_for(0..side * side, 1, |cells| {
+                let mut any = false;
+                for cell_id in cells {
+                    let (row, col) = (cell_id / side, cell_id % side);
+                    for e in grid.cell(row, col) {
+                        let (s, d) = (e.src() as usize, e.dst() as usize);
+                        let ls = label[s].load(Ordering::Relaxed);
+                        let ld = label[d].load(Ordering::Relaxed);
+                        if ls < ld {
+                            any |= label[d].fetch_min(ls, Ordering::Relaxed) > ls;
+                        } else if ld < ls {
+                            any |= label[s].fetch_min(ld, Ordering::Relaxed) > ld;
+                        }
+                    }
+                }
+                if any {
+                    changed.store(true, Ordering::Relaxed);
+                }
+            });
+        });
+        iterations.push(IterStat {
+            frontier_size: nv,
+            edges_scanned: grid.num_edges(),
+            seconds,
+            mode: StepMode::Push,
+        });
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    WccResult {
+        label: label.into_iter().map(AtomicU32::into_inner).collect(),
+        iterations,
+    }
+}
+
+/// Serial union-find reference for validation.
+pub fn reference<E: EdgeRecord>(edges: &EdgeList<E>) -> Vec<u32> {
+    let nv = edges.num_vertices();
+    let mut parent: Vec<u32> = (0..nv as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for e in edges.edges() {
+        let a = find(&mut parent, e.src());
+        let b = find(&mut parent, e.dst());
+        if a != b {
+            parent[a.max(b) as usize] = a.min(b);
+        }
+    }
+    // Normalize every vertex to its component's minimum id.
+    let mut label = vec![0u32; nv];
+    for v in 0..nv as u32 {
+        label[v as usize] = find(&mut parent, v);
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::EdgeDirection;
+    use crate::preprocess::{CsrBuilder, Strategy};
+    use crate::types::Edge;
+
+    fn components_graph() -> EdgeList<Edge> {
+        // Component {0,1,2,3}, component {4,5}, isolated {6}.
+        EdgeList::new(
+            7,
+            vec![
+                Edge::new(1, 0),
+                Edge::new(2, 1),
+                Edge::new(3, 2),
+                Edge::new(5, 4),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reference_labels() {
+        let labels = reference(&components_graph());
+        assert_eq!(labels, vec![0, 0, 0, 0, 4, 4, 6]);
+    }
+
+    #[test]
+    fn push_matches_reference() {
+        let input = components_graph();
+        let undirected = input.to_undirected();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&undirected);
+        let result = push(&adj);
+        assert_eq!(result.label, reference(&input));
+        assert_eq!(result.component_count(), 3);
+    }
+
+    #[test]
+    fn edge_centric_matches_reference() {
+        let input = components_graph();
+        let result = edge_centric(&input);
+        assert_eq!(result.label, reference(&input));
+    }
+
+    #[test]
+    fn random_graph_agreement() {
+        let nv = 600usize;
+        let mut state = 21u64;
+        let mut edges = Vec::new();
+        for _ in 0..900 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((state >> 33) % nv as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dst = ((state >> 33) % nv as u64) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        let input = EdgeList::new(nv, edges).unwrap();
+        let expected = reference(&input);
+        let undirected = input.to_undirected();
+        let adj = CsrBuilder::new(Strategy::CountSort, EdgeDirection::Out).build(&undirected);
+        assert_eq!(push(&adj).label, expected);
+        assert_eq!(edge_centric(&input).label, expected);
+    }
+
+    #[test]
+    fn pull_matches_reference() {
+        let input = components_graph();
+        let undirected = input.to_undirected();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&undirected);
+        let result = pull(&adj);
+        assert_eq!(result.label, reference(&input));
+        assert!(result.iterations.iter().all(|s| s.mode == StepMode::Pull));
+    }
+
+    #[test]
+    fn push_pull_matches_reference_random() {
+        let nv = 500usize;
+        let mut state = 31u64;
+        let mut edges = Vec::new();
+        for _ in 0..1200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((state >> 33) % nv as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dst = ((state >> 33) % nv as u64) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        let input = EdgeList::new(nv, edges).unwrap();
+        let expected = reference(&input);
+        let undirected = input.to_undirected();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&undirected);
+        assert_eq!(pull(&adj).label, expected, "pull");
+        let pp = push_pull(&adj);
+        assert_eq!(pp.label, expected, "push-pull");
+        // A dense random graph starts with a full frontier: the first
+        // round must be a pull.
+        assert_eq!(pp.iterations[0].mode, StepMode::Pull);
+    }
+
+    #[test]
+    fn grid_matches_reference() {
+        use crate::preprocess::GridBuilder;
+        let input = components_graph();
+        let g = GridBuilder::new(Strategy::RadixSort).side(2).build(&input);
+        assert_eq!(grid(&g).label, reference(&input));
+    }
+
+    #[test]
+    fn grid_matches_reference_random() {
+        use crate::preprocess::GridBuilder;
+        let nv = 400usize;
+        let mut state = 77u64;
+        let mut edges = Vec::new();
+        for _ in 0..700 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((state >> 33) % nv as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dst = ((state >> 33) % nv as u64) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        let input = EdgeList::new(nv, edges).unwrap();
+        let g = GridBuilder::new(Strategy::CountSort).side(8).build(&input);
+        assert_eq!(grid(&g).label, reference(&input));
+    }
+
+    #[test]
+    fn empty_graph_has_all_singletons() {
+        let input: EdgeList<Edge> = EdgeList::new(5, vec![]).unwrap();
+        let result = edge_centric(&input);
+        assert_eq!(result.component_count(), 5);
+    }
+
+    #[test]
+    fn chain_needs_many_iterations_edge_centric() {
+        // A long path whose edges are stored *against* the scan order,
+        // so the minimum label travels roughly one hop per pass — the
+        // high-diameter behaviour that §8 says favours adjacency lists.
+        let n = 64u32;
+        let edges: Vec<Edge> = (0..n - 1).rev().map(|v| Edge::new(v, v + 1)).collect();
+        let input = EdgeList::new(n as usize, edges).unwrap();
+        let result = edge_centric(&input);
+        assert_eq!(result.component_count(), 1);
+        assert!(result.label.iter().all(|&l| l == 0));
+        assert!(result.iterations.len() > 5, "{} iterations", result.iterations.len());
+    }
+}

@@ -1,0 +1,382 @@
+//! The execution engine: iteration models × information flow.
+//!
+//! The paper structures algorithm execution along two dimensions (§1):
+//! *how the graph is iterated* — vertex-centric over adjacency lists,
+//! edge-centric over edge arrays, or cell-centric over grids — and *how
+//! information flows* — **push** (an active vertex writes its
+//! out-neighbors) or **pull** (a vertex reads its in-neighbors and
+//! updates itself). This module provides one driver per combination;
+//! algorithms supply the per-edge semantics through the [`PushOp`] /
+//! [`PullOp`] traits and own their vertex state (atomics, locked
+//! arrays, or exclusive writes, depending on the synchronization
+//! strategy being measured).
+//!
+//! Every driver takes a [`MemProbe`] so the same code path can run
+//! under the LLC simulator; the [`NullProbe`](egraph_cachesim::NullProbe) specialization compiles
+//! the instrumentation away.
+
+use egraph_cachesim::probe::regions;
+use egraph_cachesim::MemProbe;
+
+use crate::frontier::{FrontierKind, NextFrontier, VertexSubset};
+use crate::layout::{Adjacency, Grid};
+use crate::types::{EdgeRecord, VertexId};
+
+/// Per-edge semantics of a push-mode step.
+///
+/// `push` is called once per edge whose source is active; it updates
+/// the destination's state (with whatever synchronization the
+/// implementation chose) and reports whether the destination was
+/// *newly* activated, in which case the engine adds it to the next
+/// frontier.
+pub trait PushOp<E: EdgeRecord>: Sync {
+    /// Bytes of per-vertex metadata this algorithm touches per access —
+    /// the stride used for simulated cache addresses (e.g. 1 byte for
+    /// BFS's visited map, 12 bytes for PageRank's rank/degree records).
+    const META_BYTES: u64 = 8;
+
+    /// Processes one edge; returns `true` if the destination became
+    /// active for the next step.
+    fn push(&self, e: &E) -> bool;
+
+    /// Whether `src` is active (used by edge-centric and grid drivers,
+    /// which scan edges regardless of activity). Defaults to `true`
+    /// (all-active algorithms such as PageRank and SpMV).
+    #[inline]
+    fn source_active(&self, _src: VertexId) -> bool {
+        true
+    }
+}
+
+/// Per-edge semantics of a pull-mode step.
+pub trait PullOp<E: EdgeRecord>: Sync {
+    /// See [`PushOp::META_BYTES`].
+    const META_BYTES: u64 = 8;
+
+    /// Whether `dst` should scan its in-edges this step (e.g. BFS skips
+    /// already-discovered vertices).
+    fn wants_pull(&self, dst: VertexId) -> bool;
+
+    /// Processes one in-edge of `dst` (`e.src()` is the providing
+    /// neighbor). Returns `true` to stop scanning the remaining
+    /// in-edges — the mid-iteration early termination that only pull
+    /// mode allows (§6.1.1).
+    fn pull(&self, dst: VertexId, e: &E) -> bool;
+
+    /// After the scan: did `dst` activate for the next step?
+    fn activated(&self, dst: VertexId) -> bool;
+}
+
+#[inline]
+fn touch_edge<P: MemProbe>(probe: &P, addr: u64) {
+    probe.touch(egraph_cachesim::AccessKind::Edge, addr);
+}
+
+#[inline]
+fn touch_src<P: MemProbe>(probe: &P, v: VertexId, stride: u64) {
+    probe.touch(
+        egraph_cachesim::AccessKind::SrcMeta,
+        regions::SRC_META + v as u64 * stride,
+    );
+}
+
+#[inline]
+fn touch_dst<P: MemProbe>(probe: &P, v: VertexId, stride: u64) {
+    probe.touch(
+        egraph_cachesim::AccessKind::DstMeta,
+        regions::DST_META + v as u64 * stride,
+    );
+}
+
+/// Vertex-centric push over an out-adjacency: processes the out-edges
+/// of every frontier vertex and returns the next frontier.
+pub fn vertex_push<E, O, P>(
+    out: &Adjacency<E>,
+    frontier: &VertexSubset,
+    op: &O,
+    probe: &P,
+    next_kind: FrontierKind,
+) -> VertexSubset
+where
+    E: EdgeRecord,
+    O: PushOp<E>,
+    P: MemProbe,
+{
+    let next = NextFrontier::new(next_kind, out.num_vertices());
+    let process = |v: VertexId, local: &mut Vec<VertexId>| {
+        let neighbors = out.neighbors(v);
+        for (k, e) in neighbors.iter().enumerate() {
+            if probe.enabled() {
+                touch_edge(probe, out.edge_sim_addr(v, k));
+                touch_src(probe, v, O::META_BYTES);
+                touch_dst(probe, e.dst(), O::META_BYTES);
+            }
+            if op.push(e) {
+                local.push(e.dst());
+            }
+        }
+    };
+    match frontier {
+        VertexSubset::Sparse(list) => {
+            egraph_parallel::parallel_for(0..list.len(), 64, |r| {
+                let mut local = Vec::new();
+                for i in r {
+                    process(list[i], &mut local);
+                }
+                if !local.is_empty() {
+                    next.extend(&local);
+                }
+            });
+        }
+        VertexSubset::Dense { bitmap, .. } => {
+            egraph_parallel::parallel_for(0..out.num_vertices(), 1024, |r| {
+                let mut local = Vec::new();
+                for v in r {
+                    if bitmap.get(v) {
+                        process(v as VertexId, &mut local);
+                    }
+                }
+                if !local.is_empty() {
+                    next.extend(&local);
+                }
+            });
+        }
+    }
+    next.finish()
+}
+
+/// Edge-centric push: streams the entire edge array, applying `op` to
+/// every edge whose source is active. "At every iteration of the
+/// computation the whole edge array is scanned" (§4.1).
+pub fn edge_push<E, O, P>(
+    edges: &[E],
+    num_vertices: usize,
+    op: &O,
+    probe: &P,
+    next_kind: FrontierKind,
+) -> VertexSubset
+where
+    E: EdgeRecord,
+    O: PushOp<E>,
+    P: MemProbe,
+{
+    let next = NextFrontier::new(next_kind, num_vertices);
+    let esize = std::mem::size_of::<E>() as u64;
+    egraph_parallel::parallel_for(0..edges.len(), egraph_parallel::DEFAULT_GRAIN, |r| {
+        let mut local = Vec::new();
+        for i in r {
+            let e = &edges[i];
+            if probe.enabled() {
+                touch_edge(probe, regions::EDGES + i as u64 * esize);
+                touch_src(probe, e.src(), O::META_BYTES);
+            }
+            if op.source_active(e.src()) {
+                if probe.enabled() {
+                    touch_dst(probe, e.dst(), O::META_BYTES);
+                }
+                if op.push(e) {
+                    local.push(e.dst());
+                }
+            }
+        }
+        if !local.is_empty() {
+            next.extend(&local);
+        }
+    });
+    next.finish()
+}
+
+/// Vertex-centric pull over an in-adjacency: every vertex that
+/// `wants_pull` scans its in-edges (with early termination) and updates
+/// only its own state — no synchronization required (§6.1.2).
+pub fn vertex_pull<E, O, P>(
+    incoming: &Adjacency<E>,
+    op: &O,
+    probe: &P,
+    next_kind: FrontierKind,
+) -> VertexSubset
+where
+    E: EdgeRecord,
+    O: PullOp<E>,
+    P: MemProbe,
+{
+    let nv = incoming.num_vertices();
+    let next = NextFrontier::new(next_kind, nv);
+    egraph_parallel::parallel_for(0..nv, 1024, |r| {
+        let mut local = Vec::new();
+        for v in r {
+            let v = v as VertexId;
+            // The pass over all vertices to check activity is the
+            // inherent pull overhead the paper describes.
+            if probe.enabled() {
+                touch_dst(probe, v, O::META_BYTES);
+            }
+            if !op.wants_pull(v) {
+                continue;
+            }
+            for (k, e) in incoming.neighbors(v).iter().enumerate() {
+                if probe.enabled() {
+                    touch_edge(probe, incoming.edge_sim_addr(v, k));
+                    touch_src(probe, e.src(), O::META_BYTES);
+                }
+                if op.pull(v, e) {
+                    break;
+                }
+            }
+            if op.activated(v) {
+                local.push(v);
+            }
+        }
+        if !local.is_empty() {
+            next.extend(&local);
+        }
+    });
+    next.finish()
+}
+
+/// Grid push with **column ownership**: each worker owns whole columns,
+/// so all writes to a destination range come from one worker and need
+/// no locks (§6.1.2). `op.push` may therefore use plain writes.
+pub fn grid_push_columns<E, O, P>(
+    grid: &Grid<E>,
+    op: &O,
+    probe: &P,
+    next_kind: FrontierKind,
+) -> VertexSubset
+where
+    E: EdgeRecord,
+    O: PushOp<E>,
+    P: MemProbe,
+{
+    let next = NextFrontier::new(next_kind, grid.num_vertices());
+    let side = grid.side();
+    let esize = std::mem::size_of::<E>() as u64;
+    egraph_parallel::parallel_for(0..side, 1, |cols| {
+        let mut local = Vec::new();
+        for col in cols {
+            for row in 0..side {
+                let base = grid.cell_base_index(row, col);
+                for (k, e) in grid.cell(row, col).iter().enumerate() {
+                    if probe.enabled() {
+                        touch_edge(probe, regions::EDGES + (base + k as u64) * esize);
+                        touch_src(probe, e.src(), O::META_BYTES);
+                    }
+                    if op.source_active(e.src()) {
+                        if probe.enabled() {
+                            touch_dst(probe, e.dst(), O::META_BYTES);
+                        }
+                        if op.push(e) {
+                            local.push(e.dst());
+                        }
+                    }
+                }
+            }
+        }
+        if !local.is_empty() {
+            next.extend(&local);
+        }
+    });
+    next.finish()
+}
+
+/// Grid push over individual cells, in arbitrary parallel order: the
+/// "grid (locks)" configuration of Fig. 8 — `op.push` must synchronize
+/// its destination updates.
+pub fn grid_push_cells<E, O, P>(
+    grid: &Grid<E>,
+    op: &O,
+    probe: &P,
+    next_kind: FrontierKind,
+) -> VertexSubset
+where
+    E: EdgeRecord,
+    O: PushOp<E>,
+    P: MemProbe,
+{
+    let next = NextFrontier::new(next_kind, grid.num_vertices());
+    let side = grid.side();
+    let esize = std::mem::size_of::<E>() as u64;
+    egraph_parallel::parallel_for(0..side * side, 1, |cells| {
+        let mut local = Vec::new();
+        for cell_id in cells {
+            let (row, col) = (cell_id / side, cell_id % side);
+            let base = grid.cell_base_index(row, col);
+            for (k, e) in grid.cell(row, col).iter().enumerate() {
+                if probe.enabled() {
+                    touch_edge(probe, regions::EDGES + (base + k as u64) * esize);
+                    touch_src(probe, e.src(), O::META_BYTES);
+                }
+                if op.source_active(e.src()) {
+                    if probe.enabled() {
+                        touch_dst(probe, e.dst(), O::META_BYTES);
+                    }
+                    if op.push(e) {
+                        local.push(e.dst());
+                    }
+                }
+            }
+        }
+        if !local.is_empty() {
+            next.extend(&local);
+        }
+    });
+    next.finish()
+}
+
+/// Grid pull with **row ownership** over a *transposed* grid.
+///
+/// The grid must have been built with
+/// [`crate::preprocess::GridBuilder::transposed`], so each stored edge
+/// reads `(receiver, provider)`: rows group by receiver, making the
+/// receiver updates of a row exclusive to its worker — pull without
+/// locks (§6.1.2).
+pub fn grid_pull_rows<E, O, P>(
+    grid: &Grid<E>,
+    op: &O,
+    probe: &P,
+    next_kind: FrontierKind,
+) -> VertexSubset
+where
+    E: EdgeRecord,
+    O: PullOp<E>,
+    P: MemProbe,
+{
+    let next = NextFrontier::new(next_kind, grid.num_vertices());
+    let side = grid.side();
+    let esize = std::mem::size_of::<E>() as u64;
+    egraph_parallel::parallel_for(0..side, 1, |rows| {
+        let mut local = Vec::new();
+        for row in rows {
+            for col in 0..side {
+                let base = grid.cell_base_index(row, col);
+                for (k, e) in grid.cell(row, col).iter().enumerate() {
+                    let receiver = e.src();
+                    if probe.enabled() {
+                        touch_edge(probe, regions::EDGES + (base + k as u64) * esize);
+                        touch_dst(probe, receiver, O::META_BYTES);
+                    }
+                    if !op.wants_pull(receiver) {
+                        continue;
+                    }
+                    if probe.enabled() {
+                        touch_src(probe, e.dst(), O::META_BYTES);
+                    }
+                    let _ = op.pull(receiver, e);
+                }
+            }
+            // Collect activations for this row's exclusive range.
+            for v in grid.vertex_range(row) {
+                if op.activated(v) {
+                    local.push(v);
+                }
+            }
+        }
+        if !local.is_empty() {
+            next.extend(&local);
+        }
+    });
+    next.finish()
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,293 @@
+//! Vertex subsets (frontiers) and their sparse/dense duality.
+//!
+//! Frontier-driven algorithms keep "the subset of vertices or edges to
+//! be processed during a computation step […] in a work queue" (§2).
+//! Small frontiers are cheapest as sparse vertex lists; large frontiers
+//! (and pull-mode membership tests) want a dense bitmap. The engine
+//! switches representation based on frontier density, like Ligra.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::types::VertexId;
+use crate::util::AtomicBitmap;
+
+/// A set of active vertices.
+#[derive(Debug)]
+pub enum VertexSubset {
+    /// An unordered list of distinct vertex ids.
+    Sparse(Vec<VertexId>),
+    /// A bitmap over all vertices plus the number of set bits.
+    Dense {
+        /// Membership bitmap (length = number of graph vertices).
+        bitmap: AtomicBitmap,
+        /// Number of set bits.
+        count: usize,
+    },
+}
+
+impl VertexSubset {
+    /// The empty subset.
+    pub fn empty() -> Self {
+        VertexSubset::Sparse(Vec::new())
+    }
+
+    /// A singleton subset.
+    pub fn single(v: VertexId) -> Self {
+        VertexSubset::Sparse(vec![v])
+    }
+
+    /// The full vertex set `0..num_vertices`, dense.
+    pub fn all(num_vertices: usize) -> Self {
+        let bitmap = AtomicBitmap::new(num_vertices);
+        egraph_parallel::parallel_for(0..num_vertices, 1 << 14, |r| {
+            for v in r {
+                bitmap.set(v);
+            }
+        });
+        VertexSubset::Dense {
+            bitmap,
+            count: num_vertices,
+        }
+    }
+
+    /// Builds a sparse subset from a vertex list (must be duplicate
+    /// free).
+    pub fn from_vec(vertices: Vec<VertexId>) -> Self {
+        VertexSubset::Sparse(vertices)
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse(v) => v.len(),
+            VertexSubset::Dense { count, .. } => *count,
+        }
+    }
+
+    /// Whether no vertex is active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test. Sparse subsets fall back to a linear scan, so
+    /// callers needing many tests should convert to dense first.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            VertexSubset::Sparse(list) => list.contains(&v),
+            VertexSubset::Dense { bitmap, .. } => bitmap.get(v as usize),
+        }
+    }
+
+    /// Calls `f` for every active vertex, in parallel.
+    pub fn for_each(&self, f: impl Fn(VertexId) + Sync) {
+        match self {
+            VertexSubset::Sparse(list) => {
+                egraph_parallel::parallel_for(0..list.len(), 256, |r| {
+                    for i in r {
+                        f(list[i]);
+                    }
+                });
+            }
+            VertexSubset::Dense { bitmap, .. } => {
+                bitmap.for_each_set(|v| f(v as VertexId));
+            }
+        }
+    }
+
+    /// Returns a dense version of this subset (self if already dense).
+    pub fn into_dense(self, num_vertices: usize) -> Self {
+        match self {
+            VertexSubset::Sparse(list) => {
+                let bitmap = AtomicBitmap::new(num_vertices);
+                let count = list.len();
+                egraph_parallel::parallel_for(0..list.len(), 1 << 12, |r| {
+                    for i in r {
+                        bitmap.set(list[i] as usize);
+                    }
+                });
+                VertexSubset::Dense { bitmap, count }
+            }
+            dense => dense,
+        }
+    }
+
+    /// Returns a sparse version of this subset (self if already
+    /// sparse). The list is sorted for dense inputs.
+    pub fn into_sparse(self) -> Self {
+        match self {
+            VertexSubset::Dense { bitmap, .. } => VertexSubset::Sparse(bitmap.to_vec()),
+            sparse => sparse,
+        }
+    }
+
+    /// Sum of out-degrees of the active vertices — the quantity
+    /// direction-optimizing BFS compares against the push/pull switch
+    /// threshold.
+    pub fn out_edge_count(&self, degree_of: impl Fn(VertexId) -> usize + Sync) -> usize {
+        let total = AtomicUsize::new(0);
+        self.for_each(|v| {
+            total.fetch_add(degree_of(v), Ordering::Relaxed);
+        });
+        total.into_inner()
+    }
+}
+
+/// Which representation a step should produce for the next frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierKind {
+    /// Collect activated vertices into per-chunk lists (small
+    /// frontiers).
+    Sparse,
+    /// Mark activated vertices in a bitmap (large frontiers, or when
+    /// duplicate activations are possible).
+    Dense,
+}
+
+/// Concurrent accumulator for the next frontier.
+#[derive(Debug)]
+pub enum NextFrontier {
+    /// Sparse accumulation; chunks of activated vertices are appended
+    /// in batches.
+    Sparse(Mutex<Vec<VertexId>>),
+    /// Dense accumulation via an atomic bitmap.
+    Dense {
+        /// Activation bitmap.
+        bitmap: AtomicBitmap,
+        /// Running count of activations that won their race.
+        count: AtomicUsize,
+    },
+}
+
+impl NextFrontier {
+    /// Creates an accumulator of the requested kind for a graph of
+    /// `num_vertices`.
+    pub fn new(kind: FrontierKind, num_vertices: usize) -> Self {
+        match kind {
+            FrontierKind::Sparse => NextFrontier::Sparse(Mutex::new(Vec::new())),
+            FrontierKind::Dense => NextFrontier::Dense {
+                bitmap: AtomicBitmap::new(num_vertices),
+                count: AtomicUsize::new(0),
+            },
+        }
+    }
+
+    /// Records one activated vertex. For sparse accumulation the caller
+    /// must guarantee each vertex is recorded at most once (push rules
+    /// do this by claiming the vertex atomically before reporting it).
+    #[inline]
+    pub fn add(&self, v: VertexId) {
+        match self {
+            NextFrontier::Sparse(list) => list.lock().push(v),
+            NextFrontier::Dense { bitmap, count } => {
+                if bitmap.set(v as usize) {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Appends a batch of activated vertices (amortizes sparse
+    /// locking; workers buffer per chunk and flush once).
+    pub fn extend(&self, batch: &[VertexId]) {
+        match self {
+            NextFrontier::Sparse(list) => list.lock().extend_from_slice(batch),
+            NextFrontier::Dense { bitmap, count } => {
+                let mut added = 0;
+                for &v in batch {
+                    if bitmap.set(v as usize) {
+                        added += 1;
+                    }
+                }
+                count.fetch_add(added, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Finalizes into a [`VertexSubset`].
+    pub fn finish(self) -> VertexSubset {
+        match self {
+            NextFrontier::Sparse(list) => VertexSubset::Sparse(list.into_inner()),
+            NextFrontier::Dense { bitmap, count } => VertexSubset::Dense {
+                bitmap,
+                count: count.into_inner(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert!(VertexSubset::empty().is_empty());
+        let s = VertexSubset::single(7);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(7));
+        assert!(!s.contains(6));
+    }
+
+    #[test]
+    fn all_is_full() {
+        let s = VertexSubset::all(100);
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(0));
+        assert!(s.contains(99));
+    }
+
+    #[test]
+    fn dense_sparse_roundtrip() {
+        let s = VertexSubset::from_vec(vec![3, 1, 4, 15]);
+        let dense = s.into_dense(16);
+        assert_eq!(dense.len(), 4);
+        assert!(dense.contains(15));
+        let sparse = dense.into_sparse();
+        if let VertexSubset::Sparse(mut v) = sparse {
+            v.sort_unstable();
+            assert_eq!(v, vec![1, 3, 4, 15]);
+        } else {
+            panic!("expected sparse");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_member() {
+        let s = VertexSubset::from_vec((0..1000).collect());
+        let seen = AtomicBitmap::new(1000);
+        s.for_each(|v| {
+            assert!(seen.set(v as usize));
+        });
+        assert_eq!(seen.count_ones(), 1000);
+    }
+
+    #[test]
+    fn out_edge_count_sums_degrees() {
+        let s = VertexSubset::from_vec(vec![0, 2]);
+        let count = s.out_edge_count(|v| (v as usize + 1) * 10);
+        assert_eq!(count, 10 + 30);
+    }
+
+    #[test]
+    fn next_frontier_sparse_collects() {
+        let nf = NextFrontier::new(FrontierKind::Sparse, 100);
+        nf.add(5);
+        nf.extend(&[7, 9]);
+        let s = nf.finish();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn next_frontier_dense_dedups() {
+        let nf = NextFrontier::new(FrontierKind::Dense, 100);
+        egraph_parallel::parallel_for(0..1000, 16, |r| {
+            for i in r {
+                nf.add((i % 10) as u32);
+            }
+        });
+        let s = nf.finish();
+        assert_eq!(s.len(), 10);
+    }
+}

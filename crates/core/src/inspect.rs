@@ -1,0 +1,145 @@
+//! Graph inspection: structural statistics and sanity checks used by
+//! the CLI's `info` command and by experiment setup code.
+
+use std::collections::HashSet;
+
+use crate::types::{EdgeList, EdgeRecord};
+
+/// Structural summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Edge count.
+    pub num_edges: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: u64,
+    /// Maximum in-degree.
+    pub max_in_degree: u64,
+    /// Vertices with no outgoing edges.
+    pub sinks: usize,
+    /// Vertices with no incident edges at all.
+    pub isolated: usize,
+    /// Self-loop edges.
+    pub self_loops: usize,
+    /// Edges appearing more than once (extra occurrences).
+    pub duplicate_edges: usize,
+    /// Whether every edge has its reverse (the graph is symmetric).
+    pub symmetric: bool,
+}
+
+/// Computes a [`GraphSummary`].
+///
+/// Duplicate detection and the symmetry check materialize an edge set,
+/// so this is an O(E) memory pass — intended for inspection, not inner
+/// loops.
+pub fn summarize<E: EdgeRecord>(graph: &EdgeList<E>) -> GraphSummary {
+    let nv = graph.num_vertices();
+    let out_degrees = graph.out_degrees();
+    let in_degrees = graph.in_degrees();
+    let sinks = out_degrees.iter().filter(|&&d| d == 0).count();
+    let isolated = (0..nv)
+        .filter(|&v| out_degrees[v] == 0 && in_degrees[v] == 0)
+        .count();
+
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(graph.num_edges());
+    let mut self_loops = 0usize;
+    let mut duplicate_edges = 0usize;
+    for e in graph.edges() {
+        if e.src() == e.dst() {
+            self_loops += 1;
+        }
+        if !seen.insert((e.src(), e.dst())) {
+            duplicate_edges += 1;
+        }
+    }
+    let symmetric = graph
+        .edges()
+        .iter()
+        .all(|e| e.src() == e.dst() || seen.contains(&(e.dst(), e.src())));
+
+    GraphSummary {
+        num_vertices: nv,
+        num_edges: graph.num_edges(),
+        avg_degree: graph.num_edges() as f64 / nv.max(1) as f64,
+        max_out_degree: out_degrees.iter().max().copied().unwrap_or(0),
+        max_in_degree: in_degrees.iter().max().copied().unwrap_or(0),
+        sinks,
+        isolated,
+        self_loops,
+        duplicate_edges,
+        symmetric,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    #[test]
+    fn summary_of_small_graph() {
+        let g = EdgeList::new(
+            5,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+                Edge::new(0, 1), // duplicate
+                Edge::new(2, 2), // self-loop
+            ],
+        )
+        .unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.self_loops, 1);
+        assert_eq!(s.duplicate_edges, 1);
+        assert_eq!(s.sinks, 2, "vertices 3 and 4");
+        assert_eq!(s.isolated, 2);
+        assert_eq!(s.max_out_degree, 2);
+        assert!(s.symmetric, "0<->1 both ways; self-loop counts as symmetric");
+    }
+
+    #[test]
+    fn asymmetric_graph_detected() {
+        let g = EdgeList::new(3, vec![Edge::new(0, 1)]).unwrap();
+        assert!(!summarize(&g).symmetric);
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g: EdgeList<Edge> = EdgeList::new(0, vec![]).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.num_edges, 0);
+        assert!(s.symmetric);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn road_lattice_is_symmetric_and_clean() {
+        // Build a small lattice inline (4-neighbor, both directions).
+        let (w, h) = (6usize, 4usize);
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let v = (y * w + x) as u32;
+                if x + 1 < w {
+                    edges.push(Edge::new(v, v + 1));
+                    edges.push(Edge::new(v + 1, v));
+                }
+                if y + 1 < h {
+                    edges.push(Edge::new(v, v + w as u32));
+                    edges.push(Edge::new(v + w as u32, v));
+                }
+            }
+        }
+        let g = EdgeList::new(w * h, edges).unwrap();
+        let s = summarize(&g);
+        assert!(s.symmetric);
+        assert_eq!(s.self_loops, 0);
+        assert_eq!(s.duplicate_edges, 0);
+        assert_eq!(s.isolated, 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! The grid layout (§5.1), adapted from GridGraph \[37\].
+//!
+//! "Data is laid-out as a grid of cells. Each cell contains the edges
+//! from a range of vertices to another range of vertices. […]
+//! Computation then iterates over cells. The goal is that the metadata
+//! associated with the vertices in the cell stays in cache and can
+//! therefore be reused."
+//!
+//! The grid also partitions the graph for lock-free execution (§6.1.2):
+//! edges in different **rows** have different source vertices, edges in
+//! different **columns** have different destination vertices, so
+//! assigning whole columns to cores makes push updates exclusive and
+//! assigning whole rows makes source-side (pull) updates exclusive.
+
+use crate::types::{EdgeRecord, VertexId};
+use std::ops::Range;
+
+/// The default grid side: "we experimentally find that a grid of
+/// 256×256 cells performs best on the Twitter and RMAT26 graphs".
+pub const DEFAULT_GRID_SIDE: usize = 256;
+
+/// A P×P grid of edge cells.
+#[derive(Debug, Clone)]
+pub struct Grid<E> {
+    num_vertices: usize,
+    side: usize,
+    /// Vertices per row/column range (`ceil(num_vertices / side)`).
+    range_len: usize,
+    /// `side * side + 1` exclusive offsets into `edges`, row-major.
+    cell_offsets: Vec<u64>,
+    /// Edges grouped by cell.
+    edges: Vec<E>,
+}
+
+impl<E: EdgeRecord> Grid<E> {
+    /// Wraps pre-grouped cell arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_offsets` is not a monotone `side² + 1` prefix
+    /// table ending at `edges.len()`.
+    pub fn from_parts(
+        num_vertices: usize,
+        side: usize,
+        cell_offsets: Vec<u64>,
+        edges: Vec<E>,
+    ) -> Self {
+        assert!(side > 0, "grid side must be positive");
+        assert_eq!(cell_offsets.len(), side * side + 1, "cell offsets length");
+        assert_eq!(*cell_offsets.last().unwrap() as usize, edges.len());
+        debug_assert!(cell_offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            num_vertices,
+            side,
+            range_len: num_vertices.div_ceil(side).max(1),
+            cell_offsets,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grid side P (the grid has P×P cells).
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Vertices per row/column range.
+    #[inline]
+    pub fn range_len(&self) -> usize {
+        self.range_len
+    }
+
+    /// The (row, column) cell coordinates of an edge.
+    #[inline]
+    pub fn cell_of(&self, src: VertexId, dst: VertexId) -> (usize, usize) {
+        (
+            src as usize / self.range_len,
+            dst as usize / self.range_len,
+        )
+    }
+
+    /// The flat, row-major cell id of an edge — the radix key used to
+    /// build the grid.
+    #[inline]
+    pub fn cell_id_of(&self, src: VertexId, dst: VertexId) -> u64 {
+        let (r, c) = self.cell_of(src, dst);
+        (r * self.side + c) as u64
+    }
+
+    /// Edges of cell (row, col).
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> &[E] {
+        let id = row * self.side + col;
+        &self.edges[self.cell_offsets[id] as usize..self.cell_offsets[id + 1] as usize]
+    }
+
+    /// Flat index of the first edge of cell (row, col), for simulated
+    /// cache addressing.
+    #[inline]
+    pub fn cell_base_index(&self, row: usize, col: usize) -> u64 {
+        self.cell_offsets[row * self.side + col]
+    }
+
+    /// The vertex range covered by row/column `i`.
+    #[inline]
+    pub fn vertex_range(&self, i: usize) -> Range<VertexId> {
+        let lo = (i * self.range_len).min(self.num_vertices);
+        let hi = ((i + 1) * self.range_len).min(self.num_vertices);
+        lo as VertexId..hi as VertexId
+    }
+
+    /// Total number of edges in column `col` (all rows).
+    pub fn column_edge_count(&self, col: usize) -> u64 {
+        (0..self.side)
+            .map(|row| {
+                let id = row * self.side + col;
+                self.cell_offsets[id + 1] - self.cell_offsets[id]
+            })
+            .sum()
+    }
+
+    /// All edges, grouped by cell (row-major).
+    #[inline]
+    pub fn edges(&self) -> &[E] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    /// The Figure 4 example: 4 vertices, 2×2 grid, ranges {0,1} and
+    /// {2,3}; edges (0,1), (1,0), (0,2), (0,3), (2,3).
+    fn figure4_grid() -> Grid<Edge> {
+        // Cells row-major: (0,0)={(0,1),(1,0)}, (0,1)={(0,2),(0,3)},
+        // (1,0)={}, (1,1)={(2,3)}.
+        Grid::from_parts(
+            4,
+            2,
+            vec![0, 2, 4, 4, 5],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+                Edge::new(0, 2),
+                Edge::new(0, 3),
+                Edge::new(2, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure4_cells() {
+        let g = figure4_grid();
+        assert_eq!(g.cell(0, 0), &[Edge::new(0, 1), Edge::new(1, 0)]);
+        assert_eq!(g.cell(0, 1), &[Edge::new(0, 2), Edge::new(0, 3)]);
+        assert_eq!(g.cell(1, 0), &[]);
+        assert_eq!(g.cell(1, 1), &[Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn cell_of_maps_ranges() {
+        let g = figure4_grid();
+        assert_eq!(g.cell_of(0, 1), (0, 0));
+        assert_eq!(g.cell_of(0, 2), (0, 1));
+        assert_eq!(g.cell_of(2, 3), (1, 1));
+        assert_eq!(g.cell_id_of(2, 1), 2);
+    }
+
+    #[test]
+    fn vertex_ranges_cover_graph() {
+        let g = figure4_grid();
+        assert_eq!(g.vertex_range(0), 0..2);
+        assert_eq!(g.vertex_range(1), 2..4);
+    }
+
+    #[test]
+    fn vertex_ranges_clamp_at_boundary() {
+        // 5 vertices over a side of 3: ranges of 2, last clamped.
+        let g: Grid<Edge> = Grid::from_parts(5, 3, vec![0; 10], vec![]);
+        assert_eq!(g.vertex_range(0), 0..2);
+        assert_eq!(g.vertex_range(1), 2..4);
+        assert_eq!(g.vertex_range(2), 4..5);
+    }
+
+    #[test]
+    fn column_counts() {
+        let g = figure4_grid();
+        assert_eq!(g.column_edge_count(0), 2);
+        assert_eq!(g.column_edge_count(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell offsets length")]
+    fn rejects_malformed_offsets() {
+        let _: Grid<Edge> = Grid::from_parts(4, 2, vec![0, 1], vec![]);
+    }
+}

@@ -1,0 +1,18 @@
+//! In-memory graph data layouts (§3.1, §5.1).
+//!
+//! * **Edge array** — the input [`crate::types::EdgeList`] itself; zero
+//!   pre-processing, edge-centric computation only.
+//! * **Adjacency list** ([`Adjacency`], [`AdjacencyList`]) — per-vertex
+//!   edge arrays, either contiguous (CSR, built by sorting) or
+//!   per-vertex allocated (built dynamically); enables vertex-centric
+//!   computation on the active subset.
+//! * **Grid** ([`Grid`]) — a P×P matrix of edge cells (GridGraph's
+//!   layout adapted to in-memory processing); improves cache locality
+//!   and enables lock-free push (column ownership) and pull (row
+//!   ownership).
+
+pub mod csr;
+pub mod grid;
+
+pub use csr::{Adjacency, AdjacencyList, EdgeDirection, Storage};
+pub use grid::Grid;

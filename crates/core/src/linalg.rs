@@ -1,0 +1,148 @@
+//! A tiny dense linear-algebra kernel: Cholesky solve of the small
+//! symmetric positive-definite systems ALS builds per vertex.
+
+/// Solves `A·x = b` in place for a symmetric positive-definite `A`.
+///
+/// `a` is the row-major `n × n` matrix (destroyed: its lower triangle
+/// is overwritten with the Cholesky factor), `b` the right-hand side
+/// (overwritten with the solution). Returns `false` when the matrix is
+/// not positive definite (callers should regularize and retry).
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n` or `b.len() != n`.
+///
+/// # Examples
+///
+/// ```
+/// let mut a = vec![4.0, 2.0, 2.0, 3.0];
+/// let mut b = vec![10.0, 8.0];
+/// assert!(egraph_core::linalg::cholesky_solve_in_place(&mut a, &mut b, 2));
+/// assert!((b[0] - 1.75).abs() < 1e-12);
+/// assert!((b[1] - 1.5).abs() < 1e-12);
+/// ```
+pub fn cholesky_solve_in_place(a: &mut [f64], b: &mut [f64], n: usize) -> bool {
+    assert_eq!(a.len(), n * n, "matrix size");
+    assert_eq!(b.len(), n, "rhs size");
+
+    // Decompose: A = L·Lᵀ, storing L in the lower triangle.
+    for j in 0..n {
+        let mut diag = a[j * n + j];
+        for k in 0..j {
+            diag -= a[j * n + k] * a[j * n + k];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return false;
+        }
+        let diag = diag.sqrt();
+        a[j * n + j] = diag;
+        for i in j + 1..n {
+            let mut v = a[i * n + j];
+            for k in 0..j {
+                v -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = v / diag;
+        }
+    }
+
+    // Forward substitution: L·y = b.
+    for i in 0..n {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= a[i * n + k] * b[k];
+        }
+        b[i] = v / a[i * n + i];
+    }
+
+    // Back substitution: Lᵀ·x = y.
+    for i in (0..n).rev() {
+        let mut v = b[i];
+        for k in i + 1..n {
+            v -= a[k * n + i] * b[k];
+        }
+        b[i] = v / a[i * n + i];
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, -4.0];
+        assert!(cholesky_solve_in_place(&mut a, &mut b, 2));
+        assert_eq!(b, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn known_3x3_system() {
+        // A = [[6,2,1],[2,5,2],[1,2,4]], x = [1,2,3] => b = A·x.
+        let a_orig = [6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0];
+        let x = [1.0, 2.0, 3.0];
+        let mut b = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += a_orig[i * 3 + j] * x[j];
+            }
+        }
+        let mut a = a_orig.to_vec();
+        let mut b = b.to_vec();
+        assert!(cholesky_solve_in_place(&mut a, &mut b, 3));
+        for i in 0..3 {
+            assert!((b[i] - x[i]).abs() < 1e-10, "x[{i}] = {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        let mut b = vec![1.0, 1.0];
+        assert!(!cholesky_solve_in_place(&mut a, &mut b, 2));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let mut a = vec![4.0];
+        let mut b = vec![8.0];
+        assert!(cholesky_solve_in_place(&mut a, &mut b, 1));
+        assert_eq!(b[0], 2.0);
+    }
+
+    #[test]
+    fn random_spd_systems_roundtrip() {
+        let mut state = 7u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for n in [2usize, 4, 8, 12] {
+            // Build SPD as Mᵀ·M + n·I.
+            let m: Vec<f64> = (0..n * n).map(|_| rnd()).collect();
+            let mut a = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut v = 0.0;
+                    for k in 0..n {
+                        v += m[k * n + i] * m[k * n + j];
+                    }
+                    a[i * n + j] = v + if i == j { n as f64 } else { 0.0 };
+                }
+            }
+            let x: Vec<f64> = (0..n).map(|_| rnd()).collect();
+            let mut b = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    b[i] += a[i * n + j] * x[j];
+                }
+            }
+            let mut a2 = a.clone();
+            assert!(cholesky_solve_in_place(&mut a2, &mut b, n));
+            for i in 0..n {
+                assert!((b[i] - x[i]).abs() < 1e-8, "n={n} x[{i}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end time accounting.
+//!
+//! "Graph processing involves loading the graph as an edge array from
+//! storage, pre-processing the input to construct the necessary data
+//! structures, executing the actual graph algorithm, and storing the
+//! results. Most papers focus solely on the algorithm phase, but we
+//! demonstrate that there is an important trade-off between
+//! pre-processing time and algorithm execution time." (§1)
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Times a closure, returning its result and the elapsed seconds.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// The end-to-end breakdown of one graph-processing run, matching the
+/// stacked bars of the paper's figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct TimeBreakdown {
+    /// Seconds loading the edge array from storage (0 when the input is
+    /// already in memory).
+    pub load: f64,
+    /// Seconds building the data layout (0 for edge arrays).
+    pub preprocess: f64,
+    /// Seconds spent in NUMA partitioning (0 when not NUMA-aware).
+    pub partition: f64,
+    /// Seconds executing the algorithm itself.
+    pub algorithm: f64,
+    /// Seconds storing the results (0 when results stay in memory).
+    pub store: f64,
+}
+
+impl TimeBreakdown {
+    /// The end-to-end time.
+    pub fn total(&self) -> f64 {
+        self.load + self.preprocess + self.partition + self.algorithm + self.store
+    }
+
+    /// A breakdown with only an algorithm component (edge-array runs on
+    /// in-memory inputs).
+    pub fn algorithm_only(algorithm: f64) -> Self {
+        Self {
+            algorithm,
+            ..Self::default()
+        }
+    }
+}
+
+/// Timing of one iteration (computation step) of a frontier algorithm,
+/// used by the per-iteration analysis of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct IterStat {
+    /// Active vertices at the start of the step.
+    pub frontier_size: usize,
+    /// Out-edges examined during the step (0 when not tracked).
+    pub edges_scanned: usize,
+    /// Wall-clock seconds of the step.
+    pub seconds: f64,
+    /// Whether the step pushed or pulled.
+    pub mode: StepMode,
+}
+
+/// Information-flow direction of one computation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StepMode {
+    /// Active vertices wrote their out-neighbors.
+    Push,
+    /// Vertices read their in-neighbors.
+    Pull,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let b = TimeBreakdown {
+            load: 1.0,
+            preprocess: 2.0,
+            partition: 0.5,
+            algorithm: 3.0,
+            store: 0.25,
+        };
+        assert!((b.total() - 6.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algorithm_only_zeroes_rest() {
+        let b = TimeBreakdown::algorithm_only(2.0);
+        assert_eq!(b.load, 0.0);
+        assert_eq!(b.preprocess, 0.0);
+        assert_eq!(b.total(), 2.0);
+    }
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let (value, secs) = timed(|| 41 + 1);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+}

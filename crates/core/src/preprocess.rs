@@ -1,0 +1,464 @@
+//! Pre-processing: converting the edge-array input into adjacency
+//! lists and grids, with the three construction strategies of §3.2 and
+//! wall-clock accounting for the paper's end-to-end view.
+
+use std::time::Instant;
+
+use egraph_parallel::ops::parallel_init;
+use parking_lot::Mutex;
+
+use crate::layout::{Adjacency, AdjacencyList, EdgeDirection, Grid};
+use crate::types::{EdgeList, EdgeRecord};
+
+/// How per-vertex (or per-cell) edge arrays are constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Grow per-vertex arrays while scanning the input. No sorting, but
+    /// reallocations and poor locality; fully overlappable with
+    /// loading (§3.4).
+    Dynamic,
+    /// Two passes: count degrees, then scatter to final offsets.
+    /// Pass-optimal but cache-hostile; the counting pass can overlap
+    /// with loading.
+    CountSort,
+    /// Parallel 8-bit-digit radix sort; sequential bucket writes give
+    /// the best locality (Table 2) but nothing overlaps with loading.
+    RadixSort,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [Strategy; 3] = [Strategy::Dynamic, Strategy::CountSort, Strategy::RadixSort];
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Dynamic => "dynamic",
+            Strategy::CountSort => "count-sort",
+            Strategy::RadixSort => "radix-sort",
+        }
+    }
+}
+
+/// Wall-clock cost of one pre-processing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessStats {
+    /// The strategy that was used.
+    pub strategy: Strategy,
+    /// Total seconds spent building the layout.
+    pub seconds: f64,
+}
+
+/// Builder for adjacency-list layouts.
+///
+/// # Examples
+///
+/// ```
+/// use egraph_core::preprocess::{CsrBuilder, Strategy};
+/// use egraph_core::layout::EdgeDirection;
+/// use egraph_core::types::{Edge, EdgeList};
+///
+/// let edges = EdgeList::new(3, vec![Edge::new(0, 1), Edge::new(0, 2)]).unwrap();
+/// let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&edges);
+/// assert_eq!(adj.out().degree(0), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    strategy: Strategy,
+    direction: EdgeDirection,
+    sort_neighbors: bool,
+}
+
+impl CsrBuilder {
+    /// Creates a builder with the given strategy and edge direction.
+    pub fn new(strategy: Strategy, direction: EdgeDirection) -> Self {
+        Self {
+            strategy,
+            direction,
+            sort_neighbors: false,
+        }
+    }
+
+    /// Additionally sorts each per-vertex array by neighbor id (the
+    /// "adj. sorted" variant of §5).
+    pub fn sort_neighbors(mut self, yes: bool) -> Self {
+        self.sort_neighbors = yes;
+        self
+    }
+
+    /// Builds the layout.
+    pub fn build<E: EdgeRecord>(&self, input: &EdgeList<E>) -> AdjacencyList<E> {
+        self.build_timed(input).0
+    }
+
+    /// Builds the layout, returning the pre-processing cost alongside.
+    pub fn build_timed<E: EdgeRecord>(
+        &self,
+        input: &EdgeList<E>,
+    ) -> (AdjacencyList<E>, PreprocessStats) {
+        let start = Instant::now();
+        let out = match self.direction {
+            EdgeDirection::Out | EdgeDirection::Both => {
+                Some(build_one_direction(input, self.strategy, false))
+            }
+            EdgeDirection::In => None,
+        };
+        let inc = match self.direction {
+            EdgeDirection::In | EdgeDirection::Both => {
+                Some(build_one_direction(input, self.strategy, true))
+            }
+            EdgeDirection::Out => None,
+        };
+        let mut list = AdjacencyList::new(out, inc);
+        if self.sort_neighbors {
+            if let Some(adj) = list.out_mut() {
+                adj.sort_neighbor_arrays();
+            }
+            if let Some(adj) = list.incoming_mut() {
+                adj.sort_neighbor_arrays();
+            }
+        }
+        let stats = PreprocessStats {
+            strategy: self.strategy,
+            seconds: start.elapsed().as_secs_f64(),
+        };
+        (list, stats)
+    }
+}
+
+/// Builds one direction of adjacency (`by_dst = true` groups by
+/// destination, producing an in-adjacency).
+pub fn build_one_direction<E: EdgeRecord>(
+    input: &EdgeList<E>,
+    strategy: Strategy,
+    by_dst: bool,
+) -> Adjacency<E> {
+    let nv = input.num_vertices();
+    let key = move |e: &E| -> u64 {
+        if by_dst {
+            e.dst() as u64
+        } else {
+            e.src() as u64
+        }
+    };
+    match strategy {
+        Strategy::Dynamic => {
+            let lists = dynamic_group(input.edges(), nv, key);
+            Adjacency::from_per_vertex(nv, lists, by_dst)
+        }
+        Strategy::CountSort => {
+            let sorted = egraph_sort::count_sort_by_key(input.edges(), nv.max(1), key);
+            let mut offsets = sorted.offsets;
+            offsets.truncate(nv + 1);
+            if nv == 0 {
+                offsets = vec![0];
+            }
+            Adjacency::from_csr(nv, offsets, sorted.sorted, by_dst)
+        }
+        Strategy::RadixSort => {
+            let mut edges = input.edges().to_vec();
+            let bits = egraph_sort::key_bits(nv);
+            egraph_sort::radix_sort_by_key(&mut edges, bits, key);
+            let offsets = offsets_from_sorted(&edges, nv, key);
+            Adjacency::from_csr(nv, offsets, edges, by_dst)
+        }
+    }
+}
+
+/// Groups edges into growable per-vertex vectors under striped locks —
+/// the "dynamically allocating and resizing" technique.
+fn dynamic_group<E: EdgeRecord>(
+    edges: &[E],
+    nv: usize,
+    key: impl Fn(&E) -> u64 + Sync,
+) -> Vec<Vec<E>> {
+    let lists: Vec<Mutex<Vec<E>>> = (0..nv).map(|_| Mutex::new(Vec::new())).collect();
+    egraph_parallel::for_each_chunk(edges, egraph_parallel::DEFAULT_GRAIN, |_, chunk| {
+        for e in chunk {
+            lists[key(e) as usize].lock().push(*e);
+        }
+    });
+    lists.into_iter().map(Mutex::into_inner).collect()
+}
+
+/// Computes the CSR offset table of an already-sorted edge array by
+/// binary-searching each vertex boundary (cache-friendly and parallel,
+/// unlike a histogram pass).
+fn offsets_from_sorted<E: EdgeRecord>(
+    edges: &[E],
+    nv: usize,
+    key: impl Fn(&E) -> u64 + Sync,
+) -> Vec<u64> {
+    parallel_init(nv + 1, 4096, |v| {
+        edges.partition_point(|e| key(e) < v as u64) as u64
+    })
+}
+
+/// Builder for grid layouts.
+///
+/// # Examples
+///
+/// ```
+/// use egraph_core::preprocess::{GridBuilder, Strategy};
+/// use egraph_core::types::{Edge, EdgeList};
+///
+/// let edges = EdgeList::new(4, vec![Edge::new(0, 3), Edge::new(2, 1)]).unwrap();
+/// let grid = GridBuilder::new(Strategy::RadixSort).side(2).build(&edges);
+/// assert_eq!(grid.cell(0, 1), &[Edge::new(0, 3)]);
+/// assert_eq!(grid.cell(1, 0), &[Edge::new(2, 1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    strategy: Strategy,
+    side: usize,
+    transposed: bool,
+}
+
+impl GridBuilder {
+    /// Creates a builder with the default 256×256 grid.
+    pub fn new(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            side: crate::layout::grid::DEFAULT_GRID_SIDE,
+            transposed: false,
+        }
+    }
+
+    /// Sets the grid side P (the grid gets P×P cells).
+    pub fn side(mut self, side: usize) -> Self {
+        assert!(side > 0, "grid side must be positive");
+        self.side = side;
+        self
+    }
+
+    /// Stores every edge reversed. A transposed grid makes row
+    /// iteration exclusive over the *receiving* vertex of the original
+    /// graph, which is how pull-mode grid computation runs without
+    /// locks (§6.1.2).
+    pub fn transposed(mut self, yes: bool) -> Self {
+        self.transposed = yes;
+        self
+    }
+
+    /// Builds the grid.
+    pub fn build<E: EdgeRecord>(&self, input: &EdgeList<E>) -> Grid<E> {
+        self.build_timed(input).0
+    }
+
+    /// Builds the grid, returning the pre-processing cost alongside.
+    pub fn build_timed<E: EdgeRecord>(&self, input: &EdgeList<E>) -> (Grid<E>, PreprocessStats) {
+        let start = Instant::now();
+        let nv = input.num_vertices();
+        let side = self.side;
+        let range_len = nv.div_ceil(side).max(1);
+        let num_cells = side * side;
+        let transposed = self.transposed;
+        let cell_key = move |e: &E| -> u64 {
+            let (src, dst) = if transposed {
+                (e.dst(), e.src())
+            } else {
+                (e.src(), e.dst())
+            };
+            (src as usize / range_len * side + dst as usize / range_len) as u64
+        };
+        let map_edge = move |e: &E| -> E {
+            if transposed {
+                e.reversed()
+            } else {
+                *e
+            }
+        };
+
+        let grid = match self.strategy {
+            Strategy::RadixSort => {
+                let mut edges: Vec<E> = input.edges().iter().map(map_edge).collect();
+                let bits = egraph_sort::key_bits(num_cells);
+                // After mapping, the key no longer needs transposition.
+                let key = move |e: &E| -> u64 {
+                    (e.src() as usize / range_len * side + e.dst() as usize / range_len) as u64
+                };
+                egraph_sort::radix_sort_by_key(&mut edges, bits, key);
+                let offsets = parallel_init(num_cells + 1, 1024, |c| {
+                    edges.partition_point(|e| key(e) < c as u64) as u64
+                });
+                Grid::from_parts(nv, side, offsets, edges)
+            }
+            Strategy::CountSort => {
+                let mapped: Vec<E> = input.edges().iter().map(map_edge).collect();
+                let key = move |e: &E| -> u64 {
+                    (e.src() as usize / range_len * side + e.dst() as usize / range_len) as u64
+                };
+                let sorted = egraph_sort::count_sort_by_key(&mapped, num_cells, key);
+                Grid::from_parts(nv, side, sorted.offsets, sorted.sorted)
+            }
+            Strategy::Dynamic => {
+                let cells: Vec<Mutex<Vec<E>>> =
+                    (0..num_cells).map(|_| Mutex::new(Vec::new())).collect();
+                egraph_parallel::for_each_chunk(
+                    input.edges(),
+                    egraph_parallel::DEFAULT_GRAIN,
+                    |_, chunk| {
+                        for e in chunk {
+                            cells[cell_key(e) as usize].lock().push(map_edge(e));
+                        }
+                    },
+                );
+                let mut offsets = Vec::with_capacity(num_cells + 1);
+                let mut edges = Vec::with_capacity(input.num_edges());
+                offsets.push(0u64);
+                for cell in cells {
+                    let cell = cell.into_inner();
+                    edges.extend_from_slice(&cell);
+                    offsets.push(edges.len() as u64);
+                }
+                Grid::from_parts(nv, side, offsets, edges)
+            }
+        };
+        let stats = PreprocessStats {
+            strategy: self.strategy,
+            seconds: start.elapsed().as_secs_f64(),
+        };
+        (grid, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn sample_input() -> EdgeList<Edge> {
+        EdgeList::new(
+            4,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+                Edge::new(0, 2),
+                Edge::new(0, 3),
+                Edge::new(2, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn degrees_of(adj: &Adjacency<Edge>) -> Vec<usize> {
+        (0..adj.num_vertices()).map(|v| adj.degree(v as u32)).collect()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_out_degrees() {
+        let input = sample_input();
+        for strategy in Strategy::ALL {
+            let adj = CsrBuilder::new(strategy, EdgeDirection::Out).build(&input);
+            assert_eq!(degrees_of(adj.out()), vec![3, 1, 1, 0], "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_in_degrees() {
+        let input = sample_input();
+        for strategy in Strategy::ALL {
+            let adj = CsrBuilder::new(strategy, EdgeDirection::In).build(&input);
+            assert_eq!(degrees_of(adj.incoming()), vec![1, 1, 1, 2], "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn both_directions_built_together() {
+        let input = sample_input();
+        let (adj, stats) =
+            CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build_timed(&input);
+        assert!(adj.out_opt().is_some() && adj.incoming_opt().is_some());
+        assert!(stats.seconds >= 0.0);
+    }
+
+    #[test]
+    fn neighbors_contain_expected_edges() {
+        let input = sample_input();
+        let adj = CsrBuilder::new(Strategy::CountSort, EdgeDirection::Out).build(&input);
+        let mut dsts: Vec<u32> = adj.out().neighbors(0).iter().map(|e| e.dst).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sorted_neighbors_are_sorted() {
+        let input = sample_input();
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+            .sort_neighbors(true)
+            .build(&input);
+        let dsts: Vec<u32> = adj.out().neighbors(0).iter().map(|e| e.dst).collect();
+        assert_eq!(dsts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn grid_strategies_agree() {
+        let input = sample_input();
+        let reference = GridBuilder::new(Strategy::RadixSort).side(2).build(&input);
+        for strategy in [Strategy::CountSort, Strategy::Dynamic] {
+            let grid = GridBuilder::new(strategy).side(2).build(&input);
+            for r in 0..2 {
+                for c in 0..2 {
+                    let mut a: Vec<(u32, u32)> =
+                        reference.cell(r, c).iter().map(|e| (e.src, e.dst)).collect();
+                    let mut b: Vec<(u32, u32)> =
+                        grid.cell(r, c).iter().map(|e| (e.src, e.dst)).collect();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "{strategy:?} cell ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_grid_reverses_edges() {
+        let input = EdgeList::new(4, vec![Edge::new(0, 3)]).unwrap();
+        let grid = GridBuilder::new(Strategy::RadixSort)
+            .side(2)
+            .transposed(true)
+            .build(&input);
+        // The reversed edge (3, 0) lives in cell (1, 0).
+        assert_eq!(grid.cell(1, 0), &[Edge::new(3, 0)]);
+        assert!(grid.cell(0, 1).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let input: EdgeList<Edge> = EdgeList::new(0, vec![]).unwrap();
+        for strategy in Strategy::ALL {
+            let adj = CsrBuilder::new(strategy, EdgeDirection::Out).build(&input);
+            assert_eq!(adj.num_vertices(), 0);
+            assert_eq!(adj.num_edges(), 0);
+        }
+    }
+
+    #[test]
+    fn large_random_graph_all_strategies_equal() {
+        // Deterministic pseudo-random multigraph with self-loops and
+        // duplicates; every strategy must produce identical neighbor
+        // multisets.
+        let nv = 1000usize;
+        let mut state = 12345u64;
+        let mut edges = Vec::new();
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((state >> 33) % nv as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dst = ((state >> 33) % nv as u64) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        let input = EdgeList::new(nv, edges).unwrap();
+        let reference = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&input);
+        for strategy in [Strategy::CountSort, Strategy::Dynamic] {
+            let adj = CsrBuilder::new(strategy, EdgeDirection::Out).build(&input);
+            for v in 0..nv as u32 {
+                let mut a: Vec<u32> = reference.out().neighbors(v).iter().map(|e| e.dst).collect();
+                let mut b: Vec<u32> = adj.out().neighbors(v).iter().map(|e| e.dst).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{strategy:?} vertex {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Edge-case and failure-injection tests for the core crate:
+//! degenerate graphs (empty, singleton, self-loops, extreme skew),
+//! boundary layouts (grid side 1, huge sides), and pathological
+//! algorithm inputs.
+
+use egraph_core::algo::{bfs, pagerank, spmv, sssp, wcc};
+use egraph_core::layout::EdgeDirection;
+use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use egraph_core::types::{Edge, EdgeList, WEdge, INVALID_VERTEX};
+
+fn build_all(graph: &EdgeList<Edge>) -> egraph_core::layout::AdjacencyList<Edge> {
+    CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build(graph)
+}
+
+#[test]
+fn single_vertex_no_edges() {
+    let graph = EdgeList::new(1, vec![]).unwrap();
+    let adj = build_all(&graph);
+    let r = bfs::push(&adj, 0);
+    assert_eq!(r.reachable_count(), 1);
+    assert_eq!(r.parent, vec![0]);
+
+    let degrees = vec![0u32];
+    let pr = pagerank::pull(adj.incoming(), &degrees, pagerank::PagerankConfig::default());
+    assert_eq!(pr.ranks.len(), 1);
+    assert!(pr.ranks[0] > 0.0);
+}
+
+#[test]
+fn self_loops_only() {
+    let graph = EdgeList::new(3, (0..3).map(|v| Edge::new(v, v)).collect()).unwrap();
+    let adj = build_all(&graph);
+    for root in 0..3 {
+        let r = bfs::push(&adj, root);
+        assert_eq!(r.reachable_count(), 1, "self-loops reach nothing new");
+    }
+    let r = wcc::edge_centric(&graph);
+    assert_eq!(r.component_count(), 3);
+}
+
+#[test]
+fn star_in_and_out() {
+    // Extreme out-skew: vertex 0 points at everyone.
+    let n = 10_000u32;
+    let out_star = EdgeList::new(n as usize, (1..n).map(|v| Edge::new(0, v)).collect()).unwrap();
+    let adj = build_all(&out_star);
+    let r = bfs::push(&adj, 0);
+    assert_eq!(r.reachable_count(), n as usize);
+    assert!(r.level[1..].iter().all(|&l| l == 1));
+
+    // Extreme in-skew: everyone points at vertex 0.
+    let in_star = EdgeList::new(n as usize, (1..n).map(|v| Edge::new(v, 0)).collect()).unwrap();
+    let adj = build_all(&in_star);
+    let r = bfs::push(&adj, 5);
+    assert_eq!(r.reachable_count(), 2);
+    assert_eq!(r.level[0], 1);
+
+    let degrees: Vec<u32> = in_star.out_degrees().iter().map(|&d| d as u32).collect();
+    let pr = pagerank::pull(adj.incoming(), &degrees, pagerank::PagerankConfig::default());
+    let top = pr.top_k(1);
+    assert_eq!(top, vec![0], "the sink hub must rank first");
+}
+
+#[test]
+fn grid_side_one_is_a_single_cell() {
+    let graph = EdgeList::new(
+        100,
+        (0..99).map(|v| Edge::new(v, v + 1)).collect(),
+    )
+    .unwrap();
+    let grid = GridBuilder::new(Strategy::RadixSort).side(1).build(&graph);
+    assert_eq!(grid.cell(0, 0).len(), 99);
+    let r = bfs::grid(&grid, 0);
+    assert_eq!(r.reachable_count(), 100);
+}
+
+#[test]
+fn grid_side_larger_than_vertices() {
+    let graph = EdgeList::new(3, vec![Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
+    let grid = GridBuilder::new(Strategy::CountSort).side(8).build(&graph);
+    assert_eq!(grid.num_edges(), 2);
+    let r = bfs::grid(&grid, 0);
+    assert_eq!(r.reachable_count(), 3);
+}
+
+#[test]
+fn bfs_from_isolated_vertex() {
+    let graph = EdgeList::new(5, vec![Edge::new(1, 2), Edge::new(2, 3)]).unwrap();
+    let adj = build_all(&graph);
+    for r in [
+        bfs::push(&adj, 0),
+        bfs::pull(&adj, 0),
+        bfs::push_pull(&adj, 0),
+    ] {
+        assert_eq!(r.reachable_count(), 1);
+        assert_eq!(r.parent[0], 0);
+        assert!(r.parent[1..].iter().all(|&p| p == INVALID_VERTEX));
+    }
+}
+
+#[test]
+fn sssp_with_zero_weight_edges() {
+    let graph = EdgeList::new(
+        3,
+        vec![WEdge::new(0, 1, 0.0), WEdge::new(1, 2, 0.0)],
+    )
+    .unwrap();
+    let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&graph);
+    let r = sssp::push(&adj, 0);
+    assert_eq!(r.dist, vec![0.0, 0.0, 0.0]);
+}
+
+#[test]
+fn sssp_parallel_edges_take_minimum() {
+    let graph = EdgeList::new(
+        2,
+        vec![
+            WEdge::new(0, 1, 9.0),
+            WEdge::new(0, 1, 2.0),
+            WEdge::new(0, 1, 5.0),
+        ],
+    )
+    .unwrap();
+    let adj = CsrBuilder::new(Strategy::Dynamic, EdgeDirection::Out).build(&graph);
+    assert_eq!(sssp::push(&adj, 0).dist[1], 2.0);
+}
+
+#[test]
+fn spmv_with_negative_weights() {
+    let graph = EdgeList::new(
+        2,
+        vec![WEdge::new(0, 1, -3.0), WEdge::new(1, 0, 2.0)],
+    )
+    .unwrap();
+    let y = spmv::edge_centric(&graph, &[1.0, 10.0]).y;
+    assert_eq!(y, vec![20.0, -3.0]);
+}
+
+#[test]
+fn pagerank_on_cycle_is_uniform() {
+    let n = 64u32;
+    let graph = EdgeList::new(
+        n as usize,
+        (0..n).map(|v| Edge::new(v, (v + 1) % n)).collect(),
+    )
+    .unwrap();
+    let degrees = vec![1u32; n as usize];
+    let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::In).build(&graph);
+    let pr = pagerank::pull(adj.incoming(), &degrees, pagerank::PagerankConfig::default());
+    let expected = 1.0 / n as f32;
+    for (v, &r) in pr.ranks.iter().enumerate() {
+        assert!((r - expected).abs() < 1e-5, "rank[{v}] = {r}");
+    }
+}
+
+#[test]
+fn wcc_fully_connected_single_component() {
+    let n = 50u32;
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                edges.push(Edge::new(a, b));
+            }
+        }
+    }
+    let graph = EdgeList::new(n as usize, edges).unwrap();
+    assert_eq!(wcc::edge_centric(&graph).component_count(), 1);
+}
+
+#[test]
+fn duplicate_heavy_multigraph() {
+    // 10k copies of the same edge: layouts and algorithms must cope.
+    let graph = EdgeList::new(2, vec![Edge::new(0, 1); 10_000]).unwrap();
+    let adj = build_all(&graph);
+    assert_eq!(adj.out().degree(0), 10_000);
+    let r = bfs::push(&adj, 0);
+    assert_eq!(r.reachable_count(), 2);
+    let grid = GridBuilder::new(Strategy::RadixSort).side(2).build(&graph);
+    assert_eq!(grid.num_edges(), 10_000);
+}
+
+#[test]
+fn ids_at_the_top_of_the_range() {
+    // Vertex ids close to the declared bound.
+    let nv = 1_000_000usize;
+    let graph = EdgeList::new(
+        nv,
+        vec![
+            Edge::new(0, (nv - 1) as u32),
+            Edge::new((nv - 1) as u32, (nv - 2) as u32),
+        ],
+    )
+    .unwrap();
+    let adj = build_all(&graph);
+    let r = bfs::push(&adj, 0);
+    assert_eq!(r.reachable_count(), 3);
+    assert_eq!(r.level[nv - 2], 2);
+}
+
+#[test]
+fn validation_rejects_edges_beyond_bound() {
+    assert!(EdgeList::new(10, vec![Edge::new(0, 10)]).is_err());
+    assert!(EdgeList::new(0, vec![Edge::new(0, 0)]).is_err());
+}

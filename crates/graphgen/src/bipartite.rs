@@ -1,0 +1,104 @@
+//! A bipartite ratings-graph generator (Netflix stand-in \[35\]).
+//!
+//! Users `0..num_users` rate items `num_users..num_users + num_items`
+//! with ratings in 1..=5; item popularity follows a Zipf law, like real
+//! catalogues. Ratings carry planted taste structure (users and items
+//! each belong to one of a few latent groups) so recommenders trained
+//! on the output have signal to find.
+
+use egraph_core::types::{EdgeList, WEdge};
+use egraph_parallel::ops::parallel_init;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Generates a bipartite ratings graph.
+///
+/// Returns user→item edges whose weight is the rating. The vertex
+/// space is `num_users + num_items`; the full Netflix graph is 0.5 M
+/// vertices / 100 M ratings.
+///
+/// # Panics
+///
+/// Panics if `num_users` or `num_items` is zero.
+pub fn netflix_like(
+    num_users: usize,
+    num_items: usize,
+    ratings_per_user: usize,
+    seed: u64,
+) -> EdgeList<WEdge> {
+    assert!(num_users > 0 && num_items > 0, "both sides must be non-empty");
+    let zipf = Zipf::new(num_items, 1.1);
+    const GROUPS: u64 = 4;
+    let ne = num_users * ratings_per_user;
+    let edges = parallel_init(ne, 1 << 12, |i| {
+        let user = i / ratings_per_user;
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let item = zipf.sample(&mut rng);
+        // Planted structure: same-group pairs rate high.
+        let user_group = (user as u64).wrapping_mul(0x9E37_79B9) % GROUPS;
+        let item_group = (item as u64).wrapping_mul(0x85EB_CA6B) % GROUPS;
+        let base = if user_group == item_group { 4.5 } else { 2.0 };
+        let noise: f32 = rng.random_range(-1.0f32..1.0);
+        let rating = (base + noise).clamp(1.0, 5.0);
+        WEdge::new(user as u32, (num_users + item) as u32, rating)
+    });
+    EdgeList::from_parts_unchecked(num_users + num_items, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_bipartite() {
+        let g = netflix_like(100, 50, 10, 1);
+        assert_eq!(g.num_vertices(), 150);
+        assert_eq!(g.num_edges(), 1000);
+        for e in g.edges() {
+            assert!(e.src < 100, "source must be a user");
+            assert!((100..150).contains(&e.dst), "destination must be an item");
+            assert!((1.0..=5.0).contains(&e.weight));
+        }
+    }
+
+    #[test]
+    fn item_popularity_is_skewed() {
+        let g = netflix_like(2000, 500, 20, 3);
+        let mut counts = vec![0usize; 500];
+        for e in g.edges() {
+            counts[(e.dst - 2000) as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top: usize = counts[..10].iter().sum();
+        assert!(
+            top > g.num_edges() / 5,
+            "top-10 items hold {top} of {} ratings",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = netflix_like(50, 20, 5, 9);
+        let b = netflix_like(50, 20, 5, 9);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn every_user_rates() {
+        let g = netflix_like(30, 10, 3, 5);
+        let degrees = g.out_degrees();
+        for u in 0..30 {
+            assert_eq!(degrees[u], 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_side() {
+        let _ = netflix_like(0, 10, 5, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic graph generators standing in for the paper's datasets.
+//!
+//! The paper evaluates on four inputs (Table 1): RMAT-N synthetic
+//! power-law graphs, the Twitter follower graph, the DIMACS US-Road
+//! graph and the Netflix ratings graph. The real datasets are not
+//! redistributable, so this crate generates synthetic graphs with the
+//! same *shape* — which is all the paper's findings depend on (it
+//! explicitly notes Twitter "has a degree distribution similar to that
+//! of RMAT, and benefits from the same approaches", §8):
+//!
+//! * [`rmat()`](rmat()) — the R-MAT recursive generator \[5\] with Graph500
+//!   parameters; [`twitter_like`] is an RMAT preset with Twitter's
+//!   edge factor.
+//! * [`road_like`] — a 2D lattice with bidirectional edges: high
+//!   diameter, per-vertex degree ≤ 4, like US-Road.
+//! * [`netflix_like`] — a bipartite user→item ratings graph with
+//!   Zipf-distributed item popularity, like the Netflix dataset.
+//! * [`uniform()`](uniform()) — an Erdős–Rényi-style control input.
+//!
+//! All generators are deterministic in their seed and parallel.
+//!
+//! # Examples
+//!
+//! ```
+//! // RMAT-10: 1024 vertices, 2^14 edges, power-law degrees.
+//! let g = egraph_graphgen::rmat(10, 16, 42);
+//! assert_eq!(g.num_vertices(), 1024);
+//! assert_eq!(g.num_edges(), 16 * 1024);
+//! ```
+
+pub mod bipartite;
+pub mod permute;
+pub mod rmat;
+pub mod smallworld;
+pub mod road;
+pub mod stats;
+pub mod uniform;
+pub mod zipf;
+
+pub use bipartite::netflix_like;
+pub use permute::{permute_vertices, shuffle_edges};
+pub use rmat::{rmat, rmat_with_params, twitter_like, RmatParams};
+pub use road::road_like;
+pub use smallworld::small_world;
+pub use stats::{degree_stats, DegreeStats};
+pub use uniform::uniform;
+pub use zipf::Zipf;

@@ -1,0 +1,171 @@
+//! The R-MAT recursive matrix generator (Chakrabarti et al. \[5\]).
+//!
+//! Each edge picks its (src, dst) cell by descending `scale` levels of
+//! a recursively partitioned adjacency matrix with probabilities
+//! (a, b, c, d) per quadrant; the Graph500 parameters (0.57, 0.19,
+//! 0.19, 0.05) yield the heavy power-law skew of social graphs.
+
+use egraph_core::types::{Edge, EdgeList};
+use egraph_parallel::ops::parallel_init;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Quadrant probabilities of the recursive partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left (hub→hub) probability.
+    pub a: f64,
+    /// Top-right probability.
+    pub b: f64,
+    /// Bottom-left probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 parameters used by the paper's RMAT datasets.
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
+
+    /// The implied bottom-right probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an RMAT-`scale` graph: `2^scale` vertices and
+/// `edge_factor · 2^scale` edges (the paper's RMAT-N uses
+/// `edge_factor = 16`, i.e. `2^(N+4)` edges).
+///
+/// # Panics
+///
+/// Panics if `scale > 31` (vertex ids are `u32`).
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> EdgeList<Edge> {
+    rmat_with_params(scale, edge_factor, seed, RmatParams::GRAPH500)
+}
+
+/// [`rmat`] with explicit quadrant probabilities.
+///
+/// # Panics
+///
+/// Panics if `scale > 31` or the probabilities are malformed.
+pub fn rmat_with_params(
+    scale: u32,
+    edge_factor: usize,
+    seed: u64,
+    params: RmatParams,
+) -> EdgeList<Edge> {
+    assert!(scale <= 31, "scale {scale} exceeds u32 vertex ids");
+    assert!(
+        params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && params.d() >= 0.0,
+        "malformed RMAT probabilities"
+    );
+    let nv = 1usize << scale;
+    let ne = edge_factor * nv;
+    let edges = parallel_init(ne, 1 << 14, |i| {
+        // Per-edge deterministic RNG: chunk-order independent.
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        sample_edge(scale, &params, &mut rng)
+    });
+    EdgeList::from_parts_unchecked(nv, edges)
+}
+
+fn sample_edge(scale: u32, p: &RmatParams, rng: &mut StdRng) -> Edge {
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for _ in 0..scale {
+        src <<= 1;
+        dst <<= 1;
+        let r: f64 = rng.random();
+        if r < p.a {
+            // top-left: neither bit set
+        } else if r < p.a + p.b {
+            dst |= 1;
+        } else if r < p.a + p.b + p.c {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    Edge::new(src, dst)
+}
+
+/// A Twitter-shaped preset: RMAT with the Twitter follower graph's
+/// edge factor (1468M edges / 62M vertices ≈ 24).
+///
+/// The paper's full-size graph is 62 M vertices; pass the scale your
+/// memory affords — the shape (power-law skew, low diameter) is what
+/// the experiments depend on.
+pub fn twitter_like(scale: u32, seed: u64) -> EdgeList<Edge> {
+    rmat(scale, 24, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn sizes_match_scale() {
+        let g = rmat(8, 16, 1);
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 4096);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = rmat(8, 8, 7);
+        let b = rmat(8, 8, 7);
+        let c = rmat(8, 8, 8);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn all_endpoints_in_range() {
+        let g = rmat(10, 16, 3);
+        let nv = g.num_vertices() as u32;
+        assert!(g.edges().iter().all(|e| e.src < nv && e.dst < nv));
+    }
+
+    #[test]
+    fn degrees_are_power_law_skewed() {
+        let g = rmat(12, 16, 5);
+        let stats = degree_stats(&g);
+        // Power-law: the max degree dwarfs the average, and a large
+        // fraction of vertices has no out-edge at all.
+        assert!(stats.max as f64 > 20.0 * stats.avg, "max {} avg {}", stats.max, stats.avg);
+        assert!(stats.zero_fraction > 0.2, "zero fraction {}", stats.zero_fraction);
+    }
+
+    #[test]
+    fn uniform_params_remove_skew() {
+        let g = rmat_with_params(
+            12,
+            16,
+            5,
+            RmatParams {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+            },
+        );
+        let stats = degree_stats(&g);
+        assert!((stats.max as f64) < 10.0 * stats.avg.max(1.0));
+    }
+
+    #[test]
+    fn twitter_preset_has_higher_edge_factor() {
+        let g = twitter_like(8, 1);
+        assert_eq!(g.num_edges(), 24 * 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn rejects_huge_scale() {
+        let _ = rmat(40, 16, 0);
+    }
+}

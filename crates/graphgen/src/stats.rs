@@ -1,0 +1,57 @@
+//! Degree-distribution statistics, used to characterize generated
+//! graphs (and to sanity-check the generators against the shapes the
+//! paper's datasets have).
+
+use egraph_core::types::{EdgeList, EdgeRecord};
+
+/// Summary of an out-degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Largest out-degree.
+    pub max: u64,
+    /// Mean out-degree.
+    pub avg: f64,
+    /// 99th-percentile out-degree.
+    pub p99: u64,
+    /// Fraction of vertices with no out-edges.
+    pub zero_fraction: f64,
+}
+
+/// Computes out-degree statistics of a graph.
+pub fn degree_stats<E: EdgeRecord>(graph: &EdgeList<E>) -> DegreeStats {
+    let mut degrees = graph.out_degrees();
+    let nv = degrees.len().max(1);
+    let total: u64 = degrees.iter().sum();
+    let zeros = degrees.iter().filter(|&&d| d == 0).count();
+    degrees.sort_unstable();
+    DegreeStats {
+        max: degrees.last().copied().unwrap_or(0),
+        avg: total as f64 / nv as f64,
+        p99: degrees[(nv * 99 / 100).min(nv - 1)],
+        zero_fraction: zeros as f64 / nv as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::types::Edge;
+
+    #[test]
+    fn star_graph_stats() {
+        let edges: Vec<Edge> = (1..10).map(|v| Edge::new(0, v)).collect();
+        let g = EdgeList::new(10, edges).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 9);
+        assert!((s.avg - 0.9).abs() < 1e-12);
+        assert!((s.zero_fraction - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g: EdgeList<Edge> = EdgeList::new(0, vec![]).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.avg, 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! A uniform (Erdős–Rényi-style) random multigraph, used as a
+//! no-skew control input in tests and ablations.
+
+use egraph_core::types::{Edge, EdgeList};
+use egraph_parallel::ops::parallel_init;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates `num_edges` edges whose endpoints are independently
+/// uniform over `0..num_vertices`.
+///
+/// # Panics
+///
+/// Panics if `num_vertices` is zero (with a nonzero edge count) or
+/// exceeds `u32`.
+pub fn uniform(num_vertices: usize, num_edges: usize, seed: u64) -> EdgeList<Edge> {
+    assert!(num_vertices <= u32::MAX as usize, "too many vertices");
+    assert!(
+        num_vertices > 0 || num_edges == 0,
+        "edges need at least one vertex"
+    );
+    let edges = parallel_init(num_edges, 1 << 14, |i| {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        Edge::new(
+            rng.random_range(0..num_vertices as u32),
+            rng.random_range(0..num_vertices as u32),
+        )
+    });
+    EdgeList::from_parts_unchecked(num_vertices, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn shape() {
+        let g = uniform(100, 1000, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 1000);
+    }
+
+    #[test]
+    fn no_heavy_skew() {
+        let g = uniform(1000, 16_000, 2);
+        let s = degree_stats(&g);
+        assert!((s.max as f64) < 4.0 * s.avg, "max {} avg {}", s.max, s.avg);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = uniform(0, 0, 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Generator invariants for arbitrary parameters: determinism,
+//! endpoint validity, and the dataset shapes the experiments rely on.
+
+use egraph_core::types::EdgeRecord;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rmat_is_deterministic_and_in_range(
+        scale in 4u32..12,
+        edge_factor in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let a = egraph_graphgen::rmat(scale, edge_factor, seed);
+        let b = egraph_graphgen::rmat(scale, edge_factor, seed);
+        prop_assert_eq!(a.edges(), b.edges());
+        prop_assert_eq!(a.num_vertices(), 1 << scale);
+        prop_assert_eq!(a.num_edges(), edge_factor << scale);
+        let nv = a.num_vertices() as u32;
+        prop_assert!(a.edges().iter().all(|e| e.src < nv && e.dst < nv));
+    }
+
+    #[test]
+    fn road_shape_invariants(width in 2usize..60, height in 2usize..60) {
+        let g = egraph_graphgen::road_like(width, height);
+        prop_assert_eq!(g.num_vertices(), width * height);
+        prop_assert_eq!(g.num_edges(), 2 * (2 * width * height - width - height));
+        // Degree bounded by 4 and graph symmetric.
+        let degrees = g.out_degrees();
+        prop_assert!(degrees.iter().all(|&d| (1..=4).contains(&d)));
+        let set: std::collections::HashSet<(u32, u32)> =
+            g.edges().iter().map(|e| (e.src, e.dst)).collect();
+        prop_assert!(g.edges().iter().all(|e| set.contains(&(e.dst, e.src))));
+    }
+
+    #[test]
+    fn bipartite_edges_cross_sides_only(
+        users in 1usize..200,
+        items in 1usize..50,
+        ratings in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let g = egraph_graphgen::netflix_like(users, items, ratings, seed);
+        prop_assert_eq!(g.num_edges(), users * ratings);
+        for e in g.edges() {
+            prop_assert!((e.src() as usize) < users);
+            prop_assert!((e.dst() as usize) >= users);
+            prop_assert!((e.dst() as usize) < users + items);
+            prop_assert!((1.0..=5.0).contains(&e.weight()));
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic(nv in 1usize..500, ne in 0usize..2000, seed in any::<u64>()) {
+        let a = egraph_graphgen::uniform(nv, ne, seed);
+        let b = egraph_graphgen::uniform(nv, ne, seed);
+        prop_assert_eq!(a.edges(), b.edges());
+        prop_assert_eq!(a.num_edges(), ne);
+    }
+
+    #[test]
+    fn zipf_always_samples_in_range(n in 1usize..5000, s in 0.0f64..3.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = egraph_graphgen::Zipf::new(n, s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = egraph_graphgen::rmat(10, 8, 1);
+    let b = egraph_graphgen::rmat(10, 8, 2);
+    assert_ne!(a.edges(), b.edges());
+}

@@ -1,0 +1,45 @@
+//! NUMA topology models, graph-partitioning primitives and the
+//! locality cost model used by the §7 experiments.
+//!
+//! The paper evaluates NUMA-awareness on two machines: machine A (2
+//! NUMA nodes, 16 cores) and machine B (4 NUMA nodes, 32 cores). The
+//! host this reproduction runs on has a single node, so this crate
+//! splits the problem the way the paper's analysis does:
+//!
+//! * the **partitioning work** (splitting vertices into per-node
+//!   subsets with balanced edge counts, colocating out-edges with their
+//!   *target* vertices — the Polymer/Gemini scheme) is real code, run
+//!   and measured for real ([`partition`]);
+//! * the **memory-locality consequences** (local vs. remote access
+//!   latency, and the memory-controller contention that §7.2 blames for
+//!   the BFS slowdowns) are modelled analytically from access counts
+//!   recorded during real execution ([`locality`], [`cost`]).
+//!
+//! The calibration constants in [`cost`] come from the public
+//! latency/bandwidth characteristics of the two machine classes, not
+//! from fitting the paper's result figures; see `DESIGN.md` §4.
+//!
+//! # Examples
+//!
+//! ```
+//! use egraph_numa::{edge_balanced_ranges, Topology};
+//!
+//! let topo = Topology::machine_b();
+//! assert_eq!(topo.num_nodes, 4);
+//!
+//! // Split 8 vertices with skewed degrees into 2 edge-balanced parts.
+//! let degrees = vec![100u64, 1, 1, 1, 1, 1, 1, 94];
+//! let parts = edge_balanced_ranges(&degrees, 2);
+//! assert_eq!(parts.len(), 2);
+//! assert_eq!(parts[0], 0..1); // the hub alone balances half the edges
+//! ```
+
+pub mod cost;
+pub mod locality;
+pub mod partition;
+pub mod topology;
+
+pub use cost::{CostModel, MemoryBoundness, ModeledTime};
+pub use locality::LocalityStats;
+pub use partition::{edge_balanced_ranges, range_partition, Placement};
+pub use topology::Topology;

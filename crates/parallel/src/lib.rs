@@ -1,0 +1,63 @@
+//! A small fork-join parallel runtime used by every EverythingGraph crate.
+//!
+//! The paper parallelizes both pre-processing and computation with the
+//! Cilk 4.8 runtime: "the subset of vertices or edges to be processed
+//! during a computation step is kept in a work queue. Threads take work
+//! items from the queue in large enough chunks to reduce the work
+//! distribution overheads" (§2). This crate reproduces that execution
+//! model in safe-to-use Rust:
+//!
+//! * a persistent [`ThreadPool`] of worker threads (plus the calling
+//!   thread, which always participates in a parallel region),
+//! * chunked self-scheduling loops ([`parallel_for`], [`parallel_reduce`],
+//!   [`for_each_chunk`]) in which workers grab fixed-size chunks from a
+//!   shared queue — the paper's "work queue" model,
+//! * a dynamic task pool ([`dynamic_tasks`]) with work stealing semantics
+//!   for irregular, recursive workloads (the recursive parallel radix
+//!   sort of §3.2 is its main client),
+//! * parallel prefix sums ([`scan`]) used by the count-sort and CSR
+//!   builders, and
+//! * atomic float adapters ([`atomicf`]) used by PageRank, SpMV and ALS.
+//!
+//! The number of workers defaults to the machine's available parallelism
+//! and can be overridden with the `EGRAPH_THREADS` environment variable
+//! or per-pool with [`ThreadPool::new`].
+//!
+//! # Examples
+//!
+//! ```
+//! let data: Vec<u64> = (0..10_000).collect();
+//! let sum = egraph_parallel::parallel_reduce(
+//!     0..data.len(),
+//!     1024,
+//!     || 0u64,
+//!     |acc, range| acc + data[range].iter().sum::<u64>(),
+//!     |a, b| a + b,
+//! );
+//! assert_eq!(sum, 10_000 * 9_999 / 2);
+//! ```
+
+pub mod atomicf;
+pub mod dynamic;
+pub mod ops;
+pub mod pool;
+pub mod scan;
+pub mod stealing;
+
+pub use dynamic::{dynamic_tasks, Spawner};
+pub use ops::{
+    for_each_chunk,
+    for_each_chunk_mut,
+    parallel_for,
+    parallel_reduce,
+    DEFAULT_GRAIN,
+};
+pub use pool::{global_pool, ThreadPool, WorkerId};
+pub use scan::{exclusive_prefix_sum, inclusive_prefix_sum};
+
+/// Returns the number of threads the global pool runs with.
+///
+/// This includes the calling thread, so it is always at least 1.
+pub fn current_num_threads() -> usize {
+    global_pool().num_threads()
+}

@@ -1,0 +1,330 @@
+//! The persistent worker pool and its fork-join "parallel region" protocol.
+//!
+//! A [`ThreadPool`] owns `N - 1` background worker threads; the thread
+//! that calls [`ThreadPool::broadcast`] always participates as worker 0,
+//! so a pool of size 1 runs everything inline and spawns no threads at
+//! all (important on single-core machines, where the experiments still
+//! run the exact same code path).
+//!
+//! A parallel region executes one `Fn(WorkerId)` closure once on every
+//! worker. All higher-level operations (chunked loops, reductions,
+//! dynamic task pools) are built from this single primitive plus shared
+//! atomics, mirroring how the paper's Cilk runtime distributes chunks of
+//! a shared work queue among threads.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Identifier of the worker executing a region closure.
+///
+/// Worker ids are dense in `0..num_threads` and stable for the lifetime
+/// of a region, which makes them suitable for indexing per-thread
+/// scratch buffers (e.g. the per-thread histograms of the radix sort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkerId(pub(crate) usize);
+
+impl WorkerId {
+    /// Returns the dense index of this worker in `0..num_threads`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Type-erased pointer to the region closure.
+///
+/// The pointee lives on the caller's stack; `broadcast` blocks until all
+/// workers have finished running it, which is what makes the erasure of
+/// its lifetime sound.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(WorkerId) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared access from many threads is
+// allowed) and `broadcast` does not return until every worker is done
+// with the pointer, so it never dangles while shared.
+unsafe impl Send for JobPtr {}
+
+struct RegionSlot {
+    /// Monotonically increasing region counter; workers use it to detect
+    /// fresh work.
+    epoch: u64,
+    /// The closure to run, present while a region is active.
+    job: Option<JobPtr>,
+    /// Background workers that have not yet finished the current region.
+    remaining: usize,
+}
+
+struct Shared {
+    num_threads: usize,
+    slot: Mutex<RegionSlot>,
+    /// Workers sleep here between regions.
+    work_cv: Condvar,
+    /// The caller sleeps here while workers drain the region.
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    /// Worker id of the region currently executing on this thread, if
+    /// any. Used both to hand out ids and to detect nested regions,
+    /// which run inline (Cilk-style serialization of nested spawns).
+    static CURRENT_WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// A fixed-size fork-join worker pool.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use egraph_parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.broadcast(&|_worker| {
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs regions on `num_threads` threads in
+    /// total (the calling thread plus `num_threads - 1` background
+    /// workers). `num_threads` is clamped to `1..=256`.
+    pub fn new(num_threads: usize) -> Self {
+        let num_threads = num_threads.clamp(1, 256);
+        let shared = Arc::new(Shared {
+            num_threads,
+            slot: Mutex::new(RegionSlot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (1..num_threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("egraph-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("failed to spawn egraph worker thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Creates a pool sized from `EGRAPH_THREADS` or, failing that, the
+    /// machine's available parallelism.
+    pub fn with_default_size() -> Self {
+        Self::new(default_num_threads())
+    }
+
+    /// Returns the total number of threads regions run on, including the
+    /// caller.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.shared.num_threads
+    }
+
+    /// Runs `f` once on every worker (including the calling thread as
+    /// worker 0) and returns when all invocations have completed.
+    ///
+    /// Nested calls from inside a region run `f` inline on the current
+    /// worker instead of deadlocking, so parallel operations compose
+    /// (they merely lose parallelism when nested).
+    pub fn broadcast(&self, f: &(dyn Fn(WorkerId) + Sync)) {
+        if let Some(current) = CURRENT_WORKER.with(Cell::get) {
+            // Nested region: serialize on the current worker.
+            f(WorkerId(current));
+            return;
+        }
+        if self.shared.num_threads == 1 {
+            CURRENT_WORKER.with(|c| c.set(Some(0)));
+            f(WorkerId(0));
+            CURRENT_WORKER.with(|c| c.set(None));
+            return;
+        }
+
+        let ptr: *const (dyn Fn(WorkerId) + Sync) = f;
+        // SAFETY: we only erase the lifetime of the trait object; the
+        // pointer is stored in the shared slot and `broadcast` blocks
+        // below until `remaining == 0`, i.e. until no worker can still
+        // dereference it.
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(WorkerId) + Sync),
+                *const (dyn Fn(WorkerId) + Sync + 'static),
+            >(ptr)
+        });
+
+        {
+            let mut slot = self.shared.slot.lock();
+            debug_assert!(slot.job.is_none(), "overlapping parallel regions");
+            slot.epoch += 1;
+            slot.job = Some(job);
+            slot.remaining = self.shared.num_threads - 1;
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller participates as worker 0.
+        CURRENT_WORKER.with(|c| c.set(Some(0)));
+        f(WorkerId(0));
+        CURRENT_WORKER.with(|c| c.set(None));
+
+        let mut slot = self.shared.slot.lock();
+        while slot.remaining > 0 {
+            self.shared.done_cv.wait(&mut slot);
+        }
+        slot.job = None;
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _slot = self.shared.slot.lock();
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match slot.job {
+                    Some(job) if slot.epoch != last_epoch => {
+                        last_epoch = slot.epoch;
+                        break job;
+                    }
+                    _ => shared.work_cv.wait(&mut slot),
+                }
+            }
+        };
+
+        CURRENT_WORKER.with(|c| c.set(Some(index)));
+        // SAFETY: `broadcast` keeps the pointee alive until `remaining`
+        // drops to zero, which happens strictly after this call returns.
+        (unsafe { &*job.0 })(WorkerId(index));
+        CURRENT_WORKER.with(|c| c.set(None));
+
+        let mut slot = shared.slot.lock();
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Computes the default pool size: `EGRAPH_THREADS` if set and valid,
+/// otherwise the available parallelism of the machine.
+pub fn default_num_threads() -> usize {
+    if let Ok(value) = std::env::var("EGRAPH_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(256);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Returns the process-wide pool, creating it on first use.
+pub fn global_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(ThreadPool::with_default_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn broadcast_runs_once_per_worker() {
+        let pool = ThreadPool::new(8);
+        let flags: Vec<AtomicBool> = (0..8).map(|_| AtomicBool::new(false)).collect();
+        pool.broadcast(&|w| {
+            assert!(!flags[w.index()].swap(true, Ordering::SeqCst));
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst)));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|w| {
+            assert_eq!(w.index(), 0);
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_broadcast_serializes() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            // A nested region must not deadlock; it runs inline, once.
+            pool.broadcast(&|_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn repeated_regions_reuse_workers() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.broadcast(&|_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 400);
+    }
+
+    #[test]
+    fn clamps_thread_count() {
+        assert_eq!(ThreadPool::new(0).num_threads(), 1);
+        assert_eq!(ThreadPool::new(1_000_000).num_threads(), 256);
+    }
+
+    #[test]
+    fn borrows_caller_stack_data() {
+        let pool = ThreadPool::new(4);
+        let data = vec![1u64; 1024];
+        let sum = AtomicUsize::new(0);
+        pool.broadcast(&|w| {
+            let chunk = 1024 / 4;
+            let start = w.index() * chunk;
+            let local: u64 = data[start..start + chunk].iter().sum();
+            sum.fetch_add(local as usize, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 1024);
+    }
+}

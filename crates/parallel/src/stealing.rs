@@ -1,0 +1,193 @@
+//! A per-worker-deque work-stealing scheduler — the literal Cilk
+//! execution model, offered alongside the shared-counter chunk queue of
+//! [`crate::ops`].
+//!
+//! The shared-counter queue (one atomic `fetch_add` per chunk) is the
+//! cheaper scheduler for flat loops, but it serializes all workers on
+//! one cache line. Classic work stealing gives every worker a private
+//! deque — owners pop LIFO from the bottom, thieves steal FIFO from the
+//! top — so a balanced workload runs with zero shared-counter traffic
+//! and an imbalanced one rebalances through stealing. The
+//! `engine_ablations` bench compares the two on even and skewed loops.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+
+use crate::pool::global_pool;
+
+/// Below this many items a range is executed rather than split.
+const SPLIT_THRESHOLD_FACTOR: usize = 4;
+
+/// Runs `f` over disjoint sub-ranges of `range` using per-worker
+/// deques with work stealing.
+///
+/// Each worker starts with an equal slice of the range; it repeatedly
+/// splits its bottom item in half until pieces reach the grain size,
+/// processes pieces LIFO, and steals FIFO from a random victim when its
+/// own deque runs dry.
+///
+/// Semantics match [`crate::parallel_for`]: every index is visited
+/// exactly once, and the call blocks until all work is done.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// let total = AtomicU64::new(0);
+/// egraph_parallel::stealing::stealing_for(0..10_000, 64, |r| {
+///     total.fetch_add(r.len() as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(total.load(Ordering::Relaxed), 10_000);
+/// ```
+pub fn stealing_for<F>(range: Range<usize>, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let grain = grain.max(1);
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let pool = global_pool();
+    let workers = pool.num_threads();
+    if workers == 1 || len <= grain * SPLIT_THRESHOLD_FACTOR {
+        f(range);
+        return;
+    }
+
+    // One deque per worker, seeded with an equal slice of the range.
+    let locals: Vec<Worker<Range<usize>>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Range<usize>>> = locals.iter().map(Worker::stealer).collect();
+    let per_worker = len.div_ceil(workers);
+    for (i, local) in locals.iter().enumerate() {
+        let start = range.start + i * per_worker;
+        let end = range.end.min(start + per_worker);
+        if start < end {
+            local.push(start..end);
+        }
+    }
+    // Hand each worker its own deque through an indexed slot table.
+    let slots: Vec<parking_lot::Mutex<Option<Worker<Range<usize>>>>> =
+        locals.into_iter().map(|w| parking_lot::Mutex::new(Some(w))).collect();
+    let in_flight = AtomicUsize::new(len);
+
+    pool.broadcast(&|worker_id| {
+        let me = worker_id.index();
+        let local = slots[me]
+            .lock()
+            .take()
+            .expect("each worker claims its own deque exactly once");
+        let mut rng_state = 0x9E37_79B9u64.wrapping_mul(me as u64 + 1) | 1;
+        loop {
+            // Drain the local deque, splitting big pieces.
+            while let Some(piece) = local.pop() {
+                process_piece(piece, grain, &local, &f, &in_flight);
+            }
+            if in_flight.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // Steal from a pseudo-random victim.
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let victim = (rng_state >> 33) as usize % stealers.len();
+            match stealers[victim].steal() {
+                Steal::Success(piece) => {
+                    process_piece(piece, grain, &local, &f, &in_flight);
+                }
+                Steal::Retry => {}
+                Steal::Empty => {
+                    if in_flight.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    });
+    debug_assert_eq!(in_flight.load(Ordering::SeqCst), 0);
+}
+
+#[inline]
+fn process_piece<F>(
+    piece: Range<usize>,
+    grain: usize,
+    local: &Worker<Range<usize>>,
+    f: &F,
+    in_flight: &AtomicUsize,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
+    let mut piece = piece;
+    // Split until small enough, pushing halves for thieves.
+    while piece.len() > grain {
+        let mid = piece.start + piece.len() / 2;
+        local.push(mid..piece.end);
+        piece = piece.start..mid;
+    }
+    let n = piece.len();
+    f(piece);
+    in_flight.fetch_sub(n, Ordering::AcqRel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_once() {
+        let n = 200_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        stealing_for(0..n, 512, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        stealing_for(3..3, 16, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn small_range_runs_inline() {
+        let count = AtomicU64::new(0);
+        stealing_for(0..10, 100, |r| {
+            count.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn skewed_costs_still_complete() {
+        // Quadratic cost on the first few indices — stealing must
+        // still terminate with full coverage.
+        let n = 10_000usize;
+        let sum = AtomicU64::new(0);
+        stealing_for(0..n, 64, |r| {
+            let mut acc = 0u64;
+            for i in r {
+                let reps = if i < 8 { 10_000 } else { 1 };
+                for _ in 0..reps {
+                    acc = acc.wrapping_add(i as u64);
+                }
+            }
+            sum.fetch_add(acc, Ordering::Relaxed);
+        });
+        assert!(sum.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn agrees_with_shared_counter_queue() {
+        let data: Vec<u64> = (0..100_000).map(|i| i % 13).collect();
+        let expected: u64 = data.iter().sum();
+        let total = AtomicU64::new(0);
+        stealing_for(0..data.len(), 1000, |r| {
+            total.fetch_add(data[r].iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+}

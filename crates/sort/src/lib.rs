@@ -1,0 +1,62 @@
+//! Sorting kernels for graph pre-processing.
+//!
+//! §3.2 of the paper compares two ways of turning an edge array into
+//! adjacency lists (CSR): the ubiquitous **count sort** — one pass to
+//! count per-vertex degrees, one pass to scatter edges to their final
+//! offsets — and a **parallel radix sort** in the style of Zagha &
+//! Blelloch that treats keys as 8-bit digits and recursively buckets
+//! them. The paper's surprising result (Table 2) is that radix sort is
+//! ~4.8× faster because its buckets are written sequentially and
+//! therefore cache-resident, while count sort's scatter jumps between
+//! distant offsets.
+//!
+//! Both kernels are provided here, generic over the record type and a
+//! key-extraction function, so the same code builds out-CSRs (key =
+//! source vertex), in-CSRs (key = destination vertex) and grids (key =
+//! cell id).
+//!
+//! # Examples
+//!
+//! ```
+//! let mut pairs: Vec<(u32, u32)> = vec![(3, 0), (1, 1), (3, 2), (0, 3)];
+//! egraph_sort::radix_sort_by_key(&mut pairs, 8, |&(k, _)| k as u64);
+//! assert_eq!(pairs, vec![(0, 3), (1, 1), (3, 0), (3, 2)]);
+//! ```
+
+pub mod count;
+pub mod radix;
+
+pub use count::{count_sort_by_key, key_histogram, CountSorted};
+pub use radix::radix_sort_by_key;
+
+/// Returns the number of bits needed to represent keys in `0..n`.
+///
+/// Used to size the radix recursion: a graph with `n` vertices needs
+/// `key_bits(n)` bits of vertex-id key, i.e. `key_bits(n).div_ceil(8)`
+/// radix passes.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(egraph_sort::key_bits(0), 1);
+/// assert_eq!(egraph_sort::key_bits(256), 8);
+/// assert_eq!(egraph_sort::key_bits(257), 9);
+/// ```
+pub fn key_bits(n: usize) -> u32 {
+    let max_key = n.saturating_sub(1) as u64;
+    (64 - max_key.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bits_boundaries() {
+        assert_eq!(key_bits(1), 1);
+        assert_eq!(key_bits(2), 1);
+        assert_eq!(key_bits(3), 2);
+        assert_eq!(key_bits(1 << 20), 20);
+        assert_eq!(key_bits((1 << 20) + 1), 21);
+    }
+}

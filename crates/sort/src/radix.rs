@@ -1,0 +1,448 @@
+//! Parallel MSD radix sort with 8-bit digits (256 buckets per level).
+//!
+//! The top level runs a chunked, *stable* histogram/scatter pass across
+//! all pool workers; each resulting bucket then becomes a task in a
+//! dynamic work-stealing pool and is sorted recursively, one digit at a
+//! time, falling back to a stable comparison sort for small buckets.
+//! The whole sort is therefore stable, which the grid builder relies on
+//! to keep intra-cell edge order deterministic.
+
+use std::mem::MaybeUninit;
+
+use egraph_parallel::{dynamic_tasks, exclusive_prefix_sum, parallel_for, Spawner};
+
+const RADIX_BITS: u32 = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+/// Buckets at or below this size are finished with a comparison sort.
+const SEQ_THRESHOLD: usize = 4 * 1024;
+/// Inputs at or below this size skip the parallel top level entirely.
+const TOP_LEVEL_THRESHOLD: usize = 64 * 1024;
+/// Chunk size of the parallel top-level histogram/scatter pass.
+const TOP_CHUNK: usize = 64 * 1024;
+
+/// Sorts `data` by `key`, treating keys as `key_bits`-bit integers.
+///
+/// Keys wider than `key_bits` bits are a caller bug: the high bits are
+/// ignored, so such records end up ordered by their low `key_bits` bits
+/// only. `key_bits` is clamped to `1..=64`.
+///
+/// The sort is **stable**: records with equal keys keep their input
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// let mut v: Vec<u64> = vec![170, 45, 75, 90, 802, 24, 2, 66];
+/// egraph_sort::radix_sort_by_key(&mut v, 10, |&x| x);
+/// assert_eq!(v, vec![2, 24, 45, 66, 75, 90, 170, 802]);
+/// ```
+pub fn radix_sort_by_key<T, K>(data: &mut [T], key_bits: u32, key: K)
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u64 + Sync,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let key_bits = key_bits.clamp(1, 64);
+    let digits = key_bits.div_ceil(RADIX_BITS);
+    let top_shift = (digits - 1) * RADIX_BITS;
+
+    if n <= SEQ_THRESHOLD {
+        data.sort_by_key(|t| key(t));
+        return;
+    }
+
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit<T>` requires no initialization and the
+    // capacity was just reserved.
+    unsafe { scratch.set_len(n) };
+
+    let data_buf = Buf(data.as_mut_ptr());
+    let scratch_buf = Buf(scratch.as_mut_ptr().cast::<T>());
+
+    if n <= TOP_LEVEL_THRESHOLD {
+        // Modest input: a single sequential top level plus parallel
+        // bucket tasks.
+        // SAFETY: `data_buf`/`scratch_buf` point at live buffers of
+        // length `n`, and `0..n` is the whole (disjoint) range.
+        let tasks =
+            unsafe { scatter_level_seq(data_buf, scratch_buf, 0, n, top_shift, true, &key) };
+        run_bucket_tasks(tasks, data_buf, scratch_buf, &key);
+        return;
+    }
+
+    // Parallel stable top level: per-chunk histograms, transposed
+    // prefix to get stable per-chunk bucket cursors, parallel scatter.
+    let num_chunks = n.div_ceil(TOP_CHUNK);
+    let mut counts = vec![0u64; num_chunks * BUCKETS];
+    {
+        let counts_ptr = Buf(counts.as_mut_ptr());
+        parallel_for(0..num_chunks, 1, |chunks| {
+            for c in chunks {
+                let start = c * TOP_CHUNK;
+                let end = n.min(start + TOP_CHUNK);
+                // SAFETY: chunk `c` is visited exactly once, so this
+                // 256-entry row of `counts` is exclusively ours; the
+                // data range read is immutable during this pass.
+                let row = unsafe {
+                    std::slice::from_raw_parts_mut(counts_ptr.get().add(c * BUCKETS), BUCKETS)
+                };
+                let src = unsafe { std::slice::from_raw_parts(data_buf.get().add(start), end - start) };
+                for t in src {
+                    row[digit(key(t), top_shift)] += 1;
+                }
+            }
+        });
+    }
+
+    // counts is chunk-major; build stable cursors: cursor[c][b] =
+    // bucket_start[b] + sum over earlier chunks of counts[_][b].
+    let mut bucket_totals = [0u64; BUCKETS];
+    for c in 0..num_chunks {
+        for b in 0..BUCKETS {
+            bucket_totals[b] += counts[c * BUCKETS + b];
+        }
+    }
+    let mut bucket_starts = bucket_totals;
+    exclusive_prefix_sum(&mut bucket_starts);
+    {
+        // Rewrite `counts` in place into per-chunk cursors.
+        let mut running = bucket_starts;
+        for c in 0..num_chunks {
+            for b in 0..BUCKETS {
+                let cnt = counts[c * BUCKETS + b];
+                counts[c * BUCKETS + b] = running[b];
+                running[b] += cnt;
+            }
+        }
+    }
+
+    {
+        let counts_ref = &counts;
+        parallel_for(0..num_chunks, 1, |chunks| {
+            for c in chunks {
+                let start = c * TOP_CHUNK;
+                let end = n.min(start + TOP_CHUNK);
+                let mut cursors = [0u64; BUCKETS];
+                cursors.copy_from_slice(&counts_ref[c * BUCKETS..(c + 1) * BUCKETS]);
+                // SAFETY: reads cover this worker's chunk only; writes
+                // go through per-chunk cursors whose ranges are disjoint
+                // across chunks by construction of the prefix above.
+                unsafe {
+                    let src = std::slice::from_raw_parts(data_buf.get().add(start), end - start);
+                    for t in src {
+                        let b = digit(key(t), top_shift);
+                        let pos = cursors[b] as usize;
+                        cursors[b] += 1;
+                        scratch_buf.get().add(pos).write(*t);
+                    }
+                }
+            }
+        });
+    }
+
+    if top_shift == 0 {
+        // Single-digit keys: scratch now holds the sorted output.
+        copy_back_parallel(scratch_buf, data_buf, 0, n);
+        return;
+    }
+
+    let mut tasks = Vec::new();
+    let mut offset = 0u64;
+    for (b, &total) in bucket_totals.iter().enumerate() {
+        debug_assert_eq!(offset, bucket_starts[b]);
+        if total > 0 {
+            tasks.push(Task {
+                start: offset as usize,
+                len: total as usize,
+                shift: top_shift - RADIX_BITS,
+                src_in_data: false,
+            });
+        }
+        offset += total;
+    }
+    run_bucket_tasks(tasks, data_buf, scratch_buf, &key);
+}
+
+/// A pending range sort: `len` records at `start`, next digit at
+/// `shift`, currently living in `data` or `scratch`.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    start: usize,
+    len: usize,
+    shift: u32,
+    src_in_data: bool,
+}
+
+fn run_bucket_tasks<T, K>(tasks: Vec<Task>, data: Buf<T>, scratch: Buf<T>, key: &K)
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u64 + Sync,
+{
+    dynamic_tasks(tasks, |task, spawner| {
+        // SAFETY: tasks operate on pairwise-disjoint ranges — the top
+        // level creates disjoint buckets and `scatter_level_seq` only
+        // spawns sub-ranges of its own range.
+        unsafe { sort_task(task, data, scratch, key, spawner) };
+    });
+}
+
+/// Sorts one task range; may spawn sub-tasks for large buckets.
+///
+/// # Safety
+///
+/// `task`'s range must be disjoint from every other live task's range,
+/// and both buffers must be valid for `task.start + task.len` elements.
+unsafe fn sort_task<T, K>(
+    task: Task,
+    data: Buf<T>,
+    scratch: Buf<T>,
+    key: &K,
+    spawner: &Spawner<'_, Task>,
+) where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u64 + Sync,
+{
+    let Task {
+        start,
+        len,
+        shift,
+        src_in_data,
+    } = task;
+    if len <= SEQ_THRESHOLD {
+        finish_small(data, scratch, start, len, src_in_data, key);
+        return;
+    }
+    let tasks = scatter_level_seq(data, scratch, start, len, shift, src_in_data, key);
+    for t in tasks {
+        if t.len > SEQ_THRESHOLD {
+            spawner.spawn(t);
+        } else {
+            // Handle small buckets inline to avoid task overhead.
+            finish_small(data, scratch, t.start, t.len, t.src_in_data, key);
+        }
+    }
+}
+
+/// Comparison-sorts a small range by the *full* key and makes sure the
+/// result ends up in `data`.
+///
+/// # Safety
+///
+/// The range must be exclusively owned by the caller and initialized in
+/// whichever buffer `src_in_data` points at.
+unsafe fn finish_small<T, K>(
+    data: Buf<T>,
+    scratch: Buf<T>,
+    start: usize,
+    len: usize,
+    src_in_data: bool,
+    key: &K,
+) where
+    T: Copy,
+    K: Fn(&T) -> u64,
+{
+    if len == 0 {
+        return;
+    }
+    let src = if src_in_data { data } else { scratch };
+    let slice = std::slice::from_raw_parts_mut(src.get().add(start), len);
+    slice.sort_by_key(|t| key(t));
+    if !src_in_data {
+        std::ptr::copy_nonoverlapping(scratch.get().add(start), data.get().add(start), len);
+    }
+}
+
+/// One sequential histogram+scatter level over `[start, start+len)`.
+///
+/// Returns follow-up tasks for the buckets (empty if this was the last
+/// digit, in which case the data has been moved back into `data` if
+/// needed).
+///
+/// # Safety
+///
+/// The range must be exclusively owned by the caller, initialized in
+/// the `src_in_data` buffer, and within both buffers' bounds.
+unsafe fn scatter_level_seq<T, K>(
+    data: Buf<T>,
+    scratch: Buf<T>,
+    start: usize,
+    len: usize,
+    shift: u32,
+    src_in_data: bool,
+    key: &K,
+) -> Vec<Task>
+where
+    T: Copy,
+    K: Fn(&T) -> u64,
+{
+    let (src, dst) = if src_in_data {
+        (data, scratch)
+    } else {
+        (scratch, data)
+    };
+    let src_slice = std::slice::from_raw_parts(src.get().add(start), len);
+
+    let mut counts = [0u64; BUCKETS];
+    for t in src_slice {
+        counts[digit(key(t), shift)] += 1;
+    }
+    let mut cursors = counts;
+    exclusive_prefix_sum(&mut cursors);
+    let bucket_starts = cursors;
+    let mut write_cursors = bucket_starts;
+    for t in src_slice {
+        let b = digit(key(t), shift);
+        let pos = start + write_cursors[b] as usize;
+        write_cursors[b] += 1;
+        dst.get().add(pos).write(*t);
+    }
+
+    if shift == 0 {
+        if src_in_data {
+            // Sorted data now sits in scratch; move it home.
+            std::ptr::copy_nonoverlapping(scratch.get().add(start), data.get().add(start), len);
+        }
+        return Vec::new();
+    }
+
+    let mut tasks = Vec::new();
+    for b in 0..BUCKETS {
+        let cnt = counts[b] as usize;
+        if cnt > 0 {
+            tasks.push(Task {
+                start: start + bucket_starts[b] as usize,
+                len: cnt,
+                shift: shift - RADIX_BITS,
+                src_in_data: !src_in_data,
+            });
+        }
+    }
+    tasks
+}
+
+fn copy_back_parallel<T: Copy + Send + Sync>(from: Buf<T>, to: Buf<T>, start: usize, len: usize) {
+    parallel_for(start..start + len, TOP_CHUNK, |r| {
+        // SAFETY: `parallel_for` ranges are disjoint; both buffers are
+        // valid for the whole range and `from` was fully written.
+        unsafe {
+            std::ptr::copy_nonoverlapping(from.get().add(r.start), to.get().add(r.start), r.len());
+        }
+    });
+}
+
+#[inline]
+fn digit(key: u64, shift: u32) -> usize {
+    ((key >> shift) & (BUCKETS as u64 - 1)) as usize
+}
+
+/// Raw buffer pointer shared across workers.
+struct Buf<T>(*mut T);
+
+impl<T> Buf<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for Buf<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Buf<T> {}
+
+// SAFETY: all access paths operate on caller-proven disjoint ranges
+// (see the `# Safety` contracts above), so sharing the raw pointer
+// across workers cannot alias.
+unsafe impl<T: Send> Send for Buf<T> {}
+// SAFETY: same disjointness argument.
+unsafe impl<T: Send> Sync for Buf<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sorted_u64(mut v: Vec<u64>, bits: u32) {
+        let mut expected = v.clone();
+        expected.sort();
+        radix_sort_by_key(&mut v, bits, |&x| x);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        check_sorted_u64(vec![], 8);
+        check_sorted_u64(vec![7], 8);
+    }
+
+    #[test]
+    fn small_comparison_fallback() {
+        check_sorted_u64(vec![5, 3, 9, 1, 1, 0, 255], 8);
+    }
+
+    #[test]
+    fn medium_single_digit() {
+        let v: Vec<u64> = (0..100_000u64).map(|i| (i * 2_654_435_761) % 256).collect();
+        check_sorted_u64(v, 8);
+    }
+
+    #[test]
+    fn large_multi_digit() {
+        let v: Vec<u64> = (0..500_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40)
+            .collect();
+        check_sorted_u64(v, 24);
+    }
+
+    #[test]
+    fn full_64_bit_keys() {
+        let v: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        check_sorted_u64(v, 64);
+    }
+
+    #[test]
+    fn stability_preserved() {
+        // Records carry their original index; equal keys must stay in
+        // input order.
+        let n = 300_000usize;
+        let mut v: Vec<(u32, u32)> = (0..n)
+            .map(|i| (((i as u32).wrapping_mul(2_654_435_761)) % 64, i as u32))
+            .collect();
+        radix_sort_by_key(&mut v, 6, |&(k, _)| k as u64);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated: {:?} {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        let mut v: Vec<(u64, usize)> = (0..200_000).map(|i| (42u64, i)).collect();
+        radix_sort_by_key(&mut v, 16, |&(k, _)| k);
+        for (i, &(k, idx)) in v.iter().enumerate() {
+            assert_eq!(k, 42);
+            assert_eq!(idx, i);
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        check_sorted_u64((0..300_000u64).collect(), 20);
+        check_sorted_u64((0..300_000u64).rev().collect(), 20);
+    }
+
+    #[test]
+    fn key_bits_clamped() {
+        let mut v = vec![3u64, 1, 2];
+        radix_sort_by_key(&mut v, 0, |&x| x);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: both sorting kernels must agree with the standard
+//! library's sort for arbitrary inputs, key widths and key skews.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn radix_equals_std_stable_sort(
+        data in proptest::collection::vec(any::<u32>(), 0..30_000),
+        bits_over in 0u32..3,
+    ) {
+        // Tag every record with its index so stability is observable.
+        let tagged: Vec<(u32, usize)> =
+            data.iter().copied().zip(0..).collect();
+        let max = data.iter().copied().max().unwrap_or(0) as u64;
+        let bits = (64 - max.leading_zeros()).max(1) + bits_over;
+        let mut got = tagged.clone();
+        egraph_sort::radix_sort_by_key(&mut got, bits, |&(k, _)| k as u64);
+        let mut expected = tagged;
+        expected.sort_by_key(|&(k, _)| k);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn radix_skewed_keys(
+        data in proptest::collection::vec(0u64..16, 0..50_000),
+    ) {
+        let mut got = data.clone();
+        egraph_sort::radix_sort_by_key(&mut got, 4, |&x| x);
+        let mut expected = data;
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn count_sort_is_grouped_permutation(
+        data in proptest::collection::vec(0u64..500, 0..30_000),
+    ) {
+        let tagged: Vec<(u64, usize)> = data.iter().copied().zip(0..).collect();
+        let out = egraph_sort::count_sort_by_key(&tagged, 500, |&(k, _)| k);
+        // Offsets match the histogram.
+        for k in 0..500usize {
+            let expected = data.iter().filter(|&&x| x == k as u64).count() as u64;
+            prop_assert_eq!(out.offsets[k + 1] - out.offsets[k], expected);
+        }
+        // Each group holds only its key.
+        for k in 0..500usize {
+            for t in &out.sorted[out.offsets[k] as usize..out.offsets[k + 1] as usize] {
+                prop_assert_eq!(t.0, k as u64);
+            }
+        }
+        // Output is a permutation of the input.
+        let mut tags: Vec<usize> = out.sorted.iter().map(|t| t.1).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..data.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn radix_and_count_agree_on_grouping(
+        data in proptest::collection::vec(0u64..64, 0..20_000),
+    ) {
+        let mut radixed = data.clone();
+        egraph_sort::radix_sort_by_key(&mut radixed, 6, |&x| x);
+        let counted = egraph_sort::count_sort_by_key(&data, 64, |&x| x);
+        prop_assert_eq!(radixed, counted.sorted);
+    }
+
+    #[test]
+    fn histogram_matches_filter_count(
+        data in proptest::collection::vec(0u64..100, 0..20_000),
+    ) {
+        let h = egraph_sort::key_histogram(&data, 100, |&x| x);
+        for k in 0..100u64 {
+            prop_assert_eq!(h[k as usize], data.iter().filter(|&&x| x == k).count() as u64);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The binary edge-array file format.
+//!
+//! Layout (little endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "EGRF"
+//! 4       4     version (currently 1)
+//! 8       4     flags (bit 0: records carry an f32 weight)
+//! 12      4     reserved (zero)
+//! 16      8     num_vertices
+//! 24      8     num_edges
+//! 32      …     records: (src u32, dst u32[, weight f32]) × num_edges
+//! ```
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use egraph_core::types::{EdgeList, EdgeRecord, GraphError};
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"EGRF";
+/// Current format version.
+pub const VERSION: u32 = 1;
+const HEADER_LEN: usize = 32;
+
+/// Errors produced while reading an edge-array file.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic.
+    BadMagic([u8; 4]),
+    /// The file uses an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The file's weightedness does not match the requested record
+    /// type.
+    WeightednessMismatch {
+        /// Whether the file stores weights.
+        file_weighted: bool,
+        /// Whether the requested record type expects weights.
+        requested_weighted: bool,
+    },
+    /// The file ended before `num_edges` records were read.
+    Truncated {
+        /// Records expected from the header.
+        expected_edges: u64,
+        /// Records actually present.
+        found_edges: u64,
+    },
+    /// The records reference vertices outside the declared range.
+    Graph(GraphError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::BadMagic(m) => write!(f, "bad magic {m:?}, expected {MAGIC:?}"),
+            FormatError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            FormatError::WeightednessMismatch {
+                file_weighted,
+                requested_weighted,
+            } => write!(
+                f,
+                "file weighted={file_weighted} but requested record type weighted={requested_weighted}"
+            ),
+            FormatError::Truncated {
+                expected_edges,
+                found_edges,
+            } => write!(f, "truncated: expected {expected_edges} edges, found {found_edges}"),
+            FormatError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+fn record_len<E: EdgeRecord>() -> usize {
+    if E::WEIGHTED {
+        12
+    } else {
+        8
+    }
+}
+
+/// Writes an edge list in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<E: EdgeRecord, W: Write>(
+    mut w: W,
+    graph: &EdgeList<E>,
+) -> std::io::Result<()> {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.put_slice(&MAGIC);
+    header.put_u32_le(VERSION);
+    header.put_u32_le(u32::from(E::WEIGHTED));
+    header.put_u32_le(0);
+    header.put_u64_le(graph.num_vertices() as u64);
+    header.put_u64_le(graph.num_edges() as u64);
+    w.write_all(&header)?;
+
+    // Serialize in sizeable batches to keep write() counts low.
+    let mut buf = Vec::with_capacity(record_len::<E>() * 64 * 1024);
+    for chunk in graph.edges().chunks(64 * 1024) {
+        buf.clear();
+        for e in chunk {
+            buf.put_u32_le(e.src());
+            buf.put_u32_le(e.dst());
+            if E::WEIGHTED {
+                buf.put_f32_le(e.weight());
+            }
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Parsed header of an edge-array file.
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// Whether records carry weights.
+    pub weighted: bool,
+    /// Declared vertex count.
+    pub num_vertices: u64,
+    /// Declared edge count.
+    pub num_edges: u64,
+}
+
+fn read_header<E: EdgeRecord, R: Read>(r: &mut R) -> Result<Header, FormatError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FormatError::Truncated {
+                expected_edges: 0,
+                found_edges: 0,
+            }
+        } else {
+            FormatError::Io(e)
+        }
+    })?;
+    let mut buf = &header[..];
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(FormatError::BadMagic(magic));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(FormatError::UnsupportedVersion(version));
+    }
+    let flags = buf.get_u32_le();
+    let _reserved = buf.get_u32_le();
+    let weighted = flags & 1 != 0;
+    if weighted != E::WEIGHTED {
+        return Err(FormatError::WeightednessMismatch {
+            file_weighted: weighted,
+            requested_weighted: E::WEIGHTED,
+        });
+    }
+    Ok(Header {
+        weighted,
+        num_vertices: buf.get_u64_le(),
+        num_edges: buf.get_u64_le(),
+    })
+}
+
+/// Reads a whole edge-array file.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] on malformed input, including truncation
+/// and out-of-range vertex ids.
+pub fn read_edge_list<E: EdgeRecord, R: Read>(mut r: R) -> Result<EdgeList<E>, FormatError> {
+    let header = read_header::<E, R>(&mut r)?;
+    let mut edges = Vec::with_capacity(header.num_edges.min(1 << 28) as usize);
+    read_records::<E, R>(&mut r, header.num_edges, |chunk| {
+        edges.extend_from_slice(chunk)
+    })?;
+    EdgeList::new(header.num_vertices as usize, edges).map_err(FormatError::Graph)
+}
+
+/// Streams an edge-array file in chunks, invoking `sink` as records
+/// arrive — the entry point for pipelines that overlap pre-processing
+/// with loading (§3.4). Returns the header.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] on malformed input. Records handed to
+/// `sink` before an error are not rolled back.
+pub fn read_edge_list_chunked<E: EdgeRecord, R: Read>(
+    mut r: R,
+    mut sink: impl FnMut(&[E]),
+) -> Result<Header, FormatError> {
+    let header = read_header::<E, R>(&mut r)?;
+    read_records::<E, R>(&mut r, header.num_edges, |chunk| sink(chunk))?;
+    Ok(header)
+}
+
+const CHUNK_RECORDS: usize = 64 * 1024;
+
+fn read_records<E: EdgeRecord, R: Read>(
+    r: &mut R,
+    num_edges: u64,
+    mut sink: impl FnMut(&[E]),
+) -> Result<(), FormatError> {
+    let rec = record_len::<E>();
+    let mut remaining = num_edges;
+    let mut raw = vec![0u8; rec * CHUNK_RECORDS];
+    let mut decoded: Vec<E> = Vec::with_capacity(CHUNK_RECORDS);
+    let mut read_edges = 0u64;
+    while remaining > 0 {
+        let take = (remaining as usize).min(CHUNK_RECORDS);
+        let bytes = &mut raw[..take * rec];
+        if let Err(e) = r.read_exact(bytes) {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                return Err(FormatError::Truncated {
+                    expected_edges: num_edges,
+                    found_edges: read_edges,
+                });
+            }
+            return Err(FormatError::Io(e));
+        }
+        decoded.clear();
+        let mut buf = &bytes[..];
+        for _ in 0..take {
+            let src = buf.get_u32_le();
+            let dst = buf.get_u32_le();
+            let weight = if E::WEIGHTED { buf.get_f32_le() } else { 1.0 };
+            decoded.push(E::new(src, dst, weight));
+        }
+        sink(&decoded);
+        read_edges += take as u64;
+        remaining -= take as u64;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::types::{Edge, WEdge};
+
+    fn sample() -> EdgeList<Edge> {
+        EdgeList::new(5, vec![Edge::new(0, 1), Edge::new(4, 2), Edge::new(3, 3)]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let graph = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &graph).unwrap();
+        let back: EdgeList<Edge> = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back, graph);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let graph =
+            EdgeList::new(3, vec![WEdge::new(0, 1, 2.5), WEdge::new(2, 0, -1.0)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &graph).unwrap();
+        let back: EdgeList<WEdge> = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back, graph);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        match read_edge_list::<Edge, _>(&buf[..]) {
+            Err(FormatError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &sample()).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_edge_list::<Edge, _>(&buf[..]),
+            Err(FormatError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn weightedness_mismatch_detected() {
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &sample()).unwrap();
+        assert!(matches!(
+            read_edge_list::<WEdge, _>(&buf[..]),
+            Err(FormatError::WeightednessMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 5);
+        match read_edge_list::<Edge, _>(&buf[..]) {
+            Err(FormatError::Truncated {
+                expected_edges: 3,
+                found_edges,
+            }) => assert!(found_edges < 3),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_vertex_detected() {
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &sample()).unwrap();
+        // Corrupt num_vertices down to 2.
+        buf[16] = 2;
+        assert!(matches!(
+            read_edge_list::<Edge, _>(&buf[..]),
+            Err(FormatError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_read_equals_whole_read() {
+        // Cross the chunk boundary: 200k edges > 64k chunk.
+        let edges: Vec<Edge> = (0..200_000u32)
+            .map(|i| Edge::new(i % 500, (i * 7) % 500))
+            .collect();
+        let graph = EdgeList::new(500, edges).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &graph).unwrap();
+        let mut streamed = Vec::new();
+        let header = read_edge_list_chunked::<Edge, _>(&buf[..], |chunk| {
+            streamed.extend_from_slice(chunk)
+        })
+        .unwrap();
+        assert_eq!(header.num_edges, 200_000);
+        assert_eq!(streamed, graph.edges());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let graph: EdgeList<Edge> = EdgeList::new(0, vec![]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &graph).unwrap();
+        let back: EdgeList<Edge> = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn empty_file_is_truncated_error() {
+        assert!(matches!(
+            read_edge_list::<Edge, _>(&[][..]),
+            Err(FormatError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Storing computation results — the final step of the paper's
+//! end-to-end pipeline ("loading the graph […], pre-processing […],
+//! executing the actual graph algorithm, and **storing the results**",
+//! §1).
+//!
+//! Results are per-vertex arrays: BFS parents and WCC labels are
+//! `u32`, SSSP distances / PageRank ranks / SpMV outputs are `f32`.
+//! The format mirrors the edge format: a small validated header plus
+//! raw little-endian values.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use crate::format::FormatError;
+
+/// Result-file magic.
+pub const RESULT_MAGIC: [u8; 4] = *b"EGRR";
+const HEADER_LEN: usize = 16;
+
+/// Element type tag stored in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dtype {
+    U32 = 0,
+    F32 = 1,
+}
+
+fn write_header<W: Write>(w: &mut W, dtype: Dtype, len: usize) -> std::io::Result<()> {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.put_slice(&RESULT_MAGIC);
+    header.put_u32_le(dtype as u32);
+    header.put_u64_le(len as u64);
+    w.write_all(&header)
+}
+
+fn read_header<R: Read>(r: &mut R, expect: Dtype) -> Result<u64, FormatError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let mut buf = &header[..];
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != RESULT_MAGIC {
+        return Err(FormatError::BadMagic(magic));
+    }
+    let dtype = buf.get_u32_le();
+    if dtype != expect as u32 {
+        return Err(FormatError::UnsupportedVersion(dtype));
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Writes a `u32` per-vertex result array (BFS parents, WCC labels).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_u32_result<W: Write>(mut w: W, values: &[u32]) -> std::io::Result<()> {
+    write_header(&mut w, Dtype::U32, values.len())?;
+    let mut buf = Vec::with_capacity(4 * 64 * 1024);
+    for chunk in values.chunks(64 * 1024) {
+        buf.clear();
+        for &v in chunk {
+            buf.put_u32_le(v);
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Reads a `u32` result array.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] on malformed input.
+pub fn read_u32_result<R: Read>(mut r: R) -> Result<Vec<u32>, FormatError> {
+    let len = read_header(&mut r, Dtype::U32)? as usize;
+    let mut raw = vec![0u8; len * 4];
+    r.read_exact(&mut raw).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FormatError::Truncated {
+                expected_edges: len as u64,
+                found_edges: 0,
+            }
+        } else {
+            FormatError::Io(e)
+        }
+    })?;
+    let mut buf = &raw[..];
+    Ok((0..len).map(|_| buf.get_u32_le()).collect())
+}
+
+/// Writes an `f32` per-vertex result array (distances, ranks).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_f32_result<W: Write>(mut w: W, values: &[f32]) -> std::io::Result<()> {
+    write_header(&mut w, Dtype::F32, values.len())?;
+    let mut buf = Vec::with_capacity(4 * 64 * 1024);
+    for chunk in values.chunks(64 * 1024) {
+        buf.clear();
+        for &v in chunk {
+            buf.put_f32_le(v);
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Reads an `f32` result array.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] on malformed input.
+pub fn read_f32_result<R: Read>(mut r: R) -> Result<Vec<f32>, FormatError> {
+    let len = read_header(&mut r, Dtype::F32)? as usize;
+    let mut raw = vec![0u8; len * 4];
+    r.read_exact(&mut raw).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FormatError::Truncated {
+                expected_edges: len as u64,
+                found_edges: 0,
+            }
+        } else {
+            FormatError::Io(e)
+        }
+    })?;
+    let mut buf = &raw[..];
+    Ok((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let values: Vec<u32> = (0..100_000).map(|i| i * 7).collect();
+        let mut file = Vec::new();
+        write_u32_result(&mut file, &values).unwrap();
+        assert_eq!(read_u32_result(&file[..]).unwrap(), values);
+    }
+
+    #[test]
+    fn f32_roundtrip_with_specials() {
+        let values = vec![0.0f32, -1.5, f32::INFINITY, f32::MAX, 1e-30];
+        let mut file = Vec::new();
+        write_f32_result(&mut file, &values).unwrap();
+        assert_eq!(read_f32_result(&file[..]).unwrap(), values);
+    }
+
+    #[test]
+    fn dtype_mismatch_detected() {
+        let mut file = Vec::new();
+        write_u32_result(&mut file, &[1, 2, 3]).unwrap();
+        assert!(read_f32_result(&file[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_result_detected() {
+        let mut file = Vec::new();
+        write_u32_result(&mut file, &[1, 2, 3]).unwrap();
+        file.truncate(file.len() - 2);
+        assert!(matches!(
+            read_u32_result(&file[..]),
+            Err(FormatError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut file = Vec::new();
+        write_u32_result(&mut file, &[1]).unwrap();
+        file[0] = b'Z';
+        assert!(matches!(
+            read_u32_result(&file[..]),
+            Err(FormatError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn empty_result_roundtrip() {
+        let mut file = Vec::new();
+        write_f32_result(&mut file, &[]).unwrap();
+        assert!(read_f32_result(&file[..]).unwrap().is_empty());
+    }
+}

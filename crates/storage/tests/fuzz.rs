@@ -1,0 +1,88 @@
+//! Failure-injection tests: the reader must return a typed error —
+//! never panic, never hand back silently wrong data — for arbitrary
+//! corruption of a valid file.
+
+use egraph_core::types::{Edge, EdgeList, WEdge};
+use egraph_storage::{read_edge_list, write_edge_list, FormatError};
+use proptest::prelude::*;
+
+fn valid_file() -> Vec<u8> {
+    let graph = EdgeList::new(
+        100,
+        (0..500u32).map(|i| Edge::new(i % 100, (i * 7) % 100)).collect(),
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    write_edge_list(&mut buf, &graph).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncation_at_any_point_is_detected(cut in 0usize..4032) {
+        let mut file = valid_file();
+        prop_assume!(cut < file.len());
+        file.truncate(cut);
+        match read_edge_list::<Edge, _>(&file[..]) {
+            Err(_) => {}
+            Ok(g) => {
+                // Only acceptable if the truncation kept the file valid
+                // — impossible here because the header pins the edge
+                // count.
+                prop_assert_eq!(g.num_edges(), 500, "silently wrong data");
+                prop_assert_eq!(cut, valid_file().len());
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        pos in 0usize..4032,
+        val in any::<u8>(),
+    ) {
+        let mut file = valid_file();
+        prop_assume!(pos < file.len());
+        file[pos] = val;
+        // Must return *something* without panicking; if it parses, the
+        // graph must still be structurally valid.
+        if let Ok(g) = read_edge_list::<Edge, _>(&file[..]) {
+            for e in g.edges() {
+                prop_assert!((e.src as usize) < g.num_vertices());
+                prop_assert!((e.dst as usize) < g.num_vertices());
+            }
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_edge_list::<Edge, _>(&data[..]);
+        let _ = read_edge_list::<WEdge, _>(&data[..]);
+    }
+
+    #[test]
+    fn header_edge_count_inflation_is_truncation(extra in 1u64..1000) {
+        let mut file = valid_file();
+        // num_edges lives at offset 24, little endian.
+        let claimed = 500 + extra;
+        file[24..32].copy_from_slice(&claimed.to_le_bytes());
+        let truncated = matches!(
+            read_edge_list::<Edge, _>(&file[..]),
+            Err(FormatError::Truncated { .. })
+        );
+        prop_assert!(truncated);
+    }
+}
+
+#[test]
+fn weighted_and_unweighted_files_are_distinguished() {
+    let unweighted = valid_file();
+    assert!(matches!(
+        read_edge_list::<WEdge, _>(&unweighted[..]),
+        Err(FormatError::WeightednessMismatch {
+            file_weighted: false,
+            requested_weighted: true
+        })
+    ));
+}

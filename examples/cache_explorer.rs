@@ -1,0 +1,91 @@
+//! Explore how data layout drives LLC behaviour: run BFS and PageRank
+//! on every layout with the cache simulator attached and print the
+//! per-access-kind breakdown (edges vs source metadata vs destination
+//! metadata) — §5's three miss sources made visible.
+//!
+//! Run with: `cargo run --release --example cache_explorer`
+
+use everything_graph::cachesim::{AccessKind, CacheConfig, CacheHierarchy, HierarchyProbe};
+use everything_graph::core::algo::{bfs, pagerank};
+use everything_graph::core::prelude::*;
+use everything_graph::graphgen;
+
+fn probe() -> HierarchyProbe {
+    // A small hierarchy so the graph's metadata clearly exceeds it,
+    // like RMAT-26 vs machine B's 16 MB LLC.
+    HierarchyProbe::new(CacheHierarchy::new(
+        CacheConfig {
+            capacity: 16 * 1024,
+            ways: 16,
+            line_size: 64,
+        },
+        CacheConfig {
+            capacity: 128 * 1024,
+            ways: 16,
+            line_size: 64,
+        },
+    ))
+}
+
+fn print_report(name: &str, probe: &HierarchyProbe) {
+    let r = probe.report();
+    println!(
+        "{name:<22} overall {:>3.0}%  | edges {:>3.0}%  src-meta {:>3.0}%  dst-meta {:>3.0}%  (LLC accesses {})",
+        100.0 * r.overall_miss_ratio(),
+        100.0 * r.kind(AccessKind::Edge).miss_ratio(),
+        100.0 * r.kind(AccessKind::SrcMeta).miss_ratio(),
+        100.0 * r.kind(AccessKind::DstMeta).miss_ratio(),
+        r.total().accesses,
+    );
+}
+
+fn main() {
+    let graph = graphgen::rmat(14, 16, 77);
+    let degrees: Vec<u32> = graph.out_degrees().iter().map(|&d| d as u32).collect();
+    let root = 0u32;
+    let cfg = pagerank::PagerankConfig {
+        iterations: 1,
+        ..Default::default()
+    };
+
+    let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&graph);
+    let grid = GridBuilder::new(Strategy::RadixSort).side(32).build(&graph);
+
+    println!(
+        "graph: {} vertices, {} edges; simulated LLC: 128 KB\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!("LLC miss ratio per access kind (lower is better):\n");
+
+    println!("--- BFS ---");
+    let p = probe();
+    bfs::push_probed(&adj, root, &p);
+    print_report("adjacency list", &p);
+    let p = probe();
+    bfs::edge_centric_probed(&graph, root, &p);
+    print_report("edge array", &p);
+    let p = probe();
+    bfs::grid_probed(&grid, root, &p);
+    print_report("grid 32x32", &p);
+
+    println!("\n--- PageRank (1 iteration) ---");
+    let p = probe();
+    pagerank::push_probed(adj.out(), &degrees, cfg, pagerank::PushSync::Atomics, &p);
+    print_report("adjacency list", &p);
+    let p = probe();
+    pagerank::edge_centric_probed(&graph, &degrees, cfg, pagerank::PushSync::Atomics, &p);
+    print_report("edge array", &p);
+    let p = probe();
+    pagerank::grid_push_probed(&grid, &degrees, cfg, false, &p);
+    print_report("grid 32x32", &p);
+
+    println!();
+    println!("what to look for (§5):");
+    println!(" - edge fetches stream: their miss ratio stays low everywhere");
+    println!("   (the stream prefetcher covers them);");
+    println!(" - destination metadata is the expensive access: random on the");
+    println!("   edge array and adjacency list, range-bounded on the grid;");
+    println!(" - the grid's overall ratio is roughly half the others' — the");
+    println!("   Table 4 effect.");
+}

@@ -1,0 +1,68 @@
+//! A guided tour of the grid layout — the paper's Figure 4 example,
+//! exactly: the 4-vertex graph {(0,1), (1,0), (0,2), (0,3), (2,3)}
+//! transformed into a 2x2 grid, then the column/row ownership that
+//! makes lock-free push and pull possible.
+//!
+//! Run with: `cargo run --example grid_tour`
+
+use everything_graph::core::prelude::*;
+
+fn main() {
+    // The Figure 4 graph.
+    let graph = EdgeList::new(
+        4,
+        vec![
+            Edge::new(0, 1),
+            Edge::new(1, 0),
+            Edge::new(0, 2),
+            Edge::new(0, 3),
+            Edge::new(2, 3),
+        ],
+    )
+    .expect("valid edge list");
+
+    let grid = GridBuilder::new(Strategy::RadixSort).side(2).build(&graph);
+    println!("Figure 4: a 4-vertex graph as a 2x2 grid");
+    println!("vertex ranges: 0-1 and 2-3\n");
+    for row in 0..2 {
+        for col in 0..2 {
+            let cell: Vec<String> = grid
+                .cell(row, col)
+                .iter()
+                .map(|e| format!("({},{})", e.src, e.dst))
+                .collect();
+            println!(
+                "cell ({row},{col})  src in {:?}, dst in {:?}:  {}",
+                grid.vertex_range(row),
+                grid.vertex_range(col),
+                if cell.is_empty() { "-".to_string() } else { cell.join(" ") }
+            );
+        }
+    }
+
+    println!("\nwhy this enables lock-free execution (§6.1.2):");
+    println!(" - edges in different ROWS have different SOURCE vertices;");
+    println!("   give each core its own rows -> source updates need no locks (pull)");
+    println!(" - edges in different COLUMNS have different DESTINATION vertices;");
+    println!("   give each core its own columns -> destination updates need no locks (push)");
+
+    // Show the column partition concretely.
+    println!("\ncolumn ownership for push mode:");
+    for col in 0..2 {
+        let mut dsts: Vec<u32> = (0..2)
+            .flat_map(|row| grid.cell(row, col).iter().map(|e| e.dst))
+            .collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        println!(
+            "  core {col} owns column {col}: writes only vertices {dsts:?} (⊆ {:?})",
+            grid.vertex_range(col)
+        );
+    }
+
+    // And the cache-locality motivation: cells bound the working set.
+    println!("\ncache motivation (§5.1): while a core processes cell (r,c), the");
+    println!("metadata of ranges r and c stays in cache and is reused for every");
+    println!("edge of the cell — the paper measures this halving the LLC miss");
+    println!("ratio for PageRank (Table 4).");
+}

@@ -1,0 +1,59 @@
+//! The §9 roadmap as an interactive advisor: for a set of workload
+//! descriptions, print the layout/flow/synchronization/NUMA
+//! recommendation and its reasoning.
+//!
+//! Run with: `cargo run --example layout_advisor`
+
+use everything_graph::core::roadmap::{recommend, AlgorithmTraits, GraphTraits};
+use everything_graph::numa::Topology;
+
+fn main() {
+    let machines = [Topology::machine_a(), Topology::machine_b()];
+    let workloads: Vec<(&str, AlgorithmTraits, GraphTraits)> = vec![
+        (
+            "BFS on Twitter",
+            AlgorithmTraits::traversal(2.3),
+            GraphTraits::new(62_000_000, 1_468_000_000, false),
+        ),
+        (
+            "PageRank (10 iters) on Twitter",
+            AlgorithmTraits::full_graph_iterative(38.0),
+            GraphTraits::new(62_000_000, 1_468_000_000, false),
+        ),
+        (
+            "PageRank on US-Road",
+            AlgorithmTraits::full_graph_iterative(1.6),
+            GraphTraits::new(23_900_000, 58_000_000, true),
+        ),
+        (
+            "SpMV on RMAT-26",
+            AlgorithmTraits::single_pass(),
+            GraphTraits::new(1 << 26, 1 << 30, false),
+        ),
+        (
+            "SSSP on US-Road",
+            AlgorithmTraits::traversal(30.0),
+            GraphTraits::new(23_900_000, 58_000_000, true),
+        ),
+    ];
+
+    for machine in &machines {
+        println!("================ {} ({} NUMA nodes) ================", machine.name, machine.num_nodes);
+        for (name, algo, graph) in &workloads {
+            let r = recommend(algo, graph, machine);
+            println!("\n{name}");
+            println!(
+                "  -> layout {:?}, flow {:?}, lock-free {}, NUMA-aware {}, build with {}",
+                r.layout,
+                r.flow,
+                r.lock_free,
+                r.numa_aware,
+                r.preprocessing.name()
+            );
+            for line in &r.rationale {
+                println!("     * {line}");
+            }
+        }
+        println!();
+    }
+}

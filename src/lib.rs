@@ -1,0 +1,47 @@
+//! EverythingGraph-rs — a technique-isolation study of multicore graph
+//! processing.
+//!
+//! This is the umbrella crate of a from-scratch Rust reproduction of
+//! *"Everything you always wanted to know about multicore graph
+//! processing but were afraid to ask"* (Malicevic, Lepers, Zwaenepoel —
+//! USENIX ATC 2017). It re-exports every sub-crate of the workspace so
+//! applications can depend on a single crate:
+//!
+//! * [`core`] — graph layouts (edge array / adjacency list / grid),
+//!   pre-processing strategies (dynamic / count sort / radix sort), the
+//!   push/pull/push-pull execution engine and the six study algorithms
+//!   (BFS, WCC, SSSP, PageRank, SpMV, ALS).
+//! * [`parallel`] — the fork-join work-queue runtime (Cilk substitute).
+//! * [`sort`] — parallel radix and count sorting kernels.
+//! * [`graphgen`] — RMAT, road-like, bipartite and uniform generators.
+//! * [`storage`] — the binary edge format and the storage-medium model
+//!   (SSD/HDD loading, overlap of loading with pre-processing).
+//! * [`cachesim`] — a set-associative LLC simulator for miss-ratio
+//!   measurements.
+//! * [`numa`] — NUMA topology models, the Polymer/Gemini partitioner
+//!   and the locality cost model.
+//!
+//! # Examples
+//!
+//! ```
+//! use everything_graph::core::algo::bfs;
+//! use everything_graph::core::prelude::*;
+//! use everything_graph::graphgen;
+//!
+//! // Generate a small power-law graph and run BFS on an adjacency
+//! // list in push mode — the paper's recommended configuration for
+//! // traversal algorithms (§9).
+//! let edges = graphgen::rmat(10, 16, 42);
+//! let graph = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+//!     .build(&edges);
+//! let result = bfs::push(&graph, 0);
+//! assert!(result.reachable_count() > 0);
+//! ```
+
+pub use egraph_cachesim as cachesim;
+pub use egraph_core as core;
+pub use egraph_graphgen as graphgen;
+pub use egraph_numa as numa;
+pub use egraph_parallel as parallel;
+pub use egraph_sort as sort;
+pub use egraph_storage as storage;
