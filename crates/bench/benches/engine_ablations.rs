@@ -43,7 +43,9 @@ fn bench_grid_side(c: &mut Criterion) {
     let mut group = c.benchmark_group("grid_side_ablation");
     group.throughput(Throughput::Elements(graph.num_edges() as u64));
     for side in [4usize, 16, 64, 256] {
-        let grid = GridBuilder::new(Strategy::RadixSort).side(side).build(&graph);
+        let grid = GridBuilder::new(Strategy::RadixSort)
+            .side(side)
+            .build(&graph);
         group.bench_with_input(BenchmarkId::new("pagerank_step", side), &grid, |b, grid| {
             b.iter(|| black_box(pagerank::grid_push(grid, &degrees, cfg, false).ranks[0]))
         });
@@ -58,17 +60,21 @@ fn bench_grain_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("work_queue_grain");
     group.throughput(Throughput::Elements(data.len() as u64));
     for grain in [64usize, 1024, 16384, 262144] {
-        group.bench_with_input(BenchmarkId::new("reduce_sum", grain), &grain, |b, &grain| {
-            b.iter(|| {
-                black_box(egraph_parallel::parallel_reduce(
-                    0..data.len(),
-                    grain,
-                    || 0u64,
-                    |acc, r| acc + data[r].iter().sum::<u64>(),
-                    |a, b| a + b,
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reduce_sum", grain),
+            &grain,
+            |b, &grain| {
+                b.iter(|| {
+                    black_box(egraph_parallel::parallel_reduce(
+                        0..data.len(),
+                        grain,
+                        || 0u64,
+                        |acc, r| acc + data[r].iter().sum::<u64>(),
+                        |a, b| a + b,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

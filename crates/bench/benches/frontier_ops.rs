@@ -11,7 +11,9 @@ const NV: usize = 1 << 20;
 fn bench_accumulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("next_frontier_accumulate");
     for &active in &[1usize << 8, 1 << 14, 1 << 18] {
-        let vertices: Vec<u32> = (0..active as u32).map(|i| i.wrapping_mul(2654435761) % NV as u32).collect();
+        let vertices: Vec<u32> = (0..active as u32)
+            .map(|i| i.wrapping_mul(2654435761) % NV as u32)
+            .collect();
         group.throughput(Throughput::Elements(active as u64));
         group.bench_with_input(BenchmarkId::new("sparse", active), &vertices, |b, vs| {
             b.iter(|| {

@@ -26,9 +26,7 @@ fn bench_layouts(c: &mut Criterion) {
         b.iter(|| black_box(pagerank::pull(adj.incoming(), &degrees, cfg).ranks[0]))
     });
     group.bench_function(BenchmarkId::new("adj_push_atomics", scale), |b| {
-        b.iter(|| {
-            black_box(pagerank::push(adj.out(), &degrees, cfg, PushSync::Atomics).ranks[0])
-        })
+        b.iter(|| black_box(pagerank::push(adj.out(), &degrees, cfg, PushSync::Atomics).ranks[0]))
     });
     group.bench_function(BenchmarkId::new("edge_array_atomics", scale), |b| {
         b.iter(|| {

@@ -14,9 +14,7 @@ fn bench_partitioning(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("partition_{nodes}nodes"), scale),
                 &graph,
-                |b, graph| {
-                    b.iter(|| black_box(partition_by_target(graph, nodes).num_edges()))
-                },
+                |b, graph| b.iter(|| black_box(partition_by_target(graph, nodes).num_edges())),
             );
         }
     }

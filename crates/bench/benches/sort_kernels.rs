@@ -19,11 +19,9 @@ fn bench_sorts(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("radix_sort", scale), &input, |b, input| {
             b.iter(|| {
                 let mut data = input.clone();
-                egraph_sort::radix_sort_by_key(
-                    &mut data,
-                    egraph_sort::key_bits(nv),
-                    |e| e.src() as u64,
-                );
+                egraph_sort::radix_sort_by_key(&mut data, egraph_sort::key_bits(nv), |e| {
+                    e.src() as u64
+                });
                 black_box(data.len())
             })
         });
@@ -35,13 +33,17 @@ fn bench_sorts(c: &mut Criterion) {
             })
         });
 
-        group.bench_with_input(BenchmarkId::new("std_unstable", scale), &input, |b, input| {
-            b.iter(|| {
-                let mut data = input.clone();
-                data.sort_unstable_by_key(|e| e.src());
-                black_box(data.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("std_unstable", scale),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut data = input.clone();
+                    data.sort_unstable_by_key(|e| e.src());
+                    black_box(data.len())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -31,14 +31,18 @@ fn bench_format(c: &mut Criterion) {
                 black_box(g.num_edges())
             })
         });
-        group.bench_with_input(BenchmarkId::new("decode_chunked", scale), &file, |b, file| {
-            b.iter(|| {
-                let mut total = 0usize;
-                read_edge_list_chunked::<Edge, _>(&file[..], |chunk| total += chunk.len())
-                    .unwrap();
-                black_box(total)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_chunked", scale),
+            &file,
+            |b, file| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    read_edge_list_chunked::<Edge, _>(&file[..], |chunk| total += chunk.len())
+                        .unwrap();
+                    black_box(total)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -13,6 +13,7 @@
 use egraph_bench::{fmt_pct, graphs, llc, ExperimentCtx, ResultTable};
 use egraph_core::algo::pagerank;
 use egraph_core::preprocess::{GridBuilder, Strategy};
+use egraph_core::telemetry::ExecContext;
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
@@ -27,7 +28,13 @@ fn main() {
     };
     let mut table = ResultTable::new(
         "ablation_grid_shape",
-        &["graph", "avg degree", "edge-array miss", "grid miss", "reduction"],
+        &[
+            "graph",
+            "avg degree",
+            "edge-array miss",
+            "grid miss",
+            "reduction",
+        ],
     );
 
     // The road graph keeps its natural (DIMACS-like) edge order here:
@@ -42,7 +49,13 @@ fn main() {
         let avg = graph.num_edges() as f64 / graph.num_vertices() as f64;
 
         let probe = llc::probe_for(graph.num_vertices(), 12);
-        pagerank::edge_centric_probed(&graph, &degrees, cfg, pagerank::PushSync::Atomics, &probe);
+        pagerank::edge_centric_ctx(
+            &graph,
+            &degrees,
+            cfg,
+            pagerank::PushSync::Atomics,
+            &ExecContext::new().with_probe(&probe),
+        );
         let edge_miss = probe.report().overall_miss_ratio();
 
         // Grid side matched to the simulated LLC (as in exp_fig5_table4).
@@ -51,9 +64,17 @@ fn main() {
             let range = (cap / (2 * 12)).max(64);
             graph.num_vertices().div_ceil(range).clamp(8, 256)
         };
-        let grid = GridBuilder::new(Strategy::RadixSort).side(side).build(&graph);
+        let grid = GridBuilder::new(Strategy::RadixSort)
+            .side(side)
+            .build(&graph);
         let probe = llc::probe_for(graph.num_vertices(), 12);
-        pagerank::grid_push_probed(&grid, &degrees, cfg, false, &probe);
+        pagerank::grid_push_ctx(
+            &grid,
+            &degrees,
+            cfg,
+            false,
+            &ExecContext::new().with_probe(&probe),
+        );
         let grid_miss = probe.report().overall_miss_ratio();
 
         let reduction = if edge_miss < 0.01 {

@@ -16,6 +16,7 @@
 use egraph_bench::{fmt_pct, graphs, llc, ExperimentCtx, ResultTable};
 use egraph_core::algo::pagerank;
 use egraph_core::preprocess::{GridBuilder, Strategy};
+use egraph_core::telemetry::ExecContext;
 use egraph_core::types::{Edge, EdgeList};
 
 fn miss_ratios(graph: &EdgeList<Edge>) -> (f64, f64) {
@@ -25,7 +26,13 @@ fn miss_ratios(graph: &EdgeList<Edge>) -> (f64, f64) {
         ..Default::default()
     };
     let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::edge_centric_probed(graph, &degrees, cfg, pagerank::PushSync::Atomics, &probe);
+    pagerank::edge_centric_ctx(
+        graph,
+        &degrees,
+        cfg,
+        pagerank::PushSync::Atomics,
+        &ExecContext::new().with_probe(&probe),
+    );
     let edge_miss = probe.report().overall_miss_ratio();
 
     let side = {
@@ -33,9 +40,17 @@ fn miss_ratios(graph: &EdgeList<Edge>) -> (f64, f64) {
         let range = (cap / (2 * 12)).max(64);
         graph.num_vertices().div_ceil(range).clamp(8, 256)
     };
-    let grid = GridBuilder::new(Strategy::RadixSort).side(side).build(graph);
+    let grid = GridBuilder::new(Strategy::RadixSort)
+        .side(side)
+        .build(graph);
     let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::grid_push_probed(&grid, &degrees, cfg, false, &probe);
+    pagerank::grid_push_ctx(
+        &grid,
+        &degrees,
+        cfg,
+        false,
+        &ExecContext::new().with_probe(&probe),
+    );
     (edge_miss, probe.report().overall_miss_ratio())
 }
 
@@ -65,11 +80,7 @@ fn main() {
     );
     for (name, graph) in &variants {
         let (edge_miss, grid_miss) = miss_ratios(graph);
-        table.add_row(vec![
-            (*name).into(),
-            fmt_pct(edge_miss),
-            fmt_pct(grid_miss),
-        ]);
+        table.add_row(vec![(*name).into(), fmt_pct(edge_miss), fmt_pct(grid_miss)]);
     }
     table.print();
     println!();

@@ -13,7 +13,10 @@ use egraph_core::preprocess::{CsrBuilder, Strategy};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_ablation_sssp", "ablation: Bellman-Ford push vs delta-stepping");
+    ctx.banner(
+        "exp_ablation_sssp",
+        "ablation: Bellman-Ford push vs delta-stepping",
+    );
     let reps = reps();
 
     let mut table = ResultTable::new(
@@ -48,7 +51,11 @@ fn main() {
                 (r, s)
             });
             // Same answer as the baseline.
-            assert_eq!(r.reachable_count(), push_result.reachable_count(), "delta {delta}");
+            assert_eq!(
+                r.reachable_count(),
+                push_result.reachable_count(),
+                "delta {delta}"
+            );
             table.add_row(vec![
                 name.into(),
                 format!("delta-stepping (d={delta})"),

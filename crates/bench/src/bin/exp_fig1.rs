@@ -6,11 +6,16 @@
 use egraph_bench::{fmt_ratio, fmt_secs, graphs, ExperimentCtx, ResultTable};
 use egraph_core::algo::bfs;
 use egraph_core::layout::EdgeDirection;
+use egraph_core::metrics::TimeBreakdown;
 use egraph_core::preprocess::{CsrBuilder, Strategy};
+use egraph_core::telemetry::{ExecContext, RunTrace, TraceRecorder};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_fig1", "Figure 1 (BFS push vs push-pull, Twitter-shaped graph)");
+    ctx.banner(
+        "exp_fig1",
+        "Figure 1 (BFS push vs push-pull, Twitter-shaped graph)",
+    );
 
     let graph = graphs::twitter_like(ctx.scale);
     let root = graphs::best_root(&graph);
@@ -89,4 +94,54 @@ fn main() {
         fmt_ratio(pre_pp_secs / pre_push_secs.max(1e-9))
     );
     ctx.save(&table);
+
+    // With --trace-out, replay the winning push-pull run once more
+    // with a recorder attached and emit the same machine-readable
+    // document the CLI's `run --trace-out` produces.
+    if ctx.tracing() {
+        egraph_parallel::telemetry::reset();
+        egraph_parallel::telemetry::enable();
+        let recorder = TraceRecorder::new();
+        let traced = bfs::push_pull_ctx(
+            &adj_both,
+            root,
+            &ExecContext::new().with_recorder(&recorder),
+        );
+        egraph_parallel::telemetry::disable();
+        let pool = egraph_parallel::telemetry::snapshot();
+
+        let mut trace = RunTrace::new("bfs");
+        trace.config.insert("experiment".into(), "exp_fig1".into());
+        trace.config.insert("flow".into(), "push-pull".into());
+        trace.config.insert("scale".into(), ctx.scale.to_string());
+        trace.config.insert(
+            "threads".into(),
+            egraph_parallel::current_num_threads().to_string(),
+        );
+        trace.breakdown = TimeBreakdown {
+            preprocess: pre_pp_secs,
+            algorithm: traced.algorithm_seconds(),
+            ..TimeBreakdown::default()
+        };
+        trace.absorb(&recorder);
+        trace
+            .counters
+            .insert("pool.regions".into(), pool.regions as f64);
+        trace
+            .counters
+            .insert("pool.chunks".into(), pool.chunks as f64);
+        trace
+            .counters
+            .insert("pool.steals".into(), pool.steals as f64);
+        trace
+            .counters
+            .insert("pool.tasks".into(), pool.tasks as f64);
+        trace
+            .counters
+            .insert("pool.busy_seconds_total".into(), pool.total_busy_seconds());
+        trace
+            .counters
+            .insert("pool.load_imbalance".into(), pool.load_imbalance());
+        ctx.save_trace(&trace);
+    }
 }

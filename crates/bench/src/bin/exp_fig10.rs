@@ -15,7 +15,10 @@ use egraph_numa::{CostModel, MemoryBoundness, Topology};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_fig10", "Figure 10 (BFS on road graph, NUMA contention)");
+    ctx.banner(
+        "exp_fig10",
+        "Figure 10 (BFS on road graph, NUMA contention)",
+    );
 
     let graph = graphs::road_like(ctx.scale);
     println!(
@@ -32,7 +35,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "fig10_road_bfs_numa",
-        &["policy", "preprocess(s)", "partition(s)", "algorithm(s)", "total(s)", "peak-node-share"],
+        &[
+            "policy",
+            "preprocess(s)",
+            "partition(s)",
+            "algorithm(s)",
+            "total(s)",
+            "peak-node-share",
+        ],
     );
     let mut totals = Vec::new();
     for policy in [DataPolicy::Interleaved, DataPolicy::NumaAware] {

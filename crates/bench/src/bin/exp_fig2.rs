@@ -8,7 +8,10 @@ use egraph_core::preprocess::{CsrBuilder, Strategy};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_fig2", "Figure 2 (pre-processing scaling across RMAT sizes)");
+    ctx.banner(
+        "exp_fig2",
+        "Figure 2 (pre-processing scaling across RMAT sizes)",
+    );
 
     let scales: Vec<u32> = (ctx.scale.saturating_sub(4)..=ctx.scale).collect();
     let mut table = ResultTable::new(
@@ -27,8 +30,7 @@ fn main() {
             .enumerate()
         {
             let ((), best) = egraph_bench::min_time(reps, || {
-                let (_, stats) =
-                    CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(&graph);
+                let (_, stats) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(&graph);
                 ((), stats.seconds)
             });
             secs[i] = best;
@@ -67,7 +69,11 @@ fn main() {
         );
         println!(
             "linear scaling across doublings: {}",
-            if ratios_ok { "yes (~2x per step)" } else { "noisy at this scale" }
+            if ratios_ok {
+                "yes (~2x per step)"
+            } else {
+                "noisy at this scale"
+            }
         );
     }
     ctx.save(&table);

@@ -13,7 +13,10 @@ use egraph_core::preprocess::{CsrBuilder, Strategy};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_fig3", "Figure 3 (vertex-centric vs edge-centric, BFS/PR/SpMV)");
+    ctx.banner(
+        "exp_fig3",
+        "Figure 3 (vertex-centric vs edge-centric, BFS/PR/SpMV)",
+    );
 
     let graph = graphs::rmat(ctx.scale);
     let weighted = graphs::with_weights(&graph);
@@ -23,7 +26,13 @@ fn main() {
 
     let mut table = ResultTable::new(
         "fig3_vertex_vs_edge_centric",
-        &["algorithm", "layout", "preprocess(s)", "algorithm(s)", "total(s)"],
+        &[
+            "algorithm",
+            "layout",
+            "preprocess(s)",
+            "algorithm(s)",
+            "total(s)",
+        ],
     );
     let push_row = |table: &mut ResultTable, algo: &str, layout: &str, pre: f64, alg: f64| {
         table.add_row(vec![
@@ -72,7 +81,9 @@ fn main() {
     push_row(&mut table, "pagerank", "edge-array", 0.0, pr_edge);
 
     // --- SpMV ---
-    let x: Vec<f32> = (0..graph.num_vertices()).map(|i| (i % 7) as f32 / 7.0).collect();
+    let x: Vec<f32> = (0..graph.num_vertices())
+        .map(|i| (i % 7) as f32 / 7.0)
+        .collect();
     let (wadj, wpre_secs) = egraph_bench::min_time(reps, || {
         let (a, s) =
             CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build_timed(&weighted);

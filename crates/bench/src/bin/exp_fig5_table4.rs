@@ -13,10 +13,14 @@ use egraph_bench::{fmt_pct, fmt_secs, graphs, llc, ExperimentCtx, ResultTable};
 use egraph_core::algo::{bfs, pagerank};
 use egraph_core::layout::EdgeDirection;
 use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use egraph_core::telemetry::ExecContext;
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_fig5_table4", "Figure 5 + Table 4 (cache-locality layouts)");
+    ctx.banner(
+        "exp_fig5_table4",
+        "Figure 5 + Table 4 (cache-locality layouts)",
+    );
 
     let graph = graphs::rmat(ctx.scale);
     let degrees = graphs::out_degrees_u32(&graph);
@@ -34,11 +38,19 @@ fn main() {
     let (adj_sorted, pre_sorted) = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
         .sort_neighbors(true)
         .build_timed(&graph);
-    let (grid, pre_grid) = GridBuilder::new(Strategy::RadixSort).side(side).build_timed(&graph);
+    let (grid, pre_grid) = GridBuilder::new(Strategy::RadixSort)
+        .side(side)
+        .build_timed(&graph);
 
     let mut fig5 = ResultTable::new(
         "fig5_cache_layout_times",
-        &["algorithm", "layout", "preprocess(s)", "algorithm(s)", "total(s)"],
+        &[
+            "algorithm",
+            "layout",
+            "preprocess(s)",
+            "algorithm(s)",
+            "total(s)",
+        ],
     );
     let mut table4 = ResultTable::new("table4_llc_miss_ratios", &["layout", "BFS", "Pagerank"]);
 
@@ -49,8 +61,13 @@ fn main() {
     let bfs_grid = bfs::grid(&grid, root).algorithm_seconds();
 
     let pr_adj = pagerank::push(adj.out(), &degrees, pr_cfg, pagerank::PushSync::Atomics).seconds;
-    let pr_sorted =
-        pagerank::push(adj_sorted.out(), &degrees, pr_cfg, pagerank::PushSync::Atomics).seconds;
+    let pr_sorted = pagerank::push(
+        adj_sorted.out(),
+        &degrees,
+        pr_cfg,
+        pagerank::PushSync::Atomics,
+    )
+    .seconds;
     let pr_edge =
         pagerank::edge_centric(&graph, &degrees, pr_cfg, pagerank::PushSync::Atomics).seconds;
     let pr_grid = pagerank::grid_push(&grid, &degrees, pr_cfg, false).seconds;
@@ -90,41 +107,41 @@ fn main() {
     };
 
     let probe = llc::probe_for(graph.num_vertices(), 1);
-    bfs::push_probed(&adj, root, &probe);
+    bfs::push_ctx(&adj, root, &ExecContext::new().with_probe(&probe));
     let b = probe.report().overall_miss_ratio();
     let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::push_probed(
+    pagerank::push_ctx(
         adj.out(),
         &degrees,
         pr_probe_cfg,
         pagerank::PushSync::Atomics,
-        &probe,
+        &ExecContext::new().with_probe(&probe),
     );
     add_llc("adj. unsorted", b, probe.report().overall_miss_ratio());
 
     let probe = llc::probe_for(graph.num_vertices(), 1);
-    bfs::push_probed(&adj_sorted, root, &probe);
+    bfs::push_ctx(&adj_sorted, root, &ExecContext::new().with_probe(&probe));
     let b = probe.report().overall_miss_ratio();
     let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::push_probed(
+    pagerank::push_ctx(
         adj_sorted.out(),
         &degrees,
         pr_probe_cfg,
         pagerank::PushSync::Atomics,
-        &probe,
+        &ExecContext::new().with_probe(&probe),
     );
     add_llc("adj. sorted", b, probe.report().overall_miss_ratio());
 
     let probe = llc::probe_for(graph.num_vertices(), 1);
-    bfs::edge_centric_probed(&graph, root, &probe);
+    bfs::edge_centric_ctx(&graph, root, &ExecContext::new().with_probe(&probe));
     let b = probe.report().overall_miss_ratio();
     let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::edge_centric_probed(
+    pagerank::edge_centric_ctx(
         &graph,
         &degrees,
         pr_probe_cfg,
         pagerank::PushSync::Atomics,
-        &probe,
+        &ExecContext::new().with_probe(&probe),
     );
     add_llc("edge array", b, probe.report().overall_miss_ratio());
 
@@ -141,10 +158,20 @@ fn main() {
         .build(&graph);
     println!("(probed grid uses side {probe_side}, matched to the scaled LLC)");
     let probe = llc::probe_for(graph.num_vertices(), 1);
-    bfs::grid_probed(&grid_probe_layout, root, &probe);
+    bfs::grid_ctx(
+        &grid_probe_layout,
+        root,
+        &ExecContext::new().with_probe(&probe),
+    );
     let b = probe.report().overall_miss_ratio();
     let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::grid_push_probed(&grid_probe_layout, &degrees, pr_probe_cfg, false, &probe);
+    pagerank::grid_push_ctx(
+        &grid_probe_layout,
+        &degrees,
+        pr_probe_cfg,
+        false,
+        &ExecContext::new().with_probe(&probe),
+    );
     add_llc("grid", b, probe.report().overall_miss_ratio());
 
     println!();

@@ -48,7 +48,11 @@ fn main() {
     println!();
     println!(
         "pull wins the high-density middle iterations: {}",
-        if pull_wins_middle { "yes (matches Fig. 6)" } else { "no (graph too small to show it)" }
+        if pull_wins_middle {
+            "yes (matches Fig. 6)"
+        } else {
+            "no (graph too small to show it)"
+        }
     );
     println!("paper: push faster in iteration 1 and after 3; pull faster in iterations 2-3.");
     ctx.save(&table);

@@ -13,7 +13,10 @@ use egraph_core::preprocess::{CsrBuilder, Strategy};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_fig7", "Figure 7 (BFS push-pull vs push(locks) vs pull(no lock))");
+    ctx.banner(
+        "exp_fig7",
+        "Figure 7 (BFS push-pull vs push(locks) vs pull(no lock))",
+    );
 
     let graph = graphs::rmat(ctx.scale);
     let root = graphs::best_root(&graph);
@@ -56,7 +59,11 @@ fn main() {
     );
     let rows = [
         ("adj. push-pull", pre_both, push_pull.algorithm_seconds()),
-        ("adj. push (locks)", pre_out, push_locked.algorithm_seconds()),
+        (
+            "adj. push (locks)",
+            pre_out,
+            push_locked.algorithm_seconds(),
+        ),
         ("adj. pull (no lock)", pre_in, pull.algorithm_seconds()),
     ];
     for (name, pre, algo) in rows {

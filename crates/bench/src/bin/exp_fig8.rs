@@ -13,7 +13,10 @@ use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_fig8", "Figure 8 (PageRank: locks vs no locks, adj vs grid)");
+    ctx.banner(
+        "exp_fig8",
+        "Figure 8 (PageRank: locks vs no locks, adj vs grid)",
+    );
 
     let graph = graphs::rmat(ctx.scale);
     let degrees = graphs::out_degrees_u32(&graph);
@@ -30,7 +33,9 @@ fn main() {
         (a, s.seconds)
     });
     let (grid, pre_grid) = egraph_bench::min_time(reps, || {
-        let (g, s) = GridBuilder::new(Strategy::RadixSort).side(side).build_timed(&graph);
+        let (g, s) = GridBuilder::new(Strategy::RadixSort)
+            .side(side)
+            .build_timed(&graph);
         (g, s.seconds)
     });
 
@@ -78,16 +83,11 @@ fn main() {
     println!();
     println!(
         "adj: pull(no lock) end-to-end gain over push(locks): {} (paper: ~40%)",
-        fmt_ratio(
-            (pre_out + push_locks.seconds) / (pre_in + pull_nolock.seconds).max(1e-9)
-        )
+        fmt_ratio((pre_out + push_locks.seconds) / (pre_in + pull_nolock.seconds).max(1e-9))
     );
     println!(
         "grid: no-lock end-to-end gain over locks:            {} (paper: ~1.5x)",
-        fmt_ratio(
-            (pre_grid + grid_locks.seconds)
-                / (pre_grid + grid_nolock.seconds).max(1e-9)
-        )
+        fmt_ratio((pre_grid + grid_locks.seconds) / (pre_grid + grid_nolock.seconds).max(1e-9))
     );
     ctx.save(&table);
 }

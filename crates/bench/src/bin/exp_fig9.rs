@@ -17,7 +17,10 @@ use egraph_numa::{CostModel, MemoryBoundness, Topology};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_fig9", "Figure 9 (NUMA-aware vs interleaved, BFS & PageRank, machines A/B)");
+    ctx.banner(
+        "exp_fig9",
+        "Figure 9 (NUMA-aware vs interleaved, BFS & PageRank, machines A/B)",
+    );
 
     let graph = graphs::rmat(ctx.scale);
     let degrees = graphs::out_degrees_u32(&graph);
@@ -36,7 +39,15 @@ fn main() {
 
     let mut table = ResultTable::new(
         "fig9_numa",
-        &["algo", "machine", "policy", "preprocess(s)", "partition(s)", "algorithm(s)", "total(s)"],
+        &[
+            "algo",
+            "machine",
+            "policy",
+            "preprocess(s)",
+            "partition(s)",
+            "algorithm(s)",
+            "total(s)",
+        ],
     );
 
     let mut totals = std::collections::BTreeMap::new();
@@ -88,11 +99,17 @@ fn main() {
     let ratio = |a: &str, b: &str| totals[a] / totals[b].max(1e-9);
     println!(
         "PR machine B: interleaved/NUMA total = {} (paper: NUMA wins, ~2x algorithm gain)",
-        fmt_ratio(ratio("pagerank/machine-B/inter.", "pagerank/machine-B/NUMA"))
+        fmt_ratio(ratio(
+            "pagerank/machine-B/inter.",
+            "pagerank/machine-B/NUMA"
+        ))
     );
     println!(
         "PR machine A: interleaved/NUMA total = {} (paper: NUMA does NOT pay end-to-end)",
-        fmt_ratio(ratio("pagerank/machine-A/inter.", "pagerank/machine-A/NUMA"))
+        fmt_ratio(ratio(
+            "pagerank/machine-A/inter.",
+            "pagerank/machine-A/NUMA"
+        ))
     );
     println!(
         "BFS machine B: NUMA/interleaved total = {} (paper: ~1.8x slower)",

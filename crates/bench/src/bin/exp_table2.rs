@@ -11,7 +11,10 @@ use egraph_core::preprocess::{CsrBuilder, Strategy};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_table2", "Table 2 (adjacency-list creation cost + LLC misses)");
+    ctx.banner(
+        "exp_table2",
+        "Table 2 (adjacency-list creation cost + LLC misses)",
+    );
 
     let graph = graphs::twitter_like(ctx.scale);
     println!(

@@ -15,7 +15,10 @@ use egraph_storage::{Medium, OverlapPlan};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_table3", "Table 3 (loading + pre-processing, SSD vs HDD)");
+    ctx.banner(
+        "exp_table3",
+        "Table 3 (loading + pre-processing, SSD vs HDD)",
+    );
 
     let graph = graphs::rmat(ctx.scale);
     let bytes = (graph.num_edges() * std::mem::size_of::<egraph_core::types::Edge>()) as u64;
@@ -43,7 +46,13 @@ fn main() {
             let (_, s) = CsrBuilder::new(Strategy::CountSort, direction).build_timed(&graph);
             ((), s.seconds)
         };
-        measured.push((direction, dyn_stats.seconds, radix_stats.seconds, count_pass, count_total));
+        measured.push((
+            direction,
+            dyn_stats.seconds,
+            radix_stats.seconds,
+            count_pass,
+            count_total,
+        ));
     }
 
     let mut table = ResultTable::new(
@@ -55,8 +64,12 @@ fn main() {
         let mut row_radix = vec![format!("radix-sort, loaded from {}", medium.name)];
         let mut row_count = vec![format!("count-sort, loaded from {}", medium.name)];
         for &(_, dyn_s, radix_s, count_pass, count_total) in &measured {
-            row_dynamic.push(fmt_secs(OverlapPlan::dynamic(dyn_s).makespan(medium, bytes)));
-            row_radix.push(fmt_secs(OverlapPlan::radix(radix_s).makespan(medium, bytes)));
+            row_dynamic.push(fmt_secs(
+                OverlapPlan::dynamic(dyn_s).makespan(medium, bytes),
+            ));
+            row_radix.push(fmt_secs(
+                OverlapPlan::radix(radix_s).makespan(medium, bytes),
+            ));
             row_count.push(fmt_secs(
                 OverlapPlan::count_sort(count_pass, (count_total - count_pass).max(0.0))
                     .makespan(medium, bytes),

@@ -15,12 +15,23 @@ use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_table5", "Table 5 (best approaches: BFS & PageRank on Twitter/US-Road)");
+    ctx.banner(
+        "exp_table5",
+        "Table 5 (best approaches: BFS & PageRank on Twitter/US-Road)",
+    );
     let reps = reps();
 
     let mut table = ResultTable::new(
         "table5_best_approaches",
-        &["algo", "graph", "layout", "model", "preprocess(s)", "algorithm(s)", "total(s)"],
+        &[
+            "algo",
+            "graph",
+            "layout",
+            "model",
+            "preprocess(s)",
+            "algorithm(s)",
+            "total(s)",
+        ],
     );
 
     for (graph_name, graph) in [
@@ -61,7 +72,10 @@ fn main() {
             let s = r.algorithm_seconds();
             (r, s)
         });
-        assert_eq!(bfs_adj_result.reachable_count(), bfs_edge_result.reachable_count());
+        assert_eq!(
+            bfs_adj_result.reachable_count(),
+            bfs_edge_result.reachable_count()
+        );
         table.add_row(vec![
             "BFS".into(),
             graph_name.into(),

@@ -15,14 +15,31 @@ use egraph_core::preprocess::{CsrBuilder, Strategy};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
-    ctx.banner("exp_table6", "Table 6 (best approaches: WCC, SpMV, SSSP, ALS)");
+    ctx.banner(
+        "exp_table6",
+        "Table 6 (best approaches: WCC, SpMV, SSSP, ALS)",
+    );
     let reps = reps();
 
     let mut table = ResultTable::new(
         "table6_other_algorithms",
-        &["algo", "graph", "layout", "model", "preprocess(s)", "algorithm(s)", "total(s)"],
+        &[
+            "algo",
+            "graph",
+            "layout",
+            "model",
+            "preprocess(s)",
+            "algorithm(s)",
+            "total(s)",
+        ],
     );
-    let row = |t: &mut ResultTable, algo: &str, graph: &str, layout: &str, model: &str, pre: f64, alg: f64| {
+    let row = |t: &mut ResultTable,
+               algo: &str,
+               graph: &str,
+               layout: &str,
+               model: &str,
+               pre: f64,
+               alg: f64| {
         t.add_row(vec![
             algo.into(),
             graph.into(),
@@ -63,8 +80,20 @@ fn main() {
             let s = r.algorithm_seconds();
             (r, s)
         });
-        assert_eq!(r.component_count(), r2.component_count(), "WCC variants agree");
-        row(&mut table, "WCC", name, "Adj. list", "Push", wcc_pre, wcc_adj);
+        assert_eq!(
+            r.component_count(),
+            r2.component_count(),
+            "WCC variants agree"
+        );
+        row(
+            &mut table,
+            "WCC",
+            name,
+            "Adj. list",
+            "Push",
+            wcc_pre,
+            wcc_adj,
+        );
     }
 
     // --- SpMV: edge array vs adjacency list on RMAT. ---
@@ -76,7 +105,15 @@ fn main() {
             let r = spmv::edge_centric(&weighted, &x);
             ((), r.seconds)
         });
-        row(&mut table, "SpMV", "RMAT", "Edge array", "Push", 0.0, spmv_edge);
+        row(
+            &mut table,
+            "SpMV",
+            "RMAT",
+            "Edge array",
+            "Push",
+            0.0,
+            spmv_edge,
+        );
         let (wadj, wpre) = min_time(reps, || {
             let (a, s) =
                 CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build_timed(&weighted);
@@ -86,7 +123,15 @@ fn main() {
             let r = spmv::push(wadj.out(), &x);
             ((), r.seconds)
         });
-        row(&mut table, "SpMV", "RMAT", "Adj. list", "Push", wpre, spmv_adj);
+        row(
+            &mut table,
+            "SpMV",
+            "RMAT",
+            "Adj. list",
+            "Push",
+            wpre,
+            spmv_adj,
+        );
     }
 
     // --- SSSP: adjacency push vs edge array on RMAT and road. ---
@@ -106,15 +151,35 @@ fn main() {
             let s = r.algorithm_seconds();
             (r, s)
         });
-        row(&mut table, "SSSP", name, "Adj. list", "Push", wpre, sssp_adj);
+        row(
+            &mut table,
+            "SSSP",
+            name,
+            "Adj. list",
+            "Push",
+            wpre,
+            sssp_adj,
+        );
         let sssp_reps = if name == "US-Road" { 1 } else { reps };
         let (r2, sssp_edge) = min_time(sssp_reps, || {
             let r = sssp::edge_centric(&weighted, root);
             let s = r.algorithm_seconds();
             (r, s)
         });
-        assert_eq!(r.reachable_count(), r2.reachable_count(), "SSSP variants agree");
-        row(&mut table, "SSSP", name, "Edge array", "Push", 0.0, sssp_edge);
+        assert_eq!(
+            r.reachable_count(),
+            r2.reachable_count(),
+            "SSSP variants agree"
+        );
+        row(
+            &mut table,
+            "SSSP",
+            name,
+            "Edge array",
+            "Push",
+            0.0,
+            sssp_edge,
+        );
     }
 
     // --- ALS on the Netflix-shaped bipartite graph. ---
@@ -134,7 +199,15 @@ fn main() {
         let s = r.seconds;
         (r, s)
     });
-    row(&mut table, "ALS", "Netflix", "Adj. list", "Pull (no lock)", rpre, als_secs);
+    row(
+        &mut table,
+        "ALS",
+        "Netflix",
+        "Adj. list",
+        "Pull (no lock)",
+        rpre,
+        als_secs,
+    );
     println!(
         "(ALS trained to RMSE {:.3} over {} ratings)\n",
         r.rmse_history.last().copied().unwrap_or(f64::NAN),

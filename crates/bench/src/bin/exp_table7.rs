@@ -8,12 +8,40 @@ fn main() {
     println!("=== exp_table7 — Table 7 (systems that inspired the techniques) ===\n");
     let mut table = ResultTable::new(
         "table7_systems",
-        &["system", "data layout", "iteration model", "push or pull", "without locks", "NUMA-aware"],
+        &[
+            "system",
+            "data layout",
+            "iteration model",
+            "push or pull",
+            "without locks",
+            "NUMA-aware",
+        ],
     );
     for row in [
-        ["Ligra", "Adj list", "Vertex-centric", "Push&Pull", "Yes", "-"],
-        ["Polymer", "Adj list", "Vertex-centric", "Push&Pull", "Yes", "Yes"],
-        ["Gemini", "Adj list", "Vertex-centric", "Push&Pull", "Yes", "Yes"],
+        [
+            "Ligra",
+            "Adj list",
+            "Vertex-centric",
+            "Push&Pull",
+            "Yes",
+            "-",
+        ],
+        [
+            "Polymer",
+            "Adj list",
+            "Vertex-centric",
+            "Push&Pull",
+            "Yes",
+            "Yes",
+        ],
+        [
+            "Gemini",
+            "Adj list",
+            "Vertex-centric",
+            "Push&Pull",
+            "Yes",
+            "Yes",
+        ],
         ["X-Stream", "Edge array", "Edge-centric", "Push", "-", "-"],
         ["GridGraph", "Grid", "Grid-cell", "Push", "Yes", "-"],
     ] {

@@ -23,6 +23,8 @@ pub mod trace;
 
 use std::path::PathBuf;
 
+use egraph_core::telemetry::{RunTrace, TraceFormat};
+
 pub use table::ResultTable;
 
 /// Shared context of one experiment run.
@@ -32,17 +34,23 @@ pub struct ExperimentCtx {
     pub scale: u32,
     /// Where CSV outputs are written.
     pub out_dir: PathBuf,
+    /// Where a machine-readable [`RunTrace`] is written, if requested
+    /// with `--trace-out FILE` (same document the CLI's `run
+    /// --trace-out` emits; a `.csv` extension selects the CSV form).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl ExperimentCtx {
-    /// Builds a context from `--scale N` / `--out DIR` command-line
-    /// arguments and the `EGRAPH_SCALE` environment variable.
+    /// Builds a context from `--scale N` / `--out DIR` /
+    /// `--trace-out FILE` command-line arguments and the
+    /// `EGRAPH_SCALE` environment variable.
     pub fn from_args() -> Self {
         let mut scale: u32 = std::env::var("EGRAPH_SCALE")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(16);
         let mut out_dir = PathBuf::from("bench_results");
+        let mut trace_out = None;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -55,13 +63,42 @@ impl ExperimentCtx {
                     out_dir = PathBuf::from(&args[i + 1]);
                     i += 2;
                 }
+                "--trace-out" if i + 1 < args.len() => {
+                    trace_out = Some(PathBuf::from(&args[i + 1]));
+                    i += 2;
+                }
                 other => {
                     eprintln!("ignoring unknown argument: {other}");
                     i += 1;
                 }
             }
         }
-        Self { scale, out_dir }
+        Self {
+            scale,
+            out_dir,
+            trace_out,
+        }
+    }
+
+    /// Whether this run should collect telemetry for [`Self::save_trace`].
+    pub fn tracing(&self) -> bool {
+        self.trace_out.is_some()
+    }
+
+    /// Writes a run trace to the `--trace-out` path (no-op when the
+    /// flag was not given). The format follows the file extension:
+    /// `.csv` selects CSV, anything else JSON. I/O failures are
+    /// reported, not fatal.
+    pub fn save_trace(&self, trace: &RunTrace) {
+        let Some(path) = &self.trace_out else { return };
+        let format = match path.extension().and_then(|e| e.to_str()) {
+            Some("csv") => TraceFormat::Csv,
+            _ => TraceFormat::Json,
+        };
+        match std::fs::write(path, trace.render(format)) {
+            Ok(()) => println!("\nwrote trace to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write trace: {e}"),
+        }
     }
 
     /// Prints the experiment banner.

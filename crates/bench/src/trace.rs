@@ -128,7 +128,10 @@ fn trace_radix_level<P: MemProbe>(
     for (k, key) in keys.iter().enumerate() {
         probe.touch(AccessKind::Edge, src_region + (start + k as u64) * esize);
         let b = ((key >> shift) & 0xFF) as usize;
-        probe.touch(AccessKind::DstMeta, dst_region + (start + cursors[b]) * esize);
+        probe.touch(
+            AccessKind::DstMeta,
+            dst_region + (start + cursors[b]) * esize,
+        );
         cursors[b] += 1;
     }
     if shift == 0 {

@@ -90,7 +90,10 @@ impl SetAssocCache {
     ///
     /// Panics if `line_size` is not a power of two or `ways` is zero.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways > 0, "cache must have at least one way");
         let sets = config.num_sets().next_power_of_two();
         Self {

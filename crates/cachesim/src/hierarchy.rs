@@ -56,7 +56,11 @@ impl StreamPrefetcher {
             false
         };
         // Stream continuation?
-        if let Some(slot) = self.streams.iter().position(|&l| l != u64::MAX && line == l + 1) {
+        if let Some(slot) = self
+            .streams
+            .iter()
+            .position(|&l| l != u64::MAX && line == l + 1)
+        {
             self.streams[slot] = line;
             // Keep running ahead of the stream.
             for k in 1..=PREFETCH_DEGREE {
@@ -177,7 +181,10 @@ mod tests {
     use super::*;
 
     fn small_hierarchy() -> CacheHierarchy {
-        CacheHierarchy::new(CacheConfig::tiny(8 * 1024, 8), CacheConfig::tiny(64 * 1024, 16))
+        CacheHierarchy::new(
+            CacheConfig::tiny(8 * 1024, 8),
+            CacheConfig::tiny(64 * 1024, 16),
+        )
     }
 
     #[test]

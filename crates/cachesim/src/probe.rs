@@ -260,7 +260,9 @@ mod tests {
         let rand = LlcProbe::new(cfg);
         let mut state = 0x9E37_79B9u64;
         for _ in 0..200_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rand.touch(AccessKind::DstMeta, (state >> 16) % (64 << 20));
         }
         // A stride-8 scan touches each 64-byte line 8 times: exactly

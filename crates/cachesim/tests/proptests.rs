@@ -1,8 +1,6 @@
 //! Cache-model invariants for arbitrary access streams.
 
-use egraph_cachesim::{
-    AccessKind, CacheConfig, CacheHierarchy, LlcProbe, MemProbe, SetAssocCache,
-};
+use egraph_cachesim::{AccessKind, CacheConfig, CacheHierarchy, LlcProbe, MemProbe, SetAssocCache};
 use proptest::prelude::*;
 
 proptest! {

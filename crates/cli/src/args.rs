@@ -42,7 +42,10 @@ impl fmt::Display for ArgError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid value '{value}' for --{name}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid value '{value}' for --{name}: expected {expected}"
+            ),
             ArgError::Unknown(names) => {
                 write!(f, "unknown flags: ")?;
                 for (i, n) in names.iter().enumerate() {
@@ -188,6 +191,9 @@ mod tests {
     #[test]
     fn missing_positional() {
         let a = Args::parse(&argv(&[])).unwrap();
-        assert!(matches!(a.positional(0, "command"), Err(ArgError::Missing(_))));
+        assert!(matches!(
+            a.positional(0, "command"),
+            Err(ArgError::Missing(_))
+        ));
     }
 }

@@ -10,6 +10,7 @@ use egraph_core::layout::EdgeDirection;
 use egraph_core::metrics::TimeBreakdown;
 use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
 use egraph_core::roadmap;
+use egraph_core::telemetry::{ExecContext, Recorder, RunTrace, TraceFormat, TraceRecorder};
 use egraph_core::types::{Edge, EdgeList, EdgeRecord, WEdge};
 use egraph_numa::Topology;
 use egraph_storage::{read_edge_list, write_edge_list, FormatError};
@@ -46,7 +47,10 @@ RUN OPTIONS:
   --side N     grid side (default 256 clamped to the graph)
   --sorted true    sort per-vertex neighbor arrays
   --save FILE  store the result array (the end-to-end 'store' phase)
-  --threads N  worker threads (or EGRAPH_THREADS)";
+  --threads N  worker threads (or EGRAPH_THREADS)
+  --trace-out FILE     write a run-wide telemetry trace (time breakdown,
+                       per-iteration records, pool and storage counters)
+  --trace-format json|csv   trace file format (default json)";
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -170,7 +174,10 @@ fn cmd_info(args: &Args) -> CliResult {
         println!("edges:        {}", s.num_edges);
         println!("weighted:     {weighted}");
         println!("avg degree:   {:.2}", s.avg_degree);
-        println!("max degree:   {} out / {} in", s.max_out_degree, s.max_in_degree);
+        println!(
+            "max degree:   {} out / {} in",
+            s.max_out_degree, s.max_in_degree
+        );
         println!(
             "sinks:        {} ({:.1}%)",
             s.sinks,
@@ -266,22 +273,117 @@ fn cmd_run(args: &Args) -> CliResult {
     }
     let _ = args.get("side"); // consumed later by grid layouts
     let save = args.get("save").map(str::to_string);
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let trace_format = TraceFormat::parse(args.get_or("trace-format", "json"))?;
     args.reject_unknown()?;
+
+    if trace_out.is_some() {
+        // Counters must be collecting before the load phase starts.
+        egraph_parallel::telemetry::reset();
+        egraph_parallel::telemetry::enable();
+        egraph_storage::counters::reset();
+        egraph_storage::counters::enable();
+    }
 
     let load_start = Instant::now();
     let any = load_any(&path)?;
     let load = load_start.elapsed().as_secs_f64();
 
-    match (algo.as_str(), any) {
-        ("bfs", AnyGraph::Unweighted(graph)) => {
-            run_bfs(&graph, &layout, &flow, &sync, strategy, sorted, root, load, save.as_deref(), args)
+    let spec = RunSpec {
+        algo: &algo,
+        layout: &layout,
+        flow: &flow,
+        sync: &sync,
+        strategy,
+        sorted,
+        root,
+        iters,
+        load,
+        save: save.as_deref(),
+        args,
+    };
+    match &trace_out {
+        None => {
+            dispatch_run(&spec, any, &egraph_core::telemetry::NullRecorder)?;
         }
-        ("pagerank", AnyGraph::Unweighted(graph)) => {
-            run_pagerank(&graph, &layout, &flow, &sync, strategy, iters, load, save.as_deref(), args)
+        Some(out_path) => {
+            let recorder = TraceRecorder::new();
+            let breakdown = dispatch_run(&spec, any, &recorder)?;
+            egraph_parallel::telemetry::disable();
+            egraph_storage::counters::disable();
+            let mut trace = RunTrace::new(&algo);
+            for (key, value) in [
+                ("input", path.as_str()),
+                ("layout", layout.as_str()),
+                ("flow", flow.as_str()),
+                ("sync", sync.as_str()),
+                ("strategy", args.get_or("strategy", "radix")),
+                ("root", &root.to_string()),
+                ("iters", &iters.to_string()),
+                (
+                    "threads",
+                    &egraph_parallel::current_num_threads().to_string(),
+                ),
+            ] {
+                trace.config.insert(key.to_string(), value.to_string());
+            }
+            trace.breakdown = breakdown;
+            trace.absorb(&recorder);
+            let pool = egraph_parallel::telemetry::snapshot();
+            let storage = egraph_storage::counters::snapshot();
+            for (name, value) in [
+                ("pool.regions", pool.regions as f64),
+                ("pool.chunks", pool.chunks as f64),
+                ("pool.steals", pool.steals as f64),
+                ("pool.tasks", pool.tasks as f64),
+                ("pool.workers", pool.busy_seconds.len() as f64),
+                ("pool.busy_seconds_total", pool.total_busy_seconds()),
+                ("pool.load_imbalance", pool.load_imbalance()),
+                ("storage.bytes_read", storage.bytes_read as f64),
+                ("storage.records_parsed", storage.records_parsed as f64),
+                ("storage.read_seconds", storage.read_seconds),
+                (
+                    "storage.throughput_bytes_per_sec",
+                    storage.throughput_bytes_per_sec(),
+                ),
+            ] {
+                trace.counters.insert(name.to_string(), value);
+            }
+            std::fs::write(out_path, trace.render(trace_format))?;
+            println!("wrote trace to {out_path}");
         }
-        ("wcc", AnyGraph::Unweighted(graph)) => run_wcc(&graph, &layout, strategy, load, save.as_deref()),
-        ("sssp", AnyGraph::Weighted(graph)) => run_sssp(&graph, &layout, strategy, root, load, save.as_deref()),
-        ("spmv", AnyGraph::Weighted(graph)) => run_spmv(&graph, &layout, strategy, load, save.as_deref()),
+    }
+    Ok(())
+}
+
+/// Everything `run` needs besides the graph and the recorder.
+struct RunSpec<'a> {
+    algo: &'a str,
+    layout: &'a str,
+    flow: &'a str,
+    sync: &'a str,
+    strategy: Strategy,
+    sorted: bool,
+    root: u32,
+    iters: usize,
+    load: f64,
+    save: Option<&'a str>,
+    args: &'a Args,
+}
+
+/// Runs the requested algorithm with the given recorder and returns
+/// the end-to-end time breakdown.
+fn dispatch_run<R: Recorder>(
+    spec: &RunSpec<'_>,
+    any: AnyGraph,
+    recorder: &R,
+) -> Result<TimeBreakdown, Box<dyn Error>> {
+    match (spec.algo, any) {
+        ("bfs", AnyGraph::Unweighted(graph)) => run_bfs(spec, &graph, recorder),
+        ("pagerank", AnyGraph::Unweighted(graph)) => run_pagerank(spec, &graph, recorder),
+        ("wcc", AnyGraph::Unweighted(graph)) => run_wcc(spec, &graph, recorder),
+        ("sssp", AnyGraph::Weighted(graph)) => run_sssp(spec, &graph, recorder),
+        ("spmv", AnyGraph::Weighted(graph)) => run_spmv(spec, &graph, recorder),
         ("sssp" | "spmv", AnyGraph::Unweighted(_)) => {
             Err("this algorithm needs a weighted graph (generate with --weighted true)".into())
         }
@@ -292,209 +394,229 @@ fn cmd_run(args: &Args) -> CliResult {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_bfs(
+fn run_bfs<R: Recorder>(
+    spec: &RunSpec<'_>,
     graph: &EdgeList<Edge>,
-    layout: &str,
-    flow: &str,
-    _sync: &str,
-    strategy: Strategy,
-    sorted: bool,
-    root: u32,
-    load: f64,
-    save: Option<&str>,
-    args: &Args,
-) -> CliResult {
+    recorder: &R,
+) -> Result<TimeBreakdown, Box<dyn Error>> {
+    let root = spec.root;
     if root as usize >= graph.num_vertices() {
         return Err(format!("root {root} out of range").into());
     }
+    let ctx = ExecContext::new().with_recorder(recorder);
     let result;
     let mut breakdown = TimeBreakdown {
-        load,
+        load: spec.load,
         ..Default::default()
     };
-    match (layout, flow) {
+    match (spec.layout, spec.flow) {
         ("adj", "push") => {
-            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out)
-                .sort_neighbors(sorted)
+            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Out)
+                .sort_neighbors(spec.sorted)
                 .build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            result = bfs::push(&adj, root);
+            result = bfs::push_ctx(&adj, root, &ctx);
         }
         ("adj", "pull") => {
-            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::In)
-                .sort_neighbors(sorted)
+            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::In)
+                .sort_neighbors(spec.sorted)
                 .build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            result = bfs::pull(&adj, root);
+            result = bfs::pull_ctx(&adj, root, &ctx);
         }
         ("adj", "push-pull") => {
-            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Both)
-                .sort_neighbors(sorted)
+            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Both)
+                .sort_neighbors(spec.sorted)
                 .build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            result = bfs::push_pull(&adj, root);
+            result = bfs::push_pull_ctx(&adj, root, &ctx);
         }
         ("edge", "push") => {
-            result = bfs::edge_centric(graph, root);
+            result = bfs::edge_centric_ctx(graph, root, &ctx);
         }
         ("grid", "push") => {
             let side: usize =
-                args.get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = GridBuilder::new(strategy).side(side).build_timed(graph);
+                spec.args
+                    .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
+            let (g, pre) = GridBuilder::new(spec.strategy)
+                .side(side)
+                .build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            result = bfs::grid(&g, root);
+            result = bfs::grid_ctx(&g, root, &ctx);
         }
         (l, f) => return Err(format!("bfs does not support layout {l} with flow {f}").into()),
     }
     breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = save_u32(save, &result.parent)?;
+    breakdown.store = save_u32(spec.save, &result.parent)?;
     println!(
         "bfs from {root}: {} reachable, {} iterations",
         result.reachable_count(),
         result.iterations.len()
     );
     print_breakdown(&breakdown, "");
-    Ok(())
+    Ok(breakdown)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_pagerank(
+fn run_pagerank<R: Recorder>(
+    spec: &RunSpec<'_>,
     graph: &EdgeList<Edge>,
-    layout: &str,
-    flow: &str,
-    sync: &str,
-    strategy: Strategy,
-    iters: usize,
-    load: f64,
-    save: Option<&str>,
-    args: &Args,
-) -> CliResult {
+    recorder: &R,
+) -> Result<TimeBreakdown, Box<dyn Error>> {
     let degrees: Vec<u32> = graph.out_degrees().iter().map(|&d| d as u32).collect();
     let cfg = pagerank::PagerankConfig {
-        iterations: iters,
+        iterations: spec.iters,
         ..Default::default()
     };
-    let push_sync = match sync {
+    let push_sync = match spec.sync {
         "locks" => pagerank::PushSync::Locks,
         "atomics" => pagerank::PushSync::Atomics,
         other => return Err(format!("unknown sync '{other}' (locks|atomics)").into()),
     };
+    let ctx = ExecContext::new().with_recorder(recorder);
     let mut breakdown = TimeBreakdown {
-        load,
+        load: spec.load,
         ..Default::default()
     };
-    let result = match (layout, flow) {
+    let result = match (spec.layout, spec.flow) {
         ("adj", "push") => {
-            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(graph);
+            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            pagerank::push(adj.out(), &degrees, cfg, push_sync)
+            pagerank::push_ctx(adj.out(), &degrees, cfg, push_sync, &ctx)
         }
         ("adj", "pull") => {
-            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::In).build_timed(graph);
+            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::In).build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            pagerank::pull(adj.incoming(), &degrees, cfg)
+            pagerank::pull_ctx(adj.incoming(), &degrees, cfg, &ctx)
         }
-        ("edge", "push") => pagerank::edge_centric(graph, &degrees, cfg, push_sync),
+        ("edge", "push") => pagerank::edge_centric_ctx(graph, &degrees, cfg, push_sync, &ctx),
         ("grid", "push") => {
             let side: usize =
-                args.get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = GridBuilder::new(strategy).side(side).build_timed(graph);
+                spec.args
+                    .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
+            let (g, pre) = GridBuilder::new(spec.strategy)
+                .side(side)
+                .build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            pagerank::grid_push(&g, &degrees, cfg, sync == "locks")
+            pagerank::grid_push_ctx(&g, &degrees, cfg, spec.sync == "locks", &ctx)
         }
         ("grid", "pull") => {
             let side: usize =
-                args.get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = GridBuilder::new(strategy)
+                spec.args
+                    .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
+            let (g, pre) = GridBuilder::new(spec.strategy)
                 .side(side)
                 .transposed(true)
                 .build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            pagerank::grid_pull(&g, &degrees, cfg)
+            pagerank::grid_pull_ctx(&g, &degrees, cfg, &ctx)
         }
         (l, f) => return Err(format!("pagerank does not support layout {l} with flow {f}").into()),
     };
     breakdown.algorithm = result.seconds;
-    breakdown.store = save_f32(save, &result.ranks)?;
+    breakdown.store = save_f32(spec.save, &result.ranks)?;
     let top = result.top_k(3);
-    println!("pagerank: {} iterations; top vertices {:?}", result.iterations, top);
+    println!(
+        "pagerank: {} iterations; top vertices {:?}",
+        result.iterations, top
+    );
     print_breakdown(&breakdown, "");
-    Ok(())
+    Ok(breakdown)
 }
 
-fn run_wcc(graph: &EdgeList<Edge>, layout: &str, strategy: Strategy, load: f64, save: Option<&str>) -> CliResult {
+fn run_wcc<R: Recorder>(
+    spec: &RunSpec<'_>,
+    graph: &EdgeList<Edge>,
+    recorder: &R,
+) -> Result<TimeBreakdown, Box<dyn Error>> {
+    let ctx = ExecContext::new().with_recorder(recorder);
     let mut breakdown = TimeBreakdown {
-        load,
+        load: spec.load,
         ..Default::default()
     };
-    let result = match layout {
-        "edge" => wcc::edge_centric(graph),
+    let result = match spec.layout {
+        "edge" => wcc::edge_centric_ctx(graph, &ctx),
         "adj" => {
             let pre_start = Instant::now();
             let undirected = graph.to_undirected();
-            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(&undirected);
+            let (adj, pre) =
+                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(&undirected);
             breakdown.preprocess = pre_start.elapsed().as_secs_f64().max(pre.seconds);
-            wcc::push(&adj)
+            wcc::push_ctx(&adj, &ctx)
         }
         other => return Err(format!("wcc supports layouts adj|edge, not {other}").into()),
     };
     breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = save_u32(save, &result.label)?;
+    breakdown.store = save_u32(spec.save, &result.label)?;
     println!("wcc: {} components", result.component_count());
     print_breakdown(&breakdown, "");
-    Ok(())
+    Ok(breakdown)
 }
 
-fn run_sssp(graph: &EdgeList<WEdge>, layout: &str, strategy: Strategy, root: u32, load: f64, save: Option<&str>) -> CliResult {
+fn run_sssp<R: Recorder>(
+    spec: &RunSpec<'_>,
+    graph: &EdgeList<WEdge>,
+    recorder: &R,
+) -> Result<TimeBreakdown, Box<dyn Error>> {
+    let root = spec.root;
     if root as usize >= graph.num_vertices() {
         return Err(format!("root {root} out of range").into());
     }
+    let ctx = ExecContext::new().with_recorder(recorder);
     let mut breakdown = TimeBreakdown {
-        load,
+        load: spec.load,
         ..Default::default()
     };
-    let result = match layout {
+    let result = match spec.layout {
         "adj" => {
-            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(graph);
+            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            sssp::push(&adj, root)
+            sssp::push_ctx(&adj, root, &ctx)
         }
-        "edge" => sssp::edge_centric(graph, root),
+        "edge" => sssp::edge_centric_ctx(graph, root, &ctx),
         other => return Err(format!("sssp supports layouts adj|edge, not {other}").into()),
     };
     breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = save_f32(save, &result.dist)?;
+    breakdown.store = save_f32(spec.save, &result.dist)?;
     println!(
         "sssp from {root}: {} reachable, {} iterations",
         result.reachable_count(),
         result.iterations.len()
     );
     print_breakdown(&breakdown, "");
-    Ok(())
+    Ok(breakdown)
 }
 
-fn run_spmv(graph: &EdgeList<WEdge>, layout: &str, strategy: Strategy, load: f64, save: Option<&str>) -> CliResult {
+fn run_spmv<R: Recorder>(
+    spec: &RunSpec<'_>,
+    graph: &EdgeList<WEdge>,
+    recorder: &R,
+) -> Result<TimeBreakdown, Box<dyn Error>> {
     let x = vec![1.0f32; graph.num_vertices()];
+    let ctx = ExecContext::new().with_recorder(recorder);
     let mut breakdown = TimeBreakdown {
-        load,
+        load: spec.load,
         ..Default::default()
     };
-    let result = match layout {
-        "edge" => spmv::edge_centric(graph, &x),
+    let result = match spec.layout {
+        "edge" => spmv::edge_centric_ctx(graph, &x, &ctx),
         "adj" => {
-            let (adj, pre) = CsrBuilder::new(strategy, EdgeDirection::Out).build_timed(graph);
+            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph);
             breakdown.preprocess = pre.seconds;
-            spmv::push(adj.out(), &x)
+            spmv::push_ctx(adj.out(), &x, &ctx)
         }
         other => return Err(format!("spmv supports layouts adj|edge, not {other}").into()),
     };
     breakdown.algorithm = result.seconds;
-    breakdown.store = save_f32(save, &result.y)?;
-    let norm: f64 = result.y.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+    breakdown.store = save_f32(spec.save, &result.y)?;
+    let norm: f64 = result
+        .y
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt();
     println!("spmv: |y| = {norm:.3}");
     print_breakdown(&breakdown, "");
-    Ok(())
+    Ok(breakdown)
 }
 
 fn cmd_advise(args: &Args) -> CliResult {
@@ -519,7 +641,10 @@ fn cmd_advise(args: &Args) -> CliResult {
     };
     let graph = roadmap::GraphTraits::new(vertices, edges, high_diameter);
     let r = roadmap::recommend(&algo, &graph, &machine);
-    println!("recommendation for {algo_name} on {} ({} nodes):", machine.name, machine.num_nodes);
+    println!(
+        "recommendation for {algo_name} on {} ({} nodes):",
+        machine.name, machine.num_nodes
+    );
     println!(
         "  layout {:?}, flow {:?}, lock-free {}, NUMA-aware {}, build with {}",
         r.layout,
@@ -543,7 +668,10 @@ fn cmd_partition(args: &Args) -> CliResult {
         AnyGraph::Weighted(g) => g.map_records(|e| Edge::new(e.src, e.dst)),
     };
     let partition = egraph_core::numa_sim::partition_by_target(&graph, nodes);
-    println!("partitioned into {nodes} nodes in {:.3}s:", partition.seconds);
+    println!(
+        "partitioned into {nodes} nodes in {:.3}s:",
+        partition.seconds
+    );
     for (node, (range, edges)) in partition
         .vertex_ranges
         .iter()
@@ -586,9 +714,9 @@ fn cmd_convert(args: &Args) -> CliResult {
     // Load into the weighted or unweighted in-memory form.
     let graph: AnyGraph = match from.as_str() {
         "bin" => load_any(&input)?,
-        "dimacs" => AnyGraph::Weighted(egraph_storage::read_dimacs(BufReader::new(
-            File::open(&input)?,
-        ))?),
+        "dimacs" => AnyGraph::Weighted(egraph_storage::read_dimacs(BufReader::new(File::open(
+            &input,
+        )?))?),
         "snap" => {
             let r = BufReader::new(File::open(&input)?);
             if weighted {

@@ -25,7 +25,13 @@ fn generate_info_run_roundtrip() {
     ]))
     .expect("bfs adj push");
     dispatch(&argv(&[
-        "run", "bfs", &path, "--layout", "adj", "--flow", "push-pull",
+        "run",
+        "bfs",
+        &path,
+        "--layout",
+        "adj",
+        "--flow",
+        "push-pull",
     ]))
     .expect("bfs push-pull");
     dispatch(&argv(&["run", "bfs", &path, "--layout", "edge"])).expect("bfs edge");
@@ -34,8 +40,8 @@ fn generate_info_run_roundtrip() {
     ]))
     .expect("bfs grid");
     dispatch(&argv(&[
-        "run", "pagerank", &path, "--layout", "grid", "--flow", "pull", "--side", "4",
-        "--iters", "3",
+        "run", "pagerank", &path, "--layout", "grid", "--flow", "pull", "--side", "4", "--iters",
+        "3",
     ]))
     .expect("pagerank grid pull");
     dispatch(&argv(&["run", "wcc", &path, "--layout", "edge"])).expect("wcc edge");
@@ -46,7 +52,14 @@ fn generate_info_run_roundtrip() {
 fn weighted_pipeline() {
     let path = tmp("smoke_weighted.egr");
     dispatch(&argv(&[
-        "generate", "road", "--scale", "8", "--out", &path, "--weighted", "true",
+        "generate",
+        "road",
+        "--scale",
+        "8",
+        "--out",
+        &path,
+        "--weighted",
+        "true",
     ]))
     .expect("generate weighted road");
     dispatch(&argv(&["run", "sssp", &path, "--layout", "adj"])).expect("sssp");
@@ -57,8 +70,16 @@ fn weighted_pipeline() {
 fn netflix_generator() {
     let path = tmp("smoke_netflix.egr");
     dispatch(&argv(&[
-        "generate", "netflix", "--out", &path, "--users", "100", "--items", "20",
-        "--ratings", "5",
+        "generate",
+        "netflix",
+        "--out",
+        &path,
+        "--users",
+        "100",
+        "--items",
+        "20",
+        "--ratings",
+        "5",
     ]))
     .expect("generate netflix");
     dispatch(&argv(&["info", &path])).expect("info netflix");
@@ -67,8 +88,14 @@ fn netflix_generator() {
 #[test]
 fn advise_all_machines() {
     for machine in ["a", "b", "single"] {
-        dispatch(&argv(&["advise", "--algo", "pagerank", "--machine", machine]))
-            .expect("advise");
+        dispatch(&argv(&[
+            "advise",
+            "--algo",
+            "pagerank",
+            "--machine",
+            machine,
+        ]))
+        .expect("advise");
     }
 }
 
@@ -101,6 +128,90 @@ fn errors_are_reported_not_panicked() {
 }
 
 #[test]
+fn trace_out_writes_full_document() {
+    let graph = tmp("smoke_trace.egr");
+    let trace = tmp("smoke_trace.json");
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "10", "--out", &graph,
+    ]))
+    .unwrap();
+    dispatch(&argv(&[
+        "run",
+        "bfs",
+        &graph,
+        "--flow",
+        "push-pull",
+        "--trace-out",
+        &trace,
+    ]))
+    .expect("bfs with --trace-out");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    // TimeBreakdown phases.
+    for key in ["\"load\"", "\"preprocess\"", "\"algorithm\"", "\"total\""] {
+        assert!(text.contains(key), "breakdown key {key} missing: {text}");
+    }
+    // At least one per-iteration record with the direction fields.
+    for key in ["\"frontier_size\"", "\"edges_scanned\"", "\"mode\""] {
+        assert!(text.contains(key), "iteration key {key} missing: {text}");
+    }
+    // Pool and storage counters.
+    for key in [
+        "engine.edges_examined",
+        "pool.steals",
+        "pool.busy_seconds_total",
+        "storage.bytes_read",
+    ] {
+        assert!(text.contains(key), "counter {key} missing: {text}");
+    }
+    // The document round-trips through the core parser.
+    let parsed = egraph_core::telemetry::RunTrace::from_json(&text).expect("valid trace json");
+    assert_eq!(parsed.algorithm, "bfs");
+    assert!(!parsed.iterations.is_empty(), "no iteration records");
+}
+
+#[test]
+fn trace_out_csv_format() {
+    let graph = tmp("smoke_trace_csv.egr");
+    let trace = tmp("smoke_trace.csv");
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "9", "--out", &graph,
+    ]))
+    .unwrap();
+    dispatch(&argv(&[
+        "run",
+        "pagerank",
+        &graph,
+        "--iters",
+        "3",
+        "--trace-out",
+        &trace,
+        "--trace-format",
+        "csv",
+    ]))
+    .expect("pagerank with csv trace");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let mut lines = text.lines();
+    assert!(lines.next().unwrap().starts_with("record,"), "csv header");
+    assert!(
+        text.lines().filter(|l| l.starts_with("iteration,")).count() >= 3,
+        "expected one csv row per pagerank iteration: {text}"
+    );
+    assert!(
+        dispatch(&argv(&[
+            "run",
+            "bfs",
+            &graph,
+            "--trace-out",
+            &trace,
+            "--trace-format",
+            "bogus",
+        ]))
+        .is_err(),
+        "unknown trace format"
+    );
+}
+
+#[test]
 fn help_prints() {
     dispatch(&argv(&["help"])).expect("help");
 }
@@ -109,7 +220,10 @@ fn help_prints() {
 fn save_results_roundtrip() {
     let graph = tmp("smoke_save.egr");
     let out = tmp("smoke_save_result.egr");
-    dispatch(&argv(&["generate", "rmat", "--scale", "9", "--out", &graph])).unwrap();
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "9", "--out", &graph,
+    ]))
+    .unwrap();
     dispatch(&argv(&["run", "bfs", &graph, "--save", &out])).expect("bfs --save");
     let parents =
         egraph_storage::read_u32_result(std::fs::File::open(&out).unwrap()).expect("readable");

@@ -14,11 +14,12 @@
 //! from [`crate::linalg`]. Both half-steps are pull-style: a vertex
 //! reads its neighbors' factors and writes only its own — lock free.
 
-use egraph_cachesim::{MemProbe, NullProbe};
+use egraph_cachesim::MemProbe;
 
 use crate::layout::Adjacency;
 use crate::linalg::cholesky_solve_in_place;
-use crate::metrics::timed;
+use crate::metrics::{timed, StepMode};
+use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeRecord, VertexId, WEdge};
 use crate::util::UnsyncSlice;
 
@@ -88,18 +89,21 @@ pub fn als(
     num_users: usize,
     cfg: AlsConfig,
 ) -> AlsResult {
-    als_probed(out, incoming, num_users, cfg, &NullProbe)
+    als_ctx(out, incoming, num_users, cfg, &ExecContext::new())
 }
 
-/// [`als`] with cache instrumentation (the probe sees the factor
-/// gathers of both half-steps).
-pub fn als_probed<P: MemProbe>(
+/// [`als`] with explicit instrumentation (the probe sees the factor
+/// gathers of both half-steps; the recorder gets one iteration record
+/// per full user+item sweep).
+pub fn als_ctx<P: MemProbe, R: Recorder>(
     out: &Adjacency<WEdge>,
     incoming: &Adjacency<WEdge>,
     num_users: usize,
     cfg: AlsConfig,
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> AlsResult {
+    let ctx = *ctx;
+    let probe = ctx.probe;
     let nv = out.num_vertices();
     assert_eq!(nv, incoming.num_vertices(), "direction vertex counts");
     assert!(num_users <= nv, "num_users exceeds vertex count");
@@ -112,11 +116,11 @@ pub fn als_probed<P: MemProbe>(
     });
 
     let mut rmse_history = Vec::with_capacity(cfg.iterations);
-    let (_, seconds) = timed(|| {
-        for _ in 0..cfg.iterations {
-            // Solve users from item factors (users read their
-            // out-edges), then items from user factors (items read
-            // their in-edges).
+    let mut total = 0.0;
+    for step in 0..cfg.iterations {
+        // Solve users from item factors (users read their out-edges),
+        // then items from user factors (items read their in-edges).
+        let (_, seconds) = timed(|| {
             solve_side(&mut factors, out, 0..num_users, k, cfg.lambda, false, probe);
             solve_side(
                 &mut factors,
@@ -127,15 +131,43 @@ pub fn als_probed<P: MemProbe>(
                 true,
                 probe,
             );
-            rmse_history.push(rmse(&factors, out, k, num_users));
+        });
+        total += seconds;
+        if ctx.recorder.enabled() {
+            ctx.recorder.record_iteration(IterRecord {
+                step,
+                frontier_size: nv,
+                edges_scanned: out.num_edges() + incoming.num_edges(),
+                seconds,
+                mode: StepMode::Pull,
+            });
         }
-    });
+        rmse_history.push(rmse(&factors, out, k, num_users));
+    }
     AlsResult {
         factors,
         rank: k,
         rmse_history,
-        seconds,
+        seconds: total,
     }
+}
+
+/// Deprecated probe-only entry point; use [`als_ctx`].
+#[deprecated(note = "use als_ctx with an ExecContext")]
+pub fn als_probed<P: MemProbe>(
+    out: &Adjacency<WEdge>,
+    incoming: &Adjacency<WEdge>,
+    num_users: usize,
+    cfg: AlsConfig,
+    probe: &P,
+) -> AlsResult {
+    als_ctx(
+        out,
+        incoming,
+        num_users,
+        cfg,
+        &ExecContext::new().with_probe(probe),
+    )
 }
 
 /// Solves the normal equations for every vertex in `range`, reading
@@ -221,7 +253,9 @@ fn rmse(factors: &[f32], out: &Adjacency<WEdge>, k: usize, num_users: usize) -> 
             for u in range {
                 for e in out.neighbors(u as VertexId) {
                     let i = e.dst() as usize;
-                    let pred: f32 = (0..k).map(|j| factors[u * k + j] * factors[i * k + j]).sum();
+                    let pred: f32 = (0..k)
+                        .map(|j| factors[u * k + j] * factors[i * k + j])
+                        .sum();
                     let err = pred as f64 - e.weight() as f64;
                     s += err * err;
                     c += 1;

@@ -5,14 +5,29 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use egraph_cachesim::{MemProbe, NullProbe};
+use egraph_cachesim::MemProbe;
 
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
 use crate::layout::{Adjacency, AdjacencyList, Grid};
 use crate::metrics::{timed, IterStat, StepMode};
+use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId, INVALID_VERTEX};
 use crate::util::{AtomicBitmap, StripedLocks, UnsyncSlice};
+
+/// Appends `stat` to the run's iteration log and mirrors it to the
+/// context's recorder (free under the default `NullRecorder`).
+pub(crate) fn record_iter<P: MemProbe, R: Recorder>(
+    ctx: ExecContext<'_, P, R>,
+    iterations: &mut Vec<IterStat>,
+    stat: IterStat,
+) {
+    if ctx.recorder.enabled() {
+        ctx.recorder
+            .record_iteration(IterRecord::from_stat(iterations.len(), &stat));
+    }
+    iterations.push(stat);
+}
 
 /// BFS metadata footprint: one byte of visited state per vertex ("a
 /// cache line only contains the metadata associated with very few
@@ -90,13 +105,16 @@ impl<E: EdgeRecord> PushOp<E> for AtomicPushOp<'_> {
             return false;
         }
         let won = self.state.parent[dst]
-            .compare_exchange(INVALID_VERTEX, e.src(), Ordering::Relaxed, Ordering::Relaxed)
+            .compare_exchange(
+                INVALID_VERTEX,
+                e.src(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
             .is_ok();
         if won {
-            self.state.level[dst].store(
-                self.state.round.load(Ordering::Relaxed),
-                Ordering::Relaxed,
-            );
+            self.state.level[dst]
+                .store(self.state.round.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         won
     }
@@ -113,15 +131,17 @@ impl<E: EdgeRecord> PushOp<E> for AtomicPushOp<'_> {
 /// Vertex-centric push BFS with atomic parent claims (the baseline
 /// "adj. push" configuration).
 pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
-    push_probed(adj, root, &NullProbe)
+    push_ctx(adj, root, &ExecContext::new())
 }
 
-/// [`push`] with cache instrumentation.
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(
+/// [`push`] with explicit instrumentation: the [`ExecContext`] supplies
+/// the cache probe and telemetry recorder.
+pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     root: VertexId,
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> BfsResult {
+    let ctx = *ctx;
     let out = adj.out();
     let state = BfsState::new(out.num_vertices(), root);
     let op = AtomicPushOp { state: &state };
@@ -130,18 +150,31 @@ pub fn push_probed<E: EdgeRecord, P: MemProbe>(
     while !frontier.is_empty() {
         state.round.fetch_add(1, Ordering::Relaxed);
         let frontier_size = frontier.len();
-        let (next, seconds) = timed(|| {
-            engine::vertex_push(out, &frontier, &op, probe, FrontierKind::Sparse)
-        });
-        iterations.push(IterStat {
-            frontier_size,
-            edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
-            seconds,
-            mode: StepMode::Push,
-        });
+        let (next, seconds) =
+            timed(|| engine::vertex_push(out, &frontier, &op, ctx, FrontierKind::Sparse));
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size,
+                edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
+                seconds,
+                mode: StepMode::Push,
+            },
+        );
         frontier = next;
     }
     state.into_result(iterations)
+}
+
+/// Deprecated probe-only entry point; use [`push_ctx`].
+#[deprecated(note = "use push_ctx with an ExecContext")]
+pub fn push_probed<E: EdgeRecord, P: MemProbe>(
+    adj: &AdjacencyList<E>,
+    root: VertexId,
+    probe: &P,
+) -> BfsResult {
+    push_ctx(adj, root, &ExecContext::new().with_probe(probe))
 }
 
 /// Vertex-centric push BFS with per-vertex (striped) locks — the
@@ -197,7 +230,13 @@ pub fn push_locked<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> Bfs
             round,
         };
         let (next, seconds) = timed(|| {
-            engine::vertex_push(out, &frontier, &op, &NullProbe, FrontierKind::Sparse)
+            engine::vertex_push(
+                out,
+                &frontier,
+                &op,
+                ExecContext::new(),
+                FrontierKind::Sparse,
+            )
         });
         iterations.push(IterStat {
             frontier_size,
@@ -237,10 +276,8 @@ impl<E: EdgeRecord> PullOp<E> for PullState<'_> {
         if self.in_frontier.get(u as usize) {
             // Only this thread writes `dst`'s state in pull mode.
             self.state.parent[dst as usize].store(u, Ordering::Relaxed);
-            self.state.level[dst as usize].store(
-                self.state.round.load(Ordering::Relaxed),
-                Ordering::Relaxed,
-            );
+            self.state.level[dst as usize]
+                .store(self.state.round.load(Ordering::Relaxed), Ordering::Relaxed);
             self.activated.set(dst as usize);
             return true; // Early termination (§6.1.1).
         }
@@ -255,15 +292,16 @@ impl<E: EdgeRecord> PullOp<E> for PullState<'_> {
 
 /// Vertex-centric pull BFS (lock free). Requires in-edges.
 pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
-    pull_probed(adj, root, &NullProbe)
+    pull_ctx(adj, root, &ExecContext::new())
 }
 
-/// [`pull`] with cache instrumentation.
-pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
+/// [`pull`] with explicit instrumentation.
+pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     root: VertexId,
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> BfsResult {
+    let ctx = *ctx;
     let incoming = adj.incoming();
     let nv = incoming.num_vertices();
     let state = BfsState::new(nv, root);
@@ -284,16 +322,30 @@ pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
             activated: &activated,
         };
         let (next, seconds) =
-            timed(|| engine::vertex_pull(incoming, &op, probe, FrontierKind::Dense));
-        iterations.push(IterStat {
-            frontier_size,
-            edges_scanned: 0,
-            seconds,
-            mode: StepMode::Pull,
-        });
+            timed(|| engine::vertex_pull(incoming, &op, ctx, FrontierKind::Dense));
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size,
+                edges_scanned: 0,
+                seconds,
+                mode: StepMode::Pull,
+            },
+        );
         frontier = next;
     }
     state.into_result(iterations)
+}
+
+/// Deprecated probe-only entry point; use [`pull_ctx`].
+#[deprecated(note = "use pull_ctx with an ExecContext")]
+pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
+    adj: &AdjacencyList<E>,
+    root: VertexId,
+    probe: &P,
+) -> BfsResult {
+    pull_ctx(adj, root, &ExecContext::new().with_probe(probe))
 }
 
 /// Direction-optimizing BFS: starts pushing, switches to pull while the
@@ -301,15 +353,16 @@ pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
 /// Ligra \[29\]). Requires both edge directions (hence the doubled
 /// pre-processing cost of Fig. 1).
 pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
-    push_pull_probed(adj, root, &NullProbe)
+    push_pull_ctx(adj, root, &ExecContext::new())
 }
 
-/// [`push_pull`] with cache instrumentation.
-pub fn push_pull_probed<E: EdgeRecord, P: MemProbe>(
+/// [`push_pull`] with explicit instrumentation.
+pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     root: VertexId,
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> BfsResult {
+    let ctx = *ctx;
     let out = adj.out();
     let incoming = adj.incoming();
     let nv = out.num_vertices();
@@ -336,43 +389,61 @@ pub fn push_pull_probed<E: EdgeRecord, P: MemProbe>(
                 activated: &activated,
             };
             let (next, seconds) =
-                timed(|| engine::vertex_pull(incoming, &op, probe, FrontierKind::Dense));
-            iterations.push(IterStat {
-                frontier_size,
-                edges_scanned: frontier_edges,
-                seconds,
-                mode: StepMode::Pull,
-            });
+                timed(|| engine::vertex_pull(incoming, &op, ctx, FrontierKind::Dense));
+            record_iter(
+                ctx,
+                &mut iterations,
+                IterStat {
+                    frontier_size,
+                    edges_scanned: frontier_edges,
+                    seconds,
+                    mode: StepMode::Pull,
+                },
+            );
             frontier = next;
         } else {
             let op = AtomicPushOp { state: &state };
-            let (next, seconds) = timed(|| {
-                engine::vertex_push(out, &frontier, &op, probe, FrontierKind::Sparse)
-            });
-            iterations.push(IterStat {
-                frontier_size,
-                edges_scanned: frontier_edges,
-                seconds,
-                mode: StepMode::Push,
-            });
+            let (next, seconds) =
+                timed(|| engine::vertex_push(out, &frontier, &op, ctx, FrontierKind::Sparse));
+            record_iter(
+                ctx,
+                &mut iterations,
+                IterStat {
+                    frontier_size,
+                    edges_scanned: frontier_edges,
+                    seconds,
+                    mode: StepMode::Push,
+                },
+            );
             frontier = next;
         }
     }
     state.into_result(iterations)
 }
 
-/// Edge-centric BFS: every iteration streams the whole edge array and
-/// pushes from last round's discoveries (§4.1's "full scan" drawback).
-pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, root: VertexId) -> BfsResult {
-    edge_centric_probed(edges, root, &NullProbe)
-}
-
-/// [`edge_centric`] with cache instrumentation.
-pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
-    edges: &EdgeList<E>,
+/// Deprecated probe-only entry point; use [`push_pull_ctx`].
+#[deprecated(note = "use push_pull_ctx with an ExecContext")]
+pub fn push_pull_probed<E: EdgeRecord, P: MemProbe>(
+    adj: &AdjacencyList<E>,
     root: VertexId,
     probe: &P,
 ) -> BfsResult {
+    push_pull_ctx(adj, root, &ExecContext::new().with_probe(probe))
+}
+
+/// Edge-centric BFS: every iteration streams the whole edge array and
+/// pushes from last round's discoveries (§4.1's "full scan" drawback).
+pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, root: VertexId) -> BfsResult {
+    edge_centric_ctx(edges, root, &ExecContext::new())
+}
+
+/// [`edge_centric`] with explicit instrumentation.
+pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    root: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> BfsResult {
+    let ctx = *ctx;
     let nv = edges.num_vertices();
     let state = BfsState::new(nv, root);
     let op = AtomicPushOp { state: &state };
@@ -380,32 +451,46 @@ pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
     let mut active = 1usize;
     while active > 0 {
         state.round.fetch_add(1, Ordering::Relaxed);
-        let (next, seconds) = timed(|| {
-            engine::edge_push(edges.edges(), nv, &op, probe, FrontierKind::Dense)
-        });
-        iterations.push(IterStat {
-            frontier_size: active,
-            edges_scanned: edges.num_edges(),
-            seconds,
-            mode: StepMode::Push,
-        });
+        let (next, seconds) =
+            timed(|| engine::edge_push(edges.edges(), nv, &op, ctx, FrontierKind::Dense));
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size: active,
+                edges_scanned: edges.num_edges(),
+                seconds,
+                mode: StepMode::Push,
+            },
+        );
         active = next.len();
     }
     state.into_result(iterations)
 }
 
-/// Grid BFS: push over grid cells with column ownership; sources are
-/// filtered to last round's discoveries.
-pub fn grid<E: EdgeRecord>(grid: &Grid<E>, root: VertexId) -> BfsResult {
-    grid_probed(grid, root, &NullProbe)
-}
-
-/// [`grid`] with cache instrumentation.
-pub fn grid_probed<E: EdgeRecord, P: MemProbe>(
-    grid: &Grid<E>,
+/// Deprecated probe-only entry point; use [`edge_centric_ctx`].
+#[deprecated(note = "use edge_centric_ctx with an ExecContext")]
+pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
+    edges: &EdgeList<E>,
     root: VertexId,
     probe: &P,
 ) -> BfsResult {
+    edge_centric_ctx(edges, root, &ExecContext::new().with_probe(probe))
+}
+
+/// Grid BFS: push over grid cells with column ownership; sources are
+/// filtered to last round's discoveries.
+pub fn grid<E: EdgeRecord>(grid: &Grid<E>, root: VertexId) -> BfsResult {
+    grid_ctx(grid, root, &ExecContext::new())
+}
+
+/// [`grid`] with explicit instrumentation.
+pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    grid: &Grid<E>,
+    root: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> BfsResult {
+    let ctx = *ctx;
     let nv = grid.num_vertices();
     let state = BfsState::new(nv, root);
     let op = AtomicPushOp { state: &state };
@@ -414,16 +499,30 @@ pub fn grid_probed<E: EdgeRecord, P: MemProbe>(
     while active > 0 {
         state.round.fetch_add(1, Ordering::Relaxed);
         let (next, seconds) =
-            timed(|| engine::grid_push_columns(grid, &op, probe, FrontierKind::Dense));
-        iterations.push(IterStat {
-            frontier_size: active,
-            edges_scanned: grid.num_edges(),
-            seconds,
-            mode: StepMode::Push,
-        });
+            timed(|| engine::grid_push_columns(grid, &op, ctx, FrontierKind::Dense));
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size: active,
+                edges_scanned: grid.num_edges(),
+                seconds,
+                mode: StepMode::Push,
+            },
+        );
         active = next.len();
     }
     state.into_result(iterations)
+}
+
+/// Deprecated probe-only entry point; use [`grid_ctx`].
+#[deprecated(note = "use grid_ctx with an ExecContext")]
+pub fn grid_probed<E: EdgeRecord, P: MemProbe>(
+    grid: &Grid<E>,
+    root: VertexId,
+    probe: &P,
+) -> BfsResult {
+    grid_ctx(grid, root, &ExecContext::new().with_probe(probe))
 }
 
 /// A serial reference BFS used by tests and result validation.
@@ -489,9 +588,13 @@ mod tests {
             edges.push(Edge::new(v, v + 1));
         }
         for _ in 0..ne {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             edges.push(Edge::new(src, dst));
         }
@@ -602,6 +705,45 @@ mod tests {
         ] {
             assert_eq!(result.level, baseline, "{name}");
         }
+    }
+
+    #[test]
+    fn recorder_matches_result_iterations_on_diamond() {
+        let input = EdgeList::new(
+            4,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(1, 3),
+                Edge::new(2, 3),
+            ],
+        )
+        .unwrap();
+        let (adj, _) = layouts(&input);
+        let recorder = crate::telemetry::TraceRecorder::new();
+        let result = push_ctx(&adj, 0, &ExecContext::new().with_recorder(&recorder));
+        let recorded = recorder.iterations();
+        assert_eq!(recorded.len(), result.iterations.len());
+        for (step, (rec, stat)) in recorded.iter().zip(&result.iterations).enumerate() {
+            assert_eq!(rec.step, step);
+            assert_eq!(*rec, IterRecord::from_stat(step, stat));
+        }
+        // Diamond levels: 0, 1, 1, 2 — three push steps discover, the
+        // fourth finds an empty next frontier.
+        assert_eq!(recorded[0].frontier_size, 1);
+        assert_eq!(recorded[0].edges_scanned, 2);
+    }
+
+    #[test]
+    fn null_recorder_results_identical_to_traced() {
+        let input = test_graph(600, 4000, 31);
+        let (adj, _) = layouts(&input);
+        let plain = push(&adj, 0);
+        let recorder = crate::telemetry::TraceRecorder::new();
+        let traced = push_ctx(&adj, 0, &ExecContext::new().with_recorder(&recorder));
+        assert_eq!(plain.parent, traced.parent);
+        assert_eq!(plain.level, traced.level);
+        assert!(recorder.counters()[crate::engine::EDGES_EXAMINED] > 0.0);
     }
 
     #[test]

@@ -7,14 +7,15 @@
 //! paper uses 10) with damping 0.85 and produce identical ranks up to
 //! floating-point reassociation.
 
-use egraph_cachesim::{MemProbe, NullProbe};
+use egraph_cachesim::MemProbe;
 use egraph_parallel::atomicf::AtomicF32;
 use std::sync::atomic::Ordering;
 
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
 use crate::layout::{Adjacency, Grid};
-use crate::metrics::timed;
+use crate::metrics::{timed, StepMode};
+use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
 use crate::util::{StripedLocks, UnsyncSlice};
 
@@ -52,11 +53,7 @@ fn l1_delta(a: &[f32], b: &[f32]) -> f32 {
         0..a.len(),
         1 << 14,
         || 0.0f64,
-        |acc, r| {
-            acc + r
-                .map(|v| (a[v] - b[v]).abs() as f64)
-                .sum::<f64>()
-        },
+        |acc, r| acc + r.map(|v| (a[v] - b[v]).abs() as f64).sum::<f64>(),
         |x, y| x + y,
     ) as f32
 }
@@ -112,6 +109,57 @@ fn finalize(acc: &[f32], damping: f32, nv: usize) -> Vec<f32> {
     egraph_parallel::ops::parallel_init(nv, 1 << 14, |v| base + damping * acc[v])
 }
 
+/// The shared power-iteration loop: times each iteration, reports it to
+/// the context's recorder (every vertex is active each step, so the
+/// frontier size is `nv`), and handles the optional tolerance.
+/// `accumulate` runs one contribution-gathering step.
+fn run_power<P, R, F>(
+    ctx: ExecContext<'_, P, R>,
+    nv: usize,
+    edges_per_iter: usize,
+    mode: StepMode,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    mut accumulate: F,
+) -> PagerankResult
+where
+    P: MemProbe,
+    R: Recorder,
+    F: FnMut(&[f32]) -> Vec<f32>,
+{
+    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
+    let mut executed = 0usize;
+    let mut total = 0.0f64;
+    for _ in 0..cfg.iterations {
+        let (new_ranks, seconds) = timed(|| {
+            let contrib = contributions(&ranks, out_degrees);
+            let acc = accumulate(&contrib);
+            finalize(&acc, cfg.damping, nv)
+        });
+        total += seconds;
+        if ctx.recorder.enabled() {
+            ctx.recorder.record_iteration(IterRecord {
+                step: executed,
+                frontier_size: nv,
+                edges_scanned: edges_per_iter,
+                seconds,
+                mode,
+            });
+        }
+        executed += 1;
+        let stop = converged(&cfg, &ranks, &new_ranks);
+        ranks = new_ranks;
+        if stop {
+            break;
+        }
+    }
+    PagerankResult {
+        ranks,
+        iterations: executed,
+        seconds: total,
+    }
+}
+
 /// Vertex-centric pull without locks: each vertex sums the
 /// contributions of its in-neighbors and writes only its own
 /// accumulator (Fig. 8, "adj. pull (no lock)").
@@ -120,22 +168,26 @@ pub fn pull<E: EdgeRecord>(
     out_degrees: &[u32],
     cfg: PagerankConfig,
 ) -> PagerankResult {
-    pull_probed(incoming, out_degrees, cfg, &NullProbe)
+    pull_ctx(incoming, out_degrees, cfg, &ExecContext::new())
 }
 
-/// [`pull`] with cache instrumentation.
-pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
+/// [`pull`] with explicit instrumentation.
+pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     incoming: &Adjacency<E>,
     out_degrees: &[u32],
     cfg: PagerankConfig,
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> PagerankResult {
+    let ctx = *ctx;
     let nv = incoming.num_vertices();
-    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
-    let mut executed = 0usize;
-    let (_, seconds) = timed(|| {
-        for _ in 0..cfg.iterations {
-            let contrib = contributions(&ranks, out_degrees);
+    run_power(
+        ctx,
+        nv,
+        incoming.num_edges(),
+        StepMode::Pull,
+        out_degrees,
+        cfg,
+        |contrib| {
             let mut acc = vec![0.0f32; nv];
             {
                 struct PrPull<'a> {
@@ -168,25 +220,30 @@ pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
                     }
                 }
                 let op = PrPull {
-                    contrib: &contrib,
+                    contrib,
                     acc: UnsyncSlice::new(&mut acc),
                 };
-                engine::vertex_pull(incoming, &op, probe, FrontierKind::Sparse);
+                engine::vertex_pull(incoming, &op, ctx, FrontierKind::Sparse);
             }
-            let new_ranks = finalize(&acc, cfg.damping, nv);
-            executed += 1;
-            let stop = converged(&cfg, &ranks, &new_ranks);
-            ranks = new_ranks;
-            if stop {
-                break;
-            }
-        }
-    });
-    PagerankResult {
-        ranks,
-        iterations: executed,
-        seconds,
-    }
+            acc
+        },
+    )
+}
+
+/// Deprecated probe-only entry point; use [`pull_ctx`].
+#[deprecated(note = "use pull_ctx with an ExecContext")]
+pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
+    incoming: &Adjacency<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    probe: &P,
+) -> PagerankResult {
+    pull_ctx(
+        incoming,
+        out_degrees,
+        cfg,
+        &ExecContext::new().with_probe(probe),
+    )
 }
 
 /// Push rule accumulating into atomic floats (CAS loops).
@@ -272,10 +329,41 @@ pub fn push<E: EdgeRecord>(
     cfg: PagerankConfig,
     sync: PushSync,
 ) -> PagerankResult {
-    push_probed(out, out_degrees, cfg, sync, &NullProbe)
+    push_ctx(out, out_degrees, cfg, sync, &ExecContext::new())
 }
 
-/// [`push`] with cache instrumentation.
+/// [`push`] with explicit instrumentation.
+pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    out: &Adjacency<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    sync: PushSync,
+    ctx: &ExecContext<'_, P, R>,
+) -> PagerankResult {
+    let ctx = *ctx;
+    let nv = out.num_vertices();
+    let all = VertexSubset::all(nv);
+    run_power(
+        ctx,
+        nv,
+        out.num_edges(),
+        StepMode::Push,
+        out_degrees,
+        cfg,
+        |contrib| {
+            run_push_step(
+                PushDriver::Vertex { out, all: &all },
+                contrib,
+                nv,
+                sync,
+                ctx,
+            )
+        },
+    )
+}
+
+/// Deprecated probe-only entry point; use [`push_ctx`].
+#[deprecated(note = "use push_ctx with an ExecContext")]
 pub fn push_probed<E: EdgeRecord, P: MemProbe>(
     out: &Adjacency<E>,
     out_degrees: &[u32],
@@ -283,34 +371,13 @@ pub fn push_probed<E: EdgeRecord, P: MemProbe>(
     sync: PushSync,
     probe: &P,
 ) -> PagerankResult {
-    let nv = out.num_vertices();
-    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
-    let all = VertexSubset::all(nv);
-    let mut executed = 0usize;
-    let (_, seconds) = timed(|| {
-        for _ in 0..cfg.iterations {
-            let contrib = contributions(&ranks, out_degrees);
-            let acc = run_push_step(
-                PushDriver::Vertex { out, all: &all },
-                &contrib,
-                nv,
-                sync,
-                probe,
-            );
-            let new_ranks = finalize(&acc, cfg.damping, nv);
-            executed += 1;
-            let stop = converged(&cfg, &ranks, &new_ranks);
-            ranks = new_ranks;
-            if stop {
-                break;
-            }
-        }
-    });
-    PagerankResult {
-        ranks,
-        iterations: executed,
-        seconds,
-    }
+    push_ctx(
+        out,
+        out_degrees,
+        cfg,
+        sync,
+        &ExecContext::new().with_probe(probe),
+    )
 }
 
 /// Edge-centric PageRank over the raw edge array (Fig. 3b).
@@ -320,10 +387,32 @@ pub fn edge_centric<E: EdgeRecord>(
     cfg: PagerankConfig,
     sync: PushSync,
 ) -> PagerankResult {
-    edge_centric_probed(edges, out_degrees, cfg, sync, &NullProbe)
+    edge_centric_ctx(edges, out_degrees, cfg, sync, &ExecContext::new())
 }
 
-/// [`edge_centric`] with cache instrumentation.
+/// [`edge_centric`] with explicit instrumentation.
+pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    sync: PushSync,
+    ctx: &ExecContext<'_, P, R>,
+) -> PagerankResult {
+    let ctx = *ctx;
+    let nv = edges.num_vertices();
+    run_power(
+        ctx,
+        nv,
+        edges.num_edges(),
+        StepMode::Push,
+        out_degrees,
+        cfg,
+        |contrib| run_push_step(PushDriver::EdgeArray(edges), contrib, nv, sync, ctx),
+    )
+}
+
+/// Deprecated probe-only entry point; use [`edge_centric_ctx`].
+#[deprecated(note = "use edge_centric_ctx with an ExecContext")]
 pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
     edges: &EdgeList<E>,
     out_degrees: &[u32],
@@ -331,27 +420,13 @@ pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
     sync: PushSync,
     probe: &P,
 ) -> PagerankResult {
-    let nv = edges.num_vertices();
-    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
-    let mut executed = 0usize;
-    let (_, seconds) = timed(|| {
-        for _ in 0..cfg.iterations {
-            let contrib = contributions(&ranks, out_degrees);
-            let acc = run_push_step(PushDriver::EdgeArray(edges), &contrib, nv, sync, probe);
-            let new_ranks = finalize(&acc, cfg.damping, nv);
-            executed += 1;
-            let stop = converged(&cfg, &ranks, &new_ranks);
-            ranks = new_ranks;
-            if stop {
-                break;
-            }
-        }
-    });
-    PagerankResult {
-        ranks,
-        iterations: executed,
-        seconds,
-    }
+    edge_centric_ctx(
+        edges,
+        out_degrees,
+        cfg,
+        sync,
+        &ExecContext::new().with_probe(probe),
+    )
 }
 
 /// Grid-push PageRank. `locked = true` iterates cells in arbitrary
@@ -363,23 +438,27 @@ pub fn grid_push<E: EdgeRecord>(
     cfg: PagerankConfig,
     locked: bool,
 ) -> PagerankResult {
-    grid_push_probed(grid, out_degrees, cfg, locked, &NullProbe)
+    grid_push_ctx(grid, out_degrees, cfg, locked, &ExecContext::new())
 }
 
-/// [`grid_push`] with cache instrumentation.
-pub fn grid_push_probed<E: EdgeRecord, P: MemProbe>(
+/// [`grid_push`] with explicit instrumentation.
+pub fn grid_push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     grid: &Grid<E>,
     out_degrees: &[u32],
     cfg: PagerankConfig,
     locked: bool,
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> PagerankResult {
+    let ctx = *ctx;
     let nv = grid.num_vertices();
-    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
-    let mut executed = 0usize;
-    let (_, seconds) = timed(|| {
-        for _ in 0..cfg.iterations {
-            let contrib = contributions(&ranks, out_degrees);
+    run_power(
+        ctx,
+        nv,
+        grid.num_edges(),
+        StepMode::Push,
+        out_degrees,
+        cfg,
+        |contrib| {
             let driver = if locked {
                 PushDriver::GridCells(grid)
             } else {
@@ -390,21 +469,27 @@ pub fn grid_push_probed<E: EdgeRecord, P: MemProbe>(
             } else {
                 PushSync::Atomics // ignored by GridColumns (exclusive writes)
             };
-            let acc = run_push_step(driver, &contrib, nv, sync, probe);
-            let new_ranks = finalize(&acc, cfg.damping, nv);
-            executed += 1;
-            let stop = converged(&cfg, &ranks, &new_ranks);
-            ranks = new_ranks;
-            if stop {
-                break;
-            }
-        }
-    });
-    PagerankResult {
-        ranks,
-        iterations: executed,
-        seconds,
-    }
+            run_push_step(driver, contrib, nv, sync, ctx)
+        },
+    )
+}
+
+/// Deprecated probe-only entry point; use [`grid_push_ctx`].
+#[deprecated(note = "use grid_push_ctx with an ExecContext")]
+pub fn grid_push_probed<E: EdgeRecord, P: MemProbe>(
+    grid: &Grid<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    locked: bool,
+    probe: &P,
+) -> PagerankResult {
+    grid_push_ctx(
+        grid,
+        out_degrees,
+        cfg,
+        locked,
+        &ExecContext::new().with_probe(probe),
+    )
 }
 
 /// Grid-pull PageRank over a **transposed** grid: row ownership makes
@@ -414,22 +499,26 @@ pub fn grid_pull<E: EdgeRecord>(
     out_degrees: &[u32],
     cfg: PagerankConfig,
 ) -> PagerankResult {
-    grid_pull_probed(transposed, out_degrees, cfg, &NullProbe)
+    grid_pull_ctx(transposed, out_degrees, cfg, &ExecContext::new())
 }
 
-/// [`grid_pull`] with cache instrumentation.
-pub fn grid_pull_probed<E: EdgeRecord, P: MemProbe>(
+/// [`grid_pull`] with explicit instrumentation.
+pub fn grid_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     transposed: &Grid<E>,
     out_degrees: &[u32],
     cfg: PagerankConfig,
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> PagerankResult {
+    let ctx = *ctx;
     let nv = transposed.num_vertices();
-    let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
-    let mut executed = 0usize;
-    let (_, seconds) = timed(|| {
-        for _ in 0..cfg.iterations {
-            let contrib = contributions(&ranks, out_degrees);
+    run_power(
+        ctx,
+        nv,
+        transposed.num_edges(),
+        StepMode::Pull,
+        out_degrees,
+        cfg,
+        |contrib| {
             let mut acc = vec![0.0f32; nv];
             {
                 struct PrGridPull<'a> {
@@ -464,25 +553,30 @@ pub fn grid_pull_probed<E: EdgeRecord, P: MemProbe>(
                     }
                 }
                 let op = PrGridPull {
-                    contrib: &contrib,
+                    contrib,
                     acc: UnsyncSlice::new(&mut acc),
                 };
-                engine::grid_pull_rows(transposed, &op, probe, FrontierKind::Sparse);
+                engine::grid_pull_rows(transposed, &op, ctx, FrontierKind::Sparse);
             }
-            let new_ranks = finalize(&acc, cfg.damping, nv);
-            executed += 1;
-            let stop = converged(&cfg, &ranks, &new_ranks);
-            ranks = new_ranks;
-            if stop {
-                break;
-            }
-        }
-    });
-    PagerankResult {
-        ranks,
-        iterations: executed,
-        seconds,
-    }
+            acc
+        },
+    )
+}
+
+/// Deprecated probe-only entry point; use [`grid_pull_ctx`].
+#[deprecated(note = "use grid_pull_ctx with an ExecContext")]
+pub fn grid_pull_probed<E: EdgeRecord, P: MemProbe>(
+    transposed: &Grid<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    probe: &P,
+) -> PagerankResult {
+    grid_pull_ctx(
+        transposed,
+        out_degrees,
+        cfg,
+        &ExecContext::new().with_probe(probe),
+    )
 }
 
 /// Which driver a push step runs on.
@@ -498,12 +592,12 @@ enum PushDriver<'a, E: EdgeRecord> {
 
 /// Runs one accumulation step with the chosen driver/synchronization
 /// and returns the accumulator as plain floats.
-fn run_push_step<E: EdgeRecord, P: MemProbe>(
+fn run_push_step<E: EdgeRecord, P: MemProbe, R: Recorder>(
     driver: PushDriver<'_, E>,
     contrib: &[f32],
     nv: usize,
     sync: PushSync,
-    probe: &P,
+    ctx: ExecContext<'_, P, R>,
 ) -> Vec<f32> {
     match (&driver, sync) {
         (PushDriver::GridColumns(grid), _) => {
@@ -513,20 +607,15 @@ fn run_push_step<E: EdgeRecord, P: MemProbe>(
                     contrib,
                     acc: UnsyncSlice::new(&mut acc),
                 };
-                engine::grid_push_columns(*grid, &op, probe, FrontierKind::Sparse);
+                engine::grid_push_columns(*grid, &op, ctx, FrontierKind::Sparse);
             }
             acc
         }
         (_, PushSync::Atomics) => {
             let acc: Vec<AtomicF32> = (0..nv).map(|_| AtomicF32::new(0.0)).collect();
-            let op = PrPushAtomic {
-                contrib,
-                acc: &acc,
-            };
-            dispatch_push(driver, &op, probe);
-            acc.into_iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect()
+            let op = PrPushAtomic { contrib, acc: &acc };
+            dispatch_push(driver, &op, ctx);
+            acc.into_iter().map(|a| a.load(Ordering::Relaxed)).collect()
         }
         (_, PushSync::Locks) => {
             let locks = StripedLocks::default();
@@ -537,30 +626,36 @@ fn run_push_step<E: EdgeRecord, P: MemProbe>(
                     acc: UnsyncSlice::new(&mut acc),
                     locks: &locks,
                 };
-                dispatch_push(driver, &op, probe);
+                dispatch_push(driver, &op, ctx);
             }
             acc
         }
     }
 }
 
-fn dispatch_push<E: EdgeRecord, O: PushOp<E>, P: MemProbe>(
+fn dispatch_push<E: EdgeRecord, O: PushOp<E>, P: MemProbe, R: Recorder>(
     driver: PushDriver<'_, E>,
     op: &O,
-    probe: &P,
+    ctx: ExecContext<'_, P, R>,
 ) {
     match driver {
         PushDriver::Vertex { out, all } => {
-            engine::vertex_push(out, all, op, probe, FrontierKind::Sparse);
+            engine::vertex_push(out, all, op, ctx, FrontierKind::Sparse);
         }
         PushDriver::EdgeArray(edges) => {
-            engine::edge_push(edges.edges(), edges.num_vertices(), op, probe, FrontierKind::Sparse);
+            engine::edge_push(
+                edges.edges(),
+                edges.num_vertices(),
+                op,
+                ctx,
+                FrontierKind::Sparse,
+            );
         }
         PushDriver::GridCells(grid) => {
-            engine::grid_push_cells(grid, op, probe, FrontierKind::Sparse);
+            engine::grid_push_cells(grid, op, ctx, FrontierKind::Sparse);
         }
         PushDriver::GridColumns(grid) => {
-            engine::grid_push_columns(grid, op, probe, FrontierKind::Sparse);
+            engine::grid_push_columns(grid, op, ctx, FrontierKind::Sparse);
         }
     }
 }
@@ -600,9 +695,13 @@ mod tests {
         let mut state = seed | 1;
         let mut edges = Vec::with_capacity(ne);
         for _ in 0..ne {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             edges.push(Edge::new(src, dst));
         }
@@ -640,7 +739,10 @@ mod tests {
 
         let variants: Vec<(&str, PagerankResult)> = vec![
             ("pull", pull(adj.incoming(), &degrees, cfg)),
-            ("push-locks", push(adj.out(), &degrees, cfg, PushSync::Locks)),
+            (
+                "push-locks",
+                push(adj.out(), &degrees, cfg, PushSync::Locks),
+            ),
             (
                 "push-atomics",
                 push(adj.out(), &degrees, cfg, PushSync::Atomics),

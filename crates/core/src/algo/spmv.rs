@@ -9,15 +9,35 @@
 
 use std::sync::atomic::Ordering;
 
-use egraph_cachesim::{MemProbe, NullProbe};
+use egraph_cachesim::MemProbe;
 use egraph_parallel::atomicf::AtomicF32;
 
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
 use crate::layout::Adjacency;
-use crate::metrics::timed;
+use crate::metrics::{timed, StepMode};
+use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
 use crate::util::UnsyncSlice;
+
+/// Reports the single SpMV pass as one iteration record.
+fn record_pass<P: MemProbe, R: Recorder>(
+    ctx: ExecContext<'_, P, R>,
+    nv: usize,
+    edges: usize,
+    seconds: f64,
+    mode: StepMode,
+) {
+    if ctx.recorder.enabled() {
+        ctx.recorder.record_iteration(IterRecord {
+            step: 0,
+            frontier_size: nv,
+            edges_scanned: edges,
+            seconds,
+            mode,
+        });
+    }
+}
 
 /// The result of an SpMV run.
 #[derive(Debug, Clone)]
@@ -51,57 +71,91 @@ impl<E: EdgeRecord> PushOp<E> for SpmvPushOp<'_> {
 ///
 /// Panics if `x.len() != edges.num_vertices()`.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, x: &[f32]) -> SpmvResult {
-    edge_centric_probed(edges, x, &NullProbe)
+    edge_centric_ctx(edges, x, &ExecContext::new())
 }
 
-/// [`edge_centric`] with cache instrumentation.
-pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
+/// [`edge_centric`] with explicit instrumentation.
+pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     x: &[f32],
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> SpmvResult {
+    let ctx = *ctx;
     let nv = edges.num_vertices();
     assert_eq!(x.len(), nv, "input vector length");
     let y: Vec<AtomicF32> = (0..nv).map(|_| AtomicF32::new(0.0)).collect();
     let op = SpmvPushOp { x, y: &y };
     let (_, seconds) = timed(|| {
-        engine::edge_push(edges.edges(), nv, &op, probe, FrontierKind::Sparse);
+        engine::edge_push(edges.edges(), nv, &op, ctx, FrontierKind::Sparse);
     });
+    record_pass(ctx, nv, edges.num_edges(), seconds, StepMode::Push);
     SpmvResult {
         y: y.into_iter().map(|v| v.load(Ordering::Relaxed)).collect(),
         seconds,
     }
 }
 
-/// Vertex-centric push SpMV over an out-adjacency (the "adj" bar of
-/// Fig. 3c — its pre-processing is what never pays off).
-pub fn push<E: EdgeRecord>(out: &Adjacency<E>, x: &[f32]) -> SpmvResult {
-    push_probed(out, x, &NullProbe)
-}
-
-/// [`push`] with cache instrumentation.
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(
-    out: &Adjacency<E>,
+/// Deprecated probe-only entry point; use [`edge_centric_ctx`].
+#[deprecated(note = "use edge_centric_ctx with an ExecContext")]
+pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
+    edges: &EdgeList<E>,
     x: &[f32],
     probe: &P,
 ) -> SpmvResult {
+    edge_centric_ctx(edges, x, &ExecContext::new().with_probe(probe))
+}
+
+/// Vertex-centric push SpMV over an out-adjacency (the "adj" bar of
+/// Fig. 3c — its pre-processing is what never pays off).
+pub fn push<E: EdgeRecord>(out: &Adjacency<E>, x: &[f32]) -> SpmvResult {
+    push_ctx(out, x, &ExecContext::new())
+}
+
+/// [`push`] with explicit instrumentation.
+pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    out: &Adjacency<E>,
+    x: &[f32],
+    ctx: &ExecContext<'_, P, R>,
+) -> SpmvResult {
+    let ctx = *ctx;
     let nv = out.num_vertices();
     assert_eq!(x.len(), nv, "input vector length");
     let y: Vec<AtomicF32> = (0..nv).map(|_| AtomicF32::new(0.0)).collect();
     let op = SpmvPushOp { x, y: &y };
     let all = VertexSubset::all(nv);
     let (_, seconds) = timed(|| {
-        engine::vertex_push(out, &all, &op, probe, FrontierKind::Sparse);
+        engine::vertex_push(out, &all, &op, ctx, FrontierKind::Sparse);
     });
+    record_pass(ctx, nv, out.num_edges(), seconds, StepMode::Push);
     SpmvResult {
         y: y.into_iter().map(|v| v.load(Ordering::Relaxed)).collect(),
         seconds,
     }
 }
 
+/// Deprecated probe-only entry point; use [`push_ctx`].
+#[deprecated(note = "use push_ctx with an ExecContext")]
+pub fn push_probed<E: EdgeRecord, P: MemProbe>(
+    out: &Adjacency<E>,
+    x: &[f32],
+    probe: &P,
+) -> SpmvResult {
+    push_ctx(out, x, &ExecContext::new().with_probe(probe))
+}
+
 /// Vertex-centric pull SpMV over an in-adjacency: each output element
 /// is summed by its own vertex — no synchronization at all.
 pub fn pull<E: EdgeRecord>(incoming: &Adjacency<E>, x: &[f32]) -> SpmvResult {
+    pull_ctx(incoming, x, &ExecContext::new())
+}
+
+/// [`pull`] with explicit instrumentation.
+pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    incoming: &Adjacency<E>,
+    x: &[f32],
+    ctx: &ExecContext<'_, P, R>,
+) -> SpmvResult {
+    let ctx = *ctx;
     let nv = incoming.num_vertices();
     assert_eq!(x.len(), nv, "input vector length");
     let mut y = vec![0.0f32; nv];
@@ -122,8 +176,9 @@ pub fn pull<E: EdgeRecord>(incoming: &Adjacency<E>, x: &[f32]) -> SpmvResult {
             fn pull(&self, dst: VertexId, e: &E) -> bool {
                 // SAFETY: `vertex_pull` gives `dst` a single writer.
                 unsafe {
-                    self.y
-                        .update(dst as usize, |a| *a += e.weight() * self.x[e.src() as usize]);
+                    self.y.update(dst as usize, |a| {
+                        *a += e.weight() * self.x[e.src() as usize]
+                    });
                 }
                 false
             }
@@ -137,8 +192,9 @@ pub fn pull<E: EdgeRecord>(incoming: &Adjacency<E>, x: &[f32]) -> SpmvResult {
             x,
             y: UnsyncSlice::new(&mut y),
         };
-        engine::vertex_pull(incoming, &op, &NullProbe, FrontierKind::Sparse);
+        engine::vertex_pull(incoming, &op, ctx, FrontierKind::Sparse);
     });
+    record_pass(ctx, nv, incoming.num_edges(), seconds, StepMode::Pull);
     SpmvResult { y, seconds }
 }
 
@@ -146,6 +202,16 @@ pub fn pull<E: EdgeRecord>(incoming: &Adjacency<E>, x: &[f32]) -> SpmvResult {
 /// atomics) — the grid's structural synchronization applied to the
 /// single-pass kernel.
 pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>, x: &[f32]) -> SpmvResult {
+    grid_ctx(grid, x, &ExecContext::new())
+}
+
+/// [`grid`] with explicit instrumentation.
+pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    grid: &crate::layout::Grid<E>,
+    x: &[f32],
+    ctx: &ExecContext<'_, P, R>,
+) -> SpmvResult {
+    let ctx = *ctx;
     let nv = grid.num_vertices();
     assert_eq!(x.len(), nv, "input vector length");
     let mut y = vec![0.0f32; nv];
@@ -174,8 +240,9 @@ pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>, x: &[f32]) -> SpmvResu
             x,
             y: UnsyncSlice::new(&mut y),
         };
-        engine::grid_push_columns(grid, &op, &NullProbe, FrontierKind::Sparse);
+        engine::grid_push_columns(grid, &op, ctx, FrontierKind::Sparse);
     });
+    record_pass(ctx, nv, grid.num_edges(), seconds, StepMode::Push);
     SpmvResult { y, seconds }
 }
 
@@ -199,9 +266,13 @@ mod tests {
         let mut state = seed | 1;
         let mut edges = Vec::with_capacity(ne);
         for _ in 0..ne {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             edges.push(WEdge::new(src, dst, ((state >> 20) % 16) as f32 / 4.0));
         }
@@ -241,8 +312,8 @@ mod tests {
         let input = EdgeList::new(10, edges).unwrap();
         let x: Vec<f32> = (0..10).map(|i| i as f32).collect();
         let y = edge_centric(&input, &x).y;
-        for i in 0..10 {
-            assert_eq!(y[i], 2.0 * i as f32);
+        for (i, &yi) in y.iter().enumerate() {
+            assert_eq!(yi, 2.0 * i as f32);
         }
     }
 

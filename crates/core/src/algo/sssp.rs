@@ -8,13 +8,15 @@
 
 use std::sync::atomic::Ordering;
 
-use egraph_cachesim::{MemProbe, NullProbe};
+use egraph_cachesim::MemProbe;
 use egraph_parallel::atomicf::AtomicF32;
 
+use super::bfs::record_iter;
 use crate::engine::{self, PushOp};
 use crate::frontier::{FrontierKind, NextFrontier, VertexSubset};
 use crate::layout::AdjacencyList;
 use crate::metrics::{timed, IterStat, StepMode};
+use crate::telemetry::{ExecContext, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
 
 /// The result of an SSSP run.
@@ -63,15 +65,16 @@ impl<E: EdgeRecord> PushOp<E> for SsspPushOp<'_> {
 /// Negative edge weights are a caller bug (the relaxation still
 /// terminates only for non-negative weights).
 pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>, source: VertexId) -> SsspResult {
-    push_probed(adj, source, &NullProbe)
+    push_ctx(adj, source, &ExecContext::new())
 }
 
-/// [`push`] with cache instrumentation.
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(
+/// [`push`] with explicit instrumentation.
+pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     source: VertexId,
-    probe: &P,
+    ctx: &ExecContext<'_, P, R>,
 ) -> SsspResult {
+    let ctx = *ctx;
     let out = adj.out();
     let nv = out.num_vertices();
     let dist: Vec<AtomicF32> = (0..nv).map(|_| AtomicF32::new(f32::INFINITY)).collect();
@@ -84,24 +87,51 @@ pub fn push_probed<E: EdgeRecord, P: MemProbe>(
         // Dense accumulation: a vertex improved several times in one
         // step must appear once in the next frontier.
         let (next, seconds) =
-            timed(|| engine::vertex_push(out, &frontier, &op, probe, FrontierKind::Dense));
-        iterations.push(IterStat {
-            frontier_size,
-            edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
-            seconds,
-            mode: StepMode::Push,
-        });
+            timed(|| engine::vertex_push(out, &frontier, &op, ctx, FrontierKind::Dense));
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size,
+                edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
+                seconds,
+                mode: StepMode::Push,
+            },
+        );
         frontier = next.into_sparse();
     }
     SsspResult {
-        dist: dist.into_iter().map(|d| d.load(Ordering::Relaxed)).collect(),
+        dist: dist
+            .into_iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect(),
         iterations,
     }
+}
+
+/// Deprecated probe-only entry point; use [`push_ctx`].
+#[deprecated(note = "use push_ctx with an ExecContext")]
+pub fn push_probed<E: EdgeRecord, P: MemProbe>(
+    adj: &AdjacencyList<E>,
+    source: VertexId,
+    probe: &P,
+) -> SsspResult {
+    push_ctx(adj, source, &ExecContext::new().with_probe(probe))
 }
 
 /// Edge-centric SSSP: every iteration streams the whole edge array,
 /// relaxing edges whose source improved last round.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, source: VertexId) -> SsspResult {
+    edge_centric_ctx(edges, source, &ExecContext::new())
+}
+
+/// [`edge_centric`] with explicit instrumentation.
+pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    source: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> SsspResult {
+    let ctx = *ctx;
     let nv = edges.num_vertices();
     let dist: Vec<AtomicF32> = (0..nv).map(|_| AtomicF32::new(f32::INFINITY)).collect();
     dist[source as usize].store(0.0, Ordering::Relaxed);
@@ -137,19 +167,25 @@ pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, source: VertexId) -> Sss
             dist: &dist,
             active,
         };
-        let (next, seconds) = timed(|| {
-            engine::edge_push(edges.edges(), nv, &op, &NullProbe, FrontierKind::Dense)
-        });
-        iterations.push(IterStat {
-            frontier_size,
-            edges_scanned: edges.num_edges(),
-            seconds,
-            mode: StepMode::Push,
-        });
+        let (next, seconds) =
+            timed(|| engine::edge_push(edges.edges(), nv, &op, ctx, FrontierKind::Dense));
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size,
+                edges_scanned: edges.num_edges(),
+                seconds,
+                mode: StepMode::Push,
+            },
+        );
         frontier = next;
     }
     SsspResult {
-        dist: dist.into_iter().map(|d| d.load(Ordering::Relaxed)).collect(),
+        dist: dist
+            .into_iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect(),
         iterations,
     }
 }
@@ -209,7 +245,8 @@ pub fn delta_stepping<E: EdgeRecord>(
                         let du = dist[u as usize].load(Ordering::Relaxed);
                         for e in out.neighbors(u) {
                             if e.weight() <= delta
-                                && dist[e.dst() as usize].fetch_min(du + e.weight(), Ordering::Relaxed)
+                                && dist[e.dst() as usize]
+                                    .fetch_min(du + e.weight(), Ordering::Relaxed)
                             {
                                 next.add(e.dst());
                             }
@@ -264,7 +301,10 @@ pub fn delta_stepping<E: EdgeRecord>(
         current += 1;
     }
     SsspResult {
-        dist: dist.into_iter().map(|d| d.load(Ordering::Relaxed)).collect(),
+        dist: dist
+            .into_iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect(),
         iterations,
     }
 }
@@ -314,7 +354,9 @@ mod ordered {
 
     impl Ord for F32 {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
 }
@@ -333,9 +375,13 @@ mod tests {
             edges.push(WEdge::new(v, v + 1, 1.0 + (v % 7) as f32));
         }
         for _ in 0..ne {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             let w = 0.5 + ((state >> 16) % 100) as f32 / 10.0;
             edges.push(WEdge::new(src, dst, w));

@@ -11,15 +11,17 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
-use egraph_cachesim::{MemProbe, NullProbe};
+use egraph_cachesim::MemProbe;
 
+use super::bfs::record_iter;
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
-use crate::types::VertexId;
-use crate::util::AtomicBitmap;
 use crate::layout::AdjacencyList;
 use crate::metrics::{timed, IterStat, StepMode};
+use crate::telemetry::{ExecContext, Recorder};
+use crate::types::VertexId;
 use crate::types::{EdgeList, EdgeRecord};
+use crate::util::AtomicBitmap;
 
 /// The result of a WCC run.
 #[derive(Debug, Clone)]
@@ -67,11 +69,15 @@ impl<E: EdgeRecord> PushOp<E> for WccPushOp<'_> {
 /// (build it from [`EdgeList::to_undirected`], which is what doubles
 /// the pre-processing cost).
 pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
-    push_probed(adj, &NullProbe)
+    push_ctx(adj, &ExecContext::new())
 }
 
-/// [`push`] with cache instrumentation.
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(adj: &AdjacencyList<E>, probe: &P) -> WccResult {
+/// [`push`] with explicit instrumentation.
+pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    let ctx = *ctx;
     let out = adj.out();
     let nv = out.num_vertices();
     let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
@@ -81,13 +87,17 @@ pub fn push_probed<E: EdgeRecord, P: MemProbe>(adj: &AdjacencyList<E>, probe: &P
     while !frontier.is_empty() {
         let frontier_size = frontier.len();
         let (next, seconds) =
-            timed(|| engine::vertex_push(out, &frontier, &op, probe, FrontierKind::Dense));
-        iterations.push(IterStat {
-            frontier_size,
-            edges_scanned: 0,
-            seconds,
-            mode: StepMode::Push,
-        });
+            timed(|| engine::vertex_push(out, &frontier, &op, ctx, FrontierKind::Dense));
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size,
+                edges_scanned: 0,
+                seconds,
+                mode: StepMode::Push,
+            },
+        );
         frontier = next;
     }
     WccResult {
@@ -96,10 +106,27 @@ pub fn push_probed<E: EdgeRecord, P: MemProbe>(adj: &AdjacencyList<E>, probe: &P
     }
 }
 
+/// Deprecated probe-only entry point; use [`push_ctx`].
+#[deprecated(note = "use push_ctx with an ExecContext")]
+pub fn push_probed<E: EdgeRecord, P: MemProbe>(adj: &AdjacencyList<E>, probe: &P) -> WccResult {
+    push_ctx(adj, &ExecContext::new().with_probe(probe))
+}
+
 /// Edge-centric WCC over the raw (directed) edge array: each stored
 /// edge propagates the smaller label to the other endpoint, so no
 /// undirected copy — and no pre-processing at all — is needed.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>) -> WccResult {
+    edge_centric_ctx(edges, &ExecContext::new())
+}
+
+/// [`edge_centric`] with explicit instrumentation. (The kernel streams
+/// the raw edge array outside the engine drivers, so only per-iteration
+/// records — not per-edge probe touches — are reported.)
+pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    let ctx = *ctx;
     let nv = edges.num_vertices();
     let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
     let mut iterations = Vec::new();
@@ -127,12 +154,16 @@ pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>) -> WccResult {
                 },
             );
         });
-        iterations.push(IterStat {
-            frontier_size: nv,
-            edges_scanned: edges.num_edges(),
-            seconds,
-            mode: StepMode::Push,
-        });
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size: nv,
+                edges_scanned: edges.num_edges(),
+                seconds,
+                mode: StepMode::Push,
+            },
+        );
         if !changed.load(Ordering::Relaxed) {
             break;
         }
@@ -189,6 +220,15 @@ impl<E: EdgeRecord> PullOp<E> for WccPullOp<'_> {
 /// locks, no CAS — each vertex writes only itself (§6.1.2 applied to
 /// label propagation).
 pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
+    pull_ctx(adj, &ExecContext::new())
+}
+
+/// [`pull`] with explicit instrumentation.
+pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    let ctx = *ctx;
     let incoming = adj.incoming_opt().unwrap_or_else(|| adj.out());
     let nv = incoming.num_vertices();
     let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
@@ -208,13 +248,17 @@ pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
             in_frontier,
         };
         let (next, seconds) =
-            timed(|| engine::vertex_pull(incoming, &op, &NullProbe, FrontierKind::Dense));
-        iterations.push(IterStat {
-            frontier_size,
-            edges_scanned: incoming.num_edges(),
-            seconds,
-            mode: StepMode::Pull,
-        });
+            timed(|| engine::vertex_pull(incoming, &op, ctx, FrontierKind::Dense));
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size,
+                edges_scanned: incoming.num_edges(),
+                seconds,
+                mode: StepMode::Pull,
+            },
+        );
         frontier = next;
     }
     WccResult {
@@ -227,6 +271,15 @@ pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
 /// small, pull rounds while it is large (the Ligra recipe applied to
 /// label propagation). Requires an undirected adjacency list.
 pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
+    push_pull_ctx(adj, &ExecContext::new())
+}
+
+/// [`push_pull`] with explicit instrumentation.
+pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    let ctx = *ctx;
     let out = adj.out();
     let nv = out.num_vertices();
     let edge_threshold = (out.num_edges() / 20).max(1);
@@ -249,25 +302,32 @@ pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
                 activated: &activated,
                 in_frontier,
             };
-            let (next, seconds) =
-                timed(|| engine::vertex_pull(out, &op, &NullProbe, FrontierKind::Dense));
-            iterations.push(IterStat {
-                frontier_size,
-                edges_scanned: out.num_edges(),
-                seconds,
-                mode: StepMode::Pull,
-            });
+            let (next, seconds) = timed(|| engine::vertex_pull(out, &op, ctx, FrontierKind::Dense));
+            record_iter(
+                ctx,
+                &mut iterations,
+                IterStat {
+                    frontier_size,
+                    edges_scanned: out.num_edges(),
+                    seconds,
+                    mode: StepMode::Pull,
+                },
+            );
             frontier = next;
         } else {
             let op = WccPushOp { label: &label };
             let (next, seconds) =
-                timed(|| engine::vertex_push(out, &frontier, &op, &NullProbe, FrontierKind::Dense));
-            iterations.push(IterStat {
-                frontier_size,
-                edges_scanned: frontier_edges,
-                seconds,
-                mode: StepMode::Push,
-            });
+                timed(|| engine::vertex_push(out, &frontier, &op, ctx, FrontierKind::Dense));
+            record_iter(
+                ctx,
+                &mut iterations,
+                IterStat {
+                    frontier_size,
+                    edges_scanned: frontier_edges,
+                    seconds,
+                    mode: StepMode::Push,
+                },
+            );
             frontier = next;
         }
     }
@@ -281,6 +341,17 @@ pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
 /// so the labels of a cell's two vertex ranges stay cache-resident —
 /// the §5 locality argument applied to label propagation.
 pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>) -> WccResult {
+    grid_ctx(grid, &ExecContext::new())
+}
+
+/// [`grid`] with explicit instrumentation. (The kernel streams grid
+/// cells outside the engine drivers, so only per-iteration records —
+/// not per-edge probe touches — are reported.)
+pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    grid: &crate::layout::Grid<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    let ctx = *ctx;
     let nv = grid.num_vertices();
     let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
     let side = grid.side();
@@ -308,12 +379,16 @@ pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>) -> WccResult {
                 }
             });
         });
-        iterations.push(IterStat {
-            frontier_size: nv,
-            edges_scanned: grid.num_edges(),
-            seconds,
-            mode: StepMode::Push,
-        });
+        record_iter(
+            ctx,
+            &mut iterations,
+            IterStat {
+                frontier_size: nv,
+                edges_scanned: grid.num_edges(),
+                seconds,
+                mode: StepMode::Push,
+            },
+        );
         if !changed.load(Ordering::Relaxed) {
             break;
         }
@@ -406,9 +481,13 @@ mod tests {
         let mut state = 21u64;
         let mut edges = Vec::new();
         for _ in 0..900 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             edges.push(Edge::new(src, dst));
         }
@@ -436,9 +515,13 @@ mod tests {
         let mut state = 31u64;
         let mut edges = Vec::new();
         for _ in 0..1200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             edges.push(Edge::new(src, dst));
         }
@@ -469,9 +552,13 @@ mod tests {
         let mut state = 77u64;
         let mut edges = Vec::new();
         for _ in 0..700 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             edges.push(Edge::new(src, dst));
         }
@@ -498,6 +585,10 @@ mod tests {
         let result = edge_centric(&input);
         assert_eq!(result.component_count(), 1);
         assert!(result.label.iter().all(|&l| l == 0));
-        assert!(result.iterations.len() > 5, "{} iterations", result.iterations.len());
+        assert!(
+            result.iterations.len() > 5,
+            "{} iterations",
+            result.iterations.len()
+        );
     }
 }

@@ -11,16 +11,23 @@
 //! arrays, or exclusive writes, depending on the synchronization
 //! strategy being measured).
 //!
-//! Every driver takes a [`MemProbe`] so the same code path can run
-//! under the LLC simulator; the [`NullProbe`](egraph_cachesim::NullProbe) specialization compiles
-//! the instrumentation away.
+//! Every driver takes an [`ExecContext`] bundling a [`MemProbe`] (so
+//! the same code path can run under the LLC simulator) and a
+//! [`Recorder`] (so a traced run can report edges examined per step);
+//! the default [`NullProbe`](egraph_cachesim::NullProbe) /
+//! [`NullRecorder`](crate::telemetry::NullRecorder) specializations
+//! compile both kinds of instrumentation away.
 
 use egraph_cachesim::probe::regions;
 use egraph_cachesim::MemProbe;
 
 use crate::frontier::{FrontierKind, NextFrontier, VertexSubset};
 use crate::layout::{Adjacency, Grid};
+use crate::telemetry::{ExecContext, Recorder};
 use crate::types::{EdgeRecord, VertexId};
+
+/// Counter name drivers report examined edges under.
+pub const EDGES_EXAMINED: &str = "engine.edges_examined";
 
 /// Per-edge semantics of a push-mode step.
 ///
@@ -88,23 +95,35 @@ fn touch_dst<P: MemProbe>(probe: &P, v: VertexId, stride: u64) {
     );
 }
 
+/// Flushes one chunk's examined-edge count to the recorder; a no-op
+/// under `NullRecorder` (the `enabled()` branch folds to `false`).
+#[inline]
+fn flush_examined<R: Recorder>(recorder: &R, examined: usize) {
+    if recorder.enabled() && examined > 0 {
+        recorder.record_counter(EDGES_EXAMINED, examined as u64);
+    }
+}
+
 /// Vertex-centric push over an out-adjacency: processes the out-edges
 /// of every frontier vertex and returns the next frontier.
-pub fn vertex_push<E, O, P>(
+pub fn vertex_push<E, O, P, R>(
     out: &Adjacency<E>,
     frontier: &VertexSubset,
     op: &O,
-    probe: &P,
+    ctx: ExecContext<'_, P, R>,
     next_kind: FrontierKind,
 ) -> VertexSubset
 where
     E: EdgeRecord,
     O: PushOp<E>,
     P: MemProbe,
+    R: Recorder,
 {
     let next = NextFrontier::new(next_kind, out.num_vertices());
-    let process = |v: VertexId, local: &mut Vec<VertexId>| {
+    let probe = ctx.probe;
+    let process = |v: VertexId, local: &mut Vec<VertexId>, examined: &mut usize| {
         let neighbors = out.neighbors(v);
+        *examined += neighbors.len();
         for (k, e) in neighbors.iter().enumerate() {
             if probe.enabled() {
                 touch_edge(probe, out.edge_sim_addr(v, k));
@@ -120,9 +139,11 @@ where
         VertexSubset::Sparse(list) => {
             egraph_parallel::parallel_for(0..list.len(), 64, |r| {
                 let mut local = Vec::new();
+                let mut examined = 0;
                 for i in r {
-                    process(list[i], &mut local);
+                    process(list[i], &mut local, &mut examined);
                 }
+                flush_examined(ctx.recorder, examined);
                 if !local.is_empty() {
                     next.extend(&local);
                 }
@@ -131,11 +152,13 @@ where
         VertexSubset::Dense { bitmap, .. } => {
             egraph_parallel::parallel_for(0..out.num_vertices(), 1024, |r| {
                 let mut local = Vec::new();
+                let mut examined = 0;
                 for v in r {
                     if bitmap.get(v) {
-                        process(v as VertexId, &mut local);
+                        process(v as VertexId, &mut local, &mut examined);
                     }
                 }
+                flush_examined(ctx.recorder, examined);
                 if !local.is_empty() {
                     next.extend(&local);
                 }
@@ -148,22 +171,25 @@ where
 /// Edge-centric push: streams the entire edge array, applying `op` to
 /// every edge whose source is active. "At every iteration of the
 /// computation the whole edge array is scanned" (§4.1).
-pub fn edge_push<E, O, P>(
+pub fn edge_push<E, O, P, R>(
     edges: &[E],
     num_vertices: usize,
     op: &O,
-    probe: &P,
+    ctx: ExecContext<'_, P, R>,
     next_kind: FrontierKind,
 ) -> VertexSubset
 where
     E: EdgeRecord,
     O: PushOp<E>,
     P: MemProbe,
+    R: Recorder,
 {
     let next = NextFrontier::new(next_kind, num_vertices);
     let esize = std::mem::size_of::<E>() as u64;
+    let probe = ctx.probe;
     egraph_parallel::parallel_for(0..edges.len(), egraph_parallel::DEFAULT_GRAIN, |r| {
         let mut local = Vec::new();
+        let examined = r.len();
         for i in r {
             let e = &edges[i];
             if probe.enabled() {
@@ -179,6 +205,7 @@ where
                 }
             }
         }
+        flush_examined(ctx.recorder, examined);
         if !local.is_empty() {
             next.extend(&local);
         }
@@ -189,21 +216,24 @@ where
 /// Vertex-centric pull over an in-adjacency: every vertex that
 /// `wants_pull` scans its in-edges (with early termination) and updates
 /// only its own state — no synchronization required (§6.1.2).
-pub fn vertex_pull<E, O, P>(
+pub fn vertex_pull<E, O, P, R>(
     incoming: &Adjacency<E>,
     op: &O,
-    probe: &P,
+    ctx: ExecContext<'_, P, R>,
     next_kind: FrontierKind,
 ) -> VertexSubset
 where
     E: EdgeRecord,
     O: PullOp<E>,
     P: MemProbe,
+    R: Recorder,
 {
     let nv = incoming.num_vertices();
     let next = NextFrontier::new(next_kind, nv);
+    let probe = ctx.probe;
     egraph_parallel::parallel_for(0..nv, 1024, |r| {
         let mut local = Vec::new();
+        let mut examined = 0;
         for v in r {
             let v = v as VertexId;
             // The pass over all vertices to check activity is the
@@ -215,6 +245,7 @@ where
                 continue;
             }
             for (k, e) in incoming.neighbors(v).iter().enumerate() {
+                examined += 1;
                 if probe.enabled() {
                     touch_edge(probe, incoming.edge_sim_addr(v, k));
                     touch_src(probe, e.src(), O::META_BYTES);
@@ -227,6 +258,7 @@ where
                 local.push(v);
             }
         }
+        flush_examined(ctx.recorder, examined);
         if !local.is_empty() {
             next.extend(&local);
         }
@@ -237,26 +269,31 @@ where
 /// Grid push with **column ownership**: each worker owns whole columns,
 /// so all writes to a destination range come from one worker and need
 /// no locks (§6.1.2). `op.push` may therefore use plain writes.
-pub fn grid_push_columns<E, O, P>(
+pub fn grid_push_columns<E, O, P, R>(
     grid: &Grid<E>,
     op: &O,
-    probe: &P,
+    ctx: ExecContext<'_, P, R>,
     next_kind: FrontierKind,
 ) -> VertexSubset
 where
     E: EdgeRecord,
     O: PushOp<E>,
     P: MemProbe,
+    R: Recorder,
 {
     let next = NextFrontier::new(next_kind, grid.num_vertices());
     let side = grid.side();
     let esize = std::mem::size_of::<E>() as u64;
+    let probe = ctx.probe;
     egraph_parallel::parallel_for(0..side, 1, |cols| {
         let mut local = Vec::new();
+        let mut examined = 0;
         for col in cols {
             for row in 0..side {
                 let base = grid.cell_base_index(row, col);
-                for (k, e) in grid.cell(row, col).iter().enumerate() {
+                let cell = grid.cell(row, col);
+                examined += cell.len();
+                for (k, e) in cell.iter().enumerate() {
                     if probe.enabled() {
                         touch_edge(probe, regions::EDGES + (base + k as u64) * esize);
                         touch_src(probe, e.src(), O::META_BYTES);
@@ -272,6 +309,7 @@ where
                 }
             }
         }
+        flush_examined(ctx.recorder, examined);
         if !local.is_empty() {
             next.extend(&local);
         }
@@ -282,26 +320,31 @@ where
 /// Grid push over individual cells, in arbitrary parallel order: the
 /// "grid (locks)" configuration of Fig. 8 — `op.push` must synchronize
 /// its destination updates.
-pub fn grid_push_cells<E, O, P>(
+pub fn grid_push_cells<E, O, P, R>(
     grid: &Grid<E>,
     op: &O,
-    probe: &P,
+    ctx: ExecContext<'_, P, R>,
     next_kind: FrontierKind,
 ) -> VertexSubset
 where
     E: EdgeRecord,
     O: PushOp<E>,
     P: MemProbe,
+    R: Recorder,
 {
     let next = NextFrontier::new(next_kind, grid.num_vertices());
     let side = grid.side();
     let esize = std::mem::size_of::<E>() as u64;
+    let probe = ctx.probe;
     egraph_parallel::parallel_for(0..side * side, 1, |cells| {
         let mut local = Vec::new();
+        let mut examined = 0;
         for cell_id in cells {
             let (row, col) = (cell_id / side, cell_id % side);
             let base = grid.cell_base_index(row, col);
-            for (k, e) in grid.cell(row, col).iter().enumerate() {
+            let cell = grid.cell(row, col);
+            examined += cell.len();
+            for (k, e) in cell.iter().enumerate() {
                 if probe.enabled() {
                     touch_edge(probe, regions::EDGES + (base + k as u64) * esize);
                     touch_src(probe, e.src(), O::META_BYTES);
@@ -316,6 +359,7 @@ where
                 }
             }
         }
+        flush_examined(ctx.recorder, examined);
         if !local.is_empty() {
             next.extend(&local);
         }
@@ -330,26 +374,31 @@ where
 /// reads `(receiver, provider)`: rows group by receiver, making the
 /// receiver updates of a row exclusive to its worker — pull without
 /// locks (§6.1.2).
-pub fn grid_pull_rows<E, O, P>(
+pub fn grid_pull_rows<E, O, P, R>(
     grid: &Grid<E>,
     op: &O,
-    probe: &P,
+    ctx: ExecContext<'_, P, R>,
     next_kind: FrontierKind,
 ) -> VertexSubset
 where
     E: EdgeRecord,
     O: PullOp<E>,
     P: MemProbe,
+    R: Recorder,
 {
     let next = NextFrontier::new(next_kind, grid.num_vertices());
     let side = grid.side();
     let esize = std::mem::size_of::<E>() as u64;
+    let probe = ctx.probe;
     egraph_parallel::parallel_for(0..side, 1, |rows| {
         let mut local = Vec::new();
+        let mut examined = 0;
         for row in rows {
             for col in 0..side {
                 let base = grid.cell_base_index(row, col);
-                for (k, e) in grid.cell(row, col).iter().enumerate() {
+                let cell = grid.cell(row, col);
+                examined += cell.len();
+                for (k, e) in cell.iter().enumerate() {
                     let receiver = e.src();
                     if probe.enabled() {
                         touch_edge(probe, regions::EDGES + (base + k as u64) * esize);
@@ -371,6 +420,7 @@ where
                 }
             }
         }
+        flush_examined(ctx.recorder, examined);
         if !local.is_empty() {
             next.extend(&local);
         }

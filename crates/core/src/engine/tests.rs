@@ -4,11 +4,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use egraph_cachesim::{AccessKind, CacheConfig, LlcProbe, NullProbe};
+use egraph_cachesim::{AccessKind, CacheConfig, LlcProbe};
 
 use super::*;
 use crate::layout::EdgeDirection;
 use crate::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use crate::telemetry::TraceRecorder;
 use crate::types::{Edge, EdgeList};
 use crate::util::AtomicBitmap;
 
@@ -76,7 +77,13 @@ fn vertex_push_processes_only_frontier_edges() {
     let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&graph);
     let op = CountingOp::new(4);
     let frontier = VertexSubset::from_vec(vec![0]);
-    let next = vertex_push(adj.out(), &frontier, &op, &NullProbe, FrontierKind::Sparse);
+    let next = vertex_push(
+        adj.out(),
+        &frontier,
+        &op,
+        ExecContext::new(),
+        FrontierKind::Sparse,
+    );
     assert_eq!(op.pushes.load(Ordering::Relaxed), 2, "only 0's out-edges");
     assert_eq!(next.len(), 2);
     let mut v = match next {
@@ -93,7 +100,13 @@ fn vertex_push_dense_frontier_equivalent() {
     let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&graph);
     let op = CountingOp::new(4);
     let frontier = VertexSubset::from_vec(vec![0]).into_dense(4);
-    let next = vertex_push(adj.out(), &frontier, &op, &NullProbe, FrontierKind::Dense);
+    let next = vertex_push(
+        adj.out(),
+        &frontier,
+        &op,
+        ExecContext::new(),
+        FrontierKind::Dense,
+    );
     assert_eq!(op.pushes.load(Ordering::Relaxed), 2);
     assert_eq!(next.len(), 2);
 }
@@ -102,7 +115,13 @@ fn vertex_push_dense_frontier_equivalent() {
 fn edge_push_respects_source_active() {
     let graph = diamond();
     let op = CountingOp::with_sources(4, &[1, 2]);
-    let next = edge_push(graph.edges(), 4, &op, &NullProbe, FrontierKind::Dense);
+    let next = edge_push(
+        graph.edges(),
+        4,
+        &op,
+        ExecContext::new(),
+        FrontierKind::Dense,
+    );
     // Only edges out of 1 and 2 fire: (1,3) and (2,3).
     assert_eq!(op.pushes.load(Ordering::Relaxed), 2);
     assert_eq!(next.len(), 1, "3 activated once (dense dedup)");
@@ -114,7 +133,7 @@ fn grid_push_columns_covers_all_edges_once() {
     let graph = diamond();
     let grid = GridBuilder::new(Strategy::RadixSort).side(2).build(&graph);
     let op = CountingOp::new(4);
-    let next = grid_push_columns(&grid, &op, &NullProbe, FrontierKind::Dense);
+    let next = grid_push_columns(&grid, &op, ExecContext::new(), FrontierKind::Dense);
     assert_eq!(op.pushes.load(Ordering::Relaxed), graph.num_edges());
     assert_eq!(next.len(), 4);
 }
@@ -124,9 +143,9 @@ fn grid_push_cells_equals_columns() {
     let graph = diamond();
     let grid = GridBuilder::new(Strategy::RadixSort).side(2).build(&graph);
     let a = CountingOp::new(4);
-    grid_push_cells(&grid, &a, &NullProbe, FrontierKind::Dense);
+    grid_push_cells(&grid, &a, ExecContext::new(), FrontierKind::Dense);
     let b = CountingOp::new(4);
-    grid_push_columns(&grid, &b, &NullProbe, FrontierKind::Dense);
+    grid_push_columns(&grid, &b, ExecContext::new(), FrontierKind::Dense);
     assert_eq!(
         a.pushes.load(Ordering::Relaxed),
         b.pushes.load(Ordering::Relaxed)
@@ -161,7 +180,12 @@ fn vertex_pull_early_termination_and_filtering() {
     let op = EarlyStopPull {
         scanned: AtomicUsize::new(0),
     };
-    let next = vertex_pull(adj.incoming(), &op, &NullProbe, FrontierKind::Sparse);
+    let next = vertex_pull(
+        adj.incoming(),
+        &op,
+        ExecContext::new(),
+        FrontierKind::Sparse,
+    );
     // Vertex 3 has two in-edges but stops after one.
     assert_eq!(op.scanned.load(Ordering::Relaxed), 1);
     assert_eq!(next.len(), 1);
@@ -175,7 +199,13 @@ fn probe_sees_three_touches_per_processed_edge() {
     let probe = LlcProbe::new(CacheConfig::tiny(64 * 1024, 8));
     let op = CountingOp::new(4);
     let frontier = VertexSubset::from_vec(vec![0, 1, 2, 3]);
-    vertex_push(adj.out(), &frontier, &op, &probe, FrontierKind::Dense);
+    vertex_push(
+        adj.out(),
+        &frontier,
+        &op,
+        ExecContext::new().with_probe(&probe),
+        FrontierKind::Dense,
+    );
     let report = probe.report();
     let edges = graph.num_edges() as u64;
     assert_eq!(report.kind(AccessKind::Edge).accesses, edges);
@@ -209,7 +239,7 @@ fn grid_pull_rows_sees_transposed_receivers() {
     let op = RecordingPull {
         per_vertex: (0..4).map(|_| AtomicUsize::new(0)).collect(),
     };
-    grid_pull_rows(&grid, &op, &NullProbe, FrontierKind::Sparse);
+    grid_pull_rows(&grid, &op, ExecContext::new(), FrontierKind::Sparse);
     let counts: Vec<usize> = op
         .per_vertex
         .iter()
@@ -220,14 +250,61 @@ fn grid_pull_rows_sees_transposed_receivers() {
 }
 
 #[test]
+fn recorder_counts_edges_examined() {
+    let graph = diamond();
+    let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&graph);
+    let recorder = TraceRecorder::new();
+    let op = CountingOp::new(4);
+    let frontier = VertexSubset::from_vec(vec![0, 1, 2, 3]);
+    vertex_push(
+        adj.out(),
+        &frontier,
+        &op,
+        ExecContext::new().with_recorder(&recorder),
+        FrontierKind::Dense,
+    );
+    assert_eq!(
+        recorder.counters()[EDGES_EXAMINED],
+        graph.num_edges() as f64
+    );
+
+    let recorder = TraceRecorder::new();
+    edge_push(
+        graph.edges(),
+        4,
+        &op,
+        ExecContext::new().with_recorder(&recorder),
+        FrontierKind::Dense,
+    );
+    assert_eq!(
+        recorder.counters()[EDGES_EXAMINED],
+        graph.num_edges() as f64,
+        "edge-centric scans the whole edge array"
+    );
+}
+
+#[test]
 fn empty_graph_drivers_are_noops() {
     let graph: EdgeList<Edge> = EdgeList::new(0, vec![]).unwrap();
     let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build(&graph);
     let grid = GridBuilder::new(Strategy::RadixSort).side(2).build(&graph);
     let op = CountingOp::new(0);
-    assert!(vertex_push(adj.out(), &VertexSubset::empty(), &op, &NullProbe, FrontierKind::Sparse)
-        .is_empty());
-    assert!(edge_push(graph.edges(), 0, &op, &NullProbe, FrontierKind::Sparse).is_empty());
-    assert!(grid_push_columns(&grid, &op, &NullProbe, FrontierKind::Sparse).is_empty());
+    assert!(vertex_push(
+        adj.out(),
+        &VertexSubset::empty(),
+        &op,
+        ExecContext::new(),
+        FrontierKind::Sparse
+    )
+    .is_empty());
+    assert!(edge_push(
+        graph.edges(),
+        0,
+        &op,
+        ExecContext::new(),
+        FrontierKind::Sparse
+    )
+    .is_empty());
+    assert!(grid_push_columns(&grid, &op, ExecContext::new(), FrontierKind::Sparse).is_empty());
     assert_eq!(op.pushes.load(Ordering::Relaxed), 0);
 }

@@ -99,7 +99,10 @@ mod tests {
         assert_eq!(s.sinks, 2, "vertices 3 and 4");
         assert_eq!(s.isolated, 2);
         assert_eq!(s.max_out_degree, 2);
-        assert!(s.symmetric, "0<->1 both ways; self-loop counts as symmetric");
+        assert!(
+            s.symmetric,
+            "0<->1 both ways; self-loop counts as symmetric"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl<E: EdgeRecord> Adjacency<E> {
     /// table ending at `edges.len()`.
     pub fn from_csr(num_vertices: usize, offsets: Vec<u64>, edges: Vec<E>, by_dst: bool) -> Self {
         assert_eq!(offsets.len(), num_vertices + 1, "offsets length");
-        assert_eq!(*offsets.last().unwrap() as usize, edges.len(), "offsets total");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            edges.len(),
+            "offsets total"
+        );
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         Self {
             num_vertices,
@@ -186,9 +190,8 @@ impl<E: EdgeRecord> Adjacency<E> {
                         // SAFETY: vertex ranges `[lo, hi)` are disjoint
                         // across `v`, and the borrow lives for the
                         // whole (blocking) parallel region.
-                        let slice = unsafe {
-                            std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo)
-                        };
+                        let slice =
+                            unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
                         slice.sort_unstable_by_key(|e| key(e));
                     }
                 });
@@ -234,7 +237,11 @@ impl<E: EdgeRecord> AdjacencyList<E> {
     pub fn new(out: Option<Adjacency<E>>, inc: Option<Adjacency<E>>) -> Self {
         let num_vertices = match (&out, &inc) {
             (Some(o), Some(i)) => {
-                assert_eq!(o.num_vertices(), i.num_vertices(), "direction vertex counts");
+                assert_eq!(
+                    o.num_vertices(),
+                    i.num_vertices(),
+                    "direction vertex counts"
+                );
                 o.num_vertices()
             }
             (Some(o), None) => o.num_vertices(),
@@ -338,11 +345,7 @@ mod tests {
 
     #[test]
     fn per_vertex_neighbors() {
-        let adj = Adjacency::from_per_vertex(
-            2,
-            vec![vec![Edge::new(0, 1)], vec![]],
-            false,
-        );
+        let adj = Adjacency::from_per_vertex(2, vec![vec![Edge::new(0, 1)], vec![]], false);
         assert_eq!(adj.neighbors(0).len(), 1);
         assert_eq!(adj.num_edges(), 1);
     }

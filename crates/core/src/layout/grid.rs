@@ -85,10 +85,7 @@ impl<E: EdgeRecord> Grid<E> {
     /// The (row, column) cell coordinates of an edge.
     #[inline]
     pub fn cell_of(&self, src: VertexId, dst: VertexId) -> (usize, usize) {
-        (
-            src as usize / self.range_len,
-            dst as usize / self.range_len,
-        )
+        (src as usize / self.range_len, dst as usize / self.range_len)
     }
 
     /// The flat, row-major cell id of an edge — the radix key used to

@@ -49,6 +49,7 @@ pub mod metrics;
 pub mod numa_sim;
 pub mod preprocess;
 pub mod roadmap;
+pub mod telemetry;
 pub mod types;
 pub mod util;
 
@@ -57,7 +58,11 @@ pub mod prelude {
     pub use crate::frontier::{FrontierKind, VertexSubset};
     pub use crate::inspect::{summarize, GraphSummary};
     pub use crate::layout::{Adjacency, AdjacencyList, EdgeDirection, Grid};
-    pub use crate::metrics::{timed, TimeBreakdown};
+    pub use crate::metrics::{timed, IterStat, StepMode, TimeBreakdown};
     pub use crate::preprocess::{CsrBuilder, GridBuilder, PreprocessStats, Strategy};
+    pub use crate::telemetry::{
+        ExecContext, IterRecord, MemProbe, NullProbe, NullRecorder, Recorder, RunTrace, Span,
+        TraceFormat, TraceRecorder,
+    };
     pub use crate::types::{Edge, EdgeList, EdgeRecord, VertexId, WEdge, INVALID_VERTEX};
 }

@@ -115,7 +115,9 @@ mod tests {
     fn random_spd_systems_roundtrip() {
         let mut state = 7u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for n in [2usize, 4, 8, 12] {

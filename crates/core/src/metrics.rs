@@ -74,6 +74,25 @@ pub enum StepMode {
     Pull,
 }
 
+impl StepMode {
+    /// The canonical lower-case name used in traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StepMode::Push => "push",
+            StepMode::Pull => "pull",
+        }
+    }
+
+    /// Parses the canonical name back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "push" => Some(StepMode::Push),
+            "pull" => Some(StepMode::Pull),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

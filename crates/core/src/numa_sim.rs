@@ -24,12 +24,7 @@ use std::ops::Range;
 use std::time::Instant;
 
 use egraph_numa::{
-    edge_balanced_ranges,
-    CostModel,
-    LocalityStats,
-    MemoryBoundness,
-    ModeledTime,
-    Placement,
+    edge_balanced_ranges, CostModel, LocalityStats, MemoryBoundness, ModeledTime, Placement,
 };
 
 use crate::types::{EdgeList, EdgeRecord};
@@ -451,9 +446,13 @@ mod tests {
         let mut state = seed | 1;
         let mut edges = Vec::with_capacity(ne);
         for _ in 0..ne {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             edges.push(Edge::new(src, dst));
         }
@@ -506,8 +505,8 @@ mod tests {
         let issue = waterfall_issue(&[400, 0, 0, 0], 4);
         // Node 0 keeps its even share; the rest is stolen equally.
         assert!((issue[0][0] - 0.25).abs() < 1e-9);
-        for i in 1..4 {
-            assert!((issue[i][0] - 0.25).abs() < 1e-9);
+        for node in issue.iter().skip(1) {
+            assert!((node[0] - 0.25).abs() < 1e-9);
         }
         // Everything sums to 1 per storage node with work.
         let total: f64 = (0..4).map(|i| issue[i][0]).sum();

@@ -342,7 +342,9 @@ mod tests {
     }
 
     fn degrees_of(adj: &Adjacency<Edge>) -> Vec<usize> {
-        (0..adj.num_vertices()).map(|v| adj.degree(v as u32)).collect()
+        (0..adj.num_vertices())
+            .map(|v| adj.degree(v as u32))
+            .collect()
     }
 
     #[test]
@@ -399,8 +401,11 @@ mod tests {
             let grid = GridBuilder::new(strategy).side(2).build(&input);
             for r in 0..2 {
                 for c in 0..2 {
-                    let mut a: Vec<(u32, u32)> =
-                        reference.cell(r, c).iter().map(|e| (e.src, e.dst)).collect();
+                    let mut a: Vec<(u32, u32)> = reference
+                        .cell(r, c)
+                        .iter()
+                        .map(|e| (e.src, e.dst))
+                        .collect();
                     let mut b: Vec<(u32, u32)> =
                         grid.cell(r, c).iter().map(|e| (e.src, e.dst)).collect();
                     a.sort_unstable();
@@ -442,9 +447,13 @@ mod tests {
         let mut state = 12345u64;
         let mut edges = Vec::new();
         for _ in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = ((state >> 33) % nv as u64) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = ((state >> 33) % nv as u64) as u32;
             edges.push(Edge::new(src, dst));
         }

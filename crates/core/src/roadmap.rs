@@ -130,9 +130,8 @@ pub fn recommend(
 
     // Step 1: data layout.
     let (layout, flow) = if algo.single_pass {
-        rationale.push(
-            "single-pass algorithm: edge array avoids all pre-processing (SpMV rule)".into(),
-        );
+        rationale
+            .push("single-pass algorithm: edge array avoids all pre-processing (SpMV rule)".into());
         (LayoutChoice::EdgeArray, FlowChoice::Push)
     } else if algo.active_fraction < 0.5 {
         rationale.push(
@@ -263,7 +262,10 @@ mod tests {
             &rmat_like(),
             &Topology::machine_a(),
         );
-        assert!(!r.numa_aware, "2-node machine: end-to-end never benefits (Fig 9)");
+        assert!(
+            !r.numa_aware,
+            "2-node machine: end-to-end never benefits (Fig 9)"
+        );
     }
 
     #[test]

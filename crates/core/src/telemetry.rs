@@ -1,0 +1,963 @@
+//! Run-wide telemetry: counters, per-iteration records and phase spans
+//! behind a zero-cost recording interface.
+//!
+//! The paper's central methodological claim is that graph systems must
+//! be measured *end-to-end* (§1): load + pre-process + partition +
+//! algorithm, not just the kernel. This module is the machinery that
+//! makes those measurements first-class: every engine driver and
+//! algorithm entry point threads an [`ExecContext`] carrying a memory
+//! [`MemProbe`] and a [`Recorder`], and a run can be serialized as one
+//! machine-readable [`RunTrace`] document (JSON or CSV).
+//!
+//! Three recorder implementations matter:
+//!
+//! * [`NullRecorder`] — the default; compiles away (see the trait docs),
+//! * [`TraceRecorder`] — collects everything for `--trace-out`,
+//! * anything user-provided — the trait is public and object-safe-free
+//!   by design (generics, so the optimizer can specialize).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+pub use egraph_cachesim::{MemProbe, NullProbe};
+
+use crate::metrics::{IterStat, StepMode, TimeBreakdown};
+
+/// One record per computation step of a frontier algorithm, as captured
+/// by a [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterRecord {
+    /// Zero-based step index.
+    pub step: usize,
+    /// Active vertices at the start of the step.
+    pub frontier_size: usize,
+    /// Edges examined during the step.
+    pub edges_scanned: usize,
+    /// Wall-clock seconds of the step.
+    pub seconds: f64,
+    /// Direction the step ran in.
+    pub mode: StepMode,
+}
+
+impl IterRecord {
+    /// Builds a record from a step index and an [`IterStat`].
+    pub fn from_stat(step: usize, stat: &IterStat) -> Self {
+        Self {
+            step,
+            frontier_size: stat.frontier_size,
+            edges_scanned: stat.edges_scanned,
+            seconds: stat.seconds,
+            mode: stat.mode,
+        }
+    }
+}
+
+/// A named phase duration (e.g. `"load"`, `"factor_users"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Phase name.
+    pub name: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Sink for run-wide telemetry: named counters, per-iteration records
+/// and phase spans.
+///
+/// # The zero-cost `NullRecorder` contract
+///
+/// All engine drivers and algorithm entry points are *generic* over
+/// `R: Recorder` rather than taking a trait object. For
+/// [`NullRecorder`], `enabled()` is a constant `false` and every sink
+/// method is an inlinable no-op, so after monomorphization the
+/// instrumentation branches fold away and the hot path is *identical*
+/// to an uninstrumented build — the same technique [`MemProbe`] /
+/// [`NullProbe`] use for cache simulation. Instrumentation sites must
+/// uphold the contract from their side: any work beyond calling the
+/// sink methods (counter arithmetic, address math, allocation) must be
+/// guarded by `if recorder.enabled()`.
+pub trait Recorder: Sync {
+    /// Whether this recorder stores anything. Instrumentation sites
+    /// skip counter bookkeeping when `false`.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the named counter.
+    fn record_counter(&self, name: &'static str, delta: u64);
+
+    /// Appends one per-iteration record.
+    fn record_iteration(&self, record: IterRecord);
+
+    /// Appends one phase span.
+    fn record_span(&self, name: &'static str, seconds: f64);
+}
+
+/// The zero-cost recorder used when telemetry is off; see the
+/// [`Recorder`] docs for the contract that makes it free.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record_counter(&self, _name: &'static str, _delta: u64) {}
+
+    #[inline]
+    fn record_iteration(&self, _record: IterRecord) {}
+
+    #[inline]
+    fn record_span(&self, _name: &'static str, _seconds: f64) {}
+}
+
+/// A recorder that collects everything into memory, for `--trace-out`
+/// and the bench reporter.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    inner: Mutex<TraceInner>,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    iterations: Vec<IterRecord>,
+    counters: BTreeMap<&'static str, u64>,
+    spans: Vec<Span>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-iteration records collected so far.
+    pub fn iterations(&self) -> Vec<IterRecord> {
+        self.inner.lock().iterations.clone()
+    }
+
+    /// The counters collected so far.
+    pub fn counters(&self) -> BTreeMap<String, f64> {
+        self.inner
+            .lock()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v as f64))
+            .collect()
+    }
+
+    /// The phase spans collected so far.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().spans.clone()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record_counter(&self, name: &'static str, delta: u64) {
+        *self.inner.lock().counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn record_iteration(&self, record: IterRecord) {
+        self.inner.lock().iterations.push(record);
+    }
+
+    fn record_span(&self, name: &'static str, seconds: f64) {
+        self.inner.lock().spans.push(Span {
+            name: name.to_string(),
+            seconds,
+        });
+    }
+}
+
+/// The execution context threaded through every engine driver and
+/// algorithm entry point: a cache [`MemProbe`] plus a telemetry
+/// [`Recorder`]. Both default to their null implementations, which
+/// compile the instrumentation away.
+///
+/// # Examples
+///
+/// ```
+/// use egraph_core::prelude::*;
+/// use egraph_core::algo::bfs;
+///
+/// let input = EdgeList::new(3, vec![Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
+/// let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&input);
+///
+/// // Uninstrumented run (NullProbe + NullRecorder):
+/// let plain = bfs::push_ctx(&adj, 0, &ExecContext::new());
+///
+/// // Traced run:
+/// let recorder = TraceRecorder::new();
+/// let traced = bfs::push_ctx(&adj, 0, &ExecContext::new().with_recorder(&recorder));
+/// assert_eq!(plain.level, traced.level);
+/// assert_eq!(recorder.iterations().len(), traced.iterations.len());
+/// ```
+#[derive(Debug)]
+pub struct ExecContext<'a, P: MemProbe = NullProbe, R: Recorder = NullRecorder> {
+    /// Memory-access instrumentation hook.
+    pub probe: &'a P,
+    /// Telemetry sink.
+    pub recorder: &'a R,
+}
+
+impl<'a, P: MemProbe, R: Recorder> Clone for ExecContext<'a, P, R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a, P: MemProbe, R: Recorder> Copy for ExecContext<'a, P, R> {}
+
+impl ExecContext<'static> {
+    /// The uninstrumented context: [`NullProbe`] + [`NullRecorder`].
+    pub fn new() -> Self {
+        Self {
+            probe: &NullProbe,
+            recorder: &NullRecorder,
+        }
+    }
+}
+
+impl Default for ExecContext<'static> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, P: MemProbe, R: Recorder> ExecContext<'a, P, R> {
+    /// This context with a different probe.
+    pub fn with_probe<P2: MemProbe>(self, probe: &'a P2) -> ExecContext<'a, P2, R> {
+        ExecContext {
+            probe,
+            recorder: self.recorder,
+        }
+    }
+
+    /// This context with a different recorder.
+    pub fn with_recorder<R2: Recorder>(self, recorder: &'a R2) -> ExecContext<'a, P, R2> {
+        ExecContext {
+            probe: self.probe,
+            recorder,
+        }
+    }
+}
+
+/// The machine-readable document describing one end-to-end run:
+/// the [`TimeBreakdown`], per-iteration records, and whatever counters
+/// the engine, pool and storage layers reported.
+///
+/// Serializes to JSON ([`RunTrace::to_json`], schema
+/// `egraph-trace/1`) and CSV ([`RunTrace::to_csv`]); parses back from
+/// its own JSON ([`RunTrace::from_json`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTrace {
+    /// Algorithm name (e.g. `"bfs"`).
+    pub algorithm: String,
+    /// Free-form run configuration (layout, flow, sync, threads, …).
+    pub config: BTreeMap<String, String>,
+    /// End-to-end phase timings.
+    pub breakdown: TimeBreakdown,
+    /// One record per computation step.
+    pub iterations: Vec<IterRecord>,
+    /// Named counters from all layers (engine, pool, storage).
+    pub counters: BTreeMap<String, f64>,
+    /// Named phase spans beyond the fixed breakdown phases.
+    pub spans: Vec<Span>,
+}
+
+/// Schema tag embedded in every JSON trace.
+pub const TRACE_SCHEMA: &str = "egraph-trace/1";
+
+/// Output format for a [`RunTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object (schema `egraph-trace/1`).
+    Json,
+    /// Flat CSV with a `record` discriminator column.
+    Csv,
+}
+
+impl TraceFormat {
+    /// Parses a format name (`"json"` / `"csv"`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "json" => Ok(TraceFormat::Json),
+            "csv" => Ok(TraceFormat::Csv),
+            other => Err(format!("unknown trace format '{other}' (json|csv)")),
+        }
+    }
+}
+
+/// Error produced when parsing a JSON trace back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(String);
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl RunTrace {
+    /// Creates an empty trace for `algorithm`.
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Merges everything a [`TraceRecorder`] collected into this trace.
+    pub fn absorb(&mut self, recorder: &TraceRecorder) {
+        self.iterations.extend(recorder.iterations());
+        self.counters.extend(recorder.counters());
+        self.spans.extend(recorder.spans());
+    }
+
+    /// Renders the trace in `format`.
+    pub fn render(&self, format: TraceFormat) -> String {
+        match format {
+            TraceFormat::Json => self.to_json(),
+            TraceFormat::Csv => self.to_csv(),
+        }
+    }
+
+    /// Serializes to a JSON object (schema [`TRACE_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.iterations.len() * 96);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json::string(TRACE_SCHEMA)));
+        out.push_str(&format!(
+            "  \"algorithm\": {},\n",
+            json::string(&self.algorithm)
+        ));
+        out.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json::string(k), json::string(v)));
+        }
+        out.push_str("},\n");
+        let b = &self.breakdown;
+        out.push_str(&format!(
+            "  \"breakdown\": {{\"load\": {}, \"preprocess\": {}, \"partition\": {}, \
+             \"algorithm\": {}, \"store\": {}, \"total\": {}}},\n",
+            json::number(b.load),
+            json::number(b.preprocess),
+            json::number(b.partition),
+            json::number(b.algorithm),
+            json::number(b.store),
+            json::number(b.total()),
+        ));
+        out.push_str("  \"iterations\": [");
+        for (i, it) in self.iterations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"step\": {}, \"frontier_size\": {}, \"edges_scanned\": {}, \
+                 \"seconds\": {}, \"mode\": {}}}",
+                it.step,
+                it.frontier_size,
+                it.edges_scanned,
+                json::number(it.seconds),
+                json::string(it.mode.as_str()),
+            ));
+        }
+        if !self.iterations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::string(k), json::number(*v)));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"seconds\": {}}}",
+                json::string(&s.name),
+                json::number(s.seconds)
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a trace previously produced by [`RunTrace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] on malformed JSON, a missing/foreign
+    /// schema tag, or fields of unexpected shape.
+    pub fn from_json(text: &str) -> Result<Self, TraceError> {
+        let value = json::parse(text).map_err(TraceError)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| err("root is not an object"))?;
+        let schema = get(obj, "schema")?
+            .as_str()
+            .ok_or_else(|| err("schema is not a string"))?;
+        if schema != TRACE_SCHEMA {
+            return Err(err(&format!("unsupported schema '{schema}'")));
+        }
+        let mut trace = RunTrace::new(
+            get(obj, "algorithm")?
+                .as_str()
+                .ok_or_else(|| err("algorithm is not a string"))?,
+        );
+        for (k, v) in get(obj, "config")?
+            .as_object()
+            .ok_or_else(|| err("config is not an object"))?
+        {
+            trace.config.insert(
+                k.clone(),
+                v.as_str()
+                    .ok_or_else(|| err("config value is not a string"))?
+                    .to_string(),
+            );
+        }
+        let b = get(obj, "breakdown")?
+            .as_object()
+            .ok_or_else(|| err("breakdown is not an object"))?;
+        trace.breakdown = TimeBreakdown {
+            load: num_field(b, "load")?,
+            preprocess: num_field(b, "preprocess")?,
+            partition: num_field(b, "partition")?,
+            algorithm: num_field(b, "algorithm")?,
+            store: num_field(b, "store")?,
+        };
+        for it in get(obj, "iterations")?
+            .as_array()
+            .ok_or_else(|| err("iterations is not an array"))?
+        {
+            let o = it
+                .as_object()
+                .ok_or_else(|| err("iteration is not an object"))?;
+            trace.iterations.push(IterRecord {
+                step: num_field(o, "step")? as usize,
+                frontier_size: num_field(o, "frontier_size")? as usize,
+                edges_scanned: num_field(o, "edges_scanned")? as usize,
+                seconds: num_field(o, "seconds")?,
+                mode: StepMode::parse(
+                    get(o, "mode")?
+                        .as_str()
+                        .ok_or_else(|| err("mode is not a string"))?,
+                )
+                .ok_or_else(|| err("unknown step mode"))?,
+            });
+        }
+        for (k, v) in get(obj, "counters")?
+            .as_object()
+            .ok_or_else(|| err("counters is not an object"))?
+        {
+            trace.counters.insert(
+                k.clone(),
+                v.as_number()
+                    .ok_or_else(|| err("counter is not a number"))?,
+            );
+        }
+        for s in get(obj, "spans")?
+            .as_array()
+            .ok_or_else(|| err("spans is not an array"))?
+        {
+            let o = s.as_object().ok_or_else(|| err("span is not an object"))?;
+            trace.spans.push(Span {
+                name: get(o, "name")?
+                    .as_str()
+                    .ok_or_else(|| err("span name is not a string"))?
+                    .to_string(),
+                seconds: num_field(o, "seconds")?,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Serializes to flat CSV. The first column discriminates the
+    /// record type (`meta`, `breakdown`, `iteration`, `counter`,
+    /// `span`); unused columns are left empty.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("record,key,step,frontier_size,edges_scanned,seconds,mode,value\n");
+        out.push_str(&format!(
+            "meta,schema,,,,,,{}\nmeta,algorithm,,,,,,{}\n",
+            TRACE_SCHEMA, self.algorithm
+        ));
+        for (k, v) in &self.config {
+            out.push_str(&format!("meta,{k},,,,,,{v}\n"));
+        }
+        let b = &self.breakdown;
+        for (name, secs) in [
+            ("load", b.load),
+            ("preprocess", b.preprocess),
+            ("partition", b.partition),
+            ("algorithm", b.algorithm),
+            ("store", b.store),
+            ("total", b.total()),
+        ] {
+            out.push_str(&format!("breakdown,{name},,,,{secs},,\n"));
+        }
+        for it in &self.iterations {
+            out.push_str(&format!(
+                "iteration,,{},{},{},{},{},\n",
+                it.step,
+                it.frontier_size,
+                it.edges_scanned,
+                it.seconds,
+                it.mode.as_str()
+            ));
+        }
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter,{k},,,,,,{v}\n"));
+        }
+        for s in &self.spans {
+            out.push_str(&format!("span,{},,,,{},,\n", s.name, s.seconds));
+        }
+        out
+    }
+}
+
+fn err(msg: &str) -> TraceError {
+    TraceError(msg.to_string())
+}
+
+fn get<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Value, TraceError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| err(&format!("missing field '{key}'")))
+}
+
+fn num_field(obj: &[(String, json::Value)], key: &str) -> Result<f64, TraceError> {
+    get(obj, key)?
+        .as_number()
+        .ok_or_else(|| err(&format!("field '{key}' is not a number")))
+}
+
+pub mod json {
+    //! A minimal JSON reader/writer covering exactly what [`RunTrace`]
+    //! emits (the workspace deliberately carries no serialization
+    //! dependency). Strings, finite numbers, booleans, null, arrays
+    //! and objects; no depth limit; objects preserve insertion order.
+    //!
+    //! [`RunTrace`]: super::RunTrace
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number, kept as `f64`.
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, as ordered key/value pairs.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string content, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn as_number(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The key/value pairs, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Renders a JSON string literal (with escaping).
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Renders a JSON number. Non-finite values (which valid traces
+    /// never contain) render as `null`.
+    pub fn number(n: f64) -> String {
+        if n.is_finite() {
+            format!("{n}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".to_string()),
+            }
+        }
+
+        fn literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(value)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                pairs.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid UTF-8")?;
+                        let c = rest.chars().next().ok_or("unexpected end in string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid number")?;
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record_counter("x", 1);
+        r.record_iteration(IterRecord {
+            step: 0,
+            frontier_size: 0,
+            edges_scanned: 0,
+            seconds: 0.0,
+            mode: StepMode::Push,
+        });
+        r.record_span("x", 0.0);
+    }
+
+    #[test]
+    fn trace_recorder_accumulates() {
+        let r = TraceRecorder::new();
+        assert!(r.enabled());
+        r.record_counter("edges", 10);
+        r.record_counter("edges", 5);
+        r.record_span("load", 0.25);
+        r.record_iteration(IterRecord {
+            step: 0,
+            frontier_size: 1,
+            edges_scanned: 2,
+            seconds: 0.5,
+            mode: StepMode::Pull,
+        });
+        assert_eq!(r.counters()["edges"], 15.0);
+        assert_eq!(r.spans()[0].name, "load");
+        assert_eq!(r.iterations()[0].mode, StepMode::Pull);
+    }
+
+    #[test]
+    fn exec_context_composes() {
+        let recorder = TraceRecorder::new();
+        let ctx = ExecContext::new().with_recorder(&recorder);
+        assert!(!ctx.probe.enabled());
+        assert!(ctx.recorder.enabled());
+    }
+
+    fn sample_trace() -> RunTrace {
+        let mut t = RunTrace::new("bfs");
+        t.config.insert("layout".into(), "adjacency".into());
+        t.config.insert("flow".into(), "push".into());
+        t.breakdown = TimeBreakdown {
+            load: 0.5,
+            preprocess: 0.25,
+            partition: 0.0,
+            algorithm: 0.125,
+            store: 0.0625,
+        };
+        t.iterations = vec![
+            IterRecord {
+                step: 0,
+                frontier_size: 1,
+                edges_scanned: 3,
+                seconds: 0.001,
+                mode: StepMode::Push,
+            },
+            IterRecord {
+                step: 1,
+                frontier_size: 42,
+                edges_scanned: 977,
+                seconds: 0.0025,
+                mode: StepMode::Pull,
+            },
+        ];
+        t.counters.insert("pool.steals".into(), 7.0);
+        t.counters.insert("storage.bytes_read".into(), 65536.0);
+        t.spans.push(Span {
+            name: "warmup \"quoted\"".into(),
+            seconds: 0.75,
+        });
+        t
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let trace = sample_trace();
+        let parsed = RunTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn json_rejects_foreign_schema() {
+        let text = sample_trace().to_json().replace(TRACE_SCHEMA, "other/9");
+        assert!(RunTrace::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        assert!(RunTrace::from_json("{").is_err());
+        assert!(RunTrace::from_json("[]").is_err());
+        assert!(RunTrace::from_json("{\"schema\": 3}").is_err());
+    }
+
+    #[test]
+    fn csv_has_all_record_types() {
+        let text = sample_trace().to_csv();
+        for tag in [
+            "record,",
+            "meta,algorithm",
+            "breakdown,total",
+            "iteration,",
+            "counter,pool.steals",
+            "span,",
+        ] {
+            assert!(text.contains(tag), "missing {tag} in:\n{text}");
+        }
+        assert_eq!(text.lines().count(), 1 + 2 + 2 + 6 + 2 + 2 + 1);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = json::parse(r#"{"a": [1, -2.5e3, "x\nλA"], "b": {"c": true, "d": null}}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[1].as_number(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\nλA"));
+        assert_eq!(obj[1].1.as_object().unwrap()[1].1, json::Value::Null);
+    }
+}

@@ -244,6 +244,24 @@ impl<E: EdgeRecord> EdgeList<E> {
         egraph_sort::key_histogram(&self.edges, self.num_vertices.max(1), |e| e.dst() as u64)
     }
 
+    /// Returns the vertex with the largest out-degree and that degree,
+    /// or `None` for a graph with no vertices. Ties break toward the
+    /// smaller vertex id.
+    ///
+    /// Useful for picking a well-connected root for traversals.
+    pub fn max_degree_vertex(&self) -> Option<(VertexId, u64)> {
+        if self.num_vertices == 0 {
+            return None;
+        }
+        let degrees = self.out_degrees();
+        let (v, d) = degrees
+            .iter()
+            .enumerate()
+            .max_by(|(va, da), (vb, db)| da.cmp(db).then(vb.cmp(va)))
+            .expect("at least one vertex");
+        Some((v as VertexId, *d))
+    }
+
     /// Returns an undirected version of this graph: every edge appears
     /// in both directions.
     ///
@@ -288,6 +306,30 @@ mod tests {
     }
 
     #[test]
+    fn max_degree_vertex_picks_hub() {
+        let graph = EdgeList::new(
+            4,
+            vec![
+                Edge::new(2, 0),
+                Edge::new(2, 1),
+                Edge::new(2, 3),
+                Edge::new(0, 1),
+            ],
+        )
+        .unwrap();
+        assert_eq!(graph.max_degree_vertex(), Some((2, 3)));
+        // Empty vertex set has no hub; ties break to the smaller id.
+        assert_eq!(
+            EdgeList::<Edge>::new(0, vec![])
+                .unwrap()
+                .max_degree_vertex(),
+            None
+        );
+        let tied = EdgeList::new(3, vec![Edge::new(1, 0), Edge::new(2, 0)]).unwrap();
+        assert_eq!(tied.max_degree_vertex(), Some((1, 1)));
+    }
+
+    #[test]
     fn validation_rejects_out_of_range() {
         let err = EdgeList::new(2, vec![Edge::new(0, 2)]).unwrap_err();
         assert_eq!(
@@ -310,7 +352,12 @@ mod tests {
     fn degrees_count_correctly() {
         let list = EdgeList::new(
             4,
-            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2), Edge::new(3, 0)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(1, 2),
+                Edge::new(3, 0),
+            ],
         )
         .unwrap();
         assert_eq!(list.out_degrees(), vec![2, 1, 0, 1]);

@@ -174,8 +174,7 @@ impl<'a, T> UnsyncSlice<'a, T> {
     pub fn new(data: &'a mut [T]) -> Self {
         // SAFETY: `&mut [T]` proves exclusive ownership for `'a`, and
         // `UnsafeCell<T>` has the same layout as `T`.
-        let cells =
-            unsafe { &*(data as *mut [T] as *const [UnsafeCell<T>]) };
+        let cells = unsafe { &*(data as *mut [T] as *const [UnsafeCell<T>]) };
         Self { data: cells }
     }
 

@@ -21,7 +21,11 @@ fn single_vertex_no_edges() {
     assert_eq!(r.parent, vec![0]);
 
     let degrees = vec![0u32];
-    let pr = pagerank::pull(adj.incoming(), &degrees, pagerank::PagerankConfig::default());
+    let pr = pagerank::pull(
+        adj.incoming(),
+        &degrees,
+        pagerank::PagerankConfig::default(),
+    );
     assert_eq!(pr.ranks.len(), 1);
     assert!(pr.ranks[0] > 0.0);
 }
@@ -56,18 +60,18 @@ fn star_in_and_out() {
     assert_eq!(r.level[0], 1);
 
     let degrees: Vec<u32> = in_star.out_degrees().iter().map(|&d| d as u32).collect();
-    let pr = pagerank::pull(adj.incoming(), &degrees, pagerank::PagerankConfig::default());
+    let pr = pagerank::pull(
+        adj.incoming(),
+        &degrees,
+        pagerank::PagerankConfig::default(),
+    );
     let top = pr.top_k(1);
     assert_eq!(top, vec![0], "the sink hub must rank first");
 }
 
 #[test]
 fn grid_side_one_is_a_single_cell() {
-    let graph = EdgeList::new(
-        100,
-        (0..99).map(|v| Edge::new(v, v + 1)).collect(),
-    )
-    .unwrap();
+    let graph = EdgeList::new(100, (0..99).map(|v| Edge::new(v, v + 1)).collect()).unwrap();
     let grid = GridBuilder::new(Strategy::RadixSort).side(1).build(&graph);
     assert_eq!(grid.cell(0, 0).len(), 99);
     let r = bfs::grid(&grid, 0);
@@ -100,11 +104,7 @@ fn bfs_from_isolated_vertex() {
 
 #[test]
 fn sssp_with_zero_weight_edges() {
-    let graph = EdgeList::new(
-        3,
-        vec![WEdge::new(0, 1, 0.0), WEdge::new(1, 2, 0.0)],
-    )
-    .unwrap();
+    let graph = EdgeList::new(3, vec![WEdge::new(0, 1, 0.0), WEdge::new(1, 2, 0.0)]).unwrap();
     let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&graph);
     let r = sssp::push(&adj, 0);
     assert_eq!(r.dist, vec![0.0, 0.0, 0.0]);
@@ -127,11 +127,7 @@ fn sssp_parallel_edges_take_minimum() {
 
 #[test]
 fn spmv_with_negative_weights() {
-    let graph = EdgeList::new(
-        2,
-        vec![WEdge::new(0, 1, -3.0), WEdge::new(1, 0, 2.0)],
-    )
-    .unwrap();
+    let graph = EdgeList::new(2, vec![WEdge::new(0, 1, -3.0), WEdge::new(1, 0, 2.0)]).unwrap();
     let y = spmv::edge_centric(&graph, &[1.0, 10.0]).y;
     assert_eq!(y, vec![20.0, -3.0]);
 }
@@ -146,7 +142,11 @@ fn pagerank_on_cycle_is_uniform() {
     .unwrap();
     let degrees = vec![1u32; n as usize];
     let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::In).build(&graph);
-    let pr = pagerank::pull(adj.incoming(), &degrees, pagerank::PagerankConfig::default());
+    let pr = pagerank::pull(
+        adj.incoming(),
+        &degrees,
+        pagerank::PagerankConfig::default(),
+    );
     let expected = 1.0 / n as f32;
     for (v, &r) in pr.ranks.iter().enumerate() {
         assert!((r - expected).abs() < 1e-5, "rank[{v}] = {r}");

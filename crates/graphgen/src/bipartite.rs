@@ -28,14 +28,16 @@ pub fn netflix_like(
     ratings_per_user: usize,
     seed: u64,
 ) -> EdgeList<WEdge> {
-    assert!(num_users > 0 && num_items > 0, "both sides must be non-empty");
+    assert!(
+        num_users > 0 && num_items > 0,
+        "both sides must be non-empty"
+    );
     let zipf = Zipf::new(num_items, 1.1);
     const GROUPS: u64 = 4;
     let ne = num_users * ratings_per_user;
     let edges = parallel_init(ne, 1 << 12, |i| {
         let user = i / ratings_per_user;
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
         let item = zipf.sample(&mut rng);
         // Planted structure: same-group pairs rate high.
         let user_group = (user as u64).wrapping_mul(0x9E37_79B9) % GROUPS;
@@ -91,8 +93,8 @@ mod tests {
     fn every_user_rates() {
         let g = netflix_like(30, 10, 3, 5);
         let degrees = g.out_degrees();
-        for u in 0..30 {
-            assert_eq!(degrees[u], 3);
+        for d in degrees.iter().take(30) {
+            assert_eq!(*d, 3);
         }
     }
 

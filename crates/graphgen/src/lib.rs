@@ -31,8 +31,8 @@
 pub mod bipartite;
 pub mod permute;
 pub mod rmat;
-pub mod smallworld;
 pub mod road;
+pub mod smallworld;
 pub mod stats;
 pub mod uniform;
 pub mod zipf;

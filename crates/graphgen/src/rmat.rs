@@ -137,8 +137,17 @@ mod tests {
         let stats = degree_stats(&g);
         // Power-law: the max degree dwarfs the average, and a large
         // fraction of vertices has no out-edge at all.
-        assert!(stats.max as f64 > 20.0 * stats.avg, "max {} avg {}", stats.max, stats.avg);
-        assert!(stats.zero_fraction > 0.2, "zero fraction {}", stats.zero_fraction);
+        assert!(
+            stats.max as f64 > 20.0 * stats.avg,
+            "max {} avg {}",
+            stats.max,
+            stats.avg
+        );
+        assert!(
+            stats.zero_fraction > 0.2,
+            "zero fraction {}",
+            stats.zero_fraction
+        );
     }
 
     #[test]

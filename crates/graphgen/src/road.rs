@@ -20,7 +20,10 @@ use egraph_parallel::ops::parallel_init;
 /// Panics if either dimension is zero or the vertex count overflows
 /// `u32`.
 pub fn road_like(width: usize, height: usize) -> EdgeList<Edge> {
-    assert!(width > 0 && height > 0, "lattice dimensions must be positive");
+    assert!(
+        width > 0 && height > 0,
+        "lattice dimensions must be positive"
+    );
     let nv = width
         .checked_mul(height)
         .filter(|&n| n <= u32::MAX as usize)

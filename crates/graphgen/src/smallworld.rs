@@ -40,8 +40,7 @@ pub fn small_world(n: usize, k: usize, p: f64, seed: u64) -> EdgeList<Edge> {
         } else {
             (v + n as u32 - offset) % n as u32
         };
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD));
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD));
         let dst = if rng.random::<f64>() < p {
             // Rewire to any vertex except self.
             let mut d = rng.random_range(0..n as u32 - 1);
@@ -70,7 +69,12 @@ mod tests {
         let degrees = g.out_degrees();
         assert!(degrees.iter().all(|&d| d == 4));
         // Vertex 0 connects to 1, 2, 99, 98.
-        let mut n0: Vec<u32> = g.edges().iter().filter(|e| e.src == 0).map(|e| e.dst).collect();
+        let mut n0: Vec<u32> = g
+            .edges()
+            .iter()
+            .filter(|e| e.src == 0)
+            .map(|e| e.dst)
+            .collect();
         n0.sort_unstable();
         assert_eq!(n0, vec![1, 2, 98, 99]);
     }
@@ -83,7 +87,12 @@ mod tests {
         let eccentricity = |g: &EdgeList<Edge>| {
             let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(g);
             let levels = egraph_core::algo::bfs::reference(adj.out(), 0);
-            levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap()
+            levels
+                .iter()
+                .filter(|&&l| l != u32::MAX)
+                .max()
+                .copied()
+                .unwrap()
         };
         let ring_depth = eccentricity(&ring);
         let sw_depth = eccentricity(&sw);

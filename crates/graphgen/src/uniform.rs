@@ -20,8 +20,7 @@ pub fn uniform(num_vertices: usize, num_edges: usize, seed: u64) -> EdgeList<Edg
         "edges need at least one vertex"
     );
     let edges = parallel_init(num_edges, 1 << 14, |i| {
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
         Edge::new(
             rng.random_range(0..num_vertices as u32),
             rng.random_range(0..num_vertices as u32),

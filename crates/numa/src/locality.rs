@@ -24,7 +24,9 @@ impl LocalityStats {
         let num_nodes = num_nodes.max(1);
         Self {
             num_nodes,
-            matrix: (0..num_nodes * num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            matrix: (0..num_nodes * num_nodes)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -70,7 +72,11 @@ impl LocalityStats {
             return 1.0 / self.num_nodes as f64;
         }
         let peak = (0..self.num_nodes)
-            .map(|to| (0..self.num_nodes).map(|from| self.get(from, to)).sum::<u64>())
+            .map(|to| {
+                (0..self.num_nodes)
+                    .map(|from| self.get(from, to))
+                    .sum::<u64>()
+            })
             .max()
             .unwrap_or(0);
         peak as f64 / total as f64

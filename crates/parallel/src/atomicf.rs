@@ -47,12 +47,10 @@ macro_rules! atomic_float {
                 let mut current = self.bits.load(Ordering::Relaxed);
                 loop {
                     let new = (<$float>::from_bits(current) + delta).to_bits();
-                    match self.bits.compare_exchange_weak(
-                        current,
-                        new,
-                        order,
-                        Ordering::Relaxed,
-                    ) {
+                    match self
+                        .bits
+                        .compare_exchange_weak(current, new, order, Ordering::Relaxed)
+                    {
                         Ok(prev) => return <$float>::from_bits(prev),
                         Err(observed) => current = observed,
                     }

@@ -73,6 +73,7 @@ where
         loop {
             match queue.steal() {
                 Steal::Success(task) => {
+                    crate::telemetry::on_task();
                     f(task, &spawner);
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                 }

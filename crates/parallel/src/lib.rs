@@ -43,15 +43,10 @@ pub mod ops;
 pub mod pool;
 pub mod scan;
 pub mod stealing;
+pub mod telemetry;
 
 pub use dynamic::{dynamic_tasks, Spawner};
-pub use ops::{
-    for_each_chunk,
-    for_each_chunk_mut,
-    parallel_for,
-    parallel_reduce,
-    DEFAULT_GRAIN,
-};
+pub use ops::{for_each_chunk, for_each_chunk_mut, parallel_for, parallel_reduce, DEFAULT_GRAIN};
 pub use pool::{global_pool, ThreadPool, WorkerId};
 pub use scan::{exclusive_prefix_sum, inclusive_prefix_sum};
 

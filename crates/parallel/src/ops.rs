@@ -44,6 +44,7 @@ where
         return;
     }
     if len <= grain {
+        crate::telemetry::on_chunk();
         f(range);
         return;
     }
@@ -55,6 +56,7 @@ where
         if start >= end {
             break;
         }
+        crate::telemetry::on_chunk();
         f(start..end.min(start + grain));
     });
 }
@@ -96,6 +98,7 @@ where
         return identity();
     }
     if len <= grain {
+        crate::telemetry::on_chunk();
         return fold(identity(), range);
     }
     let end = range.end;
@@ -110,16 +113,14 @@ where
                 break;
             }
             did_work = true;
+            crate::telemetry::on_chunk();
             acc = fold(acc, start..end.min(start + grain));
         }
         if did_work {
             partials.lock().push(acc);
         }
     });
-    partials
-        .into_inner()
-        .into_iter()
-        .fold(identity(), combine)
+    partials.into_inner().into_iter().fold(identity(), combine)
 }
 
 /// Runs `f(offset, chunk)` over disjoint `grain`-sized chunks of `data`.

@@ -145,13 +145,16 @@ impl ThreadPool {
     /// (they merely lose parallelism when nested).
     pub fn broadcast(&self, f: &(dyn Fn(WorkerId) + Sync)) {
         if let Some(current) = CURRENT_WORKER.with(Cell::get) {
-            // Nested region: serialize on the current worker.
+            // Nested region: serialize on the current worker. Nested
+            // work is already inside the outer region's busy window, so
+            // it is not counted again.
             f(WorkerId(current));
             return;
         }
+        crate::telemetry::on_region();
         if self.shared.num_threads == 1 {
             CURRENT_WORKER.with(|c| c.set(Some(0)));
-            f(WorkerId(0));
+            run_timed(f, WorkerId(0));
             CURRENT_WORKER.with(|c| c.set(None));
             return;
         }
@@ -179,7 +182,7 @@ impl ThreadPool {
 
         // The caller participates as worker 0.
         CURRENT_WORKER.with(|c| c.set(Some(0)));
-        f(WorkerId(0));
+        run_timed(f, WorkerId(0));
         CURRENT_WORKER.with(|c| c.set(None));
 
         let mut slot = self.shared.slot.lock();
@@ -200,6 +203,19 @@ impl Drop for ThreadPool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+/// Runs one worker's share of a region, attributing its wall time to
+/// the telemetry busy counters when they are collecting.
+#[inline]
+fn run_timed(f: &(dyn Fn(WorkerId) + Sync), worker: WorkerId) {
+    if crate::telemetry::enabled() {
+        let start = std::time::Instant::now();
+        f(worker);
+        crate::telemetry::on_busy(worker.index(), start.elapsed().as_nanos() as u64);
+    } else {
+        f(worker);
     }
 }
 
@@ -225,7 +241,7 @@ fn worker_loop(shared: &Shared, index: usize) {
         CURRENT_WORKER.with(|c| c.set(Some(index)));
         // SAFETY: `broadcast` keeps the pointee alive until `remaining`
         // drops to zero, which happens strictly after this call returns.
-        (unsafe { &*job.0 })(WorkerId(index));
+        run_timed(unsafe { &*job.0 }, WorkerId(index));
         CURRENT_WORKER.with(|c| c.set(None));
 
         let mut slot = shared.slot.lock();

@@ -69,8 +69,10 @@ where
         }
     }
     // Hand each worker its own deque through an indexed slot table.
-    let slots: Vec<parking_lot::Mutex<Option<Worker<Range<usize>>>>> =
-        locals.into_iter().map(|w| parking_lot::Mutex::new(Some(w))).collect();
+    let slots: Vec<parking_lot::Mutex<Option<Worker<Range<usize>>>>> = locals
+        .into_iter()
+        .map(|w| parking_lot::Mutex::new(Some(w)))
+        .collect();
     let in_flight = AtomicUsize::new(len);
 
     pool.broadcast(&|worker_id| {
@@ -93,6 +95,7 @@ where
             let victim = (rng_state >> 33) as usize % stealers.len();
             match stealers[victim].steal() {
                 Steal::Success(piece) => {
+                    crate::telemetry::on_steal();
                     process_piece(piece, grain, &local, &f, &in_flight);
                 }
                 Steal::Retry => {}
@@ -126,6 +129,7 @@ fn process_piece<F>(
         piece = piece.start..mid;
     }
     let n = piece.len();
+    crate::telemetry::on_chunk();
     f(piece);
     in_flight.fetch_sub(n, Ordering::AcqRel);
 }

@@ -147,7 +147,12 @@ mod tests {
         let n = 200_000usize;
         let num_keys = 1000;
         let data: Vec<(u32, u32)> = (0..n)
-            .map(|i| (((i as u32).wrapping_mul(2_654_435_761)) % num_keys as u32, i as u32))
+            .map(|i| {
+                (
+                    ((i as u32).wrapping_mul(2_654_435_761)) % num_keys as u32,
+                    i as u32,
+                )
+            })
             .collect();
         let out = count_sort_by_key(&data, num_keys, |&(k, _)| k as u64);
         assert_eq!(out.sorted.len(), n);

@@ -89,7 +89,8 @@ where
                 let row = unsafe {
                     std::slice::from_raw_parts_mut(counts_ptr.get().add(c * BUCKETS), BUCKETS)
                 };
-                let src = unsafe { std::slice::from_raw_parts(data_buf.get().add(start), end - start) };
+                let src =
+                    unsafe { std::slice::from_raw_parts(data_buf.get().add(start), end - start) };
                 for t in src {
                     row[digit(key(t), top_shift)] += 1;
                 }

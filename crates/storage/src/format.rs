@@ -149,6 +149,7 @@ fn read_header<E: EdgeRecord, R: Read>(r: &mut R) -> Result<Header, FormatError>
             FormatError::Io(e)
         }
     })?;
+    crate::counters::on_read(HEADER_LEN as u64, 0);
     let mut buf = &header[..];
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -182,6 +183,7 @@ fn read_header<E: EdgeRecord, R: Read>(r: &mut R) -> Result<Header, FormatError>
 /// Returns a [`FormatError`] on malformed input, including truncation
 /// and out-of-range vertex ids.
 pub fn read_edge_list<E: EdgeRecord, R: Read>(mut r: R) -> Result<EdgeList<E>, FormatError> {
+    let _timer = crate::counters::ReadTimer::start();
     let header = read_header::<E, R>(&mut r)?;
     let mut edges = Vec::with_capacity(header.num_edges.min(1 << 28) as usize);
     read_records::<E, R>(&mut r, header.num_edges, |chunk| {
@@ -202,6 +204,7 @@ pub fn read_edge_list_chunked<E: EdgeRecord, R: Read>(
     mut r: R,
     mut sink: impl FnMut(&[E]),
 ) -> Result<Header, FormatError> {
+    let _timer = crate::counters::ReadTimer::start();
     let header = read_header::<E, R>(&mut r)?;
     read_records::<E, R>(&mut r, header.num_edges, |chunk| sink(chunk))?;
     Ok(header)
@@ -240,6 +243,7 @@ fn read_records<E: EdgeRecord, R: Read>(
             decoded.push(E::new(src, dst, weight));
         }
         sink(&decoded);
+        crate::counters::on_read((take * rec) as u64, take as u64);
         read_edges += take as u64;
         remaining -= take as u64;
     }
@@ -266,8 +270,7 @@ mod tests {
 
     #[test]
     fn roundtrip_weighted() {
-        let graph =
-            EdgeList::new(3, vec![WEdge::new(0, 1, 2.5), WEdge::new(2, 0, -1.0)]).unwrap();
+        let graph = EdgeList::new(3, vec![WEdge::new(0, 1, 2.5), WEdge::new(2, 0, -1.0)]).unwrap();
         let mut buf = Vec::new();
         write_edge_list(&mut buf, &graph).unwrap();
         let back: EdgeList<WEdge> = read_edge_list(&buf[..]).unwrap();
@@ -342,10 +345,9 @@ mod tests {
         let mut buf = Vec::new();
         write_edge_list(&mut buf, &graph).unwrap();
         let mut streamed = Vec::new();
-        let header = read_edge_list_chunked::<Edge, _>(&buf[..], |chunk| {
-            streamed.extend_from_slice(chunk)
-        })
-        .unwrap();
+        let header =
+            read_edge_list_chunked::<Edge, _>(&buf[..], |chunk| streamed.extend_from_slice(chunk))
+                .unwrap();
         assert_eq!(header.num_edges, 200_000);
         assert_eq!(streamed, graph.edges());
     }

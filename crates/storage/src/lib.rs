@@ -19,6 +19,7 @@
 //! * [`pipeline`] — the virtual-clock overlap model used by the
 //!   Table 3 experiment at scales where real sleeping would dominate.
 
+pub mod counters;
 pub mod format;
 pub mod medium;
 pub mod pipeline;
@@ -27,8 +28,8 @@ pub mod text;
 pub mod throttle;
 
 pub use format::{read_edge_list, read_edge_list_chunked, write_edge_list, FormatError};
-pub use results::{read_f32_result, read_u32_result, write_f32_result, write_u32_result};
-pub use text::{read_dimacs, read_snap, write_snap, TextError};
 pub use medium::Medium;
 pub use pipeline::OverlapPlan;
+pub use results::{read_f32_result, read_u32_result, write_f32_result, write_u32_result};
+pub use text::{read_dimacs, read_snap, write_snap, TextError};
 pub use throttle::ThrottledReader;

@@ -59,6 +59,9 @@ mod tests {
         let ssd = Medium::ssd().load_seconds(bytes);
         let hdd = Medium::hdd().load_seconds(bytes);
         assert!(hdd > 3.0 * ssd);
-        assert!((hdd - 10.0).abs() < 0.1, "1 GB at 100 MB/s = 10 s, got {hdd}");
+        assert!(
+            (hdd - 10.0).abs() < 0.1,
+            "1 GB at 100 MB/s = 10 s, got {hdd}"
+        );
     }
 }

@@ -67,10 +67,13 @@ pub fn read_snap<E: EdgeRecord, R: Read>(
     r: R,
     num_vertices: Option<usize>,
 ) -> Result<EdgeList<E>, TextError> {
+    let _timer = crate::counters::ReadTimer::start();
     let mut edges: Vec<E> = Vec::new();
     let mut max_id = 0u32;
+    let mut bytes = 0u64;
     for (i, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
+        bytes += line.len() as u64 + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -103,6 +106,7 @@ pub fn read_snap<E: EdgeRecord, R: Read>(
     } else {
         max_id as usize + 1
     });
+    crate::counters::on_read(bytes, edges.len() as u64);
     EdgeList::new(nv, edges).map_err(TextError::Graph)
 }
 
@@ -114,10 +118,13 @@ pub fn read_snap<E: EdgeRecord, R: Read>(
 /// Returns [`TextError`] on malformed lines, a missing problem line,
 /// or id/count mismatches.
 pub fn read_dimacs<R: Read>(r: R) -> Result<EdgeList<WEdge>, TextError> {
+    let _timer = crate::counters::ReadTimer::start();
     let mut edges: Vec<WEdge> = Vec::new();
     let mut declared: Option<(usize, usize)> = None;
+    let mut bytes = 0u64;
     for (i, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
+        bytes += line.len() as u64 + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('c') {
             continue;
@@ -126,7 +133,10 @@ pub fn read_dimacs<R: Read>(r: R) -> Result<EdgeList<WEdge>, TextError> {
             let mut parts = rest.split_whitespace();
             let kind = parts.next().unwrap_or("");
             if kind != "sp" {
-                return Err(parse_err(i + 1, format!("unsupported problem type '{kind}'")));
+                return Err(parse_err(
+                    i + 1,
+                    format!("unsupported problem type '{kind}'"),
+                ));
             }
             let n: usize = parts
                 .next()
@@ -141,8 +151,7 @@ pub fn read_dimacs<R: Read>(r: R) -> Result<EdgeList<WEdge>, TextError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("a ") {
-            let (n, _) =
-                declared.ok_or_else(|| parse_err(i + 1, "arc before problem line"))?;
+            let (n, _) = declared.ok_or_else(|| parse_err(i + 1, "arc before problem line"))?;
             let mut parts = rest.split_whitespace();
             let src: usize = parts
                 .next()
@@ -171,6 +180,7 @@ pub fn read_dimacs<R: Read>(r: R) -> Result<EdgeList<WEdge>, TextError> {
             format!("problem line declared {m} arcs, file has {}", edges.len()),
         ));
     }
+    crate::counters::on_read(bytes, edges.len() as u64);
     EdgeList::new(n, edges).map_err(TextError::Graph)
 }
 
@@ -221,8 +231,7 @@ mod tests {
 
     #[test]
     fn snap_roundtrip_weighted() {
-        let graph =
-            EdgeList::new(3, vec![WEdge::new(0, 1, 2.5), WEdge::new(2, 0, 0.25)]).unwrap();
+        let graph = EdgeList::new(3, vec![WEdge::new(0, 1, 2.5), WEdge::new(2, 0, 0.25)]).unwrap();
         let mut text = Vec::new();
         write_snap(&mut text, &graph).unwrap();
         let back: EdgeList<WEdge> = read_snap(&text[..], None).unwrap();

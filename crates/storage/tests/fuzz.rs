@@ -9,7 +9,9 @@ use proptest::prelude::*;
 fn valid_file() -> Vec<u8> {
     let graph = EdgeList::new(
         100,
-        (0..500u32).map(|i| Edge::new(i % 100, (i * 7) % 100)).collect(),
+        (0..500u32)
+            .map(|i| Edge::new(i % 100, (i * 7) % 100))
+            .collect(),
     )
     .unwrap();
     let mut buf = Vec::new();

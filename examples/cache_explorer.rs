@@ -60,24 +60,42 @@ fn main() {
 
     println!("--- BFS ---");
     let p = probe();
-    bfs::push_probed(&adj, root, &p);
+    bfs::push_ctx(&adj, root, &ExecContext::new().with_probe(&p));
     print_report("adjacency list", &p);
     let p = probe();
-    bfs::edge_centric_probed(&graph, root, &p);
+    bfs::edge_centric_ctx(&graph, root, &ExecContext::new().with_probe(&p));
     print_report("edge array", &p);
     let p = probe();
-    bfs::grid_probed(&grid, root, &p);
+    bfs::grid_ctx(&grid, root, &ExecContext::new().with_probe(&p));
     print_report("grid 32x32", &p);
 
     println!("\n--- PageRank (1 iteration) ---");
     let p = probe();
-    pagerank::push_probed(adj.out(), &degrees, cfg, pagerank::PushSync::Atomics, &p);
+    pagerank::push_ctx(
+        adj.out(),
+        &degrees,
+        cfg,
+        pagerank::PushSync::Atomics,
+        &ExecContext::new().with_probe(&p),
+    );
     print_report("adjacency list", &p);
     let p = probe();
-    pagerank::edge_centric_probed(&graph, &degrees, cfg, pagerank::PushSync::Atomics, &p);
+    pagerank::edge_centric_ctx(
+        &graph,
+        &degrees,
+        cfg,
+        pagerank::PushSync::Atomics,
+        &ExecContext::new().with_probe(&p),
+    );
     print_report("edge array", &p);
     let p = probe();
-    pagerank::grid_push_probed(&grid, &degrees, cfg, false, &p);
+    pagerank::grid_push_ctx(
+        &grid,
+        &degrees,
+        cfg,
+        false,
+        &ExecContext::new().with_probe(&p),
+    );
     print_report("grid 32x32", &p);
 
     println!();

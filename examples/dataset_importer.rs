@@ -56,7 +56,12 @@ fn main() {
         &roadmap::GraphTraits::new(summary.num_vertices, summary.num_edges, false),
         &Topology::single_node(),
     );
-    println!("\nroadmap: {:?} + {:?} built with {}", advice.layout, advice.flow, advice.preprocessing.name());
+    println!(
+        "\nroadmap: {:?} + {:?} built with {}",
+        advice.layout,
+        advice.flow,
+        advice.preprocessing.name()
+    );
 
     let (adj, pre) = CsrBuilder::new(advice.preprocessing, EdgeDirection::Out).build_timed(&graph);
     let root = (0..summary.num_vertices as u32)

@@ -35,7 +35,11 @@ fn main() {
                 "cell ({row},{col})  src in {:?}, dst in {:?}:  {}",
                 grid.vertex_range(row),
                 grid.vertex_range(col),
-                if cell.is_empty() { "-".to_string() } else { cell.join(" ") }
+                if cell.is_empty() {
+                    "-".to_string()
+                } else {
+                    cell.join(" ")
+                }
             );
         }
     }

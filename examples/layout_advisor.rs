@@ -38,7 +38,10 @@ fn main() {
     ];
 
     for machine in &machines {
-        println!("================ {} ({} NUMA nodes) ================", machine.name, machine.num_nodes);
+        println!(
+            "================ {} ({} NUMA nodes) ================",
+            machine.name, machine.num_nodes
+        );
         for (name, algo, graph) in &workloads {
             let r = recommend(algo, graph, machine);
             println!("\n{name}");

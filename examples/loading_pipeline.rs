@@ -27,21 +27,22 @@ fn main() {
 
     // Simulated slow medium: 4 MB/s so the demo takes ~a second.
     let bandwidth = 4.0 * 1e6;
-    println!("medium: {:.0} MB/s (throttled in-memory stream)\n", bandwidth / 1e6);
+    println!(
+        "medium: {:.0} MB/s (throttled in-memory stream)\n",
+        bandwidth / 1e6
+    );
 
     // --- Approach 1: dynamic building, overlapped with loading. ---
     let start = Instant::now();
     let mut lists: Vec<Vec<Edge>> = vec![Vec::new(); graph.num_vertices()];
-    let header = read_edge_list_chunked::<Edge, _>(
-        ThrottledReader::new(&file[..], bandwidth),
-        |chunk| {
+    let header =
+        read_edge_list_chunked::<Edge, _>(ThrottledReader::new(&file[..], bandwidth), |chunk| {
             // Consume each chunk the moment it arrives.
             for e in chunk {
                 lists[e.src as usize].push(*e);
             }
-        },
-    )
-    .expect("valid file");
+        })
+        .expect("valid file");
     let adj_dynamic = AdjacencyList::new(
         Some(Adjacency::from_per_vertex(
             header.num_vertices as usize,
@@ -65,11 +66,19 @@ fn main() {
     let (adj_radix, pre) =
         CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build_timed(&loaded);
     let radix_total = load_s + pre.seconds;
-    println!("radix (sequential):    load {load_s:.2}s + build {:.3}s = {radix_total:.2}s", pre.seconds);
+    println!(
+        "radix (sequential):    load {load_s:.2}s + build {:.3}s = {radix_total:.2}s",
+        pre.seconds
+    );
 
     // Same adjacency either way.
     for v in (0..graph.num_vertices() as u32).step_by(997) {
-        let mut a: Vec<u32> = adj_dynamic.out().neighbors(v).iter().map(|e| e.dst).collect();
+        let mut a: Vec<u32> = adj_dynamic
+            .out()
+            .neighbors(v)
+            .iter()
+            .map(|e| e.dst)
+            .collect();
         let mut b: Vec<u32> = adj_radix.out().neighbors(v).iter().map(|e| e.dst).collect();
         a.sort_unstable();
         b.sort_unstable();
@@ -78,7 +87,11 @@ fn main() {
 
     println!(
         "\non this slow medium the dynamic approach {} by {:.0}% — §3.5's conclusion.",
-        if dynamic_total <= radix_total { "wins" } else { "should win; it lost" },
+        if dynamic_total <= radix_total {
+            "wins"
+        } else {
+            "should win; it lost"
+        },
         100.0 * (radix_total - dynamic_total).abs() / radix_total
     );
     println!("(with the input already in memory, radix wins ~5x instead — Table 2.)");

@@ -49,7 +49,10 @@ fn main() {
         .collect();
     candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
-    println!("\nuser {user} has rated {} movies; top recommendations:", seen.len());
+    println!(
+        "\nuser {user} has rated {} movies; top recommendations:",
+        seen.len()
+    );
     for (item, score) in candidates.iter().take(5) {
         println!(
             "  movie {:>4}  predicted rating {:.2}",

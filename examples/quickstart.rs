@@ -21,34 +21,49 @@ fn main() {
 
     // 2. Pre-processing: radix sort is the fastest way to build
     //    adjacency lists from an in-memory edge array (Table 2).
-    let (adj, pre) =
-        CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build_timed(&graph);
-    println!("pre-processing (radix sort, both directions): {:.3}s", pre.seconds);
+    let (adj, pre) = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build_timed(&graph);
+    println!(
+        "pre-processing (radix sort, both directions): {:.3}s",
+        pre.seconds
+    );
 
     // 3. BFS from the highest-degree vertex, in push mode — the best
-    //    configuration for traversals (§9).
-    let degrees = graph.out_degrees();
-    let root = (0..graph.num_vertices() as u32)
-        .max_by_key(|&v| degrees[v as usize])
-        .unwrap_or(0);
-    let result = bfs::push(&adj, root);
+    //    configuration for traversals (§9) — with a trace recorder
+    //    attached so every level reports its frontier and edge work.
+    let (root, root_degree) = graph.max_degree_vertex().unwrap_or((0, 0));
+    let recorder = TraceRecorder::new();
+    let result = bfs::push_ctx(&adj, root, &ExecContext::new().with_recorder(&recorder));
     println!(
-        "BFS from {}: {} vertices reachable in {} levels, {:.3}s",
+        "BFS from {} (out-degree {}): {} vertices reachable in {} levels, {:.3}s",
         root,
+        root_degree,
         result.reachable_count(),
         result.iterations.len(),
         result.algorithm_seconds()
     );
+    for rec in recorder.iterations() {
+        println!(
+            "  level {:>2}: frontier {:>6}, edges scanned {:>8}, {:.4}s ({})",
+            rec.step,
+            rec.frontier_size,
+            rec.edges_scanned,
+            rec.seconds,
+            rec.mode.as_str()
+        );
+    }
 
     // 4. PageRank in pull mode (no locks) over the in-edges.
-    let degrees_u32: Vec<u32> = degrees.iter().map(|&d| d as u32).collect();
+    let degrees_u32: Vec<u32> = graph.out_degrees().iter().map(|&d| d as u32).collect();
     let pr = pagerank::pull(
         adj.incoming(),
         &degrees_u32,
         pagerank::PagerankConfig::default(),
     );
     let top = pr.top_k(5);
-    println!("PageRank (10 iterations, pull, no locks): {:.3}s", pr.seconds);
+    println!(
+        "PageRank (10 iterations, pull, no locks): {:.3}s",
+        pr.seconds
+    );
     println!("top-5 vertices by rank: {top:?}");
 
     // 5. The end-to-end view: pre-processing is part of the bill.

@@ -34,7 +34,10 @@ fn main() {
         &roadmap::GraphTraits::new(weighted.num_vertices(), weighted.num_edges(), true),
         &Topology::single_node(),
     );
-    println!("\nroadmap advice: {:?} + {:?} (lock-free: {})", advice.layout, advice.flow, advice.lock_free);
+    println!(
+        "\nroadmap advice: {:?} + {:?} (lock-free: {})",
+        advice.layout, advice.flow, advice.lock_free
+    );
     for line in &advice.rationale {
         println!("  - {line}");
     }

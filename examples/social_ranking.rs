@@ -20,6 +20,9 @@ fn main() {
         followers.num_vertices(),
         followers.num_edges()
     );
+    if let Some((user, follows)) = followers.max_degree_vertex() {
+        println!("most active user: {user} (follows {follows} accounts)");
+    }
 
     // --- Influence ranking: PageRank on a grid, pull mode, no locks
     // (Table 5's best configuration for Twitter-shaped graphs). ---

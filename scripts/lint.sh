@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Workspace lint gate: formatting + clippy, both deny-by-default.
+# Run from the repo root; part of the tier-1 flow alongside
+# `cargo build --release && cargo test -q`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "lint: OK"

@@ -1,0 +1,22 @@
+//! Offline stub of `serde`.
+//!
+//! [`Serialize`] and [`Deserialize`] are marker traits with blanket
+//! implementations, and the derive macros (re-exported behind the
+//! `derive` feature) expand to nothing. Types that derive them keep
+//! compiling; actual serialization in this workspace is hand-rolled
+//! (see `egraph_core::telemetry`), so no serializer backend is needed.
+
+/// Marker for serializable types. Blanket-implemented for every type;
+/// the derive is a no-op.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for every type;
+/// the derive is a no-op.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive`: the `Serialize` / `Deserialize`
+//! derives accept any input (including `#[serde(...)]` attributes) and
+//! expand to nothing. The stub `serde` crate provides blanket trait
+//! impls, so deriving types still satisfy `T: Serialize` bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

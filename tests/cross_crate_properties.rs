@@ -13,8 +13,11 @@ use proptest::prelude::*;
 fn arb_graph() -> impl Strategy<Value = EdgeList<Edge>> {
     (2usize..120).prop_flat_map(|nv| {
         proptest::collection::vec((0..nv as u32, 0..nv as u32), 0..600).prop_map(move |pairs| {
-            EdgeList::new(nv, pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect())
-                .expect("endpoints are in range by construction")
+            EdgeList::new(
+                nv,
+                pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect(),
+            )
+            .expect("endpoints are in range by construction")
         })
     })
 }

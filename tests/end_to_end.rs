@@ -107,9 +107,8 @@ fn pagerank_all_layouts_agree() {
 #[test]
 fn weighted_pipeline_sssp_and_spmv() {
     let graph = rmat_graph();
-    let weighted: EdgeList<WEdge> = graph.map_records(|e| {
-        WEdge::new(e.src, e.dst, 0.5 + ((e.src ^ e.dst) % 8) as f32)
-    });
+    let weighted: EdgeList<WEdge> =
+        graph.map_records(|e| WEdge::new(e.src, e.dst, 0.5 + ((e.src ^ e.dst) % 8) as f32));
     // Roundtrip through storage (weighted records).
     let mut file = Vec::new();
     write_edge_list(&mut file, &weighted).expect("write");
@@ -126,7 +125,9 @@ fn weighted_pipeline_sssp_and_spmv() {
         }
     }
 
-    let x: Vec<f32> = (0..weighted.num_vertices()).map(|i| (i % 5) as f32).collect();
+    let x: Vec<f32> = (0..weighted.num_vertices())
+        .map(|i| (i % 5) as f32)
+        .collect();
     let y_ref = spmv::reference(&weighted, &x);
     for (name, y) in [
         ("edge", spmv::edge_centric(&weighted, &x).y),

@@ -28,8 +28,7 @@ fn partitioning_preserves_the_graph() {
             .flatten()
             .map(|e| (e.src, e.dst))
             .collect();
-        let mut expected: Vec<(u32, u32)> =
-            graph.edges().iter().map(|e| (e.src, e.dst)).collect();
+        let mut expected: Vec<(u32, u32)> = graph.edges().iter().map(|e| (e.src, e.dst)).collect();
         got.sort_unstable();
         expected.sort_unstable();
         assert_eq!(got, expected);
@@ -42,10 +41,16 @@ fn numa_model_reproduces_the_papers_directions() {
     let model_b = CostModel::new(Topology::machine_b());
 
     // PageRank (Fig 9b): NUMA-aware placement must model faster.
-    let aware = pagerank_locality(&graph, DataPolicy::NumaAware, 4)
-        .modeled(&model_b, 10.0, MemoryBoundness::PAGERANK);
-    let inter = pagerank_locality(&graph, DataPolicy::Interleaved, 4)
-        .modeled(&model_b, 10.0, MemoryBoundness::PAGERANK);
+    let aware = pagerank_locality(&graph, DataPolicy::NumaAware, 4).modeled(
+        &model_b,
+        10.0,
+        MemoryBoundness::PAGERANK,
+    );
+    let inter = pagerank_locality(&graph, DataPolicy::Interleaved, 4).modeled(
+        &model_b,
+        10.0,
+        MemoryBoundness::PAGERANK,
+    );
     assert!(
         aware.modeled_seconds < inter.modeled_seconds,
         "PR on B: aware {} vs inter {}",
@@ -56,10 +61,16 @@ fn numa_model_reproduces_the_papers_directions() {
     // The gain on machine B exceeds the gain on machine A ("only on
     // large machines").
     let model_a = CostModel::new(Topology::machine_a());
-    let aware_a = pagerank_locality(&graph, DataPolicy::NumaAware, 2)
-        .modeled(&model_a, 10.0, MemoryBoundness::PAGERANK);
-    let inter_a = pagerank_locality(&graph, DataPolicy::Interleaved, 2)
-        .modeled(&model_a, 10.0, MemoryBoundness::PAGERANK);
+    let aware_a = pagerank_locality(&graph, DataPolicy::NumaAware, 2).modeled(
+        &model_a,
+        10.0,
+        MemoryBoundness::PAGERANK,
+    );
+    let inter_a = pagerank_locality(&graph, DataPolicy::Interleaved, 2).modeled(
+        &model_a,
+        10.0,
+        MemoryBoundness::PAGERANK,
+    );
     let gain_b = inter.modeled_seconds / aware.modeled_seconds;
     let gain_a = inter_a.modeled_seconds / aware_a.modeled_seconds;
     assert!(gain_b > gain_a, "B gain {gain_b} vs A gain {gain_a}");
@@ -71,10 +82,16 @@ fn road_bfs_contention_punishes_numa_awareness() {
     // NUMA-aware BFS models *slower* than interleaved.
     let roads = graphgen::road_like(64, 256);
     let model = CostModel::new(Topology::machine_b());
-    let aware =
-        bfs_locality(&roads, 0, DataPolicy::NumaAware, 4).modeled(&model, 1.0, MemoryBoundness::TRAVERSAL);
-    let inter = bfs_locality(&roads, 0, DataPolicy::Interleaved, 4)
-        .modeled(&model, 1.0, MemoryBoundness::TRAVERSAL);
+    let aware = bfs_locality(&roads, 0, DataPolicy::NumaAware, 4).modeled(
+        &model,
+        1.0,
+        MemoryBoundness::TRAVERSAL,
+    );
+    let inter = bfs_locality(&roads, 0, DataPolicy::Interleaved, 4).modeled(
+        &model,
+        1.0,
+        MemoryBoundness::TRAVERSAL,
+    );
     assert!(
         aware.modeled_seconds > inter.modeled_seconds,
         "aware {} must exceed inter {}",
@@ -98,12 +115,24 @@ fn probed_runs_reproduce_grid_cache_advantage() {
     let cache = CacheConfig::tiny(16 * 1024, 16);
 
     let probe = LlcProbe::new(cache);
-    pagerank::edge_centric_probed(&graph, &degrees, cfg, pagerank::PushSync::Atomics, &probe);
+    pagerank::edge_centric_ctx(
+        &graph,
+        &degrees,
+        cfg,
+        pagerank::PushSync::Atomics,
+        &ExecContext::new().with_probe(&probe),
+    );
     let edge_miss = probe.report().overall_miss_ratio();
 
     let grid = GridBuilder::new(Strategy::RadixSort).side(16).build(&graph);
     let probe = LlcProbe::new(cache);
-    pagerank::grid_push_probed(&grid, &degrees, cfg, false, &probe);
+    pagerank::grid_push_ctx(
+        &grid,
+        &degrees,
+        cfg,
+        false,
+        &ExecContext::new().with_probe(&probe),
+    );
     let grid_miss = probe.report().overall_miss_ratio();
 
     assert!(
@@ -117,7 +146,7 @@ fn probed_and_unprobed_runs_compute_identical_results() {
     let graph = test_graph();
     let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build(&graph);
     let probe = LlcProbe::new(CacheConfig::tiny(64 * 1024, 8));
-    let probed = bfs::push_probed(&adj, 0, &probe);
+    let probed = bfs::push_ctx(&adj, 0, &ExecContext::new().with_probe(&probe));
     let plain = bfs::push(&adj, 0);
     assert_eq!(probed.level, plain.level);
     assert!(probe.report().total().accesses > 0, "probe saw traffic");

@@ -15,15 +15,13 @@ fn snap_text_agrees_with_binary_pipeline() {
     // Route A: binary.
     let mut bin = Vec::new();
     write_edge_list(&mut bin, &graph).unwrap();
-    let from_bin: EdgeList<Edge> =
-        everything_graph::storage::read_edge_list(&bin[..]).unwrap();
+    let from_bin: EdgeList<Edge> = everything_graph::storage::read_edge_list(&bin[..]).unwrap();
 
     // Route B: SNAP text (pin the vertex count — text loses trailing
     // isolated vertices).
     let mut text = Vec::new();
     write_snap(&mut text, &graph).unwrap();
-    let from_text: EdgeList<Edge> =
-        read_snap(&text[..], Some(graph.num_vertices())).unwrap();
+    let from_text: EdgeList<Edge> = read_snap(&text[..], Some(graph.num_vertices())).unwrap();
 
     assert_eq!(from_bin.edges(), from_text.edges());
     let adj_a = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&from_bin);
@@ -52,8 +50,8 @@ fn dimacs_route_runs_sssp() {
     // 0 -> 2 via the cycle (2.0) beats the chord (10.0).
     assert_eq!(result.dist[2], 2.0);
     let reference = sssp::reference(&graph, 0);
-    for v in 0..4 {
-        assert_eq!(result.dist[v], reference[v]);
+    for (d, r) in result.dist.iter().zip(&reference) {
+        assert_eq!(d, r);
     }
 }
 
@@ -81,5 +79,9 @@ fn small_world_through_the_pipeline() {
     let result = bfs::push_pull(&adj, 0);
     // Small world: everything reachable, few levels.
     assert_eq!(result.reachable_count(), 1000);
-    assert!(result.iterations.len() < 40, "{} levels", result.iterations.len());
+    assert!(
+        result.iterations.len() < 40,
+        "{} levels",
+        result.iterations.len()
+    );
 }
