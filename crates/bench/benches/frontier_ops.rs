@@ -37,6 +37,40 @@ fn bench_accumulation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_accumulation(c: &mut Criterion) {
+    // The engine's actual hot path: chunked parallel activation through
+    // per-worker sinks (one borrow per chunk, zero locks).
+    let mut group = c.benchmark_group("next_frontier_parallel_sink");
+    for &active in &[1usize << 14, 1 << 18] {
+        group.throughput(Throughput::Elements(active as u64));
+        group.bench_with_input(BenchmarkId::new("sparse", active), &active, |b, &n| {
+            b.iter(|| {
+                let nf = NextFrontier::new(FrontierKind::Sparse, NV);
+                egraph_parallel::parallel_for(0..n, 1024, |r| {
+                    let mut sink = nf.sink(r.start as u64);
+                    for v in r {
+                        sink.add((v % NV) as u32);
+                    }
+                });
+                black_box(nf.finish().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense", active), &active, |b, &n| {
+            b.iter(|| {
+                let nf = NextFrontier::new(FrontierKind::Dense, NV);
+                egraph_parallel::parallel_for(0..n, 1024, |r| {
+                    let mut sink = nf.sink(r.start as u64);
+                    for v in r {
+                        sink.add((v % NV) as u32);
+                    }
+                });
+                black_box(nf.finish().len())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_membership(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontier_membership");
     let members: Vec<u32> = (0..NV as u32).step_by(37).collect();
@@ -61,5 +95,10 @@ fn bench_membership(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_accumulation, bench_membership);
+criterion_group!(
+    benches,
+    bench_accumulation,
+    bench_parallel_accumulation,
+    bench_membership
+);
 criterion_main!(benches);

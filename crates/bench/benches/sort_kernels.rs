@@ -44,6 +44,24 @@ fn bench_sorts(c: &mut Criterion) {
                 })
             },
         );
+
+        // The dynamic strategy end to end: per-worker sharded grouping
+        // with a lock-free parallel merge.
+        let list = egraph_core::types::EdgeList::new(nv, input.clone()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("dynamic_group", scale),
+            &list,
+            |b, list| {
+                b.iter(|| {
+                    let adj = egraph_core::preprocess::build_one_direction(
+                        list,
+                        egraph_core::preprocess::Strategy::Dynamic,
+                        false,
+                    );
+                    black_box(adj.num_edges())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -121,47 +121,45 @@ where
 {
     let next = NextFrontier::new(next_kind, out.num_vertices());
     let probe = ctx.probe;
-    let process = |v: VertexId, local: &mut Vec<VertexId>, examined: &mut usize| {
-        let neighbors = out.neighbors(v);
-        *examined += neighbors.len();
-        for (k, e) in neighbors.iter().enumerate() {
-            if probe.enabled() {
-                touch_edge(probe, out.edge_sim_addr(v, k));
-                touch_src(probe, v, O::META_BYTES);
-                touch_dst(probe, e.dst(), O::META_BYTES);
+    // Each chunk borrows its worker's activation sink once and pushes
+    // straight into the persistent per-worker buffer — no per-chunk
+    // allocation, no shared-state flush.
+    let process =
+        |v: VertexId, sink: &mut crate::frontier::FrontierSink<'_>, examined: &mut usize| {
+            let neighbors = out.neighbors(v);
+            *examined += neighbors.len();
+            for (k, e) in neighbors.iter().enumerate() {
+                if probe.enabled() {
+                    touch_edge(probe, out.edge_sim_addr(v, k));
+                    touch_src(probe, v, O::META_BYTES);
+                    touch_dst(probe, e.dst(), O::META_BYTES);
+                }
+                if op.push(e) {
+                    sink.add(e.dst());
+                }
             }
-            if op.push(e) {
-                local.push(e.dst());
-            }
-        }
-    };
+        };
     match frontier {
         VertexSubset::Sparse(list) => {
             egraph_parallel::parallel_for(0..list.len(), 64, |r| {
-                let mut local = Vec::new();
+                let mut sink = next.sink(r.start as u64);
                 let mut examined = 0;
                 for i in r {
-                    process(list[i], &mut local, &mut examined);
+                    process(list[i], &mut sink, &mut examined);
                 }
                 flush_examined(ctx.recorder, examined);
-                if !local.is_empty() {
-                    next.extend(&local);
-                }
             });
         }
         VertexSubset::Dense { bitmap, .. } => {
             egraph_parallel::parallel_for(0..out.num_vertices(), 1024, |r| {
-                let mut local = Vec::new();
+                let mut sink = next.sink(r.start as u64);
                 let mut examined = 0;
                 for v in r {
                     if bitmap.get(v) {
-                        process(v as VertexId, &mut local, &mut examined);
+                        process(v as VertexId, &mut sink, &mut examined);
                     }
                 }
                 flush_examined(ctx.recorder, examined);
-                if !local.is_empty() {
-                    next.extend(&local);
-                }
             });
         }
     }
@@ -188,7 +186,7 @@ where
     let esize = std::mem::size_of::<E>() as u64;
     let probe = ctx.probe;
     egraph_parallel::parallel_for(0..edges.len(), egraph_parallel::DEFAULT_GRAIN, |r| {
-        let mut local = Vec::new();
+        let mut sink = next.sink(r.start as u64);
         let examined = r.len();
         for i in r {
             let e = &edges[i];
@@ -201,14 +199,11 @@ where
                     touch_dst(probe, e.dst(), O::META_BYTES);
                 }
                 if op.push(e) {
-                    local.push(e.dst());
+                    sink.add(e.dst());
                 }
             }
         }
         flush_examined(ctx.recorder, examined);
-        if !local.is_empty() {
-            next.extend(&local);
-        }
     });
     next.finish()
 }
@@ -232,7 +227,7 @@ where
     let next = NextFrontier::new(next_kind, nv);
     let probe = ctx.probe;
     egraph_parallel::parallel_for(0..nv, 1024, |r| {
-        let mut local = Vec::new();
+        let mut sink = next.sink(r.start as u64);
         let mut examined = 0;
         for v in r {
             let v = v as VertexId;
@@ -255,13 +250,10 @@ where
                 }
             }
             if op.activated(v) {
-                local.push(v);
+                sink.add(v);
             }
         }
         flush_examined(ctx.recorder, examined);
-        if !local.is_empty() {
-            next.extend(&local);
-        }
     });
     next.finish()
 }
@@ -286,7 +278,7 @@ where
     let esize = std::mem::size_of::<E>() as u64;
     let probe = ctx.probe;
     egraph_parallel::parallel_for(0..side, 1, |cols| {
-        let mut local = Vec::new();
+        let mut sink = next.sink(cols.start as u64);
         let mut examined = 0;
         for col in cols {
             for row in 0..side {
@@ -303,16 +295,13 @@ where
                             touch_dst(probe, e.dst(), O::META_BYTES);
                         }
                         if op.push(e) {
-                            local.push(e.dst());
+                            sink.add(e.dst());
                         }
                     }
                 }
             }
         }
         flush_examined(ctx.recorder, examined);
-        if !local.is_empty() {
-            next.extend(&local);
-        }
     });
     next.finish()
 }
@@ -337,7 +326,7 @@ where
     let esize = std::mem::size_of::<E>() as u64;
     let probe = ctx.probe;
     egraph_parallel::parallel_for(0..side * side, 1, |cells| {
-        let mut local = Vec::new();
+        let mut sink = next.sink(cells.start as u64);
         let mut examined = 0;
         for cell_id in cells {
             let (row, col) = (cell_id / side, cell_id % side);
@@ -354,15 +343,12 @@ where
                         touch_dst(probe, e.dst(), O::META_BYTES);
                     }
                     if op.push(e) {
-                        local.push(e.dst());
+                        sink.add(e.dst());
                     }
                 }
             }
         }
         flush_examined(ctx.recorder, examined);
-        if !local.is_empty() {
-            next.extend(&local);
-        }
     });
     next.finish()
 }
@@ -391,7 +377,7 @@ where
     let esize = std::mem::size_of::<E>() as u64;
     let probe = ctx.probe;
     egraph_parallel::parallel_for(0..side, 1, |rows| {
-        let mut local = Vec::new();
+        let mut sink = next.sink(rows.start as u64);
         let mut examined = 0;
         for row in rows {
             for col in 0..side {
@@ -416,14 +402,11 @@ where
             // Collect activations for this row's exclusive range.
             for v in grid.vertex_range(row) {
                 if op.activated(v) {
-                    local.push(v);
+                    sink.add(v);
                 }
             }
         }
         flush_examined(ctx.recorder, examined);
-        if !local.is_empty() {
-            next.extend(&local);
-        }
     });
     next.finish()
 }

@@ -6,9 +6,7 @@
 //! (and pull-mode membership tests) want a dense bitmap. The engine
 //! switches representation based on frontier density, like Ligra.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use egraph_parallel::{parallel_collect_ordered, OrderedBuf, WorkerGuard, WorkerLocal};
 
 use crate::types::VertexId;
 use crate::util::AtomicBitmap;
@@ -124,13 +122,20 @@ impl VertexSubset {
 
     /// Sum of out-degrees of the active vertices — the quantity
     /// direction-optimizing BFS compares against the push/pull switch
-    /// threshold.
+    /// threshold. Runs as a parallel reduction over per-worker partial
+    /// sums; no shared counter (this runs before every switch decision,
+    /// so a contended atomic here taxes the whole traversal).
     pub fn out_edge_count(&self, degree_of: impl Fn(VertexId) -> usize + Sync) -> usize {
-        let total = AtomicUsize::new(0);
-        self.for_each(|v| {
-            total.fetch_add(degree_of(v), Ordering::Relaxed);
-        });
-        total.into_inner()
+        match self {
+            VertexSubset::Sparse(list) => egraph_parallel::parallel_reduce(
+                0..list.len(),
+                1024,
+                || 0usize,
+                |acc, r| list[r].iter().map(|&v| degree_of(v)).sum::<usize>() + acc,
+                |a, b| a + b,
+            ),
+            VertexSubset::Dense { bitmap, .. } => bitmap.sum_over_set(|v| degree_of(v as VertexId)),
+        }
     }
 }
 
@@ -146,17 +151,26 @@ pub enum FrontierKind {
 }
 
 /// Concurrent accumulator for the next frontier.
+///
+/// Sparse accumulation is lock-free: every pool worker owns a private
+/// buffer ([`WorkerLocal`]) and [`finish`](NextFrontier::finish)
+/// concatenates them with a prefix-sum [`parallel_collect_ordered`] —
+/// the frontier-collection scheme of Ligra/GBBS, replacing the former
+/// global `Mutex<Vec>`. Engine drivers tag each chunk's activations
+/// with the chunk's start index ([`sink`](NextFrontier::sink)), so the
+/// collected frontier comes out in serial processing order no matter
+/// which worker ran which chunk. Dense accumulation writes an atomic
+/// bitmap and defers counting to `finish`, so no shared counter is
+/// touched on the per-activation path either.
 #[derive(Debug)]
 pub enum NextFrontier {
-    /// Sparse accumulation; chunks of activated vertices are appended
-    /// in batches.
-    Sparse(Mutex<Vec<VertexId>>),
-    /// Dense accumulation via an atomic bitmap.
+    /// Sparse accumulation into per-worker chunk-ordered buffers.
+    Sparse(WorkerLocal<OrderedBuf<VertexId>>),
+    /// Dense accumulation via an atomic bitmap; the cardinality is
+    /// computed once at `finish`.
     Dense {
         /// Activation bitmap.
         bitmap: AtomicBitmap,
-        /// Running count of activations that won their race.
-        count: AtomicUsize,
     },
 }
 
@@ -165,10 +179,9 @@ impl NextFrontier {
     /// `num_vertices`.
     pub fn new(kind: FrontierKind, num_vertices: usize) -> Self {
         match kind {
-            FrontierKind::Sparse => NextFrontier::Sparse(Mutex::new(Vec::new())),
+            FrontierKind::Sparse => NextFrontier::Sparse(WorkerLocal::new(OrderedBuf::new)),
             FrontierKind::Dense => NextFrontier::Dense {
                 bitmap: AtomicBitmap::new(num_vertices),
-                count: AtomicUsize::new(0),
             },
         }
     }
@@ -176,43 +189,90 @@ impl NextFrontier {
     /// Records one activated vertex. For sparse accumulation the caller
     /// must guarantee each vertex is recorded at most once (push rules
     /// do this by claiming the vertex atomically before reporting it).
+    ///
+    /// Inside a chunk loop, prefer [`sink`](NextFrontier::sink), which
+    /// amortizes the worker-buffer borrow over the whole chunk and
+    /// gives the chunk a deterministic position in the collected
+    /// frontier. Loose `add`s collate after all ordered chunks.
     #[inline]
     pub fn add(&self, v: VertexId) {
         match self {
-            NextFrontier::Sparse(list) => list.lock().push(v),
-            NextFrontier::Dense { bitmap, count } => {
-                if bitmap.set(v as usize) {
-                    count.fetch_add(1, Ordering::Relaxed);
+            NextFrontier::Sparse(locals) => locals.with(|buf| {
+                buf.begin_unordered_chunk();
+                buf.push(v);
+            }),
+            NextFrontier::Dense { bitmap } => {
+                bitmap.set(v as usize);
+            }
+        }
+    }
+
+    /// Appends a batch of activated vertices.
+    pub fn extend(&self, batch: &[VertexId]) {
+        match self {
+            NextFrontier::Sparse(locals) => locals.with(|buf| {
+                buf.begin_unordered_chunk();
+                buf.extend_from_slice(batch);
+            }),
+            NextFrontier::Dense { bitmap } => {
+                for &v in batch {
+                    bitmap.set(v as usize);
                 }
             }
         }
     }
 
-    /// Appends a batch of activated vertices (amortizes sparse
-    /// locking; workers buffer per chunk and flush once).
-    pub fn extend(&self, batch: &[VertexId]) {
+    /// Borrows the calling worker's activation sink for the duration of
+    /// a chunk. Engine drivers hold one sink per chunk and push
+    /// activations straight into the worker's persistent buffer — no
+    /// per-chunk `Vec` allocation, no flush, no lock.
+    ///
+    /// `order` is the chunk's position key (drivers pass the chunk's
+    /// start index): collected sparse frontiers are sorted by it, so
+    /// the frontier order matches a serial execution regardless of
+    /// which worker processed which chunk, at any thread count.
+    #[inline]
+    pub fn sink(&self, order: u64) -> FrontierSink<'_> {
         match self {
-            NextFrontier::Sparse(list) => list.lock().extend_from_slice(batch),
-            NextFrontier::Dense { bitmap, count } => {
-                let mut added = 0;
-                for &v in batch {
-                    if bitmap.set(v as usize) {
-                        added += 1;
-                    }
-                }
-                count.fetch_add(added, Ordering::Relaxed);
+            NextFrontier::Sparse(locals) => {
+                let mut buf = locals.borrow();
+                buf.begin_chunk(order);
+                FrontierSink::Sparse(buf)
             }
+            NextFrontier::Dense { bitmap } => FrontierSink::Dense(bitmap),
         }
     }
 
     /// Finalizes into a [`VertexSubset`].
     pub fn finish(self) -> VertexSubset {
         match self {
-            NextFrontier::Sparse(list) => VertexSubset::Sparse(list.into_inner()),
-            NextFrontier::Dense { bitmap, count } => VertexSubset::Dense {
-                bitmap,
-                count: count.into_inner(),
-            },
+            NextFrontier::Sparse(locals) => VertexSubset::Sparse(parallel_collect_ordered(locals)),
+            NextFrontier::Dense { bitmap } => {
+                let count = bitmap.count_ones();
+                VertexSubset::Dense { bitmap, count }
+            }
+        }
+    }
+}
+
+/// A per-worker activation sink borrowed from a [`NextFrontier`] for
+/// the duration of one chunk of work.
+pub enum FrontierSink<'a> {
+    /// Exclusive access to the worker's sparse buffer.
+    Sparse(WorkerGuard<'a, OrderedBuf<VertexId>>),
+    /// Shared atomic bitmap (safe to write from any worker).
+    Dense(&'a AtomicBitmap),
+}
+
+impl FrontierSink<'_> {
+    /// Records one activated vertex.
+    #[inline]
+    pub fn add(&mut self, v: VertexId) {
+        match self {
+            FrontierSink::Sparse(buf) => buf.push(v),
+            FrontierSink::Dense(bitmap) => {
+                bitmap.set(v as usize);
+            }
         }
     }
 }
@@ -277,6 +337,71 @@ mod tests {
         nf.extend(&[7, 9]);
         let s = nf.finish();
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn next_frontier_sparse_parallel_every_vertex_once() {
+        // Stress the per-worker buffers: many chunks, each holding a
+        // sink across its whole body, must collect every activation
+        // exactly once.
+        let n = 100_000usize;
+        let nf = NextFrontier::new(FrontierKind::Sparse, n);
+        egraph_parallel::parallel_for(0..n, 173, |r| {
+            let mut sink = nf.sink(r.start as u64);
+            for v in r {
+                sink.add(v as VertexId);
+            }
+        });
+        let s = nf.finish();
+        assert_eq!(s.len(), n);
+        if let VertexSubset::Sparse(mut list) = s {
+            list.sort_unstable();
+            for (i, &v) in list.iter().enumerate() {
+                assert_eq!(v as usize, i);
+            }
+        } else {
+            panic!("expected sparse");
+        }
+    }
+
+    #[test]
+    fn next_frontier_sparse_order_matches_serial_execution() {
+        // Chunk-order keys make the collected frontier independent of
+        // which worker processed which chunk: the result must equal
+        // what a serial scan would produce, at any thread count.
+        let n = 50_000usize;
+        let nf = NextFrontier::new(FrontierKind::Sparse, n);
+        egraph_parallel::parallel_for(0..n, 173, |r| {
+            let mut sink = nf.sink(r.start as u64);
+            for v in r {
+                if v % 7 == 0 {
+                    sink.add(v as VertexId);
+                }
+            }
+        });
+        let expected: Vec<VertexId> = (0..n).filter(|v| v % 7 == 0).map(|v| v as u32).collect();
+        match nf.finish() {
+            VertexSubset::Sparse(list) => assert_eq!(list, expected),
+            _ => panic!("expected sparse"),
+        }
+    }
+
+    #[test]
+    fn dense_count_reflects_dedup_after_finish() {
+        let nf = NextFrontier::new(FrontierKind::Dense, 64);
+        let mut sink = nf.sink(0);
+        for v in [1u32, 2, 2, 3, 1] {
+            sink.add(v);
+        }
+        drop(sink);
+        assert_eq!(nf.finish().len(), 3);
+    }
+
+    #[test]
+    fn out_edge_count_dense_sums_degrees() {
+        let s = VertexSubset::from_vec(vec![0, 2, 65]).into_dense(128);
+        let count = s.out_edge_count(|v| v as usize + 1);
+        assert_eq!(count, 1 + 3 + 66);
     }
 
     #[test]

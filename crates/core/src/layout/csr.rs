@@ -158,11 +158,12 @@ impl<E: EdgeRecord> Adjacency<E> {
         }
     }
 
-    /// Degrees of all vertices, as `u64` (for partitioners).
+    /// Degrees of all vertices, as `u64` (for partitioners). Computed
+    /// in parallel: each worker fills a disjoint range of the output.
     pub fn degrees(&self) -> Vec<u64> {
-        (0..self.num_vertices)
-            .map(|v| self.degree(v as VertexId) as u64)
-            .collect()
+        egraph_parallel::ops::parallel_init(self.num_vertices, 4096, |v| {
+            self.degree(v as VertexId) as u64
+        })
     }
 
     /// Sorts every per-vertex edge array by neighbor id — the "adj.

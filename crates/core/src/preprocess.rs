@@ -5,10 +5,33 @@
 use std::time::Instant;
 
 use egraph_parallel::ops::parallel_init;
-use parking_lot::Mutex;
+use egraph_parallel::{current_worker_index, global_pool, parallel_for, DEFAULT_GRAIN};
 
 use crate::layout::{Adjacency, AdjacencyList, EdgeDirection, Grid};
 use crate::types::{EdgeList, EdgeRecord};
+use crate::util::UnsyncSlice;
+
+/// Below this many edges the dynamic grouping paths run serially; the
+/// per-worker block machinery is not worth its setup cost on tiny
+/// inputs, and the serial path produces the identical output.
+const DYNAMIC_SERIAL_CUTOFF: usize = 4 * DEFAULT_GRAIN;
+
+/// A raw pointer that may cross thread boundaries. Every dereference
+/// site carries its own disjointness argument.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: the wrapper only moves the pointer between threads; the
+// `unsafe` blocks that dereference it guarantee disjoint access.
+unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: same argument.
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
 
 /// How per-vertex (or per-cell) edge arrays are constructed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -165,20 +188,172 @@ pub fn build_one_direction<E: EdgeRecord>(
     }
 }
 
-/// Groups edges into growable per-vertex vectors under striped locks —
-/// the "dynamically allocating and resizing" technique.
+/// Groups edges into growable per-vertex vectors — the "dynamically
+/// allocating and resizing" technique.
+///
+/// Workers never contend on a vertex: each worker scans a contiguous
+/// input block into **private** shard buffers (a shard is a contiguous
+/// vertex range), then a parallel merge walks each shard's buffers in
+/// ascending worker order, so no locks or atomics touch the per-vertex
+/// lists. Because blocks are contiguous and merged in worker order,
+/// every vertex sees its edges in global input order — the result is
+/// identical at any thread count (and to the serial path).
 fn dynamic_group<E: EdgeRecord>(
     edges: &[E],
     nv: usize,
     key: impl Fn(&E) -> u64 + Sync,
 ) -> Vec<Vec<E>> {
-    let lists: Vec<Mutex<Vec<E>>> = (0..nv).map(|_| Mutex::new(Vec::new())).collect();
-    egraph_parallel::for_each_chunk(edges, egraph_parallel::DEFAULT_GRAIN, |_, chunk| {
-        for e in chunk {
-            lists[key(e) as usize].lock().push(*e);
+    if nv == 0 {
+        return Vec::new();
+    }
+    let workers = global_pool().num_threads();
+    if edges.len() < DYNAMIC_SERIAL_CUTOFF || workers == 1 || current_worker_index().is_some() {
+        let mut lists: Vec<Vec<E>> = (0..nv).map(|_| Vec::new()).collect();
+        for e in edges {
+            lists[key(e) as usize].push(*e);
         }
+        return lists;
+    }
+
+    // Phase 1: each worker scans its contiguous block into private
+    // per-shard buffers. A few shards per worker keeps the later merge
+    // load-balanced without allocating `workers * nv` vectors.
+    let num_shards = (4 * workers).min(nv);
+    let shard_size = nv.div_ceil(num_shards);
+    let block = edges.len().div_ceil(workers);
+    let mut sharded: Vec<Vec<Vec<E>>> = (0..workers)
+        .map(|_| (0..num_shards).map(|_| Vec::new()).collect())
+        .collect();
+    {
+        let rows = SendPtr(sharded.as_mut_ptr());
+        global_pool().broadcast(&|worker| {
+            let w = worker.index();
+            let start = (w * block).min(edges.len());
+            let end = ((w + 1) * block).min(edges.len());
+            // SAFETY: each worker index occurs exactly once per
+            // top-level region, so row `w` has a single writer.
+            let row = unsafe { &mut *rows.get().add(w) };
+            for e in &edges[start..end] {
+                row[key(e) as usize / shard_size].push(*e);
+            }
+        });
+    }
+
+    // Phase 2: merge shards in parallel. Each shard owns a disjoint
+    // vertex range, so per-vertex pushes need no synchronization.
+    let mut lists: Vec<Vec<E>> = (0..nv).map(|_| Vec::new()).collect();
+    {
+        let out = UnsyncSlice::new(&mut lists);
+        let sharded = &sharded;
+        parallel_for(0..num_shards, 1, |shards| {
+            for s in shards {
+                for row in sharded {
+                    for e in &row[s] {
+                        // SAFETY: `key(e) / shard_size == s`, and shard
+                        // `s` is processed by exactly one loop
+                        // iteration across all workers.
+                        unsafe { out.update(key(e) as usize, |list| list.push(*e)) };
+                    }
+                }
+            }
+        });
+    }
+    lists
+}
+
+/// Groups edges into flat cell-major storage (offsets + edge array)
+/// with growable per-cell buffers — the grid flavor of the dynamic
+/// strategy.
+///
+/// Same shape as [`dynamic_group`]: per-worker private buffers over
+/// contiguous input blocks, then an atomics-free parallel scatter that
+/// concatenates each cell's buffers in ascending worker order into its
+/// exclusive output range. Output is identical at any thread count.
+fn dynamic_cells<E: EdgeRecord>(
+    edges: &[E],
+    num_cells: usize,
+    cell_of: impl Fn(&E) -> usize + Sync,
+    map_edge: impl Fn(&E) -> E + Sync,
+) -> (Vec<u64>, Vec<E>) {
+    let workers = global_pool().num_threads();
+    if edges.len() < DYNAMIC_SERIAL_CUTOFF || workers == 1 || current_worker_index().is_some() {
+        let mut cells: Vec<Vec<E>> = (0..num_cells).map(|_| Vec::new()).collect();
+        for e in edges {
+            cells[cell_of(e)].push(map_edge(e));
+        }
+        let mut offsets = Vec::with_capacity(num_cells + 1);
+        let mut out = Vec::with_capacity(edges.len());
+        offsets.push(0u64);
+        for cell in cells {
+            out.extend_from_slice(&cell);
+            offsets.push(out.len() as u64);
+        }
+        return (offsets, out);
+    }
+
+    // Phase 1: per-worker private cell buffers over contiguous blocks.
+    let block = edges.len().div_ceil(workers);
+    let mut rows: Vec<Vec<Vec<E>>> = (0..workers)
+        .map(|_| (0..num_cells).map(|_| Vec::new()).collect())
+        .collect();
+    {
+        let rows_ptr = SendPtr(rows.as_mut_ptr());
+        global_pool().broadcast(&|worker| {
+            let w = worker.index();
+            let start = (w * block).min(edges.len());
+            let end = ((w + 1) * block).min(edges.len());
+            // SAFETY: each worker index occurs exactly once per
+            // top-level region, so row `w` has a single writer.
+            let row = unsafe { &mut *rows_ptr.get().add(w) };
+            for e in &edges[start..end] {
+                row[cell_of(e)].push(map_edge(e));
+            }
+        });
+    }
+
+    // Per-cell totals summed over workers, then an exclusive prefix
+    // sum hands every cell a disjoint output range.
+    let totals = parallel_init(num_cells, 1024, |c| {
+        rows.iter().map(|row| row[c].len() as u64).sum::<u64>()
     });
-    lists.into_iter().map(Mutex::into_inner).collect()
+    let mut offsets = Vec::with_capacity(num_cells + 1);
+    offsets.push(0u64);
+    for t in totals {
+        offsets.push(offsets.last().copied().unwrap_or(0) + t);
+    }
+
+    // Phase 2: scatter each cell's buffers, worker-major, into its
+    // exclusive range of the output.
+    let total = *offsets.last().unwrap() as usize;
+    let mut out: Vec<E> = Vec::with_capacity(total);
+    {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let rows = &rows;
+        let offsets = &offsets;
+        parallel_for(0..num_cells, 256, |cells| {
+            for c in cells {
+                let mut cursor = offsets[c] as usize;
+                for row in rows {
+                    let buf = &row[c];
+                    // SAFETY: cell `c` is handled by exactly one loop
+                    // iteration, and `offsets[c]..offsets[c + 1]` is
+                    // its exclusive slice of the reserved output.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            buf.as_ptr(),
+                            out_ptr.get().add(cursor),
+                            buf.len(),
+                        );
+                    }
+                    cursor += buf.len();
+                }
+                debug_assert_eq!(cursor, offsets[c + 1] as usize);
+            }
+        });
+    }
+    // SAFETY: the scatter ranges tile `0..total` exactly.
+    unsafe { out.set_len(total) };
+    (offsets, out)
 }
 
 /// Computes the CSR offset table of an already-sorted edge array by
@@ -292,25 +467,8 @@ impl GridBuilder {
                 Grid::from_parts(nv, side, sorted.offsets, sorted.sorted)
             }
             Strategy::Dynamic => {
-                let cells: Vec<Mutex<Vec<E>>> =
-                    (0..num_cells).map(|_| Mutex::new(Vec::new())).collect();
-                egraph_parallel::for_each_chunk(
-                    input.edges(),
-                    egraph_parallel::DEFAULT_GRAIN,
-                    |_, chunk| {
-                        for e in chunk {
-                            cells[cell_key(e) as usize].lock().push(map_edge(e));
-                        }
-                    },
-                );
-                let mut offsets = Vec::with_capacity(num_cells + 1);
-                let mut edges = Vec::with_capacity(input.num_edges());
-                offsets.push(0u64);
-                for cell in cells {
-                    let cell = cell.into_inner();
-                    edges.extend_from_slice(&cell);
-                    offsets.push(edges.len() as u64);
-                }
+                let (offsets, edges) =
+                    dynamic_cells(input.edges(), num_cells, |e| cell_key(e) as usize, map_edge);
                 Grid::from_parts(nv, side, offsets, edges)
             }
         };
@@ -435,6 +593,75 @@ mod tests {
             let adj = CsrBuilder::new(strategy, EdgeDirection::Out).build(&input);
             assert_eq!(adj.num_vertices(), 0);
             assert_eq!(adj.num_edges(), 0);
+        }
+    }
+
+    #[test]
+    fn dynamic_and_count_sort_preserve_input_order() {
+        // Construction must be *stable*: each vertex's neighbor list
+        // equals the input-order reference exactly (not just as a
+        // multiset). Stability makes the layout a pure function of the
+        // input, i.e. bit-identical at any thread count. The input is
+        // large enough to take the parallel grouping paths and skewed
+        // so a hub vertex collects a long cross-block list.
+        let nv = 500usize;
+        let mut state = 99u64;
+        let mut edges = Vec::new();
+        for i in 0..30_000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let src = if i % 4 == 0 {
+                7
+            } else {
+                ((state >> 33) % nv as u64) as u32
+            };
+            edges.push(Edge::new(src, i % nv as u32));
+        }
+        let input = EdgeList::new(nv, edges.clone()).unwrap();
+        let mut reference: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        for e in &edges {
+            reference[e.src as usize].push(e.dst);
+        }
+        for strategy in [Strategy::Dynamic, Strategy::CountSort] {
+            let adj = CsrBuilder::new(strategy, EdgeDirection::Out).build(&input);
+            for v in 0..nv as u32 {
+                let got: Vec<u32> = adj.out().neighbors(v).iter().map(|e| e.dst).collect();
+                assert_eq!(got, reference[v as usize], "{strategy:?} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_grid_preserves_input_order_per_cell() {
+        let nv = 256usize;
+        let side = 4;
+        let mut state = 5u64;
+        let mut edges = Vec::new();
+        for _ in 0..40_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let src = ((state >> 33) % nv as u64) as u32;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let dst = ((state >> 33) % nv as u64) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        let input = EdgeList::new(nv, edges.clone()).unwrap();
+        let grid = GridBuilder::new(Strategy::Dynamic).side(side).build(&input);
+        let range_len = nv.div_ceil(side);
+        let mut reference: Vec<Vec<(u32, u32)>> = vec![Vec::new(); side * side];
+        for e in &edges {
+            reference[e.src as usize / range_len * side + e.dst as usize / range_len]
+                .push((e.src, e.dst));
+        }
+        for r in 0..side {
+            for c in 0..side {
+                let got: Vec<(u32, u32)> = grid.cell(r, c).iter().map(|e| (e.src, e.dst)).collect();
+                assert_eq!(got, reference[r * side + c], "cell ({r},{c})");
+            }
         }
     }
 

@@ -70,6 +70,28 @@ impl AtomicBitmap {
         )
     }
 
+    /// Sums `f(i)` over every set bit, as a parallel reduction over
+    /// per-worker partials (no shared accumulator).
+    pub fn sum_over_set(&self, f: impl Fn(usize) -> usize + Sync) -> usize {
+        egraph_parallel::parallel_reduce(
+            0..self.bits.len(),
+            1 << 10,
+            || 0usize,
+            |mut acc, r| {
+                for wi in r {
+                    let mut word = self.bits[wi].load(Ordering::Relaxed);
+                    while word != 0 {
+                        let bit = word.trailing_zeros() as usize;
+                        acc += f(wi * 64 + bit);
+                        word &= word - 1;
+                    }
+                }
+                acc
+            },
+            |a, b| a + b,
+        )
+    }
+
     /// Clears all bits.
     pub fn clear(&self) {
         egraph_parallel::parallel_for(0..self.bits.len(), 1 << 14, |r| {

@@ -16,7 +16,11 @@
 //!   for irregular, recursive workloads (the recursive parallel radix
 //!   sort of §3.2 is its main client),
 //! * parallel prefix sums ([`scan`]) used by the count-sort and CSR
-//!   builders, and
+//!   builders,
+//! * worker-local accumulation buffers ([`WorkerLocal`]) with a
+//!   prefix-sum [`parallel_collect`] and its order-preserving sibling
+//!   [`parallel_collect_ordered`], which replace shared locked
+//!   collections on the frontier and pre-processing hot paths, and
 //! * atomic float adapters ([`atomicf`]) used by PageRank, SpMV and ALS.
 //!
 //! The number of workers defaults to the machine's available parallelism
@@ -44,11 +48,17 @@ pub mod pool;
 pub mod scan;
 pub mod stealing;
 pub mod telemetry;
+pub mod worker_local;
 
 pub use dynamic::{dynamic_tasks, Spawner};
-pub use ops::{for_each_chunk, for_each_chunk_mut, parallel_for, parallel_reduce, DEFAULT_GRAIN};
-pub use pool::{global_pool, ThreadPool, WorkerId};
+pub use ops::{
+    for_each_chunk, for_each_chunk_mut, parallel_for, parallel_init, parallel_reduce, DEFAULT_GRAIN,
+};
+pub use pool::{current_worker_index, global_pool, ThreadPool, WorkerId};
 pub use scan::{exclusive_prefix_sum, inclusive_prefix_sum};
+pub use worker_local::{
+    parallel_collect, parallel_collect_ordered, OrderedBuf, WorkerGuard, WorkerLocal,
+};
 
 /// Returns the number of threads the global pool runs with.
 ///

@@ -9,8 +9,6 @@ use std::mem::MaybeUninit;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
-
 use crate::pool::global_pool;
 
 /// Default chunk size for the self-scheduling loops.
@@ -103,24 +101,32 @@ where
     }
     let end = range.end;
     let cursor = AtomicUsize::new(range.start);
-    let partials: Mutex<Vec<A>> = Mutex::new(Vec::new());
-    global_pool().broadcast(&|_worker| {
-        let mut acc = identity();
-        let mut did_work = false;
-        loop {
-            let start = cursor.fetch_add(grain, Ordering::Relaxed);
-            if start >= end {
-                break;
+    // Fixed per-worker result slots: each worker writes only its own
+    // index, so the partial collection needs no lock.
+    let mut partials: Vec<Option<A>> = (0..global_pool().num_threads()).map(|_| None).collect();
+    {
+        let slots = SendPtr(partials.as_mut_ptr());
+        global_pool().broadcast(&|worker| {
+            let mut acc = identity();
+            let mut did_work = false;
+            loop {
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= end {
+                    break;
+                }
+                did_work = true;
+                crate::telemetry::on_chunk();
+                acc = fold(acc, start..end.min(start + grain));
             }
-            did_work = true;
-            crate::telemetry::on_chunk();
-            acc = fold(acc, start..end.min(start + grain));
-        }
-        if did_work {
-            partials.lock().push(acc);
-        }
-    });
-    partials.into_inner().into_iter().fold(identity(), combine)
+            if did_work {
+                // SAFETY: worker ids are dense and unique within the
+                // region, so each slot has exactly one writer, and the
+                // borrow of `partials` outlives the blocking region.
+                unsafe { *slots.get().add(worker.index()) = Some(acc) };
+            }
+        });
+    }
+    partials.into_iter().flatten().fold(identity(), combine)
 }
 
 /// Runs `f(offset, chunk)` over disjoint `grain`-sized chunks of `data`.

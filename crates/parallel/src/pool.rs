@@ -252,6 +252,17 @@ fn worker_loop(shared: &Shared, index: usize) {
     }
 }
 
+/// Returns the index of the worker currently executing a parallel
+/// region on this thread, or `None` outside any region.
+///
+/// Worker-local storage ([`crate::WorkerLocal`]) uses this to pick the
+/// calling worker's private slot without threading a [`WorkerId`]
+/// through every closure layer.
+#[inline]
+pub fn current_worker_index() -> Option<usize> {
+    CURRENT_WORKER.with(Cell::get)
+}
+
 /// Computes the default pool size: `EGRAPH_THREADS` if set and valid,
 /// otherwise the available parallelism of the machine.
 pub fn default_num_threads() -> usize {

@@ -7,24 +7,74 @@
 //! twice) but both the degree counting and the scatter jump between
 //! distant memory locations, which is why it loses to radix sort on
 //! cache locality (Table 2).
+//!
+//! The parallelization is the Zagha–Blelloch two-pass scheme: the input
+//! is split into one contiguous block per worker, each worker counts
+//! into a **private** histogram row, and a 2-D exclusive prefix sum
+//! over the `workers × keys` matrix hands every `(worker, key)` pair a
+//! disjoint scatter range. The scatter then needs no atomics at all —
+//! unlike the per-key atomic-cursor baseline, hub vertices of a
+//! power-law graph no longer serialize every worker on one cache line —
+//! and because blocks are contiguous and scanned in order, the sort is
+//! **stable**: records that share a key keep their input order, at any
+//! thread count.
 
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-use egraph_parallel::{for_each_chunk, parallel_for, DEFAULT_GRAIN};
+use egraph_parallel::{current_worker_index, global_pool, parallel_for, DEFAULT_GRAIN};
+
+/// Below this many records the sort runs serially: one histogram, one
+/// stable scatter. The output is identical to the parallel path's.
+const SERIAL_CUTOFF: usize = 4 * DEFAULT_GRAIN;
 
 /// The result of a count sort: the reordered records plus the group
 /// offset table (`offsets[k]..offsets[k + 1]` is the range of records
 /// with key `k`), which doubles as a CSR index.
 #[derive(Debug)]
 pub struct CountSorted<T> {
-    /// Records grouped by key (order within a group is unspecified).
+    /// Records grouped by key, input order preserved within a group.
     pub sorted: Vec<T>,
     /// `num_keys + 1` exclusive prefix offsets into `sorted`.
     pub offsets: Vec<u64>,
 }
 
+/// Per-worker private histogram rows over static contiguous input
+/// blocks: worker `w` counts `data[w * block .. (w + 1) * block]` into
+/// row `w` of a row-major `workers × num_keys` matrix. No shared
+/// counters, so no contention on hub keys.
+///
+/// Returns `(matrix, workers, block)`.
+fn worker_histograms<T, K>(data: &[T], num_keys: usize, key: &K) -> (Vec<u64>, usize, usize)
+where
+    T: Sync,
+    K: Fn(&T) -> u64 + Sync,
+{
+    let workers = global_pool().num_threads();
+    let block = data.len().div_ceil(workers);
+    let mut hist = vec![0u64; workers * num_keys];
+    {
+        let rows = RowsPtr(hist.as_mut_ptr());
+        global_pool().broadcast(&|worker| {
+            let w = worker.index();
+            let start = (w * block).min(data.len());
+            let end = ((w + 1) * block).min(data.len());
+            // SAFETY: row `w` belongs exclusively to worker `w` (ids
+            // are dense and unique within the region), and the borrow
+            // of `hist` outlives the blocking region.
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(rows.get().add(w * num_keys), num_keys) };
+            for t in &data[start..end] {
+                row[key(t) as usize] += 1;
+            }
+        });
+    }
+    (hist, workers, block)
+}
+
 /// Computes the per-key histogram of `data` in parallel.
+///
+/// Uses per-worker private rows merged by a parallel column sum — no
+/// shared atomic counters.
 ///
 /// # Panics
 ///
@@ -34,20 +84,29 @@ where
     T: Sync,
     K: Fn(&T) -> u64 + Sync,
 {
-    let counts: Vec<AtomicU64> = (0..num_keys).map(|_| AtomicU64::new(0)).collect();
-    for_each_chunk(data, DEFAULT_GRAIN, |_, chunk| {
-        for t in chunk {
-            counts[key(t) as usize].fetch_add(1, Ordering::Relaxed);
+    if data.len() < SERIAL_CUTOFF
+        || global_pool().num_threads() == 1
+        || current_worker_index().is_some()
+    {
+        let mut counts = vec![0u64; num_keys];
+        for t in data {
+            counts[key(t) as usize] += 1;
         }
-    });
-    counts.into_iter().map(AtomicU64::into_inner).collect()
+        return counts;
+    }
+    let (hist, workers, _block) = worker_histograms(data, num_keys, &key);
+    egraph_parallel::parallel_init(num_keys, 4096, |k| {
+        (0..workers).map(|w| hist[w * num_keys + k]).sum()
+    })
 }
 
 /// Groups `data` by key using the two-pass count-sort algorithm.
 ///
-/// The scatter uses one atomic cursor per key, so records that share a
-/// key may land in any order (the sort is **unstable** when run on more
-/// than one thread) — exactly the behaviour of the paper's baseline.
+/// The sort is **stable**: records sharing a key appear in input order,
+/// and the output is bit-identical regardless of the number of worker
+/// threads. (The transient `workers × num_keys` offset matrix trades
+/// memory for a scatter with zero atomics; for CSR construction that is
+/// `threads × num_vertices` u64s.)
 ///
 /// # Panics
 ///
@@ -59,8 +118,8 @@ where
 /// let data = vec![(2u32, 'a'), (0, 'b'), (2, 'c'), (1, 'd')];
 /// let out = egraph_sort::count_sort_by_key(&data, 3, |&(k, _)| k as u64);
 /// assert_eq!(out.offsets, vec![0, 1, 2, 4]);
-/// assert_eq!(out.sorted[0], (0, 'b'));
-/// assert_eq!(out.sorted[1], (1, 'd'));
+/// // Stable: key 2's records keep their input order.
+/// assert_eq!(out.sorted, vec![(0, 'b'), (1, 'd'), (2, 'a'), (2, 'c')]);
 /// ```
 pub fn count_sort_by_key<T, K>(data: &[T], num_keys: usize, key: K) -> CountSorted<T>
 where
@@ -68,36 +127,92 @@ where
     K: Fn(&T) -> u64 + Sync,
 {
     let n = data.len();
-    // Pass 1: degree counting (random accesses into the counter array).
-    let mut offsets = key_histogram(data, num_keys, &key);
-    offsets.push(0);
+    if n == 0 {
+        return CountSorted {
+            sorted: Vec::new(),
+            offsets: vec![0; num_keys + 1],
+        };
+    }
+    // Serial path: small inputs, single-thread pools, and nested
+    // parallel regions (where `broadcast` would run inline on one
+    // worker). Stability makes the output identical either way.
+    if n < SERIAL_CUTOFF || global_pool().num_threads() == 1 || current_worker_index().is_some() {
+        return count_sort_serial(data, num_keys, &key);
+    }
+
+    // Pass 1: per-worker private histograms over static blocks.
+    let (mut hist, workers, block) = worker_histograms(data, num_keys, &key);
+
+    // 2-D exclusive prefix sum, done in two cheap steps. First the
+    // per-key totals (column sums) become the group offset table...
+    let mut offsets = vec![0u64; num_keys + 1];
+    {
+        let offs = RowsPtr(offsets.as_mut_ptr());
+        parallel_for(0..num_keys, 4096, |r| {
+            for k in r {
+                let total: u64 = (0..workers).map(|w| hist[w * num_keys + k]).sum();
+                // SAFETY: disjoint parallel ranges write disjoint
+                // offset entries.
+                unsafe { *offs.get().add(k) = total };
+            }
+        });
+    }
     let total = egraph_parallel::exclusive_prefix_sum(&mut offsets);
     debug_assert_eq!(total as usize, n);
 
-    // Pass 2: scatter through per-key atomic cursors.
-    let cursors: Vec<AtomicU64> = offsets[..num_keys]
-        .iter()
-        .map(|&o| AtomicU64::new(o))
-        .collect();
+    // ...then each column is scanned worker-major, turning every
+    // (worker, key) count into the exclusive start of its disjoint
+    // scatter range.
+    {
+        let rows = RowsPtr(hist.as_mut_ptr());
+        parallel_for(0..num_keys, 1024, |r| {
+            for k in r {
+                let mut running = offsets[k];
+                for w in 0..workers {
+                    // SAFETY: column `k` is owned by this chunk
+                    // (parallel ranges are disjoint) and the borrow of
+                    // `hist` outlives the blocking region.
+                    let cell = unsafe { &mut *rows.get().add(w * num_keys + k) };
+                    let count = *cell;
+                    *cell = running;
+                    running += count;
+                }
+            }
+        });
+    }
+
+    // Pass 2: scatter. Worker `w` re-scans its block in input order and
+    // bumps its private cursors — no atomics, stable placement.
     let mut sorted: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
     // SAFETY: `MaybeUninit<T>` requires no initialization.
     unsafe { sorted.set_len(n) };
     {
         let out = OutBuf(sorted.as_mut_ptr().cast::<T>());
-        parallel_for(0..n, DEFAULT_GRAIN, |r| {
-            for t in &data[r] {
+        let rows = RowsPtr(hist.as_mut_ptr());
+        global_pool().broadcast(&|worker| {
+            let w = worker.index();
+            let start = (w * block).min(n);
+            let end = ((w + 1) * block).min(n);
+            // SAFETY: cursor row `w` is exclusive to worker `w`.
+            let cursors =
+                unsafe { std::slice::from_raw_parts_mut(rows.get().add(w * num_keys), num_keys) };
+            for t in &data[start..end] {
                 let k = key(t) as usize;
-                let pos = cursors[k].fetch_add(1, Ordering::Relaxed) as usize;
-                // SAFETY: each key's cursor starts at its exclusive
-                // offset and is bumped once per record with that key,
-                // so every `pos` in `0..n` is written exactly once.
+                let pos = cursors[k] as usize;
+                cursors[k] += 1;
+                // SAFETY: the 2-D prefix sum gives every (worker, key)
+                // pair a disjoint range of `0..n`, and each cursor is
+                // bumped once per record counted in pass 1, so every
+                // `pos` is written exactly once.
                 unsafe { out.get().add(pos).write(*t) };
             }
         });
     }
     if cfg!(debug_assertions) {
-        for (k, cursor) in cursors.iter().enumerate() {
-            debug_assert_eq!(cursor.load(Ordering::Relaxed), offsets[k + 1]);
+        // The last worker's cursor for key k must have reached the
+        // start of key k + 1.
+        for k in 0..num_keys {
+            debug_assert_eq!(hist[(workers - 1) * num_keys + k], offsets[k + 1]);
         }
     }
     // SAFETY: all `n` slots were initialized by the scatter above;
@@ -109,6 +224,59 @@ where
     CountSorted { sorted, offsets }
 }
 
+/// Single-threaded stable count sort; produces exactly the output of
+/// the parallel path.
+fn count_sort_serial<T, K>(data: &[T], num_keys: usize, key: &K) -> CountSorted<T>
+where
+    T: Copy,
+    K: Fn(&T) -> u64,
+{
+    let n = data.len();
+    let mut offsets = vec![0u64; num_keys + 1];
+    for t in data {
+        offsets[key(t) as usize] += 1;
+    }
+    let mut running = 0u64;
+    for o in offsets.iter_mut() {
+        let count = *o;
+        *o = running;
+        running += count;
+    }
+    let mut cursors = offsets[..num_keys].to_vec();
+    let mut sorted: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit<T>` requires no initialization.
+    unsafe { sorted.set_len(n) };
+    for t in data {
+        let k = key(t) as usize;
+        let pos = cursors[k] as usize;
+        cursors[k] += 1;
+        sorted[pos].write(*t);
+    }
+    // SAFETY: every slot was written exactly once (cursors start at the
+    // exclusive offsets and are bumped once per record of that key).
+    let sorted = unsafe {
+        let mut sorted = std::mem::ManuallyDrop::new(sorted);
+        Vec::from_raw_parts(sorted.as_mut_ptr().cast::<T>(), n, sorted.capacity())
+    };
+    CountSorted { sorted, offsets }
+}
+
+/// Shared mutable matrix pointer; every access is to a row or column
+/// exclusively owned by the dereferencing worker (see call sites).
+struct RowsPtr<T>(*mut T);
+
+impl<T> RowsPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: rows/columns are partitioned disjointly across workers.
+unsafe impl<T: Send> Send for RowsPtr<T> {}
+// SAFETY: same disjointness argument.
+unsafe impl<T: Send> Sync for RowsPtr<T> {}
+
 struct OutBuf<T>(*mut T);
 
 impl<T> OutBuf<T> {
@@ -118,8 +286,8 @@ impl<T> OutBuf<T> {
     }
 }
 
-// SAFETY: writes go to unique indices handed out by atomic cursors
-// (see `count_sort_by_key`), so no two threads touch the same slot.
+// SAFETY: writes go to unique indices handed out by the disjoint
+// (worker, key) scatter ranges (see `count_sort_by_key`).
 unsafe impl<T: Send> Send for OutBuf<T> {}
 // SAFETY: same uniqueness argument.
 unsafe impl<T: Send> Sync for OutBuf<T> {}
@@ -136,10 +304,32 @@ mod tests {
     }
 
     #[test]
+    fn large_histogram_matches_serial() {
+        let n = 100_000usize;
+        let num_keys = 257;
+        let data: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % num_keys as u32)
+            .collect();
+        let mut expected = vec![0u64; num_keys];
+        for &x in &data {
+            expected[x as usize] += 1;
+        }
+        assert_eq!(key_histogram(&data, num_keys, |&x| x as u64), expected);
+    }
+
+    #[test]
     fn empty_input() {
         let out = count_sort_by_key(&Vec::<u32>::new(), 5, |&x| x as u64);
         assert!(out.sorted.is_empty());
         assert_eq!(out.offsets, vec![0; 6]);
+    }
+
+    /// Reference implementation: stable grouping by key via a stable
+    /// comparison sort.
+    fn stable_reference<T: Copy, K: Fn(&T) -> u64>(data: &[T], key: K) -> Vec<T> {
+        let mut out = data.to_vec();
+        out.sort_by_key(|t| key(t));
+        out
     }
 
     #[test]
@@ -169,6 +359,42 @@ mod tests {
         got.sort_unstable();
         let expected: Vec<u32> = (0..n as u32).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sort_is_stable_and_thread_count_independent() {
+        // Records carry their input position; a stable sort must keep
+        // positions ascending within every key. The expected output is
+        // computed by a thread-count-independent reference, so equality
+        // here proves the parallel result is bit-identical to the
+        // serial one (and hence the same at any worker count). The
+        // skewed key distribution makes key 0 a hub that would have
+        // hammered the old shared cursor.
+        let n = 150_000usize;
+        let num_keys = 64;
+        let data: Vec<(u32, u32)> = (0..n)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2_654_435_761) >> 16;
+                let k = if h.is_multiple_of(4) {
+                    0
+                } else {
+                    h % num_keys as u32
+                };
+                (k, i as u32)
+            })
+            .collect();
+        let out = count_sort_by_key(&data, num_keys, |&(k, _)| k as u64);
+        assert_eq!(out.sorted, stable_reference(&data, |&(k, _)| k as u64));
+    }
+
+    #[test]
+    fn small_input_is_stable_too() {
+        let data = vec![(1u32, 'a'), (0, 'b'), (1, 'c'), (0, 'd'), (1, 'e')];
+        let out = count_sort_by_key(&data, 2, |&(k, _)| k as u64);
+        assert_eq!(
+            out.sorted,
+            vec![(0, 'b'), (0, 'd'), (1, 'a'), (1, 'c'), (1, 'e')]
+        );
     }
 
     #[test]

@@ -12,4 +12,14 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The parallel and sort crates carry the unsafe worker-local / scatter
+# kernels; run them under Miri when the component is available (it is
+# not part of the minimal CI toolchain, so skip gracefully).
+if rustup component list --installed 2>/dev/null | grep -q '^miri'; then
+    echo "== cargo miri test (egraph-parallel, egraph-sort) =="
+    cargo miri test -p egraph-parallel -p egraph-sort
+else
+    echo "== cargo miri test: skipped (miri component not installed) =="
+fi
+
 echo "lint: OK"
