@@ -13,7 +13,16 @@ use egraph_bench::{fmt_pct, fmt_secs, graphs, llc, ExperimentCtx, ResultTable};
 use egraph_core::algo::{bfs, pagerank};
 use egraph_core::layout::EdgeDirection;
 use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
-use egraph_core::telemetry::ExecContext;
+use egraph_core::telemetry::{CounterKind, ExecContext, PhaseProfiler};
+
+/// Runs `f` under the profiler's hardware counters and returns the
+/// measured LLC miss ratio, when both LLC counters opened.
+fn hw_llc_ratio(prof: &PhaseProfiler, f: impl FnOnce()) -> Option<f64> {
+    prof.profile("hw", f);
+    prof.take_phases()
+        .pop()
+        .and_then(|p| p.hardware_llc_miss_ratio())
+}
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
@@ -21,6 +30,9 @@ fn main() {
         "exp_fig5_table4",
         "Figure 5 + Table 4 (cache-locality layouts)",
     );
+    // Opened before any parallel work: the counters only cover threads
+    // spawned after them, and the first graph build creates the pool.
+    let prof = PhaseProfiler::enabled();
 
     let graph = graphs::rmat(ctx.scale);
     let degrees = graphs::out_degrees_u32(&graph);
@@ -52,7 +64,10 @@ fn main() {
             "total(s)",
         ],
     );
-    let mut table4 = ResultTable::new("table4_llc_miss_ratios", &["layout", "BFS", "Pagerank"]);
+    let mut table4 = ResultTable::new(
+        "table4_llc_miss_ratios",
+        &["layout", "source", "BFS", "Pagerank"],
+    );
 
     // --- timing runs (NullProbe, full speed) ---
     let bfs_adj = bfs::push(&adj, root).algorithm_seconds();
@@ -103,7 +118,12 @@ fn main() {
         ..pr_cfg
     };
     let mut add_llc = |name: &str, bfs_miss: f64, pr_miss: f64| {
-        table4.add_row(vec![name.into(), fmt_pct(bfs_miss), fmt_pct(pr_miss)]);
+        table4.add_row(vec![
+            name.into(),
+            "simulated".into(),
+            fmt_pct(bfs_miss),
+            fmt_pct(pr_miss),
+        ]);
     };
 
     let probe = llc::probe_for(graph.num_vertices(), 1);
@@ -173,6 +193,82 @@ fn main() {
         &ExecContext::new().with_probe(&probe),
     );
     add_llc("grid", b, probe.report().overall_miss_ratio());
+
+    // --- hardware miss ratios (real PMU, full-speed runs) ---
+    // Same layouts and configs as the simulated pass, measured with
+    // perf LLC-loads / LLC-load-misses instead of the cache model. On
+    // hosts that restrict perf_event_open the table simply keeps its
+    // simulated rows.
+    let kinds = prof.available_counters();
+    if kinds.contains(&CounterKind::LlcLoads) && kinds.contains(&CounterKind::LlcLoadMisses) {
+        println!("\nmeasuring LLC miss ratios (hardware counters)…");
+        let hw_rows = [
+            (
+                "adj. unsorted",
+                hw_llc_ratio(&prof, || {
+                    bfs::push(&adj, root);
+                }),
+                hw_llc_ratio(&prof, || {
+                    pagerank::push(
+                        adj.out(),
+                        &degrees,
+                        pr_probe_cfg,
+                        pagerank::PushSync::Atomics,
+                    );
+                }),
+            ),
+            (
+                "adj. sorted",
+                hw_llc_ratio(&prof, || {
+                    bfs::push(&adj_sorted, root);
+                }),
+                hw_llc_ratio(&prof, || {
+                    pagerank::push(
+                        adj_sorted.out(),
+                        &degrees,
+                        pr_probe_cfg,
+                        pagerank::PushSync::Atomics,
+                    );
+                }),
+            ),
+            (
+                "edge array",
+                hw_llc_ratio(&prof, || {
+                    bfs::edge_centric(&graph, root);
+                }),
+                hw_llc_ratio(&prof, || {
+                    pagerank::edge_centric(
+                        &graph,
+                        &degrees,
+                        pr_probe_cfg,
+                        pagerank::PushSync::Atomics,
+                    );
+                }),
+            ),
+            (
+                "grid",
+                hw_llc_ratio(&prof, || {
+                    bfs::grid(&grid, root);
+                }),
+                hw_llc_ratio(&prof, || {
+                    pagerank::grid_push(&grid, &degrees, pr_probe_cfg, false);
+                }),
+            ),
+        ];
+        let fmt_opt = |r: Option<f64>| r.map(fmt_pct).unwrap_or_else(|| "n/a".into());
+        for (name, bfs_hw, pr_hw) in hw_rows {
+            table4.add_row(vec![
+                name.into(),
+                "hardware".into(),
+                fmt_opt(bfs_hw),
+                fmt_opt(pr_hw),
+            ]);
+        }
+    } else {
+        println!(
+            "\nhardware LLC counters unavailable on this host; Table 4 keeps simulated rows only"
+        );
+    }
 
     println!();
     table4.print();

@@ -10,9 +10,13 @@ use egraph_core::layout::EdgeDirection;
 use egraph_core::metrics::TimeBreakdown;
 use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
 use egraph_core::roadmap;
-use egraph_core::telemetry::{ExecContext, Recorder, RunTrace, TraceFormat, TraceRecorder};
+use egraph_core::telemetry::{
+    ExecContext, PhaseProfiler, Recorder, RunTrace, TraceFormat, TraceRecorder,
+};
+use egraph_core::trace_diff::{diff_traces, DiffOptions};
 use egraph_core::types::{Edge, EdgeList, EdgeRecord, WEdge};
 use egraph_numa::Topology;
+use egraph_parallel::timeline;
 use egraph_storage::{read_edge_list, write_edge_list, FormatError};
 
 use crate::args::Args;
@@ -28,6 +32,7 @@ USAGE:
   egraph advise [--algo A] [--vertices N] [--edges M] [--machine a|b|single]
   egraph partition <FILE> [--nodes N]
   egraph convert <IN> <OUT> [--from snap|dimacs|bin] [--to snap|bin] [--weighted true]
+  egraph trace diff <OLD> <NEW> [--threshold PCT] [--min-seconds S]
 
 GENERATE OPTIONS:
   --scale N        log2 of the vertex count (default 16)
@@ -49,10 +54,32 @@ RUN OPTIONS:
   --save FILE  store the result array (the end-to-end 'store' phase)
   --threads N  worker threads (or EGRAPH_THREADS)
   --trace-out FILE     write a run-wide telemetry trace (time breakdown,
-                       per-iteration records, pool and storage counters)
-  --trace-format json|csv   trace file format (default json)";
+                       per-iteration records, pool and storage counters,
+                       per-phase hardware counters when the host allows)
+  --trace-format json|csv   trace file format (default json)
+  --timeline-out FILE  write per-worker timeline spans as Chrome
+                       trace-event JSON (open in about:tracing/Perfetto)
+
+TRACE DIFF OPTIONS:
+  --threshold PCT   relative slowdown that counts as a regression
+                    (default 10); exits non-zero when exceeded
+  --min-seconds S   ignore time metrics where both runs stayed under
+                    S seconds (default 0.001)";
 
 type CliResult = Result<(), Box<dyn Error>>;
+
+/// A deliberate non-zero exit (a failed gate, not a usage mistake):
+/// `main` reports it without reprinting the usage text.
+#[derive(Debug)]
+pub struct GateFailure(pub String);
+
+impl std::fmt::Display for GateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for GateFailure {}
 
 /// Dispatches a parsed command line.
 pub fn dispatch(argv: &[String]) -> CliResult {
@@ -67,6 +94,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "advise" => cmd_advise(&args),
         "partition" => cmd_partition(&args),
         "convert" => cmd_convert(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -256,6 +284,19 @@ fn save_f32(save: Option<&str>, values: &[f32]) -> Result<f64, Box<dyn Error>> {
     }
 }
 
+/// Profiles the store phase only when a `--save` target exists, so
+/// traces do not grow a zero-length phase on runs without one.
+fn profiled_store(
+    spec: &RunSpec<'_>,
+    f: impl FnOnce() -> Result<f64, Box<dyn Error>>,
+) -> Result<f64, Box<dyn Error>> {
+    if spec.save.is_some() {
+        spec.prof.profile("store", f)
+    } else {
+        f()
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn cmd_run(args: &Args) -> CliResult {
     let algo = args.positional(1, "algorithm")?.to_string();
@@ -275,8 +316,18 @@ fn cmd_run(args: &Args) -> CliResult {
     let save = args.get("save").map(str::to_string);
     let trace_out = args.get("trace-out").map(str::to_string);
     let trace_format = TraceFormat::parse(args.get_or("trace-format", "json"))?;
+    let timeline_out = args.get("timeline-out").map(str::to_string);
     args.reject_unknown()?;
 
+    // The hardware counters only cover threads spawned after they open,
+    // so the profiler must exist before anything creates the global
+    // pool — including `timeline::enable`, which sizes its per-worker
+    // tracks from the pool.
+    let profiler = if trace_out.is_some() {
+        PhaseProfiler::enabled()
+    } else {
+        PhaseProfiler::disabled()
+    };
     if trace_out.is_some() {
         // Counters must be collecting before the load phase starts.
         egraph_parallel::telemetry::reset();
@@ -284,9 +335,13 @@ fn cmd_run(args: &Args) -> CliResult {
         egraph_storage::counters::reset();
         egraph_storage::counters::enable();
     }
+    if timeline_out.is_some() {
+        timeline::reset();
+        timeline::enable();
+    }
 
     let load_start = Instant::now();
-    let any = load_any(&path)?;
+    let any = profiler.profile("load", || load_any(&path))?;
     let load = load_start.elapsed().as_secs_f64();
 
     let spec = RunSpec {
@@ -300,6 +355,7 @@ fn cmd_run(args: &Args) -> CliResult {
         iters,
         load,
         save: save.as_deref(),
+        prof: &profiler,
         args,
     };
     match &trace_out {
@@ -312,6 +368,19 @@ fn cmd_run(args: &Args) -> CliResult {
             egraph_parallel::telemetry::disable();
             egraph_storage::counters::disable();
             let mut trace = RunTrace::new(&algo);
+            let available = profiler.available_counters();
+            trace.config.insert(
+                "hw_counters".to_string(),
+                if available.is_empty() {
+                    "unavailable".to_string()
+                } else {
+                    available
+                        .iter()
+                        .map(|k| k.name())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                },
+            );
             for (key, value) in [
                 ("input", path.as_str()),
                 ("layout", layout.as_str()),
@@ -329,6 +398,7 @@ fn cmd_run(args: &Args) -> CliResult {
             }
             trace.breakdown = breakdown;
             trace.absorb(&recorder);
+            trace.phases = profiler.take_phases();
             let pool = egraph_parallel::telemetry::snapshot();
             let storage = egraph_storage::counters::snapshot();
             for (name, value) in [
@@ -353,6 +423,15 @@ fn cmd_run(args: &Args) -> CliResult {
             println!("wrote trace to {out_path}");
         }
     }
+    if let Some(out_path) = &timeline_out {
+        timeline::disable();
+        std::fs::write(out_path, timeline::chrome_trace_json())?;
+        let dropped = timeline::dropped_spans();
+        if dropped > 0 {
+            eprintln!("warning: {dropped} timeline spans dropped (per-worker track full)");
+        }
+        println!("wrote timeline to {out_path}");
+    }
     Ok(())
 }
 
@@ -368,6 +447,7 @@ struct RunSpec<'a> {
     iters: usize,
     load: f64,
     save: Option<&'a str>,
+    prof: &'a PhaseProfiler,
     args: &'a Args,
 }
 
@@ -411,43 +491,61 @@ fn run_bfs<R: Recorder>(
     };
     match (spec.layout, spec.flow) {
         ("adj", "push") => {
-            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Out)
-                .sort_neighbors(spec.sorted)
-                .build_timed(graph);
+            let (adj, pre) = spec.prof.profile("preprocess", || {
+                CsrBuilder::new(spec.strategy, EdgeDirection::Out)
+                    .sort_neighbors(spec.sorted)
+                    .build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            result = bfs::push_ctx(&adj, root, &ctx);
+            result = spec
+                .prof
+                .profile("algorithm", || bfs::push_ctx(&adj, root, &ctx));
         }
         ("adj", "pull") => {
-            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::In)
-                .sort_neighbors(spec.sorted)
-                .build_timed(graph);
+            let (adj, pre) = spec.prof.profile("preprocess", || {
+                CsrBuilder::new(spec.strategy, EdgeDirection::In)
+                    .sort_neighbors(spec.sorted)
+                    .build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            result = bfs::pull_ctx(&adj, root, &ctx);
+            result = spec
+                .prof
+                .profile("algorithm", || bfs::pull_ctx(&adj, root, &ctx));
         }
         ("adj", "push-pull") => {
-            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Both)
-                .sort_neighbors(spec.sorted)
-                .build_timed(graph);
+            let (adj, pre) = spec.prof.profile("preprocess", || {
+                CsrBuilder::new(spec.strategy, EdgeDirection::Both)
+                    .sort_neighbors(spec.sorted)
+                    .build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            result = bfs::push_pull_ctx(&adj, root, &ctx);
+            result = spec
+                .prof
+                .profile("algorithm", || bfs::push_pull_ctx(&adj, root, &ctx));
         }
         ("edge", "push") => {
-            result = bfs::edge_centric_ctx(graph, root, &ctx);
+            result = spec
+                .prof
+                .profile("algorithm", || bfs::edge_centric_ctx(graph, root, &ctx));
         }
         ("grid", "push") => {
             let side: usize =
                 spec.args
                     .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = GridBuilder::new(spec.strategy)
-                .side(side)
-                .build_timed(graph);
+            let (g, pre) = spec.prof.profile("preprocess", || {
+                GridBuilder::new(spec.strategy)
+                    .side(side)
+                    .build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            result = bfs::grid_ctx(&g, root, &ctx);
+            result = spec
+                .prof
+                .profile("algorithm", || bfs::grid_ctx(&g, root, &ctx));
         }
         (l, f) => return Err(format!("bfs does not support layout {l} with flow {f}").into()),
     }
     breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = save_u32(spec.save, &result.parent)?;
+    breakdown.store = profiled_store(spec, || save_u32(spec.save, &result.parent))?;
     println!(
         "bfs from {root}: {} reachable, {} iterations",
         result.reachable_count(),
@@ -479,41 +577,59 @@ fn run_pagerank<R: Recorder>(
     };
     let result = match (spec.layout, spec.flow) {
         ("adj", "push") => {
-            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph);
+            let (adj, pre) = spec.prof.profile("preprocess", || {
+                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            pagerank::push_ctx(adj.out(), &degrees, cfg, push_sync, &ctx)
+            spec.prof.profile("algorithm", || {
+                pagerank::push_ctx(adj.out(), &degrees, cfg, push_sync, &ctx)
+            })
         }
         ("adj", "pull") => {
-            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::In).build_timed(graph);
+            let (adj, pre) = spec.prof.profile("preprocess", || {
+                CsrBuilder::new(spec.strategy, EdgeDirection::In).build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            pagerank::pull_ctx(adj.incoming(), &degrees, cfg, &ctx)
+            spec.prof.profile("algorithm", || {
+                pagerank::pull_ctx(adj.incoming(), &degrees, cfg, &ctx)
+            })
         }
-        ("edge", "push") => pagerank::edge_centric_ctx(graph, &degrees, cfg, push_sync, &ctx),
+        ("edge", "push") => spec.prof.profile("algorithm", || {
+            pagerank::edge_centric_ctx(graph, &degrees, cfg, push_sync, &ctx)
+        }),
         ("grid", "push") => {
             let side: usize =
                 spec.args
                     .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = GridBuilder::new(spec.strategy)
-                .side(side)
-                .build_timed(graph);
+            let (g, pre) = spec.prof.profile("preprocess", || {
+                GridBuilder::new(spec.strategy)
+                    .side(side)
+                    .build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            pagerank::grid_push_ctx(&g, &degrees, cfg, spec.sync == "locks", &ctx)
+            spec.prof.profile("algorithm", || {
+                pagerank::grid_push_ctx(&g, &degrees, cfg, spec.sync == "locks", &ctx)
+            })
         }
         ("grid", "pull") => {
             let side: usize =
                 spec.args
                     .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = GridBuilder::new(spec.strategy)
-                .side(side)
-                .transposed(true)
-                .build_timed(graph);
+            let (g, pre) = spec.prof.profile("preprocess", || {
+                GridBuilder::new(spec.strategy)
+                    .side(side)
+                    .transposed(true)
+                    .build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            pagerank::grid_pull_ctx(&g, &degrees, cfg, &ctx)
+            spec.prof.profile("algorithm", || {
+                pagerank::grid_pull_ctx(&g, &degrees, cfg, &ctx)
+            })
         }
         (l, f) => return Err(format!("pagerank does not support layout {l} with flow {f}").into()),
     };
     breakdown.algorithm = result.seconds;
-    breakdown.store = save_f32(spec.save, &result.ranks)?;
+    breakdown.store = profiled_store(spec, || save_f32(spec.save, &result.ranks))?;
     let top = result.top_k(3);
     println!(
         "pagerank: {} iterations; top vertices {:?}",
@@ -534,19 +650,22 @@ fn run_wcc<R: Recorder>(
         ..Default::default()
     };
     let result = match spec.layout {
-        "edge" => wcc::edge_centric_ctx(graph, &ctx),
+        "edge" => spec
+            .prof
+            .profile("algorithm", || wcc::edge_centric_ctx(graph, &ctx)),
         "adj" => {
             let pre_start = Instant::now();
-            let undirected = graph.to_undirected();
-            let (adj, pre) =
-                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(&undirected);
+            let (adj, pre) = spec.prof.profile("preprocess", || {
+                let undirected = graph.to_undirected();
+                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(&undirected)
+            });
             breakdown.preprocess = pre_start.elapsed().as_secs_f64().max(pre.seconds);
-            wcc::push_ctx(&adj, &ctx)
+            spec.prof.profile("algorithm", || wcc::push_ctx(&adj, &ctx))
         }
         other => return Err(format!("wcc supports layouts adj|edge, not {other}").into()),
     };
     breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = save_u32(spec.save, &result.label)?;
+    breakdown.store = profiled_store(spec, || save_u32(spec.save, &result.label))?;
     println!("wcc: {} components", result.component_count());
     print_breakdown(&breakdown, "");
     Ok(breakdown)
@@ -568,15 +687,20 @@ fn run_sssp<R: Recorder>(
     };
     let result = match spec.layout {
         "adj" => {
-            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph);
+            let (adj, pre) = spec.prof.profile("preprocess", || {
+                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            sssp::push_ctx(&adj, root, &ctx)
+            spec.prof
+                .profile("algorithm", || sssp::push_ctx(&adj, root, &ctx))
         }
-        "edge" => sssp::edge_centric_ctx(graph, root, &ctx),
+        "edge" => spec
+            .prof
+            .profile("algorithm", || sssp::edge_centric_ctx(graph, root, &ctx)),
         other => return Err(format!("sssp supports layouts adj|edge, not {other}").into()),
     };
     breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = save_f32(spec.save, &result.dist)?;
+    breakdown.store = profiled_store(spec, || save_f32(spec.save, &result.dist))?;
     println!(
         "sssp from {root}: {} reachable, {} iterations",
         result.reachable_count(),
@@ -598,16 +722,21 @@ fn run_spmv<R: Recorder>(
         ..Default::default()
     };
     let result = match spec.layout {
-        "edge" => spmv::edge_centric_ctx(graph, &x, &ctx),
+        "edge" => spec
+            .prof
+            .profile("algorithm", || spmv::edge_centric_ctx(graph, &x, &ctx)),
         "adj" => {
-            let (adj, pre) = CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph);
+            let (adj, pre) = spec.prof.profile("preprocess", || {
+                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph)
+            });
             breakdown.preprocess = pre.seconds;
-            spmv::push_ctx(adj.out(), &x, &ctx)
+            spec.prof
+                .profile("algorithm", || spmv::push_ctx(adj.out(), &x, &ctx))
         }
         other => return Err(format!("spmv supports layouts adj|edge, not {other}").into()),
     };
     breakdown.algorithm = result.seconds;
-    breakdown.store = save_f32(spec.save, &result.y)?;
+    breakdown.store = profiled_store(spec, || save_f32(spec.save, &result.y))?;
     let norm: f64 = result
         .y
         .iter()
@@ -685,6 +814,82 @@ fn cmd_partition(args: &Args) -> CliResult {
             edges.len()
         );
     }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> CliResult {
+    match args.positional(1, "trace subcommand")? {
+        "diff" => cmd_trace_diff(args),
+        other => Err(format!("unknown trace subcommand '{other}' (expected 'diff')").into()),
+    }
+}
+
+/// Reads a [`RunTrace`] back from either serialization, sniffing the
+/// format from the first non-blank character.
+fn load_trace(path: &str) -> Result<RunTrace, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let trace = if text.trim_start().starts_with('{') {
+        RunTrace::from_json(&text)?
+    } else {
+        RunTrace::from_csv(&text)?
+    };
+    Ok(trace)
+}
+
+fn cmd_trace_diff(args: &Args) -> CliResult {
+    let old_path = args.positional(2, "baseline trace file")?.to_string();
+    let new_path = args.positional(3, "candidate trace file")?.to_string();
+    let defaults = DiffOptions::default();
+    let opts = DiffOptions {
+        threshold_pct: args.get_parsed_or("threshold", defaults.threshold_pct, "percent")?,
+        min_seconds: args.get_parsed_or("min-seconds", defaults.min_seconds, "seconds")?,
+    };
+    args.reject_unknown()?;
+
+    let old = load_trace(&old_path)?;
+    let new = load_trace(&new_path)?;
+    let diff = diff_traces(&old, &new, &opts);
+
+    println!(
+        "{:<44} {:>16} {:>16} {:>9}",
+        "metric", "old", "new", "delta"
+    );
+    for row in &diff.rows {
+        let delta = row.delta_pct();
+        let delta_str = if delta.is_infinite() {
+            "new".to_string()
+        } else {
+            format!("{delta:+.1}%")
+        };
+        println!(
+            "{:<44} {:>16.6} {:>16.6} {:>9}{}{}",
+            row.metric,
+            row.old,
+            row.new,
+            delta_str,
+            if row.gating { "" } else { "  (info)" },
+            if row.regressed { "  << REGRESSED" } else { "" },
+        );
+    }
+    println!();
+    if diff.has_regressions() {
+        println!(
+            "{} regression(s) beyond the {:.1}% threshold:",
+            diff.regressions.len(),
+            opts.threshold_pct
+        );
+        for r in &diff.regressions {
+            println!("  {r}");
+        }
+        return Err(Box::new(GateFailure(format!(
+            "{} metric(s) regressed",
+            diff.regressions.len()
+        ))));
+    }
+    println!(
+        "no regressions beyond the {:.1}% threshold",
+        opts.threshold_pct
+    );
     Ok(())
 }
 

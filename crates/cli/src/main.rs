@@ -17,8 +17,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
+            if !e.is::<commands::GateFailure>() {
+                eprintln!();
+                eprintln!("{}", commands::USAGE);
+            }
             ExitCode::FAILURE
         }
     }

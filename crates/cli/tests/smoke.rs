@@ -167,6 +167,27 @@ fn trace_out_writes_full_document() {
     let parsed = egraph_core::telemetry::RunTrace::from_json(&text).expect("valid trace json");
     assert_eq!(parsed.algorithm, "bfs");
     assert!(!parsed.iterations.is_empty(), "no iteration records");
+    // Schema v2: per-phase profiles plus a record of which hardware
+    // counters opened ("unavailable" on restricted hosts — the run must
+    // still succeed there).
+    assert!(
+        parsed.config.contains_key("hw_counters"),
+        "missing hw_counters config entry: {text}"
+    );
+    for phase in ["load", "preprocess", "algorithm"] {
+        let p = parsed
+            .phases
+            .iter()
+            .find(|p| p.name == phase)
+            .unwrap_or_else(|| panic!("missing phase profile '{phase}': {text}"));
+        assert!(p.seconds >= 0.0);
+        if parsed.config["hw_counters"] != "unavailable" {
+            assert!(
+                !p.hardware.is_empty(),
+                "counters opened but phase '{phase}' recorded none"
+            );
+        }
+    }
 }
 
 #[test]
@@ -209,6 +230,92 @@ fn trace_out_csv_format() {
         .is_err(),
         "unknown trace format"
     );
+}
+
+#[test]
+fn trace_diff_gates_on_regression() {
+    let graph = tmp("smoke_diff.egr");
+    let old_path = tmp("smoke_diff_old.json");
+    let new_path = tmp("smoke_diff_new.json");
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "9", "--out", &graph,
+    ]))
+    .unwrap();
+    dispatch(&argv(&["run", "bfs", &graph, "--trace-out", &old_path])).expect("baseline run");
+    // Identical traces: the gate passes.
+    dispatch(&argv(&["trace", "diff", &old_path, &old_path])).expect("identical traces");
+    // Pin the algorithm phase above the noise floor, then slow a copy
+    // down 2x: the gate must fail with the default 10% threshold.
+    let mut old =
+        egraph_core::telemetry::RunTrace::from_json(&std::fs::read_to_string(&old_path).unwrap())
+            .unwrap();
+    old.breakdown.algorithm = 1.0;
+    std::fs::write(&old_path, old.to_json()).unwrap();
+    let mut new = old.clone();
+    new.breakdown.algorithm = 2.0;
+    std::fs::write(&new_path, new.to_json()).unwrap();
+    assert!(
+        dispatch(&argv(&["trace", "diff", &old_path, &new_path])).is_err(),
+        "2x algorithm slowdown must trip the gate"
+    );
+    // A looser threshold tolerates the same slowdown.
+    dispatch(&argv(&[
+        "trace",
+        "diff",
+        &old_path,
+        &new_path,
+        "--threshold",
+        "150",
+    ]))
+    .expect("150% threshold tolerates a 100% slowdown");
+    // The gate reads CSV baselines too, sniffing the format.
+    let old_csv = tmp("smoke_diff_old.csv");
+    std::fs::write(&old_csv, old.to_csv()).unwrap();
+    assert!(
+        dispatch(&argv(&["trace", "diff", &old_csv, &new_path])).is_err(),
+        "csv baseline vs json candidate"
+    );
+    assert!(
+        dispatch(&argv(&["trace", "frobnicate"])).is_err(),
+        "unknown trace subcommand"
+    );
+}
+
+#[test]
+fn timeline_out_writes_chrome_trace() {
+    let graph = tmp("smoke_timeline.egr");
+    let out = tmp("smoke_timeline.json");
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "10", "--out", &graph,
+    ]))
+    .unwrap();
+    dispatch(&argv(&[
+        "run",
+        "bfs",
+        &graph,
+        "--flow",
+        "push",
+        "--timeline-out",
+        &out,
+    ]))
+    .expect("bfs with --timeline-out");
+    let text = std::fs::read_to_string(&out).expect("timeline written");
+    // Chrome trace-event shape: one traceEvents array, per-worker
+    // thread_name metadata, "X" complete events with microsecond
+    // timestamps, and push/pull direction annotations on engine steps.
+    assert!(text.starts_with("{\"traceEvents\":["), "shape: {text}");
+    assert!(text.ends_with("]}"));
+    assert!(text.contains("\"ph\":\"M\""), "thread_name metadata");
+    assert!(text.contains("\"args\":{\"name\":\"worker 0\"}"));
+    assert!(text.contains("\"ph\":\"X\""), "complete events");
+    assert!(text.contains("\"cat\":\"region\""), "pool region spans");
+    assert!(
+        text.contains("\"name\":\"vertex_push\""),
+        "engine step span"
+    );
+    assert!(text.contains("\"args\":{\"direction\":\"push\"}"));
+    assert!(text.contains("\"ts\":"));
+    assert!(text.contains("\"dur\":"));
 }
 
 #[test]

@@ -152,24 +152,6 @@ pub fn als_ctx<P: MemProbe, R: Recorder>(
     }
 }
 
-/// Deprecated probe-only entry point; use [`als_ctx`].
-#[deprecated(note = "use als_ctx with an ExecContext")]
-pub fn als_probed<P: MemProbe>(
-    out: &Adjacency<WEdge>,
-    incoming: &Adjacency<WEdge>,
-    num_users: usize,
-    cfg: AlsConfig,
-    probe: &P,
-) -> AlsResult {
-    als_ctx(
-        out,
-        incoming,
-        num_users,
-        cfg,
-        &ExecContext::new().with_probe(probe),
-    )
-}
-
 /// Solves the normal equations for every vertex in `range`, reading
 /// neighbor factors and writing only the vertex's own factor row.
 #[allow(clippy::too_many_arguments)]

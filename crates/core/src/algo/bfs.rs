@@ -167,16 +167,6 @@ pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     state.into_result(iterations)
 }
 
-/// Deprecated probe-only entry point; use [`push_ctx`].
-#[deprecated(note = "use push_ctx with an ExecContext")]
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(
-    adj: &AdjacencyList<E>,
-    root: VertexId,
-    probe: &P,
-) -> BfsResult {
-    push_ctx(adj, root, &ExecContext::new().with_probe(probe))
-}
-
 /// Vertex-centric push BFS with per-vertex (striped) locks — the
 /// paper's "push (with locks)" configuration (§6.1.2).
 pub fn push_locked<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
@@ -338,16 +328,6 @@ pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     state.into_result(iterations)
 }
 
-/// Deprecated probe-only entry point; use [`pull_ctx`].
-#[deprecated(note = "use pull_ctx with an ExecContext")]
-pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
-    adj: &AdjacencyList<E>,
-    root: VertexId,
-    probe: &P,
-) -> BfsResult {
-    pull_ctx(adj, root, &ExecContext::new().with_probe(probe))
-}
-
 /// Direction-optimizing BFS: starts pushing, switches to pull while the
 /// frontier is a large fraction of the graph, then back (Beamer \[2\],
 /// Ligra \[29\]). Requires both edge directions (hence the doubled
@@ -421,16 +401,6 @@ pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     state.into_result(iterations)
 }
 
-/// Deprecated probe-only entry point; use [`push_pull_ctx`].
-#[deprecated(note = "use push_pull_ctx with an ExecContext")]
-pub fn push_pull_probed<E: EdgeRecord, P: MemProbe>(
-    adj: &AdjacencyList<E>,
-    root: VertexId,
-    probe: &P,
-) -> BfsResult {
-    push_pull_ctx(adj, root, &ExecContext::new().with_probe(probe))
-}
-
 /// Edge-centric BFS: every iteration streams the whole edge array and
 /// pushes from last round's discoveries (§4.1's "full scan" drawback).
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, root: VertexId) -> BfsResult {
@@ -468,16 +438,6 @@ pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     state.into_result(iterations)
 }
 
-/// Deprecated probe-only entry point; use [`edge_centric_ctx`].
-#[deprecated(note = "use edge_centric_ctx with an ExecContext")]
-pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
-    edges: &EdgeList<E>,
-    root: VertexId,
-    probe: &P,
-) -> BfsResult {
-    edge_centric_ctx(edges, root, &ExecContext::new().with_probe(probe))
-}
-
 /// Grid BFS: push over grid cells with column ownership; sources are
 /// filtered to last round's discoveries.
 pub fn grid<E: EdgeRecord>(grid: &Grid<E>, root: VertexId) -> BfsResult {
@@ -513,16 +473,6 @@ pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
         active = next.len();
     }
     state.into_result(iterations)
-}
-
-/// Deprecated probe-only entry point; use [`grid_ctx`].
-#[deprecated(note = "use grid_ctx with an ExecContext")]
-pub fn grid_probed<E: EdgeRecord, P: MemProbe>(
-    grid: &Grid<E>,
-    root: VertexId,
-    probe: &P,
-) -> BfsResult {
-    grid_ctx(grid, root, &ExecContext::new().with_probe(probe))
 }
 
 /// A serial reference BFS used by tests and result validation.

@@ -230,22 +230,6 @@ pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     )
 }
 
-/// Deprecated probe-only entry point; use [`pull_ctx`].
-#[deprecated(note = "use pull_ctx with an ExecContext")]
-pub fn pull_probed<E: EdgeRecord, P: MemProbe>(
-    incoming: &Adjacency<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    probe: &P,
-) -> PagerankResult {
-    pull_ctx(
-        incoming,
-        out_degrees,
-        cfg,
-        &ExecContext::new().with_probe(probe),
-    )
-}
-
 /// Push rule accumulating into atomic floats (CAS loops).
 struct PrPushAtomic<'a> {
     contrib: &'a [f32],
@@ -362,24 +346,6 @@ pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     )
 }
 
-/// Deprecated probe-only entry point; use [`push_ctx`].
-#[deprecated(note = "use push_ctx with an ExecContext")]
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(
-    out: &Adjacency<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    sync: PushSync,
-    probe: &P,
-) -> PagerankResult {
-    push_ctx(
-        out,
-        out_degrees,
-        cfg,
-        sync,
-        &ExecContext::new().with_probe(probe),
-    )
-}
-
 /// Edge-centric PageRank over the raw edge array (Fig. 3b).
 pub fn edge_centric<E: EdgeRecord>(
     edges: &EdgeList<E>,
@@ -408,24 +374,6 @@ pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
         out_degrees,
         cfg,
         |contrib| run_push_step(PushDriver::EdgeArray(edges), contrib, nv, sync, ctx),
-    )
-}
-
-/// Deprecated probe-only entry point; use [`edge_centric_ctx`].
-#[deprecated(note = "use edge_centric_ctx with an ExecContext")]
-pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
-    edges: &EdgeList<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    sync: PushSync,
-    probe: &P,
-) -> PagerankResult {
-    edge_centric_ctx(
-        edges,
-        out_degrees,
-        cfg,
-        sync,
-        &ExecContext::new().with_probe(probe),
     )
 }
 
@@ -471,24 +419,6 @@ pub fn grid_push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
             };
             run_push_step(driver, contrib, nv, sync, ctx)
         },
-    )
-}
-
-/// Deprecated probe-only entry point; use [`grid_push_ctx`].
-#[deprecated(note = "use grid_push_ctx with an ExecContext")]
-pub fn grid_push_probed<E: EdgeRecord, P: MemProbe>(
-    grid: &Grid<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    locked: bool,
-    probe: &P,
-) -> PagerankResult {
-    grid_push_ctx(
-        grid,
-        out_degrees,
-        cfg,
-        locked,
-        &ExecContext::new().with_probe(probe),
     )
 }
 
@@ -560,22 +490,6 @@ pub fn grid_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
             }
             acc
         },
-    )
-}
-
-/// Deprecated probe-only entry point; use [`grid_pull_ctx`].
-#[deprecated(note = "use grid_pull_ctx with an ExecContext")]
-pub fn grid_pull_probed<E: EdgeRecord, P: MemProbe>(
-    transposed: &Grid<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    probe: &P,
-) -> PagerankResult {
-    grid_pull_ctx(
-        transposed,
-        out_degrees,
-        cfg,
-        &ExecContext::new().with_probe(probe),
     )
 }
 

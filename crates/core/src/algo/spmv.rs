@@ -95,16 +95,6 @@ pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     }
 }
 
-/// Deprecated probe-only entry point; use [`edge_centric_ctx`].
-#[deprecated(note = "use edge_centric_ctx with an ExecContext")]
-pub fn edge_centric_probed<E: EdgeRecord, P: MemProbe>(
-    edges: &EdgeList<E>,
-    x: &[f32],
-    probe: &P,
-) -> SpmvResult {
-    edge_centric_ctx(edges, x, &ExecContext::new().with_probe(probe))
-}
-
 /// Vertex-centric push SpMV over an out-adjacency (the "adj" bar of
 /// Fig. 3c — its pre-processing is what never pays off).
 pub fn push<E: EdgeRecord>(out: &Adjacency<E>, x: &[f32]) -> SpmvResult {
@@ -131,16 +121,6 @@ pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
         y: y.into_iter().map(|v| v.load(Ordering::Relaxed)).collect(),
         seconds,
     }
-}
-
-/// Deprecated probe-only entry point; use [`push_ctx`].
-#[deprecated(note = "use push_ctx with an ExecContext")]
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(
-    out: &Adjacency<E>,
-    x: &[f32],
-    probe: &P,
-) -> SpmvResult {
-    push_ctx(out, x, &ExecContext::new().with_probe(probe))
 }
 
 /// Vertex-centric pull SpMV over an in-adjacency: each output element

@@ -109,16 +109,6 @@ pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     }
 }
 
-/// Deprecated probe-only entry point; use [`push_ctx`].
-#[deprecated(note = "use push_ctx with an ExecContext")]
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(
-    adj: &AdjacencyList<E>,
-    source: VertexId,
-    probe: &P,
-) -> SsspResult {
-    push_ctx(adj, source, &ExecContext::new().with_probe(probe))
-}
-
 /// Edge-centric SSSP: every iteration streams the whole edge array,
 /// relaxing edges whose source improved last round.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, source: VertexId) -> SsspResult {

@@ -106,12 +106,6 @@ pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
     }
 }
 
-/// Deprecated probe-only entry point; use [`push_ctx`].
-#[deprecated(note = "use push_ctx with an ExecContext")]
-pub fn push_probed<E: EdgeRecord, P: MemProbe>(adj: &AdjacencyList<E>, probe: &P) -> WccResult {
-    push_ctx(adj, &ExecContext::new().with_probe(probe))
-}
-
 /// Edge-centric WCC over the raw (directed) edge array: each stored
 /// edge propagates the smaller label to the other endpoint, so no
 /// undirected copy — and no pre-processing at all — is needed.

@@ -20,6 +20,7 @@
 
 use egraph_cachesim::probe::regions;
 use egraph_cachesim::MemProbe;
+use egraph_parallel::timeline;
 
 use crate::frontier::{FrontierKind, NextFrontier, VertexSubset};
 use crate::layout::{Adjacency, Grid};
@@ -119,6 +120,7 @@ where
     P: MemProbe,
     R: Recorder,
 {
+    let _step = timeline::span(timeline::SpanKind::Step, "vertex_push", "push");
     let next = NextFrontier::new(next_kind, out.num_vertices());
     let probe = ctx.probe;
     // Each chunk borrows its worker's activation sink once and pushes
@@ -182,6 +184,7 @@ where
     P: MemProbe,
     R: Recorder,
 {
+    let _step = timeline::span(timeline::SpanKind::Step, "edge_push", "push");
     let next = NextFrontier::new(next_kind, num_vertices);
     let esize = std::mem::size_of::<E>() as u64;
     let probe = ctx.probe;
@@ -223,6 +226,7 @@ where
     P: MemProbe,
     R: Recorder,
 {
+    let _step = timeline::span(timeline::SpanKind::Step, "vertex_pull", "pull");
     let nv = incoming.num_vertices();
     let next = NextFrontier::new(next_kind, nv);
     let probe = ctx.probe;
@@ -273,6 +277,7 @@ where
     P: MemProbe,
     R: Recorder,
 {
+    let _step = timeline::span(timeline::SpanKind::Step, "grid_push_columns", "push");
     let next = NextFrontier::new(next_kind, grid.num_vertices());
     let side = grid.side();
     let esize = std::mem::size_of::<E>() as u64;
@@ -321,6 +326,7 @@ where
     P: MemProbe,
     R: Recorder,
 {
+    let _step = timeline::span(timeline::SpanKind::Step, "grid_push_cells", "push");
     let next = NextFrontier::new(next_kind, grid.num_vertices());
     let side = grid.side();
     let esize = std::mem::size_of::<E>() as u64;
@@ -372,6 +378,7 @@ where
     P: MemProbe,
     R: Recorder,
 {
+    let _step = timeline::span(timeline::SpanKind::Step, "grid_pull_rows", "pull");
     let next = NextFrontier::new(next_kind, grid.num_vertices());
     let side = grid.side();
     let esize = std::mem::size_of::<E>() as u64;

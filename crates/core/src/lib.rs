@@ -50,6 +50,7 @@ pub mod numa_sim;
 pub mod preprocess;
 pub mod roadmap;
 pub mod telemetry;
+pub mod trace_diff;
 pub mod types;
 pub mod util;
 

@@ -119,6 +119,11 @@ impl CsrBuilder {
         &self,
         input: &EdgeList<E>,
     ) -> (AdjacencyList<E>, PreprocessStats) {
+        let _span = egraph_parallel::timeline::span(
+            egraph_parallel::timeline::SpanKind::Phase,
+            "preprocess_csr",
+            self.strategy.name(),
+        );
         let start = Instant::now();
         let out = match self.direction {
             EdgeDirection::Out | EdgeDirection::Both => {
@@ -422,6 +427,11 @@ impl GridBuilder {
 
     /// Builds the grid, returning the pre-processing cost alongside.
     pub fn build_timed<E: EdgeRecord>(&self, input: &EdgeList<E>) -> (Grid<E>, PreprocessStats) {
+        let _span = egraph_parallel::timeline::span(
+            egraph_parallel::timeline::SpanKind::Phase,
+            "preprocess_grid",
+            self.strategy.name(),
+        );
         let start = Instant::now();
         let nv = input.num_vertices();
         let side = self.side;

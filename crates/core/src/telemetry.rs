@@ -18,10 +18,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
-pub use egraph_cachesim::{MemProbe, NullProbe};
+pub use egraph_cachesim::{CacheStats, MemProbe, NullProbe};
+pub use egraph_perf::{CounterKind, PerfCounters};
 
 use crate::metrics::{IterStat, StepMode, TimeBreakdown};
 
@@ -248,13 +250,51 @@ impl<'a, P: MemProbe, R: Recorder> ExecContext<'a, P, R> {
     }
 }
 
+/// Per-phase profile: wall time plus the hardware counters and/or
+/// simulated cache statistics measured over that phase's window.
+///
+/// This is the schema-v2 record that puts the paper's two measurement
+/// modes side by side — real PMU counts (when the host allows
+/// `perf_event_open`) and the LLC simulator's numbers — attributed to
+/// the same named phase of the same run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseProfile {
+    /// Phase name (`"load"`, `"preprocess"`, `"algorithm"`, ...).
+    pub name: String,
+    /// Wall-clock seconds of the phase window.
+    pub seconds: f64,
+    /// Hardware counter deltas by canonical counter name (`"cycles"`,
+    /// `"llc_load_misses"`, ...). Empty when the host exposes no usable
+    /// counters — the graceful-degradation marker, not an error.
+    pub hardware: BTreeMap<String, f64>,
+    /// Simulated cache statistics for the phase, when the run also went
+    /// through the LLC simulator.
+    pub simulated: Option<CacheStats>,
+}
+
+impl PhaseProfile {
+    /// The measured LLC miss ratio `llc_load_misses / llc_loads`, when
+    /// both hardware counters were recorded and any loads happened.
+    pub fn hardware_llc_miss_ratio(&self) -> Option<f64> {
+        let loads = *self.hardware.get(CounterKind::LlcLoads.name())?;
+        let misses = *self.hardware.get(CounterKind::LlcLoadMisses.name())?;
+        if loads > 0.0 {
+            Some(misses / loads)
+        } else {
+            None
+        }
+    }
+}
+
 /// The machine-readable document describing one end-to-end run:
-/// the [`TimeBreakdown`], per-iteration records, and whatever counters
-/// the engine, pool and storage layers reported.
+/// the [`TimeBreakdown`], per-iteration records, per-phase profiles,
+/// and whatever counters the engine, pool and storage layers reported.
 ///
 /// Serializes to JSON ([`RunTrace::to_json`], schema
-/// `egraph-trace/1`) and CSV ([`RunTrace::to_csv`]); parses back from
-/// its own JSON ([`RunTrace::from_json`]).
+/// `egraph-trace/2`) and CSV ([`RunTrace::to_csv`]); parses back from
+/// its own JSON ([`RunTrace::from_json`]) and CSV
+/// ([`RunTrace::from_csv`]). Schema-v1 documents (which predate
+/// [`PhaseProfile`]) still parse, with `phases` empty.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunTrace {
     /// Algorithm name (e.g. `"bfs"`).
@@ -269,10 +309,16 @@ pub struct RunTrace {
     pub counters: BTreeMap<String, f64>,
     /// Named phase spans beyond the fixed breakdown phases.
     pub spans: Vec<Span>,
+    /// Per-phase hardware/simulated profiles (schema v2; empty for
+    /// traces parsed from v1 documents).
+    pub phases: Vec<PhaseProfile>,
 }
 
-/// Schema tag embedded in every JSON trace.
-pub const TRACE_SCHEMA: &str = "egraph-trace/1";
+/// Schema tag embedded in every JSON trace this version writes.
+pub const TRACE_SCHEMA: &str = "egraph-trace/2";
+
+/// The previous schema tag; still accepted by the parsers.
+pub const TRACE_SCHEMA_V1: &str = "egraph-trace/1";
 
 /// Output format for a [`RunTrace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -402,6 +448,36 @@ impl RunTrace {
         if !self.spans.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n");
+        out.push_str("  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"seconds\": {}, \"hardware\": {{",
+                json::string(&p.name),
+                json::number(p.seconds)
+            ));
+            for (j, (k, v)) in p.hardware.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json::string(k), json::number(*v)));
+            }
+            out.push_str("}, \"simulated\": ");
+            match &p.simulated {
+                None => out.push_str("null"),
+                Some(sim) => out.push_str(&format!(
+                    "{{\"accesses\": {}, \"misses\": {}}}",
+                    sim.accesses, sim.misses
+                )),
+            }
+            out.push('}');
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("]\n}\n");
         out
     }
@@ -420,7 +496,7 @@ impl RunTrace {
         let schema = get(obj, "schema")?
             .as_str()
             .ok_or_else(|| err("schema is not a string"))?;
-        if schema != TRACE_SCHEMA {
+        if schema != TRACE_SCHEMA && schema != TRACE_SCHEMA_V1 {
             return Err(err(&format!("unsupported schema '{schema}'")));
         }
         let mut trace = RunTrace::new(
@@ -492,21 +568,65 @@ impl RunTrace {
                 seconds: num_field(o, "seconds")?,
             });
         }
+        // `phases` arrived with schema v2; a v1 document simply has none.
+        if let Ok(phases) = get(obj, "phases") {
+            for p in phases
+                .as_array()
+                .ok_or_else(|| err("phases is not an array"))?
+            {
+                let o = p.as_object().ok_or_else(|| err("phase is not an object"))?;
+                let mut profile = PhaseProfile {
+                    name: get(o, "name")?
+                        .as_str()
+                        .ok_or_else(|| err("phase name is not a string"))?
+                        .to_string(),
+                    seconds: num_field(o, "seconds")?,
+                    ..PhaseProfile::default()
+                };
+                for (k, v) in get(o, "hardware")?
+                    .as_object()
+                    .ok_or_else(|| err("phase hardware is not an object"))?
+                {
+                    profile.hardware.insert(
+                        k.clone(),
+                        v.as_number()
+                            .ok_or_else(|| err("hardware counter is not a number"))?,
+                    );
+                }
+                match get(o, "simulated")? {
+                    json::Value::Null => {}
+                    sim => {
+                        let so = sim
+                            .as_object()
+                            .ok_or_else(|| err("phase simulated is not an object"))?;
+                        profile.simulated = Some(CacheStats {
+                            accesses: num_field(so, "accesses")? as u64,
+                            misses: num_field(so, "misses")? as u64,
+                        });
+                    }
+                }
+                trace.phases.push(profile);
+            }
+        }
         Ok(trace)
     }
 
     /// Serializes to flat CSV. The first column discriminates the
     /// record type (`meta`, `breakdown`, `iteration`, `counter`,
-    /// `span`); unused columns are left empty.
+    /// `span`, `phase`, `phase_hw`, `phase_sim`); unused columns are
+    /// left empty. Fields containing separators are quoted per RFC
+    /// 4180, and [`RunTrace::from_csv`] parses the result back.
     pub fn to_csv(&self) -> String {
+        let q = csv::field;
         let mut out = String::new();
         out.push_str("record,key,step,frontier_size,edges_scanned,seconds,mode,value\n");
         out.push_str(&format!(
             "meta,schema,,,,,,{}\nmeta,algorithm,,,,,,{}\n",
-            TRACE_SCHEMA, self.algorithm
+            TRACE_SCHEMA,
+            q(&self.algorithm)
         ));
         for (k, v) in &self.config {
-            out.push_str(&format!("meta,{k},,,,,,{v}\n"));
+            out.push_str(&format!("meta,{},,,,,,{}\n", q(k), q(v)));
         }
         let b = &self.breakdown;
         for (name, secs) in [
@@ -530,13 +650,145 @@ impl RunTrace {
             ));
         }
         for (k, v) in &self.counters {
-            out.push_str(&format!("counter,{k},,,,,,{v}\n"));
+            out.push_str(&format!("counter,{},,,,,,{v}\n", q(k)));
         }
         for s in &self.spans {
-            out.push_str(&format!("span,{},,,,{},,\n", s.name, s.seconds));
+            out.push_str(&format!("span,{},,,,{},,\n", q(&s.name), s.seconds));
+        }
+        for p in &self.phases {
+            out.push_str(&format!("phase,{},,,,{},,\n", q(&p.name), p.seconds));
+            for (k, v) in &p.hardware {
+                out.push_str(&format!("phase_hw,{},,,,,{},{v}\n", q(&p.name), q(k)));
+            }
+            if let Some(sim) = &p.simulated {
+                out.push_str(&format!(
+                    "phase_sim,{},,,,,accesses,{}\n",
+                    q(&p.name),
+                    sim.accesses
+                ));
+                out.push_str(&format!(
+                    "phase_sim,{},,,,,misses,{}\n",
+                    q(&p.name),
+                    sim.misses
+                ));
+            }
         }
         out
     }
+
+    /// Parses a trace previously produced by [`RunTrace::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] on a malformed document, an unknown
+    /// record discriminator, or a missing/foreign schema row.
+    pub fn from_csv(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| err("empty document"))?;
+        if csv::split(header)
+            .map_err(TraceError)?
+            .first()
+            .map(String::as_str)
+            != Some("record")
+        {
+            return Err(err("missing CSV header"));
+        }
+        let mut trace = RunTrace::default();
+        let mut saw_schema = false;
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let f = csv::split(line).map_err(TraceError)?;
+            let col = |i: usize| f.get(i).map(String::as_str).unwrap_or("");
+            let numcol = |i: usize| -> Result<f64, TraceError> {
+                col(i)
+                    .parse::<f64>()
+                    .map_err(|_| err(&format!("bad number '{}' on line {}", col(i), lineno + 2)))
+            };
+            match col(0) {
+                "meta" => match col(1) {
+                    "schema" => {
+                        let schema = col(7);
+                        if schema != TRACE_SCHEMA && schema != TRACE_SCHEMA_V1 {
+                            return Err(err(&format!("unsupported schema '{schema}'")));
+                        }
+                        saw_schema = true;
+                    }
+                    "algorithm" => trace.algorithm = col(7).to_string(),
+                    key => {
+                        trace.config.insert(key.to_string(), col(7).to_string());
+                    }
+                },
+                "breakdown" => {
+                    let secs = numcol(5)?;
+                    match col(1) {
+                        "load" => trace.breakdown.load = secs,
+                        "preprocess" => trace.breakdown.preprocess = secs,
+                        "partition" => trace.breakdown.partition = secs,
+                        "algorithm" => trace.breakdown.algorithm = secs,
+                        "store" => trace.breakdown.store = secs,
+                        "total" => {} // derived, not stored
+                        other => {
+                            return Err(err(&format!("unknown breakdown phase '{other}'")));
+                        }
+                    }
+                }
+                "iteration" => trace.iterations.push(IterRecord {
+                    step: numcol(2)? as usize,
+                    frontier_size: numcol(3)? as usize,
+                    edges_scanned: numcol(4)? as usize,
+                    seconds: numcol(5)?,
+                    mode: StepMode::parse(col(6)).ok_or_else(|| err("unknown step mode"))?,
+                }),
+                "counter" => {
+                    trace.counters.insert(col(1).to_string(), numcol(7)?);
+                }
+                "span" => trace.spans.push(Span {
+                    name: col(1).to_string(),
+                    seconds: numcol(5)?,
+                }),
+                "phase" => trace.phases.push(PhaseProfile {
+                    name: col(1).to_string(),
+                    seconds: numcol(5)?,
+                    ..PhaseProfile::default()
+                }),
+                "phase_hw" => {
+                    let value = numcol(7)?;
+                    let phase = phase_mut(&mut trace, col(1))?;
+                    phase.hardware.insert(col(6).to_string(), value);
+                }
+                "phase_sim" => {
+                    let value = numcol(7)? as u64;
+                    let phase = phase_mut(&mut trace, col(1))?;
+                    let sim = phase.simulated.get_or_insert_with(CacheStats::default);
+                    match col(6) {
+                        "accesses" => sim.accesses = value,
+                        "misses" => sim.misses = value,
+                        other => {
+                            return Err(err(&format!("unknown phase_sim field '{other}'")));
+                        }
+                    }
+                }
+                other => return Err(err(&format!("unknown record type '{other}'"))),
+            }
+        }
+        if !saw_schema {
+            return Err(err("missing schema row"));
+        }
+        Ok(trace)
+    }
+}
+
+/// Finds the already-declared phase a `phase_hw`/`phase_sim` row refers
+/// to (rows are emitted in phase order, so it is the last one).
+fn phase_mut<'a>(trace: &'a mut RunTrace, name: &str) -> Result<&'a mut PhaseProfile, TraceError> {
+    trace
+        .phases
+        .iter_mut()
+        .rev()
+        .find(|p| p.name == name)
+        .ok_or_else(|| err(&format!("phase row for undeclared phase '{name}'")))
 }
 
 fn err(msg: &str) -> TraceError {
@@ -554,6 +806,166 @@ fn num_field(obj: &[(String, json::Value)], key: &str) -> Result<f64, TraceError
     get(obj, key)?
         .as_number()
         .ok_or_else(|| err(&format!("field '{key}' is not a number")))
+}
+
+/// Profiles named run phases with hardware perf counters, producing
+/// the [`PhaseProfile`] records of a schema-v2 [`RunTrace`].
+///
+/// Construction follows the [`PerfCounters`] graceful-degradation
+/// contract: [`PhaseProfiler::enabled`] never fails — on a restricted
+/// host the profiled phases simply carry empty `hardware` maps. A
+/// [`PhaseProfiler::disabled`] profiler skips even the wall-clock
+/// bookkeeping and records nothing.
+///
+/// Open the profiler *before* the first parallel operation: the
+/// counters cover threads spawned after they open (see the
+/// `egraph-perf` crate docs), which is how the lazily-created worker
+/// pool gets counted.
+pub struct PhaseProfiler {
+    counters: Option<PerfCounters>,
+    phases: Mutex<Vec<PhaseProfile>>,
+}
+
+impl PhaseProfiler {
+    /// A profiler that records nothing; `profile` runs closures
+    /// directly.
+    pub fn disabled() -> Self {
+        Self {
+            counters: None,
+            phases: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens the hardware counters (never fails; see [`PerfCounters`])
+    /// and starts collecting phase profiles.
+    pub fn enabled() -> Self {
+        Self {
+            counters: Some(PerfCounters::open()),
+            phases: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether this profiler records phases at all.
+    pub fn is_enabled(&self) -> bool {
+        self.counters.is_some()
+    }
+
+    /// The counter kinds that actually opened, in canonical order;
+    /// empty on a disabled profiler or a fully restricted host.
+    pub fn available_counters(&self) -> Vec<CounterKind> {
+        self.counters
+            .as_ref()
+            .map(|c| c.available_kinds())
+            .unwrap_or_default()
+    }
+
+    /// Runs `f` as the named phase, recording its wall time and
+    /// hardware counter deltas.
+    pub fn profile<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let Some(counters) = &self.counters else {
+            return f();
+        };
+        let window = counters.phase();
+        let start = Instant::now();
+        let out = f();
+        let seconds = start.elapsed().as_secs_f64();
+        let sample = window.finish();
+        let mut profile = PhaseProfile {
+            name: name.to_string(),
+            seconds,
+            ..PhaseProfile::default()
+        };
+        for (kind, value) in sample.iter() {
+            profile
+                .hardware
+                .insert(kind.name().to_string(), value as f64);
+        }
+        self.phases.lock().push(profile);
+        out
+    }
+
+    /// Attaches simulated cache statistics to the most recent phase
+    /// with this name (used by benches that run the same phase through
+    /// the LLC simulator).
+    pub fn attach_simulated(&self, name: &str, stats: CacheStats) {
+        if let Some(p) = self.phases.lock().iter_mut().rev().find(|p| p.name == name) {
+            p.simulated = Some(stats);
+        }
+    }
+
+    /// Takes the recorded phases, leaving the profiler empty.
+    pub fn take_phases(&self) -> Vec<PhaseProfile> {
+        std::mem::take(&mut *self.phases.lock())
+    }
+}
+
+pub mod csv {
+    //! CSV field quoting and line splitting (RFC 4180 subset) for
+    //! [`RunTrace::to_csv`] / [`RunTrace::from_csv`].
+    //!
+    //! [`RunTrace::to_csv`]: super::RunTrace::to_csv
+    //! [`RunTrace::from_csv`]: super::RunTrace::from_csv
+
+    /// Renders one field, quoting it when it contains a separator,
+    /// quote, or newline.
+    pub fn field(s: &str) -> String {
+        if s.contains([',', '"', '\n', '\r']) {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                if c == '"' {
+                    out.push('"');
+                }
+                out.push(c);
+            }
+            out.push('"');
+            out
+        } else {
+            s.to_string()
+        }
+    }
+
+    /// Splits one CSV line into its fields, undoing [`field`] quoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unterminated quoted field or stray
+    /// quote.
+    pub fn split(line: &str) -> Result<Vec<String>, String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = line.chars().peekable();
+        loop {
+            match chars.peek() {
+                Some('"') if cur.is_empty() => {
+                    chars.next();
+                    loop {
+                        match chars.next() {
+                            Some('"') => {
+                                if chars.peek() == Some(&'"') {
+                                    chars.next();
+                                    cur.push('"');
+                                } else {
+                                    break;
+                                }
+                            }
+                            Some(c) => cur.push(c),
+                            None => return Err("unterminated quoted field".to_string()),
+                        }
+                    }
+                }
+                Some(',') => {
+                    chars.next();
+                    fields.push(std::mem::take(&mut cur));
+                }
+                Some(_) => cur.push(chars.next().expect("peeked")),
+                None => {
+                    fields.push(cur);
+                    return Ok(fields);
+                }
+            }
+        }
+    }
 }
 
 pub mod json {
@@ -912,6 +1324,23 @@ mod tests {
             name: "warmup \"quoted\"".into(),
             seconds: 0.75,
         });
+        let mut algo_phase = PhaseProfile {
+            name: "algorithm".into(),
+            seconds: 0.125,
+            ..PhaseProfile::default()
+        };
+        algo_phase.hardware.insert("cycles".into(), 1.25e9);
+        algo_phase.hardware.insert("llc_load_misses".into(), 3.0e6);
+        algo_phase.simulated = Some(CacheStats {
+            accesses: 1000,
+            misses: 250,
+        });
+        t.phases.push(algo_phase);
+        t.phases.push(PhaseProfile {
+            name: "load, restricted".into(), // comma exercises CSV quoting
+            seconds: 0.5,
+            ..PhaseProfile::default()
+        });
         t
     }
 
@@ -945,10 +1374,128 @@ mod tests {
             "iteration,",
             "counter,pool.steals",
             "span,",
+            "phase,algorithm",
+            "phase_hw,algorithm,,,,,cycles",
+            "phase_sim,algorithm,,,,,misses",
         ] {
             assert!(text.contains(tag), "missing {tag} in:\n{text}");
         }
-        assert_eq!(text.lines().count(), 1 + 2 + 2 + 6 + 2 + 2 + 1);
+        // header + 2 meta + 2 config + 6 breakdown + 2 iterations
+        // + 2 counters + 1 span + 2 phases + 2 phase_hw + 2 phase_sim.
+        assert_eq!(text.lines().count(), 1 + 2 + 2 + 6 + 2 + 2 + 1 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless() {
+        let trace = sample_trace();
+        let parsed = RunTrace::from_csv(&trace.to_csv()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(RunTrace::from_csv("").is_err());
+        assert!(RunTrace::from_csv("not,a,trace\n").is_err());
+        // Valid header but no schema row.
+        assert!(RunTrace::from_csv(
+            "record,key,step,frontier_size,edges_scanned,seconds,mode,value\n"
+        )
+        .is_err());
+        // phase_hw without its phase row.
+        assert!(RunTrace::from_csv(
+            "record,key,step,frontier_size,edges_scanned,seconds,mode,value\n\
+             meta,schema,,,,,,egraph-trace/2\n\
+             phase_hw,ghost,,,,,cycles,1\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn schema_v1_documents_still_parse() {
+        // A v1 producer never wrote `phases`; both parsers must accept
+        // the old tag and leave `phases` empty.
+        let mut v1 = sample_trace();
+        v1.phases.clear();
+        let json_text = v1.to_json().replacen(TRACE_SCHEMA, TRACE_SCHEMA_V1, 1);
+        // Drop the phases key entirely, as a real v1 document would.
+        let json_text = json_text.replace(",\n  \"phases\": []\n}", "\n}");
+        assert!(json_text.contains(TRACE_SCHEMA_V1));
+        assert!(!json_text.contains("\"phases\""));
+        let parsed = RunTrace::from_json(&json_text).unwrap();
+        assert_eq!(parsed, v1);
+
+        let csv_text = v1.to_csv().replacen(TRACE_SCHEMA, TRACE_SCHEMA_V1, 1);
+        let parsed = RunTrace::from_csv(&csv_text).unwrap();
+        assert_eq!(parsed, v1);
+    }
+
+    #[test]
+    fn csv_quoting_round_trips() {
+        assert_eq!(csv::field("plain"), "plain");
+        assert_eq!(csv::field("a,b"), "\"a,b\"");
+        assert_eq!(csv::field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let line = format!("{},{},x", csv::field("a,b"), csv::field("q\"q"));
+        assert_eq!(csv::split(&line).unwrap(), vec!["a,b", "q\"q", "x"]);
+        assert!(csv::split("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn phase_profiler_records_phases() {
+        let profiler = PhaseProfiler::enabled();
+        let value = profiler.profile("algorithm", || {
+            let mut x = 1u64;
+            for i in 0..500_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(x)
+        });
+        assert_ne!(value, 0);
+        profiler.attach_simulated(
+            "algorithm",
+            CacheStats {
+                accesses: 10,
+                misses: 5,
+            },
+        );
+        let phases = profiler.take_phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].name, "algorithm");
+        assert!(phases[0].seconds > 0.0);
+        assert_eq!(
+            phases[0].simulated,
+            Some(CacheStats {
+                accesses: 10,
+                misses: 5
+            })
+        );
+        // Hardware values only when the host grants counters — and then
+        // the busy loop must have registered on every open counter.
+        for kind in profiler.available_counters() {
+            assert!(phases[0].hardware.contains_key(kind.name()));
+        }
+        assert!(profiler.take_phases().is_empty());
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let profiler = PhaseProfiler::disabled();
+        assert!(!profiler.is_enabled());
+        assert_eq!(profiler.profile("x", || 7), 7);
+        assert!(profiler.take_phases().is_empty());
+        assert!(profiler.available_counters().is_empty());
+    }
+
+    #[test]
+    fn hardware_llc_miss_ratio_needs_both_counters() {
+        let mut p = PhaseProfile {
+            name: "algorithm".into(),
+            ..PhaseProfile::default()
+        };
+        assert_eq!(p.hardware_llc_miss_ratio(), None);
+        p.hardware.insert("llc_loads".into(), 400.0);
+        assert_eq!(p.hardware_llc_miss_ratio(), None);
+        p.hardware.insert("llc_load_misses".into(), 100.0);
+        assert_eq!(p.hardware_llc_miss_ratio(), Some(0.25));
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Comparing two [`RunTrace`] documents: the regression gate behind
+//! `egraph trace diff`.
+//!
+//! The paper's whole argument rests on *phase-attributed* measurement —
+//! a layout that wins the algorithm phase can lose end-to-end to its
+//! pre-processing cost (§2). The same discipline applies to guarding a
+//! codebase against performance regressions: a diff that only checks
+//! total time hides a pre-processing slowdown behind an algorithm
+//! speedup. This module therefore compares traces phase by phase
+//! (breakdown phases, schema-v2 [`PhaseProfile`]s, and per-phase cache
+//! miss ratios) and flags each metric independently.
+//!
+//! Time metrics gate on a *relative* slowdown above a caller-chosen
+//! threshold, with an absolute floor (`min_seconds`) so that a 2 ms
+//! phase jittering to 3 ms does not fail a build. Miss ratios gate on
+//! the same relative rule. Raw hardware counts and run counters are
+//! reported for context but never gate — they scale with the input, not
+//! with code quality.
+
+use crate::telemetry::{CounterKind, RunTrace};
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Metric label, e.g. `"breakdown.algorithm"` or
+    /// `"phase.load.llc_miss_ratio(hw)"`.
+    pub metric: String,
+    /// Value in the old (baseline) trace.
+    pub old: f64,
+    /// Value in the new (candidate) trace.
+    pub new: f64,
+    /// Whether this metric participates in the regression gate.
+    pub gating: bool,
+    /// Whether this row regressed beyond the threshold.
+    pub regressed: bool,
+}
+
+impl DiffRow {
+    /// Relative change in percent (positive = the new run is bigger).
+    /// Infinite when the baseline was zero and the candidate is not.
+    pub fn delta_pct(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.new - self.old) / self.old * 100.0
+        }
+    }
+}
+
+/// The comparison of two traces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceDiff {
+    /// Every compared metric, gating rows first.
+    pub rows: Vec<DiffRow>,
+    /// Human-readable description of each regression.
+    pub regressions: Vec<String>,
+}
+
+impl TraceDiff {
+    /// Whether any gating metric regressed beyond the threshold.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Comparison tuning for [`diff_traces`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffOptions {
+    /// Relative slowdown (percent) above which a gating metric
+    /// regresses.
+    pub threshold_pct: f64,
+    /// Time metrics where both runs stayed under this many seconds are
+    /// never flagged — sub-noise phases jitter by large percentages.
+    pub min_seconds: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            threshold_pct: 10.0,
+            min_seconds: 1e-3,
+        }
+    }
+}
+
+/// Compares `new` against the `old` baseline.
+///
+/// Gating metrics: the five breakdown phases plus the derived total,
+/// each schema-v2 phase's wall seconds, and each phase's hardware and
+/// simulated LLC miss ratio (when both traces carry one). Everything
+/// else (hardware counts, run counters) is informational.
+pub fn diff_traces(old: &RunTrace, new: &RunTrace, opts: &DiffOptions) -> TraceDiff {
+    let mut diff = TraceDiff::default();
+
+    let time_regressed = |old_v: f64, new_v: f64| {
+        old_v.max(new_v) >= opts.min_seconds
+            && old_v > 0.0
+            && new_v > old_v * (1.0 + opts.threshold_pct / 100.0)
+    };
+    let ratio_regressed =
+        |old_v: f64, new_v: f64| old_v > 0.0 && new_v > old_v * (1.0 + opts.threshold_pct / 100.0);
+
+    let ob = &old.breakdown;
+    let nb = &new.breakdown;
+    for (name, old_v, new_v) in [
+        ("load", ob.load, nb.load),
+        ("preprocess", ob.preprocess, nb.preprocess),
+        ("partition", ob.partition, nb.partition),
+        ("algorithm", ob.algorithm, nb.algorithm),
+        ("store", ob.store, nb.store),
+        ("total", ob.total(), nb.total()),
+    ] {
+        push_row(
+            &mut diff,
+            format!("breakdown.{name}"),
+            old_v,
+            new_v,
+            true,
+            time_regressed(old_v, new_v),
+            "s",
+        );
+    }
+
+    // Schema-v2 phases, matched by name; a phase present on only one
+    // side is reported but cannot gate (there is nothing to compare).
+    for new_phase in &new.phases {
+        let Some(old_phase) = old.phases.iter().find(|p| p.name == new_phase.name) else {
+            diff.rows.push(DiffRow {
+                metric: format!("phase.{}.seconds", new_phase.name),
+                old: 0.0,
+                new: new_phase.seconds,
+                gating: false,
+                regressed: false,
+            });
+            continue;
+        };
+        push_row(
+            &mut diff,
+            format!("phase.{}.seconds", new_phase.name),
+            old_phase.seconds,
+            new_phase.seconds,
+            true,
+            time_regressed(old_phase.seconds, new_phase.seconds),
+            "s",
+        );
+        if let (Some(old_r), Some(new_r)) = (
+            old_phase.hardware_llc_miss_ratio(),
+            new_phase.hardware_llc_miss_ratio(),
+        ) {
+            push_row(
+                &mut diff,
+                format!("phase.{}.llc_miss_ratio(hw)", new_phase.name),
+                old_r,
+                new_r,
+                true,
+                ratio_regressed(old_r, new_r),
+                "",
+            );
+        }
+        if let (Some(old_sim), Some(new_sim)) = (&old_phase.simulated, &new_phase.simulated) {
+            let (old_r, new_r) = (old_sim.miss_ratio(), new_sim.miss_ratio());
+            push_row(
+                &mut diff,
+                format!("phase.{}.llc_miss_ratio(sim)", new_phase.name),
+                old_r,
+                new_r,
+                true,
+                ratio_regressed(old_r, new_r),
+                "",
+            );
+        }
+        // Raw counter deltas: context only.
+        for kind in CounterKind::ALL {
+            let key = kind.name();
+            if let (Some(old_v), Some(new_v)) =
+                (old_phase.hardware.get(key), new_phase.hardware.get(key))
+            {
+                diff.rows.push(DiffRow {
+                    metric: format!("phase.{}.{key}", new_phase.name),
+                    old: *old_v,
+                    new: *new_v,
+                    gating: false,
+                    regressed: false,
+                });
+            }
+        }
+    }
+
+    // Run counters shared by both traces: context only.
+    for (key, new_v) in &new.counters {
+        if let Some(old_v) = old.counters.get(key) {
+            diff.rows.push(DiffRow {
+                metric: format!("counter.{key}"),
+                old: *old_v,
+                new: *new_v,
+                gating: false,
+                regressed: false,
+            });
+        }
+    }
+
+    diff
+}
+
+fn push_row(
+    diff: &mut TraceDiff,
+    metric: String,
+    old: f64,
+    new: f64,
+    gating: bool,
+    regressed: bool,
+    unit: &str,
+) {
+    if regressed {
+        let pct = if old > 0.0 {
+            (new - old) / old * 100.0
+        } else {
+            f64::INFINITY
+        };
+        diff.regressions.push(format!(
+            "{metric}: {old:.6}{unit} -> {new:.6}{unit} (+{pct:.1}%)"
+        ));
+    }
+    diff.rows.push(DiffRow {
+        metric,
+        old,
+        new,
+        gating,
+        regressed,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{CacheStats, PhaseProfile};
+
+    fn trace_with(algorithm_secs: f64, miss_ratio_pct: u64) -> RunTrace {
+        let mut t = RunTrace::new("bfs");
+        t.breakdown.load = 0.5;
+        t.breakdown.algorithm = algorithm_secs;
+        let mut phase = PhaseProfile {
+            name: "algorithm".into(),
+            seconds: algorithm_secs,
+            ..PhaseProfile::default()
+        };
+        phase.hardware.insert("llc_loads".into(), 100.0);
+        phase
+            .hardware
+            .insert("llc_load_misses".into(), miss_ratio_pct as f64);
+        phase.simulated = Some(CacheStats {
+            accesses: 100,
+            misses: miss_ratio_pct,
+        });
+        t.phases.push(phase);
+        t.counters.insert("pool.steals".into(), 3.0);
+        t
+    }
+
+    #[test]
+    fn identical_traces_do_not_regress() {
+        let t = trace_with(1.0, 20);
+        let diff = diff_traces(&t, &t, &DiffOptions::default());
+        assert!(!diff.has_regressions());
+        assert!(diff.rows.iter().all(|r| !r.regressed));
+        assert!(diff.rows.iter().any(|r| r.metric == "breakdown.total"));
+        assert!(diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "phase.algorithm.llc_miss_ratio(hw)"));
+        assert!(diff.rows.iter().any(|r| r.metric == "counter.pool.steals"));
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_regresses() {
+        let old = trace_with(1.0, 20);
+        let new = trace_with(1.5, 20);
+        let diff = diff_traces(&old, &new, &DiffOptions::default());
+        assert!(diff.has_regressions());
+        let metrics: Vec<&str> = diff
+            .rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.metric.as_str())
+            .collect();
+        assert!(metrics.contains(&"breakdown.algorithm"));
+        assert!(metrics.contains(&"phase.algorithm.seconds"));
+        // The untouched load phase must not be dragged in.
+        assert!(!metrics.contains(&"breakdown.load"));
+    }
+
+    #[test]
+    fn slowdown_within_threshold_passes() {
+        let old = trace_with(1.0, 20);
+        let new = trace_with(1.05, 20);
+        assert!(!diff_traces(&old, &new, &DiffOptions::default()).has_regressions());
+        // ...but a tighter threshold flags it.
+        let tight = DiffOptions {
+            threshold_pct: 2.0,
+            ..DiffOptions::default()
+        };
+        assert!(diff_traces(&old, &new, &tight).has_regressions());
+    }
+
+    #[test]
+    fn sub_noise_phases_never_gate() {
+        let old = trace_with(0.0001, 20);
+        let new = trace_with(0.0005, 20); // 5x, but both under min_seconds
+        assert!(!diff_traces(&old, &new, &DiffOptions::default()).has_regressions());
+    }
+
+    #[test]
+    fn miss_ratio_increase_regresses() {
+        let old = trace_with(1.0, 20);
+        let new = trace_with(1.0, 40);
+        let diff = diff_traces(&old, &new, &DiffOptions::default());
+        let metrics: Vec<&str> = diff
+            .rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.metric.as_str())
+            .collect();
+        assert!(metrics.contains(&"phase.algorithm.llc_miss_ratio(hw)"));
+        assert!(metrics.contains(&"phase.algorithm.llc_miss_ratio(sim)"));
+    }
+
+    #[test]
+    fn raw_counts_are_informational_only() {
+        let old = trace_with(1.0, 20);
+        let mut new = trace_with(1.0, 20);
+        // Doubling cycle counts alone (e.g. a bigger input) must not gate.
+        new.phases[0].hardware.insert("cycles".into(), 2.0e9);
+        let mut old2 = old.clone();
+        old2.phases[0].hardware.insert("cycles".into(), 1.0e9);
+        let diff = diff_traces(&old2, &new, &DiffOptions::default());
+        assert!(!diff.has_regressions());
+        assert!(diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "phase.algorithm.cycles" && !r.gating));
+    }
+
+    #[test]
+    fn delta_pct_handles_zero_baseline() {
+        let row = DiffRow {
+            metric: "x".into(),
+            old: 0.0,
+            new: 1.0,
+            gating: false,
+            regressed: false,
+        };
+        assert!(row.delta_pct().is_infinite());
+        let zero = DiffRow { new: 0.0, ..row };
+        assert_eq!(zero.delta_pct(), 0.0);
+    }
+}

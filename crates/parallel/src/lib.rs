@@ -48,6 +48,7 @@ pub mod pool;
 pub mod scan;
 pub mod stealing;
 pub mod telemetry;
+pub mod timeline;
 pub mod worker_local;
 
 pub use dynamic::{dynamic_tasks, Spawner};

@@ -207,9 +207,11 @@ impl Drop for ThreadPool {
 }
 
 /// Runs one worker's share of a region, attributing its wall time to
-/// the telemetry busy counters when they are collecting.
+/// the telemetry busy counters and the timeline (when they are
+/// collecting — each costs one relaxed load otherwise).
 #[inline]
 fn run_timed(f: &(dyn Fn(WorkerId) + Sync), worker: WorkerId) {
+    let _span = crate::timeline::span(crate::timeline::SpanKind::Region, "region", "");
     if crate::telemetry::enabled() {
         let start = std::time::Instant::now();
         f(worker);

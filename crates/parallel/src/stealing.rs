@@ -95,7 +95,7 @@ where
             let victim = (rng_state >> 33) as usize % stealers.len();
             match stealers[victim].steal() {
                 Steal::Success(piece) => {
-                    crate::telemetry::on_steal();
+                    crate::telemetry::on_steal(me);
                     process_piece(piece, grain, &local, &f, &in_flight);
                 }
                 Steal::Retry => {}

@@ -21,8 +21,8 @@ const MAX_WORKERS: usize = 256;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static REGIONS: AtomicU64 = AtomicU64::new(0);
 static CHUNKS: AtomicU64 = AtomicU64::new(0);
-static STEALS: AtomicU64 = AtomicU64::new(0);
 static TASKS: AtomicU64 = AtomicU64::new(0);
+static STEALS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
 static BUSY_NANOS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
 
 /// Turns the pool counters on. Off by default.
@@ -45,8 +45,10 @@ pub fn enabled() -> bool {
 pub fn reset() {
     REGIONS.store(0, Ordering::Relaxed);
     CHUNKS.store(0, Ordering::Relaxed);
-    STEALS.store(0, Ordering::Relaxed);
     TASKS.store(0, Ordering::Relaxed);
+    for slot in &STEALS {
+        slot.store(0, Ordering::Relaxed);
+    }
     for slot in &BUSY_NANOS {
         slot.store(0, Ordering::Relaxed);
     }
@@ -66,10 +68,13 @@ pub(crate) fn on_chunk() {
     }
 }
 
+/// Credits one successful steal to the worker that performed it, so
+/// end-of-run reports can show *who* had to go stealing — an idle-time
+/// signal the aggregate count hides.
 #[inline]
-pub(crate) fn on_steal() {
-    if enabled() {
-        STEALS.fetch_add(1, Ordering::Relaxed);
+pub(crate) fn on_steal(worker: usize) {
+    if enabled() && worker < MAX_WORKERS {
+        STEALS[worker].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -95,10 +100,16 @@ pub struct PoolSnapshot {
     /// Chunks grabbed from shared-counter loops plus pieces processed
     /// by the stealing scheduler.
     pub chunks: u64,
-    /// Successful steals in the work-stealing scheduler.
+    /// Successful steals in the work-stealing scheduler, summed over
+    /// workers (see [`steals_per_worker`](Self::steals_per_worker) for
+    /// the split).
     pub steals: u64,
     /// Dynamic tasks executed.
     pub tasks: u64,
+    /// Successful steals per worker, indexed by `WorkerId`. A worker
+    /// with many steals ran out of local work early — the flip side of
+    /// a high [`load_imbalance`](Self::load_imbalance).
+    pub steals_per_worker: Vec<u64>,
     /// Busy seconds per worker, indexed by `WorkerId`; only workers
     /// that ran at least one region appear as non-zero.
     pub busy_seconds: Vec<f64>,
@@ -141,11 +152,16 @@ impl PoolSnapshot {
 /// intended use: snapshot after the instrumented run finishes).
 pub fn snapshot() -> PoolSnapshot {
     let workers = crate::current_num_threads().min(MAX_WORKERS);
+    let steals_per_worker: Vec<u64> = STEALS[..workers]
+        .iter()
+        .map(|n| n.load(Ordering::Relaxed))
+        .collect();
     PoolSnapshot {
         regions: REGIONS.load(Ordering::Relaxed),
         chunks: CHUNKS.load(Ordering::Relaxed),
-        steals: STEALS.load(Ordering::Relaxed),
+        steals: steals_per_worker.iter().sum(),
         tasks: TASKS.load(Ordering::Relaxed),
+        steals_per_worker,
         busy_seconds: BUSY_NANOS[..workers]
             .iter()
             .map(|n| n.load(Ordering::Relaxed) as f64 * 1e-9)
@@ -176,6 +192,7 @@ mod tests {
             chunks: 4,
             steals: 0,
             tasks: 0,
+            steals_per_worker: vec![0, 0, 0, 0],
             busy_seconds: vec![2.0, 2.0, 2.0, 2.0],
         };
         assert!((snap.load_imbalance() - 1.0).abs() < 1e-12);
@@ -189,6 +206,7 @@ mod tests {
             chunks: 4,
             steals: 0,
             tasks: 0,
+            steals_per_worker: vec![0, 0, 0, 0],
             busy_seconds: vec![3.0, 1.0, 0.0, 0.0],
         };
         // max 3, mean over active workers (3+1)/2 = 2 -> 1.5.
@@ -202,6 +220,7 @@ mod tests {
             chunks: 0,
             steals: 0,
             tasks: 0,
+            steals_per_worker: vec![],
             busy_seconds: vec![],
         };
         assert!((snap.load_imbalance() - 1.0).abs() < 1e-12);
