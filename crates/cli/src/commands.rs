@@ -33,6 +33,7 @@ USAGE:
   egraph partition <FILE> [--nodes N]
   egraph convert <IN> <OUT> [--from snap|dimacs|bin] [--to snap|bin] [--weighted true]
   egraph trace diff <OLD> <NEW> [--threshold PCT] [--min-seconds S]
+  egraph conformance [--threads LIST] [--seed N] [--full true]
 
 GENERATE OPTIONS:
   --scale N        log2 of the vertex count (default 16)
@@ -64,7 +65,13 @@ TRACE DIFF OPTIONS:
   --threshold PCT   relative slowdown that counts as a regression
                     (default 10); exits non-zero when exceeded
   --min-seconds S   ignore time metrics where both runs stayed under
-                    S seconds (default 0.001)";
+                    S seconds (default 0.001)
+
+CONFORMANCE OPTIONS:
+  --threads LIST   comma-separated thread counts (default 1,4,8)
+  --seed N         corpus seed (default EGRAPH_TEST_SEED or built-in)
+  --full true      exhaustive tier: larger corpus, thread count 2,
+                   paper iteration counts (the nightly-CI matrix)";
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -95,6 +102,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "partition" => cmd_partition(&args),
         "convert" => cmd_convert(&args),
         "trace" => cmd_trace(&args),
+        "conformance" => cmd_conformance(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -856,7 +864,9 @@ fn cmd_trace_diff(args: &Args) -> CliResult {
     );
     for row in &diff.rows {
         let delta = row.delta_pct();
-        let delta_str = if delta.is_infinite() {
+        let delta_str = if delta.is_nan() {
+            "n/a".to_string()
+        } else if delta.is_infinite() {
             "new".to_string()
         } else {
             format!("{delta:+.1}%")
@@ -891,6 +901,59 @@ fn cmd_trace_diff(args: &Args) -> CliResult {
         opts.threshold_pct
     );
     Ok(())
+}
+
+/// Runs the differential conformance matrix as a gate: every technique
+/// combination over the shared corpus, against the serial reference and
+/// the single-thread baseline. Non-zero exit on any mismatch.
+fn cmd_conformance(args: &Args) -> CliResult {
+    let seed = args.get_parsed_or("seed", egraph_testkit::test_seed(), "integer")?;
+    let full = args
+        .get_or("full", "false")
+        .parse::<bool>()
+        .unwrap_or(false);
+    let mut cfg = if full {
+        egraph_testkit::MatrixConfig::exhaustive(seed)
+    } else {
+        egraph_testkit::MatrixConfig::quick(seed)
+    };
+    if let Some(list) = args.get("threads") {
+        let parsed: Result<Vec<usize>, _> =
+            list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+        cfg.thread_counts =
+            parsed.map_err(|_| format!("invalid --threads '{list}': expected e.g. 1,4,8"))?;
+        if cfg.thread_counts.contains(&0) {
+            return Err("--threads entries must be positive".into());
+        }
+    }
+    args.reject_unknown()?;
+
+    let graphs = if full {
+        egraph_testkit::exhaustive_corpus(seed)
+    } else {
+        egraph_testkit::quick_corpus(seed)
+    };
+    let start = Instant::now();
+    let report = egraph_testkit::run_matrix(&graphs, &cfg);
+    println!(
+        "conformance: {} combinations over {} graphs at threads {:?} in {:.2}s (seed {seed:#x})",
+        report.combos_run,
+        graphs.len(),
+        cfg.thread_counts,
+        start.elapsed().as_secs_f64(),
+    );
+    if report.mismatches.is_empty() {
+        println!("all combinations conformant");
+        return Ok(());
+    }
+    for m in &report.mismatches {
+        println!("MISMATCH  {m}");
+    }
+    Err(Box::new(GateFailure(format!(
+        "{} of {} combinations mismatched (reproduce with EGRAPH_TEST_SEED={seed:#x})",
+        report.mismatches.len(),
+        report.combos_run
+    ))))
 }
 
 fn default_side(num_vertices: usize) -> usize {

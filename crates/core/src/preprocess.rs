@@ -5,7 +5,9 @@
 use std::time::Instant;
 
 use egraph_parallel::ops::parallel_init;
-use egraph_parallel::{current_worker_index, global_pool, parallel_for, DEFAULT_GRAIN};
+use egraph_parallel::{
+    broadcast_current, current_num_threads, current_worker_index, parallel_for, DEFAULT_GRAIN,
+};
 
 use crate::layout::{Adjacency, AdjacencyList, EdgeDirection, Grid};
 use crate::types::{EdgeList, EdgeRecord};
@@ -211,7 +213,7 @@ fn dynamic_group<E: EdgeRecord>(
     if nv == 0 {
         return Vec::new();
     }
-    let workers = global_pool().num_threads();
+    let workers = current_num_threads();
     if edges.len() < DYNAMIC_SERIAL_CUTOFF || workers == 1 || current_worker_index().is_some() {
         let mut lists: Vec<Vec<E>> = (0..nv).map(|_| Vec::new()).collect();
         for e in edges {
@@ -231,7 +233,7 @@ fn dynamic_group<E: EdgeRecord>(
         .collect();
     {
         let rows = SendPtr(sharded.as_mut_ptr());
-        global_pool().broadcast(&|worker| {
+        broadcast_current(&|worker| {
             let w = worker.index();
             let start = (w * block).min(edges.len());
             let end = ((w + 1) * block).min(edges.len());
@@ -280,7 +282,7 @@ fn dynamic_cells<E: EdgeRecord>(
     cell_of: impl Fn(&E) -> usize + Sync,
     map_edge: impl Fn(&E) -> E + Sync,
 ) -> (Vec<u64>, Vec<E>) {
-    let workers = global_pool().num_threads();
+    let workers = current_num_threads();
     if edges.len() < DYNAMIC_SERIAL_CUTOFF || workers == 1 || current_worker_index().is_some() {
         let mut cells: Vec<Vec<E>> = (0..num_cells).map(|_| Vec::new()).collect();
         for e in edges {
@@ -303,7 +305,7 @@ fn dynamic_cells<E: EdgeRecord>(
         .collect();
     {
         let rows_ptr = SendPtr(rows.as_mut_ptr());
-        global_pool().broadcast(&|worker| {
+        broadcast_current(&|worker| {
             let w = worker.index();
             let start = (w * block).min(edges.len());
             let end = ((w + 1) * block).min(edges.len());

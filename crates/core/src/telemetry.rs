@@ -278,7 +278,10 @@ impl PhaseProfile {
     pub fn hardware_llc_miss_ratio(&self) -> Option<f64> {
         let loads = *self.hardware.get(CounterKind::LlcLoads.name())?;
         let misses = *self.hardware.get(CounterKind::LlcLoadMisses.name())?;
-        if loads > 0.0 {
+        // Zero or non-finite counters (a host that exposed the event
+        // name but delivered nothing, or a corrupt trace) would make
+        // the division meaningless — report "no ratio" instead of NaN.
+        if loads > 0.0 && loads.is_finite() && misses.is_finite() {
             Some(misses / loads)
         } else {
             None

@@ -37,8 +37,14 @@ pub struct DiffRow {
 
 impl DiffRow {
     /// Relative change in percent (positive = the new run is bigger).
-    /// Infinite when the baseline was zero and the candidate is not.
+    /// Infinite when the baseline was zero and the candidate is not;
+    /// NaN when either side is not a finite number (a corrupt or
+    /// partial trace), so callers can render "n/a" instead of
+    /// propagating garbage arithmetic.
     pub fn delta_pct(&self) -> f64 {
+        if !self.old.is_finite() || !self.new.is_finite() {
+            return f64::NAN;
+        }
         if self.old == 0.0 {
             if self.new == 0.0 {
                 0.0
@@ -96,13 +102,33 @@ impl Default for DiffOptions {
 pub fn diff_traces(old: &RunTrace, new: &RunTrace, opts: &DiffOptions) -> TraceDiff {
     let mut diff = TraceDiff::default();
 
+    // Both closures are total over f64: non-finite inputs (corrupt or
+    // partial traces) never gate, and a metric appearing from a zero
+    // baseline — where the relative rule would divide by zero — gates
+    // explicitly instead of slipping through.
     let time_regressed = |old_v: f64, new_v: f64| {
-        old_v.max(new_v) >= opts.min_seconds
-            && old_v > 0.0
-            && new_v > old_v * (1.0 + opts.threshold_pct / 100.0)
+        if !old_v.is_finite() || !new_v.is_finite() {
+            return false;
+        }
+        if old_v.max(new_v) < opts.min_seconds {
+            return false;
+        }
+        if old_v <= 0.0 {
+            // A phase that was absent (zero seconds) in the baseline
+            // and now costs real time is an infinite relative slowdown.
+            return new_v >= opts.min_seconds;
+        }
+        new_v > old_v * (1.0 + opts.threshold_pct / 100.0)
     };
-    let ratio_regressed =
-        |old_v: f64, new_v: f64| old_v > 0.0 && new_v > old_v * (1.0 + opts.threshold_pct / 100.0);
+    let ratio_regressed = |old_v: f64, new_v: f64| {
+        if !old_v.is_finite() || !new_v.is_finite() {
+            return false;
+        }
+        if old_v <= 0.0 {
+            return new_v > 0.0;
+        }
+        new_v > old_v * (1.0 + opts.threshold_pct / 100.0)
+    };
 
     let ob = &old.breakdown;
     let nb = &new.breakdown;
@@ -221,8 +247,13 @@ fn push_row(
         } else {
             f64::INFINITY
         };
+        let pct_str = if pct.is_finite() {
+            format!("+{pct:.1}%")
+        } else {
+            "appeared from zero".to_string()
+        };
         diff.regressions.push(format!(
-            "{metric}: {old:.6}{unit} -> {new:.6}{unit} (+{pct:.1}%)"
+            "{metric}: {old:.6}{unit} -> {new:.6}{unit} ({pct_str})"
         ));
     }
     diff.rows.push(DiffRow {

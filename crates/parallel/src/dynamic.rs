@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::deque::{Injector, Steal};
 
-use crate::pool::global_pool;
+use crate::pool::broadcast_current;
 
 /// Handle through which a running task submits follow-up tasks.
 pub struct Spawner<'a, T> {
@@ -28,7 +28,8 @@ impl<T> Spawner<'_, T> {
 }
 
 /// Runs `initial` tasks — and every task they transitively spawn — to
-/// completion on the global pool.
+/// completion on the calling thread's active pool (the global pool
+/// unless overridden with [`crate::pool::with_pool`]).
 ///
 /// `f` is invoked once per task and may spawn additional tasks through
 /// the provided [`Spawner`]. The call returns once no task is left
@@ -65,7 +66,7 @@ where
     for task in initial {
         queue.push(task);
     }
-    global_pool().broadcast(&|_worker| {
+    broadcast_current(&|_worker| {
         let spawner = Spawner {
             queue: &queue,
             in_flight: &in_flight,

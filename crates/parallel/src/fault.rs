@@ -1,0 +1,219 @@
+//! Deterministic, seeded fault injection for the worker pool.
+//!
+//! The conformance harness (`egraph-testkit`) needs to prove that the
+//! runtime never hangs and never silently corrupts results when the
+//! schedule degenerates: workers that stall, workers that die, and
+//! steal-heavy schedules where every thief fights over one deque. This
+//! module provides a process-global [`FaultPlan`] that the pool and the
+//! stealing scheduler consult at region entry.
+//!
+//! The disabled-path cost is a single relaxed atomic load per region
+//! entry (the same pattern as [`crate::telemetry`]), so production runs
+//! pay nothing. All injected behavior is a pure function of
+//! `(seed, region ordinal, worker id)`, which makes every failure
+//! reproducible from the logged seed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// A deterministic schedule of pool-level faults.
+///
+/// Install with [`install`], remove with [`clear`] (use
+/// [`FaultGuard`] to make removal panic-safe — injected panics unwind
+/// through caller code by design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every injected decision.
+    pub seed: u64,
+    /// Sleep each worker for a deterministic 0–200µs at region entry,
+    /// derived from `(seed, region, worker)`. Stresses imbalance and
+    /// termination without changing results.
+    pub delay_workers: bool,
+    /// Panic inside this worker's region-entry hook.
+    pub panic_worker: Option<usize>,
+    /// First region ordinal (1-based, counted from [`install`]) at
+    /// which `panic_worker` fires. Lets a test run a few clean regions
+    /// before the fault lands.
+    pub panic_from_region: u64,
+    /// Seed all initial [`crate::stealing::stealing_for`] work into
+    /// worker 0's deque so every other worker is forced to steal.
+    pub steal_storm: bool,
+}
+
+impl FaultPlan {
+    /// A plan with no faults enabled, carrying `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            delay_workers: false,
+            panic_worker: None,
+            panic_from_region: 1,
+            steal_storm: false,
+        }
+    }
+
+    /// Enables deterministic per-worker delays.
+    pub fn delay_workers(mut self) -> Self {
+        self.delay_workers = true;
+        self
+    }
+
+    /// Panics `worker` in every region starting from `from_region`
+    /// (1-based ordinal counted from [`install`]).
+    pub fn panic_worker(mut self, worker: usize, from_region: u64) -> Self {
+        self.panic_worker = Some(worker);
+        self.panic_from_region = from_region.max(1);
+        self
+    }
+
+    /// Forces all initial stealing work onto worker 0's deque.
+    pub fn steal_storm(mut self) -> Self {
+        self.steal_storm = true;
+        self
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGIONS: AtomicU64 = AtomicU64::new(0);
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Installs `plan` process-wide and resets the region ordinal counter.
+///
+/// Fault injection is global state: tests that install plans must not
+/// run concurrently with each other (serialize them with a mutex or a
+/// single `#[test]`).
+pub fn install(plan: FaultPlan) {
+    let mut guard = PLAN.lock();
+    REGIONS.store(0, Ordering::SeqCst);
+    *guard = Some(plan);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Removes any installed plan; subsequent regions run fault-free.
+pub fn clear() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *PLAN.lock() = None;
+}
+
+/// Whether a fault plan is currently installed.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears the installed plan on drop, even when an injected panic
+/// unwinds through the test body.
+#[derive(Debug)]
+pub struct FaultGuard(());
+
+impl FaultGuard {
+    /// Installs `plan` and returns a guard that clears it on drop.
+    #[must_use]
+    pub fn install(plan: FaultPlan) -> Self {
+        install(plan);
+        Self(())
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Called by `broadcast` once per top-level region.
+#[inline]
+pub(crate) fn on_region() {
+    if !enabled() {
+        return;
+    }
+    REGIONS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Called once per worker at region entry; applies delays and panics.
+#[inline]
+pub(crate) fn on_worker_run(worker: usize) {
+    if !enabled() {
+        return;
+    }
+    on_worker_run_slow(worker);
+}
+
+#[cold]
+fn on_worker_run_slow(worker: usize) {
+    let plan = match *PLAN.lock() {
+        Some(plan) => plan,
+        None => return,
+    };
+    let region = REGIONS.load(Ordering::SeqCst);
+    if let Some(target) = plan.panic_worker {
+        if worker == target && region >= plan.panic_from_region {
+            panic!(
+                "injected fault (seed {}): worker {worker} panicked in region {region}",
+                plan.seed
+            );
+        }
+    }
+    if plan.delay_workers {
+        let micros =
+            mix(plan.seed ^ region.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ worker as u64) % 200;
+        if micros > 0 {
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+    }
+}
+
+/// Whether the stealing scheduler should skew all initial work onto
+/// one deque.
+#[inline]
+pub(crate) fn steal_storm() -> bool {
+    if !enabled() {
+        return false;
+    }
+    matches!(
+        *PLAN.lock(),
+        Some(FaultPlan {
+            steal_storm: true,
+            ..
+        })
+    )
+}
+
+/// SplitMix64 finalizer — decorrelates the (seed, region, worker) mix.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_mixes() {
+        assert_eq!(mix(42), mix(42));
+        assert_ne!(mix(1), mix(2));
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let plan = FaultPlan::new(7)
+            .delay_workers()
+            .panic_worker(3, 2)
+            .steal_storm();
+        assert_eq!(plan.seed, 7);
+        assert!(plan.delay_workers);
+        assert_eq!(plan.panic_worker, Some(3));
+        assert_eq!(plan.panic_from_region, 2);
+        assert!(plan.steal_storm);
+    }
+
+    #[test]
+    fn panic_from_region_is_at_least_one() {
+        let plan = FaultPlan::new(0).panic_worker(0, 0);
+        assert_eq!(plan.panic_from_region, 1);
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod atomicf;
 pub mod dynamic;
+pub mod fault;
 pub mod ops;
 pub mod pool;
 pub mod scan;
@@ -55,15 +56,11 @@ pub use dynamic::{dynamic_tasks, Spawner};
 pub use ops::{
     for_each_chunk, for_each_chunk_mut, parallel_for, parallel_init, parallel_reduce, DEFAULT_GRAIN,
 };
-pub use pool::{current_worker_index, global_pool, ThreadPool, WorkerId};
+pub use pool::{
+    broadcast_current, current_num_threads, current_worker_index, global_pool, with_pool,
+    ThreadPool, WorkerId,
+};
 pub use scan::{exclusive_prefix_sum, inclusive_prefix_sum};
 pub use worker_local::{
     parallel_collect, parallel_collect_ordered, OrderedBuf, WorkerGuard, WorkerLocal,
 };
-
-/// Returns the number of threads the global pool runs with.
-///
-/// This includes the calling thread, so it is always at least 1.
-pub fn current_num_threads() -> usize {
-    global_pool().num_threads()
-}

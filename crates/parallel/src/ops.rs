@@ -9,7 +9,7 @@ use std::mem::MaybeUninit;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::pool::global_pool;
+use crate::pool::{broadcast_current, current_num_threads};
 
 /// Default chunk size for the self-scheduling loops.
 ///
@@ -49,7 +49,7 @@ where
     let base = range.start;
     let end = range.end;
     let cursor = AtomicUsize::new(base);
-    global_pool().broadcast(&|_worker| loop {
+    broadcast_current(&|_worker| loop {
         let start = cursor.fetch_add(grain, Ordering::Relaxed);
         if start >= end {
             break;
@@ -103,10 +103,10 @@ where
     let cursor = AtomicUsize::new(range.start);
     // Fixed per-worker result slots: each worker writes only its own
     // index, so the partial collection needs no lock.
-    let mut partials: Vec<Option<A>> = (0..global_pool().num_threads()).map(|_| None).collect();
+    let mut partials: Vec<Option<A>> = (0..current_num_threads()).map(|_| None).collect();
     {
         let slots = SendPtr(partials.as_mut_ptr());
-        global_pool().broadcast(&|worker| {
+        broadcast_current(&|worker| {
             let mut acc = identity();
             let mut did_work = false;
             loop {

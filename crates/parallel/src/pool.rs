@@ -13,11 +13,15 @@
 //! a shared work queue among threads.
 
 use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
+
+/// A panic payload carried from a worker back to the caller.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
 /// Identifier of the worker executing a region closure.
 ///
@@ -56,6 +60,9 @@ struct RegionSlot {
     job: Option<JobPtr>,
     /// Background workers that have not yet finished the current region.
     remaining: usize,
+    /// First panic payload captured in the current region, if any.
+    /// Re-thrown on the calling thread once the region has drained.
+    panic: Option<PanicPayload>,
 }
 
 struct Shared {
@@ -73,6 +80,107 @@ thread_local! {
     /// any. Used both to hand out ids and to detect nested regions,
     /// which run inline (Cilk-style serialization of nested spawns).
     static CURRENT_WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Pool override installed by [`with_pool`] on this thread, if any.
+    /// Raw pointer because the override is strictly scoped: `with_pool`
+    /// borrows the pool for the closure's duration and restores the
+    /// previous value (panic-safe) before returning.
+    static SCOPED_POOL: Cell<Option<*const ThreadPool>> = const { Cell::new(None) };
+    /// Thread count of the region currently executing on this thread
+    /// (0 outside any region). Nested operations on worker threads size
+    /// their per-worker scratch from this, so they match the pool that
+    /// is actually broadcasting rather than the global one.
+    static REGION_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Restores the worker-identity thread-locals even if the region
+/// closure unwinds.
+struct WorkerScope {
+    prev_worker: Option<usize>,
+    prev_threads: usize,
+}
+
+impl WorkerScope {
+    fn enter(index: usize, region_threads: usize) -> Self {
+        let prev_worker = CURRENT_WORKER.with(|c| c.replace(Some(index)));
+        let prev_threads = REGION_THREADS.with(|c| c.replace(region_threads));
+        Self {
+            prev_worker,
+            prev_threads,
+        }
+    }
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        CURRENT_WORKER.with(|c| c.set(self.prev_worker));
+        REGION_THREADS.with(|c| c.set(self.prev_threads));
+    }
+}
+
+/// Runs `f` with `pool` installed as the calling thread's active pool:
+/// for the duration of the closure, [`current_num_threads`] and every
+/// parallel operation in this crate (and operations built on it in
+/// `egraph-core` / `egraph-sort`) broadcast on `pool` instead of the
+/// process-wide [`global_pool`].
+///
+/// Overrides nest: the previous override (if any) is restored when `f`
+/// returns or unwinds. The override is per-thread and does not
+/// propagate to threads spawned inside `f`.
+///
+/// This is what lets a single test process exercise the same algorithm
+/// at thread counts {1, 2, 4, 8} deterministically, without mutating
+/// `EGRAPH_THREADS` or the global pool.
+pub fn with_pool<R>(pool: &ThreadPool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<*const ThreadPool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPED_POOL.with(|c| c.set(self.0));
+        }
+    }
+    let prev = SCOPED_POOL.with(|c| c.replace(Some(pool as *const ThreadPool)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The number of workers parallel operations started from this thread
+/// will run on: the active region's width when called from inside a
+/// region, otherwise the scoped pool installed by [`with_pool`],
+/// otherwise the [`global_pool`].
+///
+/// Per-worker scratch (reduction slots, histograms, worker-local
+/// buffers) must be sized from this, never from `global_pool()`
+/// directly, so that scoped pools of any width stay in bounds.
+#[inline]
+pub fn current_num_threads() -> usize {
+    let region = REGION_THREADS.with(Cell::get);
+    if region > 0 {
+        return region;
+    }
+    if let Some(ptr) = SCOPED_POOL.with(Cell::get) {
+        // SAFETY: `with_pool` keeps the pool borrowed while the
+        // override is installed and uninstalls it before returning.
+        return unsafe { (*ptr).num_threads() };
+    }
+    global_pool().num_threads()
+}
+
+/// Runs `f` once per worker on the calling thread's active pool (see
+/// [`current_num_threads`] for the resolution order). Inside a region
+/// this serializes onto the current worker exactly like a nested
+/// [`ThreadPool::broadcast`].
+pub fn broadcast_current(f: &(dyn Fn(WorkerId) + Sync)) {
+    if let Some(current) = CURRENT_WORKER.with(Cell::get) {
+        // Nested region: serialize inline without touching any pool
+        // (the global pool may not even exist yet on worker threads).
+        f(WorkerId(current));
+        return;
+    }
+    if let Some(ptr) = SCOPED_POOL.with(Cell::get) {
+        // SAFETY: see `current_num_threads`.
+        unsafe { (*ptr).broadcast(f) };
+        return;
+    }
+    global_pool().broadcast(f);
 }
 
 /// A fixed-size fork-join worker pool.
@@ -107,6 +215,7 @@ impl ThreadPool {
                 epoch: 0,
                 job: None,
                 remaining: 0,
+                panic: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -143,6 +252,14 @@ impl ThreadPool {
     /// Nested calls from inside a region run `f` inline on the current
     /// worker instead of deadlocking, so parallel operations compose
     /// (they merely lose parallelism when nested).
+    ///
+    /// # Panics
+    ///
+    /// If any worker's invocation of `f` panics, the region still
+    /// drains cleanly (every worker finishes or unwinds, the pool stays
+    /// usable) and the first captured payload is re-thrown on the
+    /// calling thread — a worker panic can never hang the pool or be
+    /// silently swallowed.
     pub fn broadcast(&self, f: &(dyn Fn(WorkerId) + Sync)) {
         if let Some(current) = CURRENT_WORKER.with(Cell::get) {
             // Nested region: serialize on the current worker. Nested
@@ -152,10 +269,10 @@ impl ThreadPool {
             return;
         }
         crate::telemetry::on_region();
+        crate::fault::on_region();
         if self.shared.num_threads == 1 {
-            CURRENT_WORKER.with(|c| c.set(Some(0)));
+            let _scope = WorkerScope::enter(0, 1);
             run_timed(f, WorkerId(0));
-            CURRENT_WORKER.with(|c| c.set(None));
             return;
         }
 
@@ -177,19 +294,32 @@ impl ThreadPool {
             slot.epoch += 1;
             slot.job = Some(job);
             slot.remaining = self.shared.num_threads - 1;
+            slot.panic = None;
             self.shared.work_cv.notify_all();
         }
 
-        // The caller participates as worker 0.
-        CURRENT_WORKER.with(|c| c.set(Some(0)));
-        run_timed(f, WorkerId(0));
-        CURRENT_WORKER.with(|c| c.set(None));
+        // The caller participates as worker 0. Catch its unwind so the
+        // job pointer stays published until every background worker has
+        // finished with it, then re-throw.
+        let caller_result = {
+            let _scope = WorkerScope::enter(0, self.shared.num_threads);
+            std::panic::catch_unwind(AssertUnwindSafe(|| run_timed(f, WorkerId(0))))
+        };
 
-        let mut slot = self.shared.slot.lock();
-        while slot.remaining > 0 {
-            self.shared.done_cv.wait(&mut slot);
+        let panic = {
+            let mut slot = self.shared.slot.lock();
+            while slot.remaining > 0 {
+                self.shared.done_cv.wait(&mut slot);
+            }
+            slot.job = None;
+            slot.panic.take()
+        };
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
         }
-        slot.job = None;
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -212,6 +342,7 @@ impl Drop for ThreadPool {
 #[inline]
 fn run_timed(f: &(dyn Fn(WorkerId) + Sync), worker: WorkerId) {
     let _span = crate::timeline::span(crate::timeline::SpanKind::Region, "region", "");
+    crate::fault::on_worker_run(worker.index());
     if crate::telemetry::enabled() {
         let start = std::time::Instant::now();
         f(worker);
@@ -240,13 +371,24 @@ fn worker_loop(shared: &Shared, index: usize) {
             }
         };
 
-        CURRENT_WORKER.with(|c| c.set(Some(index)));
-        // SAFETY: `broadcast` keeps the pointee alive until `remaining`
-        // drops to zero, which happens strictly after this call returns.
-        run_timed(unsafe { &*job.0 }, WorkerId(index));
-        CURRENT_WORKER.with(|c| c.set(None));
+        let result = {
+            let _scope = WorkerScope::enter(index, shared.num_threads);
+            // SAFETY: `broadcast` keeps the pointee alive until
+            // `remaining` drops to zero, which happens strictly after
+            // this call returns (or unwinds into the catch below).
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_timed(unsafe { &*job.0 }, WorkerId(index))
+            }))
+        };
 
+        // Decrement unconditionally: a panicking worker must still
+        // retire from the region or `broadcast` would wait forever.
         let mut slot = shared.slot.lock();
+        if let Err(payload) = result {
+            if slot.panic.is_none() {
+                slot.panic = Some(payload);
+            }
+        }
         slot.remaining -= 1;
         if slot.remaining == 0 {
             shared.done_cv.notify_all();
@@ -341,6 +483,101 @@ mod tests {
     fn clamps_thread_count() {
         assert_eq!(ThreadPool::new(0).num_threads(), 1);
         assert_eq!(ThreadPool::new(1_000_000).num_threads(), 256);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w.index() == 2 {
+                    panic!("injected worker panic");
+                }
+            });
+        }));
+        let payload = result.expect_err("worker panic must propagate to the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(message.contains("injected worker panic"), "{message}");
+        // The region drained cleanly: the pool still runs full regions.
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn caller_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w.index() == 0 {
+                    panic!("caller-side panic");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert!(current_worker_index().is_none(), "worker scope must reset");
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn single_thread_panic_restores_worker_scope() {
+        let pool = ThreadPool::new(1);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|_| panic!("inline panic"));
+        }));
+        assert!(result.is_err());
+        assert!(current_worker_index().is_none());
+        assert_eq!(REGION_THREADS.with(Cell::get), 0);
+    }
+
+    #[test]
+    fn with_pool_overrides_current_pool() {
+        let wide = ThreadPool::new(8);
+        let narrow = ThreadPool::new(2);
+        with_pool(&wide, || {
+            assert_eq!(current_num_threads(), 8);
+            let seen = AtomicUsize::new(0);
+            broadcast_current(&|_| {
+                seen.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(seen.load(Ordering::SeqCst), 8);
+            with_pool(&narrow, || {
+                assert_eq!(current_num_threads(), 2);
+            });
+            // Inner override is restored on exit.
+            assert_eq!(current_num_threads(), 8);
+        });
+    }
+
+    #[test]
+    fn region_threads_visible_to_nested_code() {
+        let pool = ThreadPool::new(4);
+        with_pool(&pool, || {
+            broadcast_current(&|_| {
+                // Nested per-worker sizing must see the broadcasting
+                // pool's width, not the global pool's.
+                assert_eq!(current_num_threads(), 4);
+            });
+        });
+    }
+
+    #[test]
+    fn with_pool_restores_override_on_panic() {
+        let pool = ThreadPool::new(3);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_pool(&pool, || panic!("escape"));
+        }));
+        assert!(result.is_err());
+        assert!(SCOPED_POOL.with(Cell::get).is_none());
     }
 
     #[test]

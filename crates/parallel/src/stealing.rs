@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::deque::{Steal, Stealer, Worker};
 
-use crate::pool::global_pool;
+use crate::pool::{broadcast_current, current_num_threads};
 
 /// Below this many items a range is executed rather than split.
 const SPLIT_THRESHOLD_FACTOR: usize = 4;
@@ -50,22 +50,24 @@ where
     if len == 0 {
         return;
     }
-    let pool = global_pool();
-    let workers = pool.num_threads();
+    let workers = current_num_threads();
     if workers == 1 || len <= grain * SPLIT_THRESHOLD_FACTOR {
         f(range);
         return;
     }
 
     // One deque per worker, seeded with an equal slice of the range.
+    // Under an injected steal storm every slice lands in worker 0's
+    // deque instead, forcing all other workers through the steal path.
+    let storm = crate::fault::steal_storm();
     let locals: Vec<Worker<Range<usize>>> = (0..workers).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<Range<usize>>> = locals.iter().map(Worker::stealer).collect();
     let per_worker = len.div_ceil(workers);
-    for (i, local) in locals.iter().enumerate() {
+    for i in 0..workers {
         let start = range.start + i * per_worker;
         let end = range.end.min(start + per_worker);
         if start < end {
-            local.push(start..end);
+            locals[if storm { 0 } else { i }].push(start..end);
         }
     }
     // Hand each worker its own deque through an indexed slot table.
@@ -75,7 +77,7 @@ where
         .collect();
     let in_flight = AtomicUsize::new(len);
 
-    pool.broadcast(&|worker_id| {
+    broadcast_current(&|worker_id| {
         let me = worker_id.index();
         let local = slots[me]
             .lock()

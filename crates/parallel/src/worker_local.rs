@@ -16,7 +16,7 @@ use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crate::pool::{current_worker_index, global_pool};
+use crate::pool::{broadcast_current, current_num_threads, current_worker_index};
 
 /// One per-worker slot, padded to its own cache line pair so that
 /// neighboring workers' buffer headers never false-share.
@@ -63,10 +63,11 @@ unsafe impl<T: Send> Sync for WorkerLocal<T> {}
 unsafe impl<T: Send> Send for WorkerLocal<T> {}
 
 impl<T> WorkerLocal<T> {
-    /// Creates one slot per global-pool worker, each initialized by
-    /// `init`.
+    /// Creates one slot per worker of the calling thread's active pool
+    /// (the global pool unless overridden by [`crate::pool::with_pool`]
+    /// or the enclosing region), each initialized by `init`.
     pub fn new(mut init: impl FnMut() -> T) -> Self {
-        Self::with_slots(global_pool().num_threads(), &mut init)
+        Self::with_slots(current_num_threads(), &mut init)
     }
 
     /// Creates `n` slots (clamped to at least 1).
@@ -217,7 +218,7 @@ pub fn parallel_collect<T: Send>(locals: WorkerLocal<Vec<T>>) -> Vec<T> {
         // Buffers are handed out by a shared cursor rather than by
         // worker id so a nested (inline-serialized) region still copies
         // every buffer.
-        global_pool().broadcast(&|_worker| loop {
+        broadcast_current(&|_worker| loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= parts.len() {
                 break;
@@ -377,7 +378,7 @@ pub fn parallel_collect_ordered<T: Send>(locals: WorkerLocal<OrderedBuf<T>>) -> 
         let parts = &parts;
         // Shared-cursor handout (not worker-id indexing) so a nested,
         // inline-serialized region still copies every part.
-        global_pool().broadcast(&|_worker| loop {
+        broadcast_current(&|_worker| loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= parts.len() {
                 break;

@@ -21,7 +21,9 @@
 
 use std::mem::MaybeUninit;
 
-use egraph_parallel::{current_worker_index, global_pool, parallel_for, DEFAULT_GRAIN};
+use egraph_parallel::{
+    broadcast_current, current_num_threads, current_worker_index, parallel_for, DEFAULT_GRAIN,
+};
 
 /// Below this many records the sort runs serially: one histogram, one
 /// stable scatter. The output is identical to the parallel path's.
@@ -49,12 +51,12 @@ where
     T: Sync,
     K: Fn(&T) -> u64 + Sync,
 {
-    let workers = global_pool().num_threads();
+    let workers = current_num_threads();
     let block = data.len().div_ceil(workers);
     let mut hist = vec![0u64; workers * num_keys];
     {
         let rows = RowsPtr(hist.as_mut_ptr());
-        global_pool().broadcast(&|worker| {
+        broadcast_current(&|worker| {
             let w = worker.index();
             let start = (w * block).min(data.len());
             let end = ((w + 1) * block).min(data.len());
@@ -84,9 +86,7 @@ where
     T: Sync,
     K: Fn(&T) -> u64 + Sync,
 {
-    if data.len() < SERIAL_CUTOFF
-        || global_pool().num_threads() == 1
-        || current_worker_index().is_some()
+    if data.len() < SERIAL_CUTOFF || current_num_threads() == 1 || current_worker_index().is_some()
     {
         let mut counts = vec![0u64; num_keys];
         for t in data {
@@ -136,7 +136,7 @@ where
     // Serial path: small inputs, single-thread pools, and nested
     // parallel regions (where `broadcast` would run inline on one
     // worker). Stability makes the output identical either way.
-    if n < SERIAL_CUTOFF || global_pool().num_threads() == 1 || current_worker_index().is_some() {
+    if n < SERIAL_CUTOFF || current_num_threads() == 1 || current_worker_index().is_some() {
         return count_sort_serial(data, num_keys, &key);
     }
 
@@ -189,7 +189,7 @@ where
     {
         let out = OutBuf(sorted.as_mut_ptr().cast::<T>());
         let rows = RowsPtr(hist.as_mut_ptr());
-        global_pool().broadcast(&|worker| {
+        broadcast_current(&|worker| {
             let w = worker.index();
             let start = (w * block).min(n);
             let end = ((w + 1) * block).min(n);

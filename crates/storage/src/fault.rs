@@ -1,0 +1,173 @@
+//! Deterministic I/O fault injection for the storage readers.
+//!
+//! Every reader in this crate is generic over [`std::io::Read`], so a
+//! [`FaultedReader`] can wrap any source and inject the failure modes
+//! real storage exhibits — short reads, files truncated mid-record, and
+//! hard I/O errors — without touching the filesystem. The conformance
+//! harness (`egraph-testkit`) uses this to prove that every fault
+//! surfaces as a typed error ([`crate::FormatError`] /
+//! [`crate::TextError`]) and never as a panic, a hang, or a silently
+//! corrupted graph.
+//!
+//! All behavior is a pure function of the plan (and its seed, for
+//! short reads), so failures reproduce exactly from logged seeds.
+
+use std::io::Read;
+
+/// What the wrapped reader does to the byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Serve every `read` call with a deterministic, pseudo-random
+    /// short length (at least 1 byte). The stream content is unchanged,
+    /// so a correct caller must produce identical results — this is the
+    /// "no silently wrong results" probe for loop-around-`read` code.
+    ShortReads {
+        /// Seed of the per-call length sequence.
+        seed: u64,
+    },
+    /// Deliver only the first `offset` bytes, then clean end-of-file —
+    /// a file truncated mid-stream.
+    TruncateAt {
+        /// Bytes delivered before the premature EOF.
+        offset: u64,
+    },
+    /// Deliver the first `offset` bytes, then fail every `read` with
+    /// [`std::io::ErrorKind::Other`] — a device error mid-stream.
+    ErrorAt {
+        /// Bytes delivered before the first error.
+        offset: u64,
+    },
+}
+
+/// A [`Read`] adapter that injects one [`IoFault`] into an inner
+/// reader.
+#[derive(Debug)]
+pub struct FaultedReader<R> {
+    inner: R,
+    fault: IoFault,
+    /// Bytes successfully delivered so far.
+    pos: u64,
+    /// SplitMix64 state for `ShortReads`.
+    rng: u64,
+}
+
+impl<R: Read> FaultedReader<R> {
+    /// Wraps `inner`, injecting `fault`.
+    pub fn new(inner: R, fault: IoFault) -> Self {
+        let rng = match fault {
+            IoFault::ShortReads { seed } => seed | 1,
+            _ => 0,
+        };
+        Self {
+            inner,
+            fault,
+            pos: 0,
+            rng,
+        }
+    }
+
+    /// Bytes delivered to the caller so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.pos
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.rng;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}
+
+impl<R: Read> Read for FaultedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let limit = match self.fault {
+            IoFault::ShortReads { .. } => {
+                let r = self.next_rand();
+                1 + (r as usize) % buf.len()
+            }
+            IoFault::TruncateAt { offset } => {
+                let left = offset.saturating_sub(self.pos);
+                if left == 0 {
+                    return Ok(0);
+                }
+                buf.len().min(left as usize)
+            }
+            IoFault::ErrorAt { offset } => {
+                let left = offset.saturating_sub(self.pos);
+                if left == 0 {
+                    return Err(std::io::Error::other(format!(
+                        "injected i/o fault at byte {}",
+                        self.pos
+                    )));
+                }
+                buf.len().min(left as usize)
+            }
+        };
+        let n = self.inner.read(&mut buf[..limit])?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut r: impl Read) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        r.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn short_reads_preserve_content() {
+        let data: Vec<u8> = (0..=255).cycle().take(10_000).collect();
+        for seed in 0..8 {
+            let got = drain(FaultedReader::new(&data[..], IoFault::ShortReads { seed })).unwrap();
+            assert_eq!(got, data, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn short_reads_actually_shorten() {
+        let data = vec![7u8; 4096];
+        let mut reader = FaultedReader::new(&data[..], IoFault::ShortReads { seed: 3 });
+        let mut buf = vec![0u8; 4096];
+        let n = reader.read(&mut buf).unwrap();
+        assert!(n > 0 && n < 4096, "first read returned {n}");
+    }
+
+    #[test]
+    fn truncation_stops_at_offset() {
+        let data = vec![1u8; 1000];
+        let got = drain(FaultedReader::new(
+            &data[..],
+            IoFault::TruncateAt { offset: 137 },
+        ))
+        .unwrap();
+        assert_eq!(got.len(), 137);
+    }
+
+    #[test]
+    fn error_fires_after_offset() {
+        let data = vec![2u8; 1000];
+        let mut reader = FaultedReader::new(&data[..], IoFault::ErrorAt { offset: 64 });
+        let mut out = Vec::new();
+        let err = reader.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
+        assert_eq!(reader.bytes_delivered(), 64);
+    }
+
+    #[test]
+    fn error_at_zero_fails_immediately() {
+        let data = [3u8; 10];
+        let mut reader = FaultedReader::new(&data[..], IoFault::ErrorAt { offset: 0 });
+        let mut buf = [0u8; 4];
+        assert!(reader.read(&mut buf).is_err());
+    }
+}

@@ -17,9 +17,12 @@
 //! * [`throttle`] — a real token-bucket throttled reader, for
 //!   integration tests that exercise actual streaming;
 //! * [`pipeline`] — the virtual-clock overlap model used by the
-//!   Table 3 experiment at scales where real sleeping would dominate.
+//!   Table 3 experiment at scales where real sleeping would dominate;
+//! * [`fault`] — deterministic I/O fault injection (short reads,
+//!   truncation, mid-stream errors) for the conformance harness.
 
 pub mod counters;
+pub mod fault;
 pub mod format;
 pub mod medium;
 pub mod pipeline;
@@ -27,6 +30,7 @@ pub mod results;
 pub mod text;
 pub mod throttle;
 
+pub use fault::{FaultedReader, IoFault};
 pub use format::{read_edge_list, read_edge_list_chunked, write_edge_list, FormatError};
 pub use medium::Medium;
 pub use pipeline::OverlapPlan;

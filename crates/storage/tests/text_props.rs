@@ -1,0 +1,148 @@
+//! Property tests for the text formats (SNAP and DIMACS): round-trips
+//! preserve the graph exactly, and arbitrary corruption — malformed
+//! lines, truncation at any byte, random bytes — surfaces as a typed
+//! [`TextError`], never a panic.
+
+use egraph_core::types::{Edge, EdgeList, EdgeRecord, WEdge};
+use egraph_storage::{read_dimacs, read_snap, write_snap, TextError};
+use proptest::prelude::*;
+
+/// Builds an in-bounds edge list from raw (src, dst) draws.
+fn edge_list(nv: usize, pairs: &[(u32, u32)]) -> EdgeList<Edge> {
+    let edges = pairs
+        .iter()
+        .map(|&(s, d)| Edge::new(s % nv as u32, d % nv as u32))
+        .collect();
+    EdgeList::new(nv, edges).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn snap_round_trip_is_exact(
+        nv in 1usize..200,
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..400),
+    ) {
+        let graph = edge_list(nv, &pairs);
+        let mut text = Vec::new();
+        write_snap(&mut text, &graph).unwrap();
+        let back: EdgeList<Edge> = read_snap(&text[..], Some(nv))
+            .map_err(|e| TestCaseError::fail(format!("round-trip failed: {e}")))?;
+        prop_assert_eq!(back.num_vertices(), graph.num_vertices());
+        prop_assert_eq!(back.edges(), graph.edges());
+    }
+
+    #[test]
+    fn weighted_snap_round_trip_preserves_weights(
+        nv in 1usize..100,
+        triples in proptest::collection::vec((any::<u32>(), any::<u32>(), 1u32..1_000_000), 0..200),
+    ) {
+        let edges: Vec<WEdge> = triples
+            .iter()
+            .map(|&(s, d, w)| WEdge::new(s % nv as u32, d % nv as u32, w as f32 / 1024.0))
+            .collect();
+        let graph = EdgeList::new(nv, edges).unwrap();
+        let mut text = Vec::new();
+        write_snap(&mut text, &graph).unwrap();
+        let back: EdgeList<WEdge> = read_snap(&text[..], Some(nv))
+            .map_err(|e| TestCaseError::fail(format!("round-trip failed: {e}")))?;
+        for (a, b) in back.edges().iter().zip(graph.edges()) {
+            prop_assert_eq!(a.src(), b.src());
+            prop_assert_eq!(a.dst(), b.dst());
+            // Weights survive the decimal round-trip within print precision.
+            prop_assert!((a.weight() - b.weight()).abs() <= b.weight().abs() * 1e-5);
+        }
+    }
+
+    #[test]
+    fn truncated_snap_never_panics(
+        nv in 1usize..60,
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..60),
+        cut_seed in any::<u64>(),
+    ) {
+        let graph = edge_list(nv, &pairs);
+        let mut text = Vec::new();
+        write_snap(&mut text, &graph).unwrap();
+        let cut = (cut_seed % text.len() as u64) as usize;
+        // A truncated SNAP file either parses (the cut fell on a line
+        // boundary — the format carries no length header) or fails with
+        // a typed parse error; it must never panic.
+        match read_snap::<Edge, _>(&text[..cut], Some(nv)) {
+            Ok(shorter) => prop_assert!(shorter.num_edges() <= graph.num_edges()),
+            Err(TextError::Parse { line, .. }) => prop_assert!(line >= 1),
+            Err(TextError::Io(_) | TextError::Graph(_)) => {}
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_either_parser(
+        data in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let _ = read_snap::<Edge, _>(&data[..], None);
+        let _ = read_dimacs(&data[..]);
+    }
+
+    #[test]
+    fn malformed_snap_lines_report_their_line_number(
+        good in 0usize..5,
+        junk_raw in proptest::collection::vec(0u8..27, 1..20),
+    ) {
+        // Letters and spaces only: never parseable as vertex ids.
+        let junk: String = junk_raw
+            .iter()
+            .map(|&b| if b == 26 { ' ' } else { (b'a' + b) as char })
+            .collect();
+        let mut text = String::new();
+        for i in 0..good {
+            text.push_str(&format!("{i} {i}\n"));
+        }
+        text.push_str(&junk);
+        text.push('\n');
+        match read_snap::<Edge, _>(text.as_bytes(), None) {
+            Err(TextError::Parse { line, .. }) => prop_assert_eq!(line, good + 1),
+            Ok(_) => prop_assert!(
+                junk.trim().is_empty(),
+                "junk line '{junk}' parsed as an edge"
+            ),
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+        }
+    }
+
+    #[test]
+    fn truncated_dimacs_never_panics(
+        nv in 1usize..40,
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..40),
+        cut_seed in any::<u64>(),
+    ) {
+        let graph = edge_list(nv, &pairs);
+        let mut text = format!("p sp {} {}\n", graph.num_vertices(), graph.num_edges());
+        for e in graph.edges() {
+            text.push_str(&format!("a {} {} 1\n", e.src + 1, e.dst + 1));
+        }
+        let bytes = text.as_bytes();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        // DIMACS declares its arc count, so any cut before the end must
+        // fail with a typed error — a silently shorter graph is a bug.
+        match read_dimacs(&bytes[..cut]) {
+            Ok(back) => prop_assert_eq!(back.num_edges(), graph.num_edges()),
+            Err(TextError::Io(_) | TextError::Parse { .. } | TextError::Graph(_)) => {}
+        }
+    }
+
+    #[test]
+    fn dimacs_rejects_out_of_range_ids(nv in 1u32..50, over in 1u32..10) {
+        let text = format!("p sp {nv} 1\na {} 1 1\n", nv + over);
+        prop_assert!(matches!(
+            read_dimacs(text.as_bytes()),
+            Err(TextError::Parse { .. })
+        ));
+    }
+}
+
+#[test]
+fn dimacs_round_trip_through_snap_types() {
+    // A well-formed DIMACS file parses to the expected 0-based graph.
+    let text = "c tiny\np sp 3 2\na 1 2 0.5\na 3 1 2.25\n";
+    let g = read_dimacs(text.as_bytes()).unwrap();
+    assert_eq!(g.num_vertices(), 3);
+    assert_eq!(g.edges(), &[WEdge::new(0, 1, 0.5), WEdge::new(2, 0, 2.25)]);
+}

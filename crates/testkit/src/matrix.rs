@@ -1,0 +1,626 @@
+//! The conformance matrix: every algorithm variant × every layout ×
+//! every thread count, checked against two oracles.
+//!
+//! For each corpus graph the matrix runs every implemented technique
+//! combination — edge-centric, vertex-centric push/pull/hybrid over
+//! CSR, and grid — under scoped thread pools of each configured width,
+//! and compares:
+//!
+//! 1. **against a serial analytic reference** (textbook BFS, union-find
+//!    WCC, Dijkstra SSSP, power-iteration PageRank, serial SpMV):
+//!    integer results must match bit-for-bit; float results within a
+//!    per-variant tolerance (`0.0` meaning exactly equal);
+//! 2. **against the same variant at one thread**: deterministic
+//!    variants (single-writer, fixed accumulation order) must be
+//!    bit-identical at every thread count; variants whose `f32`
+//!    accumulation order legitimately depends on the schedule (atomic
+//!    or locked push) get the documented tolerance instead.
+//!
+//! A literal `1e-9` relative bound is only meaningful for the
+//! deterministic variants — they achieve `0.0`. Reordered `f32` sums
+//! cannot meet `1e-9` even in principle (f32 epsilon is ~`1.2e-7`), so
+//! those variants carry an explicit, wider tolerance. DESIGN.md §11
+//! spells out the classification.
+
+use egraph_core::algo::{als, bfs, pagerank, spmv, sssp, wcc};
+use egraph_core::layout::{AdjacencyList, EdgeDirection, Grid};
+use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use egraph_core::types::{Edge, EdgeList, WEdge};
+use egraph_parallel::{with_pool, ThreadPool};
+
+use crate::corpus::{spmv_input, weighted, NamedGraph};
+
+/// Relative tolerance for float variants whose accumulation order is
+/// schedule-dependent (atomic/locked push). See the module docs.
+pub const REORDER_TOL: f64 = 1e-4;
+
+/// Tolerance for deterministic float variants against the
+/// *same-variant* single-thread baseline: exactly equal (which
+/// trivially satisfies the 1e-9 requirement).
+pub const EXACT: f64 = 0.0;
+
+/// Matrix run parameters.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Thread counts to exercise; 1 is always run as the baseline.
+    pub thread_counts: Vec<usize>,
+    /// The corpus seed (used in failure messages so runs reproduce).
+    pub seed: u64,
+    /// Power iterations for the PageRank variants.
+    pub pagerank_iterations: usize,
+}
+
+impl MatrixConfig {
+    /// The quick-tier configuration for `seed`.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            thread_counts: crate::QUICK_THREADS.to_vec(),
+            seed,
+            pagerank_iterations: 5,
+        }
+    }
+
+    /// The exhaustive-tier configuration for `seed`.
+    pub fn exhaustive(seed: u64) -> Self {
+        Self {
+            thread_counts: crate::EXHAUSTIVE_THREADS.to_vec(),
+            seed,
+            pagerank_iterations: 10,
+        }
+    }
+}
+
+/// One failed comparison.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Corpus graph name.
+    pub graph: String,
+    /// Algorithm (`"bfs"`, `"pagerank"`, …).
+    pub algo: &'static str,
+    /// Technique combination (`"grid_push_locked"`, …).
+    pub variant: &'static str,
+    /// Thread count of the failing run.
+    pub threads: usize,
+    /// Which oracle disagreed and how.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{} @ {} thread(s): {}",
+            self.graph, self.algo, self.variant, self.threads, self.detail
+        )
+    }
+}
+
+/// The outcome of a matrix run.
+#[derive(Debug)]
+pub struct MatrixReport {
+    /// Number of (graph, algo, variant, threads) combinations executed.
+    pub combos_run: usize,
+    /// Every failed comparison.
+    pub mismatches: Vec<Mismatch>,
+    /// The corpus seed, echoed for failure messages.
+    pub seed: u64,
+}
+
+impl MatrixReport {
+    /// Panics with a reproducible report if any combination mismatched.
+    pub fn assert_clean(&self) {
+        assert!(
+            !self.mismatches.is_empty() || self.combos_run > 0,
+            "conformance matrix ran no combinations"
+        );
+        if self.mismatches.is_empty() {
+            return;
+        }
+        let mut msg = format!(
+            "conformance matrix failed ({} of {} combinations; \
+             reproduce with EGRAPH_TEST_SEED={:#x}):\n",
+            self.mismatches.len(),
+            self.combos_run,
+            self.seed
+        );
+        for m in &self.mismatches {
+            msg.push_str(&format!("  {m}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+/// A computed result: dense per-vertex integers or floats.
+#[derive(Debug, Clone, PartialEq)]
+enum Output {
+    Ints(Vec<u32>),
+    Floats(Vec<f32>),
+}
+
+/// One variant's result plus its comparison policy.
+struct VariantOut {
+    algo: &'static str,
+    variant: &'static str,
+    /// Tolerance against the analytic reference (0.0 = exact).
+    ref_tol: f64,
+    /// Tolerance against the single-thread same-variant baseline.
+    cross_tol: f64,
+    output: Output,
+}
+
+impl VariantOut {
+    fn ints(algo: &'static str, variant: &'static str, v: Vec<u32>) -> Self {
+        Self {
+            algo,
+            variant,
+            ref_tol: EXACT,
+            cross_tol: EXACT,
+            output: Output::Ints(v),
+        }
+    }
+
+    fn floats(
+        algo: &'static str,
+        variant: &'static str,
+        ref_tol: f64,
+        cross_tol: f64,
+        v: Vec<f32>,
+    ) -> Self {
+        Self {
+            algo,
+            variant,
+            ref_tol,
+            cross_tol,
+            output: Output::Floats(v),
+        }
+    }
+}
+
+/// Analytic references for one graph, computed serially once.
+struct References {
+    bfs: Option<Vec<u32>>,
+    wcc: Vec<u32>,
+    sssp: Option<Vec<f32>>,
+    pagerank: Vec<f32>,
+    spmv: Vec<f32>,
+}
+
+/// Runs the full conformance matrix over `graphs`.
+///
+/// The single-thread baseline always runs first (with a fixed layout
+/// strategy); every configured thread count is then compared against
+/// both the analytic reference and that baseline. CSR construction
+/// strategies rotate across thread counts (neighbor lists are sorted,
+/// so all strategies produce the same canonical layout); grids always
+/// build with count sort, whose within-cell edge order is the stable
+/// input order regardless of worker count.
+pub fn run_matrix(graphs: &[NamedGraph], cfg: &MatrixConfig) -> MatrixReport {
+    let mut report = MatrixReport {
+        combos_run: 0,
+        mismatches: Vec::new(),
+        seed: cfg.seed,
+    };
+    let pr_cfg = pagerank::PagerankConfig {
+        iterations: cfg.pagerank_iterations,
+        ..Default::default()
+    };
+    let csr_strategies = [Strategy::CountSort, Strategy::Dynamic, Strategy::RadixSort];
+
+    for named in graphs {
+        let g = &named.graph;
+        let w = weighted(g);
+        let und = g.to_undirected();
+        let x = spmv_input(g.num_vertices());
+        let degrees: Vec<u32> = g.out_degrees().iter().map(|&d| d as u32).collect();
+        let refs = compute_references(g, &w, &degrees, &x, pr_cfg);
+
+        let baseline_pool = ThreadPool::new(1);
+        let baseline = with_pool(&baseline_pool, || {
+            run_variants(g, &w, &und, &degrees, &x, pr_cfg, Strategy::CountSort)
+        });
+        for v in &baseline {
+            report.combos_run += 1;
+            check_reference(&mut report, &named.name, 1, v, &refs);
+        }
+
+        for (ti, &threads) in cfg.thread_counts.iter().enumerate() {
+            if threads == 1 {
+                continue; // already covered by the baseline run
+            }
+            let pool = ThreadPool::new(threads);
+            let strategy = csr_strategies[ti % csr_strategies.len()];
+            let outs = with_pool(&pool, || {
+                run_variants(g, &w, &und, &degrees, &x, pr_cfg, strategy)
+            });
+            for v in &outs {
+                report.combos_run += 1;
+                check_reference(&mut report, &named.name, threads, v, &refs);
+                let base = baseline
+                    .iter()
+                    .find(|b| b.algo == v.algo && b.variant == v.variant)
+                    .expect("baseline ran the same variant set");
+                if let Err(detail) = compare(&v.output, &base.output, v.cross_tol) {
+                    report.mismatches.push(Mismatch {
+                        graph: named.name.clone(),
+                        algo: v.algo,
+                        variant: v.variant,
+                        threads,
+                        detail: format!("vs 1-thread baseline: {detail}"),
+                    });
+                }
+            }
+        }
+    }
+
+    run_als(&mut report, cfg);
+    report
+}
+
+fn compute_references(
+    g: &EdgeList<Edge>,
+    w: &EdgeList<WEdge>,
+    degrees: &[u32],
+    x: &[f32],
+    pr_cfg: pagerank::PagerankConfig,
+) -> References {
+    let has_root = g.num_vertices() > 0;
+    let bfs = has_root.then(|| {
+        let csr = CsrBuilder::new(Strategy::CountSort, EdgeDirection::Out).build(g);
+        bfs::reference(csr.out(), 0)
+    });
+    References {
+        bfs,
+        wcc: wcc::reference(g),
+        sssp: has_root.then(|| sssp::reference(w, 0)),
+        pagerank: pagerank::reference(g, degrees, pr_cfg),
+        spmv: spmv::reference(w, x),
+    }
+}
+
+fn check_reference(
+    report: &mut MatrixReport,
+    graph: &str,
+    threads: usize,
+    v: &VariantOut,
+    refs: &References,
+) {
+    let reference: Option<Output> = match v.algo {
+        "bfs" => refs.bfs.clone().map(Output::Ints),
+        "wcc" => Some(Output::Ints(refs.wcc.clone())),
+        "sssp" => refs.sssp.clone().map(Output::Floats),
+        "pagerank" => Some(Output::Floats(refs.pagerank.clone())),
+        "spmv" => Some(Output::Floats(refs.spmv.clone())),
+        _ => None,
+    };
+    if let Some(reference) = reference {
+        if let Err(detail) = compare(&v.output, &reference, v.ref_tol) {
+            report.mismatches.push(Mismatch {
+                graph: graph.to_string(),
+                algo: v.algo,
+                variant: v.variant,
+                threads,
+                detail: format!("vs serial reference: {detail}"),
+            });
+        }
+    }
+}
+
+/// Runs every variant of every algorithm under the *current* pool
+/// (install one with [`egraph_parallel::with_pool`] first). Layouts are
+/// built inside the scope so preprocessing also runs under the pool.
+fn run_variants(
+    g: &EdgeList<Edge>,
+    w: &EdgeList<WEdge>,
+    und: &EdgeList<Edge>,
+    degrees: &[u32],
+    x: &[f32],
+    pr_cfg: pagerank::PagerankConfig,
+    strategy: Strategy,
+) -> Vec<VariantOut> {
+    let nv = g.num_vertices();
+    // Sorted neighbor lists make the CSR canonical: every construction
+    // strategy and worker count yields byte-identical adjacencies, so
+    // deterministic variants can demand bit-identical results.
+    let csr: AdjacencyList<Edge> = CsrBuilder::new(strategy, EdgeDirection::Both)
+        .sort_neighbors(true)
+        .build(g);
+    let und_csr: AdjacencyList<Edge> = CsrBuilder::new(strategy, EdgeDirection::Out)
+        .sort_neighbors(true)
+        .build(und);
+    let wcsr: AdjacencyList<WEdge> = CsrBuilder::new(strategy, EdgeDirection::Both)
+        .sort_neighbors(true)
+        .build(w);
+    let side = nv.clamp(1, 16);
+    let grid: Option<Grid<Edge>> =
+        (nv > 0).then(|| GridBuilder::new(Strategy::CountSort).side(side).build(g));
+    let tgrid: Option<Grid<Edge>> = (nv > 0).then(|| {
+        GridBuilder::new(Strategy::CountSort)
+            .side(side)
+            .transposed(true)
+            .build(g)
+    });
+    let wgrid: Option<Grid<WEdge>> =
+        (nv > 0).then(|| GridBuilder::new(Strategy::CountSort).side(side).build(w));
+
+    let mut outs = Vec::new();
+
+    // BFS: compare levels (parents are schedule-dependent; levels are
+    // not). Root 0 requires a non-empty vertex set.
+    if nv > 0 {
+        let root = 0;
+        outs.push(VariantOut::ints(
+            "bfs",
+            "edge_centric",
+            bfs::edge_centric(g, root).level,
+        ));
+        outs.push(VariantOut::ints("bfs", "push", bfs::push(&csr, root).level));
+        outs.push(VariantOut::ints(
+            "bfs",
+            "push_locked",
+            bfs::push_locked(&csr, root).level,
+        ));
+        outs.push(VariantOut::ints("bfs", "pull", bfs::pull(&csr, root).level));
+        outs.push(VariantOut::ints(
+            "bfs",
+            "push_pull",
+            bfs::push_pull(&csr, root).level,
+        ));
+        if let Some(grid) = &grid {
+            outs.push(VariantOut::ints("bfs", "grid", bfs::grid(grid, root).level));
+        }
+    }
+
+    // WCC: min-label propagation converges to the same fixpoint as the
+    // union-find reference on every schedule.
+    outs.push(VariantOut::ints("wcc", "push", wcc::push(&und_csr).label));
+    outs.push(VariantOut::ints("wcc", "pull", wcc::pull(&und_csr).label));
+    outs.push(VariantOut::ints(
+        "wcc",
+        "push_pull",
+        wcc::push_pull(&und_csr).label,
+    ));
+    outs.push(VariantOut::ints(
+        "wcc",
+        "edge_centric",
+        wcc::edge_centric(g).label,
+    ));
+    if let Some(grid) = &grid {
+        outs.push(VariantOut::ints("wcc", "grid", wcc::grid(grid).label));
+    }
+
+    // SSSP: every relaxation computes the same left-associated f32 path
+    // sum Dijkstra computes, and min() over the same set of sums is
+    // order-independent — so all variants are exactly equal to the
+    // reference on every schedule.
+    if nv > 0 {
+        let src = 0;
+        outs.push(VariantOut::floats(
+            "sssp",
+            "push",
+            EXACT,
+            EXACT,
+            sssp::push(&wcsr, src).dist,
+        ));
+        outs.push(VariantOut::floats(
+            "sssp",
+            "edge_centric",
+            EXACT,
+            EXACT,
+            sssp::edge_centric(w, src).dist,
+        ));
+        outs.push(VariantOut::floats(
+            "sssp",
+            "delta_stepping",
+            EXACT,
+            EXACT,
+            sssp::delta_stepping(&wcsr, src, 0.25).dist,
+        ));
+    }
+
+    // PageRank: pull, unlocked grid push (exclusive column ownership)
+    // and grid pull are single-writer with a fixed accumulation order →
+    // bit-identical across thread counts. Locked/atomic push reorders
+    // f32 additions → documented tolerance. All variants compare to the
+    // serial power-iteration reference with the reorder tolerance,
+    // because even deterministic variants accumulate in CSR/grid order
+    // rather than the reference's edge order.
+    outs.push(VariantOut::floats(
+        "pagerank",
+        "pull",
+        REORDER_TOL,
+        EXACT,
+        pagerank::pull(csr.incoming(), degrees, pr_cfg).ranks,
+    ));
+    outs.push(VariantOut::floats(
+        "pagerank",
+        "push_locks",
+        REORDER_TOL,
+        REORDER_TOL,
+        pagerank::push(csr.out(), degrees, pr_cfg, pagerank::PushSync::Locks).ranks,
+    ));
+    outs.push(VariantOut::floats(
+        "pagerank",
+        "push_atomics",
+        REORDER_TOL,
+        REORDER_TOL,
+        pagerank::push(csr.out(), degrees, pr_cfg, pagerank::PushSync::Atomics).ranks,
+    ));
+    outs.push(VariantOut::floats(
+        "pagerank",
+        "edge_centric",
+        REORDER_TOL,
+        REORDER_TOL,
+        pagerank::edge_centric(g, degrees, pr_cfg, pagerank::PushSync::Atomics).ranks,
+    ));
+    if let (Some(grid), Some(tgrid)) = (&grid, &tgrid) {
+        outs.push(VariantOut::floats(
+            "pagerank",
+            "grid_push_locked",
+            REORDER_TOL,
+            REORDER_TOL,
+            pagerank::grid_push(grid, degrees, pr_cfg, true).ranks,
+        ));
+        outs.push(VariantOut::floats(
+            "pagerank",
+            "grid_push",
+            REORDER_TOL,
+            EXACT,
+            pagerank::grid_push(grid, degrees, pr_cfg, false).ranks,
+        ));
+        outs.push(VariantOut::floats(
+            "pagerank",
+            "grid_pull",
+            REORDER_TOL,
+            EXACT,
+            pagerank::grid_pull(tgrid, degrees, pr_cfg).ranks,
+        ));
+    }
+
+    // SpMV: pull and grid are single-writer → bit-identical across
+    // threads; push/edge-centric accumulate atomically → tolerance.
+    outs.push(VariantOut::floats(
+        "spmv",
+        "edge_centric",
+        REORDER_TOL,
+        REORDER_TOL,
+        spmv::edge_centric(w, x).y,
+    ));
+    outs.push(VariantOut::floats(
+        "spmv",
+        "push",
+        REORDER_TOL,
+        REORDER_TOL,
+        spmv::push(wcsr.out(), x).y,
+    ));
+    outs.push(VariantOut::floats(
+        "spmv",
+        "pull",
+        REORDER_TOL,
+        EXACT,
+        spmv::pull(wcsr.incoming(), x).y,
+    ));
+    if let Some(wgrid) = &wgrid {
+        outs.push(VariantOut::floats(
+            "spmv",
+            "grid",
+            REORDER_TOL,
+            EXACT,
+            spmv::grid(wgrid, x).y,
+        ));
+    }
+
+    outs
+}
+
+/// ALS runs once per thread count on the ratings graph; the
+/// single-thread run is the oracle (per-vertex normal equations are
+/// solved by a single writer in a fixed order → bit-identical).
+fn run_als(report: &mut MatrixReport, cfg: &MatrixConfig) {
+    let (ratings, num_users) = crate::corpus::ratings_graph(cfg.seed);
+    let als_cfg = als::AlsConfig {
+        rank: 4,
+        lambda: 0.1,
+        iterations: 2,
+    };
+    let run = |threads: usize| -> Vec<f32> {
+        let pool = ThreadPool::new(threads);
+        with_pool(&pool, || {
+            let adj = CsrBuilder::new(Strategy::CountSort, EdgeDirection::Both)
+                .sort_neighbors(true)
+                .build(&ratings);
+            als::als(adj.out(), adj.incoming(), num_users, als_cfg).factors
+        })
+    };
+    let baseline = run(1);
+    report.combos_run += 1;
+    for &threads in &cfg.thread_counts {
+        if threads == 1 {
+            continue;
+        }
+        report.combos_run += 1;
+        let got = run(threads);
+        if let Err(detail) = compare(
+            &Output::Floats(got),
+            &Output::Floats(baseline.clone()),
+            EXACT,
+        ) {
+            report.mismatches.push(Mismatch {
+                graph: "netflix_like".to_string(),
+                algo: "als",
+                variant: "vertex",
+                threads,
+                detail: format!("vs 1-thread baseline: {detail}"),
+            });
+        }
+    }
+}
+
+/// Compares two outputs. `tol == 0.0` demands exact equality (bitwise
+/// for integers; `==` for floats, so `inf == inf` passes and any NaN
+/// fails). A positive `tol` accepts
+/// `|a - b| <= tol * max(1, |a|, |b|)` per element.
+fn compare(got: &Output, want: &Output, tol: f64) -> Result<(), String> {
+    match (got, want) {
+        (Output::Ints(a), Output::Ints(b)) => {
+            if a.len() != b.len() {
+                return Err(format!("length {} != {}", a.len(), b.len()));
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                if x != y {
+                    return Err(format!("[{i}] got {x}, want {y}"));
+                }
+            }
+            Ok(())
+        }
+        (Output::Floats(a), Output::Floats(b)) => {
+            if a.len() != b.len() {
+                return Err(format!("length {} != {}", a.len(), b.len()));
+            }
+            for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+                if !floats_close(x, y, tol) {
+                    return Err(format!("[{i}] got {x:?}, want {y:?} (tol {tol:e})"));
+                }
+            }
+            Ok(())
+        }
+        _ => Err("output kind mismatch (ints vs floats)".to_string()),
+    }
+}
+
+fn floats_close(a: f32, b: f32, tol: f64) -> bool {
+    if tol == 0.0 {
+        return a == b;
+    }
+    if a == b {
+        return true; // covers equal infinities
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let (a, b) = (a as f64, b as f64);
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_close_handles_edges() {
+        assert!(floats_close(f32::INFINITY, f32::INFINITY, 0.0));
+        assert!(floats_close(f32::INFINITY, f32::INFINITY, 1e-4));
+        assert!(!floats_close(f32::INFINITY, 1.0, 1e-4));
+        assert!(!floats_close(f32::NAN, f32::NAN, 1e-4));
+        assert!(floats_close(1.0, 1.0 + 1e-6, 1e-4));
+        assert!(!floats_close(1.0, 1.1, 1e-4));
+        assert!(!floats_close(1.0, 1.0 + 1e-6, 0.0));
+    }
+
+    #[test]
+    fn compare_reports_first_divergence() {
+        let a = Output::Ints(vec![1, 2, 3]);
+        let b = Output::Ints(vec![1, 9, 3]);
+        let err = compare(&a, &b, 0.0).unwrap_err();
+        assert!(err.contains("[1]"), "{err}");
+    }
+}

@@ -1,0 +1,33 @@
+//! The conformance matrix as a test: every technique combination over
+//! the shared corpus, against both oracles.
+//!
+//! The quick tier always runs under `cargo test -q`. The exhaustive
+//! tier (larger corpus, thread count 2, paper iteration counts) is
+//! compiled in with `--features exhaustive` and runs in nightly CI.
+//!
+//! Override the corpus seed with `EGRAPH_TEST_SEED` (decimal or
+//! `0x`-hex); failure messages echo the seed in use.
+
+use egraph_testkit::{quick_corpus, run_matrix, test_seed, MatrixConfig};
+
+#[test]
+fn quick_matrix_is_conformant() {
+    let seed = test_seed();
+    let graphs = quick_corpus(seed);
+    let report = run_matrix(&graphs, &MatrixConfig::quick(seed));
+    assert!(
+        report.combos_run > 300,
+        "suspiciously small matrix: {} combos",
+        report.combos_run
+    );
+    report.assert_clean();
+}
+
+#[cfg(feature = "exhaustive")]
+#[test]
+fn exhaustive_matrix_is_conformant() {
+    let seed = test_seed();
+    let graphs = egraph_testkit::exhaustive_corpus(seed);
+    let report = run_matrix(&graphs, &MatrixConfig::exhaustive(seed));
+    report.assert_clean();
+}

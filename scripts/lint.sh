@@ -13,13 +13,21 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 # The parallel and sort crates carry the unsafe worker-local / scatter
-# kernels; run them under Miri when the component is available (it is
-# not part of the minimal CI toolchain, so skip gracefully).
+# kernels plus the scoped-pool pointers and lifetime-erased broadcast
+# jobs: always try to run their unit tests under Miri. If the component
+# is missing, attempt to install it; offline hosts fall back with a
+# warning (the nightly CI workflow runs the same stage unconditionally).
+if ! rustup component list --installed 2>/dev/null | grep -q '^miri'; then
+    echo "== miri not installed; attempting 'rustup component add miri' =="
+    rustup component add miri 2>/dev/null || true
+fi
 if rustup component list --installed 2>/dev/null | grep -q '^miri'; then
     echo "== cargo miri test (egraph-parallel, egraph-sort) =="
     cargo miri test -p egraph-parallel -p egraph-sort
 else
-    echo "== cargo miri test: skipped (miri component not installed) =="
+    echo "WARNING: miri unavailable on this host (offline toolchain?);"
+    echo "         the nightly CI workflow (.github/workflows/nightly.yml)"
+    echo "         runs this stage unconditionally."
 fi
 
 echo "lint: OK"

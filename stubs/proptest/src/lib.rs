@@ -4,8 +4,11 @@
 //! [`proptest!`] macro, `prop_assert*` / `prop_assume!`, [`Strategy`]
 //! with `prop_map` / `prop_flat_map`, range and tuple strategies,
 //! [`any`], [`collection::vec`] and [`sample::Index`]. Cases are drawn
-//! from a deterministic seeded generator; failures report the case
-//! number but are not shrunk.
+//! from a deterministic seeded generator (override the seed with
+//! `EGRAPH_TEST_SEED`; failures log it). Failing cases are shrunk:
+//! integers step toward their range's lower bound, vectors toward
+//! their minimum length, tuples componentwise — the panic reports the
+//! smallest input that still fails.
 
 use std::fmt;
 use std::marker::PhantomData;
@@ -72,6 +75,14 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
 
+    /// Proposes smaller variants of a failing `value`, most aggressive
+    /// first. The default — no candidates — is correct for strategies
+    /// that cannot shrink (e.g. mapped strategies, whose transform
+    /// cannot be inverted).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -119,35 +130,108 @@ impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F
     }
 }
 
-impl<T: SampleUniform> Strategy for Range<T> {
+/// How a type steps toward a lower bound during shrinking.
+pub trait ShrinkStep: Sized {
+    /// Candidates strictly between `lo` and `v` (plus `lo` itself),
+    /// most aggressive first. Empty when `v` cannot move toward `lo`.
+    fn shrink_toward(lo: &Self, v: &Self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_step_int {
+    ($($t:ty),*) => {$(
+        impl ShrinkStep for $t {
+            fn shrink_toward(lo: &Self, v: &Self) -> Vec<Self> {
+                let (lo, v) = (*lo, *v);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                if v - 1 != lo && v - 1 != mid {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_step_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_shrink_step_noop {
+    ($($t:ty),*) => {$(
+        impl ShrinkStep for $t {
+            fn shrink_toward(_lo: &Self, _v: &Self) -> Vec<Self> {
+                Vec::new()
+            }
+        }
+    )*};
+}
+
+impl_shrink_step_noop!(f32, f64);
+
+impl<T: SampleUniform + ShrinkStep> Strategy for Range<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut StdRng) -> T {
         rng.random_range(self.clone())
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(&self.start, value)
     }
 }
 
-impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+impl<T: SampleUniform + ShrinkStep> Strategy for RangeInclusive<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut StdRng) -> T {
         rng.random_range(self.clone())
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(self.start(), value)
+    }
+}
+
+impl Strategy for () {
+    type Value = ();
+
+    fn sample(&self, _rng: &mut StdRng) {}
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 impl_tuple_strategy! {
+    (A 0)
     (A 0, B 1)
     (A 0, B 1, C 2)
     (A 0, B 1, C 2, D 3)
@@ -158,9 +242,40 @@ impl_tuple_strategy! {
 pub trait Arbitrary: Sized {
     /// Draws one arbitrary value.
     fn arbitrary(rng: &mut StdRng) -> Self;
+
+    /// Proposes smaller variants of a failing value (see
+    /// [`Strategy::shrink`]). Integers step toward zero.
+    fn arbitrary_shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+
+            fn arbitrary_shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                let half = v / 2;
+                if half != 0 && half != v {
+                    out.push(half);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_plain {
     ($($t:ty),*) => {$(
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut StdRng) -> Self {
@@ -170,7 +285,21 @@ macro_rules! impl_arbitrary_int {
     )*};
 }
 
-impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+impl_arbitrary_plain!(f32, f64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+
+    fn arbitrary_shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
 
 /// The strategy returned by [`any`].
 pub struct Any<T>(PhantomData<T>);
@@ -180,6 +309,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn sample(&self, rng: &mut StdRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.arbitrary_shrink()
     }
 }
 
@@ -261,7 +394,10 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
@@ -271,6 +407,31 @@ pub mod collection {
                 self.size.lo
             };
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            // Structural shrinks first: shorter vectors (never below the
+            // strategy's minimum length).
+            if value.len() > lo {
+                out.push(value[..lo].to_vec());
+                let half = (value.len() / 2).max(lo);
+                if half < value.len() && half > lo {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+                out.push(value[1..].to_vec());
+            }
+            // Then elementwise shrinks, a couple of candidates per slot.
+            for (i, v) in value.iter().enumerate() {
+                for candidate in self.element.shrink(v).into_iter().take(2) {
+                    let mut w = value.clone();
+                    w[i] = candidate;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 
@@ -296,26 +457,83 @@ pub mod prelude {
     pub use crate as prop;
 }
 
-/// Runs `cases` deterministic random cases of a property body. Used by
-/// the [`proptest!`] macro; not public API.
+/// Default generator seed when `EGRAPH_TEST_SEED` is not set.
+const DEFAULT_SEED: u64 = 0xE6_2017_ECF5;
+
+/// Maximum accepted shrink steps before reporting the current smallest
+/// failing input (a budget, so pathological strategies cannot loop).
+const MAX_SHRINK_STEPS: usize = 200;
+
+fn runner_seed() -> u64 {
+    match std::env::var("EGRAPH_TEST_SEED") {
+        Ok(raw) => {
+            let raw = raw.trim();
+            let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => raw.parse::<u64>(),
+            };
+            parsed.unwrap_or(DEFAULT_SEED)
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Runs `cases` deterministic random draws of `strategy` through the
+/// property body, shrinking the first failure to a minimal
+/// counterexample. Used by the [`proptest!`] macro; not public API.
 #[doc(hidden)]
-pub fn __run_cases(cases: u32, mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>) {
+pub fn __run_cases<S: Strategy>(
+    cases: u32,
+    strategy: &S,
+    mut case: impl FnMut(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: Clone + fmt::Debug,
+{
     use rand::SeedableRng;
-    // Fixed seed: failures reproduce across runs; no shrinking.
-    let mut rng = StdRng::seed_from_u64(0xE6_2017_ECF5);
+    let seed = runner_seed();
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut ran = 0u32;
     let mut attempts = 0u32;
     let max_attempts = cases.saturating_mul(16).max(64);
     while ran < cases && attempts < max_attempts {
         attempts += 1;
-        match case(&mut rng) {
+        let value = strategy.sample(&mut rng);
+        match case(&value) {
             Ok(()) => ran += 1,
             Err(TestCaseError::Reject(_)) => {}
             Err(TestCaseError::Fail(msg)) => {
-                panic!("property failed on case {ran}: {msg}");
+                let (minimal, msg, steps) = shrink_failure(strategy, &mut case, value, msg);
+                panic!(
+                    "property failed on case {ran} (seed {seed:#x}, shrunk {steps} step(s)): \
+                     {msg}\nminimal failing input: {minimal:?}"
+                );
             }
         }
     }
+}
+
+/// Greedily walks shrink candidates while they keep failing, up to
+/// [`MAX_SHRINK_STEPS`] accepted steps. Rejected candidates (failed
+/// assumptions) and passing candidates are skipped.
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    case: &mut impl FnMut(&S::Value) -> Result<(), TestCaseError>,
+    mut current: S::Value,
+    mut message: String,
+) -> (S::Value, String, usize) {
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink(&current) {
+            if let Err(TestCaseError::Fail(msg)) = case(&candidate) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate still fails: `current` is minimal
+    }
+    (current, message, steps)
 }
 
 /// Declares property tests. Each `fn name(binding in strategy, ...)`
@@ -337,8 +555,11 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            $crate::__run_cases(config.cases, |__rng| {
-                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+            // All arguments pack into one tuple strategy so a failing
+            // case can be shrunk componentwise.
+            let __strategy = ($(($strat),)*);
+            $crate::__run_cases(config.cases, &__strategy, |__value| {
+                let ($($arg,)*) = ::std::clone::Clone::clone(__value);
                 $body
                 Ok(())
             });
@@ -411,4 +632,93 @@ macro_rules! prop_assume {
             return Err($crate::TestCaseError::reject(stringify!($cond)));
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::catch_unwind;
+
+    fn failure_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let payload = catch_unwind(f).expect_err("property must fail");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a String")
+    }
+
+    #[test]
+    fn integer_failure_shrinks_to_the_boundary() {
+        // Fails for every x >= 10: the minimal counterexample is
+        // exactly 10, and greedy shrinking must find it.
+        let msg = failure_message(|| {
+            __run_cases(64, &((0u32..1000),), |&(x,)| {
+                if x >= 10 {
+                    Err(TestCaseError::fail(format!("{x} is too big")))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        assert!(
+            msg.contains("minimal failing input: (10,)"),
+            "expected the shrunk boundary value, got: {msg}"
+        );
+        assert!(msg.contains("seed"), "failure must log the seed: {msg}");
+    }
+
+    #[test]
+    fn vector_failure_shrinks_length_and_elements() {
+        let strategy = (collection::vec(0u32..100, 0..20),);
+        let msg = failure_message(|| {
+            __run_cases(64, &strategy, |(v,)| {
+                if v.len() >= 3 {
+                    Err(TestCaseError::fail(format!("len {}", v.len())))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        assert!(
+            msg.contains("minimal failing input: ([0, 0, 0],)"),
+            "expected a 3-element all-zero vector, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn tuple_failure_shrinks_componentwise() {
+        let strategy = (1u32..50, 1u32..50);
+        let msg = failure_message(|| {
+            __run_cases(64, &strategy, |&(a, b)| {
+                if a + b >= 4 {
+                    Err(TestCaseError::fail(format!("{a}+{b}")))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        // Both components bottom out at their range minimum of 1 while
+        // the sum constraint keeps failing.
+        assert!(
+            msg.contains("minimal failing input: (1, 3)")
+                || msg.contains("minimal failing input: (3, 1)")
+                || msg.contains("minimal failing input: (2, 2)"),
+            "expected a minimal sum-4 pair, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn passing_properties_do_not_shrink() {
+        __run_cases(32, &((0u64..100),), |_| Ok(()));
+    }
+
+    #[test]
+    fn shrink_toward_respects_the_lower_bound() {
+        assert!(u32::shrink_toward(&5, &5).is_empty());
+        assert!(u32::shrink_toward(&5, &4).is_empty());
+        let candidates = u32::shrink_toward(&5, &100);
+        assert!(candidates.contains(&5));
+        assert!(candidates.iter().all(|&c| (5..100).contains(&c)));
+        assert!(i32::shrink_toward(&-10, &-3).contains(&-10));
+    }
 }
