@@ -38,12 +38,16 @@ pub struct ExperimentCtx {
     /// with `--trace-out FILE` (same document the CLI's `run
     /// --trace-out` emits; a `.csv` extension selects the CSV form).
     pub trace_out: Option<PathBuf>,
+    /// Live `/metrics` endpoint, if requested with `--metrics-addr
+    /// HOST:PORT`. Held so the accept thread survives for the whole
+    /// experiment; the last clone dropping shuts it down.
+    pub metrics: Option<std::sync::Arc<egraph_metrics::MetricsServer>>,
 }
 
 impl ExperimentCtx {
     /// Builds a context from `--scale N` / `--out DIR` /
-    /// `--trace-out FILE` command-line arguments and the
-    /// `EGRAPH_SCALE` environment variable.
+    /// `--trace-out FILE` / `--metrics-addr HOST:PORT` command-line
+    /// arguments and the `EGRAPH_SCALE` environment variable.
     pub fn from_args() -> Self {
         let mut scale: u32 = std::env::var("EGRAPH_SCALE")
             .ok()
@@ -51,6 +55,7 @@ impl ExperimentCtx {
             .unwrap_or(16);
         let mut out_dir = PathBuf::from("bench_results");
         let mut trace_out = None;
+        let mut metrics_addr: Option<String> = None;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -67,16 +72,32 @@ impl ExperimentCtx {
                     trace_out = Some(PathBuf::from(&args[i + 1]));
                     i += 2;
                 }
+                "--metrics-addr" if i + 1 < args.len() => {
+                    metrics_addr = Some(args[i + 1].clone());
+                    i += 2;
+                }
                 other => {
                     eprintln!("ignoring unknown argument: {other}");
                     i += 1;
                 }
             }
         }
+        let metrics = metrics_addr.map(|addr| {
+            egraph_metrics::register_pool_metrics();
+            egraph_metrics::register_alloc_metrics();
+            egraph_storage::counters::register_metrics();
+            egraph_parallel::telemetry::enable();
+            egraph_storage::counters::enable();
+            let server = egraph_metrics::serve(addr.as_str())
+                .unwrap_or_else(|e| panic!("cannot bind metrics endpoint {addr}: {e}"));
+            println!("serving metrics on http://{}/metrics", server.addr());
+            std::sync::Arc::new(server)
+        });
         Self {
             scale,
             out_dir,
             trace_out,
+            metrics,
         }
     }
 

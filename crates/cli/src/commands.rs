@@ -32,7 +32,7 @@ USAGE:
   egraph advise [--algo A] [--vertices N] [--edges M] [--machine a|b|single]
   egraph partition <FILE> [--nodes N]
   egraph convert <IN> <OUT> [--from snap|dimacs|bin] [--to snap|bin] [--weighted true]
-  egraph trace diff <OLD> <NEW> [--threshold PCT] [--min-seconds S]
+  egraph trace diff <OLD> <NEW> [--threshold PCT] [--min-seconds S] [--min-bytes B]
   egraph conformance [--threads LIST] [--seed N] [--full true]
 
 GENERATE OPTIONS:
@@ -60,18 +60,27 @@ RUN OPTIONS:
   --trace-format json|csv   trace file format (default json)
   --timeline-out FILE  write per-worker timeline spans as Chrome
                        trace-event JSON (open in about:tracing/Perfetto)
+  --metrics-addr H:P   serve live Prometheus metrics at
+                       http://H:P/metrics (plus /healthz) for the
+                       duration of the run; port 0 picks a free port
+                       and prints the bound address
+  --metrics-linger S   keep serving S seconds after the run finishes
+                       (default 0), so scrapers can catch the totals
 
 TRACE DIFF OPTIONS:
   --threshold PCT   relative slowdown that counts as a regression
                     (default 10); exits non-zero when exceeded
   --min-seconds S   ignore time metrics where both runs stayed under
                     S seconds (default 0.001)
+  --min-bytes B     ignore peak-memory metrics where both runs stayed
+                    under B bytes (default 1048576)
 
 CONFORMANCE OPTIONS:
   --threads LIST   comma-separated thread counts (default 1,4,8)
   --seed N         corpus seed (default EGRAPH_TEST_SEED or built-in)
   --full true      exhaustive tier: larger corpus, thread count 2,
-                   paper iteration counts (the nightly-CI matrix)";
+                   paper iteration counts (the nightly-CI matrix)
+  --metrics-addr / --metrics-linger   as for run";
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -292,6 +301,90 @@ fn save_f32(save: Option<&str>, values: &[f32]) -> Result<f64, Box<dyn Error>> {
     }
 }
 
+/// Starts the opt-in `/metrics` endpoint when `--metrics-addr` was
+/// given, registering the scrape-time sources (pool, storage,
+/// allocator) first. Returns the server handle so the caller controls
+/// when it shuts down, plus the `--metrics-linger` grace period.
+fn maybe_serve_metrics(
+    args: &Args,
+) -> Result<(Option<egraph_metrics::MetricsServer>, f64), Box<dyn Error>> {
+    let addr = args.get("metrics-addr").map(str::to_string);
+    let linger: f64 = args.get_parsed_or("metrics-linger", 0.0, "seconds")?;
+    let Some(addr) = addr else {
+        return Ok((None, linger));
+    };
+    egraph_metrics::register_pool_metrics();
+    egraph_metrics::register_alloc_metrics();
+    egraph_storage::counters::register_metrics();
+    let server = egraph_metrics::serve(addr.as_str())?;
+    println!("serving metrics on http://{}/metrics", server.addr());
+    Ok((Some(server), linger))
+}
+
+/// Holds the `/metrics` endpoint open for the `--metrics-linger` grace
+/// period, then shuts it down.
+fn finish_metrics(server: Option<egraph_metrics::MetricsServer>, linger: f64) {
+    if let Some(server) = server {
+        if linger > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(linger));
+        }
+        server.shutdown();
+    }
+}
+
+/// Tees algorithm telemetry into the live metrics registry while
+/// forwarding everything to the wrapped recorder, so a `/metrics`
+/// scrape mid-run reports the same counter totals the final `RunTrace`
+/// records (both read the identical stream of deltas).
+struct MetricsRecorder<'a, R: Recorder> {
+    inner: &'a R,
+    iterations: egraph_metrics::Counter,
+    edges: egraph_metrics::Counter,
+    step_seconds: egraph_metrics::Histogram,
+}
+
+impl<'a, R: Recorder> MetricsRecorder<'a, R> {
+    fn new(inner: &'a R) -> Self {
+        let reg = egraph_metrics::global();
+        Self {
+            inner,
+            iterations: reg.counter("egraph_algo_iterations_total", "Algorithm steps executed."),
+            edges: reg.counter(
+                "egraph_algo_edges_scanned_total",
+                "Edges examined across all algorithm steps.",
+            ),
+            step_seconds: reg
+                .histogram_seconds("egraph_algo_step_seconds", "Wall time per algorithm step."),
+        }
+    }
+}
+
+impl<R: Recorder> Recorder for MetricsRecorder<'_, R> {
+    fn record_counter(&self, name: &'static str, delta: u64) {
+        egraph_metrics::global()
+            .counter(
+                &format!(
+                    "egraph_{}_total",
+                    egraph_metrics::sanitize_metric_name(name)
+                ),
+                "Engine counter teed from the run recorder.",
+            )
+            .add(delta);
+        self.inner.record_counter(name, delta);
+    }
+
+    fn record_iteration(&self, record: egraph_core::telemetry::IterRecord) {
+        self.iterations.inc();
+        self.edges.add(record.edges_scanned as u64);
+        self.step_seconds.observe(record.seconds);
+        self.inner.record_iteration(record);
+    }
+
+    fn record_span(&self, name: &'static str, seconds: f64) {
+        self.inner.record_span(name, seconds);
+    }
+}
+
 /// Profiles the store phase only when a `--save` target exists, so
 /// traces do not grow a zero-length phase on runs without one.
 fn profiled_store(
@@ -325,6 +418,7 @@ fn cmd_run(args: &Args) -> CliResult {
     let trace_out = args.get("trace-out").map(str::to_string);
     let trace_format = TraceFormat::parse(args.get_or("trace-format", "json"))?;
     let timeline_out = args.get("timeline-out").map(str::to_string);
+    let (metrics_server, metrics_linger) = maybe_serve_metrics(args)?;
     args.reject_unknown()?;
 
     // The hardware counters only cover threads spawned after they open,
@@ -336,11 +430,11 @@ fn cmd_run(args: &Args) -> CliResult {
     } else {
         PhaseProfiler::disabled()
     };
-    if trace_out.is_some() {
+    if trace_out.is_some() || metrics_server.is_some() {
         // Counters must be collecting before the load phase starts.
-        egraph_parallel::telemetry::reset();
+        // enable() opens a fresh collection window (it zeroes first),
+        // so a reused pool cannot leak a previous run's counts.
         egraph_parallel::telemetry::enable();
-        egraph_storage::counters::reset();
         egraph_storage::counters::enable();
     }
     if timeline_out.is_some() {
@@ -368,11 +462,20 @@ fn cmd_run(args: &Args) -> CliResult {
     };
     match &trace_out {
         None => {
-            dispatch_run(&spec, any, &egraph_core::telemetry::NullRecorder)?;
+            let null = egraph_core::telemetry::NullRecorder;
+            if metrics_server.is_some() {
+                dispatch_run(&spec, any, &MetricsRecorder::new(&null))?;
+            } else {
+                dispatch_run(&spec, any, &null)?;
+            }
         }
         Some(out_path) => {
             let recorder = TraceRecorder::new();
-            let breakdown = dispatch_run(&spec, any, &recorder)?;
+            let breakdown = if metrics_server.is_some() {
+                dispatch_run(&spec, any, &MetricsRecorder::new(&recorder))?
+            } else {
+                dispatch_run(&spec, any, &recorder)?
+            };
             egraph_parallel::telemetry::disable();
             egraph_storage::counters::disable();
             let mut trace = RunTrace::new(&algo);
@@ -440,6 +543,11 @@ fn cmd_run(args: &Args) -> CliResult {
         }
         println!("wrote timeline to {out_path}");
     }
+    // The counter values survive disable(), so scrapers that arrive
+    // during the linger window still read the run's final totals.
+    egraph_parallel::telemetry::disable();
+    egraph_storage::counters::disable();
+    finish_metrics(metrics_server, metrics_linger);
     Ok(())
 }
 
@@ -851,6 +959,7 @@ fn cmd_trace_diff(args: &Args) -> CliResult {
     let opts = DiffOptions {
         threshold_pct: args.get_parsed_or("threshold", defaults.threshold_pct, "percent")?,
         min_seconds: args.get_parsed_or("min-seconds", defaults.min_seconds, "seconds")?,
+        min_bytes: args.get_parsed_or("min-bytes", defaults.min_bytes, "bytes")?,
     };
     args.reject_unknown()?;
 
@@ -858,6 +967,9 @@ fn cmd_trace_diff(args: &Args) -> CliResult {
     let new = load_trace(&new_path)?;
     let diff = diff_traces(&old, &new, &opts);
 
+    println!("baseline:  {old_path} ({})", old.schema);
+    println!("candidate: {new_path} ({})", new.schema);
+    println!();
     println!(
         "{:<44} {:>16} {:>16} {:>9}",
         "metric", "old", "new", "delta"
@@ -926,6 +1038,11 @@ fn cmd_conformance(args: &Args) -> CliResult {
             return Err("--threads entries must be positive".into());
         }
     }
+    let (metrics_server, metrics_linger) = maybe_serve_metrics(args)?;
+    if metrics_server.is_some() {
+        egraph_parallel::telemetry::enable();
+        egraph_storage::counters::enable();
+    }
     args.reject_unknown()?;
 
     let graphs = if full {
@@ -942,6 +1059,11 @@ fn cmd_conformance(args: &Args) -> CliResult {
         cfg.thread_counts,
         start.elapsed().as_secs_f64(),
     );
+    if metrics_server.is_some() {
+        egraph_parallel::telemetry::disable();
+        egraph_storage::counters::disable();
+    }
+    finish_metrics(metrics_server, metrics_linger);
     if report.mismatches.is_empty() {
         println!("all combinations conformant");
         return Ok(());

@@ -282,6 +282,167 @@ fn trace_diff_gates_on_regression() {
 }
 
 #[test]
+fn trace_out_emits_v3_schema_with_memory_section() {
+    let graph = tmp("smoke_v3.egr");
+    let trace = tmp("smoke_v3.json");
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "9", "--out", &graph,
+    ]))
+    .unwrap();
+    dispatch(&argv(&["run", "bfs", &graph, "--trace-out", &trace])).expect("bfs with trace");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        text.contains("egraph-trace/3"),
+        "trace must declare the v3 schema: {text}"
+    );
+    let parsed = egraph_core::telemetry::RunTrace::from_json(&text).unwrap();
+    assert_eq!(parsed.schema, egraph_core::telemetry::TRACE_SCHEMA);
+    // Every profiled phase carries the memory section. Without the
+    // alloc-track build the allocator fields read zero, but the RSS
+    // fallback fills in on any Linux host.
+    for phase in ["load", "algorithm"] {
+        let p = parsed.phases.iter().find(|p| p.name == phase).unwrap();
+        let mem = p
+            .memory
+            .unwrap_or_else(|| panic!("phase '{phase}' missing memory section: {text}"));
+        if std::path::Path::new("/proc/self/statm").exists() {
+            assert!(mem.end_rss_bytes > 0, "rss fallback should be non-zero");
+        }
+    }
+}
+
+#[test]
+fn trace_diff_gates_on_peak_memory_regression() {
+    use egraph_core::telemetry::PhaseMemory;
+    let graph = tmp("smoke_memdiff.egr");
+    let old_path = tmp("smoke_memdiff_old.json");
+    let new_path = tmp("smoke_memdiff_new.json");
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "9", "--out", &graph,
+    ]))
+    .unwrap();
+    dispatch(&argv(&["run", "bfs", &graph, "--trace-out", &old_path])).expect("baseline run");
+    let mut old =
+        egraph_core::telemetry::RunTrace::from_json(&std::fs::read_to_string(&old_path).unwrap())
+            .unwrap();
+    // Pin a real peak on the algorithm phase, then double it in a copy:
+    // the memory gate must trip at the default 10% threshold.
+    let algo = old
+        .phases
+        .iter_mut()
+        .find(|p| p.name == "algorithm")
+        .expect("algorithm phase profiled");
+    algo.memory = Some(PhaseMemory {
+        allocated_bytes: 96 << 20,
+        freed_bytes: 32 << 20,
+        peak_bytes: 64 << 20,
+        end_rss_bytes: 128 << 20,
+    });
+    std::fs::write(&old_path, old.to_json()).unwrap();
+    let mut new = old.clone();
+    new.phases
+        .iter_mut()
+        .find(|p| p.name == "algorithm")
+        .unwrap()
+        .memory
+        .as_mut()
+        .unwrap()
+        .peak_bytes = 128 << 20;
+    std::fs::write(&new_path, new.to_json()).unwrap();
+    assert!(
+        dispatch(&argv(&["trace", "diff", &old_path, &new_path])).is_err(),
+        "2x peak-memory growth must trip the gate"
+    );
+    dispatch(&argv(&[
+        "trace",
+        "diff",
+        &old_path,
+        &new_path,
+        "--threshold",
+        "150",
+    ]))
+    .expect("150% threshold tolerates a 100% growth");
+    // Raising the floor above both peaks declares the metric noise.
+    dispatch(&argv(&[
+        "trace",
+        "diff",
+        &old_path,
+        &new_path,
+        "--min-bytes",
+        "1073741824",
+    ]))
+    .expect("--min-bytes above both peaks disarms the memory gate");
+}
+
+#[test]
+fn trace_diff_rejects_unknown_schema_with_its_tag() {
+    let bogus = tmp("smoke_future.json");
+    std::fs::write(
+        &bogus,
+        "{\"schema\": \"egraph-trace/9\", \"algorithm\": \"bfs\"}",
+    )
+    .unwrap();
+    let err = dispatch(&argv(&["trace", "diff", &bogus, &bogus]))
+        .expect_err("future schema must be refused");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("egraph-trace/9"),
+        "error must name the offending schema tag: {msg}"
+    );
+    assert!(
+        msg.contains("egraph-trace/3"),
+        "error must list what this build reads: {msg}"
+    );
+}
+
+#[test]
+fn run_with_metrics_addr_serves_and_matches_trace() {
+    let graph = tmp("smoke_metrics.egr");
+    let trace = tmp("smoke_metrics.json");
+    dispatch(&argv(&[
+        "generate", "rmat", "--scale", "9", "--out", &graph,
+    ]))
+    .unwrap();
+    dispatch(&argv(&[
+        "run",
+        "pagerank",
+        &graph,
+        "--iters",
+        "3",
+        "--trace-out",
+        &trace,
+        "--metrics-addr",
+        "127.0.0.1:0",
+    ]))
+    .expect("run with --metrics-addr");
+    let parsed =
+        egraph_core::telemetry::RunTrace::from_json(&std::fs::read_to_string(&trace).unwrap())
+            .unwrap();
+    // The registry is process-global, so the teed counters are still
+    // readable after the endpoint shut down — and only this test drives
+    // them, so the totals must equal what the trace recorded.
+    let text = egraph_metrics::global().render();
+    for name in [
+        "egraph_pool_steals_total",
+        "egraph_pool_busy_seconds_total",
+        "egraph_storage_bytes_read_total",
+        "egraph_alloc_live_bytes",
+        "egraph_algo_iterations_total",
+        "egraph_algo_step_seconds_bucket",
+    ] {
+        assert!(text.contains(name), "missing metric {name}:\n{text}");
+    }
+    let iterations = text
+        .lines()
+        .find_map(|l| l.strip_prefix("egraph_algo_iterations_total "))
+        .expect("iterations sample present")
+        .trim()
+        .parse::<f64>()
+        .unwrap();
+    assert_eq!(iterations as usize, parsed.iterations.len());
+}
+
+#[test]
 fn timeline_out_writes_chrome_trace() {
     let graph = tmp("smoke_timeline.egr");
     let out = tmp("smoke_timeline.json");

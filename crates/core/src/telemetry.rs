@@ -270,6 +270,28 @@ pub struct PhaseProfile {
     /// Simulated cache statistics for the phase, when the run also went
     /// through the LLC simulator.
     pub simulated: Option<CacheStats>,
+    /// Memory accounting for the phase (schema v3; `None` for traces
+    /// parsed from v1/v2 documents).
+    pub memory: Option<PhaseMemory>,
+}
+
+/// Per-phase memory accounting (schema v3): what the tracking allocator
+/// attributed to the phase window plus an end-of-phase RSS sample.
+///
+/// When the binary does not install
+/// `egraph_metrics::alloc::TrackingAlloc`, the three allocator fields
+/// are zero while `end_rss_bytes` still carries the `/proc/self/statm`
+/// fallback (itself zero where procfs is unavailable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseMemory {
+    /// Heap bytes allocated during the phase window.
+    pub allocated_bytes: u64,
+    /// Heap bytes freed during the phase window.
+    pub freed_bytes: u64,
+    /// Peak total live heap bytes observed during the phase window.
+    pub peak_bytes: u64,
+    /// Resident set size sampled when the phase ended.
+    pub end_rss_bytes: u64,
 }
 
 impl PhaseProfile {
@@ -294,12 +316,18 @@ impl PhaseProfile {
 /// and whatever counters the engine, pool and storage layers reported.
 ///
 /// Serializes to JSON ([`RunTrace::to_json`], schema
-/// `egraph-trace/2`) and CSV ([`RunTrace::to_csv`]); parses back from
+/// `egraph-trace/3`) and CSV ([`RunTrace::to_csv`]); parses back from
 /// its own JSON ([`RunTrace::from_json`]) and CSV
 /// ([`RunTrace::from_csv`]). Schema-v1 documents (which predate
-/// [`PhaseProfile`]) still parse, with `phases` empty.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// [`PhaseProfile`]) and v2 documents (which predate [`PhaseMemory`])
+/// still parse, with the missing sections empty/`None`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunTrace {
+    /// The schema tag the document declared when parsed (one of
+    /// [`TRACE_SCHEMA`], [`TRACE_SCHEMA_V2`], [`TRACE_SCHEMA_V1`]);
+    /// [`TRACE_SCHEMA`] for freshly built traces. Serialization always
+    /// writes the current schema.
+    pub schema: String,
     /// Algorithm name (e.g. `"bfs"`).
     pub algorithm: String,
     /// Free-form run configuration (layout, flow, sync, threads, …).
@@ -317,11 +345,33 @@ pub struct RunTrace {
     pub phases: Vec<PhaseProfile>,
 }
 
-/// Schema tag embedded in every JSON trace this version writes.
-pub const TRACE_SCHEMA: &str = "egraph-trace/2";
+impl Default for RunTrace {
+    fn default() -> Self {
+        Self {
+            schema: TRACE_SCHEMA.to_string(),
+            algorithm: String::new(),
+            config: BTreeMap::new(),
+            breakdown: TimeBreakdown::default(),
+            iterations: Vec::new(),
+            counters: BTreeMap::new(),
+            spans: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+}
 
-/// The previous schema tag; still accepted by the parsers.
+/// Schema tag embedded in every JSON trace this version writes.
+pub const TRACE_SCHEMA: &str = "egraph-trace/3";
+
+/// The v2 schema tag (phases without memory); still accepted by the
+/// parsers.
+pub const TRACE_SCHEMA_V2: &str = "egraph-trace/2";
+
+/// The original schema tag (no phases); still accepted by the parsers.
 pub const TRACE_SCHEMA_V1: &str = "egraph-trace/1";
+
+/// The schema tags this build reads, newest first.
+pub const ACCEPTED_SCHEMAS: [&str; 3] = [TRACE_SCHEMA, TRACE_SCHEMA_V2, TRACE_SCHEMA_V1];
 
 /// Output format for a [`RunTrace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -343,13 +393,26 @@ impl TraceFormat {
     }
 }
 
-/// Error produced when parsing a JSON trace back.
+/// Error produced when parsing a trace back.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceError(String);
+pub enum TraceError {
+    /// The document is not a structurally valid trace.
+    Malformed(String),
+    /// The document declared a schema tag this build does not read
+    /// (e.g. a future `egraph-trace/4`); carries the offending tag.
+    UnsupportedSchema(String),
+}
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid trace: {}", self.0)
+        match self {
+            TraceError::Malformed(msg) => write!(f, "invalid trace: {msg}"),
+            TraceError::UnsupportedSchema(tag) => write!(
+                f,
+                "unsupported trace schema '{tag}' (this build reads {})",
+                ACCEPTED_SCHEMAS.join(", ")
+            ),
+        }
     }
 }
 
@@ -476,6 +539,15 @@ impl RunTrace {
                     sim.accesses, sim.misses
                 )),
             }
+            out.push_str(", \"memory\": ");
+            match &p.memory {
+                None => out.push_str("null"),
+                Some(m) => out.push_str(&format!(
+                    "{{\"allocated_bytes\": {}, \"freed_bytes\": {}, \
+                     \"peak_bytes\": {}, \"end_rss_bytes\": {}}}",
+                    m.allocated_bytes, m.freed_bytes, m.peak_bytes, m.end_rss_bytes
+                )),
+            }
             out.push('}');
         }
         if !self.phases.is_empty() {
@@ -492,21 +564,22 @@ impl RunTrace {
     /// Returns [`TraceError`] on malformed JSON, a missing/foreign
     /// schema tag, or fields of unexpected shape.
     pub fn from_json(text: &str) -> Result<Self, TraceError> {
-        let value = json::parse(text).map_err(TraceError)?;
+        let value = json::parse(text).map_err(TraceError::Malformed)?;
         let obj = value
             .as_object()
             .ok_or_else(|| err("root is not an object"))?;
         let schema = get(obj, "schema")?
             .as_str()
             .ok_or_else(|| err("schema is not a string"))?;
-        if schema != TRACE_SCHEMA && schema != TRACE_SCHEMA_V1 {
-            return Err(err(&format!("unsupported schema '{schema}'")));
+        if !ACCEPTED_SCHEMAS.contains(&schema) {
+            return Err(TraceError::UnsupportedSchema(schema.to_string()));
         }
         let mut trace = RunTrace::new(
             get(obj, "algorithm")?
                 .as_str()
                 .ok_or_else(|| err("algorithm is not a string"))?,
         );
+        trace.schema = schema.to_string();
         for (k, v) in get(obj, "config")?
             .as_object()
             .ok_or_else(|| err("config is not an object"))?
@@ -608,6 +681,22 @@ impl RunTrace {
                         });
                     }
                 }
+                // `memory` arrived with schema v3; tolerate both a
+                // missing key (v2 document) and an explicit null.
+                match get(o, "memory") {
+                    Err(_) | Ok(json::Value::Null) => {}
+                    Ok(mem) => {
+                        let mo = mem
+                            .as_object()
+                            .ok_or_else(|| err("phase memory is not an object"))?;
+                        profile.memory = Some(PhaseMemory {
+                            allocated_bytes: num_field(mo, "allocated_bytes")? as u64,
+                            freed_bytes: num_field(mo, "freed_bytes")? as u64,
+                            peak_bytes: num_field(mo, "peak_bytes")? as u64,
+                            end_rss_bytes: num_field(mo, "end_rss_bytes")? as u64,
+                        });
+                    }
+                }
                 trace.phases.push(profile);
             }
         }
@@ -616,9 +705,9 @@ impl RunTrace {
 
     /// Serializes to flat CSV. The first column discriminates the
     /// record type (`meta`, `breakdown`, `iteration`, `counter`,
-    /// `span`, `phase`, `phase_hw`, `phase_sim`); unused columns are
-    /// left empty. Fields containing separators are quoted per RFC
-    /// 4180, and [`RunTrace::from_csv`] parses the result back.
+    /// `span`, `phase`, `phase_hw`, `phase_sim`, `phase_mem`); unused
+    /// columns are left empty. Fields containing separators are quoted
+    /// per RFC 4180, and [`RunTrace::from_csv`] parses the result back.
     pub fn to_csv(&self) -> String {
         let q = csv::field;
         let mut out = String::new();
@@ -675,6 +764,16 @@ impl RunTrace {
                     sim.misses
                 ));
             }
+            if let Some(mem) = &p.memory {
+                for (field, value) in [
+                    ("allocated_bytes", mem.allocated_bytes),
+                    ("freed_bytes", mem.freed_bytes),
+                    ("peak_bytes", mem.peak_bytes),
+                    ("end_rss_bytes", mem.end_rss_bytes),
+                ] {
+                    out.push_str(&format!("phase_mem,{},,,,,{field},{value}\n", q(&p.name)));
+                }
+            }
         }
         out
     }
@@ -689,7 +788,7 @@ impl RunTrace {
         let mut lines = text.lines();
         let header = lines.next().ok_or_else(|| err("empty document"))?;
         if csv::split(header)
-            .map_err(TraceError)?
+            .map_err(TraceError::Malformed)?
             .first()
             .map(String::as_str)
             != Some("record")
@@ -702,7 +801,7 @@ impl RunTrace {
             if line.is_empty() {
                 continue;
             }
-            let f = csv::split(line).map_err(TraceError)?;
+            let f = csv::split(line).map_err(TraceError::Malformed)?;
             let col = |i: usize| f.get(i).map(String::as_str).unwrap_or("");
             let numcol = |i: usize| -> Result<f64, TraceError> {
                 col(i)
@@ -713,9 +812,10 @@ impl RunTrace {
                 "meta" => match col(1) {
                     "schema" => {
                         let schema = col(7);
-                        if schema != TRACE_SCHEMA && schema != TRACE_SCHEMA_V1 {
-                            return Err(err(&format!("unsupported schema '{schema}'")));
+                        if !ACCEPTED_SCHEMAS.contains(&schema) {
+                            return Err(TraceError::UnsupportedSchema(schema.to_string()));
                         }
+                        trace.schema = schema.to_string();
                         saw_schema = true;
                     }
                     "algorithm" => trace.algorithm = col(7).to_string(),
@@ -773,6 +873,20 @@ impl RunTrace {
                         }
                     }
                 }
+                "phase_mem" => {
+                    let value = numcol(7)? as u64;
+                    let phase = phase_mut(&mut trace, col(1))?;
+                    let mem = phase.memory.get_or_insert_with(PhaseMemory::default);
+                    match col(6) {
+                        "allocated_bytes" => mem.allocated_bytes = value,
+                        "freed_bytes" => mem.freed_bytes = value,
+                        "peak_bytes" => mem.peak_bytes = value,
+                        "end_rss_bytes" => mem.end_rss_bytes = value,
+                        other => {
+                            return Err(err(&format!("unknown phase_mem field '{other}'")));
+                        }
+                    }
+                }
                 other => return Err(err(&format!("unknown record type '{other}'"))),
             }
         }
@@ -795,7 +909,7 @@ fn phase_mut<'a>(trace: &'a mut RunTrace, name: &str) -> Result<&'a mut PhasePro
 }
 
 fn err(msg: &str) -> TraceError {
-    TraceError(msg.to_string())
+    TraceError::Malformed(msg.to_string())
 }
 
 fn get<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Value, TraceError> {
@@ -862,16 +976,20 @@ impl PhaseProfiler {
             .unwrap_or_default()
     }
 
-    /// Runs `f` as the named phase, recording its wall time and
-    /// hardware counter deltas.
+    /// Runs `f` as the named phase, recording its wall time, hardware
+    /// counter deltas, and memory accounting (allocator attribution
+    /// when `egraph_metrics::alloc::TrackingAlloc` is installed, plus
+    /// the end-of-phase RSS sample).
     pub fn profile<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
         let Some(counters) = &self.counters else {
             return f();
         };
         let window = counters.phase();
+        let alloc_window = egraph_metrics::alloc::window(name);
         let start = Instant::now();
         let out = f();
         let seconds = start.elapsed().as_secs_f64();
+        let alloc_stats = alloc_window.finish();
         let sample = window.finish();
         let mut profile = PhaseProfile {
             name: name.to_string(),
@@ -883,6 +1001,12 @@ impl PhaseProfiler {
                 .hardware
                 .insert(kind.name().to_string(), value as f64);
         }
+        profile.memory = Some(PhaseMemory {
+            allocated_bytes: alloc_stats.allocated_bytes,
+            freed_bytes: alloc_stats.freed_bytes,
+            peak_bytes: alloc_stats.peak_bytes,
+            end_rss_bytes: egraph_metrics::alloc::rss_bytes().unwrap_or(0),
+        });
         self.phases.lock().push(profile);
         out
     }
@@ -1338,7 +1462,14 @@ mod tests {
             accesses: 1000,
             misses: 250,
         });
+        algo_phase.memory = Some(PhaseMemory {
+            allocated_bytes: 4_194_304,
+            freed_bytes: 1_048_576,
+            peak_bytes: 5_242_880,
+            end_rss_bytes: 33_554_432,
+        });
         t.phases.push(algo_phase);
+        // No memory section on this one: both states must round-trip.
         t.phases.push(PhaseProfile {
             name: "load, restricted".into(), // comma exercises CSV quoting
             seconds: 0.5,
@@ -1380,12 +1511,17 @@ mod tests {
             "phase,algorithm",
             "phase_hw,algorithm,,,,,cycles",
             "phase_sim,algorithm,,,,,misses",
+            "phase_mem,algorithm,,,,,peak_bytes",
         ] {
             assert!(text.contains(tag), "missing {tag} in:\n{text}");
         }
         // header + 2 meta + 2 config + 6 breakdown + 2 iterations
-        // + 2 counters + 1 span + 2 phases + 2 phase_hw + 2 phase_sim.
-        assert_eq!(text.lines().count(), 1 + 2 + 2 + 6 + 2 + 2 + 1 + 2 + 2 + 2);
+        // + 2 counters + 1 span + 2 phases + 2 phase_hw + 2 phase_sim
+        // + 4 phase_mem.
+        assert_eq!(
+            text.lines().count(),
+            1 + 2 + 2 + 6 + 2 + 2 + 1 + 2 + 2 + 2 + 4
+        );
     }
 
     #[test]
@@ -1424,12 +1560,63 @@ mod tests {
         let json_text = json_text.replace(",\n  \"phases\": []\n}", "\n}");
         assert!(json_text.contains(TRACE_SCHEMA_V1));
         assert!(!json_text.contains("\"phases\""));
+        v1.schema = TRACE_SCHEMA_V1.to_string();
         let parsed = RunTrace::from_json(&json_text).unwrap();
         assert_eq!(parsed, v1);
 
+        v1.schema = TRACE_SCHEMA.to_string();
         let csv_text = v1.to_csv().replacen(TRACE_SCHEMA, TRACE_SCHEMA_V1, 1);
+        v1.schema = TRACE_SCHEMA_V1.to_string();
         let parsed = RunTrace::from_csv(&csv_text).unwrap();
         assert_eq!(parsed, v1);
+    }
+
+    #[test]
+    fn schema_v2_documents_still_parse() {
+        // A v2 producer wrote `phases` but no `memory` key inside them;
+        // both parsers must accept the tag and leave `memory` `None`.
+        let mut v2 = sample_trace();
+        for p in &mut v2.phases {
+            p.memory = None;
+        }
+        let json_text = v2.to_json().replacen(TRACE_SCHEMA, TRACE_SCHEMA_V2, 1);
+        // Drop the memory keys entirely, as a real v2 document would.
+        let json_text = json_text.replace(", \"memory\": null", "");
+        assert!(json_text.contains(TRACE_SCHEMA_V2));
+        assert!(!json_text.contains("\"memory\""));
+        v2.schema = TRACE_SCHEMA_V2.to_string();
+        let parsed = RunTrace::from_json(&json_text).unwrap();
+        assert_eq!(parsed, v2);
+
+        v2.schema = TRACE_SCHEMA.to_string();
+        let csv_text = v2.to_csv().replacen(TRACE_SCHEMA, TRACE_SCHEMA_V2, 1);
+        v2.schema = TRACE_SCHEMA_V2.to_string();
+        let parsed = RunTrace::from_csv(&csv_text).unwrap();
+        assert_eq!(parsed, v2);
+    }
+
+    #[test]
+    fn future_schema_errors_are_typed_with_offending_tag() {
+        let json_text = sample_trace()
+            .to_json()
+            .replacen(TRACE_SCHEMA, "egraph-trace/9", 1);
+        let e = RunTrace::from_json(&json_text).unwrap_err();
+        assert_eq!(e, TraceError::UnsupportedSchema("egraph-trace/9".into()));
+        let msg = e.to_string();
+        assert!(msg.contains("egraph-trace/9"), "offending tag in: {msg}");
+        assert!(msg.contains(TRACE_SCHEMA), "accepted tags in: {msg}");
+
+        let csv_text = sample_trace()
+            .to_csv()
+            .replacen(TRACE_SCHEMA, "egraph-trace/9", 1);
+        let e = RunTrace::from_csv(&csv_text).unwrap_err();
+        assert_eq!(e, TraceError::UnsupportedSchema("egraph-trace/9".into()));
+
+        // Structural failures stay in the Malformed variant.
+        assert!(matches!(
+            RunTrace::from_json("{").unwrap_err(),
+            TraceError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -1475,6 +1662,13 @@ mod tests {
         // the busy loop must have registered on every open counter.
         for kind in profiler.available_counters() {
             assert!(phases[0].hardware.contains_key(kind.name()));
+        }
+        // An enabled profiler always attaches the memory section; the
+        // allocator fields are zero here (no TrackingAlloc in this test
+        // binary) while end-RSS carries the statm fallback on Linux.
+        let mem = phases[0].memory.expect("memory section present");
+        if std::path::Path::new("/proc/self/statm").exists() {
+            assert!(mem.end_rss_bytes > 0, "RSS fallback sampled: {mem:?}");
         }
         assert!(profiler.take_phases().is_empty());
     }

@@ -82,6 +82,9 @@ pub struct DiffOptions {
     /// Time metrics where both runs stayed under this many seconds are
     /// never flagged — sub-noise phases jitter by large percentages.
     pub min_seconds: f64,
+    /// Memory metrics where both runs stayed under this many bytes are
+    /// never flagged — allocator noise dominates tiny footprints.
+    pub min_bytes: f64,
 }
 
 impl Default for DiffOptions {
@@ -89,6 +92,7 @@ impl Default for DiffOptions {
         Self {
             threshold_pct: 10.0,
             min_seconds: 1e-3,
+            min_bytes: (1u64 << 20) as f64,
         }
     }
 }
@@ -126,6 +130,15 @@ pub fn diff_traces(old: &RunTrace, new: &RunTrace, opts: &DiffOptions) -> TraceD
         }
         if old_v <= 0.0 {
             return new_v > 0.0;
+        }
+        new_v > old_v * (1.0 + opts.threshold_pct / 100.0)
+    };
+    let bytes_regressed = |old_v: f64, new_v: f64| {
+        if !old_v.is_finite() || !new_v.is_finite() {
+            return false;
+        }
+        if old_v.max(new_v) < opts.min_bytes {
+            return false;
         }
         new_v > old_v * (1.0 + opts.threshold_pct / 100.0)
     };
@@ -198,6 +211,43 @@ pub fn diff_traces(old: &RunTrace, new: &RunTrace, opts: &DiffOptions) -> TraceD
                 ratio_regressed(old_r, new_r),
                 "",
             );
+        }
+        // Schema-v3 memory: peak bytes gate, but only when both runs
+        // actually tracked allocations — an untracked build reports a
+        // zero peak and must not fake an "appeared from zero"
+        // regression against a tracked one (or vice versa).
+        if let (Some(old_m), Some(new_m)) = (&old_phase.memory, &new_phase.memory) {
+            let (old_peak, new_peak) = (old_m.peak_bytes as f64, new_m.peak_bytes as f64);
+            let comparable = old_peak > 0.0 && new_peak > 0.0;
+            push_row(
+                &mut diff,
+                format!("phase.{}.peak_bytes", new_phase.name),
+                old_peak,
+                new_peak,
+                comparable,
+                comparable && bytes_regressed(old_peak, new_peak),
+                "B",
+            );
+            for (field, old_v, new_v) in [
+                (
+                    "allocated_bytes",
+                    old_m.allocated_bytes as f64,
+                    new_m.allocated_bytes as f64,
+                ),
+                (
+                    "end_rss_bytes",
+                    old_m.end_rss_bytes as f64,
+                    new_m.end_rss_bytes as f64,
+                ),
+            ] {
+                diff.rows.push(DiffRow {
+                    metric: format!("phase.{}.{field}", new_phase.name),
+                    old: old_v,
+                    new: new_v,
+                    gating: false,
+                    regressed: false,
+                });
+            }
         }
         // Raw counter deltas: context only.
         for kind in CounterKind::ALL {
@@ -373,6 +423,92 @@ mod tests {
             .rows
             .iter()
             .any(|r| r.metric == "phase.algorithm.cycles" && !r.gating));
+    }
+
+    fn trace_with_peak(peak_bytes: u64) -> RunTrace {
+        let mut t = trace_with(1.0, 20);
+        t.phases[0].memory = Some(crate::telemetry::PhaseMemory {
+            allocated_bytes: peak_bytes * 2,
+            freed_bytes: peak_bytes,
+            peak_bytes,
+            end_rss_bytes: peak_bytes + (1 << 20),
+        });
+        t
+    }
+
+    #[test]
+    fn peak_memory_regression_beyond_threshold_gates() {
+        let old = trace_with_peak(100 << 20);
+        let new = trace_with_peak(150 << 20);
+        let diff = diff_traces(&old, &new, &DiffOptions::default());
+        assert!(diff.has_regressions());
+        let row = diff
+            .rows
+            .iter()
+            .find(|r| r.metric == "phase.algorithm.peak_bytes")
+            .expect("peak row present");
+        assert!(row.gating && row.regressed);
+        // Allocation totals and RSS only provide context.
+        for metric in [
+            "phase.algorithm.allocated_bytes",
+            "phase.algorithm.end_rss_bytes",
+        ] {
+            let r = diff.rows.iter().find(|r| r.metric == metric).unwrap();
+            assert!(!r.gating && !r.regressed, "{metric} must not gate");
+        }
+    }
+
+    #[test]
+    fn peak_memory_within_threshold_passes() {
+        let old = trace_with_peak(100 << 20);
+        let new = trace_with_peak(105 << 20);
+        assert!(!diff_traces(&old, &new, &DiffOptions::default()).has_regressions());
+    }
+
+    #[test]
+    fn untracked_zero_peaks_never_gate() {
+        // An alloc-track build vs a plain build: one side's peak is 0.
+        let tracked = trace_with_peak(100 << 20);
+        let untracked = trace_with_peak(0);
+        for (old, new) in [(&tracked, &untracked), (&untracked, &tracked)] {
+            let diff = diff_traces(old, new, &DiffOptions::default());
+            assert!(
+                !diff.has_regressions(),
+                "zero-peak side must disarm the gate: {:?}",
+                diff.regressions
+            );
+            let row = diff
+                .rows
+                .iter()
+                .find(|r| r.metric == "phase.algorithm.peak_bytes")
+                .expect("row still reported for context");
+            assert!(!row.gating);
+        }
+    }
+
+    #[test]
+    fn tiny_footprints_below_min_bytes_never_gate() {
+        let old = trace_with_peak(100 << 10); // 100 KiB
+        let new = trace_with_peak(500 << 10); // 5x, but both < 1 MiB
+        assert!(!diff_traces(&old, &new, &DiffOptions::default()).has_regressions());
+        // A lower floor re-arms the gate.
+        let tight = DiffOptions {
+            min_bytes: 1024.0,
+            ..DiffOptions::default()
+        };
+        assert!(diff_traces(&old, &new, &tight).has_regressions());
+    }
+
+    #[test]
+    fn memory_missing_on_either_side_is_ignored() {
+        let with_mem = trace_with_peak(100 << 20);
+        let without_mem = trace_with(1.0, 20); // v2-style phase, memory None
+        let diff = diff_traces(&without_mem, &with_mem, &DiffOptions::default());
+        assert!(!diff.has_regressions());
+        assert!(!diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "phase.algorithm.peak_bytes"));
     }
 
     #[test]

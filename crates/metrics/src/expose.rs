@@ -1,0 +1,209 @@
+//! Prometheus text exposition format 0.0.4 rendering.
+//!
+//! One `# HELP` / `# TYPE` pair per metric name (first registration's
+//! help wins), all series of a name grouped together, label values
+//! escaped per the spec (`\\`, `\"`, `\n`), histograms rendered as
+//! cumulative `_bucket{le=...}` series terminated by `le="+Inf"` plus
+//! `_sum` and `_count`.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Entry, Instrument, MetricsRegistry};
+
+/// Escape a label value: backslash, double-quote and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text: backslash and newline (quotes are legal there).
+pub fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a sample value. Counters hold integers; everything else is a
+/// shortest-roundtrip float.
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    match &e.instrument {
+        Instrument::Counter(c) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                c.get()
+            );
+        }
+        Instrument::CounterFn(f) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                fmt_value(f())
+            );
+        }
+        Instrument::Gauge(g) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                fmt_value(g.get())
+            );
+        }
+        Instrument::GaugeFn(f) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                fmt_value(f())
+            );
+        }
+        Instrument::Histogram(h) => {
+            // Read count before the buckets: observe() fills the bucket
+            // first and bumps the count second, so a concurrent scrape
+            // can otherwise see a cumulative bucket above the +Inf total.
+            let total = h.count();
+            let (cumulative, _) = h.cumulative_counts();
+            let total = total.max(cumulative.last().copied().unwrap_or(0));
+            for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+                let le = fmt_value(*bound);
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    e.name,
+                    label_block(&e.labels, Some(("le", &le))),
+                    cum
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                e.name,
+                label_block(&e.labels, Some(("le", "+Inf"))),
+                total
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                fmt_value(h.sum())
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                e.name,
+                label_block(&e.labels, None),
+                total
+            );
+        }
+    }
+}
+
+/// Render every metric in `registry` to exposition text.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let entries = registry.entries.lock();
+    let mut out = String::new();
+    let mut done: Vec<&str> = Vec::new();
+    for e in entries.iter() {
+        if done.contains(&e.name.as_str()) {
+            continue;
+        }
+        done.push(&e.name);
+        let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
+        let _ = writeln!(out, "# TYPE {} {}", e.name, e.type_str());
+        for series in entries.iter().filter(|s| s.name == e.name) {
+            render_entry(&mut out, series);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes() {
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        assert_eq!(escape_help("back\\slash\nnew"), "back\\\\slash\\nnew");
+    }
+
+    #[test]
+    fn grouped_render_with_help_and_type() {
+        let r = MetricsRegistry::new();
+        r.counter_with_labels("req_total", "requests", &[("kind", "a")])
+            .add(1);
+        r.gauge("g", "a gauge").set(2.5);
+        r.counter_with_labels("req_total", "requests", &[("kind", "b")])
+            .add(2);
+        let text = r.render();
+        let help_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# HELP req_total"))
+            .count();
+        assert_eq!(help_lines, 1, "one HELP per name:\n{text}");
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{kind=\"a\"} 1"));
+        assert!(text.contains("req_total{kind=\"b\"} 2"));
+        assert!(text.contains("# TYPE g gauge"));
+        assert!(text.contains("g 2.5"));
+        // All req_total series contiguous (grouped under one header).
+        let lines: Vec<&str> = text.lines().collect();
+        let first = lines
+            .iter()
+            .position(|l| l.starts_with("req_total"))
+            .unwrap();
+        assert!(lines[first + 1].starts_with("req_total"));
+    }
+}

@@ -1,0 +1,464 @@
+//! Process-global metrics registry: counters, gauges and fixed-bucket
+//! histograms keyed by `(name, labels)`.
+//!
+//! Registration takes a slow-path mutex; the returned handles are `Arc`s
+//! whose hot-path operations ([`Counter::inc`], [`Histogram::observe`])
+//! touch only the caller's padded shard. Scrapes walk the registry under
+//! the same mutex but read the shards lock-free, so a live scrape never
+//! blocks a worker mid-increment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::sharded::{ShardedF64, ShardedU64};
+
+/// Optional unit hint recorded for documentation purposes in HELP text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    None,
+    Bytes,
+    Seconds,
+}
+
+/// A monotonically non-decreasing counter.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<ShardedU64>,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Self {
+            inner: Arc::new(ShardedU64::new()),
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.inner.add(1);
+    }
+
+    /// Increment by `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.inner.add(delta);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.inner.total()
+    }
+}
+
+/// A gauge: a value that can move in either direction. Stored as `f64`
+/// bits in a single atomic (gauges are set from one place, not
+/// hot-path-incremented by many workers).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with fixed upper-bound buckets plus an implicit `+Inf`
+/// terminal bucket. Observations land in the caller's padded shard.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+struct HistogramInner {
+    /// Finite upper bounds, strictly increasing. The `+Inf` bucket is
+    /// implicit (its cumulative count equals the total count).
+    bounds: Vec<f64>,
+    /// `bounds.len()` sharded per-bucket counts (non-cumulative).
+    buckets: Vec<ShardedU64>,
+    count: ShardedU64,
+    sum: ShardedF64,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let buckets = bounds.iter().map(|_| ShardedU64::new()).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                buckets,
+                count: ShardedU64::new(),
+                sum: ShardedF64::new(),
+            }),
+        }
+    }
+
+    /// Log-scale bucket bounds `2^lo ..= 2^hi`, the registry's standard
+    /// shape. `log2_buckets(-20, 4)` spans ~1 µs to 16 s for seconds.
+    pub fn log2_bounds(lo: i32, hi: i32) -> Vec<f64> {
+        (lo..=hi).map(|e| (e as f64).exp2()).collect()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let h = &*self.inner;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            if value <= *bound {
+                h.buckets[i].add(1);
+                break;
+            }
+        }
+        // Values above every finite bound land only in +Inf (the count).
+        h.count.add(1);
+        h.sum.add(value);
+    }
+
+    /// Finite bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.inner.bounds
+    }
+
+    /// Cumulative counts per finite bound, followed by the `+Inf` total.
+    pub fn cumulative_counts(&self) -> (Vec<u64>, u64) {
+        let mut acc = 0u64;
+        let cumulative = self
+            .inner
+            .buckets
+            .iter()
+            .map(|b| {
+                acc += b.total();
+                acc
+            })
+            .collect();
+        (cumulative, self.inner.count.total())
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.inner.sum.total()
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.total()
+    }
+}
+
+/// What a registered entry measures and how to read it at scrape time.
+pub(crate) enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    /// Counter whose value is computed at scrape time (e.g. reading the
+    /// pool telemetry snapshot). Must be monotonically non-decreasing.
+    CounterFn(Box<dyn Fn() -> f64 + Send + Sync>),
+    /// Gauge computed at scrape time.
+    GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
+}
+
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    pub(crate) help: String,
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) instrument: Instrument,
+}
+
+impl Entry {
+    pub(crate) fn type_str(&self) -> &'static str {
+        match self.instrument {
+            Instrument::Counter(_) | Instrument::CounterFn(_) => "counter",
+            Instrument::Gauge(_) | Instrument::GaugeFn(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A collection of metrics rendered together by one `/metrics` endpoint.
+pub struct MetricsRegistry {
+    pub(crate) entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    pub const fn new() -> Self {
+        Self {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn position(entries: &[Entry], name: &str, labels: &[(String, String)]) -> Option<usize> {
+        entries
+            .iter()
+            .position(|e| e.name == name && e.labels == labels)
+    }
+
+    /// Register (or fetch the existing) counter for `(name, labels)`.
+    ///
+    /// # Panics
+    /// If the `(name, labels)` pair is already registered as a different
+    /// metric kind.
+    pub fn counter_with_labels(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let labels = own_labels(labels);
+        let mut entries = self.entries.lock();
+        if let Some(i) = Self::position(&entries, name, &labels) {
+            match &entries[i].instrument {
+                Instrument::Counter(c) => return c.clone(),
+                _ => panic!(
+                    "metric `{name}` already registered as {}",
+                    entries[i].type_str()
+                ),
+            }
+        }
+        let counter = Counter::new();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            instrument: Instrument::Counter(counter.clone()),
+        });
+        counter
+    }
+
+    /// Register (or fetch the existing) unlabelled counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with_labels(name, help, &[])
+    }
+
+    /// Register (or fetch the existing) gauge for `(name, labels)`.
+    pub fn gauge_with_labels(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let labels = own_labels(labels);
+        let mut entries = self.entries.lock();
+        if let Some(i) = Self::position(&entries, name, &labels) {
+            match &entries[i].instrument {
+                Instrument::Gauge(g) => return g.clone(),
+                _ => panic!(
+                    "metric `{name}` already registered as {}",
+                    entries[i].type_str()
+                ),
+            }
+        }
+        let gauge = Gauge::new();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            instrument: Instrument::Gauge(gauge.clone()),
+        });
+        gauge
+    }
+
+    /// Register (or fetch the existing) unlabelled gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with_labels(name, help, &[])
+    }
+
+    /// Register (or fetch the existing) histogram with explicit finite
+    /// bucket bounds (strictly increasing).
+    pub fn histogram_with_bounds(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<f64>,
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram `{name}`: bucket bounds must be strictly increasing"
+        );
+        let labels = own_labels(labels);
+        let mut entries = self.entries.lock();
+        if let Some(i) = Self::position(&entries, name, &labels) {
+            match &entries[i].instrument {
+                Instrument::Histogram(h) => return h.clone(),
+                _ => panic!(
+                    "metric `{name}` already registered as {}",
+                    entries[i].type_str()
+                ),
+            }
+        }
+        let histogram = Histogram::new(bounds);
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            instrument: Instrument::Histogram(histogram.clone()),
+        });
+        histogram
+    }
+
+    /// Register (or fetch the existing) histogram with the standard
+    /// log2 seconds buckets (~1 µs to 16 s).
+    pub fn histogram_seconds(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with_bounds(name, help, &[], Histogram::log2_bounds(-20, 4))
+    }
+
+    /// Register a counter whose value is computed at scrape time. The
+    /// callback must be monotonically non-decreasing. Idempotent: if the
+    /// `(name, labels=[])` pair exists, the existing callback is kept.
+    pub fn counter_fn<F>(&self, name: &str, help: &str, f: F)
+    where
+        F: Fn() -> f64 + Send + Sync + 'static,
+    {
+        let mut entries = self.entries.lock();
+        if Self::position(&entries, name, &[]).is_some() {
+            return;
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: Vec::new(),
+            instrument: Instrument::CounterFn(Box::new(f)),
+        });
+    }
+
+    /// Register a gauge whose value is computed at scrape time.
+    /// Idempotent like [`MetricsRegistry::counter_fn`].
+    pub fn gauge_fn<F>(&self, name: &str, help: &str, f: F)
+    where
+        F: Fn() -> f64 + Send + Sync + 'static,
+    {
+        let mut entries = self.entries.lock();
+        if Self::position(&entries, name, &[]).is_some() {
+            return;
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: Vec::new(),
+            instrument: Instrument::GaugeFn(Box::new(f)),
+        });
+    }
+
+    /// Render every registered metric in Prometheus text exposition
+    /// format 0.0.4.
+    pub fn render(&self) -> String {
+        crate::expose::render(self)
+    }
+
+    /// Remove every registered metric. Intended for tests.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+
+/// The process-global registry served by [`crate::serve`].
+pub fn global() -> &'static MetricsRegistry {
+    &GLOBAL
+}
+
+/// Map an arbitrary dotted counter name (e.g. `engine.edges_examined`)
+/// to a valid Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`, with
+/// every invalid character replaced by `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_idempotent_registration() {
+        let r = MetricsRegistry::new();
+        let c1 = r.counter("requests_total", "requests");
+        c1.add(3);
+        let c2 = r.counter("requests_total", "requests");
+        c2.inc();
+        assert_eq!(c1.get(), 4);
+        assert_eq!(c2.get(), 4);
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter_with_labels("ops_total", "ops", &[("kind", "push")]);
+        let b = r.counter_with_labels("ops_total", "ops", &[("kind", "pull")]);
+        a.add(2);
+        b.add(5);
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x_total", "x");
+        r.gauge("x_total", "x");
+    }
+
+    #[test]
+    fn gauge_set_get() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("temp", "temperature");
+        g.set(-3.5);
+        assert_eq!(g.get(), -3.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_bounds("lat", "latency", &[], vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let (cum, total) = h.cumulative_counts();
+        assert_eq!(cum, vec![1, 2, 3]);
+        assert_eq!(total, 4);
+        assert!((h.sum() - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log2_bounds_shape() {
+        let b = Histogram::log2_bounds(-2, 2);
+        assert_eq!(b, vec![0.25, 0.5, 1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(
+            sanitize_metric_name("engine.edges_examined"),
+            "engine_edges_examined"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("a9"), "a9");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+}

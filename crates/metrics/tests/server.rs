@@ -1,0 +1,57 @@
+//! End-to-end tests of the `/metrics` endpoint over a real TCP socket.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn serves_metrics_healthz_and_404() {
+    egraph_metrics::global()
+        .counter("server_test_requests_total", "test counter")
+        .add(9);
+    let server = egraph_metrics::serve("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.addr();
+    assert_ne!(addr.port(), 0, "ephemeral port resolved");
+
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+    assert!(
+        metrics.contains("text/plain; version=0.0.4"),
+        "exposition content type: {metrics}"
+    );
+    assert!(
+        metrics.contains("server_test_requests_total 9"),
+        "body carries registry contents: {metrics}"
+    );
+
+    let health = get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK\r\n"));
+    assert!(health.ends_with("ok\n"));
+
+    let missing = get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"));
+
+    // Sequential scrapes keep working (Connection: close per request).
+    let again = get(addr, "/metrics");
+    assert!(again.starts_with("HTTP/1.1 200 OK\r\n"));
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_frees_the_port() {
+    let server = egraph_metrics::serve("127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    server.shutdown();
+    // After shutdown nothing is listening; a fresh bind to the same port
+    // must succeed.
+    let rebound = std::net::TcpListener::bind(addr).expect("port released after shutdown");
+    drop(rebound);
+}

@@ -25,8 +25,16 @@ static TASKS: AtomicU64 = AtomicU64::new(0);
 static STEALS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
 static BUSY_NANOS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
 
-/// Turns the pool counters on. Off by default.
+/// Turns the pool counters on and zeroes them, starting a fresh
+/// collection window. Off by default.
+///
+/// The zeroing matters for pool reuse: the pool survives across runs
+/// (including after a worker panic), so without it a second
+/// instrumented run would report the first run's steals and busy time
+/// on top of its own. Call [`reset`] instead to zero without changing
+/// the collection state.
 pub fn enable() {
+    reset();
     ENABLED.store(true, Ordering::Relaxed);
 }
 

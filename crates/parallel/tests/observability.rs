@@ -5,11 +5,16 @@
 //! the global telemetry/timeline gates, which the library's unit tests
 //! assume stay off.
 
-use std::sync::Once;
+use std::sync::{Mutex, Once};
 
 use egraph_parallel::stealing::stealing_for;
 use egraph_parallel::telemetry;
 use egraph_parallel::timeline::{self, SpanKind};
+
+/// Serializes the tests that flip the process-global telemetry gate, so
+/// one test's `enable()` (which zeroes the counters) cannot wipe the
+/// counts another test is accumulating.
+static TELEMETRY_GATE: Mutex<()> = Mutex::new(());
 
 /// Pins the global pool to 4 workers before any test touches it, so
 /// the per-worker assertions are meaningful regardless of host size.
@@ -94,8 +99,8 @@ fn chrome_trace_export_has_tracks_and_directions() {
 #[test]
 fn skewed_workload_shows_up_in_steals_and_imbalance() {
     init();
+    let _gate = TELEMETRY_GATE.lock().unwrap();
     telemetry::enable();
-    telemetry::reset();
     // All the real work sits in the first quarter of the range — the
     // slice seeded to worker 0's deque — so the other workers run dry
     // immediately and must steal to contribute.
@@ -138,4 +143,51 @@ fn skewed_workload_shows_up_in_steals_and_imbalance() {
     // still well-formed over the same run.
     assert!(snap.load_imbalance() >= 1.0);
     assert!(snap.total_busy_seconds() > 0.0);
+}
+
+#[test]
+fn enable_resets_per_worker_steal_counters_between_runs() {
+    init();
+    let _gate = TELEMETRY_GATE.lock().unwrap();
+
+    // Run 1: the same skewed workload as above forces steals. The pool
+    // is persistent (and reusable after panics since the fault-injection
+    // work), so these counts would survive into the next run if enable()
+    // did not open a fresh window.
+    telemetry::enable();
+    let n = 4_096;
+    stealing_for(0..n, 16, |piece| {
+        for i in piece {
+            if i < n / 4 {
+                let mut x = i as u64 + 1;
+                for _ in 0..20_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                std::hint::black_box(x);
+            }
+        }
+    });
+    telemetry::disable();
+    let first = telemetry::snapshot();
+    assert!(
+        first.steals > 0,
+        "precondition: run 1 must record steals, got {:?}",
+        first.steals_per_worker
+    );
+
+    // Run 2 on the SAME pool: a perfectly balanced workload. A fresh
+    // collection window must show zero steals — not run 1's leftovers.
+    telemetry::enable();
+    egraph_parallel::parallel_for(0..1_000, 64, |_r| {
+        std::hint::black_box(0u64);
+    });
+    telemetry::disable();
+    let second = telemetry::snapshot();
+    assert_eq!(
+        second.steals_per_worker,
+        vec![0, 0, 0, 0],
+        "per-worker steal counters must reset between pool reuses"
+    );
+    assert_eq!(second.steals, 0);
+    assert!(second.regions >= 1, "run 2's own activity is still counted");
 }

@@ -14,9 +14,41 @@ static BYTES_READ: AtomicU64 = AtomicU64::new(0);
 static RECORDS_PARSED: AtomicU64 = AtomicU64::new(0);
 static READ_NANOS: AtomicU64 = AtomicU64::new(0);
 
-/// Turns the storage counters on. Off by default.
+/// Turns the storage counters on and zeroes them, starting a fresh
+/// collection window (same semantics as
+/// `egraph_parallel::telemetry::enable`). Off by default.
 pub fn enable() {
+    reset();
     ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Registers scrape-time metrics for the storage counters on the
+/// global `egraph-metrics` registry. The callbacks read [`snapshot`] on
+/// every scrape — the same source an end-of-run `RunTrace` records —
+/// so a live `/metrics` scrape and the final trace always agree.
+/// Idempotent.
+pub fn register_metrics() {
+    let r = egraph_metrics::global();
+    r.counter_fn(
+        "egraph_storage_bytes_read_total",
+        "Payload bytes consumed by the storage readers.",
+        || snapshot().bytes_read as f64,
+    );
+    r.counter_fn(
+        "egraph_storage_records_parsed_total",
+        "Edge records decoded by the storage readers.",
+        || snapshot().records_parsed as f64,
+    );
+    r.counter_fn(
+        "egraph_storage_read_seconds_total",
+        "Wall seconds spent inside the storage readers.",
+        || snapshot().read_seconds,
+    );
+    r.gauge_fn(
+        "egraph_storage_throughput_bytes_per_sec",
+        "Read throughput (0 when no read time has been recorded).",
+        || snapshot().throughput_bytes_per_sec(),
+    );
 }
 
 /// Turns the storage counters off (the counts keep their values).
