@@ -12,8 +12,11 @@
 
 use egraph_bench::{fmt_pct, graphs, llc, ExperimentCtx, ResultTable};
 use egraph_core::algo::pagerank;
-use egraph_core::preprocess::{GridBuilder, Strategy};
-use egraph_core::telemetry::ExecContext;
+use egraph_core::exec::ExecCtx;
+use egraph_core::preprocess::Strategy;
+use egraph_core::variant::{
+    run_variant, Algo, Direction, Layout, PreparedGraph, RunParams, VariantId,
+};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
@@ -26,6 +29,12 @@ fn main() {
         iterations: 1,
         ..Default::default()
     };
+    let params = RunParams {
+        pagerank: cfg,
+        ..RunParams::default()
+    };
+    let edge_id = VariantId::new(Algo::Pagerank, Layout::EdgeList, Direction::Push);
+    let grid_id = VariantId::new(Algo::Pagerank, Layout::Grid, Direction::Push);
     let mut table = ResultTable::new(
         "ablation_grid_shape",
         &[
@@ -45,18 +54,7 @@ fn main() {
         ("RMAT (power-law)", graphs::rmat(ctx.scale)),
         ("US-Road (low degree)", graphs::road_like_ordered(ctx.scale)),
     ] {
-        let degrees = graphs::out_degrees_u32(&graph);
         let avg = graph.num_edges() as f64 / graph.num_vertices() as f64;
-
-        let probe = llc::probe_for(graph.num_vertices(), 12);
-        pagerank::edge_centric_ctx(
-            &graph,
-            &degrees,
-            cfg,
-            pagerank::PushSync::Atomics,
-            &ExecContext::new().with_probe(&probe),
-        );
-        let edge_miss = probe.report().overall_miss_ratio();
 
         // Grid side matched to the simulated LLC (as in exp_fig5_table4).
         let side = {
@@ -64,17 +62,28 @@ fn main() {
             let range = (cap / (2 * 12)).max(64);
             graph.num_vertices().div_ceil(range).clamp(8, 256)
         };
-        let grid = GridBuilder::new(Strategy::RadixSort)
-            .side(side)
-            .build(&graph);
+        let prepared = PreparedGraph::new(&graph)
+            .strategy(Strategy::RadixSort)
+            .side(side);
+
         let probe = llc::probe_for(graph.num_vertices(), 12);
-        pagerank::grid_push_ctx(
-            &grid,
-            &degrees,
-            cfg,
-            false,
-            &ExecContext::new().with_probe(&probe),
-        );
+        run_variant(
+            &edge_id,
+            &ExecCtx::new(None).probe(&probe),
+            &prepared,
+            &params,
+        )
+        .expect("variant is in the support matrix");
+        let edge_miss = probe.report().overall_miss_ratio();
+
+        let probe = llc::probe_for(graph.num_vertices(), 12);
+        run_variant(
+            &grid_id,
+            &ExecCtx::new(None).probe(&probe),
+            &prepared,
+            &params,
+        )
+        .expect("variant is in the support matrix");
         let grid_miss = probe.report().overall_miss_ratio();
 
         let reduction = if edge_miss < 0.01 {

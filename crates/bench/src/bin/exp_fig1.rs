@@ -5,10 +5,12 @@
 
 use egraph_bench::{fmt_ratio, fmt_secs, graphs, ExperimentCtx, ResultTable};
 use egraph_core::algo::bfs;
+use egraph_core::exec::ExecCtx;
 use egraph_core::layout::EdgeDirection;
 use egraph_core::metrics::TimeBreakdown;
 use egraph_core::preprocess::{CsrBuilder, Strategy};
-use egraph_core::telemetry::{ExecContext, RunTrace, TraceRecorder};
+use egraph_core::telemetry::{RunTrace, TraceRecorder};
+use egraph_core::variant::{run_variant, PreparedGraph, RunParams, VariantId};
 
 fn main() {
     let ctx = ExperimentCtx::from_args();
@@ -102,11 +104,19 @@ fn main() {
         egraph_parallel::telemetry::reset();
         egraph_parallel::telemetry::enable();
         let recorder = TraceRecorder::new();
-        let traced = bfs::push_pull_ctx(
-            &adj_both,
+        let prepared = PreparedGraph::new(&graph).strategy(Strategy::RadixSort);
+        let id: VariantId = "bfs/adj/push-pull".parse().expect("valid variant spec");
+        let params = RunParams {
             root,
-            &ExecContext::new().with_recorder(&recorder),
-        );
+            ..RunParams::default()
+        };
+        let traced = run_variant(
+            &id,
+            &ExecCtx::new(None).recorder(&recorder),
+            &prepared,
+            &params,
+        )
+        .expect("variant is in the support matrix");
         egraph_parallel::telemetry::disable();
         let pool = egraph_parallel::telemetry::snapshot();
 
@@ -120,7 +130,7 @@ fn main() {
         );
         trace.breakdown = TimeBreakdown {
             preprocess: pre_pp_secs,
-            algorithm: traced.algorithm_seconds(),
+            algorithm: traced.algorithm_seconds,
             ..TimeBreakdown::default()
         };
         trace.absorb(&recorder);

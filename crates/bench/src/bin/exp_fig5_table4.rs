@@ -10,10 +10,14 @@
 //! pre-processing).
 
 use egraph_bench::{fmt_pct, fmt_secs, graphs, llc, ExperimentCtx, ResultTable};
-use egraph_core::algo::{bfs, pagerank};
-use egraph_core::layout::EdgeDirection;
-use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
-use egraph_core::telemetry::{CounterKind, ExecContext, PhaseProfiler};
+use egraph_core::algo::pagerank;
+use egraph_core::exec::ExecCtx;
+use egraph_core::preprocess::Strategy;
+use egraph_core::telemetry::{CounterKind, PhaseProfiler};
+use egraph_core::types::Edge;
+use egraph_core::variant::{
+    run_variant, Algo, Direction, Layout, PreparedGraph, RunParams, VariantId, VariantRun,
+};
 
 /// Runs `f` under the profiler's hardware counters and returns the
 /// measured LLC miss ratio, when both LLC counters opened.
@@ -22,6 +26,17 @@ fn hw_llc_ratio(prof: &PhaseProfiler, f: impl FnOnce()) -> Option<f64> {
     prof.take_phases()
         .pop()
         .and_then(|p| p.hardware_llc_miss_ratio())
+}
+
+/// One variant run through the unified resolver; every combination
+/// this experiment asks for is in the support matrix.
+fn run(
+    id: VariantId,
+    ctx: &ExecCtx<'_>,
+    graph: &PreparedGraph<'_, Edge>,
+    params: &RunParams<'_>,
+) -> VariantRun {
+    run_variant(&id, ctx, graph, params).expect("variant is in the support matrix")
 }
 
 fn main() {
@@ -35,7 +50,6 @@ fn main() {
     let prof = PhaseProfiler::enabled();
 
     let graph = graphs::rmat(ctx.scale);
-    let degrees = graphs::out_degrees_u32(&graph);
     let root = graphs::best_root(&graph);
     let side = graphs::grid_side(graph.num_vertices());
     let pr_cfg = pagerank::PagerankConfig::default();
@@ -45,14 +59,31 @@ fn main() {
         graph.num_edges()
     );
 
-    let (adj, pre_adj) =
-        CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build_timed(&graph);
-    let (adj_sorted, pre_sorted) = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
-        .sort_neighbors(true)
-        .build_timed(&graph);
-    let (grid, pre_grid) = GridBuilder::new(Strategy::RadixSort)
-        .side(side)
-        .build_timed(&graph);
+    // One PreparedGraph per build configuration; each caches its
+    // layouts so the timing, probed and hardware passes share builds.
+    let prep = PreparedGraph::new(&graph).strategy(Strategy::RadixSort);
+    let prep_sorted = PreparedGraph::new(&graph)
+        .strategy(Strategy::RadixSort)
+        .sort_neighbors(true);
+    let prep_grid = PreparedGraph::new(&graph)
+        .strategy(Strategy::RadixSort)
+        .side(side);
+
+    let bfs_adj_id = VariantId::new(Algo::Bfs, Layout::Adjacency, Direction::Push);
+    let bfs_edge_id = VariantId::new(Algo::Bfs, Layout::EdgeList, Direction::Push);
+    let bfs_grid_id = VariantId::new(Algo::Bfs, Layout::Grid, Direction::Push);
+    let pr_adj_id = VariantId::new(Algo::Pagerank, Layout::Adjacency, Direction::Push);
+    let pr_edge_id = VariantId::new(Algo::Pagerank, Layout::EdgeList, Direction::Push);
+    let pr_grid_id = VariantId::new(Algo::Pagerank, Layout::Grid, Direction::Push);
+
+    let bfs_params = RunParams {
+        root,
+        ..RunParams::default()
+    };
+    let pr_params = RunParams {
+        pagerank: pr_cfg,
+        ..RunParams::default()
+    };
 
     let mut fig5 = ResultTable::new(
         "fig5_cache_layout_times",
@@ -69,53 +100,50 @@ fn main() {
         &["layout", "source", "BFS", "Pagerank"],
     );
 
-    // --- timing runs (NullProbe, full speed) ---
-    let bfs_adj = bfs::push(&adj, root).algorithm_seconds();
-    let bfs_sorted = bfs::push(&adj_sorted, root).algorithm_seconds();
-    let bfs_edge = bfs::edge_centric(&graph, root).algorithm_seconds();
-    let bfs_grid = bfs::grid(&grid, root).algorithm_seconds();
+    // --- timing runs (no probe, full speed) ---
+    let plain = ExecCtx::new(None);
+    let bfs_adj = run(bfs_adj_id, &plain, &prep, &bfs_params);
+    let bfs_sorted = run(bfs_adj_id, &plain, &prep_sorted, &bfs_params);
+    let bfs_edge = run(bfs_edge_id, &plain, &prep, &bfs_params);
+    let bfs_grid = run(bfs_grid_id, &plain, &prep_grid, &bfs_params);
 
-    let pr_adj = pagerank::push(adj.out(), &degrees, pr_cfg, pagerank::PushSync::Atomics).seconds;
-    let pr_sorted = pagerank::push(
-        adj_sorted.out(),
-        &degrees,
-        pr_cfg,
-        pagerank::PushSync::Atomics,
-    )
-    .seconds;
-    let pr_edge =
-        pagerank::edge_centric(&graph, &degrees, pr_cfg, pagerank::PushSync::Atomics).seconds;
-    let pr_grid = pagerank::grid_push(&grid, &degrees, pr_cfg, false).seconds;
+    let pr_adj = run(pr_adj_id, &plain, &prep, &pr_params);
+    let pr_sorted = run(pr_adj_id, &plain, &prep_sorted, &pr_params);
+    let pr_edge = run(pr_edge_id, &plain, &prep, &pr_params);
+    let pr_grid = run(pr_grid_id, &plain, &prep_grid, &pr_params);
 
     let rows = [
-        ("adj. unsorted", pre_adj.seconds, bfs_adj, pr_adj),
-        ("adj. sorted", pre_sorted.seconds, bfs_sorted, pr_sorted),
-        ("edge array", 0.0, bfs_edge, pr_edge),
-        ("grid", pre_grid.seconds, bfs_grid, pr_grid),
+        ("adj. unsorted", &bfs_adj, &pr_adj),
+        ("adj. sorted", &bfs_sorted, &pr_sorted),
+        ("edge array", &bfs_edge, &pr_edge),
+        ("grid", &bfs_grid, &pr_grid),
     ];
-    for (name, pre, bfs_s, pr_s) in rows {
+    for (name, bfs_run, pr_run) in rows {
         fig5.add_row(vec![
             "bfs".into(),
             name.into(),
-            fmt_secs(pre),
-            fmt_secs(bfs_s),
-            fmt_secs(pre + bfs_s),
+            fmt_secs(bfs_run.preprocess_seconds),
+            fmt_secs(bfs_run.algorithm_seconds),
+            fmt_secs(bfs_run.preprocess_seconds + bfs_run.algorithm_seconds),
         ]);
         fig5.add_row(vec![
             "pagerank".into(),
             name.into(),
-            fmt_secs(pre),
-            fmt_secs(pr_s),
-            fmt_secs(pre + pr_s),
+            fmt_secs(pr_run.preprocess_seconds),
+            fmt_secs(pr_run.algorithm_seconds),
+            fmt_secs(pr_run.preprocess_seconds + pr_run.algorithm_seconds),
         ]);
     }
     fig5.print();
 
     // --- miss-ratio runs (probed, one PR iteration / full BFS) ---
     println!("\nmeasuring LLC miss ratios (scaled machine-B cache)…");
-    let pr_probe_cfg = pagerank::PagerankConfig {
-        iterations: 1,
-        ..pr_cfg
+    let pr_probe_params = RunParams {
+        pagerank: pagerank::PagerankConfig {
+            iterations: 1,
+            ..pr_cfg
+        },
+        ..RunParams::default()
     };
     let mut add_llc = |name: &str, bfs_miss: f64, pr_miss: f64| {
         table4.add_row(vec![
@@ -125,45 +153,26 @@ fn main() {
             fmt_pct(pr_miss),
         ]);
     };
+    // The layouts are already cached in the PreparedGraphs, so the
+    // probe observes only the algorithm's accesses.
+    let probed = |id: VariantId, g: &PreparedGraph<'_, Edge>, params: &RunParams<'_>| {
+        let words = if id.algo == Algo::Bfs { 1 } else { 12 };
+        let probe = llc::probe_for(graph.num_vertices(), words);
+        run(id, &ExecCtx::new(None).probe(&probe), g, params);
+        probe.report().overall_miss_ratio()
+    };
 
-    let probe = llc::probe_for(graph.num_vertices(), 1);
-    bfs::push_ctx(&adj, root, &ExecContext::new().with_probe(&probe));
-    let b = probe.report().overall_miss_ratio();
-    let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::push_ctx(
-        adj.out(),
-        &degrees,
-        pr_probe_cfg,
-        pagerank::PushSync::Atomics,
-        &ExecContext::new().with_probe(&probe),
-    );
-    add_llc("adj. unsorted", b, probe.report().overall_miss_ratio());
+    let b = probed(bfs_adj_id, &prep, &bfs_params);
+    let p = probed(pr_adj_id, &prep, &pr_probe_params);
+    add_llc("adj. unsorted", b, p);
 
-    let probe = llc::probe_for(graph.num_vertices(), 1);
-    bfs::push_ctx(&adj_sorted, root, &ExecContext::new().with_probe(&probe));
-    let b = probe.report().overall_miss_ratio();
-    let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::push_ctx(
-        adj_sorted.out(),
-        &degrees,
-        pr_probe_cfg,
-        pagerank::PushSync::Atomics,
-        &ExecContext::new().with_probe(&probe),
-    );
-    add_llc("adj. sorted", b, probe.report().overall_miss_ratio());
+    let b = probed(bfs_adj_id, &prep_sorted, &bfs_params);
+    let p = probed(pr_adj_id, &prep_sorted, &pr_probe_params);
+    add_llc("adj. sorted", b, p);
 
-    let probe = llc::probe_for(graph.num_vertices(), 1);
-    bfs::edge_centric_ctx(&graph, root, &ExecContext::new().with_probe(&probe));
-    let b = probe.report().overall_miss_ratio();
-    let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::edge_centric_ctx(
-        &graph,
-        &degrees,
-        pr_probe_cfg,
-        pagerank::PushSync::Atomics,
-        &ExecContext::new().with_probe(&probe),
-    );
-    add_llc("edge array", b, probe.report().overall_miss_ratio());
+    let b = probed(bfs_edge_id, &prep, &bfs_params);
+    let p = probed(pr_edge_id, &prep, &pr_probe_params);
+    add_llc("edge array", b, p);
 
     // The probed grid must be sized to the *simulated* LLC, exactly as
     // the paper's 256x256 was sized to machine B's 16 MB: two vertex
@@ -173,26 +182,13 @@ fn main() {
         let range = (cap / (2 * 12)).max(64);
         graph.num_vertices().div_ceil(range).clamp(8, 256)
     };
-    let grid_probe_layout = GridBuilder::new(Strategy::RadixSort)
-        .side(probe_side)
-        .build(&graph);
+    let prep_probe_grid = PreparedGraph::new(&graph)
+        .strategy(Strategy::RadixSort)
+        .side(probe_side);
     println!("(probed grid uses side {probe_side}, matched to the scaled LLC)");
-    let probe = llc::probe_for(graph.num_vertices(), 1);
-    bfs::grid_ctx(
-        &grid_probe_layout,
-        root,
-        &ExecContext::new().with_probe(&probe),
-    );
-    let b = probe.report().overall_miss_ratio();
-    let probe = llc::probe_for(graph.num_vertices(), 12);
-    pagerank::grid_push_ctx(
-        &grid_probe_layout,
-        &degrees,
-        pr_probe_cfg,
-        false,
-        &ExecContext::new().with_probe(&probe),
-    );
-    add_llc("grid", b, probe.report().overall_miss_ratio());
+    let b = probed(bfs_grid_id, &prep_probe_grid, &bfs_params);
+    let p = probed(pr_grid_id, &prep_probe_grid, &pr_probe_params);
+    add_llc("grid", b, p);
 
     // --- hardware miss ratios (real PMU, full-speed runs) ---
     // Same layouts and configs as the simulated pass, measured with
@@ -203,60 +199,19 @@ fn main() {
     if kinds.contains(&CounterKind::LlcLoads) && kinds.contains(&CounterKind::LlcLoadMisses) {
         println!("\nmeasuring LLC miss ratios (hardware counters)…");
         let hw_rows = [
-            (
-                "adj. unsorted",
-                hw_llc_ratio(&prof, || {
-                    bfs::push(&adj, root);
-                }),
-                hw_llc_ratio(&prof, || {
-                    pagerank::push(
-                        adj.out(),
-                        &degrees,
-                        pr_probe_cfg,
-                        pagerank::PushSync::Atomics,
-                    );
-                }),
-            ),
-            (
-                "adj. sorted",
-                hw_llc_ratio(&prof, || {
-                    bfs::push(&adj_sorted, root);
-                }),
-                hw_llc_ratio(&prof, || {
-                    pagerank::push(
-                        adj_sorted.out(),
-                        &degrees,
-                        pr_probe_cfg,
-                        pagerank::PushSync::Atomics,
-                    );
-                }),
-            ),
-            (
-                "edge array",
-                hw_llc_ratio(&prof, || {
-                    bfs::edge_centric(&graph, root);
-                }),
-                hw_llc_ratio(&prof, || {
-                    pagerank::edge_centric(
-                        &graph,
-                        &degrees,
-                        pr_probe_cfg,
-                        pagerank::PushSync::Atomics,
-                    );
-                }),
-            ),
-            (
-                "grid",
-                hw_llc_ratio(&prof, || {
-                    bfs::grid(&grid, root);
-                }),
-                hw_llc_ratio(&prof, || {
-                    pagerank::grid_push(&grid, &degrees, pr_probe_cfg, false);
-                }),
-            ),
+            ("adj. unsorted", &prep, bfs_adj_id, pr_adj_id),
+            ("adj. sorted", &prep_sorted, bfs_adj_id, pr_adj_id),
+            ("edge array", &prep, bfs_edge_id, pr_edge_id),
+            ("grid", &prep_grid, bfs_grid_id, pr_grid_id),
         ];
         let fmt_opt = |r: Option<f64>| r.map(fmt_pct).unwrap_or_else(|| "n/a".into());
-        for (name, bfs_hw, pr_hw) in hw_rows {
+        for (name, g, bfs_id, pr_id) in hw_rows {
+            let bfs_hw = hw_llc_ratio(&prof, || {
+                run(bfs_id, &plain, g, &bfs_params);
+            });
+            let pr_hw = hw_llc_ratio(&prof, || {
+                run(pr_id, &plain, g, &pr_probe_params);
+            });
             table4.add_row(vec![
                 name.into(),
                 "hardware".into(),

@@ -1,0 +1,196 @@
+//! Serving throughput: query batching vs one-at-a-time execution in
+//! the `egraph serve` daemon.
+//!
+//! Starts two in-process daemons on the same RMAT graph — one with the
+//! full 64-query batching window, one with `max_wave = 1` (every query
+//! runs its own traversal) — and drives each with 1..=64 concurrent
+//! TCP clients issuing BFS point queries. Reports queries/second and
+//! p50/p99 latency per client count, and checks every root's checksum
+//! agrees between the two modes (batching must not change answers).
+//!
+//! Expected shape: one-at-a-time throughput is flat (the graph is
+//! scanned once per query no matter how many clients wait); batched
+//! throughput grows with concurrency because up to 64 queries share
+//! one bit-packed edge scan. The acceptance bar is ≥2× qps at 64
+//! clients on RMAT-18 (`--scale 18`).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use egraph_bench::{fmt_ratio, graphs, ExperimentCtx, ResultTable};
+use egraph_core::serve::{ServeConfig, ServeDaemon, ServeGraph, MAX_WAVE};
+
+/// Queries issued per client-count level (split across the clients).
+const TOTAL_QUERIES: usize = 256;
+
+/// One client session: `count` sequential BFS queries starting at
+/// `first`, returning per-query latencies and (root, checksum) pairs.
+fn client(
+    addr: SocketAddr,
+    roots: &[u32],
+    first: usize,
+    count: usize,
+) -> (Vec<f64>, Vec<(u32, String)>) {
+    let stream = TcpStream::connect(addr).expect("connect to serve daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(count);
+    let mut checksums = Vec::with_capacity(count);
+    let mut line = String::new();
+    for i in 0..count {
+        let root = roots[(first + i) % roots.len()];
+        let start = Instant::now();
+        writer
+            .write_all(format!("{{\"id\":{i},\"algo\":\"bfs\",\"source\":{root}}}\n").as_bytes())
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).expect("response line");
+        latencies.push(start.elapsed().as_secs_f64());
+        let checksum = line
+            .split("\"checksum\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or_else(|| panic!("response without checksum: {line}"))
+            .to_string();
+        checksums.push((root, checksum));
+    }
+    (latencies, checksums)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Drives `clients` concurrent sessions against `addr`; returns
+/// (qps, p50 seconds, p99 seconds) and folds checksums into `seen`.
+fn drive(
+    addr: SocketAddr,
+    clients: usize,
+    roots: &[u32],
+    seen: &Mutex<BTreeMap<u32, String>>,
+) -> (f64, f64, f64) {
+    let per_client = TOTAL_QUERIES.div_ceil(clients);
+    let wall = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| s.spawn(move || client(addr, roots, c * per_client, per_client)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| {
+                let (lat, sums) = h.join().expect("client thread");
+                let mut seen = seen.lock().unwrap();
+                for (root, sum) in sums {
+                    let prev = seen.entry(root).or_insert_with(|| sum.clone());
+                    assert_eq!(
+                        *prev, sum,
+                        "root {root}: batched and unbatched answers must be bit-identical"
+                    );
+                }
+                lat
+            })
+            .collect()
+    });
+    let wall = wall.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let qps = latencies.len() as f64 / wall;
+    (
+        qps,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    )
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    ctx.banner(
+        "exp_serve_qps",
+        "serve-mode throughput (query batching vs one-at-a-time)",
+    );
+
+    let graph = graphs::rmat(ctx.scale);
+    println!(
+        "graph: RMAT{} ({} vertices, {} edges); wave limit {MAX_WAVE}\n",
+        ctx.scale,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let nv = graph.num_vertices() as u32;
+    let roots: Vec<u32> = (0..64u32)
+        .map(|i| (i.wrapping_mul(2654435761)) % nv)
+        .collect();
+
+    let batched = ServeDaemon::start(
+        "127.0.0.1:0",
+        ServeGraph::Unweighted(graph.clone()),
+        ServeConfig {
+            metrics: false,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind batched daemon");
+    let unbatched = ServeDaemon::start(
+        "127.0.0.1:0",
+        ServeGraph::Unweighted(graph.clone()),
+        ServeConfig {
+            max_wave: 1,
+            metrics: false,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind unbatched daemon");
+    batched.wait_ready();
+    unbatched.wait_ready();
+
+    let mut table = ResultTable::new(
+        "serve_qps",
+        &["mode", "clients", "queries", "qps", "p50(ms)", "p99(ms)"],
+    );
+    let seen = Mutex::new(BTreeMap::new());
+    let mut speedup_at_max = 0.0;
+    for clients in [1usize, 2, 4, 8, 16, 32, 64] {
+        let (one_qps, one_p50, one_p99) = drive(unbatched.addr(), clients, &roots, &seen);
+        let (bat_qps, bat_p50, bat_p99) = drive(batched.addr(), clients, &roots, &seen);
+        for (mode, qps, p50, p99) in [
+            ("one-at-a-time", one_qps, one_p50, one_p99),
+            ("batched", bat_qps, bat_p50, bat_p99),
+        ] {
+            table.add_row(vec![
+                mode.into(),
+                clients.to_string(),
+                TOTAL_QUERIES.to_string(),
+                format!("{qps:.1}"),
+                format!("{:.2}", p50 * 1e3),
+                format!("{:.2}", p99 * 1e3),
+            ]);
+        }
+        println!(
+            "{clients:>2} clients: batched {bat_qps:>8.1} qps vs one-at-a-time {one_qps:>8.1} qps ({})",
+            fmt_ratio(bat_qps / one_qps.max(1e-9))
+        );
+        if clients == 64 {
+            speedup_at_max = bat_qps / one_qps.max(1e-9);
+        }
+    }
+
+    println!(
+        "\nchecksums: {} distinct roots, all bit-identical across modes",
+        seen.lock().unwrap().len()
+    );
+    println!(
+        "batching speedup at 64 clients: {}  (acceptance bar: >=2x on RMAT-18)",
+        fmt_ratio(speedup_at_max)
+    );
+    table.print();
+    ctx.save(&table);
+
+    batched.shutdown();
+    unbatched.shutdown();
+}

@@ -88,8 +88,12 @@ impl ExperimentCtx {
             egraph_storage::counters::register_metrics();
             egraph_parallel::telemetry::enable();
             egraph_storage::counters::enable();
-            let server = egraph_metrics::serve(addr.as_str())
-                .unwrap_or_else(|e| panic!("cannot bind metrics endpoint {addr}: {e}"));
+            // A typed BindError names the offending address; exit
+            // cleanly instead of unwinding a panic through main.
+            let server = egraph_metrics::serve(addr.as_str()).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
             println!("serving metrics on http://{}/metrics", server.addr());
             std::sync::Arc::new(server)
         });

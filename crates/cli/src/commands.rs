@@ -5,16 +5,19 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::time::Instant;
 
-use egraph_core::algo::{bfs, pagerank, spmv, sssp, wcc};
-use egraph_core::layout::EdgeDirection;
+use egraph_core::algo::pagerank;
+use egraph_core::exec::ExecCtx;
 use egraph_core::metrics::TimeBreakdown;
-use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use egraph_core::preprocess::Strategy;
 use egraph_core::roadmap;
-use egraph_core::telemetry::{
-    ExecContext, PhaseProfiler, Recorder, RunTrace, TraceFormat, TraceRecorder,
-};
+use egraph_core::serve::{ServeConfig, ServeDaemon, ServeGraph};
+use egraph_core::telemetry::{PhaseProfiler, Recorder, RunTrace, TraceFormat, TraceRecorder};
 use egraph_core::trace_diff::{diff_traces, DiffOptions};
 use egraph_core::types::{Edge, EdgeList, EdgeRecord, WEdge};
+use egraph_core::variant::{
+    run_variant, Algo, Direction, Layout, PreparedGraph, RunParams, SyncMode, VariantId,
+    VariantOutput,
+};
 use egraph_numa::Topology;
 use egraph_parallel::timeline;
 use egraph_storage::{read_edge_list, write_edge_list, FormatError};
@@ -29,6 +32,7 @@ USAGE:
   egraph generate <rmat|twitter|road|netflix|uniform> --out FILE [options]
   egraph info <FILE>
   egraph run <bfs|pagerank|sssp|wcc|spmv> <FILE> [options]
+  egraph serve <FILE> --listen H:P [options]
   egraph advise [--algo A] [--vertices N] [--edges M] [--machine a|b|single]
   egraph partition <FILE> [--nodes N]
   egraph convert <IN> <OUT> [--from snap|dimacs|bin] [--to snap|bin] [--weighted true]
@@ -66,6 +70,20 @@ RUN OPTIONS:
                        and prints the bound address
   --metrics-linger S   keep serving S seconds after the run finishes
                        (default 0), so scrapers can catch the totals
+
+SERVE OPTIONS:
+  --listen H:P     query daemon address (required); port 0 picks a
+                   free port — the bound address is printed either way
+  --threads N      worker threads for wave execution (default: all)
+  --max-wave N     most queries batched into one multi-source wave
+                   (default 64, the bit-packed frontier width)
+  --batch-window-ms MS   how long an admitted query waits for
+                   companions before its wave launches anyway (default 2)
+  --metrics-addr / --metrics-linger   as for run; /healthz reports
+                   'loading' until the CSR build finishes
+  The daemon answers newline-delimited JSON point queries
+  ({\"id\":1,\"algo\":\"bfs|sssp|khop\",\"source\":N[,\"depth\":K][,\"values\":true]})
+  and shuts down cleanly on SIGINT, SIGTERM or stdin EOF.
 
 TRACE DIFF OPTIONS:
   --threshold PCT   relative slowdown that counts as a regression
@@ -107,6 +125,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "generate" => cmd_generate(&args),
         "info" => cmd_info(&args),
         "run" => cmd_run(&args),
+        "serve" => cmd_serve(&args),
         "advise" => cmd_advise(&args),
         "partition" => cmd_partition(&args),
         "convert" => cmd_convert(&args),
@@ -567,301 +586,193 @@ struct RunSpec<'a> {
     args: &'a Args,
 }
 
-/// Runs the requested algorithm with the given recorder and returns
-/// the end-to-end time breakdown.
+/// Runs the requested variant with the given recorder and returns the
+/// end-to-end time breakdown. All dispatch goes through
+/// [`run_variant`]; this function only bridges CLI strings and the
+/// weighted/unweighted input split.
 fn dispatch_run<R: Recorder>(
     spec: &RunSpec<'_>,
     any: AnyGraph,
     recorder: &R,
 ) -> Result<TimeBreakdown, Box<dyn Error>> {
-    match (spec.algo, any) {
-        ("bfs", AnyGraph::Unweighted(graph)) => run_bfs(spec, &graph, recorder),
-        ("pagerank", AnyGraph::Unweighted(graph)) => run_pagerank(spec, &graph, recorder),
-        ("wcc", AnyGraph::Unweighted(graph)) => run_wcc(spec, &graph, recorder),
-        ("sssp", AnyGraph::Weighted(graph)) => run_sssp(spec, &graph, recorder),
-        ("spmv", AnyGraph::Weighted(graph)) => run_spmv(spec, &graph, recorder),
-        ("sssp" | "spmv", AnyGraph::Unweighted(_)) => {
-            Err("this algorithm needs a weighted graph (generate with --weighted true)".into())
+    let id = VariantId::new(
+        spec.algo.parse::<Algo>()?,
+        spec.layout.parse::<Layout>()?,
+        spec.flow.parse::<Direction>()?,
+    );
+    let sync = spec.sync.parse::<SyncMode>()?;
+    match any {
+        AnyGraph::Unweighted(graph) => run_one(spec, &id, sync, &graph, recorder),
+        AnyGraph::Weighted(graph) if id.algo.needs_weights() => {
+            run_one(spec, &id, sync, &graph, recorder)
         }
-        ("bfs" | "pagerank" | "wcc", AnyGraph::Weighted(_)) => {
+        AnyGraph::Weighted(_) => {
             Err("this build of the command expects an unweighted graph for that algorithm".into())
         }
-        (other, _) => Err(format!("unknown algorithm '{other}'").into()),
     }
 }
 
-fn run_bfs<R: Recorder>(
+fn run_one<E: EdgeRecord, R: Recorder>(
     spec: &RunSpec<'_>,
-    graph: &EdgeList<Edge>,
+    id: &VariantId,
+    sync: SyncMode,
+    graph: &EdgeList<E>,
     recorder: &R,
 ) -> Result<TimeBreakdown, Box<dyn Error>> {
+    let side: usize =
+        spec.args
+            .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
+    let prepared = PreparedGraph::new(graph)
+        .strategy(spec.strategy)
+        .sort_neighbors(spec.sorted)
+        .side(side);
+    let params = RunParams {
+        root: spec.root,
+        pagerank: pagerank::PagerankConfig {
+            iterations: spec.iters,
+            ..Default::default()
+        },
+        sync,
+        ..Default::default()
+    };
+    let ctx = ExecCtx::new(None).recorder(recorder).profiler(spec.prof);
+    let run = run_variant(id, &ctx, &prepared, &params)?;
+    let mut breakdown = TimeBreakdown {
+        load: spec.load,
+        preprocess: run.preprocess_seconds,
+        algorithm: run.algorithm_seconds,
+        ..Default::default()
+    };
     let root = spec.root;
-    if root as usize >= graph.num_vertices() {
-        return Err(format!("root {root} out of range").into());
+    match &run.output {
+        VariantOutput::Bfs(r) => {
+            breakdown.store = profiled_store(spec, || save_u32(spec.save, &r.parent))?;
+            println!(
+                "bfs from {root}: {} reachable, {} iterations",
+                r.reachable_count(),
+                r.iterations.len()
+            );
+        }
+        VariantOutput::Pagerank(r) => {
+            breakdown.store = profiled_store(spec, || save_f32(spec.save, &r.ranks))?;
+            println!(
+                "pagerank: {} iterations; top vertices {:?}",
+                r.iterations,
+                r.top_k(3)
+            );
+        }
+        VariantOutput::Wcc(r) => {
+            breakdown.store = profiled_store(spec, || save_u32(spec.save, &r.label))?;
+            println!("wcc: {} components", r.component_count());
+        }
+        VariantOutput::Sssp(r) => {
+            breakdown.store = profiled_store(spec, || save_f32(spec.save, &r.dist))?;
+            println!(
+                "sssp from {root}: {} reachable, {} iterations",
+                r.reachable_count(),
+                r.iterations.len()
+            );
+        }
+        VariantOutput::Spmv(r) => {
+            breakdown.store = profiled_store(spec, || save_f32(spec.save, &r.y))?;
+            let norm: f64 =
+                r.y.iter()
+                    .map(|&v| (v as f64) * (v as f64))
+                    .sum::<f64>()
+                    .sqrt();
+            println!("spmv: |y| = {norm:.3}");
+        }
     }
-    let ctx = ExecContext::new().with_recorder(recorder);
-    let result;
-    let mut breakdown = TimeBreakdown {
-        load: spec.load,
-        ..Default::default()
-    };
-    match (spec.layout, spec.flow) {
-        ("adj", "push") => {
-            let (adj, pre) = spec.prof.profile("preprocess", || {
-                CsrBuilder::new(spec.strategy, EdgeDirection::Out)
-                    .sort_neighbors(spec.sorted)
-                    .build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            result = spec
-                .prof
-                .profile("algorithm", || bfs::push_ctx(&adj, root, &ctx));
-        }
-        ("adj", "pull") => {
-            let (adj, pre) = spec.prof.profile("preprocess", || {
-                CsrBuilder::new(spec.strategy, EdgeDirection::In)
-                    .sort_neighbors(spec.sorted)
-                    .build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            result = spec
-                .prof
-                .profile("algorithm", || bfs::pull_ctx(&adj, root, &ctx));
-        }
-        ("adj", "push-pull") => {
-            let (adj, pre) = spec.prof.profile("preprocess", || {
-                CsrBuilder::new(spec.strategy, EdgeDirection::Both)
-                    .sort_neighbors(spec.sorted)
-                    .build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            result = spec
-                .prof
-                .profile("algorithm", || bfs::push_pull_ctx(&adj, root, &ctx));
-        }
-        ("edge", "push") => {
-            result = spec
-                .prof
-                .profile("algorithm", || bfs::edge_centric_ctx(graph, root, &ctx));
-        }
-        ("grid", "push") => {
-            let side: usize =
-                spec.args
-                    .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = spec.prof.profile("preprocess", || {
-                GridBuilder::new(spec.strategy)
-                    .side(side)
-                    .build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            result = spec
-                .prof
-                .profile("algorithm", || bfs::grid_ctx(&g, root, &ctx));
-        }
-        (l, f) => return Err(format!("bfs does not support layout {l} with flow {f}").into()),
+    print_breakdown(&breakdown, "");
+    Ok(breakdown)
+}
+
+/// Set by the signal handlers / stdin watcher; polled by `cmd_serve`.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Routes SIGINT and SIGTERM to the shutdown flag. Declared directly
+/// (libc is linked on every supported platform) so the workspace stays
+/// dependency-free.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
-    breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = profiled_store(spec, || save_u32(spec.save, &result.parent))?;
-    println!(
-        "bfs from {root}: {} reachable, {} iterations",
-        result.reachable_count(),
-        result.iterations.len()
-    );
-    print_breakdown(&breakdown, "");
-    Ok(breakdown)
-}
-
-fn run_pagerank<R: Recorder>(
-    spec: &RunSpec<'_>,
-    graph: &EdgeList<Edge>,
-    recorder: &R,
-) -> Result<TimeBreakdown, Box<dyn Error>> {
-    let degrees: Vec<u32> = graph.out_degrees().iter().map(|&d| d as u32).collect();
-    let cfg = pagerank::PagerankConfig {
-        iterations: spec.iters,
-        ..Default::default()
-    };
-    let push_sync = match spec.sync {
-        "locks" => pagerank::PushSync::Locks,
-        "atomics" => pagerank::PushSync::Atomics,
-        other => return Err(format!("unknown sync '{other}' (locks|atomics)").into()),
-    };
-    let ctx = ExecContext::new().with_recorder(recorder);
-    let mut breakdown = TimeBreakdown {
-        load: spec.load,
-        ..Default::default()
-    };
-    let result = match (spec.layout, spec.flow) {
-        ("adj", "push") => {
-            let (adj, pre) = spec.prof.profile("preprocess", || {
-                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            spec.prof.profile("algorithm", || {
-                pagerank::push_ctx(adj.out(), &degrees, cfg, push_sync, &ctx)
-            })
-        }
-        ("adj", "pull") => {
-            let (adj, pre) = spec.prof.profile("preprocess", || {
-                CsrBuilder::new(spec.strategy, EdgeDirection::In).build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            spec.prof.profile("algorithm", || {
-                pagerank::pull_ctx(adj.incoming(), &degrees, cfg, &ctx)
-            })
-        }
-        ("edge", "push") => spec.prof.profile("algorithm", || {
-            pagerank::edge_centric_ctx(graph, &degrees, cfg, push_sync, &ctx)
-        }),
-        ("grid", "push") => {
-            let side: usize =
-                spec.args
-                    .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = spec.prof.profile("preprocess", || {
-                GridBuilder::new(spec.strategy)
-                    .side(side)
-                    .build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            spec.prof.profile("algorithm", || {
-                pagerank::grid_push_ctx(&g, &degrees, cfg, spec.sync == "locks", &ctx)
-            })
-        }
-        ("grid", "pull") => {
-            let side: usize =
-                spec.args
-                    .get_parsed_or("side", default_side(graph.num_vertices()), "integer")?;
-            let (g, pre) = spec.prof.profile("preprocess", || {
-                GridBuilder::new(spec.strategy)
-                    .side(side)
-                    .transposed(true)
-                    .build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            spec.prof.profile("algorithm", || {
-                pagerank::grid_pull_ctx(&g, &degrees, cfg, &ctx)
-            })
-        }
-        (l, f) => return Err(format!("pagerank does not support layout {l} with flow {f}").into()),
-    };
-    breakdown.algorithm = result.seconds;
-    breakdown.store = profiled_store(spec, || save_f32(spec.save, &result.ranks))?;
-    let top = result.top_k(3);
-    println!(
-        "pagerank: {} iterations; top vertices {:?}",
-        result.iterations, top
-    );
-    print_breakdown(&breakdown, "");
-    Ok(breakdown)
-}
-
-fn run_wcc<R: Recorder>(
-    spec: &RunSpec<'_>,
-    graph: &EdgeList<Edge>,
-    recorder: &R,
-) -> Result<TimeBreakdown, Box<dyn Error>> {
-    let ctx = ExecContext::new().with_recorder(recorder);
-    let mut breakdown = TimeBreakdown {
-        load: spec.load,
-        ..Default::default()
-    };
-    let result = match spec.layout {
-        "edge" => spec
-            .prof
-            .profile("algorithm", || wcc::edge_centric_ctx(graph, &ctx)),
-        "adj" => {
-            let pre_start = Instant::now();
-            let (adj, pre) = spec.prof.profile("preprocess", || {
-                let undirected = graph.to_undirected();
-                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(&undirected)
-            });
-            breakdown.preprocess = pre_start.elapsed().as_secs_f64().max(pre.seconds);
-            spec.prof.profile("algorithm", || wcc::push_ctx(&adj, &ctx))
-        }
-        other => return Err(format!("wcc supports layouts adj|edge, not {other}").into()),
-    };
-    breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = profiled_store(spec, || save_u32(spec.save, &result.label))?;
-    println!("wcc: {} components", result.component_count());
-    print_breakdown(&breakdown, "");
-    Ok(breakdown)
-}
-
-fn run_sssp<R: Recorder>(
-    spec: &RunSpec<'_>,
-    graph: &EdgeList<WEdge>,
-    recorder: &R,
-) -> Result<TimeBreakdown, Box<dyn Error>> {
-    let root = spec.root;
-    if root as usize >= graph.num_vertices() {
-        return Err(format!("root {root} out of range").into());
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_shutdown_signal);
+        signal(SIGTERM, on_shutdown_signal);
     }
-    let ctx = ExecContext::new().with_recorder(recorder);
-    let mut breakdown = TimeBreakdown {
-        load: spec.load,
-        ..Default::default()
-    };
-    let result = match spec.layout {
-        "adj" => {
-            let (adj, pre) = spec.prof.profile("preprocess", || {
-                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            spec.prof
-                .profile("algorithm", || sssp::push_ctx(&adj, root, &ctx))
-        }
-        "edge" => spec
-            .prof
-            .profile("algorithm", || sssp::edge_centric_ctx(graph, root, &ctx)),
-        other => return Err(format!("sssp supports layouts adj|edge, not {other}").into()),
-    };
-    breakdown.algorithm = result.algorithm_seconds();
-    breakdown.store = profiled_store(spec, || save_f32(spec.save, &result.dist))?;
-    println!(
-        "sssp from {root}: {} reachable, {} iterations",
-        result.reachable_count(),
-        result.iterations.len()
-    );
-    print_breakdown(&breakdown, "");
-    Ok(breakdown)
 }
 
-fn run_spmv<R: Recorder>(
-    spec: &RunSpec<'_>,
-    graph: &EdgeList<WEdge>,
-    recorder: &R,
-) -> Result<TimeBreakdown, Box<dyn Error>> {
-    let x = vec![1.0f32; graph.num_vertices()];
-    let ctx = ExecContext::new().with_recorder(recorder);
-    let mut breakdown = TimeBreakdown {
-        load: spec.load,
-        ..Default::default()
-    };
-    let result = match spec.layout {
-        "edge" => spec
-            .prof
-            .profile("algorithm", || spmv::edge_centric_ctx(graph, &x, &ctx)),
-        "adj" => {
-            let (adj, pre) = spec.prof.profile("preprocess", || {
-                CsrBuilder::new(spec.strategy, EdgeDirection::Out).build_timed(graph)
-            });
-            breakdown.preprocess = pre.seconds;
-            spec.prof
-                .profile("algorithm", || spmv::push_ctx(adj.out(), &x, &ctx))
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// A second, portable shutdown trigger: when stdin reaches EOF (the
+/// parent closed the pipe) the daemon drains and exits — this is how
+/// the integration tests ask for a clean shutdown.
+fn watch_stdin_eof() {
+    std::thread::spawn(|| {
+        use std::io::Read;
+        let mut buf = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
         }
-        other => return Err(format!("spmv supports layouts adj|edge, not {other}").into()),
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+}
+
+fn cmd_serve(args: &Args) -> CliResult {
+    let path = args.positional(1, "input file")?.to_string();
+    let listen = args
+        .get("listen")
+        .ok_or("serve needs --listen HOST:PORT")?
+        .to_string();
+    let threads: usize = args.get_parsed_or("threads", 0, "integer")?;
+    let max_wave: usize = args.get_parsed_or("max-wave", 64, "integer")?;
+    let window_ms: u64 = args.get_parsed_or("batch-window-ms", 2, "integer")?;
+    let (metrics_server, metrics_linger) = maybe_serve_metrics(args)?;
+    args.reject_unknown()?;
+
+    // Load balancers polling either /healthz (query port or metrics
+    // port) see `loading` until the CSR build completes.
+    egraph_metrics::set_health(egraph_metrics::Health::Loading);
+    let graph = match load_any(&path)? {
+        AnyGraph::Unweighted(g) => ServeGraph::Unweighted(g),
+        AnyGraph::Weighted(g) => ServeGraph::Weighted(g),
     };
-    breakdown.algorithm = result.seconds;
-    breakdown.store = profiled_store(spec, || save_f32(spec.save, &result.y))?;
-    let norm: f64 = result
-        .y
-        .iter()
-        .map(|&v| (v as f64) * (v as f64))
-        .sum::<f64>()
-        .sqrt();
-    println!("spmv: |y| = {norm:.3}");
-    print_breakdown(&breakdown, "");
-    Ok(breakdown)
+    let config = ServeConfig {
+        threads,
+        max_wave,
+        batch_window: std::time::Duration::from_millis(window_ms),
+        metrics: true,
+    };
+    let daemon = ServeDaemon::start(&listen, graph, config)?;
+    daemon.wait_ready();
+    egraph_metrics::set_health(egraph_metrics::Health::Ready);
+    // The integration tests and scripts parse this exact line to learn
+    // the ephemeral port.
+    println!("serving on {}", daemon.addr());
+
+    install_signal_handlers();
+    watch_stdin_eof();
+    while !SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutting down: draining in-flight queries");
+    daemon.shutdown();
+    finish_metrics(metrics_server, metrics_linger);
+    println!("serve: clean shutdown");
+    Ok(())
 }
 
 fn cmd_advise(args: &Args) -> CliResult {

@@ -131,12 +131,24 @@ impl<E: EdgeRecord> PushOp<E> for AtomicPushOp<'_> {
 /// Vertex-centric push BFS with atomic parent claims (the baseline
 /// "adj. push" configuration).
 pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
-    push_ctx(adj, root, &ExecContext::new())
+    push_impl(adj, root, &ExecContext::new())
 }
 
 /// [`push`] with explicit instrumentation: the [`ExecContext`] supplies
 /// the cache probe and telemetry recorder.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    root: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> BfsResult {
+    push_impl(adj, root, ctx)
+}
+
+pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     root: VertexId,
     ctx: &ExecContext<'_, P, R>,
@@ -282,11 +294,23 @@ impl<E: EdgeRecord> PullOp<E> for PullState<'_> {
 
 /// Vertex-centric pull BFS (lock free). Requires in-edges.
 pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
-    pull_ctx(adj, root, &ExecContext::new())
+    pull_impl(adj, root, &ExecContext::new())
 }
 
 /// [`pull`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    root: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> BfsResult {
+    pull_impl(adj, root, ctx)
+}
+
+pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     root: VertexId,
     ctx: &ExecContext<'_, P, R>,
@@ -333,11 +357,23 @@ pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// Ligra \[29\]). Requires both edge directions (hence the doubled
 /// pre-processing cost of Fig. 1).
 pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
-    push_pull_ctx(adj, root, &ExecContext::new())
+    push_pull_impl(adj, root, &ExecContext::new())
 }
 
 /// [`push_pull`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    root: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> BfsResult {
+    push_pull_impl(adj, root, ctx)
+}
+
+pub(crate) fn push_pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     root: VertexId,
     ctx: &ExecContext<'_, P, R>,
@@ -404,11 +440,23 @@ pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// Edge-centric BFS: every iteration streams the whole edge array and
 /// pushes from last round's discoveries (§4.1's "full scan" drawback).
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, root: VertexId) -> BfsResult {
-    edge_centric_ctx(edges, root, &ExecContext::new())
+    edge_centric_impl(edges, root, &ExecContext::new())
 }
 
 /// [`edge_centric`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    root: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> BfsResult {
+    edge_centric_impl(edges, root, ctx)
+}
+
+pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     root: VertexId,
     ctx: &ExecContext<'_, P, R>,
@@ -441,11 +489,23 @@ pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// Grid BFS: push over grid cells with column ownership; sources are
 /// filtered to last round's discoveries.
 pub fn grid<E: EdgeRecord>(grid: &Grid<E>, root: VertexId) -> BfsResult {
-    grid_ctx(grid, root, &ExecContext::new())
+    grid_impl(grid, root, &ExecContext::new())
 }
 
 /// [`grid`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    grid: &Grid<E>,
+    root: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> BfsResult {
+    grid_impl(grid, root, ctx)
+}
+
+pub(crate) fn grid_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     grid: &Grid<E>,
     root: VertexId,
     ctx: &ExecContext<'_, P, R>,
@@ -671,7 +731,7 @@ mod tests {
         .unwrap();
         let (adj, _) = layouts(&input);
         let recorder = crate::telemetry::TraceRecorder::new();
-        let result = push_ctx(&adj, 0, &ExecContext::new().with_recorder(&recorder));
+        let result = push_impl(&adj, 0, &ExecContext::new().with_recorder(&recorder));
         let recorded = recorder.iterations();
         assert_eq!(recorded.len(), result.iterations.len());
         for (step, (rec, stat)) in recorded.iter().zip(&result.iterations).enumerate() {
@@ -690,7 +750,7 @@ mod tests {
         let (adj, _) = layouts(&input);
         let plain = push(&adj, 0);
         let recorder = crate::telemetry::TraceRecorder::new();
-        let traced = push_ctx(&adj, 0, &ExecContext::new().with_recorder(&recorder));
+        let traced = push_impl(&adj, 0, &ExecContext::new().with_recorder(&recorder));
         assert_eq!(plain.parent, traced.parent);
         assert_eq!(plain.level, traced.level);
         assert!(recorder.counters()[crate::engine::EDGES_EXAMINED] > 0.0);

@@ -168,11 +168,24 @@ pub fn pull<E: EdgeRecord>(
     out_degrees: &[u32],
     cfg: PagerankConfig,
 ) -> PagerankResult {
-    pull_ctx(incoming, out_degrees, cfg, &ExecContext::new())
+    pull_impl(incoming, out_degrees, cfg, &ExecContext::new())
 }
 
 /// [`pull`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    incoming: &Adjacency<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    ctx: &ExecContext<'_, P, R>,
+) -> PagerankResult {
+    pull_impl(incoming, out_degrees, cfg, ctx)
+}
+
+pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     incoming: &Adjacency<E>,
     out_degrees: &[u32],
     cfg: PagerankConfig,
@@ -313,11 +326,25 @@ pub fn push<E: EdgeRecord>(
     cfg: PagerankConfig,
     sync: PushSync,
 ) -> PagerankResult {
-    push_ctx(out, out_degrees, cfg, sync, &ExecContext::new())
+    push_impl(out, out_degrees, cfg, sync, &ExecContext::new())
 }
 
 /// [`push`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    out: &Adjacency<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    sync: PushSync,
+    ctx: &ExecContext<'_, P, R>,
+) -> PagerankResult {
+    push_impl(out, out_degrees, cfg, sync, ctx)
+}
+
+pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     out: &Adjacency<E>,
     out_degrees: &[u32],
     cfg: PagerankConfig,
@@ -353,11 +380,25 @@ pub fn edge_centric<E: EdgeRecord>(
     cfg: PagerankConfig,
     sync: PushSync,
 ) -> PagerankResult {
-    edge_centric_ctx(edges, out_degrees, cfg, sync, &ExecContext::new())
+    edge_centric_impl(edges, out_degrees, cfg, sync, &ExecContext::new())
 }
 
 /// [`edge_centric`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    sync: PushSync,
+    ctx: &ExecContext<'_, P, R>,
+) -> PagerankResult {
+    edge_centric_impl(edges, out_degrees, cfg, sync, ctx)
+}
+
+pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     out_degrees: &[u32],
     cfg: PagerankConfig,
@@ -386,11 +427,25 @@ pub fn grid_push<E: EdgeRecord>(
     cfg: PagerankConfig,
     locked: bool,
 ) -> PagerankResult {
-    grid_push_ctx(grid, out_degrees, cfg, locked, &ExecContext::new())
+    grid_push_impl(grid, out_degrees, cfg, locked, &ExecContext::new())
 }
 
 /// [`grid_push`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn grid_push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    grid: &Grid<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    locked: bool,
+    ctx: &ExecContext<'_, P, R>,
+) -> PagerankResult {
+    grid_push_impl(grid, out_degrees, cfg, locked, ctx)
+}
+
+pub(crate) fn grid_push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     grid: &Grid<E>,
     out_degrees: &[u32],
     cfg: PagerankConfig,
@@ -429,11 +484,24 @@ pub fn grid_pull<E: EdgeRecord>(
     out_degrees: &[u32],
     cfg: PagerankConfig,
 ) -> PagerankResult {
-    grid_pull_ctx(transposed, out_degrees, cfg, &ExecContext::new())
+    grid_pull_impl(transposed, out_degrees, cfg, &ExecContext::new())
 }
 
 /// [`grid_pull`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn grid_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    transposed: &Grid<E>,
+    out_degrees: &[u32],
+    cfg: PagerankConfig,
+    ctx: &ExecContext<'_, P, R>,
+) -> PagerankResult {
+    grid_pull_impl(transposed, out_degrees, cfg, ctx)
+}
+
+pub(crate) fn grid_pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     transposed: &Grid<E>,
     out_degrees: &[u32],
     cfg: PagerankConfig,

@@ -71,11 +71,23 @@ impl<E: EdgeRecord> PushOp<E> for SpmvPushOp<'_> {
 ///
 /// Panics if `x.len() != edges.num_vertices()`.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, x: &[f32]) -> SpmvResult {
-    edge_centric_ctx(edges, x, &ExecContext::new())
+    edge_centric_impl(edges, x, &ExecContext::new())
 }
 
 /// [`edge_centric`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    x: &[f32],
+    ctx: &ExecContext<'_, P, R>,
+) -> SpmvResult {
+    edge_centric_impl(edges, x, ctx)
+}
+
+pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     x: &[f32],
     ctx: &ExecContext<'_, P, R>,
@@ -98,11 +110,23 @@ pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// Vertex-centric push SpMV over an out-adjacency (the "adj" bar of
 /// Fig. 3c — its pre-processing is what never pays off).
 pub fn push<E: EdgeRecord>(out: &Adjacency<E>, x: &[f32]) -> SpmvResult {
-    push_ctx(out, x, &ExecContext::new())
+    push_impl(out, x, &ExecContext::new())
 }
 
 /// [`push`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    out: &Adjacency<E>,
+    x: &[f32],
+    ctx: &ExecContext<'_, P, R>,
+) -> SpmvResult {
+    push_impl(out, x, ctx)
+}
+
+pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     out: &Adjacency<E>,
     x: &[f32],
     ctx: &ExecContext<'_, P, R>,
@@ -126,11 +150,23 @@ pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// Vertex-centric pull SpMV over an in-adjacency: each output element
 /// is summed by its own vertex — no synchronization at all.
 pub fn pull<E: EdgeRecord>(incoming: &Adjacency<E>, x: &[f32]) -> SpmvResult {
-    pull_ctx(incoming, x, &ExecContext::new())
+    pull_impl(incoming, x, &ExecContext::new())
 }
 
 /// [`pull`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    incoming: &Adjacency<E>,
+    x: &[f32],
+    ctx: &ExecContext<'_, P, R>,
+) -> SpmvResult {
+    pull_impl(incoming, x, ctx)
+}
+
+pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     incoming: &Adjacency<E>,
     x: &[f32],
     ctx: &ExecContext<'_, P, R>,
@@ -182,11 +218,23 @@ pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// atomics) — the grid's structural synchronization applied to the
 /// single-pass kernel.
 pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>, x: &[f32]) -> SpmvResult {
-    grid_ctx(grid, x, &ExecContext::new())
+    grid_impl(grid, x, &ExecContext::new())
 }
 
 /// [`grid`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    grid: &crate::layout::Grid<E>,
+    x: &[f32],
+    ctx: &ExecContext<'_, P, R>,
+) -> SpmvResult {
+    grid_impl(grid, x, ctx)
+}
+
+pub(crate) fn grid_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     grid: &crate::layout::Grid<E>,
     x: &[f32],
     ctx: &ExecContext<'_, P, R>,

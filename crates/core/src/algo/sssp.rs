@@ -65,11 +65,23 @@ impl<E: EdgeRecord> PushOp<E> for SsspPushOp<'_> {
 /// Negative edge weights are a caller bug (the relaxation still
 /// terminates only for non-negative weights).
 pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>, source: VertexId) -> SsspResult {
-    push_ctx(adj, source, &ExecContext::new())
+    push_impl(adj, source, &ExecContext::new())
 }
 
 /// [`push`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    source: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> SsspResult {
+    push_impl(adj, source, ctx)
+}
+
+pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     source: VertexId,
     ctx: &ExecContext<'_, P, R>,
@@ -112,11 +124,23 @@ pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// Edge-centric SSSP: every iteration streams the whole edge array,
 /// relaxing edges whose source improved last round.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, source: VertexId) -> SsspResult {
-    edge_centric_ctx(edges, source, &ExecContext::new())
+    edge_centric_impl(edges, source, &ExecContext::new())
 }
 
 /// [`edge_centric`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    source: VertexId,
+    ctx: &ExecContext<'_, P, R>,
+) -> SsspResult {
+    edge_centric_impl(edges, source, ctx)
+}
+
+pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     source: VertexId,
     ctx: &ExecContext<'_, P, R>,

@@ -69,11 +69,22 @@ impl<E: EdgeRecord> PushOp<E> for WccPushOp<'_> {
 /// (build it from [`EdgeList::to_undirected`], which is what doubles
 /// the pre-processing cost).
 pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
-    push_ctx(adj, &ExecContext::new())
+    push_impl(adj, &ExecContext::new())
 }
 
 /// [`push`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    push_impl(adj, ctx)
+}
+
+pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     ctx: &ExecContext<'_, P, R>,
 ) -> WccResult {
@@ -110,13 +121,24 @@ pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// edge propagates the smaller label to the other endpoint, so no
 /// undirected copy — and no pre-processing at all — is needed.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>) -> WccResult {
-    edge_centric_ctx(edges, &ExecContext::new())
+    edge_centric_impl(edges, &ExecContext::new())
 }
 
 /// [`edge_centric`] with explicit instrumentation. (The kernel streams
 /// the raw edge array outside the engine drivers, so only per-iteration
 /// records — not per-edge probe touches — are reported.)
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    edges: &EdgeList<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    edge_centric_impl(edges, ctx)
+}
+
+pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     ctx: &ExecContext<'_, P, R>,
 ) -> WccResult {
@@ -214,11 +236,22 @@ impl<E: EdgeRecord> PullOp<E> for WccPullOp<'_> {
 /// locks, no CAS — each vertex writes only itself (§6.1.2 applied to
 /// label propagation).
 pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
-    pull_ctx(adj, &ExecContext::new())
+    pull_impl(adj, &ExecContext::new())
 }
 
 /// [`pull`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    pull_impl(adj, ctx)
+}
+
+pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     ctx: &ExecContext<'_, P, R>,
 ) -> WccResult {
@@ -265,11 +298,22 @@ pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// small, pull rounds while it is large (the Ligra recipe applied to
 /// label propagation). Requires an undirected adjacency list.
 pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
-    push_pull_ctx(adj, &ExecContext::new())
+    push_pull_impl(adj, &ExecContext::new())
 }
 
 /// [`push_pull`] with explicit instrumentation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    adj: &AdjacencyList<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    push_pull_impl(adj, ctx)
+}
+
+pub(crate) fn push_pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     adj: &AdjacencyList<E>,
     ctx: &ExecContext<'_, P, R>,
 ) -> WccResult {
@@ -335,13 +379,24 @@ pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// so the labels of a cell's two vertex ranges stay cache-resident —
 /// the §5 locality argument applied to label propagation.
 pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>) -> WccResult {
-    grid_ctx(grid, &ExecContext::new())
+    grid_impl(grid, &ExecContext::new())
 }
 
 /// [`grid`] with explicit instrumentation. (The kernel streams grid
 /// cells outside the engine drivers, so only per-iteration records —
 /// not per-edge probe touches — are reported.)
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
+)]
 pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+    grid: &crate::layout::Grid<E>,
+    ctx: &ExecContext<'_, P, R>,
+) -> WccResult {
+    grid_impl(grid, ctx)
+}
+
+pub(crate) fn grid_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     grid: &crate::layout::Grid<E>,
     ctx: &ExecContext<'_, P, R>,
 ) -> WccResult {

@@ -1,0 +1,206 @@
+//! The unified execution context for algorithm dispatch.
+//!
+//! Historically every algorithm entry point came in two flavors: a
+//! plain function and a `*_ctx` twin generic over `<E: EdgeRecord,
+//! P: MemProbe, R: Recorder>`. Every new instrumentation hook widened
+//! that signature for ~25 functions at once, and callers that only
+//! wanted a recorder still had to spell the whole parameter list.
+//!
+//! [`ExecCtx`] collapses the sprawl behind one borrowed parameter
+//! struct with a builder:
+//!
+//! ```
+//! use egraph_core::exec::ExecCtx;
+//! use egraph_core::telemetry::TraceRecorder;
+//!
+//! let recorder = TraceRecorder::new();
+//! let ctx = ExecCtx::new(None).recorder(&recorder);
+//! assert!(ctx.pool().is_none());
+//! ```
+//!
+//! Internally the context erases the probe and recorder behind trait
+//! objects and re-enters the generic engine through thin adapter
+//! wrappers, so the monomorphized kernels are shared by every caller
+//! of [`run_variant`](crate::variant::run_variant). The dynamic
+//! dispatch happens once per instrumentation call, which is noise next
+//! to the edge scans it brackets; timing-critical uninstrumented runs
+//! keep the statically-dispatched `NullProbe`/`NullRecorder` path via
+//! the plain entry points (`bfs::push`, ...), whose instrumentation
+//! folds away entirely.
+
+use egraph_cachesim::{AccessKind, MemProbe, NullProbe};
+use egraph_parallel::{with_pool, ThreadPool};
+
+use crate::telemetry::{ExecContext, IterRecord, NullRecorder, PhaseProfiler, Recorder};
+
+/// The unified execution context: an optional scoped [`ThreadPool`], a
+/// cache probe, a telemetry recorder and an optional phase profiler.
+///
+/// Built with [`ExecCtx::new`] plus the builder methods; everything
+/// defaults to "off" (global pool, null probe, null recorder, no
+/// profiler).
+#[derive(Clone, Copy)]
+pub struct ExecCtx<'a> {
+    pool: Option<&'a ThreadPool>,
+    probe: DynProbe<'a>,
+    recorder: DynRecorder<'a>,
+    profiler: Option<&'a PhaseProfiler>,
+}
+
+impl std::fmt::Debug for ExecCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("pool", &self.pool.map(ThreadPool::num_threads))
+            .field("probe_enabled", &self.probe.enabled())
+            .field("recorder_enabled", &self.recorder.enabled())
+            .field("profiler", &self.profiler.is_some())
+            .finish()
+    }
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Creates a context that runs on `pool` (or the ambient pool when
+    /// `None`) with instrumentation off.
+    pub fn new(pool: impl Into<Option<&'a ThreadPool>>) -> Self {
+        Self {
+            pool: pool.into(),
+            probe: DynProbe(&NullProbe),
+            recorder: DynRecorder(&NullRecorder),
+            profiler: None,
+        }
+    }
+
+    /// This context with a telemetry recorder.
+    pub fn recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = DynRecorder(recorder);
+        self
+    }
+
+    /// This context with a cache probe.
+    pub fn probe(mut self, probe: &'a dyn MemProbe) -> Self {
+        self.probe = DynProbe(probe);
+        self
+    }
+
+    /// This context with a phase profiler: layout construction and the
+    /// algorithm run are attributed to `"preprocess"` / `"algorithm"`
+    /// windows by [`run_variant`](crate::variant::run_variant).
+    pub fn profiler(mut self, profiler: &'a PhaseProfiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The scoped pool, if one was set.
+    pub fn pool(&self) -> Option<&'a ThreadPool> {
+        self.pool
+    }
+
+    /// Runs `f` under this context's pool (or inline on the ambient
+    /// pool when none was set).
+    pub fn scoped<T>(&self, f: impl FnOnce() -> T) -> T {
+        match self.pool {
+            Some(pool) => with_pool(pool, f),
+            None => f(),
+        }
+    }
+
+    /// Profiles `f` as phase `name` when a profiler is attached.
+    pub fn profile<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        match self.profiler {
+            Some(prof) => prof.profile(name, f),
+            None => f(),
+        }
+    }
+
+    /// The generic-engine view of this context (adapter wrappers around
+    /// the erased probe and recorder).
+    pub(crate) fn context(&self) -> ExecContext<'_, DynProbe<'a>, DynRecorder<'a>> {
+        ExecContext {
+            probe: &self.probe,
+            recorder: &self.recorder,
+        }
+    }
+}
+
+impl Default for ExecCtx<'static> {
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+/// Adapter that re-enters the generic engine with an erased probe.
+#[derive(Clone, Copy)]
+pub(crate) struct DynProbe<'a>(&'a dyn MemProbe);
+
+impl MemProbe for DynProbe<'_> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    #[inline]
+    fn touch(&self, kind: AccessKind, addr: u64) {
+        self.0.touch(kind, addr);
+    }
+}
+
+/// Adapter that re-enters the generic engine with an erased recorder.
+#[derive(Clone, Copy)]
+pub(crate) struct DynRecorder<'a>(&'a dyn Recorder);
+
+impl Recorder for DynRecorder<'_> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    #[inline]
+    fn record_counter(&self, name: &'static str, delta: u64) {
+        self.0.record_counter(name, delta);
+    }
+
+    #[inline]
+    fn record_iteration(&self, record: IterRecord) {
+        self.0.record_iteration(record);
+    }
+
+    #[inline]
+    fn record_span(&self, name: &'static str, seconds: f64) {
+        self.0.record_span(name, seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TraceRecorder;
+
+    #[test]
+    fn builder_defaults_are_off() {
+        let ctx = ExecCtx::new(None);
+        assert!(ctx.pool().is_none());
+        assert!(!ctx.context().probe.enabled());
+        assert!(!ctx.context().recorder.enabled());
+    }
+
+    #[test]
+    fn builder_attaches_instrumentation() {
+        let recorder = TraceRecorder::new();
+        let probe = egraph_cachesim::LlcProbe::new(egraph_cachesim::CacheConfig::tiny(4096, 4));
+        let pool = ThreadPool::new(2);
+        let ctx = ExecCtx::new(&pool).recorder(&recorder).probe(&probe);
+        assert_eq!(ctx.pool().map(ThreadPool::num_threads), Some(2));
+        assert!(ctx.context().probe.enabled());
+        assert!(ctx.context().recorder.enabled());
+        ctx.context().recorder.record_counter("x", 3);
+        assert_eq!(recorder.counters().get("x"), Some(&3.0));
+    }
+
+    #[test]
+    fn scoped_runs_under_pool() {
+        let pool = ThreadPool::new(3);
+        let ctx = ExecCtx::new(&pool);
+        let n = ctx.scoped(egraph_parallel::current_num_threads);
+        assert_eq!(n, 3);
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod algo;
 pub mod engine;
+pub mod exec;
 pub mod frontier;
 pub mod inspect;
 pub mod layout;
@@ -49,13 +50,16 @@ pub mod metrics;
 pub mod numa_sim;
 pub mod preprocess;
 pub mod roadmap;
+pub mod serve;
 pub mod telemetry;
 pub mod trace_diff;
 pub mod types;
 pub mod util;
+pub mod variant;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::exec::ExecCtx;
     pub use crate::frontier::{FrontierKind, VertexSubset};
     pub use crate::inspect::{summarize, GraphSummary};
     pub use crate::layout::{Adjacency, AdjacencyList, EdgeDirection, Grid};
@@ -66,4 +70,8 @@ pub mod prelude {
         TraceFormat, TraceRecorder,
     };
     pub use crate::types::{Edge, EdgeList, EdgeRecord, VertexId, WEdge, INVALID_VERTEX};
+    pub use crate::variant::{
+        run_variant, Algo, Direction, Layout, PreparedGraph, RunParams, SyncMode, VariantError,
+        VariantId, VariantOutput, VariantRun,
+    };
 }

@@ -1,0 +1,421 @@
+//! The TCP front-end: newline-delimited JSON over the same plain
+//! `std::net::TcpListener` scaffolding `egraph-metrics` proved out.
+//!
+//! # Wire protocol
+//!
+//! One request per line, one response per line, both JSON objects:
+//!
+//! ```text
+//! → {"id":1,"algo":"bfs","source":42}
+//! ← {"id":1,"ok":true,"algo":"bfs","source":42,"wave_size":17,
+//!    "wait_us":812,"exec_us":5241,"reachable":261904,
+//!    "checksum":"c0ffee..."}
+//! ```
+//!
+//! Fields: `algo` is `bfs` | `sssp` | `khop` (`khop` takes `depth`);
+//! `"values":true` asks for the full per-vertex array in the response
+//! (levels for bfs/khop, distances for sssp — large!). `id` is echoed
+//! verbatim so clients may pipeline. Errors come back on the same line
+//! slot: `{"id":1,"ok":false,"error":"..."}`. The connection stays
+//! open until the client closes it.
+//!
+//! The daemon also answers plain HTTP `GET /healthz` on the query port
+//! (`200 ok` once the CSR build finished, `503 loading` before) so
+//! load balancers can gate on graph-load completion without a second
+//! port.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use egraph_metrics::BindError;
+
+use crate::telemetry::json::{self, Value};
+use crate::types::VertexId;
+
+use super::engine::{
+    Query, QueryKind, QueryOutcome, QueryValues, ServeConfig, ServeEngine, ServeGraph,
+};
+
+/// A running `egraph serve` daemon: the batching engine plus the TCP
+/// accept loop. Dropping it stops accepting, drains in-flight queries
+/// and joins every connection thread.
+pub struct ServeDaemon {
+    addr: SocketAddr,
+    engine: Arc<ServeEngine>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeDaemon")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServeDaemon {
+    /// Binds `addr` (port `0` for ephemeral), starts the engine (the
+    /// CSR build proceeds in the background; `/healthz` reports
+    /// `loading` until it completes) and begins accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// [`BindError`] naming the offending address when the listener
+    /// cannot be established.
+    pub fn start(addr: &str, graph: ServeGraph, config: ServeConfig) -> Result<Self, BindError> {
+        let wrap = |e: std::io::Error| BindError::new(addr, e);
+        let listener = TcpListener::bind(addr).map_err(wrap)?;
+        listener.set_nonblocking(true).map_err(wrap)?;
+        let bound = listener.local_addr().map_err(wrap)?;
+        let engine = Arc::new(ServeEngine::start(graph, config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("egraph-serve-accept".into())
+                .spawn(move || accept_loop(listener, &engine, &stop))
+                .map_err(wrap)?
+        };
+        Ok(Self {
+            addr: bound,
+            engine,
+            stop: stop.clone(),
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the engine finished building the CSR.
+    pub fn ready(&self) -> bool {
+        self.engine.ready()
+    }
+
+    /// Blocks until the engine is ready.
+    pub fn wait_ready(&self) {
+        self.engine.wait_ready();
+    }
+
+    /// Stops accepting connections, drains in-flight queries and joins
+    /// the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeDaemon {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, engine: &Arc<ServeEngine>, stop: &Arc<AtomicBool>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let engine = Arc::clone(engine);
+                let stop = Arc::clone(stop);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("egraph-serve-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &engine, &stop);
+                    })
+                {
+                    connections.push(handle);
+                }
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &ServeEngine,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // A finite read timeout lets the handler notice `stop` between
+    // requests from an idle client.
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Health probes reuse the query port: answer one HTTP request
+        // and close, exactly what a load balancer expects.
+        if trimmed.starts_with("GET ") {
+            let (status, body) = if engine.ready() {
+                ("200 OK", "ok\n")
+            } else {
+                ("503 Service Unavailable", "loading\n")
+            };
+            let response = format!(
+                "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            writer.write_all(response.as_bytes())?;
+            return writer.flush();
+        }
+        let response = answer(trimmed, engine);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// Parses one request line and produces the response line (no trailing
+/// newline).
+fn answer(line: &str, engine: &ServeEngine) -> String {
+    let (id, parsed) = match parse_request(line) {
+        Ok(x) => x,
+        Err((id, msg)) => return error_response(&id, &msg),
+    };
+    let (query, want_values) = parsed;
+    let rx = match engine.submit(query) {
+        Ok(rx) => rx,
+        Err(e) => return error_response(&id, &e.to_string()),
+    };
+    match rx.recv() {
+        Ok(outcome) => ok_response(&id, query, &outcome, want_values),
+        Err(_) => error_response(&id, "engine shut down before the query completed"),
+    }
+}
+
+/// `(id-as-json, ((query, want_values)))` or `(id-as-json, message)`.
+#[allow(clippy::type_complexity)]
+fn parse_request(line: &str) -> Result<(String, (Query, bool)), (String, String)> {
+    let value = json::parse(line).map_err(|e| ("null".to_string(), format!("bad json: {e}")))?;
+    let obj = match value.as_object() {
+        Some(o) => o,
+        None => {
+            return Err((
+                "null".to_string(),
+                "request must be a json object".to_string(),
+            ))
+        }
+    };
+    let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let id = match field("id") {
+        Some(Value::Number(n)) => json::number(*n),
+        Some(Value::String(s)) => json::string(s),
+        _ => "null".to_string(),
+    };
+    let fail = |msg: String| (id.clone(), msg);
+    let algo = field("algo")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("missing field: algo".to_string()))?;
+    let kind = match algo {
+        "bfs" => QueryKind::Bfs,
+        "sssp" => QueryKind::Sssp,
+        "khop" => QueryKind::KHop,
+        other => {
+            return Err(fail(format!(
+                "unknown algo '{other}' (expected bfs, sssp or khop)"
+            )))
+        }
+    };
+    let source = field("source")
+        .and_then(Value::as_number)
+        .ok_or_else(|| fail("missing field: source".to_string()))?;
+    if source < 0.0 || source.fract() != 0.0 || source > f64::from(u32::MAX) {
+        return Err(fail(format!("source must be a vertex id, got {source}")));
+    }
+    let depth = match (kind, field("depth").and_then(Value::as_number)) {
+        (QueryKind::KHop, Some(d)) if d >= 0.0 && d.fract() == 0.0 => d as u32,
+        (QueryKind::KHop, Some(d)) => return Err(fail(format!("bad depth {d}"))),
+        (QueryKind::KHop, None) => return Err(fail("khop needs a depth field".to_string())),
+        _ => 0,
+    };
+    let want_values = matches!(field("values"), Some(Value::Bool(true)));
+    Ok((
+        id,
+        (
+            Query {
+                kind,
+                source: source as VertexId,
+                depth,
+            },
+            want_values,
+        ),
+    ))
+}
+
+fn ok_response(id: &str, query: Query, outcome: &QueryOutcome, want_values: bool) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str(&format!(
+        "{{\"id\":{id},\"ok\":true,\"algo\":{},\"source\":{},\"wave_size\":{},\"wait_us\":{},\"exec_us\":{},\"reachable\":{},\"checksum\":\"{:016x}\"",
+        json::string(query.kind.name()),
+        query.source,
+        outcome.wave_size,
+        (outcome.wait_seconds * 1e6).round() as u64,
+        (outcome.exec_seconds * 1e6).round() as u64,
+        outcome.values.reachable(),
+        outcome.values.checksum(),
+    ));
+    if want_values {
+        out.push_str(",\"values\":[");
+        match &outcome.values {
+            QueryValues::Levels(levels) => {
+                for (i, &l) in levels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if l == u32::MAX {
+                        out.push_str("null");
+                    } else {
+                        out.push_str(&l.to_string());
+                    }
+                }
+            }
+            QueryValues::Dists(dists) => {
+                for (i, &d) in dists.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json::number(f64::from(d)));
+                }
+            }
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+fn error_response(id: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":{}}}",
+        json::string(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Edge, EdgeList};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    fn daemon_on_chain(nv: usize) -> ServeDaemon {
+        let edges = (0..nv as u32 - 1).map(|v| Edge::new(v, v + 1)).collect();
+        let graph = EdgeList::new(nv, edges).unwrap();
+        ServeDaemon::start(
+            "127.0.0.1:0",
+            ServeGraph::Unweighted(graph),
+            ServeConfig {
+                threads: 1,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind ephemeral port")
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, request: &str) -> Value {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        json::parse(line.trim()).expect("valid json response")
+    }
+
+    fn get_field<'a>(v: &'a Value, name: &str) -> &'a Value {
+        v.as_object()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&Value::Null)
+    }
+
+    #[test]
+    fn daemon_answers_bfs_over_the_wire() {
+        let daemon = daemon_on_chain(16);
+        let response = roundtrip(
+            daemon.addr(),
+            r#"{"id":7,"algo":"bfs","source":0,"values":true}"#,
+        );
+        assert_eq!(get_field(&response, "ok"), &Value::Bool(true));
+        assert_eq!(get_field(&response, "id").as_number(), Some(7.0));
+        assert_eq!(get_field(&response, "reachable").as_number(), Some(16.0));
+        let values = get_field(&response, "values").as_array().unwrap();
+        assert_eq!(values[3].as_number(), Some(3.0));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn daemon_reports_errors_in_band() {
+        let daemon = daemon_on_chain(4);
+        let response = roundtrip(daemon.addr(), r#"{"id":"q1","algo":"sssp","source":0}"#);
+        assert_eq!(get_field(&response, "ok"), &Value::Bool(false));
+        assert!(get_field(&response, "error")
+            .as_str()
+            .unwrap()
+            .contains("weighted"));
+        let response = roundtrip(daemon.addr(), "not json at all");
+        assert_eq!(get_field(&response, "ok"), &Value::Bool(false));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn daemon_serves_healthz_on_the_query_port() {
+        let daemon = daemon_on_chain(4);
+        daemon.wait_ready();
+        let mut stream = TcpStream::connect(daemon.addr()).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.ends_with("ok\n"), "{response}");
+        daemon.shutdown();
+    }
+}

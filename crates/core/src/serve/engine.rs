@@ -1,0 +1,719 @@
+//! The batching query engine: an admission queue, a scheduler thread
+//! that groups pending same-algorithm queries into waves, and the
+//! demultiplexed per-query results.
+//!
+//! Life of a query: [`ServeEngine::submit`] validates it, enqueues a
+//! pending entry and wakes the scheduler. The scheduler waits up to the
+//! configured batching window for more same-kind queries (or until
+//! [`ServeConfig::max_wave`] are pending), extracts them as one wave,
+//! runs the matching multi-source kernel from [`super::wave`] under the
+//! engine's thread pool, and sends each lane's result back through the
+//! per-query channel. Callers block on their receiver — typically one
+//! connection-handler thread per client — so the engine is naturally
+//! concurrent without any async machinery.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use egraph_parallel::ThreadPool;
+
+use crate::exec::ExecCtx;
+use crate::layout::{AdjacencyList, EdgeDirection};
+use crate::preprocess::{CsrBuilder, Strategy};
+use crate::types::{Edge, EdgeList, VertexId, WEdge};
+use crate::variant::{Algo, VariantError};
+
+use super::wave::{multi_bfs, multi_sssp, MAX_WAVE};
+
+/// Tuning knobs for the serve engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads for wave execution (0 = all hardware threads).
+    pub threads: usize,
+    /// Largest wave the scheduler forms; clamped to `1..=`[`MAX_WAVE`].
+    pub max_wave: usize,
+    /// How long an admitted query may wait for companions before its
+    /// wave is launched anyway.
+    pub batch_window: Duration,
+    /// Publish per-query metrics on the global registry.
+    pub metrics: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            max_wave: MAX_WAVE,
+            batch_window: Duration::from_millis(2),
+            metrics: true,
+        }
+    }
+}
+
+/// The graph a serve engine answers queries about.
+#[derive(Debug)]
+pub enum ServeGraph {
+    /// An unweighted edge list: BFS and k-hop queries only.
+    Unweighted(EdgeList<Edge>),
+    /// A weighted edge list: additionally serves SSSP.
+    Weighted(EdgeList<WEdge>),
+}
+
+impl ServeGraph {
+    fn num_vertices(&self) -> usize {
+        match self {
+            ServeGraph::Unweighted(g) => g.num_vertices(),
+            ServeGraph::Weighted(g) => g.num_vertices(),
+        }
+    }
+
+    fn weighted(&self) -> bool {
+        matches!(self, ServeGraph::Weighted(_))
+    }
+}
+
+/// The out-CSR the engine traverses, built once at start-up.
+enum Csr {
+    Unweighted(AdjacencyList<Edge>),
+    Weighted(AdjacencyList<WEdge>),
+}
+
+/// The algorithm of a point query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Full BFS levels from a source.
+    Bfs,
+    /// Single-source shortest-path distances (weighted graphs only).
+    Sssp,
+    /// BFS levels truncated at a depth bound.
+    KHop,
+}
+
+impl QueryKind {
+    /// The wire / metrics name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Bfs => "bfs",
+            QueryKind::Sssp => "sssp",
+            QueryKind::KHop => "khop",
+        }
+    }
+
+    /// Queries of different kinds never share a wave; k-hop queries
+    /// with different depth bounds may (the kernel runs to the deepest
+    /// bound and each lane is truncated afterwards).
+    fn batch_key(&self) -> u8 {
+        match self {
+            QueryKind::Bfs => 0,
+            QueryKind::Sssp => 1,
+            QueryKind::KHop => 2,
+        }
+    }
+}
+
+/// One point query.
+#[derive(Debug, Clone, Copy)]
+pub struct Query {
+    /// The algorithm to run.
+    pub kind: QueryKind,
+    /// The source vertex.
+    pub source: VertexId,
+    /// Depth bound for [`QueryKind::KHop`]; ignored otherwise.
+    pub depth: u32,
+}
+
+/// Per-query result values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryValues {
+    /// BFS / k-hop levels, `u32::MAX` = unreached.
+    Levels(Vec<u32>),
+    /// SSSP distances, `f32::INFINITY` = unreachable.
+    Dists(Vec<f32>),
+}
+
+impl QueryValues {
+    /// Number of vertices reached from the source.
+    pub fn reachable(&self) -> usize {
+        match self {
+            QueryValues::Levels(l) => l.iter().filter(|&&x| x != u32::MAX).count(),
+            QueryValues::Dists(d) => d.iter().filter(|&&x| x.is_finite()).count(),
+        }
+    }
+
+    /// FNV-1a 64 checksum over the raw value bits in vertex order —
+    /// the integration tests and the qps experiment compare this
+    /// against the single-query baseline.
+    pub fn checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u32| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        match self {
+            QueryValues::Levels(l) => l.iter().for_each(|&x| eat(x)),
+            QueryValues::Dists(d) => d.iter().for_each(|&x| eat(x.to_bits())),
+        }
+        h
+    }
+}
+
+/// What a completed query hands back to its submitter.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The per-vertex answer.
+    pub values: QueryValues,
+    /// How many queries shared this wave's edge scan.
+    pub wave_size: usize,
+    /// Seconds spent queued before the wave launched.
+    pub wait_seconds: f64,
+    /// Seconds of kernel execution for the whole wave.
+    pub exec_seconds: f64,
+}
+
+struct Pending {
+    query: Query,
+    enqueued: Instant,
+    tx: mpsc::Sender<QueryOutcome>,
+}
+
+#[derive(Default)]
+struct Admission {
+    queue: VecDeque<Pending>,
+    stopping: bool,
+}
+
+struct Shared {
+    admission: Mutex<Admission>,
+    wake: Condvar,
+    inflight: AtomicU64,
+}
+
+struct Metrics {
+    queries_total: [egraph_metrics::Counter; 3],
+    query_seconds: egraph_metrics::Histogram,
+    wave_size: egraph_metrics::Histogram,
+    waves_total: egraph_metrics::Counter,
+    inflight: egraph_metrics::Gauge,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let r = egraph_metrics::global();
+        let queries_total = [QueryKind::Bfs, QueryKind::Sssp, QueryKind::KHop].map(|k| {
+            r.counter_with_labels(
+                "egraph_serve_queries_total",
+                "Point queries answered by the serve engine.",
+                &[("algo", k.name())],
+            )
+        });
+        Self {
+            queries_total,
+            query_seconds: r.histogram_seconds(
+                "egraph_serve_query_seconds",
+                "End-to-end per-query latency (admission to demux).",
+            ),
+            wave_size: r.histogram_with_bounds(
+                "egraph_serve_wave_size",
+                "Queries sharing one multi-source wave.",
+                &[],
+                vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            ),
+            waves_total: r.counter(
+                "egraph_serve_waves_total",
+                "Multi-source waves executed by the serve engine.",
+            ),
+            inflight: r.gauge(
+                "egraph_serve_inflight",
+                "Queries admitted but not yet answered.",
+            ),
+        }
+    }
+}
+
+/// A running batched-query engine. Dropping it drains the admission
+/// queue and joins the scheduler.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    scheduler: Option<JoinHandle<()>>,
+    num_vertices: usize,
+    weighted: bool,
+    ready: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("num_vertices", &self.num_vertices)
+            .field("weighted", &self.weighted)
+            .finish()
+    }
+}
+
+impl ServeEngine {
+    /// Builds the read-optimized out-CSR (radix sort, the §5 pick for
+    /// large inputs) and starts the scheduler thread.
+    pub fn start(graph: ServeGraph, config: ServeConfig) -> Self {
+        let num_vertices = graph.num_vertices();
+        let weighted = graph.weighted();
+        let max_wave = config.max_wave.clamp(1, MAX_WAVE);
+        let shared = Arc::new(Shared {
+            admission: Mutex::new(Admission::default()),
+            wake: Condvar::new(),
+            inflight: AtomicU64::new(0),
+        });
+        let ready = Arc::new(AtomicBool::new(false));
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            let ready = Arc::clone(&ready);
+            let config = ServeConfig { max_wave, ..config };
+            std::thread::Builder::new()
+                .name("egraph-serve-sched".into())
+                .spawn(move || scheduler_loop(graph, config, &shared, &ready))
+                .expect("spawn serve scheduler")
+        };
+        Self {
+            shared,
+            scheduler: Some(scheduler),
+            num_vertices,
+            weighted,
+            ready,
+        }
+    }
+
+    /// Number of vertices in the served graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Whether the served graph carries edge weights.
+    pub fn weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Whether the CSR build finished and waves can launch.
+    pub fn ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the engine is ready (the CSR build completed).
+    pub fn wait_ready(&self) {
+        while !self.ready() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Queries admitted but not yet answered.
+    pub fn inflight(&self) -> u64 {
+        self.shared.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Admits a query; the returned receiver yields its outcome once
+    /// the wave it joined completes. Dropping the receiver mid-flight
+    /// is fine — the wave still runs for its other lanes and the lost
+    /// lane's send is discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`VariantError::RootOutOfRange`] for a bad source and
+    /// [`VariantError::NeedsWeights`] for SSSP on an unweighted graph.
+    pub fn submit(&self, query: Query) -> Result<mpsc::Receiver<QueryOutcome>, VariantError> {
+        if (query.source as usize) >= self.num_vertices {
+            return Err(VariantError::RootOutOfRange {
+                root: query.source,
+                num_vertices: self.num_vertices,
+            });
+        }
+        if query.kind == QueryKind::Sssp && !self.weighted {
+            return Err(VariantError::NeedsWeights(Algo::Sssp));
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut admission = self.shared.admission.lock().expect("admission poisoned");
+            admission.queue.push_back(Pending {
+                query,
+                enqueued: Instant::now(),
+                tx,
+            });
+        }
+        self.shared.inflight.fetch_add(1, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+        Ok(rx)
+    }
+
+    /// Stops the scheduler after draining every admitted query.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut admission = self.shared.admission.lock().expect("admission poisoned");
+            admission.stopping = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(t) = self.scheduler.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn scheduler_loop(graph: ServeGraph, config: ServeConfig, shared: &Shared, ready: &AtomicBool) {
+    // The graph is loaded once into a shared read-optimized CSR; every
+    // wave traverses the same arrays.
+    let csr = match &graph {
+        ServeGraph::Unweighted(g) => Csr::Unweighted(
+            CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+                .sort_neighbors(true)
+                .build(g),
+        ),
+        ServeGraph::Weighted(g) => Csr::Weighted(
+            CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+                .sort_neighbors(true)
+                .build(g),
+        ),
+    };
+    let threads = if config.threads == 0 {
+        egraph_parallel::pool::default_num_threads()
+    } else {
+        config.threads
+    };
+    let pool = ThreadPool::new(threads);
+    let metrics = config.metrics.then(Metrics::new);
+    ready.store(true, Ordering::Release);
+
+    loop {
+        let wave = {
+            let mut admission = shared.admission.lock().expect("admission poisoned");
+            // Sleep until there is work or we are told to stop.
+            while admission.queue.is_empty() {
+                if admission.stopping {
+                    return;
+                }
+                admission = shared.wake.wait(admission).expect("admission poisoned");
+            }
+            // Batching window: give companions of the oldest query a
+            // chance to arrive, up to a full wave of its kind.
+            let key = admission.queue[0].query.kind.batch_key();
+            let deadline = admission.queue[0].enqueued + config.batch_window;
+            loop {
+                let same: usize = admission
+                    .queue
+                    .iter()
+                    .filter(|p| p.query.kind.batch_key() == key)
+                    .count();
+                if same >= config.max_wave || admission.stopping {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, timeout) = shared
+                    .wake
+                    .wait_timeout(admission, deadline - now)
+                    .expect("admission poisoned");
+                admission = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            // Extract up to max_wave queries of the chosen kind, in
+            // admission order, leaving the rest queued.
+            let mut wave = Vec::with_capacity(config.max_wave);
+            let mut rest = VecDeque::with_capacity(admission.queue.len());
+            for pending in admission.queue.drain(..) {
+                if wave.len() < config.max_wave && pending.query.kind.batch_key() == key {
+                    wave.push(pending);
+                } else {
+                    rest.push_back(pending);
+                }
+            }
+            admission.queue = rest;
+            wave
+        };
+        run_wave(&csr, &pool, wave, metrics.as_ref(), shared);
+    }
+}
+
+fn run_wave(
+    csr: &Csr,
+    pool: &ThreadPool,
+    wave: Vec<Pending>,
+    metrics: Option<&Metrics>,
+    shared: &Shared,
+) {
+    let kind = wave[0].query.kind;
+    let sources: Vec<VertexId> = wave.iter().map(|p| p.query.source).collect();
+    let max_depth = match kind {
+        QueryKind::Bfs | QueryKind::Sssp => u32::MAX,
+        QueryKind::KHop => wave.iter().map(|p| p.query.depth).max().unwrap_or(0),
+    };
+    let ctx = ExecCtx::new(pool);
+    let started = Instant::now();
+    let mut results: Vec<QueryValues> = ctx.scoped(|| match (kind, csr) {
+        (QueryKind::Sssp, Csr::Weighted(adj)) => multi_sssp(adj.out(), &sources, &ctx)
+            .into_iter()
+            .map(QueryValues::Dists)
+            .collect(),
+        (QueryKind::Sssp, Csr::Unweighted(_)) => {
+            unreachable!("submit rejects sssp on unweighted graphs")
+        }
+        (_, Csr::Unweighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
+            .into_iter()
+            .map(QueryValues::Levels)
+            .collect(),
+        (_, Csr::Weighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
+            .into_iter()
+            .map(QueryValues::Levels)
+            .collect(),
+    });
+    let exec_seconds = started.elapsed().as_secs_f64();
+
+    // Lanes ran to the deepest bound in the wave; truncate each k-hop
+    // lane at its own depth so batching is invisible to the client.
+    if kind == QueryKind::KHop {
+        for (pending, values) in wave.iter().zip(results.iter_mut()) {
+            if let QueryValues::Levels(levels) = values {
+                let bound = pending.query.depth;
+                for level in levels.iter_mut() {
+                    if *level != u32::MAX && *level > bound {
+                        *level = u32::MAX;
+                    }
+                }
+            }
+        }
+    }
+
+    let wave_size = wave.len();
+    for (pending, values) in wave.into_iter().zip(results) {
+        let wait_seconds = (started - pending.enqueued).as_secs_f64();
+        if let Some(m) = metrics {
+            m.queries_total[kind.batch_key() as usize].inc();
+            m.query_seconds.observe(wait_seconds + exec_seconds);
+        }
+        // A disconnected receiver (client went away mid-flight) just
+        // discards this lane; the rest of the wave is unaffected.
+        let _ = pending.tx.send(QueryOutcome {
+            values,
+            wave_size,
+            wait_seconds,
+            exec_seconds,
+        });
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+    if let Some(m) = metrics {
+        m.waves_total.inc();
+        m.wave_size.observe(wave_size as f64);
+        m.inflight
+            .set(shared.inflight.load(Ordering::Relaxed) as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{bfs, sssp};
+
+    fn chain_graph(nv: usize) -> EdgeList<Edge> {
+        let edges = (0..nv as u32 - 1).map(|v| Edge::new(v, v + 1)).collect();
+        EdgeList::new(nv, edges).unwrap()
+    }
+
+    fn weighted_chain(nv: usize) -> EdgeList<WEdge> {
+        let edges = (0..nv as u32 - 1)
+            .map(|v| WEdge::new(v, v + 1, 1.0 + (v % 4) as f32))
+            .collect();
+        EdgeList::new(nv, edges).unwrap()
+    }
+
+    #[test]
+    fn engine_answers_bfs_queries_identically_to_direct_kernel() {
+        let graph = chain_graph(64);
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+            .sort_neighbors(true)
+            .build(&graph);
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(graph),
+            ServeConfig {
+                threads: 2,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        let receivers: Vec<_> = (0..8)
+            .map(|s| {
+                engine.submit(Query {
+                    kind: QueryKind::Bfs,
+                    source: s * 7,
+                    depth: 0,
+                })
+            })
+            .collect::<Result<_, _>>()
+            .unwrap();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let outcome = rx.recv().expect("scheduler answers");
+            let single = bfs::push(&adj, (i as u32) * 7);
+            assert_eq!(outcome.values, QueryValues::Levels(single.level));
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn engine_batches_simultaneous_queries_into_one_wave() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(128)),
+            ServeConfig {
+                threads: 2,
+                batch_window: Duration::from_millis(200),
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        engine.wait_ready();
+        let receivers: Vec<_> = (0..16)
+            .map(|s| {
+                engine
+                    .submit(Query {
+                        kind: QueryKind::Bfs,
+                        source: s,
+                        depth: 0,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let sizes: Vec<usize> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().unwrap().wave_size)
+            .collect();
+        assert!(
+            sizes.iter().any(|&s| s > 1),
+            "no batching despite a 200ms window: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn engine_answers_sssp_and_khop() {
+        let graph = weighted_chain(40);
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+            .sort_neighbors(true)
+            .build(&graph);
+        let engine = ServeEngine::start(
+            ServeGraph::Weighted(graph),
+            ServeConfig {
+                threads: 1,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        let rx_sssp = engine
+            .submit(Query {
+                kind: QueryKind::Sssp,
+                source: 0,
+                depth: 0,
+            })
+            .unwrap();
+        let rx_khop = engine
+            .submit(Query {
+                kind: QueryKind::KHop,
+                source: 0,
+                depth: 3,
+            })
+            .unwrap();
+        let sssp_out = rx_sssp.recv().unwrap();
+        assert_eq!(
+            sssp_out.values,
+            QueryValues::Dists(sssp::push(&adj, 0).dist)
+        );
+        let khop_out = rx_khop.recv().unwrap();
+        match khop_out.values {
+            QueryValues::Levels(levels) => {
+                assert_eq!(levels.iter().filter(|&&l| l != u32::MAX).count(), 4);
+            }
+            other => panic!("expected levels, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn engine_rejects_invalid_queries_with_typed_errors() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(8)),
+            ServeConfig {
+                threads: 1,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        let err = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 99,
+                depth: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, VariantError::RootOutOfRange { root: 99, .. }));
+        let err = engine
+            .submit(Query {
+                kind: QueryKind::Sssp,
+                source: 0,
+                depth: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, VariantError::NeedsWeights(Algo::Sssp)));
+    }
+
+    #[test]
+    fn dropped_receiver_does_not_wedge_the_wave() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(32)),
+            ServeConfig {
+                threads: 1,
+                batch_window: Duration::from_millis(100),
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        engine.wait_ready();
+        let keep = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 0,
+                depth: 0,
+            })
+            .unwrap();
+        let drop_me = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 1,
+                depth: 0,
+            })
+            .unwrap();
+        drop(drop_me);
+        let outcome = keep.recv().expect("surviving query still answered");
+        assert_eq!(outcome.values.reachable(), 32);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn checksum_is_stable_and_value_sensitive() {
+        let a = QueryValues::Levels(vec![0, 1, 2, u32::MAX]);
+        let b = QueryValues::Levels(vec![0, 1, 2, u32::MAX]);
+        let c = QueryValues::Levels(vec![0, 1, 3, u32::MAX]);
+        assert_eq!(a.checksum(), b.checksum());
+        assert_ne!(a.checksum(), c.checksum());
+    }
+}

@@ -182,21 +182,27 @@ impl Recorder for TraceRecorder {
 /// [`Recorder`]. Both default to their null implementations, which
 /// compile the instrumentation away.
 ///
+/// Callers build an [`ExecCtx`](crate::exec::ExecCtx) and go through
+/// [`run_variant`](crate::variant::run_variant); the kernels receive
+/// the erased context this type carries.
+///
 /// # Examples
 ///
 /// ```
 /// use egraph_core::prelude::*;
-/// use egraph_core::algo::bfs;
 ///
 /// let input = EdgeList::new(3, vec![Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
-/// let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&input);
+/// let prepared = PreparedGraph::new(&input).strategy(Strategy::RadixSort);
+/// let id: VariantId = "bfs/adj/push".parse().unwrap();
 ///
 /// // Uninstrumented run (NullProbe + NullRecorder):
-/// let plain = bfs::push_ctx(&adj, 0, &ExecContext::new());
+/// let plain = run_variant(&id, &ExecCtx::new(None), &prepared, &RunParams::default()).unwrap();
 ///
 /// // Traced run:
 /// let recorder = TraceRecorder::new();
-/// let traced = bfs::push_ctx(&adj, 0, &ExecContext::new().with_recorder(&recorder));
+/// let ctx = ExecCtx::new(None).recorder(&recorder);
+/// let traced = run_variant(&id, &ctx, &prepared, &RunParams::default()).unwrap();
+/// let (plain, traced) = (plain.output.as_bfs().unwrap(), traced.output.as_bfs().unwrap());
 /// assert_eq!(plain.level, traced.level);
 /// assert_eq!(recorder.iterations().len(), traced.iterations.len());
 /// ```

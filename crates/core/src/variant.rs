@@ -1,0 +1,983 @@
+//! The unified variant-dispatch API: one typed identifier per
+//! algorithm × layout × direction combination and one resolver,
+//! [`run_variant`], that every caller (CLI, bench, testkit, serve)
+//! goes through instead of hand-writing its own match-block dispatch
+//! over the ~25 algorithm entry points.
+//!
+//! ```
+//! use egraph_core::exec::ExecCtx;
+//! use egraph_core::types::{Edge, EdgeList};
+//! use egraph_core::variant::{PreparedGraph, RunParams, VariantId};
+//!
+//! let graph = EdgeList::new(3, vec![Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
+//! let prepared = PreparedGraph::new(&graph);
+//! let id: VariantId = "bfs/adj/push".parse().unwrap();
+//! let run = egraph_core::variant::run_variant(
+//!     &id,
+//!     &ExecCtx::new(None),
+//!     &prepared,
+//!     &RunParams::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(run.output.as_bfs().unwrap().reachable_count(), 3);
+//! ```
+//!
+//! Unsupported combinations are a typed
+//! [`VariantError::Unsupported`] naming the combination — never a
+//! panic; [`supported_variants`] enumerates the full support matrix so
+//! data-driven callers (the conformance matrix, shell completion) stay
+//! in sync with the resolver by construction.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+use crate::algo::{bfs, pagerank, spmv, sssp, wcc};
+use crate::exec::ExecCtx;
+use crate::layout::{AdjacencyList, EdgeDirection, Grid};
+use crate::metrics::timed;
+use crate::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use crate::types::{EdgeList, EdgeRecord, VertexId};
+
+/// The algorithms of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Breadth-first search.
+    Bfs,
+    /// PageRank power iteration.
+    Pagerank,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Weakly connected components.
+    Wcc,
+    /// Sparse matrix-vector multiplication.
+    Spmv,
+}
+
+impl Algo {
+    /// All algorithms, in report order.
+    pub const ALL: [Algo; 5] = [Algo::Bfs, Algo::Pagerank, Algo::Sssp, Algo::Wcc, Algo::Spmv];
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Bfs => "bfs",
+            Algo::Pagerank => "pagerank",
+            Algo::Sssp => "sssp",
+            Algo::Wcc => "wcc",
+            Algo::Spmv => "spmv",
+        }
+    }
+
+    /// Whether the algorithm consumes edge weights (and therefore
+    /// requires a weighted graph).
+    pub fn needs_weights(self) -> bool {
+        matches!(self, Algo::Sssp | Algo::Spmv)
+    }
+}
+
+/// The edge layouts of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// CSR adjacency lists.
+    Adjacency,
+    /// The flat edge array (no preprocessing).
+    EdgeList,
+    /// The 2-D grid of edge blocks.
+    Grid,
+}
+
+impl Layout {
+    /// All layouts, in report order.
+    pub const ALL: [Layout; 3] = [Layout::Adjacency, Layout::EdgeList, Layout::Grid];
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Adjacency => "adj",
+            Layout::EdgeList => "edge",
+            Layout::Grid => "grid",
+        }
+    }
+}
+
+/// The information-flow directions of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Sources scatter to destinations.
+    Push,
+    /// Destinations gather from sources.
+    Pull,
+    /// Direction-optimizing hybrid (Beamer's heuristic).
+    PushPull,
+}
+
+impl Direction {
+    /// All directions, in report order.
+    pub const ALL: [Direction; 3] = [Direction::Push, Direction::Pull, Direction::PushPull];
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+            Direction::PushPull => "push-pull",
+        }
+    }
+}
+
+/// How push variants synchronize concurrent writes to a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SyncMode {
+    /// Atomic claims / accumulation (the default).
+    #[default]
+    Atomics,
+    /// Per-vertex striped locks.
+    Locks,
+}
+
+impl SyncMode {
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncMode::Atomics => "atomics",
+            SyncMode::Locks => "locks",
+        }
+    }
+}
+
+impl FromStr for SyncMode {
+    type Err = VariantError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "atomics" => Ok(SyncMode::Atomics),
+            "locks" => Ok(SyncMode::Locks),
+            other => Err(VariantError::Parse {
+                what: "sync mode",
+                got: other.to_string(),
+                expected: "atomics|locks",
+            }),
+        }
+    }
+}
+
+impl FromStr for Algo {
+    type Err = VariantError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Algo::ALL
+            .into_iter()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| VariantError::Parse {
+                what: "algorithm",
+                got: s.to_string(),
+                expected: "bfs|pagerank|sssp|wcc|spmv",
+            })
+    }
+}
+
+impl FromStr for Layout {
+    type Err = VariantError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Layout::ALL
+            .into_iter()
+            .find(|l| l.name() == s)
+            .ok_or_else(|| VariantError::Parse {
+                what: "layout",
+                got: s.to_string(),
+                expected: "adj|edge|grid",
+            })
+    }
+}
+
+impl FromStr for Direction {
+    type Err = VariantError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Direction::ALL
+            .into_iter()
+            .find(|d| d.name() == s)
+            .ok_or_else(|| VariantError::Parse {
+                what: "flow direction",
+                got: s.to_string(),
+                expected: "push|pull|push-pull",
+            })
+    }
+}
+
+impl fmt::Display for Algo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One algorithm × layout × direction combination, e.g.
+/// `bfs/adj/push-pull`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VariantId {
+    /// The algorithm.
+    pub algo: Algo,
+    /// The edge layout.
+    pub layout: Layout,
+    /// The information-flow direction.
+    pub direction: Direction,
+}
+
+impl VariantId {
+    /// Creates an identifier (which may name an unsupported
+    /// combination — [`run_variant`] reports those as typed errors).
+    pub fn new(algo: Algo, layout: Layout, direction: Direction) -> Self {
+        Self {
+            algo,
+            layout,
+            direction,
+        }
+    }
+}
+
+impl fmt::Display for VariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.algo, self.layout, self.direction)
+    }
+}
+
+impl FromStr for VariantId {
+    type Err = VariantError;
+
+    /// Parses `algo/layout/direction` (e.g. `"pagerank/grid/pull"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('/');
+        let (Some(algo), Some(layout), Some(direction), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(VariantError::Parse {
+                what: "variant id",
+                got: s.to_string(),
+                expected: "algo/layout/direction",
+            });
+        };
+        Ok(Self {
+            algo: algo.parse()?,
+            layout: layout.parse()?,
+            direction: direction.parse()?,
+        })
+    }
+}
+
+/// Typed dispatch failures. Every mis-addressed combination surfaces
+/// here; [`run_variant`] never panics on its inputs.
+#[derive(Debug, Clone)]
+pub enum VariantError {
+    /// The combination names no implemented variant.
+    Unsupported(VariantId),
+    /// The algorithm consumes weights but the graph is unweighted.
+    NeedsWeights(Algo),
+    /// A traversal root outside the vertex range.
+    RootOutOfRange {
+        /// The requested root.
+        root: VertexId,
+        /// The graph's vertex count.
+        num_vertices: usize,
+    },
+    /// A component string did not parse.
+    Parse {
+        /// What was being parsed ("algorithm", "layout", ...).
+        what: &'static str,
+        /// The offending input.
+        got: String,
+        /// The accepted spellings.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for VariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariantError::Unsupported(id) => write!(
+                f,
+                "unsupported variant {id}: {} does not implement layout '{}' with flow '{}'",
+                id.algo, id.layout, id.direction
+            ),
+            VariantError::NeedsWeights(algo) => write!(
+                f,
+                "{algo} needs a weighted graph (generate with --weighted true)"
+            ),
+            VariantError::RootOutOfRange { root, num_vertices } => {
+                write!(
+                    f,
+                    "root {root} out of range (graph has {num_vertices} vertices)"
+                )
+            }
+            VariantError::Parse {
+                what,
+                got,
+                expected,
+            } => write!(f, "unknown {what} '{got}' (expected {expected})"),
+        }
+    }
+}
+
+impl std::error::Error for VariantError {}
+
+/// Reports whether the combination is implemented.
+pub fn is_supported(id: &VariantId) -> bool {
+    use Direction::*;
+    use Layout::*;
+    let dirs: &[Direction] = match (id.algo, id.layout) {
+        (Algo::Bfs | Algo::Wcc, Adjacency) => &[Push, Pull, PushPull],
+        (Algo::Bfs | Algo::Wcc, EdgeList | Grid) => &[Push],
+        (Algo::Pagerank, Adjacency) => &[Push, Pull],
+        (Algo::Pagerank, EdgeList) => &[Push],
+        (Algo::Pagerank, Grid) => &[Push, Pull],
+        (Algo::Sssp, Adjacency | EdgeList) => &[Push],
+        (Algo::Sssp, Grid) => &[],
+        (Algo::Spmv, Adjacency) => &[Push, Pull],
+        (Algo::Spmv, EdgeList) => &[Push],
+        (Algo::Spmv, Grid) => &[Push],
+    };
+    dirs.contains(&id.direction)
+}
+
+/// Every implemented combination, in stable report order. The
+/// conformance matrix iterates this list, so a variant added to the
+/// resolver is automatically covered.
+pub fn supported_variants() -> Vec<VariantId> {
+    let mut out = Vec::new();
+    for algo in Algo::ALL {
+        for layout in Layout::ALL {
+            for direction in Direction::ALL {
+                let id = VariantId::new(algo, layout, direction);
+                if is_supported(&id) {
+                    out.push(id);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether [`RunParams::sync`] selects between distinct
+/// implementations for this variant (atomic vs. locked push).
+pub fn sync_matters(id: &VariantId) -> bool {
+    matches!(
+        (id.algo, id.layout, id.direction),
+        (Algo::Bfs, Layout::Adjacency, Direction::Push)
+            | (Algo::Pagerank, Layout::Adjacency, Direction::Push)
+            | (Algo::Pagerank, Layout::EdgeList, Direction::Push)
+            | (Algo::Pagerank, Layout::Grid, Direction::Push)
+    )
+}
+
+/// Whether the variant is bit-identical across thread counts:
+/// single-writer float accumulation in a fixed order (or integer /
+/// min-based results, which are order-independent). Schedule-dependent
+/// `f32` reordering (atomic or locked push accumulation) returns
+/// `false`. DESIGN.md §11 derives the classification.
+pub fn cross_thread_deterministic(id: &VariantId, sync: SyncMode) -> bool {
+    match id.algo {
+        // Integer fixpoints (BFS levels, WCC labels) and SSSP's
+        // min-over-path-sums are order-independent on every schedule.
+        Algo::Bfs | Algo::Wcc | Algo::Sssp => true,
+        Algo::Pagerank => match (id.layout, id.direction) {
+            (_, Direction::Pull) => true,
+            // Unlocked grid push owns its column exclusively.
+            (Layout::Grid, Direction::Push) => sync == SyncMode::Atomics,
+            _ => false,
+        },
+        Algo::Spmv => matches!(
+            (id.layout, id.direction),
+            (_, Direction::Pull) | (Layout::Grid, Direction::Push)
+        ),
+    }
+}
+
+/// The default grid side for a graph of `nv` vertices (the CLI's
+/// historical heuristic: one column per 256k vertices, clamped).
+pub fn default_grid_side(nv: usize) -> usize {
+    (nv / (1 << 18)).clamp(8, 256)
+}
+
+/// Everything a variant run needs besides the graph: traversal root,
+/// PageRank configuration, push synchronization and the SpMV input
+/// vector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunParams<'a> {
+    /// BFS/SSSP source vertex.
+    pub root: VertexId,
+    /// PageRank configuration (iterations, damping, tolerance).
+    pub pagerank: pagerank::PagerankConfig,
+    /// Push synchronization (ignored where [`sync_matters`] is false).
+    pub sync: SyncMode,
+    /// SpMV input vector; all-ones when `None`.
+    pub x: Option<&'a [f32]>,
+}
+
+/// A graph plus lazily built, cached layouts. Each layout (per-
+/// direction CSR, undirected CSR for WCC, grid, transposed grid) is
+/// built at most once, on first use, under whatever pool/profiler the
+/// requesting [`run_variant`] call supplies — so one `PreparedGraph`
+/// can serve many variant runs without rebuilding, while a
+/// single-variant caller pays exactly the preprocessing cost of the
+/// layout it asked for.
+pub struct PreparedGraph<'a, E: EdgeRecord> {
+    edges: &'a EdgeList<E>,
+    strategy: Strategy,
+    grid_strategy: Option<Strategy>,
+    sorted: bool,
+    side: Option<usize>,
+    csr: [OnceLock<(AdjacencyList<E>, f64)>; 3],
+    und_csr: OnceLock<(AdjacencyList<E>, f64)>,
+    grid: OnceLock<(Grid<E>, f64)>,
+    tgrid: OnceLock<(Grid<E>, f64)>,
+    degrees: OnceLock<Vec<u32>>,
+}
+
+impl<'a, E: EdgeRecord> PreparedGraph<'a, E> {
+    /// Wraps `edges` with default build settings (radix-sort CSR,
+    /// unsorted neighbor lists, heuristic grid side).
+    pub fn new(edges: &'a EdgeList<E>) -> Self {
+        Self {
+            edges,
+            strategy: Strategy::RadixSort,
+            grid_strategy: None,
+            sorted: false,
+            side: None,
+            csr: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            und_csr: OnceLock::new(),
+            grid: OnceLock::new(),
+            tgrid: OnceLock::new(),
+            degrees: OnceLock::new(),
+        }
+    }
+
+    /// Sets the CSR construction strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the grid construction strategy (defaults to the CSR
+    /// strategy; the conformance matrix pins grids to count sort for
+    /// stable within-cell edge order).
+    pub fn grid_strategy(mut self, strategy: Strategy) -> Self {
+        self.grid_strategy = Some(strategy);
+        self
+    }
+
+    /// Sorts neighbor lists, making the CSR canonical across
+    /// strategies and worker counts.
+    pub fn sort_neighbors(mut self, sorted: bool) -> Self {
+        self.sorted = sorted;
+        self
+    }
+
+    /// Sets the grid side (defaults to [`default_grid_side`]).
+    pub fn side(mut self, side: usize) -> Self {
+        self.side = Some(side);
+        self
+    }
+
+    /// The underlying edge list.
+    pub fn edges(&self) -> &'a EdgeList<E> {
+        self.edges
+    }
+
+    /// The vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.edges.num_vertices()
+    }
+
+    /// Out-degrees as `u32` (PageRank's normalization input).
+    pub fn degrees(&self) -> &[u32] {
+        self.degrees
+            .get_or_init(|| self.edges.out_degrees().iter().map(|&d| d as u32).collect())
+    }
+
+    fn csr(&self, dir: EdgeDirection) -> &(AdjacencyList<E>, f64) {
+        let slot = match dir {
+            EdgeDirection::Out => &self.csr[0],
+            EdgeDirection::In => &self.csr[1],
+            EdgeDirection::Both => &self.csr[2],
+        };
+        slot.get_or_init(|| {
+            let (adj, stats) = CsrBuilder::new(self.strategy, dir)
+                .sort_neighbors(self.sorted)
+                .build_timed(self.edges);
+            (adj, stats.seconds)
+        })
+    }
+
+    fn und_csr(&self) -> &(AdjacencyList<E>, f64) {
+        self.und_csr.get_or_init(|| {
+            let ((adj, stats), wall) = timed(|| {
+                let undirected = self.edges.to_undirected();
+                CsrBuilder::new(self.strategy, EdgeDirection::Out)
+                    .sort_neighbors(self.sorted)
+                    .build_timed(&undirected)
+            });
+            // The undirected copy is part of WCC's preprocessing cost.
+            (adj, wall.max(stats.seconds))
+        })
+    }
+
+    fn grid(&self, transposed: bool) -> &(Grid<E>, f64) {
+        let slot = if transposed { &self.tgrid } else { &self.grid };
+        slot.get_or_init(|| {
+            let side = self
+                .side
+                .unwrap_or_else(|| default_grid_side(self.num_vertices()));
+            let (grid, stats) = GridBuilder::new(self.grid_strategy.unwrap_or(self.strategy))
+                .side(side)
+                .transposed(transposed)
+                .build_timed(self.edges);
+            (grid, stats.seconds)
+        })
+    }
+
+    /// Builds (or fetches) the layouts `id` needs and returns their
+    /// accumulated build seconds. Zero for the edge-list layout, which
+    /// runs straight off the input.
+    fn prepare(&self, id: &VariantId) -> f64 {
+        match (id.algo, id.layout) {
+            (_, Layout::EdgeList) => 0.0,
+            (Algo::Wcc, Layout::Adjacency) => self.und_csr().1,
+            (_, Layout::Adjacency) => self.csr(csr_direction(id)).1,
+            (Algo::Pagerank, Layout::Grid) if id.direction == Direction::Pull => self.grid(true).1,
+            (_, Layout::Grid) => self.grid(false).1,
+        }
+    }
+}
+
+impl<E: EdgeRecord> fmt::Debug for PreparedGraph<'_, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedGraph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.edges.num_edges())
+            .field("strategy", &self.strategy)
+            .field("sorted", &self.sorted)
+            .finish()
+    }
+}
+
+/// The CSR direction a variant traverses: push reads out-edges, pull
+/// reads in-edges, the hybrid needs both.
+fn csr_direction(id: &VariantId) -> EdgeDirection {
+    match id.direction {
+        Direction::Push => EdgeDirection::Out,
+        Direction::Pull => EdgeDirection::In,
+        Direction::PushPull => EdgeDirection::Both,
+    }
+}
+
+/// The typed result of a variant run.
+#[derive(Debug, Clone)]
+pub enum VariantOutput {
+    /// BFS parents, levels and iteration log.
+    Bfs(bfs::BfsResult),
+    /// PageRank ranks.
+    Pagerank(pagerank::PagerankResult),
+    /// SSSP distances.
+    Sssp(sssp::SsspResult),
+    /// WCC labels.
+    Wcc(wcc::WccResult),
+    /// SpMV output vector.
+    Spmv(spmv::SpmvResult),
+}
+
+impl VariantOutput {
+    /// Wall-clock seconds the algorithm itself ran.
+    pub fn algorithm_seconds(&self) -> f64 {
+        match self {
+            VariantOutput::Bfs(r) => r.algorithm_seconds(),
+            VariantOutput::Pagerank(r) => r.seconds,
+            VariantOutput::Sssp(r) => r.algorithm_seconds(),
+            VariantOutput::Wcc(r) => r.algorithm_seconds(),
+            VariantOutput::Spmv(r) => r.seconds,
+        }
+    }
+
+    /// The BFS result, when this is one.
+    pub fn as_bfs(&self) -> Option<&bfs::BfsResult> {
+        match self {
+            VariantOutput::Bfs(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The PageRank result, when this is one.
+    pub fn as_pagerank(&self) -> Option<&pagerank::PagerankResult> {
+        match self {
+            VariantOutput::Pagerank(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The SSSP result, when this is one.
+    pub fn as_sssp(&self) -> Option<&sssp::SsspResult> {
+        match self {
+            VariantOutput::Sssp(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The WCC result, when this is one.
+    pub fn as_wcc(&self) -> Option<&wcc::WccResult> {
+        match self {
+            VariantOutput::Wcc(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The SpMV result, when this is one.
+    pub fn as_spmv(&self) -> Option<&spmv::SpmvResult> {
+        match self {
+            VariantOutput::Spmv(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A completed variant run: the output plus the time attribution the
+/// CLI's breakdown and traces report.
+#[derive(Debug, Clone)]
+pub struct VariantRun {
+    /// The algorithm's typed result.
+    pub output: VariantOutput,
+    /// Seconds spent building the layouts this run used (cached
+    /// layouts report their original build time).
+    pub preprocess_seconds: f64,
+    /// Seconds the algorithm itself ran.
+    pub algorithm_seconds: f64,
+}
+
+/// Resolves and runs one variant: builds (or reuses) the layouts the
+/// combination needs, then executes it under the context's pool with
+/// the context's instrumentation, attributing `"preprocess"` and
+/// `"algorithm"` phases to the context's profiler.
+///
+/// This is the single algorithm × layout × direction match block in
+/// the workspace; everything else dispatches through it.
+pub fn run_variant<E: EdgeRecord>(
+    id: &VariantId,
+    ctx: &ExecCtx<'_>,
+    graph: &PreparedGraph<'_, E>,
+    params: &RunParams<'_>,
+) -> Result<VariantRun, VariantError> {
+    if !is_supported(id) {
+        return Err(VariantError::Unsupported(*id));
+    }
+    if id.algo.needs_weights() && !E::WEIGHTED {
+        return Err(VariantError::NeedsWeights(id.algo));
+    }
+    let nv = graph.num_vertices();
+    if matches!(id.algo, Algo::Bfs | Algo::Sssp) && params.root as usize >= nv {
+        return Err(VariantError::RootOutOfRange {
+            root: params.root,
+            num_vertices: nv,
+        });
+    }
+    ctx.scoped(|| {
+        let preprocess_seconds = if id.layout == Layout::EdgeList {
+            0.0
+        } else {
+            ctx.profile("preprocess", || graph.prepare(id))
+        };
+        let output = ctx.profile("algorithm", || execute(id, ctx, graph, params));
+        Ok(VariantRun {
+            algorithm_seconds: output.algorithm_seconds(),
+            preprocess_seconds,
+            output,
+        })
+    })
+}
+
+/// The resolver body: every `(algo, layout, direction)` arm calls the
+/// matching kernel. Only reached for supported combinations.
+fn execute<E: EdgeRecord>(
+    id: &VariantId,
+    ctx: &ExecCtx<'_>,
+    graph: &PreparedGraph<'_, E>,
+    params: &RunParams<'_>,
+) -> VariantOutput {
+    use Direction as D;
+    use Layout as L;
+    let c = ctx.context();
+    let root = params.root;
+    let edges = graph.edges();
+    let ones;
+    let x: &[f32] = match params.x {
+        Some(x) => x,
+        None => {
+            ones = vec![1.0f32; graph.num_vertices()];
+            &ones
+        }
+    };
+    match (id.algo, id.layout, id.direction) {
+        (Algo::Bfs, L::Adjacency, D::Push) => VariantOutput::Bfs(match params.sync {
+            SyncMode::Atomics => bfs::push_impl(&graph.csr(EdgeDirection::Out).0, root, &c),
+            SyncMode::Locks => bfs::push_locked(&graph.csr(EdgeDirection::Out).0, root),
+        }),
+        (Algo::Bfs, L::Adjacency, D::Pull) => {
+            VariantOutput::Bfs(bfs::pull_impl(&graph.csr(EdgeDirection::In).0, root, &c))
+        }
+        (Algo::Bfs, L::Adjacency, D::PushPull) => VariantOutput::Bfs(bfs::push_pull_impl(
+            &graph.csr(EdgeDirection::Both).0,
+            root,
+            &c,
+        )),
+        (Algo::Bfs, L::EdgeList, D::Push) => {
+            VariantOutput::Bfs(bfs::edge_centric_impl(edges, root, &c))
+        }
+        (Algo::Bfs, L::Grid, D::Push) => {
+            VariantOutput::Bfs(bfs::grid_impl(&graph.grid(false).0, root, &c))
+        }
+
+        (Algo::Pagerank, L::Adjacency, D::Push) => VariantOutput::Pagerank(pagerank::push_impl(
+            graph.csr(EdgeDirection::Out).0.out(),
+            graph.degrees(),
+            params.pagerank,
+            pagerank_sync(params.sync),
+            &c,
+        )),
+        (Algo::Pagerank, L::Adjacency, D::Pull) => VariantOutput::Pagerank(pagerank::pull_impl(
+            graph.csr(EdgeDirection::In).0.incoming(),
+            graph.degrees(),
+            params.pagerank,
+            &c,
+        )),
+        (Algo::Pagerank, L::EdgeList, D::Push) => {
+            VariantOutput::Pagerank(pagerank::edge_centric_impl(
+                edges,
+                graph.degrees(),
+                params.pagerank,
+                pagerank_sync(params.sync),
+                &c,
+            ))
+        }
+        (Algo::Pagerank, L::Grid, D::Push) => VariantOutput::Pagerank(pagerank::grid_push_impl(
+            &graph.grid(false).0,
+            graph.degrees(),
+            params.pagerank,
+            params.sync == SyncMode::Locks,
+            &c,
+        )),
+        (Algo::Pagerank, L::Grid, D::Pull) => VariantOutput::Pagerank(pagerank::grid_pull_impl(
+            &graph.grid(true).0,
+            graph.degrees(),
+            params.pagerank,
+            &c,
+        )),
+
+        (Algo::Sssp, L::Adjacency, D::Push) => {
+            VariantOutput::Sssp(sssp::push_impl(&graph.csr(EdgeDirection::Out).0, root, &c))
+        }
+        (Algo::Sssp, L::EdgeList, D::Push) => {
+            VariantOutput::Sssp(sssp::edge_centric_impl(edges, root, &c))
+        }
+
+        (Algo::Wcc, L::Adjacency, D::Push) => {
+            VariantOutput::Wcc(wcc::push_impl(&graph.und_csr().0, &c))
+        }
+        (Algo::Wcc, L::Adjacency, D::Pull) => {
+            VariantOutput::Wcc(wcc::pull_impl(&graph.und_csr().0, &c))
+        }
+        (Algo::Wcc, L::Adjacency, D::PushPull) => {
+            VariantOutput::Wcc(wcc::push_pull_impl(&graph.und_csr().0, &c))
+        }
+        (Algo::Wcc, L::EdgeList, D::Push) => VariantOutput::Wcc(wcc::edge_centric_impl(edges, &c)),
+        (Algo::Wcc, L::Grid, D::Push) => {
+            VariantOutput::Wcc(wcc::grid_impl(&graph.grid(false).0, &c))
+        }
+
+        (Algo::Spmv, L::Adjacency, D::Push) => VariantOutput::Spmv(spmv::push_impl(
+            graph.csr(EdgeDirection::Out).0.out(),
+            x,
+            &c,
+        )),
+        (Algo::Spmv, L::Adjacency, D::Pull) => VariantOutput::Spmv(spmv::pull_impl(
+            graph.csr(EdgeDirection::In).0.incoming(),
+            x,
+            &c,
+        )),
+        (Algo::Spmv, L::EdgeList, D::Push) => {
+            VariantOutput::Spmv(spmv::edge_centric_impl(edges, x, &c))
+        }
+        (Algo::Spmv, L::Grid, D::Push) => {
+            VariantOutput::Spmv(spmv::grid_impl(&graph.grid(false).0, x, &c))
+        }
+
+        // `is_supported` rejected everything else before we got here.
+        _ => unreachable!("run_variant checked is_supported"),
+    }
+}
+
+fn pagerank_sync(sync: SyncMode) -> pagerank::PushSync {
+    match sync {
+        SyncMode::Atomics => pagerank::PushSync::Atomics,
+        SyncMode::Locks => pagerank::PushSync::Locks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Edge, WEdge};
+
+    fn diamond() -> EdgeList<Edge> {
+        EdgeList::new(
+            4,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(1, 3),
+                Edge::new(2, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn variant_id_round_trips_through_strings() {
+        for id in supported_variants() {
+            let parsed: VariantId = id.to_string().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_component() {
+        let err = "bfs/ring/push".parse::<VariantId>().unwrap_err();
+        assert!(err.to_string().contains("ring"), "{err}");
+        let err = "bfs/adj".parse::<VariantId>().unwrap_err();
+        assert!(err.to_string().contains("algo/layout/direction"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_combination_is_a_typed_error() {
+        let id = VariantId::new(Algo::Sssp, Layout::Grid, Direction::Push);
+        let graph = EdgeList::new(2, vec![WEdge::new(0, 1, 1.0)]).unwrap();
+        let prepared = PreparedGraph::new(&graph);
+        let err =
+            run_variant(&id, &ExecCtx::new(None), &prepared, &RunParams::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("sssp") && msg.contains("grid"), "{msg}");
+    }
+
+    #[test]
+    fn sssp_on_unweighted_graph_is_rejected() {
+        let graph = diamond();
+        let prepared = PreparedGraph::new(&graph);
+        let id = VariantId::new(Algo::Sssp, Layout::Adjacency, Direction::Push);
+        let err =
+            run_variant(&id, &ExecCtx::new(None), &prepared, &RunParams::default()).unwrap_err();
+        assert!(matches!(err, VariantError::NeedsWeights(Algo::Sssp)));
+    }
+
+    #[test]
+    fn root_out_of_range_is_reported() {
+        let graph = diamond();
+        let prepared = PreparedGraph::new(&graph);
+        let id = VariantId::new(Algo::Bfs, Layout::Adjacency, Direction::Push);
+        let err = run_variant(
+            &id,
+            &ExecCtx::new(None),
+            &prepared,
+            &RunParams {
+                root: 99,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VariantError::RootOutOfRange { root: 99, .. }));
+    }
+
+    #[test]
+    fn every_supported_variant_runs_on_a_small_graph() {
+        let g = diamond();
+        let w = EdgeList::new(
+            4,
+            vec![
+                WEdge::new(0, 1, 1.0),
+                WEdge::new(0, 2, 2.0),
+                WEdge::new(1, 3, 1.0),
+                WEdge::new(2, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let pg = PreparedGraph::new(&g).side(2);
+        let pw = PreparedGraph::new(&w).side(2);
+        let ctx = ExecCtx::new(None);
+        let params = RunParams::default();
+        for id in supported_variants() {
+            let run = if id.algo.needs_weights() {
+                run_variant(&id, &ctx, &pw, &params)
+            } else {
+                run_variant(&id, &ctx, &pg, &params)
+            };
+            let run = run.unwrap_or_else(|e| panic!("{id}: {e}"));
+            match id.algo {
+                Algo::Bfs => assert_eq!(run.output.as_bfs().unwrap().reachable_count(), 4, "{id}"),
+                Algo::Wcc => assert_eq!(run.output.as_wcc().unwrap().component_count(), 1, "{id}"),
+                Algo::Sssp => {
+                    let dist = &run.output.as_sssp().unwrap().dist;
+                    assert_eq!(dist[3], 2.0, "{id}");
+                }
+                Algo::Pagerank => {
+                    assert_eq!(run.output.as_pagerank().unwrap().ranks.len(), 4, "{id}")
+                }
+                Algo::Spmv => assert_eq!(run.output.as_spmv().unwrap().y.len(), 4, "{id}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_graph_caches_layouts() {
+        let g = diamond();
+        let pg = PreparedGraph::new(&g);
+        let a = &pg.csr(EdgeDirection::Out).0 as *const _;
+        let b = &pg.csr(EdgeDirection::Out).0 as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sync_matters_only_for_push_variants_with_two_impls() {
+        assert!(sync_matters(&"bfs/adj/push".parse().unwrap()));
+        assert!(sync_matters(&"pagerank/grid/push".parse().unwrap()));
+        assert!(!sync_matters(&"bfs/adj/pull".parse().unwrap()));
+        assert!(!sync_matters(&"spmv/adj/push".parse().unwrap()));
+    }
+
+    #[test]
+    fn determinism_classification_matches_design_doc() {
+        let exact = |s: &str, sync| cross_thread_deterministic(&s.parse().unwrap(), sync);
+        assert!(exact("bfs/adj/push", SyncMode::Atomics));
+        assert!(exact("sssp/adj/push", SyncMode::Atomics));
+        assert!(exact("pagerank/adj/pull", SyncMode::Atomics));
+        assert!(exact("pagerank/grid/push", SyncMode::Atomics));
+        assert!(!exact("pagerank/grid/push", SyncMode::Locks));
+        assert!(!exact("pagerank/adj/push", SyncMode::Atomics));
+        assert!(!exact("spmv/adj/push", SyncMode::Atomics));
+        assert!(exact("spmv/grid/push", SyncMode::Atomics));
+        assert!(exact("spmv/adj/pull", SyncMode::Atomics));
+    }
+}

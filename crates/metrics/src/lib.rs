@@ -37,7 +37,7 @@ pub mod sharded;
 pub use registry::{
     global, sanitize_metric_name, Counter, Gauge, Histogram, MetricsRegistry, Unit,
 };
-pub use server::{serve, MetricsServer};
+pub use server::{health, healthz_response, serve, set_health, BindError, Health, MetricsServer};
 
 /// Register gauges/counters for the `egraph-parallel` pool telemetry
 /// (steals, busy seconds, regions, chunks, tasks, load imbalance).

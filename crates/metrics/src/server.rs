@@ -10,12 +10,87 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::registry::global;
+
+/// A listener could not be established on the requested address.
+///
+/// Carries the offending address so operators see *which* `--listen` /
+/// `--metrics-addr` value failed instead of a bare "address in use"
+/// panic from a background thread.
+#[derive(Debug)]
+pub struct BindError {
+    addr: String,
+    source: std::io::Error,
+}
+
+impl BindError {
+    /// Wraps an I/O error with the address that produced it.
+    pub fn new(addr: impl Into<String>, source: std::io::Error) -> Self {
+        Self {
+            addr: addr.into(),
+            source,
+        }
+    }
+
+    /// The address that failed to bind.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot listen on {}: {}", self.addr, self.source)
+    }
+}
+
+impl std::error::Error for BindError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// What `/healthz` reports for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Start-up work (e.g. graph loading) is still in progress; probes
+    /// receive `503 loading`.
+    Loading,
+    /// The process is ready to serve; probes receive `200 ok`.
+    Ready,
+}
+
+/// Ready by default so plain `/metrics` endpoints keep answering `ok`
+/// without ever touching the health API.
+static HEALTH: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the process health reported by every `/healthz` endpoint in
+/// this process (the metrics server and the `egraph serve` daemon).
+pub fn set_health(health: Health) {
+    HEALTH.store(matches!(health, Health::Ready) as u8, Ordering::Relaxed);
+}
+
+/// The current process health.
+pub fn health() -> Health {
+    if HEALTH.load(Ordering::Relaxed) == 1 {
+        Health::Ready
+    } else {
+        Health::Loading
+    }
+}
+
+/// The `/healthz` status line + body for the current health state.
+pub fn healthz_response() -> (&'static str, &'static str) {
+    match health() {
+        Health::Ready => ("200 OK", "ok\n"),
+        Health::Loading => ("503 Service Unavailable", "loading\n"),
+    }
+}
 
 /// Handle to a running metrics endpoint. Shuts down on drop.
 pub struct MetricsServer {
@@ -33,20 +108,27 @@ impl std::fmt::Debug for MetricsServer {
 }
 
 /// Bind `addr` (e.g. `127.0.0.1:9184`, port `0` for ephemeral) and serve
-/// the global registry at `/metrics` plus a `/healthz` liveness probe.
-/// Returns the handle whose [`MetricsServer::addr`] reports the actual
-/// bound address.
-pub fn serve<A: ToSocketAddrs>(addr: A) -> std::io::Result<MetricsServer> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
+/// the global registry at `/metrics` plus a `/healthz` readiness probe
+/// (see [`set_health`]). Returns the handle whose [`MetricsServer::addr`]
+/// reports the actual bound address.
+///
+/// # Errors
+///
+/// Returns a [`BindError`] naming the requested address when the
+/// listener cannot be established.
+pub fn serve<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<MetricsServer, BindError> {
+    let wrap = |e: std::io::Error| BindError::new(format!("{addr:?}").replace('"', ""), e);
+    let listener = TcpListener::bind(&addr).map_err(wrap)?;
+    listener.set_nonblocking(true).map_err(wrap)?;
+    let bound = listener.local_addr().map_err(wrap)?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
         .name("egraph-metrics".into())
-        .spawn(move || accept_loop(listener, &stop2))?;
+        .spawn(move || accept_loop(listener, &stop2))
+        .map_err(wrap)?;
     Ok(MetricsServer {
-        addr,
+        addr: bound,
         stop,
         thread: Some(thread),
     })
@@ -129,7 +211,10 @@ fn handle(mut stream: TcpStream) -> std::io::Result<()> {
                 "text/plain; version=0.0.4; charset=utf-8",
                 global().render(),
             ),
-            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/healthz" => {
+                let (status, body) = healthz_response();
+                (status, "text/plain; charset=utf-8", body.to_string())
+            }
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",

@@ -23,9 +23,14 @@
 //! spells out the classification.
 
 use egraph_core::algo::{als, bfs, pagerank, spmv, sssp, wcc};
-use egraph_core::layout::{AdjacencyList, EdgeDirection, Grid};
-use egraph_core::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use egraph_core::exec::ExecCtx;
+use egraph_core::layout::EdgeDirection;
+use egraph_core::preprocess::{CsrBuilder, Strategy};
 use egraph_core::types::{Edge, EdgeList, WEdge};
+use egraph_core::variant::{
+    cross_thread_deterministic, run_variant, supported_variants, sync_matters, Algo, Layout,
+    PreparedGraph, RunParams, SyncMode, VariantId, VariantOutput,
+};
 use egraph_parallel::{with_pool, ThreadPool};
 
 use crate::corpus::{spmv_input, weighted, NamedGraph};
@@ -77,8 +82,8 @@ pub struct Mismatch {
     pub graph: String,
     /// Algorithm (`"bfs"`, `"pagerank"`, …).
     pub algo: &'static str,
-    /// Technique combination (`"grid_push_locked"`, …).
-    pub variant: &'static str,
+    /// Technique combination (`"grid/push+locks"`, …).
+    pub variant: String,
     /// Thread count of the failing run.
     pub threads: usize,
     /// Which oracle disagreed and how.
@@ -140,7 +145,7 @@ enum Output {
 /// One variant's result plus its comparison policy.
 struct VariantOut {
     algo: &'static str,
-    variant: &'static str,
+    variant: String,
     /// Tolerance against the analytic reference (0.0 = exact).
     ref_tol: f64,
     /// Tolerance against the single-thread same-variant baseline.
@@ -149,7 +154,7 @@ struct VariantOut {
 }
 
 impl VariantOut {
-    fn ints(algo: &'static str, variant: &'static str, v: Vec<u32>) -> Self {
+    fn ints(algo: &'static str, variant: String, v: Vec<u32>) -> Self {
         Self {
             algo,
             variant,
@@ -161,7 +166,7 @@ impl VariantOut {
 
     fn floats(
         algo: &'static str,
-        variant: &'static str,
+        variant: String,
         ref_tol: f64,
         cross_tol: f64,
         v: Vec<f32>,
@@ -209,14 +214,13 @@ pub fn run_matrix(graphs: &[NamedGraph], cfg: &MatrixConfig) -> MatrixReport {
     for named in graphs {
         let g = &named.graph;
         let w = weighted(g);
-        let und = g.to_undirected();
         let x = spmv_input(g.num_vertices());
         let degrees: Vec<u32> = g.out_degrees().iter().map(|&d| d as u32).collect();
         let refs = compute_references(g, &w, &degrees, &x, pr_cfg);
 
         let baseline_pool = ThreadPool::new(1);
         let baseline = with_pool(&baseline_pool, || {
-            run_variants(g, &w, &und, &degrees, &x, pr_cfg, Strategy::CountSort)
+            run_variants(g, &w, &x, pr_cfg, Strategy::CountSort)
         });
         for v in &baseline {
             report.combos_run += 1;
@@ -229,9 +233,7 @@ pub fn run_matrix(graphs: &[NamedGraph], cfg: &MatrixConfig) -> MatrixReport {
             }
             let pool = ThreadPool::new(threads);
             let strategy = csr_strategies[ti % csr_strategies.len()];
-            let outs = with_pool(&pool, || {
-                run_variants(g, &w, &und, &degrees, &x, pr_cfg, strategy)
-            });
+            let outs = with_pool(&pool, || run_variants(g, &w, &x, pr_cfg, strategy));
             for v in &outs {
                 report.combos_run += 1;
                 check_reference(&mut report, &named.name, threads, v, &refs);
@@ -243,7 +245,7 @@ pub fn run_matrix(graphs: &[NamedGraph], cfg: &MatrixConfig) -> MatrixReport {
                     report.mismatches.push(Mismatch {
                         graph: named.name.clone(),
                         algo: v.algo,
-                        variant: v.variant,
+                        variant: v.variant.clone(),
                         threads,
                         detail: format!("vs 1-thread baseline: {detail}"),
                     });
@@ -297,7 +299,7 @@ fn check_reference(
             report.mismatches.push(Mismatch {
                 graph: graph.to_string(),
                 algo: v.algo,
-                variant: v.variant,
+                variant: v.variant.clone(),
                 threads,
                 detail: format!("vs serial reference: {detail}"),
             });
@@ -305,14 +307,49 @@ fn check_reference(
     }
 }
 
-/// Runs every variant of every algorithm under the *current* pool
-/// (install one with [`egraph_parallel::with_pool`] first). Layouts are
-/// built inside the scope so preprocessing also runs under the pool.
+/// The matrix-facing name of one combination, e.g. `"adj/push+locks"`.
+fn variant_name(id: &VariantId, sync: SyncMode) -> String {
+    let mut name = format!("{}/{}", id.layout.name(), id.direction.name());
+    if sync == SyncMode::Locks {
+        name.push_str("+locks");
+    }
+    name
+}
+
+/// Classifies one completed run into its comparison policy (see the
+/// module docs and DESIGN.md §11): integer results and SSSP distances
+/// are exact; float results compare to the serial reference with the
+/// reorder tolerance, and to the single-thread baseline exactly iff
+/// [`cross_thread_deterministic`] says the schedule cannot reorder the
+/// accumulation.
+fn classify(id: &VariantId, sync: SyncMode, output: VariantOutput) -> VariantOut {
+    let variant = variant_name(id, sync);
+    let cross = if cross_thread_deterministic(id, sync) {
+        EXACT
+    } else {
+        REORDER_TOL
+    };
+    match output {
+        VariantOutput::Bfs(r) => VariantOut::ints("bfs", variant, r.level),
+        VariantOutput::Wcc(r) => VariantOut::ints("wcc", variant, r.label),
+        VariantOutput::Sssp(r) => VariantOut::floats("sssp", variant, EXACT, EXACT, r.dist),
+        VariantOutput::Pagerank(r) => {
+            VariantOut::floats("pagerank", variant, REORDER_TOL, cross, r.ranks)
+        }
+        VariantOutput::Spmv(r) => VariantOut::floats("spmv", variant, REORDER_TOL, cross, r.y),
+    }
+}
+
+/// Runs every supported variant of every algorithm under the *current*
+/// pool (install one with [`egraph_parallel::with_pool`] first).
+/// Layouts are built lazily by [`PreparedGraph`] inside the scope so
+/// preprocessing also runs under the pool. The variant set comes from
+/// [`supported_variants`] — the matrix has no hand-written dispatch of
+/// its own, so a combination added to `egraph-core` is conformance-
+/// checked automatically.
 fn run_variants(
     g: &EdgeList<Edge>,
     w: &EdgeList<WEdge>,
-    und: &EdgeList<Edge>,
-    degrees: &[u32],
     x: &[f32],
     pr_cfg: pagerank::PagerankConfig,
     strategy: Strategy,
@@ -320,192 +357,63 @@ fn run_variants(
     let nv = g.num_vertices();
     // Sorted neighbor lists make the CSR canonical: every construction
     // strategy and worker count yields byte-identical adjacencies, so
-    // deterministic variants can demand bit-identical results.
-    let csr: AdjacencyList<Edge> = CsrBuilder::new(strategy, EdgeDirection::Both)
-        .sort_neighbors(true)
-        .build(g);
-    let und_csr: AdjacencyList<Edge> = CsrBuilder::new(strategy, EdgeDirection::Out)
-        .sort_neighbors(true)
-        .build(und);
-    let wcsr: AdjacencyList<WEdge> = CsrBuilder::new(strategy, EdgeDirection::Both)
-        .sort_neighbors(true)
-        .build(w);
+    // deterministic variants can demand bit-identical results. Grids
+    // always build with count sort, whose within-cell edge order is the
+    // stable input order regardless of worker count.
     let side = nv.clamp(1, 16);
-    let grid: Option<Grid<Edge>> =
-        (nv > 0).then(|| GridBuilder::new(Strategy::CountSort).side(side).build(g));
-    let tgrid: Option<Grid<Edge>> = (nv > 0).then(|| {
-        GridBuilder::new(Strategy::CountSort)
-            .side(side)
-            .transposed(true)
-            .build(g)
-    });
-    let wgrid: Option<Grid<WEdge>> =
-        (nv > 0).then(|| GridBuilder::new(Strategy::CountSort).side(side).build(w));
+    let prepared_g = PreparedGraph::new(g)
+        .strategy(strategy)
+        .grid_strategy(Strategy::CountSort)
+        .sort_neighbors(true)
+        .side(side);
+    let prepared_w = PreparedGraph::new(w)
+        .strategy(strategy)
+        .grid_strategy(Strategy::CountSort)
+        .sort_neighbors(true)
+        .side(side);
+    let ctx = ExecCtx::new(None);
 
     let mut outs = Vec::new();
-
-    // BFS: compare levels (parents are schedule-dependent; levels are
-    // not). Root 0 requires a non-empty vertex set.
-    if nv > 0 {
-        let root = 0;
-        outs.push(VariantOut::ints(
-            "bfs",
-            "edge_centric",
-            bfs::edge_centric(g, root).level,
-        ));
-        outs.push(VariantOut::ints("bfs", "push", bfs::push(&csr, root).level));
-        outs.push(VariantOut::ints(
-            "bfs",
-            "push_locked",
-            bfs::push_locked(&csr, root).level,
-        ));
-        outs.push(VariantOut::ints("bfs", "pull", bfs::pull(&csr, root).level));
-        outs.push(VariantOut::ints(
-            "bfs",
-            "push_pull",
-            bfs::push_pull(&csr, root).level,
-        ));
-        if let Some(grid) = &grid {
-            outs.push(VariantOut::ints("bfs", "grid", bfs::grid(grid, root).level));
+    for id in supported_variants() {
+        // Root-based algorithms need a vertex 0; grids need a non-empty
+        // vertex range to partition.
+        if nv == 0 && (matches!(id.algo, Algo::Bfs | Algo::Sssp) || id.layout == Layout::Grid) {
+            continue;
+        }
+        let syncs: &[SyncMode] = if sync_matters(&id) {
+            &[SyncMode::Atomics, SyncMode::Locks]
+        } else {
+            &[SyncMode::Atomics]
+        };
+        for &sync in syncs {
+            let params = RunParams {
+                root: 0,
+                pagerank: pr_cfg,
+                sync,
+                x: Some(x),
+            };
+            let run = if id.algo.needs_weights() {
+                run_variant(&id, &ctx, &prepared_w, &params)
+            } else {
+                run_variant(&id, &ctx, &prepared_g, &params)
+            }
+            .expect("supported_variants() entries must run");
+            outs.push(classify(&id, sync, run.output));
         }
     }
 
-    // WCC: min-label propagation converges to the same fixpoint as the
-    // union-find reference on every schedule.
-    outs.push(VariantOut::ints("wcc", "push", wcc::push(&und_csr).label));
-    outs.push(VariantOut::ints("wcc", "pull", wcc::pull(&und_csr).label));
-    outs.push(VariantOut::ints(
-        "wcc",
-        "push_pull",
-        wcc::push_pull(&und_csr).label,
-    ));
-    outs.push(VariantOut::ints(
-        "wcc",
-        "edge_centric",
-        wcc::edge_centric(g).label,
-    ));
-    if let Some(grid) = &grid {
-        outs.push(VariantOut::ints("wcc", "grid", wcc::grid(grid).label));
-    }
-
-    // SSSP: every relaxation computes the same left-associated f32 path
-    // sum Dijkstra computes, and min() over the same set of sums is
-    // order-independent — so all variants are exactly equal to the
-    // reference on every schedule.
+    // Delta-stepping is an extra SSSP implementation outside the
+    // algo × layout × direction space; it keeps its explicit call.
     if nv > 0 {
-        let src = 0;
+        let wcsr = CsrBuilder::new(strategy, EdgeDirection::Out)
+            .sort_neighbors(true)
+            .build(w);
         outs.push(VariantOut::floats(
             "sssp",
-            "push",
+            "delta_stepping".to_string(),
             EXACT,
             EXACT,
-            sssp::push(&wcsr, src).dist,
-        ));
-        outs.push(VariantOut::floats(
-            "sssp",
-            "edge_centric",
-            EXACT,
-            EXACT,
-            sssp::edge_centric(w, src).dist,
-        ));
-        outs.push(VariantOut::floats(
-            "sssp",
-            "delta_stepping",
-            EXACT,
-            EXACT,
-            sssp::delta_stepping(&wcsr, src, 0.25).dist,
-        ));
-    }
-
-    // PageRank: pull, unlocked grid push (exclusive column ownership)
-    // and grid pull are single-writer with a fixed accumulation order →
-    // bit-identical across thread counts. Locked/atomic push reorders
-    // f32 additions → documented tolerance. All variants compare to the
-    // serial power-iteration reference with the reorder tolerance,
-    // because even deterministic variants accumulate in CSR/grid order
-    // rather than the reference's edge order.
-    outs.push(VariantOut::floats(
-        "pagerank",
-        "pull",
-        REORDER_TOL,
-        EXACT,
-        pagerank::pull(csr.incoming(), degrees, pr_cfg).ranks,
-    ));
-    outs.push(VariantOut::floats(
-        "pagerank",
-        "push_locks",
-        REORDER_TOL,
-        REORDER_TOL,
-        pagerank::push(csr.out(), degrees, pr_cfg, pagerank::PushSync::Locks).ranks,
-    ));
-    outs.push(VariantOut::floats(
-        "pagerank",
-        "push_atomics",
-        REORDER_TOL,
-        REORDER_TOL,
-        pagerank::push(csr.out(), degrees, pr_cfg, pagerank::PushSync::Atomics).ranks,
-    ));
-    outs.push(VariantOut::floats(
-        "pagerank",
-        "edge_centric",
-        REORDER_TOL,
-        REORDER_TOL,
-        pagerank::edge_centric(g, degrees, pr_cfg, pagerank::PushSync::Atomics).ranks,
-    ));
-    if let (Some(grid), Some(tgrid)) = (&grid, &tgrid) {
-        outs.push(VariantOut::floats(
-            "pagerank",
-            "grid_push_locked",
-            REORDER_TOL,
-            REORDER_TOL,
-            pagerank::grid_push(grid, degrees, pr_cfg, true).ranks,
-        ));
-        outs.push(VariantOut::floats(
-            "pagerank",
-            "grid_push",
-            REORDER_TOL,
-            EXACT,
-            pagerank::grid_push(grid, degrees, pr_cfg, false).ranks,
-        ));
-        outs.push(VariantOut::floats(
-            "pagerank",
-            "grid_pull",
-            REORDER_TOL,
-            EXACT,
-            pagerank::grid_pull(tgrid, degrees, pr_cfg).ranks,
-        ));
-    }
-
-    // SpMV: pull and grid are single-writer → bit-identical across
-    // threads; push/edge-centric accumulate atomically → tolerance.
-    outs.push(VariantOut::floats(
-        "spmv",
-        "edge_centric",
-        REORDER_TOL,
-        REORDER_TOL,
-        spmv::edge_centric(w, x).y,
-    ));
-    outs.push(VariantOut::floats(
-        "spmv",
-        "push",
-        REORDER_TOL,
-        REORDER_TOL,
-        spmv::push(wcsr.out(), x).y,
-    ));
-    outs.push(VariantOut::floats(
-        "spmv",
-        "pull",
-        REORDER_TOL,
-        EXACT,
-        spmv::pull(wcsr.incoming(), x).y,
-    ));
-    if let Some(wgrid) = &wgrid {
-        outs.push(VariantOut::floats(
-            "spmv",
-            "grid",
-            REORDER_TOL,
-            EXACT,
-            spmv::grid(wgrid, x).y,
+            sssp::delta_stepping(&wcsr, 0, 0.25).dist,
         ));
     }
 
@@ -547,7 +455,7 @@ fn run_als(report: &mut MatrixReport, cfg: &MatrixConfig) {
             report.mismatches.push(Mismatch {
                 graph: "netflix_like".to_string(),
                 algo: "als",
-                variant: "vertex",
+                variant: "vertex".to_string(),
                 threads,
                 detail: format!("vs 1-thread baseline: {detail}"),
             });

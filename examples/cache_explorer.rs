@@ -6,9 +6,8 @@
 //! Run with: `cargo run --release --example cache_explorer`
 
 use everything_graph::cachesim::{AccessKind, CacheConfig, CacheHierarchy, HierarchyProbe};
-use everything_graph::core::algo::{bfs, pagerank};
+use everything_graph::core::algo::pagerank;
 use everything_graph::core::prelude::*;
-use everything_graph::graphgen;
 
 fn probe() -> HierarchyProbe {
     // A small hierarchy so the graph's metadata clearly exceeds it,
@@ -40,16 +39,35 @@ fn print_report(name: &str, probe: &HierarchyProbe) {
 }
 
 fn main() {
-    let graph = graphgen::rmat(14, 16, 77);
-    let degrees: Vec<u32> = graph.out_degrees().iter().map(|&d| d as u32).collect();
+    let graph = everything_graph::graphgen::rmat(14, 16, 77);
     let root = 0u32;
     let cfg = pagerank::PagerankConfig {
         iterations: 1,
         ..Default::default()
     };
 
-    let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&graph);
-    let grid = GridBuilder::new(Strategy::RadixSort).side(32).build(&graph);
+    // One prepared graph serves every layout: the CSR and the 32x32
+    // grid are built once, on first use, and shared by later runs.
+    let prepared = PreparedGraph::new(&graph)
+        .strategy(Strategy::RadixSort)
+        .side(32);
+    let bfs_params = RunParams {
+        root,
+        ..RunParams::default()
+    };
+    let pr_params = RunParams {
+        pagerank: cfg,
+        ..RunParams::default()
+    };
+    // Every probed run goes through the same resolver; only the
+    // VariantId's layout changes between rows.
+    let probed = |spec: &str, params: &RunParams<'_>| {
+        let id: VariantId = spec.parse().expect("valid variant spec");
+        let p = probe();
+        run_variant(&id, &ExecCtx::new(None).probe(&p), &prepared, params)
+            .expect("variant is in the support matrix");
+        p
+    };
 
     println!(
         "graph: {} vertices, {} edges; simulated LLC: 128 KB\n",
@@ -59,44 +77,14 @@ fn main() {
     println!("LLC miss ratio per access kind (lower is better):\n");
 
     println!("--- BFS ---");
-    let p = probe();
-    bfs::push_ctx(&adj, root, &ExecContext::new().with_probe(&p));
-    print_report("adjacency list", &p);
-    let p = probe();
-    bfs::edge_centric_ctx(&graph, root, &ExecContext::new().with_probe(&p));
-    print_report("edge array", &p);
-    let p = probe();
-    bfs::grid_ctx(&grid, root, &ExecContext::new().with_probe(&p));
-    print_report("grid 32x32", &p);
+    print_report("adjacency list", &probed("bfs/adj/push", &bfs_params));
+    print_report("edge array", &probed("bfs/edge/push", &bfs_params));
+    print_report("grid 32x32", &probed("bfs/grid/push", &bfs_params));
 
     println!("\n--- PageRank (1 iteration) ---");
-    let p = probe();
-    pagerank::push_ctx(
-        adj.out(),
-        &degrees,
-        cfg,
-        pagerank::PushSync::Atomics,
-        &ExecContext::new().with_probe(&p),
-    );
-    print_report("adjacency list", &p);
-    let p = probe();
-    pagerank::edge_centric_ctx(
-        &graph,
-        &degrees,
-        cfg,
-        pagerank::PushSync::Atomics,
-        &ExecContext::new().with_probe(&p),
-    );
-    print_report("edge array", &p);
-    let p = probe();
-    pagerank::grid_push_ctx(
-        &grid,
-        &degrees,
-        cfg,
-        false,
-        &ExecContext::new().with_probe(&p),
-    );
-    print_report("grid 32x32", &p);
+    print_report("adjacency list", &probed("pagerank/adj/push", &pr_params));
+    print_report("edge array", &probed("pagerank/edge/push", &pr_params));
+    print_report("grid 32x32", &probed("pagerank/grid/push", &pr_params));
 
     println!();
     println!("what to look for (§5):");

@@ -2,7 +2,7 @@
 //! locality modeling, and the cache simulator driving real engine runs.
 
 use everything_graph::cachesim::{CacheConfig, LlcProbe};
-use everything_graph::core::algo::{bfs, pagerank};
+use everything_graph::core::algo::pagerank;
 use everything_graph::core::numa_sim::{
     bfs_locality, pagerank_locality, partition_by_target, DataPolicy,
 };
@@ -106,33 +106,40 @@ fn probed_runs_reproduce_grid_cache_advantage() {
     // Table 4's direction on real engine runs: the grid's PageRank
     // miss ratio is lower than the edge array's.
     let graph = graphgen::rmat(13, 16, 21);
-    let degrees: Vec<u32> = graph.out_degrees().iter().map(|&d| d as u32).collect();
     let cfg = pagerank::PagerankConfig {
         iterations: 1,
         ..Default::default()
     };
+    let params = RunParams {
+        pagerank: cfg,
+        ..RunParams::default()
+    };
+    let prepared = PreparedGraph::new(&graph)
+        .strategy(Strategy::RadixSort)
+        .side(16);
     // A small simulated LLC so the metadata does not fit.
     let cache = CacheConfig::tiny(16 * 1024, 16);
 
+    let edge_id: VariantId = "pagerank/edge/push".parse().unwrap();
     let probe = LlcProbe::new(cache);
-    pagerank::edge_centric_ctx(
-        &graph,
-        &degrees,
-        cfg,
-        pagerank::PushSync::Atomics,
-        &ExecContext::new().with_probe(&probe),
-    );
+    run_variant(
+        &edge_id,
+        &ExecCtx::new(None).probe(&probe),
+        &prepared,
+        &params,
+    )
+    .unwrap();
     let edge_miss = probe.report().overall_miss_ratio();
 
-    let grid = GridBuilder::new(Strategy::RadixSort).side(16).build(&graph);
+    let grid_id: VariantId = "pagerank/grid/push".parse().unwrap();
     let probe = LlcProbe::new(cache);
-    pagerank::grid_push_ctx(
-        &grid,
-        &degrees,
-        cfg,
-        false,
-        &ExecContext::new().with_probe(&probe),
-    );
+    run_variant(
+        &grid_id,
+        &ExecCtx::new(None).probe(&probe),
+        &prepared,
+        &params,
+    )
+    .unwrap();
     let grid_miss = probe.report().overall_miss_ratio();
 
     assert!(
@@ -144,10 +151,20 @@ fn probed_runs_reproduce_grid_cache_advantage() {
 #[test]
 fn probed_and_unprobed_runs_compute_identical_results() {
     let graph = test_graph();
-    let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both).build(&graph);
+    let prepared = PreparedGraph::new(&graph).strategy(Strategy::RadixSort);
+    let id: VariantId = "bfs/adj/push".parse().unwrap();
     let probe = LlcProbe::new(CacheConfig::tiny(64 * 1024, 8));
-    let probed = bfs::push_ctx(&adj, 0, &ExecContext::new().with_probe(&probe));
-    let plain = bfs::push(&adj, 0);
-    assert_eq!(probed.level, plain.level);
+    let probed = run_variant(
+        &id,
+        &ExecCtx::new(None).probe(&probe),
+        &prepared,
+        &RunParams::default(),
+    )
+    .unwrap();
+    let plain = run_variant(&id, &ExecCtx::new(None), &prepared, &RunParams::default()).unwrap();
+    assert_eq!(
+        probed.output.as_bfs().unwrap().level,
+        plain.output.as_bfs().unwrap().level
+    );
     assert!(probe.report().total().accesses > 0, "probe saw traffic");
 }
