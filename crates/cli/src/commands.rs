@@ -48,7 +48,7 @@ GENERATE OPTIONS:
   --weighted true  attach deterministic weights (rmat/road/uniform)
 
 RUN OPTIONS:
-  --layout adj|edge|grid   data layout (default adj)
+  --layout adj|edge|grid|ccsr   data layout (default adj)
   --flow push|pull|push-pull   information flow (default push)
   --sync locks|atomics     synchronization for push (default atomics)
   --strategy radix|count|dynamic   pre-processing (default radix)
@@ -79,8 +79,11 @@ SERVE OPTIONS:
                    (default 64, the bit-packed frontier width)
   --batch-window-ms MS   how long an admitted query waits for
                    companions before its wave launches anyway (default 2)
+  --layout adj|grid|ccsr   resident index layout (default adj); the
+                   query-port /healthz reports the chosen layout and
+                   its resident bytes once loading completes
   --metrics-addr / --metrics-linger   as for run; /healthz reports
-                   'loading' until the CSR build finishes
+                   'loading' until the layout build finishes
   The daemon answers newline-delimited JSON point queries
   ({\"id\":1,\"algo\":\"bfs|sssp|khop\",\"source\":N[,\"depth\":K][,\"values\":true]})
   and shuts down cleanly on SIGINT, SIGTERM or stdin EOF.
@@ -740,11 +743,17 @@ fn cmd_serve(args: &Args) -> CliResult {
     let threads: usize = args.get_parsed_or("threads", 0, "integer")?;
     let max_wave: usize = args.get_parsed_or("max-wave", 64, "integer")?;
     let window_ms: u64 = args.get_parsed_or("batch-window-ms", 2, "integer")?;
+    let layout = args.get_or("layout", "adj").parse::<Layout>()?;
+    if layout == Layout::EdgeList {
+        return Err(
+            "the edge layout has no servable per-vertex index; use adj, grid or ccsr".into(),
+        );
+    }
     let (metrics_server, metrics_linger) = maybe_serve_metrics(args)?;
     args.reject_unknown()?;
 
     // Load balancers polling either /healthz (query port or metrics
-    // port) see `loading` until the CSR build completes.
+    // port) see `loading` until the layout build completes.
     egraph_metrics::set_health(egraph_metrics::Health::Loading);
     let graph = match load_any(&path)? {
         AnyGraph::Unweighted(g) => ServeGraph::Unweighted(g),
@@ -754,6 +763,7 @@ fn cmd_serve(args: &Args) -> CliResult {
         threads,
         max_wave,
         batch_window: std::time::Duration::from_millis(window_ms),
+        layout,
         metrics: true,
     };
     let daemon = ServeDaemon::start(&listen, graph, config)?;

@@ -92,23 +92,6 @@ pub fn als(
     als_impl(out, incoming, num_users, cfg, &ExecContext::new())
 }
 
-/// [`als`] with explicit instrumentation (the probe sees the factor
-/// gathers of both half-steps; the recorder gets one iteration record
-/// per full user+item sweep).
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn als_ctx<P: MemProbe, R: Recorder>(
-    out: &Adjacency<WEdge>,
-    incoming: &Adjacency<WEdge>,
-    num_users: usize,
-    cfg: AlsConfig,
-    ctx: &ExecContext<'_, P, R>,
-) -> AlsResult {
-    als_impl(out, incoming, num_users, cfg, ctx)
-}
-
 pub(crate) fn als_impl<P: MemProbe, R: Recorder>(
     out: &Adjacency<WEdge>,
     incoming: &Adjacency<WEdge>,

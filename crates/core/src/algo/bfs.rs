@@ -9,7 +9,7 @@ use egraph_cachesim::MemProbe;
 
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
-use crate::layout::{Adjacency, AdjacencyList, Grid};
+use crate::layout::{Adjacency, Grid, NeighborAccess, VertexLayout};
 use crate::metrics::{timed, IterStat, StepMode};
 use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId, INVALID_VERTEX};
@@ -129,27 +129,14 @@ impl<E: EdgeRecord> PushOp<E> for AtomicPushOp<'_> {
 }
 
 /// Vertex-centric push BFS with atomic parent claims (the baseline
-/// "adj. push" configuration).
-pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
+/// "adj. push" configuration). Runs on any [`VertexLayout`]
+/// (uncompressed CSR or ccsr).
+pub fn push<E: EdgeRecord, L: VertexLayout<E>>(adj: &L, root: VertexId) -> BfsResult {
     push_impl(adj, root, &ExecContext::new())
 }
 
-/// [`push`] with explicit instrumentation: the [`ExecContext`] supplies
-/// the cache probe and telemetry recorder.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
-    root: VertexId,
-    ctx: &ExecContext<'_, P, R>,
-) -> BfsResult {
-    push_impl(adj, root, ctx)
-}
-
-pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
+pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recorder>(
+    adj: &L,
     root: VertexId,
     ctx: &ExecContext<'_, P, R>,
 ) -> BfsResult {
@@ -181,7 +168,7 @@ pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 
 /// Vertex-centric push BFS with per-vertex (striped) locks — the
 /// paper's "push (with locks)" configuration (§6.1.2).
-pub fn push_locked<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
+pub fn push_locked<E: EdgeRecord, L: VertexLayout<E>>(adj: &L, root: VertexId) -> BfsResult {
     let out = adj.out();
     let nv = out.num_vertices();
     let mut parent = vec![INVALID_VERTEX; nv];
@@ -287,31 +274,25 @@ impl<E: EdgeRecord> PullOp<E> for PullState<'_> {
     }
 
     #[inline]
+    fn prefetch_src(&self, e: &E) {
+        // The hot random read of a BFS pull is the frontier bit of the
+        // providing neighbor.
+        self.in_frontier.prefetch(e.src() as usize);
+    }
+
+    #[inline]
     fn activated(&self, dst: VertexId) -> bool {
         self.activated.get(dst as usize)
     }
 }
 
 /// Vertex-centric pull BFS (lock free). Requires in-edges.
-pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
+pub fn pull<E: EdgeRecord, L: VertexLayout<E>>(adj: &L, root: VertexId) -> BfsResult {
     pull_impl(adj, root, &ExecContext::new())
 }
 
-/// [`pull`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
-    root: VertexId,
-    ctx: &ExecContext<'_, P, R>,
-) -> BfsResult {
-    pull_impl(adj, root, ctx)
-}
-
-pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
+pub(crate) fn pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recorder>(
+    adj: &L,
     root: VertexId,
     ctx: &ExecContext<'_, P, R>,
 ) -> BfsResult {
@@ -356,25 +337,12 @@ pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// frontier is a large fraction of the graph, then back (Beamer \[2\],
 /// Ligra \[29\]). Requires both edge directions (hence the doubled
 /// pre-processing cost of Fig. 1).
-pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>, root: VertexId) -> BfsResult {
+pub fn push_pull<E: EdgeRecord, L: VertexLayout<E>>(adj: &L, root: VertexId) -> BfsResult {
     push_pull_impl(adj, root, &ExecContext::new())
 }
 
-/// [`push_pull`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
-    root: VertexId,
-    ctx: &ExecContext<'_, P, R>,
-) -> BfsResult {
-    push_pull_impl(adj, root, ctx)
-}
-
-pub(crate) fn push_pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
+pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recorder>(
+    adj: &L,
     root: VertexId,
     ctx: &ExecContext<'_, P, R>,
 ) -> BfsResult {
@@ -443,19 +411,6 @@ pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, root: VertexId) -> BfsRe
     edge_centric_impl(edges, root, &ExecContext::new())
 }
 
-/// [`edge_centric`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    edges: &EdgeList<E>,
-    root: VertexId,
-    ctx: &ExecContext<'_, P, R>,
-) -> BfsResult {
-    edge_centric_impl(edges, root, ctx)
-}
-
 pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     root: VertexId,
@@ -490,19 +445,6 @@ pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// filtered to last round's discoveries.
 pub fn grid<E: EdgeRecord>(grid: &Grid<E>, root: VertexId) -> BfsResult {
     grid_impl(grid, root, &ExecContext::new())
-}
-
-/// [`grid`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    grid: &Grid<E>,
-    root: VertexId,
-    ctx: &ExecContext<'_, P, R>,
-) -> BfsResult {
-    grid_impl(grid, root, ctx)
 }
 
 pub(crate) fn grid_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
@@ -585,7 +527,7 @@ pub fn validate<E: EdgeRecord>(out: &Adjacency<E>, root: VertexId, result: &BfsR
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layout::EdgeDirection;
+    use crate::layout::{AdjacencyList, EdgeDirection};
     use crate::preprocess::{CsrBuilder, GridBuilder, Strategy};
     use crate::types::Edge;
 

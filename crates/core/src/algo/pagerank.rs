@@ -13,7 +13,7 @@ use std::sync::atomic::Ordering;
 
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
-use crate::layout::{Adjacency, Grid};
+use crate::layout::{Adjacency, Grid, NeighborAccess};
 use crate::metrics::{timed, StepMode};
 use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
@@ -162,31 +162,18 @@ where
 
 /// Vertex-centric pull without locks: each vertex sums the
 /// contributions of its in-neighbors and writes only its own
-/// accumulator (Fig. 8, "adj. pull (no lock)").
-pub fn pull<E: EdgeRecord>(
-    incoming: &Adjacency<E>,
+/// accumulator (Fig. 8, "adj. pull (no lock)"). Runs on any
+/// [`NeighborAccess`] in-adjacency (uncompressed CSR or ccsr).
+pub fn pull<E: EdgeRecord, A: NeighborAccess<E>>(
+    incoming: &A,
     out_degrees: &[u32],
     cfg: PagerankConfig,
 ) -> PagerankResult {
     pull_impl(incoming, out_degrees, cfg, &ExecContext::new())
 }
 
-/// [`pull`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    incoming: &Adjacency<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    ctx: &ExecContext<'_, P, R>,
-) -> PagerankResult {
-    pull_impl(incoming, out_degrees, cfg, ctx)
-}
-
-pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    incoming: &Adjacency<E>,
+pub(crate) fn pull_impl<E: EdgeRecord, A: NeighborAccess<E>, P: MemProbe, R: Recorder>(
+    incoming: &A,
     out_degrees: &[u32],
     cfg: PagerankConfig,
     ctx: &ExecContext<'_, P, R>,
@@ -225,6 +212,20 @@ pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
                                 .update(dst as usize, |a| *a += self.contrib[e.src() as usize]);
                         }
                         false
+                    }
+
+                    #[inline]
+                    fn pull_span(&self, dst: VertexId, edges: &[E]) -> usize {
+                        // Vectorized inner loop: gather `contrib[src]`
+                        // over the whole span with a fixed 8-lane
+                        // association (bit-identical with or without
+                        // the `simd` feature — see `crate::simd`).
+                        let sum = crate::simd::gather_sum(self.contrib, edges);
+                        // SAFETY: as in `pull` — single writer per `dst`.
+                        unsafe {
+                            self.acc.update(dst as usize, |a| *a += sum);
+                        }
+                        edges.len()
                     }
 
                     #[inline]
@@ -319,9 +320,9 @@ pub enum PushSync {
 }
 
 /// Vertex-centric push PageRank over an out-adjacency (Fig. 8, "adj.
-/// push (locks)").
-pub fn push<E: EdgeRecord>(
-    out: &Adjacency<E>,
+/// push (locks)"). Runs on any [`NeighborAccess`] out-adjacency.
+pub fn push<E: EdgeRecord, A: NeighborAccess<E>>(
+    out: &A,
     out_degrees: &[u32],
     cfg: PagerankConfig,
     sync: PushSync,
@@ -329,23 +330,8 @@ pub fn push<E: EdgeRecord>(
     push_impl(out, out_degrees, cfg, sync, &ExecContext::new())
 }
 
-/// [`push`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    out: &Adjacency<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    sync: PushSync,
-    ctx: &ExecContext<'_, P, R>,
-) -> PagerankResult {
-    push_impl(out, out_degrees, cfg, sync, ctx)
-}
-
-pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    out: &Adjacency<E>,
+pub(crate) fn push_impl<E: EdgeRecord, A: NeighborAccess<E>, P: MemProbe, R: Recorder>(
+    out: &A,
     out_degrees: &[u32],
     cfg: PagerankConfig,
     sync: PushSync,
@@ -383,21 +369,6 @@ pub fn edge_centric<E: EdgeRecord>(
     edge_centric_impl(edges, out_degrees, cfg, sync, &ExecContext::new())
 }
 
-/// [`edge_centric`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    edges: &EdgeList<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    sync: PushSync,
-    ctx: &ExecContext<'_, P, R>,
-) -> PagerankResult {
-    edge_centric_impl(edges, out_degrees, cfg, sync, ctx)
-}
-
 pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     out_degrees: &[u32],
@@ -414,7 +385,15 @@ pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
         StepMode::Push,
         out_degrees,
         cfg,
-        |contrib| run_push_step(PushDriver::EdgeArray(edges), contrib, nv, sync, ctx),
+        |contrib| {
+            run_push_step(
+                PushDriver::<E, Adjacency<E>>::EdgeArray(edges),
+                contrib,
+                nv,
+                sync,
+                ctx,
+            )
+        },
     )
 }
 
@@ -428,21 +407,6 @@ pub fn grid_push<E: EdgeRecord>(
     locked: bool,
 ) -> PagerankResult {
     grid_push_impl(grid, out_degrees, cfg, locked, &ExecContext::new())
-}
-
-/// [`grid_push`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn grid_push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    grid: &Grid<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    locked: bool,
-    ctx: &ExecContext<'_, P, R>,
-) -> PagerankResult {
-    grid_push_impl(grid, out_degrees, cfg, locked, ctx)
 }
 
 pub(crate) fn grid_push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
@@ -463,9 +427,9 @@ pub(crate) fn grid_push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
         cfg,
         |contrib| {
             let driver = if locked {
-                PushDriver::GridCells(grid)
+                PushDriver::<E, Adjacency<E>>::GridCells(grid)
             } else {
-                PushDriver::GridColumns(grid)
+                PushDriver::<E, Adjacency<E>>::GridColumns(grid)
             };
             let sync = if locked {
                 PushSync::Locks
@@ -485,20 +449,6 @@ pub fn grid_pull<E: EdgeRecord>(
     cfg: PagerankConfig,
 ) -> PagerankResult {
     grid_pull_impl(transposed, out_degrees, cfg, &ExecContext::new())
-}
-
-/// [`grid_pull`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn grid_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    transposed: &Grid<E>,
-    out_degrees: &[u32],
-    cfg: PagerankConfig,
-    ctx: &ExecContext<'_, P, R>,
-) -> PagerankResult {
-    grid_pull_impl(transposed, out_degrees, cfg, ctx)
 }
 
 pub(crate) fn grid_pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
@@ -562,11 +512,8 @@ pub(crate) fn grid_pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 }
 
 /// Which driver a push step runs on.
-enum PushDriver<'a, E: EdgeRecord> {
-    Vertex {
-        out: &'a Adjacency<E>,
-        all: &'a VertexSubset,
-    },
+enum PushDriver<'a, E: EdgeRecord, A> {
+    Vertex { out: &'a A, all: &'a VertexSubset },
     EdgeArray(&'a EdgeList<E>),
     GridCells(&'a Grid<E>),
     GridColumns(&'a Grid<E>),
@@ -574,8 +521,8 @@ enum PushDriver<'a, E: EdgeRecord> {
 
 /// Runs one accumulation step with the chosen driver/synchronization
 /// and returns the accumulator as plain floats.
-fn run_push_step<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    driver: PushDriver<'_, E>,
+fn run_push_step<E: EdgeRecord, A: NeighborAccess<E>, P: MemProbe, R: Recorder>(
+    driver: PushDriver<'_, E, A>,
     contrib: &[f32],
     nv: usize,
     sync: PushSync,
@@ -615,8 +562,8 @@ fn run_push_step<E: EdgeRecord, P: MemProbe, R: Recorder>(
     }
 }
 
-fn dispatch_push<E: EdgeRecord, O: PushOp<E>, P: MemProbe, R: Recorder>(
-    driver: PushDriver<'_, E>,
+fn dispatch_push<E: EdgeRecord, A: NeighborAccess<E>, O: PushOp<E>, P: MemProbe, R: Recorder>(
+    driver: PushDriver<'_, E, A>,
     op: &O,
     ctx: ExecContext<'_, P, R>,
 ) {

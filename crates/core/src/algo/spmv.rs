@@ -14,7 +14,7 @@ use egraph_parallel::atomicf::AtomicF32;
 
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
-use crate::layout::Adjacency;
+use crate::layout::NeighborAccess;
 use crate::metrics::{timed, StepMode};
 use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
@@ -74,19 +74,6 @@ pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, x: &[f32]) -> SpmvResult
     edge_centric_impl(edges, x, &ExecContext::new())
 }
 
-/// [`edge_centric`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    edges: &EdgeList<E>,
-    x: &[f32],
-    ctx: &ExecContext<'_, P, R>,
-) -> SpmvResult {
-    edge_centric_impl(edges, x, ctx)
-}
-
 pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
     edges: &EdgeList<E>,
     x: &[f32],
@@ -108,26 +95,14 @@ pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 }
 
 /// Vertex-centric push SpMV over an out-adjacency (the "adj" bar of
-/// Fig. 3c — its pre-processing is what never pays off).
-pub fn push<E: EdgeRecord>(out: &Adjacency<E>, x: &[f32]) -> SpmvResult {
+/// Fig. 3c — its pre-processing is what never pays off). Runs on any
+/// [`NeighborAccess`] out-adjacency (uncompressed CSR or ccsr).
+pub fn push<E: EdgeRecord, A: NeighborAccess<E>>(out: &A, x: &[f32]) -> SpmvResult {
     push_impl(out, x, &ExecContext::new())
 }
 
-/// [`push`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    out: &Adjacency<E>,
-    x: &[f32],
-    ctx: &ExecContext<'_, P, R>,
-) -> SpmvResult {
-    push_impl(out, x, ctx)
-}
-
-pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    out: &Adjacency<E>,
+pub(crate) fn push_impl<E: EdgeRecord, A: NeighborAccess<E>, P: MemProbe, R: Recorder>(
+    out: &A,
     x: &[f32],
     ctx: &ExecContext<'_, P, R>,
 ) -> SpmvResult {
@@ -149,25 +124,12 @@ pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 
 /// Vertex-centric pull SpMV over an in-adjacency: each output element
 /// is summed by its own vertex — no synchronization at all.
-pub fn pull<E: EdgeRecord>(incoming: &Adjacency<E>, x: &[f32]) -> SpmvResult {
+pub fn pull<E: EdgeRecord, A: NeighborAccess<E>>(incoming: &A, x: &[f32]) -> SpmvResult {
     pull_impl(incoming, x, &ExecContext::new())
 }
 
-/// [`pull`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    incoming: &Adjacency<E>,
-    x: &[f32],
-    ctx: &ExecContext<'_, P, R>,
-) -> SpmvResult {
-    pull_impl(incoming, x, ctx)
-}
-
-pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    incoming: &Adjacency<E>,
+pub(crate) fn pull_impl<E: EdgeRecord, A: NeighborAccess<E>, P: MemProbe, R: Recorder>(
+    incoming: &A,
     x: &[f32],
     ctx: &ExecContext<'_, P, R>,
 ) -> SpmvResult {
@@ -200,6 +162,20 @@ pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
             }
 
             #[inline]
+            fn pull_span(&self, dst: VertexId, edges: &[E]) -> usize {
+                // Vectorized inner loop: gather `x[src]` and multiply
+                // by the edge weight over the whole span with a fixed
+                // 8-lane association (bit-identical with or without
+                // the `simd` feature — see `crate::simd`).
+                let sum = crate::simd::gather_mul_sum(self.x, edges);
+                // SAFETY: as in `pull` — single writer per `dst`.
+                unsafe {
+                    self.y.update(dst as usize, |a| *a += sum);
+                }
+                edges.len()
+            }
+
+            #[inline]
             fn activated(&self, _dst: VertexId) -> bool {
                 false
             }
@@ -219,19 +195,6 @@ pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// single-pass kernel.
 pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>, x: &[f32]) -> SpmvResult {
     grid_impl(grid, x, &ExecContext::new())
-}
-
-/// [`grid`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    grid: &crate::layout::Grid<E>,
-    x: &[f32],
-    ctx: &ExecContext<'_, P, R>,
-) -> SpmvResult {
-    grid_impl(grid, x, ctx)
 }
 
 pub(crate) fn grid_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(

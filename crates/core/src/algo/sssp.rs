@@ -14,7 +14,7 @@ use egraph_parallel::atomicf::AtomicF32;
 use super::bfs::record_iter;
 use crate::engine::{self, PushOp};
 use crate::frontier::{FrontierKind, NextFrontier, VertexSubset};
-use crate::layout::AdjacencyList;
+use crate::layout::{AdjacencyList, NeighborAccess, VertexLayout};
 use crate::metrics::{timed, IterStat, StepMode};
 use crate::telemetry::{ExecContext, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
@@ -64,25 +64,12 @@ impl<E: EdgeRecord> PushOp<E> for SsspPushOp<'_> {
 ///
 /// Negative edge weights are a caller bug (the relaxation still
 /// terminates only for non-negative weights).
-pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>, source: VertexId) -> SsspResult {
+pub fn push<E: EdgeRecord, L: VertexLayout<E>>(adj: &L, source: VertexId) -> SsspResult {
     push_impl(adj, source, &ExecContext::new())
 }
 
-/// [`push`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
-    source: VertexId,
-    ctx: &ExecContext<'_, P, R>,
-) -> SsspResult {
-    push_impl(adj, source, ctx)
-}
-
-pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
+pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recorder>(
+    adj: &L,
     source: VertexId,
     ctx: &ExecContext<'_, P, R>,
 ) -> SsspResult {
@@ -125,19 +112,6 @@ pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// relaxing edges whose source improved last round.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>, source: VertexId) -> SsspResult {
     edge_centric_impl(edges, source, &ExecContext::new())
-}
-
-/// [`edge_centric`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    edges: &EdgeList<E>,
-    source: VertexId,
-    ctx: &ExecContext<'_, P, R>,
-) -> SsspResult {
-    edge_centric_impl(edges, source, ctx)
 }
 
 pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(

@@ -16,7 +16,7 @@ use egraph_cachesim::MemProbe;
 use super::bfs::record_iter;
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
-use crate::layout::AdjacencyList;
+use crate::layout::{NeighborAccess, VertexLayout};
 use crate::metrics::{timed, IterStat, StepMode};
 use crate::telemetry::{ExecContext, Recorder};
 use crate::types::VertexId;
@@ -65,27 +65,15 @@ impl<E: EdgeRecord> PushOp<E> for WccPushOp<'_> {
     }
 }
 
-/// Vertex-centric push WCC over an **undirected** adjacency list
-/// (build it from [`EdgeList::to_undirected`], which is what doubles
-/// the pre-processing cost).
-pub fn push<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
+/// Vertex-centric push WCC over an **undirected** adjacency (build it
+/// from [`EdgeList::to_undirected`], which is what doubles the
+/// pre-processing cost). Runs on any [`VertexLayout`].
+pub fn push<E: EdgeRecord, L: VertexLayout<E>>(adj: &L) -> WccResult {
     push_impl(adj, &ExecContext::new())
 }
 
-/// [`push`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn push_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
-    ctx: &ExecContext<'_, P, R>,
-) -> WccResult {
-    push_impl(adj, ctx)
-}
-
-pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
+pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recorder>(
+    adj: &L,
     ctx: &ExecContext<'_, P, R>,
 ) -> WccResult {
     let ctx = *ctx;
@@ -122,20 +110,6 @@ pub(crate) fn push_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// undirected copy — and no pre-processing at all — is needed.
 pub fn edge_centric<E: EdgeRecord>(edges: &EdgeList<E>) -> WccResult {
     edge_centric_impl(edges, &ExecContext::new())
-}
-
-/// [`edge_centric`] with explicit instrumentation. (The kernel streams
-/// the raw edge array outside the engine drivers, so only per-iteration
-/// records — not per-edge probe touches — are reported.)
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn edge_centric_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    edges: &EdgeList<E>,
-    ctx: &ExecContext<'_, P, R>,
-) -> WccResult {
-    edge_centric_impl(edges, ctx)
 }
 
 pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
@@ -227,6 +201,15 @@ impl<E: EdgeRecord> PullOp<E> for WccPullOp<'_> {
     }
 
     #[inline]
+    fn prefetch_src(&self, e: &E) {
+        // The hot random read is the frontier bit of the neighbor; the
+        // neighbor is `src` over an in-adjacency and `dst` over an
+        // undirected out-adjacency, so hint both endpoints.
+        self.in_frontier.prefetch(e.src() as usize);
+        self.in_frontier.prefetch(e.dst() as usize);
+    }
+
+    #[inline]
     fn activated(&self, dst: VertexId) -> bool {
         self.activated.get(dst as usize)
     }
@@ -235,24 +218,12 @@ impl<E: EdgeRecord> PullOp<E> for WccPullOp<'_> {
 /// Vertex-centric pull WCC over an **undirected** adjacency list: no
 /// locks, no CAS — each vertex writes only itself (§6.1.2 applied to
 /// label propagation).
-pub fn pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
+pub fn pull<E: EdgeRecord, L: VertexLayout<E>>(adj: &L) -> WccResult {
     pull_impl(adj, &ExecContext::new())
 }
 
-/// [`pull`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
-    ctx: &ExecContext<'_, P, R>,
-) -> WccResult {
-    pull_impl(adj, ctx)
-}
-
-pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
+pub(crate) fn pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recorder>(
+    adj: &L,
     ctx: &ExecContext<'_, P, R>,
 ) -> WccResult {
     let ctx = *ctx;
@@ -297,24 +268,12 @@ pub(crate) fn pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// Direction-optimizing WCC: push rounds while the active set is
 /// small, pull rounds while it is large (the Ligra recipe applied to
 /// label propagation). Requires an undirected adjacency list.
-pub fn push_pull<E: EdgeRecord>(adj: &AdjacencyList<E>) -> WccResult {
+pub fn push_pull<E: EdgeRecord, L: VertexLayout<E>>(adj: &L) -> WccResult {
     push_pull_impl(adj, &ExecContext::new())
 }
 
-/// [`push_pull`] with explicit instrumentation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn push_pull_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
-    ctx: &ExecContext<'_, P, R>,
-) -> WccResult {
-    push_pull_impl(adj, ctx)
-}
-
-pub(crate) fn push_pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    adj: &AdjacencyList<E>,
+pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recorder>(
+    adj: &L,
     ctx: &ExecContext<'_, P, R>,
 ) -> WccResult {
     let ctx = *ctx;
@@ -380,20 +339,6 @@ pub(crate) fn push_pull_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
 /// the §5 locality argument applied to label propagation.
 pub fn grid<E: EdgeRecord>(grid: &crate::layout::Grid<E>) -> WccResult {
     grid_impl(grid, &ExecContext::new())
-}
-
-/// [`grid`] with explicit instrumentation. (The kernel streams grid
-/// cells outside the engine drivers, so only per-iteration records —
-/// not per-edge probe touches — are reported.)
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExecCtx` and call `egraph_core::variant::run_variant` instead"
-)]
-pub fn grid_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
-    grid: &crate::layout::Grid<E>,
-    ctx: &ExecContext<'_, P, R>,
-) -> WccResult {
-    grid_impl(grid, ctx)
 }
 
 pub(crate) fn grid_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(

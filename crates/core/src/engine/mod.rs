@@ -23,7 +23,7 @@ use egraph_cachesim::MemProbe;
 use egraph_parallel::timeline;
 
 use crate::frontier::{FrontierKind, NextFrontier, VertexSubset};
-use crate::layout::{Adjacency, Grid};
+use crate::layout::{Grid, NeighborAccess};
 use crate::telemetry::{ExecContext, Recorder};
 use crate::types::{EdgeRecord, VertexId};
 
@@ -71,6 +71,40 @@ pub trait PullOp<E: EdgeRecord>: Sync {
     /// mode allows (§6.1.1).
     fn pull(&self, dst: VertexId, e: &E) -> bool;
 
+    /// Processes one span (at most [`crate::layout::SPAN_EDGES`]
+    /// in-edges) of `dst` and returns how many edges it consumed;
+    /// consuming fewer than `edges.len()` stops the scan (the span
+    /// form of [`Self::pull`]'s early termination, so `i + 1` when
+    /// edge `i` stopped).
+    ///
+    /// The default forwards to [`Self::pull`] edge by edge, issuing
+    /// [`Self::prefetch_src`] for the edge [`prefetch distance`]
+    /// (crate::simd::prefetch_distance) ahead. Vectorized operators
+    /// (PageRank/SpMV pull) override it with a whole-span gather.
+    /// Drivers only take this fast path when the cache probe is off —
+    /// probed runs keep the exact per-edge [`Self::pull`] loop.
+    #[inline]
+    fn pull_span(&self, dst: VertexId, edges: &[E]) -> usize {
+        let dist = crate::simd::prefetch_distance();
+        for (i, e) in edges.iter().enumerate() {
+            if dist != 0 {
+                if let Some(ahead) = edges.get(i + dist) {
+                    self.prefetch_src(ahead);
+                }
+            }
+            if self.pull(dst, e) {
+                return i + 1;
+            }
+        }
+        edges.len()
+    }
+
+    /// Issues a software-prefetch hint for the source-side state this
+    /// operator will read when it processes `e` (e.g. `prev[e.src()]`).
+    /// Default: no hint.
+    #[inline]
+    fn prefetch_src(&self, _e: &E) {}
+
     /// After the scan: did `dst` activate for the next step?
     fn activated(&self, dst: VertexId) -> bool;
 }
@@ -105,10 +139,11 @@ fn flush_examined<R: Recorder>(recorder: &R, examined: usize) {
     }
 }
 
-/// Vertex-centric push over an out-adjacency: processes the out-edges
-/// of every frontier vertex and returns the next frontier.
-pub fn vertex_push<E, O, P, R>(
-    out: &Adjacency<E>,
+/// Vertex-centric push over an out-direction (uncompressed or ccsr):
+/// processes the out-edges of every frontier vertex and returns the
+/// next frontier.
+pub fn vertex_push<E, A, O, P, R>(
+    out: &A,
     frontier: &VertexSubset,
     op: &O,
     ctx: ExecContext<'_, P, R>,
@@ -116,6 +151,7 @@ pub fn vertex_push<E, O, P, R>(
 ) -> VertexSubset
 where
     E: EdgeRecord,
+    A: NeighborAccess<E>,
     O: PushOp<E>,
     P: MemProbe,
     R: Recorder,
@@ -128,18 +164,22 @@ where
     // allocation, no shared-state flush.
     let process =
         |v: VertexId, sink: &mut crate::frontier::FrontierSink<'_>, examined: &mut usize| {
-            let neighbors = out.neighbors(v);
-            *examined += neighbors.len();
-            for (k, e) in neighbors.iter().enumerate() {
-                if probe.enabled() {
-                    touch_edge(probe, out.edge_sim_addr(v, k));
-                    touch_src(probe, v, O::META_BYTES);
-                    touch_dst(probe, e.dst(), O::META_BYTES);
+            let mut k = 0usize;
+            out.for_each_span(v, |span| {
+                *examined += span.len();
+                for e in span {
+                    if probe.enabled() {
+                        touch_edge(probe, out.edge_sim_addr(v, k));
+                        touch_src(probe, v, O::META_BYTES);
+                        touch_dst(probe, e.dst(), O::META_BYTES);
+                    }
+                    k += 1;
+                    if op.push(e) {
+                        sink.add(e.dst());
+                    }
                 }
-                if op.push(e) {
-                    sink.add(e.dst());
-                }
-            }
+                span.len()
+            });
         };
     match frontier {
         VertexSubset::Sparse(list) => {
@@ -211,17 +251,24 @@ where
     next.finish()
 }
 
-/// Vertex-centric pull over an in-adjacency: every vertex that
-/// `wants_pull` scans its in-edges (with early termination) and updates
-/// only its own state — no synchronization required (§6.1.2).
-pub fn vertex_pull<E, O, P, R>(
-    incoming: &Adjacency<E>,
+/// Vertex-centric pull over an in-direction (uncompressed or ccsr):
+/// every vertex that `wants_pull` scans its in-edges (with early
+/// termination) and updates only its own state — no synchronization
+/// required (§6.1.2).
+///
+/// When the cache probe is off, each neighbor list is handed to the
+/// operator span by span through [`PullOp::pull_span`] — the
+/// vectorized/prefetched fast path. Probed runs keep the exact
+/// per-edge loop so every simulated edge touch is still issued.
+pub fn vertex_pull<E, A, O, P, R>(
+    incoming: &A,
     op: &O,
     ctx: ExecContext<'_, P, R>,
     next_kind: FrontierKind,
 ) -> VertexSubset
 where
     E: EdgeRecord,
+    A: NeighborAccess<E>,
     O: PullOp<E>,
     P: MemProbe,
     R: Recorder,
@@ -243,15 +290,28 @@ where
             if !op.wants_pull(v) {
                 continue;
             }
-            for (k, e) in incoming.neighbors(v).iter().enumerate() {
-                examined += 1;
-                if probe.enabled() {
-                    touch_edge(probe, incoming.edge_sim_addr(v, k));
-                    touch_src(probe, e.src(), O::META_BYTES);
-                }
-                if op.pull(v, e) {
-                    break;
-                }
+            if probe.enabled() {
+                let mut k = 0usize;
+                incoming.for_each_span(v, |span| {
+                    let mut consumed = 0;
+                    for e in span {
+                        examined += 1;
+                        touch_edge(probe, incoming.edge_sim_addr(v, k));
+                        touch_src(probe, e.src(), O::META_BYTES);
+                        k += 1;
+                        consumed += 1;
+                        if op.pull(v, e) {
+                            break;
+                        }
+                    }
+                    consumed
+                });
+            } else {
+                incoming.for_each_span(v, |span| {
+                    let consumed = op.pull_span(v, span);
+                    examined += consumed;
+                    consumed
+                });
             }
             if op.activated(v) {
                 sink.add(v);

@@ -166,6 +166,22 @@ impl<E: EdgeRecord> Adjacency<E> {
         })
     }
 
+    /// Resident heap bytes of this direction (offset table or
+    /// per-vertex headers, plus edge arrays) — the uncompressed
+    /// baseline the ccsr compression experiment compares against.
+    pub fn resident_bytes(&self) -> u64 {
+        let esize = std::mem::size_of::<E>() as u64;
+        match &self.storage {
+            Storage::Csr { offsets, edges } => {
+                offsets.len() as u64 * 8 + edges.len() as u64 * esize
+            }
+            Storage::PerVertex(lists) => lists
+                .iter()
+                .map(|l| std::mem::size_of::<Vec<E>>() as u64 + l.capacity() as u64 * esize)
+                .sum(),
+        }
+    }
+
     /// Sorts every per-vertex edge array by neighbor id — the "adj.
     /// sorted" variant of §5.1, whose extra pre-processing the paper
     /// shows never pays off.
@@ -306,6 +322,12 @@ impl<E: EdgeRecord> AdjacencyList<E> {
     #[inline]
     pub fn incoming_opt(&self) -> Option<&Adjacency<E>> {
         self.inc.as_ref()
+    }
+
+    /// Resident heap bytes across both directions.
+    pub fn resident_bytes(&self) -> u64 {
+        self.out.as_ref().map_or(0, Adjacency::resident_bytes)
+            + self.inc.as_ref().map_or(0, Adjacency::resident_bytes)
     }
 
     /// Mutable out-adjacency, if present (used by the neighbor-sorting

@@ -133,6 +133,13 @@ impl<E: EdgeRecord> Grid<E> {
     pub fn edges(&self) -> &[E] {
         &self.edges
     }
+
+    /// Resident heap bytes of the layout (cell offsets + edge array) —
+    /// what the serve daemon's `/healthz` and the compression
+    /// experiment report.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.cell_offsets.len() * 8 + self.edges.len() * std::mem::size_of::<E>()) as u64
+    }
 }
 
 #[cfg(test)]

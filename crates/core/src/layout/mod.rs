@@ -6,13 +6,155 @@
 //!   edge arrays, either contiguous (CSR, built by sorting) or
 //!   per-vertex allocated (built dynamically); enables vertex-centric
 //!   computation on the active subset.
+//! * **Compressed CSR** ([`ccsr::CcsrAdjacency`], [`ccsr::CcsrList`]) —
+//!   sorted neighbor lists as byte-varint delta streams with chunked
+//!   random access; trades decode cycles for memory bandwidth
+//!   (DESIGN.md §14).
 //! * **Grid** ([`Grid`]) — a P×P matrix of edge cells (GridGraph's
 //!   layout adapted to in-memory processing); improves cache locality
 //!   and enables lock-free push (column ownership) and pull (row
 //!   ownership).
 
+pub mod ccsr;
 pub mod csr;
 pub mod grid;
 
+pub use ccsr::{CcsrAdjacency, CcsrError, CcsrList};
 pub use csr::{Adjacency, AdjacencyList, EdgeDirection, Storage};
 pub use grid::Grid;
+
+use crate::types::{EdgeRecord, VertexId};
+
+/// Maximum edges per iteration span (and per ccsr chunk).
+///
+/// Every vertex-centric driver visits neighbor lists in spans of at
+/// most this many edges, for **every** layout — so float accumulations
+/// that reassociate at span boundaries (the vectorized PageRank/SpMV
+/// pull) produce bit-identical results on uncompressed and compressed
+/// adjacencies alike.
+pub const SPAN_EDGES: usize = 64;
+
+/// Uniform per-vertex neighbor access for the vertex-centric engine
+/// drivers: one direction of an uncompressed [`Adjacency`] or a
+/// compressed [`ccsr::CcsrAdjacency`].
+pub trait NeighborAccess<E: EdgeRecord>: Sync {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of edges in this direction.
+    fn num_edges(&self) -> usize;
+
+    /// Degree of vertex `v` in this direction.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// A simulated byte address for edge `k` of vertex `v`, used by the
+    /// cache-miss instrumentation.
+    fn edge_sim_addr(&self, v: VertexId, k: usize) -> u64;
+
+    /// Visits `v`'s neighbor list in spans of at most [`SPAN_EDGES`]
+    /// edges. `f` returns how many edges it consumed; returning fewer
+    /// than the span's length stops the iteration (early termination).
+    /// Span boundaries are identical across layouts (see
+    /// [`SPAN_EDGES`]).
+    fn for_each_span<F: FnMut(&[E]) -> usize>(&self, v: VertexId, f: F);
+}
+
+impl<E: EdgeRecord> NeighborAccess<E> for Adjacency<E> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges()
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn edge_sim_addr(&self, v: VertexId, k: usize) -> u64 {
+        self.edge_sim_addr(v, k)
+    }
+
+    #[inline]
+    fn for_each_span<F: FnMut(&[E]) -> usize>(&self, v: VertexId, mut f: F) {
+        for span in self.neighbors(v).chunks(SPAN_EDGES) {
+            if f(span) < span.len() {
+                return;
+            }
+        }
+    }
+}
+
+/// A vertex-centric layout holding up to two [`NeighborAccess`]
+/// directions — implemented by [`AdjacencyList`] (CSR) and
+/// [`ccsr::CcsrList`] (compressed), so the algorithm drivers run on
+/// either without per-call-site changes.
+pub trait VertexLayout<E: EdgeRecord>: Sync {
+    /// One direction of this layout.
+    type Dir: NeighborAccess<E>;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of edges (from whichever direction is present).
+    fn num_edges(&self) -> usize;
+
+    /// The out-direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout was built without out-edges.
+    fn out(&self) -> &Self::Dir;
+
+    /// The in-direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout was built without in-edges.
+    fn incoming(&self) -> &Self::Dir;
+
+    /// The out-direction, if present.
+    fn out_opt(&self) -> Option<&Self::Dir>;
+
+    /// The in-direction, if present.
+    fn incoming_opt(&self) -> Option<&Self::Dir>;
+}
+
+impl<E: EdgeRecord> VertexLayout<E> for AdjacencyList<E> {
+    type Dir = Adjacency<E>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges()
+    }
+
+    #[inline]
+    fn out(&self) -> &Adjacency<E> {
+        self.out()
+    }
+
+    #[inline]
+    fn incoming(&self) -> &Adjacency<E> {
+        self.incoming()
+    }
+
+    #[inline]
+    fn out_opt(&self) -> Option<&Adjacency<E>> {
+        self.out_opt()
+    }
+
+    #[inline]
+    fn incoming_opt(&self) -> Option<&Adjacency<E>> {
+        self.incoming_opt()
+    }
+}

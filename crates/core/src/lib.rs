@@ -7,8 +7,9 @@
 //! processing but were afraid to ask"* (USENIX ATC'17). It provides:
 //!
 //! * the canonical **edge-array input** ([`types::EdgeList`]),
-//! * the three **data layouts** — edge array, adjacency list
-//!   ([`layout::AdjacencyList`]) and grid ([`layout::Grid`]),
+//! * the four **data layouts** — edge array, adjacency list
+//!   ([`layout::AdjacencyList`]), compressed CSR ([`layout::CcsrList`])
+//!   and grid ([`layout::Grid`]),
 //! * the three **pre-processing strategies** — dynamic, count sort and
 //!   radix sort ([`preprocess`]),
 //! * the **execution engine** with vertex-centric, edge-centric and
@@ -51,6 +52,7 @@ pub mod numa_sim;
 pub mod preprocess;
 pub mod roadmap;
 pub mod serve;
+pub mod simd;
 pub mod telemetry;
 pub mod trace_diff;
 pub mod types;
@@ -62,9 +64,12 @@ pub mod prelude {
     pub use crate::exec::ExecCtx;
     pub use crate::frontier::{FrontierKind, VertexSubset};
     pub use crate::inspect::{summarize, GraphSummary};
-    pub use crate::layout::{Adjacency, AdjacencyList, EdgeDirection, Grid};
+    pub use crate::layout::{
+        Adjacency, AdjacencyList, CcsrAdjacency, CcsrError, CcsrList, EdgeDirection, Grid,
+        NeighborAccess, VertexLayout,
+    };
     pub use crate::metrics::{timed, IterStat, StepMode, TimeBreakdown};
-    pub use crate::preprocess::{CsrBuilder, GridBuilder, PreprocessStats, Strategy};
+    pub use crate::preprocess::{CcsrBuilder, CsrBuilder, GridBuilder, PreprocessStats, Strategy};
     pub use crate::telemetry::{
         ExecContext, IterRecord, MemProbe, NullProbe, NullRecorder, Recorder, RunTrace, Span,
         TraceFormat, TraceRecorder,

@@ -9,7 +9,8 @@ use egraph_parallel::{
     broadcast_current, current_num_threads, current_worker_index, parallel_for, DEFAULT_GRAIN,
 };
 
-use crate::layout::{Adjacency, AdjacencyList, EdgeDirection, Grid};
+use crate::layout::ccsr::{encode_vertex, encoded_len};
+use crate::layout::{Adjacency, AdjacencyList, CcsrAdjacency, CcsrList, EdgeDirection, Grid};
 use crate::types::{EdgeList, EdgeRecord};
 use crate::util::UnsyncSlice;
 
@@ -492,6 +493,178 @@ impl GridBuilder {
     }
 }
 
+/// Builder for compressed-CSR layouts (§ccsr of DESIGN.md): sorted
+/// neighbor lists encoded as first-neighbor-delta plus byte-varint
+/// gaps, chunked so workers decode one vertex without touching its
+/// neighbors' chunks.
+///
+/// Neighbor lists are always sorted — gap encoding requires it — so a
+/// ccsr build is exactly a `CsrBuilder::sort_neighbors(true)` build
+/// followed by [`compress_adjacency`] on each direction.
+///
+/// # Examples
+///
+/// ```
+/// use egraph_core::preprocess::{CcsrBuilder, Strategy};
+/// use egraph_core::layout::EdgeDirection;
+/// use egraph_core::types::{Edge, EdgeList};
+///
+/// let edges = EdgeList::new(3, vec![Edge::new(0, 2), Edge::new(0, 1)]).unwrap();
+/// let ccsr = CcsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(&edges);
+/// assert_eq!(ccsr.out().decode_neighbors(0).unwrap(), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CcsrBuilder {
+    strategy: Strategy,
+    direction: EdgeDirection,
+}
+
+impl CcsrBuilder {
+    /// Creates a builder with the given strategy and edge direction.
+    pub fn new(strategy: Strategy, direction: EdgeDirection) -> Self {
+        Self {
+            strategy,
+            direction,
+        }
+    }
+
+    /// Builds the layout.
+    pub fn build<E: EdgeRecord>(&self, input: &EdgeList<E>) -> CcsrList<E> {
+        self.build_timed(input).0
+    }
+
+    /// Builds the layout, returning the pre-processing cost alongside.
+    /// The cost covers both the intermediate sorted-CSR build and the
+    /// compression passes — pre-processing is end-to-end, as
+    /// everywhere else in the repo.
+    pub fn build_timed<E: EdgeRecord>(
+        &self,
+        input: &EdgeList<E>,
+    ) -> (CcsrList<E>, PreprocessStats) {
+        let _span = egraph_parallel::timeline::span(
+            egraph_parallel::timeline::SpanKind::Phase,
+            "preprocess_ccsr",
+            self.strategy.name(),
+        );
+        let start = Instant::now();
+        let csr = CsrBuilder::new(self.strategy, self.direction)
+            .sort_neighbors(true)
+            .build(input);
+        let list = compress_sorted_csr(&csr);
+        let stats = PreprocessStats {
+            strategy: self.strategy,
+            seconds: start.elapsed().as_secs_f64(),
+        };
+        (list, stats)
+    }
+}
+
+/// Compresses every direction of an already-neighbor-sorted adjacency
+/// list. Panics (inside [`compress_adjacency`]) if a neighbor array is
+/// not sorted.
+pub fn compress_sorted_csr<E: EdgeRecord>(csr: &AdjacencyList<E>) -> CcsrList<E> {
+    CcsrList::new(
+        csr.out_opt().map(compress_adjacency),
+        csr.incoming_opt().map(compress_adjacency),
+    )
+}
+
+/// Encodes one neighbor-sorted [`Adjacency`] into its compressed form,
+/// in parallel: pass 1 measures every vertex's encoded stream length,
+/// a prefix sum hands each vertex an exclusive byte range, pass 2
+/// encodes into those disjoint ranges with no synchronization.
+///
+/// # Panics
+///
+/// Panics if any neighbor array is not sorted by neighbor id (build
+/// the input with `CsrBuilder::sort_neighbors(true)`).
+pub fn compress_adjacency<E: EdgeRecord>(adj: &Adjacency<E>) -> CcsrAdjacency<E> {
+    let nv = adj.num_vertices();
+    let by_dst = adj.is_by_dst();
+    let nbr = move |e: &E| -> u32 {
+        if by_dst {
+            e.src()
+        } else {
+            e.dst()
+        }
+    };
+
+    // Pass 1: per-vertex encoded byte lengths, then serial prefix sums
+    // for the byte and edge offset tables (O(nv) additions — cheap
+    // next to the encode passes).
+    let lens = parallel_init(nv, 1 << 12, |v| {
+        let ids: Vec<u32> = adj.neighbors(v as u32).iter().map(nbr).collect();
+        encoded_len(v as u32, &ids) as u64
+    });
+    let mut byte_offsets = Vec::with_capacity(nv + 1);
+    byte_offsets.push(0u64);
+    let mut edge_offsets = Vec::with_capacity(nv + 1);
+    edge_offsets.push(0u64);
+    for v in 0..nv {
+        byte_offsets.push(byte_offsets[v] + lens[v]);
+        edge_offsets.push(edge_offsets[v] + adj.degree(v as u32) as u64);
+    }
+    let total_bytes = *byte_offsets.last().unwrap() as usize;
+    let total_edges = *edge_offsets.last().unwrap() as usize;
+
+    // Pass 2: encode each vertex into its exclusive byte range.
+    let mut bytes: Vec<u8> = Vec::with_capacity(total_bytes);
+    {
+        let out_ptr = SendPtr(bytes.as_mut_ptr());
+        let byte_offsets = &byte_offsets;
+        parallel_for(0..nv, 1 << 10, |vs| {
+            let mut ids: Vec<u32> = Vec::new();
+            let mut buf: Vec<u8> = Vec::new();
+            for v in vs {
+                ids.clear();
+                ids.extend(adj.neighbors(v as u32).iter().map(nbr));
+                buf.clear();
+                encode_vertex(v as u32, &ids, &mut buf);
+                debug_assert_eq!(buf.len() as u64, byte_offsets[v + 1] - byte_offsets[v]);
+                // SAFETY: vertex `v` is processed by exactly one loop
+                // iteration, and `byte_offsets[v]..byte_offsets[v + 1]`
+                // is its exclusive slice of the reserved output.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        buf.as_ptr(),
+                        out_ptr.get().add(byte_offsets[v] as usize),
+                        buf.len(),
+                    );
+                }
+            }
+        });
+    }
+    // SAFETY: the encode ranges tile `0..total_bytes` exactly (pass 1
+    // measured with the same `encoded_len` the encoder asserts against).
+    unsafe { bytes.set_len(total_bytes) };
+
+    // Weights stay uncompressed in a flat side array aligned with the
+    // edge offsets — delta-coding f32s buys nothing.
+    let weights = if E::WEIGHTED {
+        let mut w = vec![0.0f32; total_edges];
+        {
+            let ws = UnsyncSlice::new(&mut w);
+            let edge_offsets = &edge_offsets;
+            parallel_for(0..nv, 1 << 10, |vs| {
+                for v in vs {
+                    let base = edge_offsets[v] as usize;
+                    for (k, e) in adj.neighbors(v as u32).iter().enumerate() {
+                        // SAFETY: vertex `v` has a single writer and
+                        // `edge_offsets[v]..edge_offsets[v + 1]` is its
+                        // exclusive range.
+                        unsafe { ws.write(base + k, e.weight()) };
+                    }
+                }
+            });
+        }
+        w
+    } else {
+        Vec::new()
+    };
+
+    CcsrAdjacency::from_parts(nv, by_dst, edge_offsets, byte_offsets, bytes, weights)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,6 +848,84 @@ mod tests {
                 assert_eq!(got, reference[r * side + c], "cell ({r},{c})");
             }
         }
+    }
+
+    #[test]
+    fn ccsr_roundtrips_sample_graph() {
+        let input = sample_input();
+        for strategy in Strategy::ALL {
+            let (ccsr, stats) = CcsrBuilder::new(strategy, EdgeDirection::Both).build_timed(&input);
+            assert!(stats.seconds >= 0.0);
+            assert_eq!(ccsr.num_vertices(), 4);
+            assert_eq!(ccsr.num_edges(), 5);
+            assert_eq!(ccsr.out().decode_neighbors(0).unwrap(), vec![1, 2, 3]);
+            assert_eq!(ccsr.incoming().decode_neighbors(3).unwrap(), vec![0, 2]);
+            ccsr.out().validate().unwrap();
+            ccsr.incoming().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn ccsr_parallel_encoder_matches_sorted_csr() {
+        // Large skewed multigraph (hub vertex, duplicates, self-loops)
+        // so the parallel passes actually split work; every vertex's
+        // decoded list must equal the sorted CSR's neighbor ids.
+        let nv = 700usize;
+        let mut state = 42u64;
+        let mut edges = Vec::new();
+        for i in 0..50_000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let src = if i % 5 == 0 {
+                3
+            } else {
+                ((state >> 33) % nv as u64) as u32
+            };
+            edges.push(Edge::new(src, ((state >> 11) % nv as u64) as u32));
+        }
+        let input = EdgeList::new(nv, edges).unwrap();
+        let csr = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both)
+            .sort_neighbors(true)
+            .build(&input);
+        let ccsr = compress_sorted_csr(&csr);
+        for v in 0..nv as u32 {
+            let expect: Vec<u32> = csr.out().neighbors(v).iter().map(|e| e.dst).collect();
+            assert_eq!(ccsr.out().decode_neighbors(v).unwrap(), expect, "out {v}");
+            let expect: Vec<u32> = csr.incoming().neighbors(v).iter().map(|e| e.src).collect();
+            assert_eq!(
+                ccsr.incoming().decode_neighbors(v).unwrap(),
+                expect,
+                "in {v}"
+            );
+        }
+        assert!(ccsr.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn ccsr_preserves_weights_in_csr_order() {
+        use crate::types::WEdge;
+        let edges = vec![
+            WEdge::new(0, 2, 2.5),
+            WEdge::new(0, 1, 1.5),
+            WEdge::new(2, 0, 9.0),
+            WEdge::new(0, 1, 7.0),
+        ];
+        let input = EdgeList::new(3, edges).unwrap();
+        let ccsr = CcsrBuilder::new(Strategy::CountSort, EdgeDirection::Out).build(&input);
+        assert_eq!(ccsr.out().decode_neighbors(0).unwrap(), vec![1, 1, 2]);
+        // Sorting by neighbor id is stable, so the duplicate (0→1)
+        // edges keep input order: 1.5 then 7.0.
+        assert_eq!(ccsr.out().weights_of(0), &[1.5, 7.0, 2.5]);
+        assert_eq!(ccsr.out().weights_of(2), &[9.0]);
+    }
+
+    #[test]
+    fn ccsr_empty_graph_builds() {
+        let input: EdgeList<Edge> = EdgeList::new(0, vec![]).unwrap();
+        let ccsr = CcsrBuilder::new(Strategy::Dynamic, EdgeDirection::Both).build(&input);
+        assert_eq!(ccsr.num_vertices(), 0);
+        assert_eq!(ccsr.num_edges(), 0);
     }
 
     #[test]

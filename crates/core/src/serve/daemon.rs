@@ -20,9 +20,10 @@
 //! open until the client closes it.
 //!
 //! The daemon also answers plain HTTP `GET /healthz` on the query port
-//! (`200 ok` once the CSR build finished, `503 loading` before) so
-//! load balancers can gate on graph-load completion without a second
-//! port.
+//! (`200 ok layout=<adj|grid|ccsr> resident_bytes=<N>` once the layout
+//! build finished, `503 loading` before) so load balancers can gate on
+//! graph-load completion — and operators can see what the index costs —
+//! without a second port.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -60,8 +61,9 @@ impl std::fmt::Debug for ServeDaemon {
 
 impl ServeDaemon {
     /// Binds `addr` (port `0` for ephemeral), starts the engine (the
-    /// CSR build proceeds in the background; `/healthz` reports
-    /// `loading` until it completes) and begins accepting connections.
+    /// resident layout build proceeds in the background; `/healthz`
+    /// reports `loading` until it completes, then the chosen layout
+    /// and its resident bytes) and begins accepting connections.
     ///
     /// # Errors
     ///
@@ -188,9 +190,16 @@ fn handle_connection(
         // and close, exactly what a load balancer expects.
         if trimmed.starts_with("GET ") {
             let (status, body) = if engine.ready() {
-                ("200 OK", "ok\n")
+                (
+                    "200 OK",
+                    format!(
+                        "ok layout={} resident_bytes={}\n",
+                        engine.layout_name(),
+                        engine.resident_bytes()
+                    ),
+                )
             } else {
-                ("503 Service Unavailable", "loading\n")
+                ("503 Service Unavailable", "loading\n".to_string())
             };
             let response = format!(
                 "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -415,7 +424,19 @@ mod tests {
             .read_to_string(&mut response)
             .unwrap();
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        assert!(response.ends_with("ok\n"), "{response}");
+        let body = response.rsplit("\r\n\r\n").next().unwrap();
+        assert!(
+            body.starts_with("ok layout=adj resident_bytes="),
+            "{response}"
+        );
+        let bytes: u64 = body
+            .trim()
+            .rsplit('=')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("resident_bytes is numeric");
+        assert!(bytes > 0, "{response}");
         daemon.shutdown();
     }
 }

@@ -22,12 +22,12 @@ use std::time::{Duration, Instant};
 use egraph_parallel::ThreadPool;
 
 use crate::exec::ExecCtx;
-use crate::layout::{AdjacencyList, EdgeDirection};
-use crate::preprocess::{CsrBuilder, Strategy};
+use crate::layout::{AdjacencyList, CcsrList, EdgeDirection, Grid};
+use crate::preprocess::{CcsrBuilder, CsrBuilder, GridBuilder, Strategy};
 use crate::types::{Edge, EdgeList, VertexId, WEdge};
-use crate::variant::{Algo, VariantError};
+use crate::variant::{default_grid_side, Algo, Layout, VariantError};
 
-use super::wave::{multi_bfs, multi_sssp, MAX_WAVE};
+use super::wave::{multi_bfs, multi_bfs_grid, multi_sssp, multi_sssp_grid, MAX_WAVE};
 
 /// Tuning knobs for the serve engine.
 #[derive(Debug, Clone)]
@@ -41,6 +41,11 @@ pub struct ServeConfig {
     pub batch_window: Duration,
     /// Publish per-query metrics on the global registry.
     pub metrics: bool,
+    /// The resident layout waves traverse: [`Layout::Adjacency`]
+    /// (default), [`Layout::Grid`] or [`Layout::Ccsr`].
+    /// [`Layout::EdgeList`] has no servable index and panics at
+    /// start-up.
+    pub layout: Layout,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +55,7 @@ impl Default for ServeConfig {
             max_wave: MAX_WAVE,
             batch_window: Duration::from_millis(2),
             metrics: true,
+            layout: Layout::Adjacency,
         }
     }
 }
@@ -76,10 +82,66 @@ impl ServeGraph {
     }
 }
 
-/// The out-CSR the engine traverses, built once at start-up.
-enum Csr {
-    Unweighted(AdjacencyList<Edge>),
-    Weighted(AdjacencyList<WEdge>),
+/// The resident layout the engine traverses, built once at start-up.
+enum Resident {
+    AdjUnweighted(AdjacencyList<Edge>),
+    AdjWeighted(AdjacencyList<WEdge>),
+    GridUnweighted(Grid<Edge>),
+    GridWeighted(Grid<WEdge>),
+    CcsrUnweighted(CcsrList<Edge>),
+    CcsrWeighted(CcsrList<WEdge>),
+}
+
+impl Resident {
+    /// Builds the configured layout (radix sort, the §5 pick for large
+    /// inputs; neighbor-sorted so adj and ccsr traverse identical
+    /// orders).
+    fn build(graph: &ServeGraph, layout: Layout) -> Self {
+        match (layout, graph) {
+            (Layout::Adjacency, ServeGraph::Unweighted(g)) => Resident::AdjUnweighted(
+                CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+                    .sort_neighbors(true)
+                    .build(g),
+            ),
+            (Layout::Adjacency, ServeGraph::Weighted(g)) => Resident::AdjWeighted(
+                CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+                    .sort_neighbors(true)
+                    .build(g),
+            ),
+            (Layout::Grid, ServeGraph::Unweighted(g)) => Resident::GridUnweighted(
+                GridBuilder::new(Strategy::RadixSort)
+                    .side(default_grid_side(g.num_vertices()))
+                    .build(g),
+            ),
+            (Layout::Grid, ServeGraph::Weighted(g)) => Resident::GridWeighted(
+                GridBuilder::new(Strategy::RadixSort)
+                    .side(default_grid_side(g.num_vertices()))
+                    .build(g),
+            ),
+            (Layout::Ccsr, ServeGraph::Unweighted(g)) => Resident::CcsrUnweighted(
+                CcsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(g),
+            ),
+            (Layout::Ccsr, ServeGraph::Weighted(g)) => Resident::CcsrWeighted(
+                CcsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(g),
+            ),
+            (Layout::EdgeList, _) => {
+                panic!("the edge layout has no servable per-vertex index; use adj, grid or ccsr")
+            }
+        }
+    }
+
+    /// Resident heap bytes of the built layout — reported by
+    /// `/healthz`.
+    fn resident_bytes(&self) -> u64 {
+        match self {
+            Resident::AdjUnweighted(a) => a.resident_bytes(),
+            Resident::AdjWeighted(a) => a.resident_bytes(),
+            Resident::GridUnweighted(g) => g.resident_bytes(),
+            Resident::GridWeighted(g) => g.resident_bytes(),
+            Resident::CcsrUnweighted(c) => c.resident_bytes(),
+            Resident::CcsrWeighted(c) => c.resident_bytes(),
+        }
+    }
 }
 
 /// The algorithm of a point query.
@@ -245,6 +307,8 @@ pub struct ServeEngine {
     scheduler: Option<JoinHandle<()>>,
     num_vertices: usize,
     weighted: bool,
+    layout: Layout,
+    resident_bytes: Arc<AtomicU64>,
     ready: Arc<AtomicBool>,
 }
 
@@ -253,16 +317,27 @@ impl std::fmt::Debug for ServeEngine {
         f.debug_struct("ServeEngine")
             .field("num_vertices", &self.num_vertices)
             .field("weighted", &self.weighted)
+            .field("layout", &self.layout)
             .finish()
     }
 }
 
 impl ServeEngine {
-    /// Builds the read-optimized out-CSR (radix sort, the §5 pick for
-    /// large inputs) and starts the scheduler thread.
+    /// Builds the configured read-optimized layout (radix sort, the §5
+    /// pick for large inputs) and starts the scheduler thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServeConfig::layout`] is [`Layout::EdgeList`], which
+    /// has no servable per-vertex index.
     pub fn start(graph: ServeGraph, config: ServeConfig) -> Self {
+        assert!(
+            config.layout != Layout::EdgeList,
+            "the edge layout has no servable per-vertex index; use adj, grid or ccsr"
+        );
         let num_vertices = graph.num_vertices();
         let weighted = graph.weighted();
+        let layout = config.layout;
         let max_wave = config.max_wave.clamp(1, MAX_WAVE);
         let shared = Arc::new(Shared {
             admission: Mutex::new(Admission::default()),
@@ -270,13 +345,15 @@ impl ServeEngine {
             inflight: AtomicU64::new(0),
         });
         let ready = Arc::new(AtomicBool::new(false));
+        let resident_bytes = Arc::new(AtomicU64::new(0));
         let scheduler = {
             let shared = Arc::clone(&shared);
             let ready = Arc::clone(&ready);
+            let resident_bytes = Arc::clone(&resident_bytes);
             let config = ServeConfig { max_wave, ..config };
             std::thread::Builder::new()
                 .name("egraph-serve-sched".into())
-                .spawn(move || scheduler_loop(graph, config, &shared, &ready))
+                .spawn(move || scheduler_loop(graph, config, &shared, &ready, &resident_bytes))
                 .expect("spawn serve scheduler")
         };
         Self {
@@ -284,6 +361,8 @@ impl ServeEngine {
             scheduler: Some(scheduler),
             num_vertices,
             weighted,
+            layout,
+            resident_bytes,
             ready,
         }
     }
@@ -298,12 +377,23 @@ impl ServeEngine {
         self.weighted
     }
 
-    /// Whether the CSR build finished and waves can launch.
+    /// The CLI spelling of the resident layout.
+    pub fn layout_name(&self) -> &'static str {
+        self.layout.name()
+    }
+
+    /// Resident heap bytes of the built layout; `0` until
+    /// [`Self::ready`] turns true.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Acquire)
+    }
+
+    /// Whether the resident layout build finished and waves can launch.
     pub fn ready(&self) -> bool {
         self.ready.load(Ordering::Acquire)
     }
 
-    /// Blocks until the engine is ready (the CSR build completed).
+    /// Blocks until the engine is ready (the layout build completed).
     pub fn wait_ready(&self) {
         while !self.ready() {
             std::thread::sleep(Duration::from_millis(5));
@@ -371,21 +461,17 @@ impl Drop for ServeEngine {
     }
 }
 
-fn scheduler_loop(graph: ServeGraph, config: ServeConfig, shared: &Shared, ready: &AtomicBool) {
-    // The graph is loaded once into a shared read-optimized CSR; every
-    // wave traverses the same arrays.
-    let csr = match &graph {
-        ServeGraph::Unweighted(g) => Csr::Unweighted(
-            CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
-                .sort_neighbors(true)
-                .build(g),
-        ),
-        ServeGraph::Weighted(g) => Csr::Weighted(
-            CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
-                .sort_neighbors(true)
-                .build(g),
-        ),
-    };
+fn scheduler_loop(
+    graph: ServeGraph,
+    config: ServeConfig,
+    shared: &Shared,
+    ready: &AtomicBool,
+    resident_bytes: &AtomicU64,
+) {
+    // The graph is loaded once into a shared read-optimized layout;
+    // every wave traverses the same arrays.
+    let resident = Resident::build(&graph, config.layout);
+    resident_bytes.store(resident.resident_bytes(), Ordering::Release);
     let threads = if config.threads == 0 {
         egraph_parallel::pool::default_num_threads()
     } else {
@@ -445,12 +531,12 @@ fn scheduler_loop(graph: ServeGraph, config: ServeConfig, shared: &Shared, ready
             admission.queue = rest;
             wave
         };
-        run_wave(&csr, &pool, wave, metrics.as_ref(), shared);
+        run_wave(&resident, &pool, wave, metrics.as_ref(), shared);
     }
 }
 
 fn run_wave(
-    csr: &Csr,
+    resident: &Resident,
     pool: &ThreadPool,
     wave: Vec<Pending>,
     metrics: Option<&Metrics>,
@@ -464,19 +550,46 @@ fn run_wave(
     };
     let ctx = ExecCtx::new(pool);
     let started = Instant::now();
-    let mut results: Vec<QueryValues> = ctx.scoped(|| match (kind, csr) {
-        (QueryKind::Sssp, Csr::Weighted(adj)) => multi_sssp(adj.out(), &sources, &ctx)
+    let mut results: Vec<QueryValues> = ctx.scoped(|| match (kind, resident) {
+        (QueryKind::Sssp, Resident::AdjWeighted(adj)) => multi_sssp(adj.out(), &sources, &ctx)
             .into_iter()
             .map(QueryValues::Dists)
             .collect(),
-        (QueryKind::Sssp, Csr::Unweighted(_)) => {
+        (QueryKind::Sssp, Resident::CcsrWeighted(ccsr)) => multi_sssp(ccsr.out(), &sources, &ctx)
+            .into_iter()
+            .map(QueryValues::Dists)
+            .collect(),
+        (QueryKind::Sssp, Resident::GridWeighted(grid)) => multi_sssp_grid(grid, &sources, &ctx)
+            .into_iter()
+            .map(QueryValues::Dists)
+            .collect(),
+        (
+            QueryKind::Sssp,
+            Resident::AdjUnweighted(_) | Resident::GridUnweighted(_) | Resident::CcsrUnweighted(_),
+        ) => {
             unreachable!("submit rejects sssp on unweighted graphs")
         }
-        (_, Csr::Unweighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
+        (_, Resident::AdjUnweighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
             .into_iter()
             .map(QueryValues::Levels)
             .collect(),
-        (_, Csr::Weighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
+        (_, Resident::AdjWeighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
+            .into_iter()
+            .map(QueryValues::Levels)
+            .collect(),
+        (_, Resident::CcsrUnweighted(ccsr)) => multi_bfs(ccsr.out(), &sources, max_depth, &ctx)
+            .into_iter()
+            .map(QueryValues::Levels)
+            .collect(),
+        (_, Resident::CcsrWeighted(ccsr)) => multi_bfs(ccsr.out(), &sources, max_depth, &ctx)
+            .into_iter()
+            .map(QueryValues::Levels)
+            .collect(),
+        (_, Resident::GridUnweighted(grid)) => multi_bfs_grid(grid, &sources, max_depth, &ctx)
+            .into_iter()
+            .map(QueryValues::Levels)
+            .collect(),
+        (_, Resident::GridWeighted(grid)) => multi_bfs_grid(grid, &sources, max_depth, &ctx)
             .into_iter()
             .map(QueryValues::Levels)
             .collect(),
@@ -706,6 +819,79 @@ mod tests {
         let outcome = keep.recv().expect("surviving query still answered");
         assert_eq!(outcome.values.reachable(), 32);
         engine.shutdown();
+    }
+
+    #[test]
+    fn grid_and_ccsr_layouts_answer_identically_to_adjacency() {
+        let unweighted = chain_graph(96);
+        let weighted = weighted_chain(96);
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+            .sort_neighbors(true)
+            .build(&unweighted);
+        let wadj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+            .sort_neighbors(true)
+            .build(&weighted);
+        let want_levels = QueryValues::Levels(bfs::push(&adj, 5).level);
+        let want_dists = QueryValues::Dists(sssp::push(&wadj, 5).dist);
+        for layout in [Layout::Grid, Layout::Ccsr] {
+            let engine = ServeEngine::start(
+                ServeGraph::Unweighted(unweighted.clone()),
+                ServeConfig {
+                    threads: 2,
+                    layout,
+                    metrics: false,
+                    ..ServeConfig::default()
+                },
+            );
+            engine.wait_ready();
+            assert_eq!(engine.layout_name(), layout.name());
+            assert!(
+                engine.resident_bytes() > 0,
+                "{layout:?} reports zero resident bytes"
+            );
+            let rx = engine
+                .submit(Query {
+                    kind: QueryKind::Bfs,
+                    source: 5,
+                    depth: 0,
+                })
+                .unwrap();
+            assert_eq!(rx.recv().unwrap().values, want_levels, "{layout:?} bfs");
+            engine.shutdown();
+
+            let engine = ServeEngine::start(
+                ServeGraph::Weighted(weighted.clone()),
+                ServeConfig {
+                    threads: 2,
+                    layout,
+                    metrics: false,
+                    ..ServeConfig::default()
+                },
+            );
+            let rx = engine
+                .submit(Query {
+                    kind: QueryKind::Sssp,
+                    source: 5,
+                    depth: 0,
+                })
+                .unwrap();
+            assert_eq!(rx.recv().unwrap().values, want_dists, "{layout:?} sssp");
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no servable per-vertex index")]
+    fn edge_layout_is_rejected_at_startup() {
+        let _ = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(8)),
+            ServeConfig {
+                threads: 1,
+                layout: Layout::EdgeList,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //!
 //! The TCP front-end ([`daemon`]) speaks newline-delimited JSON and
 //! answers HTTP `GET /healthz` on the same port (`loading` → `ready`
-//! around the CSR build) so load balancers can gate on graph-load
-//! completion.
+//! around the resident layout build) so load balancers can gate on
+//! graph-load completion.
 
 pub mod daemon;
 pub mod engine;

@@ -20,7 +20,7 @@ use egraph_parallel::atomicf::AtomicF32;
 use egraph_parallel::{parallel_collect, parallel_for, WorkerLocal};
 
 use crate::exec::ExecCtx;
-use crate::layout::Adjacency;
+use crate::layout::{Grid, NeighborAccess};
 use crate::telemetry::Recorder;
 use crate::types::{EdgeRecord, VertexId};
 use crate::util::UnsyncSlice;
@@ -36,18 +36,19 @@ pub const WAVE_ROUNDS: &str = "serve.wave_rounds";
 /// Telemetry counter: edges examined across all wave rounds.
 pub const WAVE_EDGES: &str = "serve.wave_edges";
 
-/// Multi-source BFS over out-adjacencies: one lane per source, levels
-/// truncated at `max_depth` rounds (pass `u32::MAX` for a full
-/// traversal). Returns one level vector per source, `u32::MAX`
-/// marking vertices not reached within the depth bound.
+/// Multi-source BFS over any out-[`NeighborAccess`] (uncompressed CSR
+/// or ccsr): one lane per source, levels truncated at `max_depth`
+/// rounds (pass `u32::MAX` for a full traversal). Returns one level
+/// vector per source, `u32::MAX` marking vertices not reached within
+/// the depth bound.
 ///
 /// # Panics
 ///
 /// Panics if `sources` is empty, longer than [`MAX_WAVE`], or contains
 /// an out-of-range vertex — the serve engine validates queries before
 /// forming waves.
-pub fn multi_bfs<E: EdgeRecord>(
-    out: &Adjacency<E>,
+pub fn multi_bfs<E: EdgeRecord, A: NeighborAccess<E>>(
+    out: &A,
     sources: &[VertexId],
     max_depth: u32,
     ctx: &ExecCtx<'_>,
@@ -98,29 +99,33 @@ pub fn multi_bfs<E: EdgeRecord>(
                 for i in range {
                     let u = active[i] as usize;
                     let word = frontier[u];
-                    for e in out.neighbors(u as VertexId) {
-                        let v = e.dst() as usize;
-                        let prop = word & !visited[v].load(Ordering::Relaxed);
-                        if prop == 0 {
-                            continue;
+                    out.for_each_span(u as VertexId, |span| {
+                        for e in span {
+                            let v = e.dst() as usize;
+                            let prop = word & !visited[v].load(Ordering::Relaxed);
+                            if prop == 0 {
+                                continue;
+                            }
+                            let old = visited[v].fetch_or(prop, Ordering::Relaxed);
+                            let mut won = prop & !old;
+                            if won == 0 {
+                                continue;
+                            }
+                            if next[v].fetch_or(won, Ordering::Relaxed) == 0 {
+                                buf.push(v as VertexId);
+                            }
+                            while won != 0 {
+                                let q = won.trailing_zeros() as usize;
+                                // SAFETY: `fetch_or` on `visited[v]`
+                                // admits exactly one winner per
+                                // (vertex, lane) bit, so no other
+                                // thread writes this element.
+                                unsafe { level_cells.write(v * lanes + q, depth) };
+                                won &= won - 1;
+                            }
                         }
-                        let old = visited[v].fetch_or(prop, Ordering::Relaxed);
-                        let mut won = prop & !old;
-                        if won == 0 {
-                            continue;
-                        }
-                        if next[v].fetch_or(won, Ordering::Relaxed) == 0 {
-                            buf.push(v as VertexId);
-                        }
-                        while won != 0 {
-                            let q = won.trailing_zeros() as usize;
-                            // SAFETY: `fetch_or` on `visited[v]` admits
-                            // exactly one winner per (vertex, lane) bit,
-                            // so no other thread writes this element.
-                            unsafe { level_cells.write(v * lanes + q, depth) };
-                            won &= won - 1;
-                        }
-                    }
+                        span.len()
+                    });
                 }
             });
             active = parallel_collect(locals);
@@ -138,16 +143,16 @@ pub fn multi_bfs<E: EdgeRecord>(
     demux(&levels, nv, lanes)
 }
 
-/// Multi-source SSSP over out-adjacencies: label-correcting relaxation
-/// with per-lane `f32` `fetch_min`, one lane per source. Returns one
-/// distance vector per source (`f32::INFINITY` for unreachable
-/// vertices), bit-identical to the single-source kernel.
+/// Multi-source SSSP over any out-[`NeighborAccess`]: label-correcting
+/// relaxation with per-lane `f32` `fetch_min`, one lane per source.
+/// Returns one distance vector per source (`f32::INFINITY` for
+/// unreachable vertices), bit-identical to the single-source kernel.
 ///
 /// # Panics
 ///
 /// Panics under the same conditions as [`multi_bfs`].
-pub fn multi_sssp<E: EdgeRecord>(
-    out: &Adjacency<E>,
+pub fn multi_sssp<E: EdgeRecord, A: NeighborAccess<E>>(
+    out: &A,
     sources: &[VertexId],
     ctx: &ExecCtx<'_>,
 ) -> Vec<Vec<f32>> {
@@ -201,15 +206,223 @@ pub fn multi_sssp<E: EdgeRecord>(
                     du[q] = dist_ref[u * lanes + q].load(Ordering::Relaxed);
                     w &= w - 1;
                 }
-                for e in out.neighbors(u as VertexId) {
+                out.for_each_span(u as VertexId, |span| {
+                    for e in span {
+                        let v = e.dst() as usize;
+                        let weight = e.weight();
+                        word = frontier[u];
+                        let mut improved = 0u64;
+                        let mut w = word;
+                        while w != 0 {
+                            let q = w.trailing_zeros() as usize;
+                            let nd = du[q] + weight;
+                            if dist_ref[v * lanes + q].fetch_min(nd, Ordering::Relaxed) {
+                                improved |= 1 << q;
+                            }
+                            w &= w - 1;
+                        }
+                        if improved != 0 && next[v].fetch_or(improved, Ordering::Relaxed) == 0 {
+                            buf.push(v as VertexId);
+                        }
+                    }
+                    span.len()
+                });
+            }
+        });
+        active = parallel_collect(locals);
+        for &v in &active {
+            let v = v as usize;
+            frontier_words[v] = next[v].swap(0, Ordering::Relaxed);
+        }
+    }
+    if recorder.enabled() {
+        recorder.record_counter(WAVE_ROUNDS, rounds);
+        recorder.record_counter(WAVE_EDGES, edges_examined);
+    }
+
+    let flat: Vec<f32> = dist
+        .into_iter()
+        .map(|d| d.load(Ordering::Relaxed))
+        .collect();
+    (0..lanes)
+        .map(|q| (0..nv).map(|v| flat[v * lanes + q]).collect())
+        .collect()
+}
+
+/// Multi-source BFS over a grid layout. The grid has no per-vertex
+/// neighbor index, so every round is a full cell scan that only
+/// propagates from frontier sources. A level is the round a lane's bit
+/// first reaches a vertex — scan-order independent — so the per-lane
+/// results are bit-identical to [`multi_bfs`] on an adjacency.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`multi_bfs`].
+pub fn multi_bfs_grid<E: EdgeRecord>(
+    grid: &Grid<E>,
+    sources: &[VertexId],
+    max_depth: u32,
+    ctx: &ExecCtx<'_>,
+) -> Vec<Vec<u32>> {
+    let nv = grid.num_vertices();
+    let lanes = sources.len();
+    assert!(
+        (1..=MAX_WAVE).contains(&lanes),
+        "wave size {lanes} outside 1..={MAX_WAVE}"
+    );
+    let mut levels = vec![u32::MAX; nv * lanes];
+    let recorder = ctx.context();
+    let recorder = recorder.recorder;
+
+    {
+        let visited: Vec<AtomicU64> = (0..nv).map(|_| AtomicU64::new(0)).collect();
+        let next: Vec<AtomicU64> = (0..nv).map(|_| AtomicU64::new(0)).collect();
+        let mut frontier_words: Vec<u64> = vec![0; nv];
+        let level_cells = UnsyncSlice::new(&mut levels);
+
+        let mut active: Vec<VertexId> = Vec::with_capacity(lanes);
+        for (q, &s) in sources.iter().enumerate() {
+            let v = s as usize;
+            assert!(v < nv, "source {s} out of range ({nv} vertices)");
+            // SAFETY: seeding runs before any parallel region.
+            unsafe { level_cells.write(v * lanes + q, 0) };
+            if visited[v].fetch_or(1 << q, Ordering::Relaxed) == 0 {
+                active.push(s);
+            }
+            frontier_words[v] |= 1 << q;
+        }
+
+        let side = grid.side();
+        let num_cells = side * side;
+        let mut depth = 0u32;
+        let mut edges_examined = 0u64;
+        let mut rounds = 0u64;
+        while !active.is_empty() && depth < max_depth {
+            depth += 1;
+            rounds += 1;
+            if recorder.enabled() {
+                edges_examined += grid.num_edges() as u64;
+            }
+            let frontier = &frontier_words;
+            let locals: WorkerLocal<Vec<VertexId>> = WorkerLocal::new(Vec::new);
+            parallel_for(0..num_cells, 1, |cells| {
+                let mut buf = locals.borrow();
+                for c in cells {
+                    for e in grid.cell(c / side, c % side) {
+                        let word = frontier[e.src() as usize];
+                        if word == 0 {
+                            continue;
+                        }
+                        let v = e.dst() as usize;
+                        let prop = word & !visited[v].load(Ordering::Relaxed);
+                        if prop == 0 {
+                            continue;
+                        }
+                        let old = visited[v].fetch_or(prop, Ordering::Relaxed);
+                        let mut won = prop & !old;
+                        if won == 0 {
+                            continue;
+                        }
+                        if next[v].fetch_or(won, Ordering::Relaxed) == 0 {
+                            buf.push(v as VertexId);
+                        }
+                        while won != 0 {
+                            let q = won.trailing_zeros() as usize;
+                            // SAFETY: `fetch_or` on `visited[v]` admits
+                            // exactly one winner per (vertex, lane)
+                            // bit, so no other thread writes this
+                            // element.
+                            unsafe { level_cells.write(v * lanes + q, depth) };
+                            won &= won - 1;
+                        }
+                    }
+                }
+            });
+            for &v in &active {
+                frontier_words[v as usize] = 0;
+            }
+            active = parallel_collect(locals);
+            for &v in &active {
+                let v = v as usize;
+                frontier_words[v] = next[v].swap(0, Ordering::Relaxed);
+            }
+        }
+        if recorder.enabled() {
+            recorder.record_counter(WAVE_ROUNDS, rounds);
+            recorder.record_counter(WAVE_EDGES, edges_examined);
+        }
+    }
+
+    demux(&levels, nv, lanes)
+}
+
+/// Multi-source SSSP over a grid layout: full cell scans per round,
+/// per-lane `f32` `fetch_min` relaxation. Distances converge to the
+/// same least fixpoint as [`multi_sssp`], so per-lane results are
+/// bit-identical to the adjacency kernels.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`multi_bfs`].
+pub fn multi_sssp_grid<E: EdgeRecord>(
+    grid: &Grid<E>,
+    sources: &[VertexId],
+    ctx: &ExecCtx<'_>,
+) -> Vec<Vec<f32>> {
+    let nv = grid.num_vertices();
+    let lanes = sources.len();
+    assert!(
+        (1..=MAX_WAVE).contains(&lanes),
+        "wave size {lanes} outside 1..={MAX_WAVE}"
+    );
+    let recorder = ctx.context();
+    let recorder = recorder.recorder;
+
+    let dist: Vec<AtomicF32> = (0..nv * lanes)
+        .map(|_| AtomicF32::new(f32::INFINITY))
+        .collect();
+    let next: Vec<AtomicU64> = (0..nv).map(|_| AtomicU64::new(0)).collect();
+    let mut frontier_words: Vec<u64> = vec![0; nv];
+
+    let mut active: Vec<VertexId> = Vec::with_capacity(lanes);
+    for (q, &s) in sources.iter().enumerate() {
+        let v = s as usize;
+        assert!(v < nv, "source {s} out of range ({nv} vertices)");
+        dist[v * lanes + q].store(0.0, Ordering::Relaxed);
+        if frontier_words[v] == 0 {
+            active.push(s);
+        }
+        frontier_words[v] |= 1 << q;
+    }
+
+    let side = grid.side();
+    let num_cells = side * side;
+    let mut edges_examined = 0u64;
+    let mut rounds = 0u64;
+    while !active.is_empty() {
+        rounds += 1;
+        if recorder.enabled() {
+            edges_examined += grid.num_edges() as u64;
+        }
+        let frontier = &frontier_words;
+        let dist_ref = &dist;
+        let locals: WorkerLocal<Vec<VertexId>> = WorkerLocal::new(Vec::new);
+        parallel_for(0..num_cells, 1, |cells| {
+            let mut buf = locals.borrow();
+            for c in cells {
+                for e in grid.cell(c / side, c % side) {
+                    let u = e.src() as usize;
+                    let word = frontier[u];
+                    if word == 0 {
+                        continue;
+                    }
                     let v = e.dst() as usize;
                     let weight = e.weight();
-                    word = frontier[u];
                     let mut improved = 0u64;
                     let mut w = word;
                     while w != 0 {
                         let q = w.trailing_zeros() as usize;
-                        let nd = du[q] + weight;
+                        let nd = dist_ref[u * lanes + q].load(Ordering::Relaxed) + weight;
                         if dist_ref[v * lanes + q].fetch_min(nd, Ordering::Relaxed) {
                             improved |= 1 << q;
                         }
@@ -221,6 +434,9 @@ pub fn multi_sssp<E: EdgeRecord>(
                 }
             }
         });
+        for &v in &active {
+            frontier_words[v as usize] = 0;
+        }
         active = parallel_collect(locals);
         for &v in &active {
             let v = v as usize;

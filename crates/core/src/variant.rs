@@ -34,9 +34,9 @@ use std::sync::OnceLock;
 
 use crate::algo::{bfs, pagerank, spmv, sssp, wcc};
 use crate::exec::ExecCtx;
-use crate::layout::{AdjacencyList, EdgeDirection, Grid};
+use crate::layout::{AdjacencyList, CcsrList, EdgeDirection, Grid};
 use crate::metrics::timed;
-use crate::preprocess::{CsrBuilder, GridBuilder, Strategy};
+use crate::preprocess::{compress_sorted_csr, CcsrBuilder, CsrBuilder, GridBuilder, Strategy};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
 
 /// The algorithms of the study.
@@ -85,11 +85,19 @@ pub enum Layout {
     EdgeList,
     /// The 2-D grid of edge blocks.
     Grid,
+    /// Compressed CSR: delta/varint-encoded sorted neighbor lists,
+    /// decoded on the fly (DESIGN.md §14).
+    Ccsr,
 }
 
 impl Layout {
     /// All layouts, in report order.
-    pub const ALL: [Layout; 3] = [Layout::Adjacency, Layout::EdgeList, Layout::Grid];
+    pub const ALL: [Layout; 4] = [
+        Layout::Adjacency,
+        Layout::EdgeList,
+        Layout::Grid,
+        Layout::Ccsr,
+    ];
 
     /// The CLI spelling.
     pub fn name(self) -> &'static str {
@@ -97,6 +105,7 @@ impl Layout {
             Layout::Adjacency => "adj",
             Layout::EdgeList => "edge",
             Layout::Grid => "grid",
+            Layout::Ccsr => "ccsr",
         }
     }
 }
@@ -187,7 +196,7 @@ impl FromStr for Layout {
             .ok_or_else(|| VariantError::Parse {
                 what: "layout",
                 got: s.to_string(),
-                expected: "adj|edge|grid",
+                expected: "adj|edge|grid|ccsr",
             })
     }
 }
@@ -344,14 +353,17 @@ pub fn is_supported(id: &VariantId) -> bool {
     use Direction::*;
     use Layout::*;
     let dirs: &[Direction] = match (id.algo, id.layout) {
-        (Algo::Bfs | Algo::Wcc, Adjacency) => &[Push, Pull, PushPull],
+        // The compressed CSR decodes to the same spans the kernels
+        // iterate on uncompressed CSR, so its support set mirrors
+        // `Adjacency` exactly.
+        (Algo::Bfs | Algo::Wcc, Adjacency | Ccsr) => &[Push, Pull, PushPull],
         (Algo::Bfs | Algo::Wcc, EdgeList | Grid) => &[Push],
-        (Algo::Pagerank, Adjacency) => &[Push, Pull],
+        (Algo::Pagerank, Adjacency | Ccsr) => &[Push, Pull],
         (Algo::Pagerank, EdgeList) => &[Push],
         (Algo::Pagerank, Grid) => &[Push, Pull],
-        (Algo::Sssp, Adjacency | EdgeList) => &[Push],
+        (Algo::Sssp, Adjacency | Ccsr | EdgeList) => &[Push],
         (Algo::Sssp, Grid) => &[],
-        (Algo::Spmv, Adjacency) => &[Push, Pull],
+        (Algo::Spmv, Adjacency | Ccsr) => &[Push, Pull],
         (Algo::Spmv, EdgeList) => &[Push],
         (Algo::Spmv, Grid) => &[Push],
     };
@@ -381,8 +393,12 @@ pub fn supported_variants() -> Vec<VariantId> {
 pub fn sync_matters(id: &VariantId) -> bool {
     matches!(
         (id.algo, id.layout, id.direction),
-        (Algo::Bfs, Layout::Adjacency, Direction::Push)
-            | (Algo::Pagerank, Layout::Adjacency, Direction::Push)
+        (Algo::Bfs, Layout::Adjacency | Layout::Ccsr, Direction::Push)
+            | (
+                Algo::Pagerank,
+                Layout::Adjacency | Layout::Ccsr,
+                Direction::Push
+            )
             | (Algo::Pagerank, Layout::EdgeList, Direction::Push)
             | (Algo::Pagerank, Layout::Grid, Direction::Push)
     )
@@ -447,6 +463,8 @@ pub struct PreparedGraph<'a, E: EdgeRecord> {
     side: Option<usize>,
     csr: [OnceLock<(AdjacencyList<E>, f64)>; 3],
     und_csr: OnceLock<(AdjacencyList<E>, f64)>,
+    ccsr: [OnceLock<(CcsrList<E>, f64)>; 3],
+    und_ccsr: OnceLock<(CcsrList<E>, f64)>,
     grid: OnceLock<(Grid<E>, f64)>,
     tgrid: OnceLock<(Grid<E>, f64)>,
     degrees: OnceLock<Vec<u32>>,
@@ -464,6 +482,8 @@ impl<'a, E: EdgeRecord> PreparedGraph<'a, E> {
             side: None,
             csr: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             und_csr: OnceLock::new(),
+            ccsr: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            und_ccsr: OnceLock::new(),
             grid: OnceLock::new(),
             tgrid: OnceLock::new(),
             degrees: OnceLock::new(),
@@ -540,6 +560,52 @@ impl<'a, E: EdgeRecord> PreparedGraph<'a, E> {
         })
     }
 
+    fn ccsr(&self, dir: EdgeDirection) -> &(CcsrList<E>, f64) {
+        let slot = match dir {
+            EdgeDirection::Out => &self.ccsr[0],
+            EdgeDirection::In => &self.ccsr[1],
+            EdgeDirection::Both => &self.ccsr[2],
+        };
+        slot.get_or_init(|| {
+            if self.sorted {
+                // The cached CSR is already neighbor-sorted — compress
+                // it directly (and share one build between both
+                // layouts, which also guarantees identical neighbor
+                // order for the conformance oracle).
+                let (csr, csr_seconds) = {
+                    let cached = self.csr(dir);
+                    (&cached.0, cached.1)
+                };
+                let (list, compress_seconds) = timed(|| compress_sorted_csr(csr));
+                (list, csr_seconds + compress_seconds)
+            } else {
+                let (list, stats) = CcsrBuilder::new(self.strategy, dir).build_timed(self.edges);
+                (list, stats.seconds)
+            }
+        })
+    }
+
+    fn und_ccsr(&self) -> &(CcsrList<E>, f64) {
+        self.und_ccsr.get_or_init(|| {
+            if self.sorted {
+                let (csr, csr_seconds) = {
+                    let cached = self.und_csr();
+                    (&cached.0, cached.1)
+                };
+                let (list, compress_seconds) = timed(|| compress_sorted_csr(csr));
+                (list, csr_seconds + compress_seconds)
+            } else {
+                let ((list, stats), wall) = timed(|| {
+                    let undirected = self.edges.to_undirected();
+                    CcsrBuilder::new(self.strategy, EdgeDirection::Out).build_timed(&undirected)
+                });
+                // The undirected copy is part of WCC's preprocessing
+                // cost.
+                (list, wall.max(stats.seconds))
+            }
+        })
+    }
+
     fn grid(&self, transposed: bool) -> &(Grid<E>, f64) {
         let slot = if transposed { &self.tgrid } else { &self.grid };
         slot.get_or_init(|| {
@@ -562,6 +628,8 @@ impl<'a, E: EdgeRecord> PreparedGraph<'a, E> {
             (_, Layout::EdgeList) => 0.0,
             (Algo::Wcc, Layout::Adjacency) => self.und_csr().1,
             (_, Layout::Adjacency) => self.csr(csr_direction(id)).1,
+            (Algo::Wcc, Layout::Ccsr) => self.und_ccsr().1,
+            (_, Layout::Ccsr) => self.ccsr(csr_direction(id)).1,
             (Algo::Pagerank, Layout::Grid) if id.direction == Direction::Pull => self.grid(true).1,
             (_, Layout::Grid) => self.grid(false).1,
         }
@@ -751,6 +819,18 @@ fn execute<E: EdgeRecord>(
         (Algo::Bfs, L::Grid, D::Push) => {
             VariantOutput::Bfs(bfs::grid_impl(&graph.grid(false).0, root, &c))
         }
+        (Algo::Bfs, L::Ccsr, D::Push) => VariantOutput::Bfs(match params.sync {
+            SyncMode::Atomics => bfs::push_impl(&graph.ccsr(EdgeDirection::Out).0, root, &c),
+            SyncMode::Locks => bfs::push_locked(&graph.ccsr(EdgeDirection::Out).0, root),
+        }),
+        (Algo::Bfs, L::Ccsr, D::Pull) => {
+            VariantOutput::Bfs(bfs::pull_impl(&graph.ccsr(EdgeDirection::In).0, root, &c))
+        }
+        (Algo::Bfs, L::Ccsr, D::PushPull) => VariantOutput::Bfs(bfs::push_pull_impl(
+            &graph.ccsr(EdgeDirection::Both).0,
+            root,
+            &c,
+        )),
 
         (Algo::Pagerank, L::Adjacency, D::Push) => VariantOutput::Pagerank(pagerank::push_impl(
             graph.csr(EdgeDirection::Out).0.out(),
@@ -787,12 +867,28 @@ fn execute<E: EdgeRecord>(
             params.pagerank,
             &c,
         )),
+        (Algo::Pagerank, L::Ccsr, D::Push) => VariantOutput::Pagerank(pagerank::push_impl(
+            graph.ccsr(EdgeDirection::Out).0.out(),
+            graph.degrees(),
+            params.pagerank,
+            pagerank_sync(params.sync),
+            &c,
+        )),
+        (Algo::Pagerank, L::Ccsr, D::Pull) => VariantOutput::Pagerank(pagerank::pull_impl(
+            graph.ccsr(EdgeDirection::In).0.incoming(),
+            graph.degrees(),
+            params.pagerank,
+            &c,
+        )),
 
         (Algo::Sssp, L::Adjacency, D::Push) => {
             VariantOutput::Sssp(sssp::push_impl(&graph.csr(EdgeDirection::Out).0, root, &c))
         }
         (Algo::Sssp, L::EdgeList, D::Push) => {
             VariantOutput::Sssp(sssp::edge_centric_impl(edges, root, &c))
+        }
+        (Algo::Sssp, L::Ccsr, D::Push) => {
+            VariantOutput::Sssp(sssp::push_impl(&graph.ccsr(EdgeDirection::Out).0, root, &c))
         }
 
         (Algo::Wcc, L::Adjacency, D::Push) => {
@@ -807,6 +903,15 @@ fn execute<E: EdgeRecord>(
         (Algo::Wcc, L::EdgeList, D::Push) => VariantOutput::Wcc(wcc::edge_centric_impl(edges, &c)),
         (Algo::Wcc, L::Grid, D::Push) => {
             VariantOutput::Wcc(wcc::grid_impl(&graph.grid(false).0, &c))
+        }
+        (Algo::Wcc, L::Ccsr, D::Push) => {
+            VariantOutput::Wcc(wcc::push_impl(&graph.und_ccsr().0, &c))
+        }
+        (Algo::Wcc, L::Ccsr, D::Pull) => {
+            VariantOutput::Wcc(wcc::pull_impl(&graph.und_ccsr().0, &c))
+        }
+        (Algo::Wcc, L::Ccsr, D::PushPull) => {
+            VariantOutput::Wcc(wcc::push_pull_impl(&graph.und_ccsr().0, &c))
         }
 
         (Algo::Spmv, L::Adjacency, D::Push) => VariantOutput::Spmv(spmv::push_impl(
@@ -825,6 +930,16 @@ fn execute<E: EdgeRecord>(
         (Algo::Spmv, L::Grid, D::Push) => {
             VariantOutput::Spmv(spmv::grid_impl(&graph.grid(false).0, x, &c))
         }
+        (Algo::Spmv, L::Ccsr, D::Push) => VariantOutput::Spmv(spmv::push_impl(
+            graph.ccsr(EdgeDirection::Out).0.out(),
+            x,
+            &c,
+        )),
+        (Algo::Spmv, L::Ccsr, D::Pull) => VariantOutput::Spmv(spmv::pull_impl(
+            graph.ccsr(EdgeDirection::In).0.incoming(),
+            x,
+            &c,
+        )),
 
         // `is_supported` rejected everything else before we got here.
         _ => unreachable!("run_variant checked is_supported"),
@@ -946,6 +1061,61 @@ mod tests {
                     assert_eq!(run.output.as_pagerank().unwrap().ranks.len(), 4, "{id}")
                 }
                 Algo::Spmv => assert_eq!(run.output.as_spmv().unwrap().y.len(), 4, "{id}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ccsr_variants_match_adjacency_results() {
+        let g = diamond();
+        let w = EdgeList::new(
+            4,
+            vec![
+                WEdge::new(0, 1, 1.0),
+                WEdge::new(0, 2, 2.0),
+                WEdge::new(1, 3, 1.0),
+                WEdge::new(2, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let pg = PreparedGraph::new(&g).sort_neighbors(true);
+        let pw = PreparedGraph::new(&w).sort_neighbors(true);
+        let ctx = ExecCtx::new(None);
+        let params = RunParams::default();
+        for algo in [Algo::Bfs, Algo::Wcc, Algo::Pagerank, Algo::Spmv] {
+            for direction in Direction::ALL {
+                let adj_id = VariantId::new(algo, Layout::Adjacency, direction);
+                let ccsr_id = VariantId::new(algo, Layout::Ccsr, direction);
+                assert_eq!(is_supported(&adj_id), is_supported(&ccsr_id));
+                if !is_supported(&adj_id) {
+                    continue;
+                }
+                let (a, b) = if algo.needs_weights() {
+                    (
+                        run_variant(&adj_id, &ctx, &pw, &params).unwrap(),
+                        run_variant(&ccsr_id, &ctx, &pw, &params).unwrap(),
+                    )
+                } else {
+                    (
+                        run_variant(&adj_id, &ctx, &pg, &params).unwrap(),
+                        run_variant(&ccsr_id, &ctx, &pg, &params).unwrap(),
+                    )
+                };
+                match (a.output, b.output) {
+                    (VariantOutput::Bfs(x), VariantOutput::Bfs(y)) => {
+                        assert_eq!(x.level, y.level, "{ccsr_id}")
+                    }
+                    (VariantOutput::Wcc(x), VariantOutput::Wcc(y)) => {
+                        assert_eq!(x.label, y.label, "{ccsr_id}")
+                    }
+                    (VariantOutput::Pagerank(x), VariantOutput::Pagerank(y)) => {
+                        assert_eq!(x.ranks, y.ranks, "{ccsr_id}")
+                    }
+                    (VariantOutput::Spmv(x), VariantOutput::Spmv(y)) => {
+                        assert_eq!(x.y, y.y, "{ccsr_id}")
+                    }
+                    _ => unreachable!(),
+                }
             }
         }
     }

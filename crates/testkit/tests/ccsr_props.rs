@@ -1,0 +1,137 @@
+//! Compressed-CSR properties: encode→decode round-trips the sorted
+//! adjacency over the conformance corpus and arbitrary graphs, and
+//! arbitrary stream bytes decode to a typed error, never a panic.
+
+use egraph_core::prelude::*;
+// Explicit: both glob imports export a `Strategy` (the preprocess enum
+// vs the proptest trait); the builder below means the enum.
+use egraph_core::preprocess::{compress_sorted_csr, Strategy};
+use egraph_testkit::corpus;
+use proptest::prelude::*;
+
+/// Neighbor id as stored in this direction (sources for in-adjacency,
+/// destinations for out-adjacency).
+fn neighbor_ids<E: EdgeRecord>(adj: &Adjacency<E>, v: VertexId) -> Vec<VertexId> {
+    adj.neighbors(v)
+        .iter()
+        .map(|e| if adj.is_by_dst() { e.src() } else { e.dst() })
+        .collect()
+}
+
+/// Asserts every vertex of `ccsr` decodes to exactly the sorted CSR
+/// neighbor list it was encoded from, in both directions.
+fn assert_roundtrip<E: EdgeRecord>(name: &str, csr: &AdjacencyList<E>, ccsr: &CcsrList<E>) {
+    for (dir, (adj, compressed)) in [
+        ("out", (csr.out_opt(), ccsr.out_opt())),
+        ("in", (csr.incoming_opt(), ccsr.incoming_opt())),
+    ] {
+        let (Some(adj), Some(compressed)) = (adj, compressed) else {
+            assert!(
+                adj.is_none() && compressed.is_none(),
+                "{name}/{dir}: directions disagree"
+            );
+            continue;
+        };
+        compressed
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}/{dir}: fresh encoding invalid: {e}"));
+        assert_eq!(
+            adj.num_vertices(),
+            compressed.num_vertices(),
+            "{name}/{dir}"
+        );
+        assert_eq!(adj.num_edges(), compressed.num_edges(), "{name}/{dir}");
+        for v in 0..adj.num_vertices() as VertexId {
+            let decoded = compressed
+                .decode_neighbors(v)
+                .unwrap_or_else(|e| panic!("{name}/{dir}: vertex {v} failed to decode: {e}"));
+            assert_eq!(decoded, neighbor_ids(adj, v), "{name}/{dir}: vertex {v}");
+        }
+    }
+}
+
+fn sorted_csr<E: EdgeRecord>(graph: &EdgeList<E>) -> AdjacencyList<E> {
+    CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both)
+        .sort_neighbors(true)
+        .build(graph)
+}
+
+/// Every adversarial shape (empty, self loops, duplicate edges, star,
+/// chain, disconnected) plus the small generated graphs round-trip.
+#[test]
+fn corpus_roundtrips_through_ccsr() {
+    for named in corpus::quick_corpus(corpus::test_seed()) {
+        let csr = sorted_csr(&named.graph);
+        let ccsr = compress_sorted_csr(&csr);
+        assert_roundtrip(&named.name, &csr, &ccsr);
+    }
+}
+
+/// Weights ride in a flat side array: compression must keep them
+/// aligned with the sorted CSR edge order.
+#[test]
+fn corpus_weights_survive_compression() {
+    for named in corpus::quick_corpus(corpus::test_seed()) {
+        let graph = corpus::weighted(&named.graph);
+        let csr = sorted_csr(&graph);
+        let ccsr = compress_sorted_csr(&csr);
+        assert_roundtrip(&named.name, &csr, &ccsr);
+        let (adj, compressed) = (csr.out(), ccsr.out());
+        for v in 0..adj.num_vertices() as VertexId {
+            let want: Vec<f32> = adj.neighbors(v).iter().map(|e| e.weight()).collect();
+            assert_eq!(
+                compressed.weights_of(v),
+                &want[..],
+                "{}: vertex {v}",
+                named.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary directed multigraphs (self loops and duplicates
+    /// included) round-trip through the compressed encoding.
+    #[test]
+    fn random_graphs_roundtrip(
+        nv in 1usize..120,
+        raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..400),
+    ) {
+        let edges: Vec<Edge> = raw
+            .iter()
+            .map(|&(s, d)| Edge::new(s % nv as u32, d % nv as u32))
+            .collect();
+        let graph = EdgeList::new(nv, edges).unwrap();
+        let csr = sorted_csr(&graph);
+        let ccsr = compress_sorted_csr(&csr);
+        assert_roundtrip("random", &csr, &ccsr);
+    }
+
+    /// Arbitrary bytes presented as a vertex's encoded stream decode to
+    /// `Ok` or a typed `CcsrError` — never a panic, never an
+    /// out-of-range neighbor.
+    #[test]
+    fn arbitrary_stream_bytes_never_panic(
+        degree in 1usize..200,
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let adj: CcsrAdjacency<Edge> = CcsrAdjacency::from_parts(
+            1,
+            false,
+            vec![0, degree as u64],
+            vec![0, bytes.len() as u64],
+            bytes,
+            Vec::new(),
+        );
+        match adj.decode_neighbors(0) {
+            Ok(decoded) => {
+                prop_assert_eq!(decoded.len(), degree);
+                prop_assert!(decoded.iter().all(|&n| n < 1));
+            }
+            Err(_typed) => {}
+        }
+        let _ = adj.validate();
+    }
+}

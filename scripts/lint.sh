@@ -12,6 +12,13 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The vectorized pull paths (AVX2 gather + software prefetch) only
+# compile under the `simd` feature; lint them too so the feature can't
+# rot behind the default build.
+echo "== cargo clippy (simd feature, deny warnings) =="
+cargo clippy -p egraph-core -p egraph-bench --all-targets \
+    --features egraph-core/simd,egraph-bench/simd -- -D warnings
+
 # The parallel and sort crates carry the unsafe worker-local / scatter
 # kernels plus the scoped-pool pointers and lifetime-erased broadcast
 # jobs: always try to run their unit tests under Miri. If the component
