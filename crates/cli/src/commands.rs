@@ -84,6 +84,14 @@ SERVE OPTIONS:
                    its resident bytes once loading completes
   --metrics-addr / --metrics-linger   as for run; /healthz reports
                    'loading' until the layout build finishes
+  --slow-query-ms MS   log any query whose total latency reaches MS
+                   milliseconds to stderr as one NDJSON line
+                   (0 logs every query; off by default)
+  --journal-capacity N   flight-recorder ring size in events
+                   (default 1024, 0 disables); the query port answers
+                   HTTP GET /debug/queries?n=K with the last K
+                   completed queries as NDJSON
+  The query-port /healthz line also reports queue_depth and inflight.
   The daemon answers newline-delimited JSON point queries
   ({\"id\":1,\"algo\":\"bfs|sssp|khop\",\"source\":N[,\"depth\":K][,\"values\":true]})
   and shuts down cleanly on SIGINT, SIGTERM or stdin EOF.
@@ -95,6 +103,9 @@ TRACE DIFF OPTIONS:
                     S seconds (default 0.001)
   --min-bytes B     ignore peak-memory metrics where both runs stayed
                     under B bytes (default 1048576)
+  --serve-latency true|false   also gate on serve.latency.* percentile
+                    counters exported by exp_serve_latency traces
+                    (default false; absent counters never gate)
 
 CONFORMANCE OPTIONS:
   --threads LIST   comma-separated thread counts (default 1,4,8)
@@ -749,6 +760,20 @@ fn cmd_serve(args: &Args) -> CliResult {
             "the edge layout has no servable per-vertex index; use adj, grid or ccsr".into(),
         );
     }
+    let slow_query = match args.get("slow-query-ms") {
+        Some(raw) => {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|_| format!("--slow-query-ms expects milliseconds, got '{raw}'"))?;
+            Some(std::time::Duration::from_millis(ms))
+        }
+        None => None,
+    };
+    let journal_capacity: usize = args.get_parsed_or(
+        "journal-capacity",
+        ServeConfig::default().journal_capacity,
+        "integer",
+    )?;
     let (metrics_server, metrics_linger) = maybe_serve_metrics(args)?;
     args.reject_unknown()?;
 
@@ -765,6 +790,8 @@ fn cmd_serve(args: &Args) -> CliResult {
         batch_window: std::time::Duration::from_millis(window_ms),
         layout,
         metrics: true,
+        journal_capacity,
+        slow_query,
     };
     let daemon = ServeDaemon::start(&listen, graph, config)?;
     daemon.wait_ready();
@@ -881,6 +908,7 @@ fn cmd_trace_diff(args: &Args) -> CliResult {
         threshold_pct: args.get_parsed_or("threshold", defaults.threshold_pct, "percent")?,
         min_seconds: args.get_parsed_or("min-seconds", defaults.min_seconds, "seconds")?,
         min_bytes: args.get_parsed_or("min-bytes", defaults.min_bytes, "bytes")?,
+        gate_serve_latency: args.get_or("serve-latency", "false") == "true",
     };
     args.reject_unknown()?;
 

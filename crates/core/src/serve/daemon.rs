@@ -8,7 +8,7 @@
 //! ```text
 //! → {"id":1,"algo":"bfs","source":42}
 //! ← {"id":1,"ok":true,"algo":"bfs","source":42,"wave_size":17,
-//!    "wait_us":812,"exec_us":5241,"reachable":261904,
+//!    "wait_us":812,"exec_us":5241,"demux_us":36,"reachable":261904,
 //!    "checksum":"c0ffee..."}
 //! ```
 //!
@@ -19,11 +19,17 @@
 //! slot: `{"id":1,"ok":false,"error":"..."}`. The connection stays
 //! open until the client closes it.
 //!
-//! The daemon also answers plain HTTP `GET /healthz` on the query port
-//! (`200 ok layout=<adj|grid|ccsr> resident_bytes=<N>` once the layout
-//! build finished, `503 loading` before) so load balancers can gate on
-//! graph-load completion — and operators can see what the index costs —
-//! without a second port.
+//! The daemon also answers plain HTTP on the query port, so load
+//! balancers and operators need no second port:
+//!
+//! - `GET /healthz` — `200 ok layout=<adj|grid|ccsr>
+//!   resident_bytes=<N> queue_depth=<Q> inflight=<I>` once the layout
+//!   build finished (`503 loading` before); queue depth and inflight
+//!   let a balancer shed load before saturation.
+//! - `GET /debug/queries?n=K` — the flight recorder's last `K` query
+//!   events (default 64, capped by the ring capacity) as NDJSON,
+//!   oldest first: every live daemon can always explain its recent
+//!   queries.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -186,23 +192,13 @@ fn handle_connection(
         if trimmed.is_empty() {
             continue;
         }
-        // Health probes reuse the query port: answer one HTTP request
-        // and close, exactly what a load balancer expects.
+        // HTTP probes reuse the query port: answer one request and
+        // close, exactly what a load balancer (or curl) expects.
         if trimmed.starts_with("GET ") {
-            let (status, body) = if engine.ready() {
-                (
-                    "200 OK",
-                    format!(
-                        "ok layout={} resident_bytes={}\n",
-                        engine.layout_name(),
-                        engine.resident_bytes()
-                    ),
-                )
-            } else {
-                ("503 Service Unavailable", "loading\n".to_string())
-            };
+            let path = trimmed.split_whitespace().nth(1).unwrap_or("/healthz");
+            let (status, content_type, body) = http_get(path, engine);
             let response = format!(
-                "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                 body.len()
             );
             writer.write_all(response.as_bytes())?;
@@ -212,6 +208,59 @@ fn handle_connection(
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+    }
+}
+
+const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+
+/// Routes one HTTP GET on the query port:
+/// `(status line, content type, body)`.
+fn http_get(path: &str, engine: &ServeEngine) -> (&'static str, &'static str, String) {
+    let (route, params) = match path.split_once('?') {
+        Some((route, params)) => (route, params),
+        None => (path, ""),
+    };
+    match route {
+        "/healthz" | "/" => {
+            if engine.ready() {
+                (
+                    "200 OK",
+                    TEXT_PLAIN,
+                    format!(
+                        "ok layout={} resident_bytes={} queue_depth={} inflight={}\n",
+                        engine.layout_name(),
+                        engine.resident_bytes(),
+                        engine.queue_depth(),
+                        engine.inflight()
+                    ),
+                )
+            } else {
+                ("503 Service Unavailable", TEXT_PLAIN, "loading\n".into())
+            }
+        }
+        "/debug/queries" => {
+            let n = params
+                .split('&')
+                .find_map(|p| p.strip_prefix("n="))
+                .map_or(Ok(64), str::parse::<usize>);
+            match n {
+                Ok(n) => (
+                    "200 OK",
+                    "application/x-ndjson",
+                    engine.journal().dump_ndjson(n),
+                ),
+                Err(_) => (
+                    "400 Bad Request",
+                    TEXT_PLAIN,
+                    "query parameter n must be a non-negative integer\n".into(),
+                ),
+            }
+        }
+        _ => (
+            "404 Not Found",
+            TEXT_PLAIN,
+            "not found (try /healthz or /debug/queries?n=K)\n".into(),
+        ),
     }
 }
 
@@ -295,14 +344,15 @@ fn parse_request(line: &str) -> Result<(String, (Query, bool)), (String, String)
 fn ok_response(id: &str, query: Query, outcome: &QueryOutcome, want_values: bool) -> String {
     let mut out = String::with_capacity(160);
     out.push_str(&format!(
-        "{{\"id\":{id},\"ok\":true,\"algo\":{},\"source\":{},\"wave_size\":{},\"wait_us\":{},\"exec_us\":{},\"reachable\":{},\"checksum\":\"{:016x}\"",
+        "{{\"id\":{id},\"ok\":true,\"algo\":{},\"source\":{},\"wave_size\":{},\"wait_us\":{},\"exec_us\":{},\"demux_us\":{},\"reachable\":{},\"checksum\":\"{:016x}\"",
         json::string(query.kind.name()),
         query.source,
         outcome.wave_size,
         (outcome.wait_seconds * 1e6).round() as u64,
         (outcome.exec_seconds * 1e6).round() as u64,
+        (outcome.demux_seconds * 1e6).round() as u64,
         outcome.values.reachable(),
-        outcome.values.checksum(),
+        outcome.checksum,
     ));
     if want_values {
         out.push_str(",\"values\":[");
@@ -411,32 +461,90 @@ mod tests {
         daemon.shutdown();
     }
 
-    #[test]
-    fn daemon_serves_healthz_on_the_query_port() {
-        let daemon = daemon_on_chain(4);
-        daemon.wait_ready();
-        let mut stream = TcpStream::connect(daemon.addr()).unwrap();
+    fn http_get_raw(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
         stream
-            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
             .unwrap();
         let mut response = String::new();
         BufReader::new(stream)
             .read_to_string(&mut response)
             .unwrap();
+        response
+    }
+
+    #[test]
+    fn daemon_serves_healthz_on_the_query_port() {
+        let daemon = daemon_on_chain(4);
+        daemon.wait_ready();
+        let response = http_get_raw(daemon.addr(), "/healthz");
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         let body = response.rsplit("\r\n\r\n").next().unwrap();
         assert!(
             body.starts_with("ok layout=adj resident_bytes="),
             "{response}"
         );
-        let bytes: u64 = body
-            .trim()
-            .rsplit('=')
-            .next()
-            .unwrap()
-            .parse()
-            .expect("resident_bytes is numeric");
-        assert!(bytes > 0, "{response}");
+        // Every key=value field parses; resident bytes are non-zero and
+        // the idle daemon reports empty queue and no inflight queries.
+        let field = |key: &str| -> u64 {
+            body.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+                .unwrap_or_else(|| panic!("missing {key} in {body}"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{key} not numeric in {body}"))
+        };
+        assert!(field("resident_bytes") > 0, "{response}");
+        assert_eq!(field("queue_depth"), 0, "{response}");
+        assert_eq!(field("inflight"), 0, "{response}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn debug_queries_returns_the_last_events_as_ndjson() {
+        let daemon = daemon_on_chain(16);
+        daemon.wait_ready();
+        for source in 0..3 {
+            let response = roundtrip(
+                daemon.addr(),
+                &format!(r#"{{"id":{source},"algo":"bfs","source":{source}}}"#),
+            );
+            assert_eq!(get_field(&response, "ok"), &Value::Bool(true));
+        }
+        // The journal deposit happens just after the result send; give
+        // the scheduler a beat before dumping.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let body = loop {
+            let response = http_get_raw(daemon.addr(), "/debug/queries?n=2");
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            assert!(response.contains("application/x-ndjson"), "{response}");
+            let body = response.rsplit("\r\n\r\n").next().unwrap().to_string();
+            if body.lines().count() == 2 || std::time::Instant::now() >= deadline {
+                break body;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "{body}");
+        for line in &lines {
+            let event = json::parse(line).expect("ndjson line parses");
+            assert_eq!(get_field(&event, "kind").as_str(), Some("bfs"));
+            assert_eq!(get_field(&event, "outcome").as_str(), Some("ok"));
+            assert!(get_field(&event, "total_us").as_number().is_some());
+        }
+        // Oldest first: the last line is the most recent query.
+        let last = json::parse(lines[1]).unwrap();
+        assert_eq!(get_field(&last, "source").as_number(), Some(2.0));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_bad_parameters_get_http_errors() {
+        let daemon = daemon_on_chain(4);
+        daemon.wait_ready();
+        let response = http_get_raw(daemon.addr(), "/nope");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        let response = http_get_raw(daemon.addr(), "/debug/queries?n=potato");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
         daemon.shutdown();
     }
 }

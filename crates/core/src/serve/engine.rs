@@ -15,11 +15,12 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use egraph_parallel::ThreadPool;
+use egraph_perf::{CounterKind, PerfCounters};
 
 use crate::exec::ExecCtx;
 use crate::layout::{AdjacencyList, CcsrList, EdgeDirection, Grid};
@@ -27,6 +28,7 @@ use crate::preprocess::{CcsrBuilder, CsrBuilder, GridBuilder, Strategy};
 use crate::types::{Edge, EdgeList, VertexId, WEdge};
 use crate::variant::{default_grid_side, Algo, Layout, VariantError};
 
+use super::journal::{EventOutcome, QueryEvent, QueryJournal};
 use super::wave::{multi_bfs, multi_bfs_grid, multi_sssp, multi_sssp_grid, MAX_WAVE};
 
 /// Tuning knobs for the serve engine.
@@ -46,6 +48,12 @@ pub struct ServeConfig {
     /// [`Layout::EdgeList`] has no servable index and panics at
     /// start-up.
     pub layout: Layout,
+    /// Flight-recorder ring capacity in events (0 disables recording —
+    /// only the overhead-measurement mode of `exp_serve_latency` does).
+    pub journal_capacity: usize,
+    /// Emit the full flight-recorder event on stderr for any query
+    /// whose admission-to-demux latency reaches this threshold.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -56,9 +64,32 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             metrics: true,
             layout: Layout::Adjacency,
+            journal_capacity: 1024,
+            slow_query: None,
         }
     }
 }
+
+/// Which hardware counters the engine samples per executed wave — the
+/// typed shape of graceful degradation: when a kind is unavailable its
+/// wave histograms are simply not registered (never a panic), and the
+/// reason is kept here for `/healthz`-style introspection.
+#[derive(Debug, Clone)]
+pub struct WavePerfStatus {
+    /// Kinds sampled on every wave and exported as histograms.
+    pub available: Vec<CounterKind>,
+    /// Kinds that could not be opened, with the OS-level reason.
+    pub unavailable: Vec<(CounterKind, String)>,
+}
+
+/// The counter kinds the wave sampler cares about (the paper's
+/// cache-sharing argument needs misses + refs; instructions anchor the
+/// work per wave).
+const WAVE_KINDS: [CounterKind; 3] = [
+    CounterKind::LlcLoadMisses,
+    CounterKind::LlcLoads,
+    CounterKind::Instructions,
+];
 
 /// The graph a serve engine answers queries about.
 #[derive(Debug)]
@@ -232,15 +263,23 @@ impl QueryValues {
 pub struct QueryOutcome {
     /// The per-vertex answer.
     pub values: QueryValues,
+    /// FNV-1a checksum of `values` ([`QueryValues::checksum`]),
+    /// computed once at demux so the daemon and the flight recorder
+    /// agree without rehashing.
+    pub checksum: u64,
     /// How many queries shared this wave's edge scan.
     pub wave_size: usize,
     /// Seconds spent queued before the wave launched.
     pub wait_seconds: f64,
     /// Seconds of kernel execution for the whole wave.
     pub exec_seconds: f64,
+    /// Seconds between kernel completion and this query's result send
+    /// (k-hop truncation, checksumming and earlier lanes' demux).
+    pub demux_seconds: f64,
 }
 
 struct Pending {
+    id: u64,
     query: Query,
     enqueued: Instant,
     tx: mpsc::Sender<QueryOutcome>,
@@ -258,18 +297,133 @@ struct Shared {
     inflight: AtomicU64,
 }
 
+/// The three lifecycle-stage histograms (plus the end-to-end total)
+/// for one `{algo, layout}` label set.
+struct StageHists {
+    queue: egraph_metrics::Histogram,
+    exec: egraph_metrics::Histogram,
+    demux: egraph_metrics::Histogram,
+    total: egraph_metrics::Histogram,
+}
+
+impl StageHists {
+    fn new(algo: &'static str, layout: &'static str) -> Self {
+        let r = egraph_metrics::global();
+        let labels: &[(&str, &str)] = &[("algo", algo), ("layout", layout)];
+        Self {
+            queue: r.histogram_seconds_with_labels(
+                "egraph_serve_queue_seconds",
+                "Admission-queue wait before the query's wave launched.",
+                labels,
+            ),
+            exec: r.histogram_seconds_with_labels(
+                "egraph_serve_exec_seconds",
+                "Multi-source kernel execution for the query's wave.",
+                labels,
+            ),
+            demux: r.histogram_seconds_with_labels(
+                "egraph_serve_demux_seconds",
+                "Demux/write-back from kernel completion to the result send.",
+                labels,
+            ),
+            total: r.histogram_seconds_with_labels(
+                "egraph_serve_query_seconds",
+                "End-to-end per-query latency (admission to demux).",
+                labels,
+            ),
+        }
+    }
+}
+
+/// Per-wave hardware-counter histograms for the kinds that opened.
+/// Each field is `None` when its counter is unavailable — the series
+/// then never appears on `/metrics`, the typed graceful degradation
+/// the batch path already uses.
+struct WaveCounterHists {
+    llc_misses: Option<[egraph_metrics::Histogram; 3]>,
+    llc_loads: Option<[egraph_metrics::Histogram; 3]>,
+    instructions: Option<[egraph_metrics::Histogram; 3]>,
+}
+
+impl WaveCounterHists {
+    fn new(status: &WavePerfStatus, layout: &'static str) -> Self {
+        let per_algo = |name: &'static str, help: &'static str, lo: i32, hi: i32| {
+            [QueryKind::Bfs, QueryKind::Sssp, QueryKind::KHop].map(|k| {
+                egraph_metrics::global().histogram_with_bounds(
+                    name,
+                    help,
+                    &[("algo", k.name()), ("layout", layout)],
+                    egraph_metrics::Histogram::log2_bounds(lo, hi),
+                )
+            })
+        };
+        let open = |kind: CounterKind| status.available.contains(&kind);
+        Self {
+            llc_misses: open(CounterKind::LlcLoadMisses).then(|| {
+                per_algo(
+                    "egraph_serve_wave_llc_misses",
+                    "Last-level-cache load misses per executed wave.",
+                    10,
+                    34,
+                )
+            }),
+            llc_loads: open(CounterKind::LlcLoads).then(|| {
+                per_algo(
+                    "egraph_serve_wave_llc_loads",
+                    "Last-level-cache load references per executed wave.",
+                    10,
+                    34,
+                )
+            }),
+            instructions: open(CounterKind::Instructions).then(|| {
+                per_algo(
+                    "egraph_serve_wave_instructions",
+                    "Instructions retired per executed wave.",
+                    16,
+                    40,
+                )
+            }),
+        }
+    }
+
+    /// A disabled set (metrics off): nothing registered, nothing observed.
+    fn disabled() -> Self {
+        Self {
+            llc_misses: None,
+            llc_loads: None,
+            instructions: None,
+        }
+    }
+
+    fn observe(&self, sample: &egraph_perf::CounterSample, algo_idx: usize) {
+        let pairs = [
+            (&self.llc_misses, CounterKind::LlcLoadMisses),
+            (&self.llc_loads, CounterKind::LlcLoads),
+            (&self.instructions, CounterKind::Instructions),
+        ];
+        for (hists, kind) in pairs {
+            if let (Some(hists), Some(value)) = (hists, sample.get(kind)) {
+                hists[algo_idx].observe(value as f64);
+            }
+        }
+    }
+}
+
 struct Metrics {
     queries_total: [egraph_metrics::Counter; 3],
-    query_seconds: egraph_metrics::Histogram,
+    /// Stage histograms indexed by [`QueryKind::batch_key`].
+    stages: [StageHists; 3],
     wave_size: egraph_metrics::Histogram,
     waves_total: egraph_metrics::Counter,
     inflight: egraph_metrics::Gauge,
+    queue_depth: egraph_metrics::Gauge,
 }
 
 impl Metrics {
-    fn new() -> Self {
+    fn new(layout: &'static str) -> Self {
         let r = egraph_metrics::global();
-        let queries_total = [QueryKind::Bfs, QueryKind::Sssp, QueryKind::KHop].map(|k| {
+        let kinds = [QueryKind::Bfs, QueryKind::Sssp, QueryKind::KHop];
+        let queries_total = kinds.map(|k| {
             r.counter_with_labels(
                 "egraph_serve_queries_total",
                 "Point queries answered by the serve engine.",
@@ -278,10 +432,7 @@ impl Metrics {
         });
         Self {
             queries_total,
-            query_seconds: r.histogram_seconds(
-                "egraph_serve_query_seconds",
-                "End-to-end per-query latency (admission to demux).",
-            ),
+            stages: kinds.map(|k| StageHists::new(k.name(), layout)),
             wave_size: r.histogram_with_bounds(
                 "egraph_serve_wave_size",
                 "Queries sharing one multi-source wave.",
@@ -295,6 +446,10 @@ impl Metrics {
             inflight: r.gauge(
                 "egraph_serve_inflight",
                 "Queries admitted but not yet answered.",
+            ),
+            queue_depth: r.gauge(
+                "egraph_serve_queue_depth",
+                "Queries waiting in the admission queue.",
             ),
         }
     }
@@ -310,6 +465,9 @@ pub struct ServeEngine {
     layout: Layout,
     resident_bytes: Arc<AtomicU64>,
     ready: Arc<AtomicBool>,
+    journal: Arc<QueryJournal>,
+    wave_perf: Arc<OnceLock<WavePerfStatus>>,
+    next_id: AtomicU64,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -346,14 +504,28 @@ impl ServeEngine {
         });
         let ready = Arc::new(AtomicBool::new(false));
         let resident_bytes = Arc::new(AtomicU64::new(0));
+        let journal = Arc::new(QueryJournal::new(config.journal_capacity));
+        let wave_perf = Arc::new(OnceLock::new());
         let scheduler = {
             let shared = Arc::clone(&shared);
             let ready = Arc::clone(&ready);
             let resident_bytes = Arc::clone(&resident_bytes);
+            let journal = Arc::clone(&journal);
+            let wave_perf = Arc::clone(&wave_perf);
             let config = ServeConfig { max_wave, ..config };
             std::thread::Builder::new()
                 .name("egraph-serve-sched".into())
-                .spawn(move || scheduler_loop(graph, config, &shared, &ready, &resident_bytes))
+                .spawn(move || {
+                    scheduler_loop(
+                        graph,
+                        config,
+                        &shared,
+                        &ready,
+                        &resident_bytes,
+                        &journal,
+                        &wave_perf,
+                    )
+                })
                 .expect("spawn serve scheduler")
         };
         Self {
@@ -364,6 +536,9 @@ impl ServeEngine {
             layout,
             resident_bytes,
             ready,
+            journal,
+            wave_perf,
+            next_id: AtomicU64::new(1),
         }
     }
 
@@ -405,6 +580,27 @@ impl ServeEngine {
         self.shared.inflight.load(Ordering::Relaxed)
     }
 
+    /// Queries waiting in the admission queue right now (inflight minus
+    /// the wave currently executing) — `/healthz` reports this so load
+    /// balancers can shed before saturation.
+    pub fn queue_depth(&self) -> u64 {
+        let admission = self.shared.admission.lock().expect("admission poisoned");
+        admission.queue.len() as u64
+    }
+
+    /// The flight recorder: the most recent
+    /// [`ServeConfig::journal_capacity`] query events.
+    pub fn journal(&self) -> &QueryJournal {
+        &self.journal
+    }
+
+    /// Which hardware counters the engine samples per wave, with typed
+    /// per-kind reasons when unavailable. `None` until the scheduler
+    /// finished probing (i.e. until [`Self::ready`]).
+    pub fn wave_perf(&self) -> Option<&WavePerfStatus> {
+        self.wave_perf.get()
+    }
+
     /// Admits a query; the returned receiver yields its outcome once
     /// the wave it joined completes. Dropping the receiver mid-flight
     /// is fine — the wave still runs for its other lanes and the lost
@@ -425,9 +621,11 @@ impl ServeEngine {
             return Err(VariantError::NeedsWeights(Algo::Sssp));
         }
         let (tx, rx) = mpsc::channel();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         {
             let mut admission = self.shared.admission.lock().expect("admission poisoned");
             admission.queue.push_back(Pending {
+                id,
                 query,
                 enqueued: Instant::now(),
                 tx,
@@ -467,6 +665,8 @@ fn scheduler_loop(
     shared: &Shared,
     ready: &AtomicBool,
     resident_bytes: &AtomicU64,
+    journal: &QueryJournal,
+    wave_perf: &OnceLock<WavePerfStatus>,
 ) {
     // The graph is loaded once into a shared read-optimized layout;
     // every wave traverses the same arrays.
@@ -477,10 +677,43 @@ fn scheduler_loop(
     } else {
         config.threads
     };
+    // Counters must open before the pool spawns its workers: the perf
+    // fds are inherited (`inherit=1`), so only threads created after
+    // `open` are covered — the same ordering the batch path uses.
+    let perf = PerfCounters::open();
+    let perf_status = WavePerfStatus {
+        available: perf
+            .available_kinds()
+            .into_iter()
+            .filter(|k| WAVE_KINDS.contains(k))
+            .collect(),
+        unavailable: perf
+            .unavailable_reasons()
+            .into_iter()
+            .filter(|(k, _)| WAVE_KINDS.contains(k))
+            .collect(),
+    };
     let pool = ThreadPool::new(threads);
-    let metrics = config.metrics.then(Metrics::new);
+    let metrics = config.metrics.then(|| Metrics::new(config.layout.name()));
+    let wave_counters = if config.metrics {
+        WaveCounterHists::new(&perf_status, config.layout.name())
+    } else {
+        WaveCounterHists::disabled()
+    };
+    let _ = wave_perf.set(perf_status);
     ready.store(true, Ordering::Release);
 
+    let runner = WaveRunner {
+        resident: &resident,
+        pool: &pool,
+        metrics: metrics.as_ref(),
+        wave_counters: &wave_counters,
+        perf: &perf,
+        journal,
+        slow_query: config.slow_query,
+        shared,
+    };
+    let mut wave_id = 0u64;
     loop {
         let wave = {
             let mut admission = shared.admission.lock().expect("admission poisoned");
@@ -531,108 +764,176 @@ fn scheduler_loop(
             admission.queue = rest;
             wave
         };
-        run_wave(&resident, &pool, wave, metrics.as_ref(), shared);
+        runner.run(wave, wave_id);
+        wave_id += 1;
     }
 }
 
-fn run_wave(
-    resident: &Resident,
-    pool: &ThreadPool,
-    wave: Vec<Pending>,
-    metrics: Option<&Metrics>,
-    shared: &Shared,
-) {
-    let kind = wave[0].query.kind;
-    let sources: Vec<VertexId> = wave.iter().map(|p| p.query.source).collect();
-    let max_depth = match kind {
-        QueryKind::Bfs | QueryKind::Sssp => u32::MAX,
-        QueryKind::KHop => wave.iter().map(|p| p.query.depth).max().unwrap_or(0),
-    };
-    let ctx = ExecCtx::new(pool);
-    let started = Instant::now();
-    let mut results: Vec<QueryValues> = ctx.scoped(|| match (kind, resident) {
-        (QueryKind::Sssp, Resident::AdjWeighted(adj)) => multi_sssp(adj.out(), &sources, &ctx)
-            .into_iter()
-            .map(QueryValues::Dists)
-            .collect(),
-        (QueryKind::Sssp, Resident::CcsrWeighted(ccsr)) => multi_sssp(ccsr.out(), &sources, &ctx)
-            .into_iter()
-            .map(QueryValues::Dists)
-            .collect(),
-        (QueryKind::Sssp, Resident::GridWeighted(grid)) => multi_sssp_grid(grid, &sources, &ctx)
-            .into_iter()
-            .map(QueryValues::Dists)
-            .collect(),
-        (
-            QueryKind::Sssp,
-            Resident::AdjUnweighted(_) | Resident::GridUnweighted(_) | Resident::CcsrUnweighted(_),
-        ) => {
-            unreachable!("submit rejects sssp on unweighted graphs")
-        }
-        (_, Resident::AdjUnweighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
-            .into_iter()
-            .map(QueryValues::Levels)
-            .collect(),
-        (_, Resident::AdjWeighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
-            .into_iter()
-            .map(QueryValues::Levels)
-            .collect(),
-        (_, Resident::CcsrUnweighted(ccsr)) => multi_bfs(ccsr.out(), &sources, max_depth, &ctx)
-            .into_iter()
-            .map(QueryValues::Levels)
-            .collect(),
-        (_, Resident::CcsrWeighted(ccsr)) => multi_bfs(ccsr.out(), &sources, max_depth, &ctx)
-            .into_iter()
-            .map(QueryValues::Levels)
-            .collect(),
-        (_, Resident::GridUnweighted(grid)) => multi_bfs_grid(grid, &sources, max_depth, &ctx)
-            .into_iter()
-            .map(QueryValues::Levels)
-            .collect(),
-        (_, Resident::GridWeighted(grid)) => multi_bfs_grid(grid, &sources, max_depth, &ctx)
-            .into_iter()
-            .map(QueryValues::Levels)
-            .collect(),
-    });
-    let exec_seconds = started.elapsed().as_secs_f64();
+/// Everything one wave execution needs, bundled so the scheduler loop
+/// stays readable.
+struct WaveRunner<'a> {
+    resident: &'a Resident,
+    pool: &'a ThreadPool,
+    metrics: Option<&'a Metrics>,
+    wave_counters: &'a WaveCounterHists,
+    perf: &'a PerfCounters,
+    journal: &'a QueryJournal,
+    slow_query: Option<Duration>,
+    shared: &'a Shared,
+}
 
-    // Lanes ran to the deepest bound in the wave; truncate each k-hop
-    // lane at its own depth so batching is invisible to the client.
-    if kind == QueryKind::KHop {
-        for (pending, values) in wave.iter().zip(results.iter_mut()) {
-            if let QueryValues::Levels(levels) = values {
-                let bound = pending.query.depth;
-                for level in levels.iter_mut() {
-                    if *level != u32::MAX && *level > bound {
-                        *level = u32::MAX;
+impl WaveRunner<'_> {
+    fn run(&self, wave: Vec<Pending>, wave_id: u64) {
+        let resident = self.resident;
+        let metrics = self.metrics;
+        let journal = self.journal;
+        let kind = wave[0].query.kind;
+        let algo_idx = kind.batch_key() as usize;
+        let sources: Vec<VertexId> = wave.iter().map(|p| p.query.source).collect();
+        let max_depth = match kind {
+            QueryKind::Bfs | QueryKind::Sssp => u32::MAX,
+            QueryKind::KHop => wave.iter().map(|p| p.query.depth).max().unwrap_or(0),
+        };
+        let ctx = ExecCtx::new(self.pool);
+        let phase = self.perf.phase();
+        let started = Instant::now();
+        let mut results: Vec<QueryValues> = ctx.scoped(|| match (kind, resident) {
+            (QueryKind::Sssp, Resident::AdjWeighted(adj)) => multi_sssp(adj.out(), &sources, &ctx)
+                .into_iter()
+                .map(QueryValues::Dists)
+                .collect(),
+            (QueryKind::Sssp, Resident::CcsrWeighted(ccsr)) => {
+                multi_sssp(ccsr.out(), &sources, &ctx)
+                    .into_iter()
+                    .map(QueryValues::Dists)
+                    .collect()
+            }
+            (QueryKind::Sssp, Resident::GridWeighted(grid)) => {
+                multi_sssp_grid(grid, &sources, &ctx)
+                    .into_iter()
+                    .map(QueryValues::Dists)
+                    .collect()
+            }
+            (
+                QueryKind::Sssp,
+                Resident::AdjUnweighted(_)
+                | Resident::GridUnweighted(_)
+                | Resident::CcsrUnweighted(_),
+            ) => {
+                unreachable!("submit rejects sssp on unweighted graphs")
+            }
+            (_, Resident::AdjUnweighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
+                .into_iter()
+                .map(QueryValues::Levels)
+                .collect(),
+            (_, Resident::AdjWeighted(adj)) => multi_bfs(adj.out(), &sources, max_depth, &ctx)
+                .into_iter()
+                .map(QueryValues::Levels)
+                .collect(),
+            (_, Resident::CcsrUnweighted(ccsr)) => multi_bfs(ccsr.out(), &sources, max_depth, &ctx)
+                .into_iter()
+                .map(QueryValues::Levels)
+                .collect(),
+            (_, Resident::CcsrWeighted(ccsr)) => multi_bfs(ccsr.out(), &sources, max_depth, &ctx)
+                .into_iter()
+                .map(QueryValues::Levels)
+                .collect(),
+            (_, Resident::GridUnweighted(grid)) => multi_bfs_grid(grid, &sources, max_depth, &ctx)
+                .into_iter()
+                .map(QueryValues::Levels)
+                .collect(),
+            (_, Resident::GridWeighted(grid)) => multi_bfs_grid(grid, &sources, max_depth, &ctx)
+                .into_iter()
+                .map(QueryValues::Levels)
+                .collect(),
+        });
+        let executed = Instant::now();
+        let exec_seconds = (executed - started).as_secs_f64();
+        let sample = phase.finish();
+
+        // Lanes ran to the deepest bound in the wave; truncate each
+        // k-hop lane at its own depth so batching is invisible to the
+        // client.
+        if kind == QueryKind::KHop {
+            for (pending, values) in wave.iter().zip(results.iter_mut()) {
+                if let QueryValues::Levels(levels) = values {
+                    let bound = pending.query.depth;
+                    for level in levels.iter_mut() {
+                        if *level != u32::MAX && *level > bound {
+                            *level = u32::MAX;
+                        }
                     }
                 }
             }
         }
-    }
 
-    let wave_size = wave.len();
-    for (pending, values) in wave.into_iter().zip(results) {
-        let wait_seconds = (started - pending.enqueued).as_secs_f64();
-        if let Some(m) = metrics {
-            m.queries_total[kind.batch_key() as usize].inc();
-            m.query_seconds.observe(wait_seconds + exec_seconds);
+        let wave_size = wave.len();
+        for (lane, (pending, values)) in wave.into_iter().zip(results).enumerate() {
+            let wait_seconds = (started - pending.enqueued).as_secs_f64();
+            let checksum = values.checksum();
+            let demux_seconds = executed.elapsed().as_secs_f64();
+            // A disconnected receiver (client went away mid-flight)
+            // just discards this lane; the rest of the wave is
+            // unaffected.
+            let delivered = pending
+                .tx
+                .send(QueryOutcome {
+                    values,
+                    checksum,
+                    wave_size,
+                    wait_seconds,
+                    exec_seconds,
+                    demux_seconds,
+                })
+                .is_ok();
+            self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            let done = Instant::now();
+            let event = QueryEvent {
+                id: pending.id,
+                wave: wave_id,
+                lane: lane as u8,
+                wave_size: wave_size as u8,
+                kind,
+                source: pending.query.source,
+                depth: pending.query.depth,
+                enqueued_us: journal.micros_since_epoch(pending.enqueued),
+                started_us: journal.micros_since_epoch(started),
+                executed_us: journal.micros_since_epoch(executed),
+                done_us: journal.micros_since_epoch(done),
+                checksum,
+                outcome: if delivered {
+                    EventOutcome::Answered
+                } else {
+                    EventOutcome::Disconnected
+                },
+            };
+            journal.record(event);
+            if let Some(threshold) = self.slow_query {
+                if done - pending.enqueued >= threshold {
+                    eprintln!("egraph-serve slow-query {}", event.to_ndjson());
+                }
+            }
+            if let Some(m) = metrics {
+                let stage = &m.stages[algo_idx];
+                m.queries_total[algo_idx].inc();
+                stage.queue.observe(wait_seconds);
+                stage.exec.observe(exec_seconds);
+                stage.demux.observe((done - executed).as_secs_f64());
+                stage.total.observe((done - pending.enqueued).as_secs_f64());
+            }
         }
-        // A disconnected receiver (client went away mid-flight) just
-        // discards this lane; the rest of the wave is unaffected.
-        let _ = pending.tx.send(QueryOutcome {
-            values,
-            wave_size,
-            wait_seconds,
-            exec_seconds,
-        });
-        shared.inflight.fetch_sub(1, Ordering::Relaxed);
-    }
-    if let Some(m) = metrics {
-        m.waves_total.inc();
-        m.wave_size.observe(wave_size as f64);
-        m.inflight
-            .set(shared.inflight.load(Ordering::Relaxed) as f64);
+        if let Some(m) = metrics {
+            m.waves_total.inc();
+            m.wave_size.observe(wave_size as f64);
+            m.inflight
+                .set(self.shared.inflight.load(Ordering::Relaxed) as f64);
+            let depth = {
+                let admission = self.shared.admission.lock().expect("admission poisoned");
+                admission.queue.len()
+            };
+            m.queue_depth.set(depth as f64);
+        }
+        self.wave_counters.observe(&sample, algo_idx);
     }
 }
 
@@ -901,5 +1202,181 @@ mod tests {
         let c = QueryValues::Levels(vec![0, 1, 3, u32::MAX]);
         assert_eq!(a.checksum(), b.checksum());
         assert_ne!(a.checksum(), c.checksum());
+    }
+
+    /// Polls until the journal holds `n` events (the scheduler records
+    /// them after the result send, so a `recv` can race the deposit).
+    fn wait_recorded(engine: &ServeEngine, n: u64) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.journal().recorded() < n {
+            assert!(
+                Instant::now() < deadline,
+                "journal never reached {n} events"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn journal_records_full_lifecycle_events() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(64)),
+            ServeConfig {
+                threads: 1,
+                metrics: false,
+                journal_capacity: 16,
+                ..ServeConfig::default()
+            },
+        );
+        engine.wait_ready();
+        let rx = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 3,
+                depth: 0,
+            })
+            .unwrap();
+        let outcome = rx.recv().unwrap();
+        assert_eq!(outcome.checksum, outcome.values.checksum());
+        assert!(outcome.demux_seconds >= 0.0);
+        wait_recorded(&engine, 1);
+        let events = engine.journal().dump(8);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.kind, QueryKind::Bfs);
+        assert_eq!(e.source, 3);
+        assert_eq!(e.checksum, outcome.checksum);
+        assert_eq!(e.outcome, EventOutcome::Answered);
+        assert!(e.enqueued_us <= e.started_us, "{e:?}");
+        assert!(e.started_us <= e.executed_us, "{e:?}");
+        assert!(e.executed_us <= e.done_us, "{e:?}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn journal_marks_disconnected_lanes() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(32)),
+            ServeConfig {
+                threads: 1,
+                batch_window: Duration::from_millis(100),
+                metrics: false,
+                journal_capacity: 16,
+                ..ServeConfig::default()
+            },
+        );
+        engine.wait_ready();
+        let keep = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 0,
+                depth: 0,
+            })
+            .unwrap();
+        let drop_me = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 1,
+                depth: 0,
+            })
+            .unwrap();
+        drop(drop_me);
+        keep.recv().expect("surviving query answered");
+        wait_recorded(&engine, 2);
+        let events = engine.journal().dump(8);
+        let outcomes: Vec<(u32, EventOutcome)> =
+            events.iter().map(|e| (e.source, e.outcome)).collect();
+        assert!(
+            outcomes.contains(&(1, EventOutcome::Disconnected)),
+            "{outcomes:?}"
+        );
+        assert!(
+            outcomes.contains(&(0, EventOutcome::Answered)),
+            "{outcomes:?}"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn wave_perf_status_is_typed_and_covers_every_wave_kind() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(16)),
+            ServeConfig {
+                threads: 1,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        engine.wait_ready();
+        let status = engine.wave_perf().expect("status set once ready");
+        // Whatever the host allows, every wave kind is accounted for
+        // exactly once — available or unavailable-with-reason, never a
+        // panic.
+        for kind in WAVE_KINDS {
+            let open = status.available.contains(&kind);
+            let closed = status.unavailable.iter().any(|(k, _)| *k == kind);
+            assert!(open ^ closed, "{kind:?}: open={open} closed={closed}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn serve_metrics_pass_the_naming_lint_and_expose_stage_histograms() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(32)),
+            ServeConfig {
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        );
+        engine.wait_ready();
+        let rx = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 0,
+                depth: 0,
+            })
+            .unwrap();
+        rx.recv().unwrap();
+        wait_recorded(&engine, 1);
+        let violations = egraph_metrics::global().lint_names();
+        assert!(violations.is_empty(), "naming violations: {violations:?}");
+        let rendered = egraph_metrics::global().render();
+        for name in [
+            "egraph_serve_queue_seconds",
+            "egraph_serve_exec_seconds",
+            "egraph_serve_demux_seconds",
+            "egraph_serve_query_seconds",
+            "egraph_serve_queue_depth",
+        ] {
+            assert!(rendered.contains(name), "missing {name} in exposition");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_reports_waiting_queries() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(8)),
+            ServeConfig {
+                threads: 1,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        // Before the layout build finishes the scheduler drains
+        // nothing, so submissions pile up visibly.
+        assert_eq!(engine.queue_depth(), 0);
+        engine.wait_ready();
+        let rx = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 0,
+                depth: 0,
+            })
+            .unwrap();
+        rx.recv().unwrap();
+        assert_eq!(engine.queue_depth(), 0, "drained after the wave");
+        engine.shutdown();
     }
 }

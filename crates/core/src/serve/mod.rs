@@ -20,10 +20,13 @@
 
 pub mod daemon;
 pub mod engine;
+pub mod journal;
 pub mod wave;
 
 pub use daemon::ServeDaemon;
 pub use engine::{
     Query, QueryKind, QueryOutcome, QueryValues, ServeConfig, ServeEngine, ServeGraph,
+    WavePerfStatus,
 };
+pub use journal::{EventOutcome, QueryEvent, QueryJournal};
 pub use wave::{multi_bfs, multi_sssp, MAX_WAVE};

@@ -85,6 +85,12 @@ pub struct DiffOptions {
     /// Memory metrics where both runs stayed under this many bytes are
     /// never flagged — allocator noise dominates tiny footprints.
     pub min_bytes: f64,
+    /// Gate on serve latency percentiles: `serve.latency.*_seconds`
+    /// run counters (exported by `exp_serve_latency`) regress under the
+    /// same threshold/floor rule as phase times instead of staying
+    /// informational. Off by default — batch traces carry no serve
+    /// percentiles and an absent counter never gates either way.
+    pub gate_serve_latency: bool,
 }
 
 impl Default for DiffOptions {
@@ -93,6 +99,7 @@ impl Default for DiffOptions {
             threshold_pct: 10.0,
             min_seconds: 1e-3,
             min_bytes: (1u64 << 20) as f64,
+            gate_serve_latency: false,
         }
     }
 }
@@ -102,7 +109,9 @@ impl Default for DiffOptions {
 /// Gating metrics: the five breakdown phases plus the derived total,
 /// each schema-v2 phase's wall seconds, and each phase's hardware and
 /// simulated LLC miss ratio (when both traces carry one). Everything
-/// else (hardware counts, run counters) is informational.
+/// else (hardware counts, run counters) is informational, unless
+/// [`DiffOptions::gate_serve_latency`] promotes `serve.latency.*`
+/// percentile counters to gating status.
 pub fn diff_traces(old: &RunTrace, new: &RunTrace, opts: &DiffOptions) -> TraceDiff {
     let mut diff = TraceDiff::default();
 
@@ -266,16 +275,32 @@ pub fn diff_traces(old: &RunTrace, new: &RunTrace, opts: &DiffOptions) -> TraceD
         }
     }
 
-    // Run counters shared by both traces: context only.
+    // Run counters shared by both traces: context only — except serve
+    // latency percentiles, which gate like phase times when asked.
     for (key, new_v) in &new.counters {
         if let Some(old_v) = old.counters.get(key) {
-            diff.rows.push(DiffRow {
-                metric: format!("counter.{key}"),
-                old: *old_v,
-                new: *new_v,
-                gating: false,
-                regressed: false,
-            });
+            let gates = opts.gate_serve_latency
+                && key.starts_with("serve.latency.")
+                && key.ends_with("_seconds");
+            if gates {
+                push_row(
+                    &mut diff,
+                    format!("counter.{key}"),
+                    *old_v,
+                    *new_v,
+                    true,
+                    time_regressed(*old_v, *new_v),
+                    "s",
+                );
+            } else {
+                diff.rows.push(DiffRow {
+                    metric: format!("counter.{key}"),
+                    old: *old_v,
+                    new: *new_v,
+                    gating: false,
+                    regressed: false,
+                });
+            }
         }
     }
 
@@ -407,6 +432,48 @@ mod tests {
             .collect();
         assert!(metrics.contains(&"phase.algorithm.llc_miss_ratio(hw)"));
         assert!(metrics.contains(&"phase.algorithm.llc_miss_ratio(sim)"));
+    }
+
+    #[test]
+    fn serve_latency_counters_gate_only_when_opted_in() {
+        let old = trace_with(1.0, 20);
+        let mut new = trace_with(1.0, 20);
+        let mut old2 = old.clone();
+        old2.counters
+            .insert("serve.latency.p99_seconds".into(), 0.010);
+        new.counters
+            .insert("serve.latency.p99_seconds".into(), 0.020);
+        // Off by default: the doubled p99 stays informational.
+        let diff = diff_traces(&old2, &new, &DiffOptions::default());
+        assert!(!diff.has_regressions());
+        assert!(diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "counter.serve.latency.p99_seconds" && !r.gating));
+        // Opted in: it gates like a phase time.
+        let opts = DiffOptions {
+            gate_serve_latency: true,
+            ..DiffOptions::default()
+        };
+        let diff = diff_traces(&old2, &new, &opts);
+        assert!(diff.has_regressions());
+        assert!(diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "counter.serve.latency.p99_seconds" && r.gating && r.regressed));
+        // Other counters (pool.steals) remain informational even opted in.
+        assert!(diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "counter.pool.steals" && !r.gating));
+        // Sub-noise serve latencies never gate.
+        let mut old3 = old.clone();
+        let mut new3 = trace_with(1.0, 20);
+        old3.counters
+            .insert("serve.latency.p50_seconds".into(), 1e-5);
+        new3.counters
+            .insert("serve.latency.p50_seconds".into(), 5e-5);
+        assert!(!diff_traces(&old3, &new3, &opts).has_regressions());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use parking_lot::Mutex;
 
 use crate::sharded::{ShardedF64, ShardedU64};
 
-/// Optional unit hint recorded for documentation purposes in HELP text.
+/// Unit hint recorded per entry; [`MetricsRegistry::lint_names`] uses it
+/// to enforce the `_seconds` suffix convention on duration histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Unit {
     None,
@@ -156,6 +157,42 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.inner.count.total()
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts,
+    /// Prometheus `histogram_quantile` style: find the bucket where the
+    /// cumulative count first reaches `q * count` and interpolate
+    /// linearly inside it (the first bucket's lower bound is `0`).
+    ///
+    /// Returns `None` for an empty histogram or a `q` outside `[0, 1]`.
+    /// Observations above every finite bound cap the estimate at the
+    /// highest finite bound, so the error is one bucket's width — with
+    /// the standard log2 bounds, a factor of at most 2.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let (cumulative, total) = self.cumulative_counts();
+        if total == 0 {
+            return None;
+        }
+        // A zero rank would select the first bucket even when it is
+        // empty; insist on at least a sliver of one observation.
+        let rank = (q * total as f64).max(f64::MIN_POSITIVE);
+        let bounds = self.bounds();
+        let mut prev_cum = 0u64;
+        for (i, &cum) in cumulative.iter().enumerate() {
+            if (cum as f64) >= rank {
+                let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+                let upper = bounds[i];
+                let in_bucket = (cum - prev_cum) as f64;
+                let frac = (rank - prev_cum as f64) / in_bucket;
+                return Some(lower + (upper - lower) * frac);
+            }
+            prev_cum = cum;
+        }
+        // The rank falls in the implicit +Inf bucket.
+        bounds.last().copied()
+    }
 }
 
 /// What a registered entry measures and how to read it at scrape time.
@@ -174,6 +211,7 @@ pub(crate) struct Entry {
     pub(crate) name: String,
     pub(crate) help: String,
     pub(crate) labels: Vec<(String, String)>,
+    pub(crate) unit: Unit,
     pub(crate) instrument: Instrument,
 }
 
@@ -227,6 +265,7 @@ impl MetricsRegistry {
             name: name.to_string(),
             help: help.to_string(),
             labels,
+            unit: Unit::None,
             instrument: Instrument::Counter(counter.clone()),
         });
         counter
@@ -255,6 +294,7 @@ impl MetricsRegistry {
             name: name.to_string(),
             help: help.to_string(),
             labels,
+            unit: Unit::None,
             instrument: Instrument::Gauge(gauge.clone()),
         });
         gauge
@@ -273,6 +313,17 @@ impl MetricsRegistry {
         help: &str,
         labels: &[(&str, &str)],
         bounds: Vec<f64>,
+    ) -> Histogram {
+        self.histogram_with_unit(name, help, labels, bounds, Unit::None)
+    }
+
+    fn histogram_with_unit(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<f64>,
+        unit: Unit,
     ) -> Histogram {
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
@@ -294,6 +345,7 @@ impl MetricsRegistry {
             name: name.to_string(),
             help: help.to_string(),
             labels,
+            unit,
             instrument: Instrument::Histogram(histogram.clone()),
         });
         histogram
@@ -302,7 +354,25 @@ impl MetricsRegistry {
     /// Register (or fetch the existing) histogram with the standard
     /// log2 seconds buckets (~1 µs to 16 s).
     pub fn histogram_seconds(&self, name: &str, help: &str) -> Histogram {
-        self.histogram_with_bounds(name, help, &[], Histogram::log2_bounds(-20, 4))
+        self.histogram_seconds_with_labels(name, help, &[])
+    }
+
+    /// Labelled variant of [`MetricsRegistry::histogram_seconds`] — one
+    /// series per label set, the shape the serve engine uses for its
+    /// per-algo / per-layout lifecycle-stage histograms.
+    pub fn histogram_seconds_with_labels(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        self.histogram_with_unit(
+            name,
+            help,
+            labels,
+            Histogram::log2_bounds(-20, 4),
+            Unit::Seconds,
+        )
     }
 
     /// Register a counter whose value is computed at scrape time. The
@@ -320,6 +390,7 @@ impl MetricsRegistry {
             name: name.to_string(),
             help: help.to_string(),
             labels: Vec::new(),
+            unit: Unit::None,
             instrument: Instrument::CounterFn(Box::new(f)),
         });
     }
@@ -338,8 +409,60 @@ impl MetricsRegistry {
             name: name.to_string(),
             help: help.to_string(),
             labels: Vec::new(),
+            unit: Unit::None,
             instrument: Instrument::GaugeFn(Box::new(f)),
         });
+    }
+
+    /// Check every registered entry against the repo's metric-naming
+    /// conventions and return one human-readable violation per offense:
+    ///
+    /// - metric names and label keys match the Prometheus charset
+    ///   (`[a-zA-Z_:][a-zA-Z0-9_:]*`, no `:` in label keys);
+    /// - counters (stored and scrape-time) end in `_total`;
+    /// - histograms observing seconds end in `_seconds`.
+    ///
+    /// An empty vec means the registry is clean; the conventions test
+    /// asserts exactly that after registering every built-in family.
+    pub fn lint_names(&self) -> Vec<String> {
+        fn valid_name(name: &str, allow_colon: bool) -> bool {
+            !name.is_empty()
+                && name.chars().enumerate().all(|(i, c)| {
+                    c.is_ascii_alphabetic()
+                        || c == '_'
+                        || (allow_colon && c == ':')
+                        || (i > 0 && c.is_ascii_digit())
+                })
+        }
+        let entries = self.entries.lock();
+        let mut violations = Vec::new();
+        for e in entries.iter() {
+            if !valid_name(&e.name, true) {
+                violations.push(format!("`{}`: invalid metric name", e.name));
+            }
+            for (key, _) in &e.labels {
+                if !valid_name(key, false) {
+                    violations.push(format!("`{}`: invalid label key `{key}`", e.name));
+                }
+            }
+            match &e.instrument {
+                Instrument::Counter(_) | Instrument::CounterFn(_) => {
+                    if !e.name.ends_with("_total") {
+                        violations.push(format!("`{}`: counter must end in `_total`", e.name));
+                    }
+                }
+                Instrument::Histogram(_) => {
+                    if e.unit == Unit::Seconds && !e.name.ends_with("_seconds") {
+                        violations.push(format!(
+                            "`{}`: seconds histogram must end in `_seconds`",
+                            e.name
+                        ));
+                    }
+                }
+                Instrument::Gauge(_) | Instrument::GaugeFn(_) => {}
+            }
+        }
+        violations
     }
 
     /// Render every registered metric in Prometheus text exposition
@@ -449,6 +572,59 @@ mod tests {
     fn log2_bounds_shape() {
         let b = Histogram::log2_bounds(-2, 2);
         assert_eq!(b, vec![0.25, 0.5, 1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_right_bucket() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_bounds("q", "q", &[], vec![1.0, 2.0, 4.0, 8.0]);
+        // 10 observations in (2, 4]: every quantile lands in that bucket.
+        for _ in 0..10 {
+            h.observe(3.0);
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!((2.0..=4.0).contains(&est), "q={q} est={est}");
+        }
+        // The median of 10×3.0 + 10×7.0 sits at the boundary between the
+        // two occupied buckets; p25 and p75 must stay inside their own.
+        for _ in 0..10 {
+            h.observe(7.0);
+        }
+        let p25 = h.quantile(0.25).unwrap();
+        let p75 = h.quantile(0.75).unwrap();
+        assert!((2.0..=4.0).contains(&p25), "p25={p25}");
+        assert!((4.0..=8.0).contains(&p75), "p75={p75}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_bounds("qe", "qe", &[], vec![1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram");
+        h.observe(0.5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // Overflow observations cap at the highest finite bound.
+        h.observe(1e9);
+        assert_eq!(h.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn lint_names_flags_each_convention_violation() {
+        let r = MetricsRegistry::new();
+        r.counter("good_total", "ok");
+        r.gauge("any_gauge_name", "gauges are free-form");
+        r.histogram_seconds("good_seconds", "ok");
+        r.histogram_with_bounds("raw_sizes", "unit-less is fine", &[], vec![1.0]);
+        assert_eq!(r.lint_names(), Vec::<String>::new());
+
+        r.counter("bad_counter", "missing _total");
+        r.histogram_seconds_with_labels("bad_latency", "missing _seconds", &[("algo", "bfs")]);
+        let violations = r.lint_names();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("bad_counter"));
+        assert!(violations[1].contains("bad_latency"));
     }
 
     #[test]

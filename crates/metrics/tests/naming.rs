@@ -1,0 +1,36 @@
+//! Metric-naming conventions gate: every built-in metric family this
+//! crate registers must pass [`MetricsRegistry::lint_names`] — counters
+//! end in `_total`, seconds histograms in `_seconds`, and all names and
+//! label keys use the Prometheus charset. Offenders fail CI here before
+//! a scrape ever sees them.
+//!
+//! Only *clean* registrations may touch the global registry in this
+//! binary (tests run in parallel and lint reads everything registered);
+//! violation shapes are covered by unit tests on local registries.
+
+use egraph_metrics::{global, register_alloc_metrics, register_pool_metrics};
+
+#[test]
+fn built_in_metric_families_pass_the_naming_lint() {
+    register_pool_metrics();
+    register_alloc_metrics();
+    let violations = global().lint_names();
+    assert!(violations.is_empty(), "naming violations: {violations:?}");
+}
+
+#[test]
+fn serve_style_labelled_registrations_pass_the_naming_lint() {
+    let r = global();
+    r.histogram_seconds_with_labels(
+        "egraph_serve_queue_seconds",
+        "lint shape check",
+        &[("algo", "bfs"), ("layout", "adj")],
+    );
+    r.counter_with_labels(
+        "egraph_serve_queries_total",
+        "lint shape check",
+        &[("algo", "bfs")],
+    );
+    let violations = r.lint_names();
+    assert!(violations.is_empty(), "naming violations: {violations:?}");
+}

@@ -1,0 +1,93 @@
+//! Property tests for histogram quantile estimation against exact
+//! references.
+//!
+//! With rank `r = q·n`, the estimator picks the first bucket whose
+//! cumulative count reaches `r`; the exact `q`-quantile (the
+//! `⌈r⌉`-th smallest observation) lies in that same bucket. The
+//! estimate must therefore always fall within the exact value's bucket
+//! — a one-bucket (≤2× for log2 bounds) error guarantee, not just a
+//! smoke check.
+
+use egraph_metrics::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// The exact quantile under the estimator's rank definition.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
+/// The `[lower, upper]` log2 bucket containing `value`.
+fn bucket_of(bounds: &[f64], value: f64) -> (f64, f64) {
+    let mut lower = 0.0;
+    for &upper in bounds {
+        if value <= upper {
+            return (lower, upper);
+        }
+        lower = upper;
+    }
+    (lower, f64::INFINITY)
+}
+
+proptest! {
+    #[test]
+    fn estimate_lands_in_the_exact_quantiles_bucket(
+        raw_us in proptest::collection::vec(1u64..10_000_000, 1..200),
+        q_millis in 0u32..=1000,
+    ) {
+        let q = f64::from(q_millis) / 1000.0;
+        let r = MetricsRegistry::new();
+        let h = r.histogram_seconds("qp_seconds", "quantile property");
+        let mut values: Vec<f64> = raw_us.iter().map(|&us| us as f64 * 1e-6).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        values.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&values, q);
+        let (lower, upper) = bucket_of(h.bounds(), exact);
+        let est = h.quantile(q).expect("non-empty histogram");
+        prop_assert!(
+            (lower..=upper).contains(&est),
+            "q={q} exact={exact} bucket=({lower}, {upper}] est={est}"
+        );
+    }
+
+    #[test]
+    fn known_distributions_match_exact_within_a_factor_of_two(
+        scale_us in 1u64..100_000,
+    ) {
+        // Uniform 1..=100 multiples of the scale: exact percentiles are
+        // known in closed form; the log2-bucket estimate may be off by
+        // at most its bucket width. The scale keeps every value under
+        // the 16 s top bound so nothing lands in +Inf.
+        let r = MetricsRegistry::new();
+        let h = r.histogram_seconds("kd_seconds", "known distribution");
+        let step = scale_us as f64 * 1e-6;
+        for i in 1..=100u32 {
+            h.observe(f64::from(i) * step);
+        }
+        for (q, exact_multiple) in [(0.5, 50.0), (0.9, 90.0), (0.99, 99.0)] {
+            let exact: f64 = exact_multiple * step;
+            let est = h.quantile(q).expect("non-empty histogram");
+            prop_assert!(
+                est >= exact / 2.0 && est <= exact * 2.0,
+                "q={q} exact={exact} est={est}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let r = MetricsRegistry::new();
+    let h = r.histogram_with_bounds("mono", "monotonicity", &[], Histogram::log2_bounds(-10, 4));
+    for i in 1..=1000u32 {
+        h.observe(f64::from(i) * 1e-3);
+    }
+    let mut last = 0.0;
+    for q_millis in 0..=1000u32 {
+        let est = h.quantile(f64::from(q_millis) / 1000.0).unwrap();
+        assert!(est >= last, "quantile not monotone at q={q_millis}/1000");
+        last = est;
+    }
+}
