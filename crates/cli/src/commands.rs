@@ -33,6 +33,8 @@ USAGE:
   egraph info <FILE>
   egraph run <bfs|pagerank|sssp|wcc|spmv> <FILE> [options]
   egraph serve <FILE> --listen H:P [options]
+  egraph update <FILE> --deltas FILE.ndjson --out FILE  (offline merge)
+  egraph update --to H:P --deltas FILE.ndjson [--compact false]
   egraph advise [--algo A] [--vertices N] [--edges M] [--machine a|b|single]
   egraph partition <FILE> [--nodes N]
   egraph convert <IN> <OUT> [--from snap|dimacs|bin] [--to snap|bin] [--weighted true]
@@ -48,7 +50,7 @@ GENERATE OPTIONS:
   --weighted true  attach deterministic weights (rmat/road/uniform)
 
 RUN OPTIONS:
-  --layout adj|edge|grid|ccsr   data layout (default adj)
+  --layout adj|edge|grid|ccsr|delta   data layout (default adj)
   --flow push|pull|push-pull   information flow (default push)
   --sync locks|atomics     synchronization for push (default atomics)
   --strategy radix|count|dynamic   pre-processing (default radix)
@@ -79,9 +81,9 @@ SERVE OPTIONS:
                    (default 64, the bit-packed frontier width)
   --batch-window-ms MS   how long an admitted query waits for
                    companions before its wave launches anyway (default 2)
-  --layout adj|grid|ccsr   resident index layout (default adj); the
-                   query-port /healthz reports the chosen layout and
-                   its resident bytes once loading completes
+  --layout adj|grid|ccsr|delta   resident index layout (default adj);
+                   the query-port /healthz reports the chosen layout
+                   and its resident bytes once loading completes
   --metrics-addr / --metrics-linger   as for run; /healthz reports
                    'loading' until the layout build finishes
   --slow-query-ms MS   log any query whose total latency reaches MS
@@ -94,7 +96,22 @@ SERVE OPTIONS:
   The query-port /healthz line also reports queue_depth and inflight.
   The daemon answers newline-delimited JSON point queries
   ({\"id\":1,\"algo\":\"bfs|sssp|khop\",\"source\":N[,\"depth\":K][,\"values\":true]})
-  and shuts down cleanly on SIGINT, SIGTERM or stdin EOF.
+  plus edge-delta ops ({\"op\":\"insert|delete\",\"src\":N,\"dst\":N} and
+  {\"op\":\"compact\"}) on the same port, and shuts down cleanly on
+  SIGINT, SIGTERM or stdin EOF.
+
+UPDATE OPTIONS:
+  --deltas FILE    NDJSON edge-delta stream (required): one
+                   {\"op\":\"insert\",\"src\":N,\"dst\":N[,\"weight\":W]} or
+                   {\"op\":\"delete\",\"src\":N,\"dst\":N} object per line
+  --out FILE       offline mode: merge the stream into <FILE> and
+                   write the resulting edge list here
+  --to H:P         streaming mode: forward each op to a running
+                   `egraph serve` daemon instead of merging locally
+  --compact true|false   streaming mode: finish with a {\"op\":\"compact\"}
+                   so the daemon republishes at a new epoch (default true)
+  --trace-out / --trace-format   offline mode: write a telemetry trace
+                   whose 'compact' phase times the merge
 
 TRACE DIFF OPTIONS:
   --threshold PCT   relative slowdown that counts as a regression
@@ -112,6 +129,10 @@ CONFORMANCE OPTIONS:
   --seed N         corpus seed (default EGRAPH_TEST_SEED or built-in)
   --full true      exhaustive tier: larger corpus, thread count 2,
                    paper iteration counts (the nightly-CI matrix)
+  Both tiers also run the update oracle: seeded insert/delete batches
+  against every corpus graph, with delta-layout and incremental
+  results checked against from-scratch recompute after every batch
+  and after compaction (--full adds scheduler fault injection)
   --metrics-addr / --metrics-linger   as for run";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -140,6 +161,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "info" => cmd_info(&args),
         "run" => cmd_run(&args),
         "serve" => cmd_serve(&args),
+        "update" => cmd_update(&args),
         "advise" => cmd_advise(&args),
         "partition" => cmd_partition(&args),
         "convert" => cmd_convert(&args),
@@ -757,7 +779,7 @@ fn cmd_serve(args: &Args) -> CliResult {
     let layout = args.get_or("layout", "adj").parse::<Layout>()?;
     if layout == Layout::EdgeList {
         return Err(
-            "the edge layout has no servable per-vertex index; use adj, grid or ccsr".into(),
+            "the edge layout has no servable per-vertex index; use adj, grid, ccsr or delta".into(),
         );
     }
     let slow_query = match args.get("slow-query-ms") {
@@ -809,6 +831,134 @@ fn cmd_serve(args: &Args) -> CliResult {
     daemon.shutdown();
     finish_metrics(metrics_server, metrics_linger);
     println!("serve: clean shutdown");
+    Ok(())
+}
+
+/// Applies an NDJSON edge-delta stream: offline (merge into a new edge
+/// file, DESIGN.md §16) or streamed to a running daemon with `--to`.
+fn cmd_update(args: &Args) -> CliResult {
+    if let Some(addr) = args.get("to").map(str::to_string) {
+        return cmd_update_stream(args, &addr);
+    }
+    let path = args.positional(1, "input file")?.to_string();
+    let deltas_path = args
+        .get("deltas")
+        .ok_or("update needs --deltas FILE")?
+        .to_string();
+    let out = args
+        .get("out")
+        .ok_or("update needs --out FILE (or --to HOST:PORT to stream to a daemon)")?
+        .to_string();
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let trace_format = TraceFormat::parse(args.get_or("trace-format", "json"))?;
+    args.reject_unknown()?;
+
+    let profiler = if trace_out.is_some() {
+        PhaseProfiler::enabled()
+    } else {
+        PhaseProfiler::disabled()
+    };
+    let started = Instant::now();
+    let any = profiler.profile("load", || load_any(&path))?;
+    let ndjson = std::fs::read_to_string(&deltas_path)?;
+    let load = started.elapsed().as_secs_f64();
+
+    fn merge_and_store<E: EdgeRecord>(
+        graph: &EdgeList<E>,
+        ndjson: &str,
+        out: &str,
+        profiler: &PhaseProfiler,
+    ) -> Result<(usize, EdgeList<E>, f64), Box<dyn Error>> {
+        let batch = egraph_core::layout::DeltaBatch::<E>::parse_ndjson(ndjson)
+            .map_err(|e| format!("delta stream: {e}"))?;
+        batch
+            .validate(graph.num_vertices())
+            .map_err(|e| format!("delta stream: {e}"))?;
+        let mut log = egraph_core::layout::DeltaLog::new();
+        log.append(&batch);
+        let merged = profiler.profile(egraph_core::exec::PHASE_COMPACT, || log.merge_into(graph));
+        let (res, store) = egraph_core::metrics::timed(|| -> Result<(), Box<dyn Error>> {
+            let mut w = BufWriter::new(File::create(out)?);
+            write_edge_list(&mut w, &merged)?;
+            Ok(())
+        });
+        res?;
+        Ok((batch.len(), merged, store))
+    }
+
+    let (applied, nv, ne, store) = match &any {
+        AnyGraph::Unweighted(g) => {
+            let (applied, merged, store) = merge_and_store(g, &ndjson, &out, &profiler)?;
+            (applied, merged.num_vertices(), merged.num_edges(), store)
+        }
+        AnyGraph::Weighted(g) => {
+            let (applied, merged, store) = merge_and_store(g, &ndjson, &out, &profiler)?;
+            (applied, merged.num_vertices(), merged.num_edges(), store)
+        }
+    };
+    if let Some(out_path) = &trace_out {
+        let mut trace = RunTrace::new("update");
+        trace.breakdown.load = load;
+        trace.breakdown.store = store;
+        trace.phases = profiler.take_phases();
+        for phase in &trace.phases {
+            if phase.name == egraph_core::exec::PHASE_COMPACT {
+                trace.breakdown.preprocess = phase.seconds;
+            }
+        }
+        trace.config.insert("input".to_string(), path.to_string());
+        trace.config.insert("deltas".to_string(), deltas_path);
+        std::fs::write(out_path, trace.render(trace_format))?;
+        println!("wrote trace to {out_path}");
+    }
+    println!(
+        "applied {applied} delta ops: wrote {out} ({nv} vertices, {ne} edges) in {:.2}s",
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// Streams each delta op to a running daemon over its query port and
+/// (by default) finishes with a compact so the new epoch is queryable.
+fn cmd_update_stream(args: &Args, addr: &str) -> CliResult {
+    use std::io::{BufRead, Write};
+    let deltas_path = args
+        .get("deltas")
+        .ok_or("update needs --deltas FILE")?
+        .to_string();
+    let compact = args.get_or("compact", "true") == "true";
+    args.reject_unknown()?;
+
+    let ndjson = std::fs::read_to_string(&deltas_path)?;
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut roundtrip = |line: &str| -> Result<String, Box<dyn Error>> {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        if response.contains("\"error\"") {
+            return Err(format!("daemon rejected {line}: {}", response.trim()).into());
+        }
+        Ok(response)
+    };
+
+    let mut applied = 0usize;
+    for line in ndjson.lines().filter(|l| !l.trim().is_empty()) {
+        roundtrip(line)?;
+        applied += 1;
+    }
+    println!("streamed {applied} delta ops to {addr}");
+    if compact {
+        let response = roundtrip(r#"{"op":"compact"}"#)?;
+        println!("compacted: {}", response.trim());
+    } else {
+        println!("left pending (re-run with an empty stream and --compact true to publish)");
+    }
     Ok(())
 }
 
@@ -1008,22 +1158,37 @@ fn cmd_conformance(args: &Args) -> CliResult {
         cfg.thread_counts,
         start.elapsed().as_secs_f64(),
     );
+    let mut update_cfg = if full {
+        egraph_testkit::UpdateConfig::exhaustive(seed)
+    } else {
+        egraph_testkit::UpdateConfig::quick(seed)
+    };
+    update_cfg.thread_counts.clone_from(&cfg.thread_counts);
+    let update_start = Instant::now();
+    let update_report = egraph_testkit::run_update_matrix(&graphs, &update_cfg);
+    println!(
+        "update oracle: {} checks ({} batches x {} ops per graph) in {:.2}s",
+        update_report.checks_run,
+        update_cfg.batches,
+        update_cfg.ops_per_batch,
+        update_start.elapsed().as_secs_f64(),
+    );
     if metrics_server.is_some() {
         egraph_parallel::telemetry::disable();
         egraph_storage::counters::disable();
     }
     finish_metrics(metrics_server, metrics_linger);
-    if report.mismatches.is_empty() {
-        println!("all combinations conformant");
+    if report.mismatches.is_empty() && update_report.mismatches.is_empty() {
+        println!("all combinations conformant (static matrix + update oracle)");
         return Ok(());
     }
-    for m in &report.mismatches {
+    for m in report.mismatches.iter().chain(&update_report.mismatches) {
         println!("MISMATCH  {m}");
     }
     Err(Box::new(GateFailure(format!(
         "{} of {} combinations mismatched (reproduce with EGRAPH_TEST_SEED={seed:#x})",
-        report.mismatches.len(),
-        report.combos_run
+        report.mismatches.len() + update_report.mismatches.len(),
+        report.combos_run + update_report.checks_run
     ))))
 }
 

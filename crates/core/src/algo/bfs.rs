@@ -495,6 +495,198 @@ pub fn reference<E: EdgeRecord>(out: &Adjacency<E>, root: VertexId) -> Vec<u32> 
     level
 }
 
+/// Incremental BFS over the delta layout (DESIGN.md §16): keeps the
+/// level array of a fixed root and repairs only the affected subgraph
+/// per applied batch.
+///
+/// Insertions are decrease-relaxations. Deletions run a two-phase
+/// repair: first an *invalidation* fix-point — a vertex whose every
+/// in-neighbor at `level-1` has itself been invalidated loses its
+/// level, cascading down the tree — then a unit-weight Dijkstra over
+/// the invalid region seeded from the still-valid boundary. Batches
+/// over [`super::INCREMENTAL_FALLBACK_FRACTION`] recompute from
+/// scratch.
+#[derive(Debug, Clone)]
+pub struct IncrementalBfs {
+    root: VertexId,
+    level: Vec<u32>,
+}
+
+impl IncrementalBfs {
+    /// Runs the initial full BFS from `root` on `merged` (any layout
+    /// exposing both directions — the delta layout in the intended
+    /// use).
+    pub fn new<E, L>(merged: &L, root: VertexId) -> Self
+    where
+        E: EdgeRecord,
+        L: VertexLayout<E>,
+    {
+        Self {
+            root,
+            level: Self::from_scratch(merged, root),
+        }
+    }
+
+    /// The current shortest-hop levels (`u32::MAX` = unreached).
+    pub fn level(&self) -> &[u32] {
+        &self.level
+    }
+
+    fn from_scratch<E, L>(merged: &L, root: VertexId) -> Vec<u32>
+    where
+        E: EdgeRecord,
+        L: VertexLayout<E>,
+    {
+        let nv = merged.num_vertices();
+        let mut level = vec![u32::MAX; nv];
+        level[root as usize] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            let next = level[u as usize] + 1;
+            merged.out().for_each_span(u, |span| {
+                for e in span {
+                    let v = e.dst();
+                    if level[v as usize] == u32::MAX {
+                        level[v as usize] = next;
+                        queue.push_back(v);
+                    }
+                }
+                span.len()
+            });
+        }
+        level
+    }
+
+    /// Repairs the levels after `batch` was applied; `merged` is the
+    /// post-batch graph with both directions present.
+    pub fn apply<E, L>(
+        &mut self,
+        merged: &L,
+        batch: &crate::layout::DeltaBatch<E>,
+    ) -> super::IncrementalOutcome
+    where
+        E: EdgeRecord,
+        L: VertexLayout<E>,
+    {
+        let fraction = batch.len() as f64 / merged.num_edges().max(1) as f64;
+        if fraction > super::INCREMENTAL_FALLBACK_FRACTION {
+            self.level = Self::from_scratch(merged, self.root);
+            return super::IncrementalOutcome {
+                fallback: true,
+                touched: merged.num_vertices(),
+            };
+        }
+        let nv = merged.num_vertices();
+        let mut invalid = vec![false; nv];
+        let mut suspects = std::collections::VecDeque::new();
+        for op in &batch.ops {
+            if let crate::layout::DeltaOp::Delete { src, dst } = op {
+                // Only a deleted tree-edge candidate (dst one level
+                // below src) can unsupport dst.
+                if self.level[*src as usize] != u32::MAX
+                    && self.level[*dst as usize] == self.level[*src as usize].saturating_add(1)
+                {
+                    suspects.push_back(*dst);
+                }
+            }
+        }
+        // Phase 1: invalidation fix-point. A suspect keeps its level
+        // while any valid in-neighbor sits exactly one level above it;
+        // losing the last supporter cascades to the out-subtree.
+        let mut invalidated = 0usize;
+        while let Some(v) = suspects.pop_front() {
+            if v == self.root || invalid[v as usize] || self.level[v as usize] == u32::MAX {
+                continue;
+            }
+            let want = self.level[v as usize] - 1;
+            let mut supported = false;
+            merged.incoming().for_each_span(v, |span| {
+                for (k, e) in span.iter().enumerate() {
+                    let u = e.src();
+                    if !invalid[u as usize] && self.level[u as usize] == want {
+                        supported = true;
+                        return k;
+                    }
+                }
+                span.len()
+            });
+            if !supported {
+                invalid[v as usize] = true;
+                invalidated += 1;
+                let below = self.level[v as usize] + 1;
+                merged.out().for_each_span(v, |span| {
+                    for e in span {
+                        let w = e.dst();
+                        if !invalid[w as usize] && self.level[w as usize] == below {
+                            suspects.push_back(w);
+                        }
+                    }
+                    span.len()
+                });
+            }
+        }
+        // Phase 2: repair. Invalid vertices drop to unreached, then a
+        // unit-weight Dijkstra seeded from their valid in-boundary (and
+        // from insert-relaxations) restores shortest levels.
+        use std::cmp::Reverse;
+        let mut heap = std::collections::BinaryHeap::new();
+        for v in 0..nv as VertexId {
+            if invalid[v as usize] {
+                self.level[v as usize] = u32::MAX;
+            }
+        }
+        for v in 0..nv as VertexId {
+            if !invalid[v as usize] {
+                continue;
+            }
+            let mut best = u32::MAX;
+            merged.incoming().for_each_span(v, |span| {
+                for e in span {
+                    let u = e.src() as usize;
+                    if !invalid[u] && self.level[u] != u32::MAX {
+                        best = best.min(self.level[u].saturating_add(1));
+                    }
+                }
+                span.len()
+            });
+            if best != u32::MAX {
+                heap.push(Reverse((best, v)));
+            }
+        }
+        for op in &batch.ops {
+            if let crate::layout::DeltaOp::Insert(e) = op {
+                let (src, dst) = (e.src() as usize, e.dst() as usize);
+                if self.level[src] != u32::MAX
+                    && self.level[src].saturating_add(1) < self.level[dst]
+                {
+                    heap.push(Reverse((self.level[src] + 1, e.dst())));
+                }
+            }
+        }
+        let mut improved = 0usize;
+        while let Some(Reverse((cand, v))) = heap.pop() {
+            if cand >= self.level[v as usize] {
+                continue;
+            }
+            self.level[v as usize] = cand;
+            improved += 1;
+            merged.out().for_each_span(v, |span| {
+                for e in span {
+                    let w = e.dst();
+                    if cand + 1 < self.level[w as usize] {
+                        heap.push(Reverse((cand + 1, w)));
+                    }
+                }
+                span.len()
+            });
+        }
+        super::IncrementalOutcome {
+            fallback: false,
+            touched: invalidated + improved,
+        }
+    }
+}
+
 /// Validates that a BFS result is a correct shortest-hop tree for the
 /// graph; returns the number of reachable vertices.
 ///
@@ -706,5 +898,84 @@ mod tests {
         assert!(!result.iterations.is_empty());
         assert_eq!(result.iterations[0].frontier_size, 1);
         assert!(result.algorithm_seconds() >= 0.0);
+    }
+
+    /// The merged delta layout the incremental engine repairs over.
+    fn delta_view(
+        base: &EdgeList<Edge>,
+        log: &crate::layout::DeltaLog<Edge>,
+    ) -> crate::layout::DeltaList<Edge> {
+        let (out, inc) = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Both)
+            .sort_neighbors(true)
+            .build(base)
+            .into_parts();
+        crate::layout::DeltaList::new(out, inc, log)
+    }
+
+    /// Reference levels of the merged graph (fresh CSR, serial BFS).
+    fn merged_levels(base: &EdgeList<Edge>, log: &crate::layout::DeltaLog<Edge>) -> Vec<u32> {
+        let merged = log.merge_into(base);
+        let adj = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+            .sort_neighbors(true)
+            .build(&merged);
+        reference(adj.out(), 0)
+    }
+
+    #[test]
+    fn incremental_bfs_repairs_inserts_and_deletes() {
+        use crate::layout::{DeltaBatch, DeltaLog, DeltaOp};
+        let base = test_graph(200, 900, 41);
+        let mut log = DeltaLog::new();
+        let mut engine = IncrementalBfs::new(&delta_view(&base, &log), 0);
+        assert_eq!(engine.level(), &merged_levels(&base, &log)[..]);
+
+        // Mixed small batch: shortcut inserts plus deletions that hit
+        // tree edges (every (s, d) one level apart is a candidate).
+        let mut batch = DeltaBatch::new();
+        batch.ops.push(DeltaOp::Insert(Edge::new(0, 150)));
+        batch.ops.push(DeltaOp::Insert(Edge::new(150, 151)));
+        let lv = engine.level().to_vec();
+        let tree_edge = base
+            .edges()
+            .iter()
+            .find(|e| {
+                lv[e.src() as usize] != u32::MAX && lv[e.dst() as usize] == lv[e.src() as usize] + 1
+            })
+            .copied()
+            .expect("some tree edge exists");
+        batch.ops.push(DeltaOp::Delete {
+            src: tree_edge.src(),
+            dst: tree_edge.dst(),
+        });
+        for op in &batch.ops {
+            log.push(*op);
+        }
+        let outcome = engine.apply(&delta_view(&base, &log), &batch);
+        assert!(!outcome.fallback, "3 ops on 900 edges stays incremental");
+        assert_eq!(engine.level(), &merged_levels(&base, &log)[..]);
+
+        // Severing a chain leaves the tail unreached.
+        let chain = EdgeList::new(40, (0..39).map(|v| Edge::new(v, v + 1)).collect()).unwrap();
+        let mut clog = DeltaLog::new();
+        let mut ce = IncrementalBfs::new(&delta_view(&chain, &clog), 0);
+        let mut batch = DeltaBatch::new();
+        batch.ops.push(DeltaOp::Delete { src: 20, dst: 21 });
+        clog.push(batch.ops[0]);
+        let outcome = ce.apply(&delta_view(&chain, &clog), &batch);
+        assert!(!outcome.fallback);
+        assert_eq!(ce.level(), &merged_levels(&chain, &clog)[..]);
+        assert_eq!(ce.level()[21], u32::MAX);
+
+        // Oversized batches fall back to from-scratch.
+        let mut big = DeltaBatch::new();
+        for v in 0..60u32 {
+            big.ops.push(DeltaOp::Insert(Edge::new(v, v + 100)));
+        }
+        for op in &big.ops {
+            log.push(*op);
+        }
+        let outcome = engine.apply(&delta_view(&base, &log), &big);
+        assert!(outcome.fallback, "60 ops on ~900 edges exceeds 5%");
+        assert_eq!(engine.level(), &merged_levels(&base, &log)[..]);
     }
 }

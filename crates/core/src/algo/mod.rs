@@ -10,6 +10,15 @@
 //! | [`pagerank`] | ranking | whole graph | adj push/pull, edge array, grid push/pull |
 //! | [`spmv`] | single pass | whole graph | adj push, edge array, adj pull |
 //! | [`als`] | machine learning (bipartite) | one side per half-step | adj pull |
+//!
+//! Three algorithms additionally ship an **incremental** engine for the
+//! mutable delta layout (DESIGN.md §16): [`pagerank::IncrementalPagerank`]
+//! (residual propagation from the endpoints of changed edges),
+//! [`wcc::IncrementalWcc`] (union-find over inserted edges) and
+//! [`bfs::IncrementalBfs`] (affected-subgraph invalidation + repair).
+//! Each falls back to from-scratch recompute when the applied batch
+//! exceeds [`INCREMENTAL_FALLBACK_FRACTION`] of the merged edge count,
+//! reporting which path ran via [`IncrementalOutcome`].
 
 pub mod als;
 pub mod bfs;
@@ -17,3 +26,20 @@ pub mod pagerank;
 pub mod spmv;
 pub mod sssp;
 pub mod wcc;
+
+/// Delta fraction (batch ops / merged edges) above which the
+/// incremental engines recompute from scratch instead of repairing —
+/// past this point the affected subgraph approaches the whole graph and
+/// repair bookkeeping only adds overhead.
+pub const INCREMENTAL_FALLBACK_FRACTION: f64 = 0.05;
+
+/// What an incremental engine did with one applied batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalOutcome {
+    /// The batch exceeded the fallback threshold (or was otherwise
+    /// unrepairable) and the engine recomputed from scratch.
+    pub fallback: bool,
+    /// Vertices whose value was recomputed (the whole graph on
+    /// fallback).
+    pub touched: usize,
+}

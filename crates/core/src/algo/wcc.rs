@@ -425,6 +425,90 @@ pub fn reference<E: EdgeRecord>(edges: &EdgeList<E>) -> Vec<u32> {
     label
 }
 
+/// Incremental WCC over the delta layout (DESIGN.md §16): keeps the
+/// per-vertex component labels (component minima, the same shape
+/// [`reference`] emits) and repairs them per applied batch.
+///
+/// Edge insertions only ever merge components, so an insert-only batch
+/// is a union-find pass over the *labels* of the inserted endpoints
+/// followed by a relabel — no graph traversal at all. Deletions can
+/// split components, which connectivity labels cannot repair locally,
+/// so any batch with a delete (or one exceeding
+/// [`super::INCREMENTAL_FALLBACK_FRACTION`]) recomputes from scratch on
+/// the merged edge list.
+#[derive(Debug, Clone)]
+pub struct IncrementalWcc {
+    labels: Vec<u32>,
+}
+
+impl IncrementalWcc {
+    /// Labels the initial graph (treated as undirected, like every WCC
+    /// variant).
+    pub fn new<E: EdgeRecord>(edges: &EdgeList<E>) -> Self {
+        Self {
+            labels: reference(edges),
+        }
+    }
+
+    /// The current per-vertex component labels (component minima).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Repairs the labels after `batch` was applied. `merged` is the
+    /// post-batch edge list (only traversed on the fallback path).
+    pub fn apply<E: EdgeRecord>(
+        &mut self,
+        merged: &EdgeList<E>,
+        batch: &crate::layout::DeltaBatch<E>,
+    ) -> super::IncrementalOutcome {
+        let fraction = batch.len() as f64 / merged.num_edges().max(1) as f64;
+        if batch.has_deletes() || fraction > super::INCREMENTAL_FALLBACK_FRACTION {
+            self.labels = reference(merged);
+            return super::IncrementalOutcome {
+                fallback: true,
+                touched: merged.num_vertices(),
+            };
+        }
+        // Union-find over label values: labels are component minima, so
+        // unioning toward the smaller root keeps them minima.
+        let nv = self.labels.len();
+        let mut parent: Vec<u32> = (0..nv as u32).collect();
+        fn find(parent: &mut [u32], v: u32) -> u32 {
+            let mut root = v;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = v;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut merged_components = 0usize;
+        for op in &batch.ops {
+            let (src, dst) = op.endpoints();
+            let a = find(&mut parent, self.labels[src as usize]);
+            let b = find(&mut parent, self.labels[dst as usize]);
+            if a != b {
+                parent[a.max(b) as usize] = a.min(b);
+                merged_components += 1;
+            }
+        }
+        if merged_components > 0 {
+            for label in self.labels.iter_mut() {
+                *label = find(&mut parent, *label);
+            }
+        }
+        super::IncrementalOutcome {
+            fallback: false,
+            touched: merged_components,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,5 +668,43 @@ mod tests {
             "{} iterations",
             result.iterations.len()
         );
+    }
+
+    #[test]
+    fn incremental_wcc_unions_inserts_and_falls_back_on_deletes() {
+        use crate::layout::{DeltaBatch, DeltaLog, DeltaOp};
+        use crate::types::Edge;
+        // Two chains: components {0..29} and {30..59}.
+        let mut edges: Vec<Edge> = (0..29).map(|v| Edge::new(v, v + 1)).collect();
+        edges.extend((30..59).map(|v| Edge::new(v, v + 1)));
+        let base = EdgeList::new(60, edges).unwrap();
+        let mut log = DeltaLog::new();
+        let mut engine = IncrementalWcc::new(&base);
+        assert_eq!(engine.labels()[37], 30);
+
+        // Inserting a bridge merges the components without traversal.
+        let mut batch = DeltaBatch::new();
+        batch.ops.push(DeltaOp::Insert(Edge::new(2, 37)));
+        for op in &batch.ops {
+            log.push(*op);
+        }
+        let merged = log.merge_into(&base);
+        let outcome = engine.apply(&merged, &batch);
+        assert!(!outcome.fallback);
+        assert_eq!(outcome.touched, 1, "one component merge");
+        assert_eq!(engine.labels(), &reference(&merged)[..]);
+        assert!(engine.labels().iter().all(|&l| l == 0));
+
+        // Deleting the bridge cannot be repaired locally: fallback.
+        let mut batch = DeltaBatch::new();
+        batch.ops.push(DeltaOp::Delete { src: 2, dst: 37 });
+        for op in &batch.ops {
+            log.push(*op);
+        }
+        let merged = log.merge_into(&base);
+        let outcome = engine.apply(&merged, &batch);
+        assert!(outcome.fallback, "deletes force recompute");
+        assert_eq!(engine.labels(), &reference(&merged)[..]);
+        assert_eq!(engine.labels()[37], 30, "split restored");
     }
 }

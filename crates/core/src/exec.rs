@@ -33,6 +33,17 @@ use egraph_parallel::{with_pool, ThreadPool};
 
 use crate::telemetry::{ExecContext, IterRecord, NullRecorder, PhaseProfiler, Recorder};
 
+/// Phase label for layout construction under [`ExecCtx::profile`].
+pub const PHASE_PREPROCESS: &str = "preprocess";
+/// Phase label for the algorithm run under [`ExecCtx::profile`].
+pub const PHASE_ALGORITHM: &str = "algorithm";
+/// Phase label for merging a delta log into a fresh snapshot
+/// (DESIGN.md §16). Only present in traces from runs that applied
+/// updates; `trace diff` therefore lists it in
+/// [`crate::trace_diff::OPTIONAL_PHASES`] so it may appear from a zero
+/// baseline without gating.
+pub const PHASE_COMPACT: &str = "compact";
+
 /// The unified execution context: an optional scoped [`ThreadPool`], a
 /// cache probe, a telemetry recorder and an optional phase profiler.
 ///

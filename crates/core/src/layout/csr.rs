@@ -340,6 +340,12 @@ impl<E: EdgeRecord> AdjacencyList<E> {
     pub fn incoming_mut(&mut self) -> Option<&mut Adjacency<E>> {
         self.inc.as_mut()
     }
+
+    /// Decomposes the layout into its owned directions (the delta
+    /// layout wraps them with a log overlay).
+    pub fn into_parts(self) -> (Option<Adjacency<E>>, Option<Adjacency<E>>) {
+        (self.out, self.inc)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1081 @@
+//! The mutable delta-log layout (DESIGN.md §16).
+//!
+//! Every other layout in this module is frozen at build time; this one
+//! layers an append-only log of edge insertions and deletions over a
+//! frozen CSR so a graph can keep serving reads while it absorbs
+//! updates:
+//!
+//! * [`DeltaBatch`] — one batch of [`DeltaOp`]s, parsed from an NDJSON
+//!   delta stream with typed [`DeltaError`]s (never a panic).
+//! * [`DeltaLog`] — the append-only op log plus the merge rule that
+//!   folds it into an [`EdgeList`].
+//! * [`DeltaAdjacency`] / [`DeltaList`] — a [`NeighborAccess`] /
+//!   [`VertexLayout`] view of *base CSR + log overlay*, so every
+//!   vertex-centric kernel runs on the mutated graph without a CSR
+//!   rebuild.
+//! * [`EpochCell`] — the epoch-style publication point: a compactor
+//!   swaps in a fresh snapshot while in-flight readers keep the `Arc`
+//!   they loaded (they are pinned to the old epoch, never blocked).
+//! * [`DeltaGraph`] — base snapshot + pending log + compaction.
+//!
+//! Delete semantics are multiset-wide: `delete src dst` removes every
+//! occurrence of that edge present at that point in the log (base
+//! copies and earlier inserted copies alike); a later insert re-adds a
+//! single new copy. This keeps merge order-sensitive in exactly the way
+//! an append-only log is, and makes `merge(base, log)` reproducible by
+//! any replayer.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::layout::csr::Adjacency;
+use crate::layout::{NeighborAccess, VertexLayout, SPAN_EDGES};
+use crate::types::{EdgeList, EdgeRecord, VertexId};
+
+/// One edge mutation in a delta stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaOp<E> {
+    /// Append one copy of this edge.
+    Insert(E),
+    /// Remove every current copy of `src → dst`.
+    Delete {
+        /// Source endpoint of the removed edge.
+        src: VertexId,
+        /// Destination endpoint of the removed edge.
+        dst: VertexId,
+    },
+}
+
+impl<E: EdgeRecord> DeltaOp<E> {
+    /// The `(src, dst)` endpoints this op touches.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match self {
+            DeltaOp::Insert(e) => (e.src(), e.dst()),
+            DeltaOp::Delete { src, dst } => (*src, *dst),
+        }
+    }
+
+    /// The same op on the reversed edge (for undirected views).
+    pub fn reversed(&self) -> Self {
+        match self {
+            DeltaOp::Insert(e) => DeltaOp::Insert(e.reversed()),
+            DeltaOp::Delete { src, dst } => DeltaOp::Delete {
+                src: *dst,
+                dst: *src,
+            },
+        }
+    }
+}
+
+/// A typed delta-stream error. Malformed NDJSON input yields one of
+/// these; it never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The line is not a JSON object.
+    NotJson {
+        /// 1-based line number in the stream.
+        line: usize,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// 1-based line number in the stream.
+        line: usize,
+        /// The missing field.
+        field: &'static str,
+    },
+    /// A field is present but not a representable value (negative,
+    /// fractional or overflowing vertex ids, unparsable numbers).
+    BadField {
+        /// 1-based line number in the stream.
+        line: usize,
+        /// The offending field.
+        field: &'static str,
+    },
+    /// The `op` field names an unknown operation.
+    UnknownOp {
+        /// 1-based line number in the stream.
+        line: usize,
+        /// The unrecognized op string (truncated).
+        op: String,
+    },
+    /// An endpoint does not exist in the target graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Vertices in the target graph.
+        num_vertices: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::NotJson { line } => write!(f, "line {line}: not a JSON object"),
+            DeltaError::MissingField { line, field } => {
+                write!(f, "line {line}: missing field \"{field}\"")
+            }
+            DeltaError::BadField { line, field } => {
+                write!(f, "line {line}: bad value for field \"{field}\"")
+            }
+            DeltaError::UnknownOp { line, op } => {
+                write!(
+                    f,
+                    "line {line}: unknown op \"{op}\" (expected insert|delete)"
+                )
+            }
+            DeltaError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for a graph with {num_vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Scans `line` for `"key"` and returns the raw token after the colon
+/// (a quoted string's contents, or the bare number/word).
+fn json_token<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        let end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || "+-.eE_".contains(c)))
+            .unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Parses a vertex-id field: a non-negative integer that fits in u32.
+fn json_vertex(line: &str, key: &'static str, line_no: usize) -> Result<VertexId, DeltaError> {
+    let tok = json_token(line, key).ok_or(DeltaError::MissingField {
+        line: line_no,
+        field: key,
+    })?;
+    tok.parse::<u32>().map_err(|_| DeltaError::BadField {
+        line: line_no,
+        field: key,
+    })
+}
+
+/// One batch of delta ops, in stream order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaBatch<E> {
+    /// The ops, in the order they were issued.
+    pub ops: Vec<DeltaOp<E>>,
+}
+
+impl<E: EdgeRecord> DeltaBatch<E> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self { ops: Vec::new() }
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether any op is a deletion.
+    pub fn has_deletes(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, DeltaOp::Delete { .. }))
+    }
+
+    /// Parses one NDJSON delta line, e.g.
+    /// `{"op":"insert","src":3,"dst":9,"weight":0.5}` or
+    /// `{"op":"delete","src":3,"dst":9}`. `weight` is optional and
+    /// ignored by unweighted edge types.
+    pub fn parse_line(line: &str, line_no: usize) -> Result<DeltaOp<E>, DeltaError> {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+            return Err(DeltaError::NotJson { line: line_no });
+        }
+        let op = json_token(trimmed, "op").ok_or(DeltaError::MissingField {
+            line: line_no,
+            field: "op",
+        })?;
+        let src = json_vertex(trimmed, "src", line_no)?;
+        let dst = json_vertex(trimmed, "dst", line_no)?;
+        match op {
+            "insert" | "add" => {
+                let weight = match json_token(trimmed, "weight") {
+                    Some(tok) => {
+                        let w = tok.parse::<f32>().map_err(|_| DeltaError::BadField {
+                            line: line_no,
+                            field: "weight",
+                        })?;
+                        if !w.is_finite() {
+                            return Err(DeltaError::BadField {
+                                line: line_no,
+                                field: "weight",
+                            });
+                        }
+                        w
+                    }
+                    None => 1.0,
+                };
+                Ok(DeltaOp::Insert(E::new(src, dst, weight)))
+            }
+            "delete" | "remove" => Ok(DeltaOp::Delete { src, dst }),
+            other => Err(DeltaError::UnknownOp {
+                line: line_no,
+                op: other.chars().take(32).collect(),
+            }),
+        }
+    }
+
+    /// Parses a whole NDJSON delta stream; blank lines are skipped.
+    pub fn parse_ndjson(text: &str) -> Result<Self, DeltaError> {
+        let mut ops = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            ops.push(Self::parse_line(line, i + 1)?);
+        }
+        Ok(Self { ops })
+    }
+
+    /// Checks every endpoint against `num_vertices`.
+    pub fn validate(&self, num_vertices: usize) -> Result<(), DeltaError> {
+        for op in &self.ops {
+            let (s, d) = op.endpoints();
+            for v in [s, d] {
+                if v as usize >= num_vertices {
+                    return Err(DeltaError::VertexOutOfRange {
+                        vertex: v,
+                        num_vertices,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The append-only op log layered over a frozen base snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaLog<E> {
+    ops: Vec<DeltaOp<E>>,
+}
+
+impl<E: EdgeRecord> DeltaLog<E> {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self { ops: Vec::new() }
+    }
+
+    /// The ops, in append order.
+    pub fn ops(&self) -> &[DeltaOp<E>] {
+        &self.ops
+    }
+
+    /// Number of logged ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends one op.
+    pub fn push(&mut self, op: DeltaOp<E>) {
+        self.ops.push(op);
+    }
+
+    /// Appends a whole batch.
+    pub fn append(&mut self, batch: &DeltaBatch<E>) {
+        self.ops.extend_from_slice(&batch.ops);
+    }
+
+    /// The log as one batch (for replay).
+    pub fn as_batch(&self) -> DeltaBatch<E> {
+        DeltaBatch {
+            ops: self.ops.clone(),
+        }
+    }
+
+    /// The undirected double of this log: every op also applied to the
+    /// reversed edge, matching [`EdgeList::to_undirected`].
+    pub fn to_undirected(&self) -> Self {
+        let mut ops = Vec::with_capacity(self.ops.len() * 2);
+        for op in &self.ops {
+            ops.push(*op);
+            ops.push(op.reversed());
+        }
+        Self { ops }
+    }
+
+    /// Folds the log into `base`, producing the merged edge list: base
+    /// edges surviving every delete, then the surviving inserts in log
+    /// order. Endpoints must already be validated against the base.
+    pub fn merge_into(&self, base: &EdgeList<E>) -> EdgeList<E> {
+        let mut deleted: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut inserted: Vec<E> = Vec::new();
+        for op in &self.ops {
+            match op {
+                DeltaOp::Insert(e) => inserted.push(*e),
+                DeltaOp::Delete { src, dst } => {
+                    inserted.retain(|e| (e.src(), e.dst()) != (*src, *dst));
+                    deleted.insert((*src, *dst));
+                }
+            }
+        }
+        let mut merged: Vec<E> = base
+            .edges()
+            .iter()
+            .filter(|e| !deleted.contains(&(e.src(), e.dst())))
+            .copied()
+            .collect();
+        merged.extend_from_slice(&inserted);
+        EdgeList::new(base.num_vertices(), merged)
+            .expect("merged endpoints were validated against the base vertex range")
+    }
+}
+
+/// One direction of the delta layout: a frozen base [`Adjacency`] plus
+/// the log's per-vertex overlay (surviving inserts) and tombstones
+/// (deleted base neighbors). Implements [`NeighborAccess`], so every
+/// vertex-centric kernel runs on the mutated graph without rebuilding
+/// the CSR.
+#[derive(Debug, Clone)]
+pub struct DeltaAdjacency<E> {
+    base: Adjacency<E>,
+    /// Surviving inserted edges, keyed by this direction's owner
+    /// vertex (src for out-adjacency, dst for in-adjacency).
+    added: Vec<Vec<E>>,
+    /// For owners with deleted *base* neighbors: how many base edges
+    /// are tombstoned and the set of deleted other-endpoints.
+    removed: HashMap<VertexId, (u32, HashSet<VertexId>)>,
+    num_edges: usize,
+}
+
+impl<E: EdgeRecord> DeltaAdjacency<E> {
+    /// Layers `log` over `base`. Op endpoints must be in range.
+    pub fn new(base: Adjacency<E>, log: &DeltaLog<E>) -> Self {
+        let by_dst = base.is_by_dst();
+        let owner_other =
+            |src: VertexId, dst: VertexId| if by_dst { (dst, src) } else { (src, dst) };
+        let nv = base.num_vertices();
+        let mut added: Vec<Vec<E>> = vec![Vec::new(); nv];
+        let mut tombstones: HashMap<VertexId, HashSet<VertexId>> = HashMap::new();
+        let mut n_added = 0usize;
+        for op in log.ops() {
+            match op {
+                DeltaOp::Insert(e) => {
+                    let (owner, _) = owner_other(e.src(), e.dst());
+                    added[owner as usize].push(*e);
+                    n_added += 1;
+                }
+                DeltaOp::Delete { src, dst } => {
+                    let (owner, other) = owner_other(*src, *dst);
+                    let list = &mut added[owner as usize];
+                    let before = list.len();
+                    list.retain(|e| {
+                        let (_, o) = owner_other(e.src(), e.dst());
+                        o != other
+                    });
+                    n_added -= before - list.len();
+                    tombstones.entry(owner).or_default().insert(other);
+                }
+            }
+        }
+        // Count how many *base* edges each tombstone set actually
+        // covers; owners whose set hits nothing keep the copy-free
+        // iteration path.
+        let mut removed = HashMap::new();
+        let mut n_removed = 0usize;
+        for (owner, set) in tombstones {
+            let cnt = base
+                .neighbors(owner)
+                .iter()
+                .filter(|e| {
+                    let (_, o) = owner_other(e.src(), e.dst());
+                    set.contains(&o)
+                })
+                .count();
+            if cnt > 0 {
+                n_removed += cnt;
+                removed.insert(owner, (cnt as u32, set));
+            }
+        }
+        let num_edges = base.num_edges() - n_removed + n_added;
+        Self {
+            base,
+            added,
+            removed,
+            num_edges,
+        }
+    }
+
+    /// Whether neighbor records are keyed by destination (in-adjacency).
+    pub fn is_by_dst(&self) -> bool {
+        self.base.is_by_dst()
+    }
+
+    /// The frozen base this overlay wraps.
+    pub fn base(&self) -> &Adjacency<E> {
+        &self.base
+    }
+
+    /// Live neighbors of `v` as an owned list (test / repair helper).
+    pub fn neighbors_vec(&self, v: VertexId) -> Vec<E> {
+        let mut out = Vec::with_capacity(self.degree(v));
+        self.for_each_span(v, |span| {
+            out.extend_from_slice(span);
+            span.len()
+        });
+        out
+    }
+
+    /// Approximate resident bytes of base plus overlay.
+    pub fn resident_bytes(&self) -> u64 {
+        let overlay: usize = self
+            .added
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<E>())
+            .sum();
+        let tombs: usize = self
+            .removed
+            .values()
+            .map(|(_, s)| s.len() * std::mem::size_of::<VertexId>() * 2)
+            .sum();
+        self.base.resident_bytes() + (overlay + tombs + self.added.len() * 24) as u64
+    }
+
+    #[inline]
+    fn other_endpoint(&self, e: &E) -> VertexId {
+        if self.base.is_by_dst() {
+            e.src()
+        } else {
+            e.dst()
+        }
+    }
+}
+
+impl<E: EdgeRecord> NeighborAccess<E> for DeltaAdjacency<E> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        let removed = self
+            .removed
+            .get(&v)
+            .map(|(cnt, _)| *cnt as usize)
+            .unwrap_or(0);
+        self.base.degree(v) - removed + self.added[v as usize].len()
+    }
+
+    #[inline]
+    fn edge_sim_addr(&self, v: VertexId, k: usize) -> u64 {
+        // Base edges keep their CSR address; overlay edges get a
+        // distinct synthetic region so the cache simulation sees them
+        // as separate (non-contiguous) lines, which is what a
+        // per-vertex spill allocation would look like.
+        let base_deg = self.base.degree(v);
+        if k < base_deg {
+            self.base.edge_sim_addr(v, k)
+        } else {
+            0x4000_0000_0000u64
+                + (v as u64 * SPAN_EDGES as u64 + (k - base_deg) as u64)
+                    * std::mem::size_of::<E>() as u64
+        }
+    }
+
+    fn for_each_span<F: FnMut(&[E]) -> usize>(&self, v: VertexId, mut f: F) {
+        let added = &self.added[v as usize];
+        match self.removed.get(&v) {
+            // No tombstoned base edge: iterate base spans in place,
+            // then the overlay.
+            None => {
+                for span in self.base.neighbors(v).chunks(SPAN_EDGES) {
+                    if f(span) < span.len() {
+                        return;
+                    }
+                }
+                for span in added.chunks(SPAN_EDGES) {
+                    if f(span) < span.len() {
+                        return;
+                    }
+                }
+            }
+            // Tombstones present: materialize live edges span by span.
+            Some((_, tombs)) => {
+                let mut buf: Vec<E> = Vec::with_capacity(SPAN_EDGES);
+                let live = self
+                    .base
+                    .neighbors(v)
+                    .iter()
+                    .filter(|e| !tombs.contains(&self.other_endpoint(e)))
+                    .chain(added.iter());
+                for e in live {
+                    buf.push(*e);
+                    if buf.len() == SPAN_EDGES {
+                        if f(&buf) < buf.len() {
+                            return;
+                        }
+                        buf.clear();
+                    }
+                }
+                if !buf.is_empty() {
+                    f(&buf);
+                }
+            }
+        }
+    }
+}
+
+/// The two-direction delta layout: [`DeltaAdjacency`] per stored
+/// direction, pluggable everywhere a [`VertexLayout`] is accepted.
+#[derive(Debug, Clone)]
+pub struct DeltaList<E> {
+    out: Option<DeltaAdjacency<E>>,
+    incoming: Option<DeltaAdjacency<E>>,
+}
+
+impl<E: EdgeRecord> DeltaList<E> {
+    /// Wraps pre-built base directions with the same log overlay.
+    pub fn new(
+        out: Option<Adjacency<E>>,
+        incoming: Option<Adjacency<E>>,
+        log: &DeltaLog<E>,
+    ) -> Self {
+        Self {
+            out: out.map(|a| DeltaAdjacency::new(a, log)),
+            incoming: incoming.map(|a| DeltaAdjacency::new(a, log)),
+        }
+    }
+
+    /// Approximate resident bytes of both directions.
+    pub fn resident_bytes(&self) -> u64 {
+        self.out.as_ref().map_or(0, DeltaAdjacency::resident_bytes)
+            + self
+                .incoming
+                .as_ref()
+                .map_or(0, DeltaAdjacency::resident_bytes)
+    }
+}
+
+impl<E: EdgeRecord> VertexLayout<E> for DeltaList<E> {
+    type Dir = DeltaAdjacency<E>;
+
+    fn num_vertices(&self) -> usize {
+        self.out
+            .as_ref()
+            .or(self.incoming.as_ref())
+            .map_or(0, |d| d.num_vertices())
+    }
+
+    fn num_edges(&self) -> usize {
+        self.out
+            .as_ref()
+            .or(self.incoming.as_ref())
+            .map_or(0, |d| d.num_edges())
+    }
+
+    fn out(&self) -> &DeltaAdjacency<E> {
+        self.out
+            .as_ref()
+            .expect("delta layout built without out-edges")
+    }
+
+    fn incoming(&self) -> &DeltaAdjacency<E> {
+        self.incoming
+            .as_ref()
+            .expect("delta layout built without in-edges")
+    }
+
+    fn out_opt(&self) -> Option<&DeltaAdjacency<E>> {
+        self.out.as_ref()
+    }
+
+    fn incoming_opt(&self) -> Option<&DeltaAdjacency<E>> {
+        self.incoming.as_ref()
+    }
+}
+
+/// Visits every live neighbor record of `v` (span iteration flattened;
+/// repair passes use this).
+pub fn for_each_neighbor<E: EdgeRecord, A: NeighborAccess<E>>(
+    access: &A,
+    v: VertexId,
+    mut f: impl FnMut(&E),
+) {
+    access.for_each_span(v, |span| {
+        for e in span {
+            f(e);
+        }
+        span.len()
+    });
+}
+
+/// The epoch-style publication cell (the arc-swap pattern, without the
+/// dependency): writers [`publish`](Self::publish) a fresh value and
+/// bump the epoch; readers [`load`](Self::load) the current `Arc` in a
+/// nanosecond-scale critical section and then work on it for as long
+/// as they like, pinned to the epoch they loaded — a compactor
+/// publishing a new snapshot never blocks or invalidates them.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    current: Mutex<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell at epoch 0 holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(value)),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current value; the returned `Arc` stays valid (pinned to
+    /// its epoch) across any number of subsequent publishes.
+    pub fn load(&self) -> Arc<T> {
+        self.current
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The current value and the epoch it was published at, read
+    /// atomically together.
+    pub fn load_with_epoch(&self) -> (Arc<T>, u64) {
+        let guard = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        (guard.clone(), self.epoch.load(Ordering::Acquire))
+    }
+
+    /// The current epoch (publishes so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes `value` as the new current; returns the new epoch.
+    pub fn publish(&self, value: T) -> u64 {
+        self.publish_arc(Arc::new(value))
+    }
+
+    /// Publishes an already-shared value; returns the new epoch.
+    pub fn publish_arc(&self, value: Arc<T>) -> u64 {
+        let mut guard = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard = value;
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// A published graph snapshot: the merged edge list as of `epoch`.
+#[derive(Debug)]
+pub struct GraphSnapshot<E: EdgeRecord> {
+    /// The epoch this snapshot was published at (0 = the base build).
+    pub epoch: u64,
+    /// The merged edge list.
+    pub edges: EdgeList<E>,
+}
+
+/// Statistics of one compaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactStats {
+    /// The epoch the merged snapshot was published at.
+    pub epoch: u64,
+    /// Log ops folded into the snapshot.
+    pub merged_ops: usize,
+    /// Edges before the merge.
+    pub edges_before: usize,
+    /// Edges after the merge.
+    pub edges_after: usize,
+    /// Wall-clock seconds spent merging and publishing.
+    pub seconds: f64,
+}
+
+/// A mutable graph: a frozen, epoch-published base snapshot plus the
+/// pending delta log. Readers take [`snapshot`](Self::snapshot) (never
+/// blocked by writers); updaters [`apply`](Self::apply) batches;
+/// [`compact`](Self::compact) folds the pending log into a fresh
+/// snapshot and flips the epoch pointer.
+#[derive(Debug)]
+pub struct DeltaGraph<E: EdgeRecord> {
+    snapshot: EpochCell<GraphSnapshot<E>>,
+    log: Mutex<DeltaLog<E>>,
+}
+
+impl<E: EdgeRecord> DeltaGraph<E> {
+    /// Starts from `base` at epoch 0 with an empty log.
+    pub fn new(base: EdgeList<E>) -> Self {
+        Self {
+            snapshot: EpochCell::new(GraphSnapshot {
+                epoch: 0,
+                edges: base,
+            }),
+            log: Mutex::new(DeltaLog::new()),
+        }
+    }
+
+    /// Number of vertices (fixed across updates).
+    pub fn num_vertices(&self) -> usize {
+        self.snapshot().edges.num_vertices()
+    }
+
+    /// The current published snapshot, pinned to its epoch.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot<E>> {
+        self.snapshot.load()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Pending (not yet compacted) ops.
+    pub fn pending_ops(&self) -> usize {
+        self.log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Pending ops as a fraction of the snapshot's edge count (the
+    /// incremental-vs-recompute fallback signal).
+    pub fn delta_fraction(&self) -> f64 {
+        self.pending_ops() as f64 / self.snapshot().edges.num_edges().max(1) as f64
+    }
+
+    /// Validates and appends one batch to the pending log; returns the
+    /// number of appended ops. On error nothing is appended.
+    pub fn apply(&self, batch: &DeltaBatch<E>) -> Result<usize, DeltaError> {
+        batch.validate(self.num_vertices())?;
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        log.append(batch);
+        Ok(batch.len())
+    }
+
+    /// The pending log, cloned (oracle / layout-construction helper).
+    pub fn pending_log(&self) -> DeltaLog<E> {
+        self.log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The merged edge list *as of now* (snapshot + pending log),
+    /// without publishing anything.
+    pub fn merged(&self) -> EdgeList<E> {
+        let log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        log.merge_into(&self.snapshot().edges)
+    }
+
+    /// Folds the pending log into a fresh snapshot, publishes it at
+    /// `epoch + 1`, and clears the log. Readers holding the old
+    /// snapshot are unaffected. A no-op (same epoch reported) when the
+    /// log is empty.
+    pub fn compact(&self) -> CompactStats {
+        let start = std::time::Instant::now();
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        let old = self.snapshot.load();
+        if log.is_empty() {
+            return CompactStats {
+                epoch: old.epoch,
+                merged_ops: 0,
+                edges_before: old.edges.num_edges(),
+                edges_after: old.edges.num_edges(),
+                seconds: start.elapsed().as_secs_f64(),
+            };
+        }
+        let merged = log.merge_into(&old.edges);
+        let stats = CompactStats {
+            epoch: old.epoch + 1,
+            merged_ops: log.len(),
+            edges_before: old.edges.num_edges(),
+            edges_after: merged.num_edges(),
+            seconds: 0.0,
+        };
+        self.snapshot.publish(GraphSnapshot {
+            epoch: old.epoch + 1,
+            edges: merged,
+        });
+        *log = DeltaLog::new();
+        CompactStats {
+            seconds: start.elapsed().as_secs_f64(),
+            ..stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::EdgeDirection;
+    use crate::preprocess::{CsrBuilder, Strategy};
+    use crate::types::Edge;
+
+    fn base_graph() -> EdgeList<Edge> {
+        EdgeList::new(
+            5,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(0, 1), // duplicate
+            ],
+        )
+        .unwrap()
+    }
+
+    fn delta_list(graph: &EdgeList<Edge>, log: &DeltaLog<Edge>) -> DeltaList<Edge> {
+        let (out, incoming) = CsrBuilder::new(Strategy::CountSort, EdgeDirection::Both)
+            .sort_neighbors(true)
+            .build(graph)
+            .into_parts();
+        DeltaList::new(out, incoming, log)
+    }
+
+    fn sorted_neighbors(d: &DeltaAdjacency<Edge>, v: VertexId) -> Vec<(u32, u32)> {
+        let mut n: Vec<(u32, u32)> = d.neighbors_vec(v).iter().map(|e| (e.src, e.dst)).collect();
+        n.sort_unstable();
+        n
+    }
+
+    #[test]
+    fn insert_and_delete_overlay_matches_merge() {
+        let base = base_graph();
+        let mut log = DeltaLog::new();
+        log.push(DeltaOp::Insert(Edge::new(3, 4)));
+        log.push(DeltaOp::Delete { src: 0, dst: 1 }); // kills both copies
+        log.push(DeltaOp::Insert(Edge::new(0, 1))); // one copy back
+        let list = delta_list(&base, &log);
+        let merged = log.merge_into(&base);
+
+        assert_eq!(merged.num_edges(), 5); // 5 - 2 + 2
+        assert_eq!(list.num_edges(), merged.num_edges());
+        assert_eq!(sorted_neighbors(list.out(), 0), vec![(0, 1), (0, 2)]);
+        assert_eq!(sorted_neighbors(list.out(), 3), vec![(3, 4)]);
+        assert_eq!(sorted_neighbors(list.incoming(), 1), vec![(0, 1)]);
+        assert_eq!(list.out().degree(0), 2);
+        assert_eq!(list.incoming().degree(4), 1);
+    }
+
+    #[test]
+    fn overlay_neighbors_equal_merged_csr_everywhere() {
+        let base = base_graph();
+        let mut log = DeltaLog::new();
+        for op in [
+            DeltaOp::Insert(Edge::new(4, 0)),
+            DeltaOp::Insert(Edge::new(2, 2)), // self loop
+            DeltaOp::Delete { src: 2, dst: 3 },
+            DeltaOp::Insert(Edge::new(1, 3)),
+            DeltaOp::Delete { src: 4, dst: 0 },
+        ] {
+            log.push(op);
+        }
+        let list = delta_list(&base, &log);
+        let merged = log.merge_into(&base);
+        let merged_csr = CsrBuilder::new(Strategy::CountSort, EdgeDirection::Both)
+            .sort_neighbors(true)
+            .build(&merged);
+        for v in 0..base.num_vertices() as u32 {
+            let mut want: Vec<(u32, u32)> = merged_csr
+                .out()
+                .neighbors(v)
+                .iter()
+                .map(|e| (e.src, e.dst))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(sorted_neighbors(list.out(), v), want, "out {v}");
+            let mut want_in: Vec<(u32, u32)> = merged_csr
+                .incoming()
+                .neighbors(v)
+                .iter()
+                .map(|e| (e.src, e.dst))
+                .collect();
+            want_in.sort_unstable();
+            assert_eq!(sorted_neighbors(list.incoming(), v), want_in, "in {v}");
+        }
+    }
+
+    #[test]
+    fn span_early_termination_still_works() {
+        let nv = 3usize;
+        let edges: Vec<Edge> = (0..200).map(|i| Edge::new(0, (i % 2) + 1)).collect();
+        let base = EdgeList::new(nv, edges).unwrap();
+        let mut log = DeltaLog::new();
+        log.push(DeltaOp::Delete { src: 0, dst: 1 });
+        let list = delta_list(&base, &log);
+        let mut spans = 0;
+        list.out().for_each_span(0, |span| {
+            assert!(span.len() <= SPAN_EDGES);
+            spans += 1;
+            0 // stop immediately
+        });
+        assert_eq!(spans, 1);
+        assert_eq!(list.out().degree(0), 100);
+    }
+
+    #[test]
+    fn ndjson_roundtrip_and_typed_errors() {
+        let batch: DeltaBatch<Edge> = DeltaBatch::parse_ndjson(
+            "{\"op\":\"insert\",\"src\":1,\"dst\":2}\n\n{\"op\":\"delete\",\"src\":0,\"dst\":2}\n",
+        )
+        .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(batch.has_deletes());
+
+        for (text, want) in [
+            ("not json", DeltaError::NotJson { line: 1 }),
+            (
+                "{\"src\":1,\"dst\":2}",
+                DeltaError::MissingField {
+                    line: 1,
+                    field: "op",
+                },
+            ),
+            (
+                "{\"op\":\"insert\",\"dst\":2}",
+                DeltaError::MissingField {
+                    line: 1,
+                    field: "src",
+                },
+            ),
+            (
+                "{\"op\":\"insert\",\"src\":-3,\"dst\":2}",
+                DeltaError::BadField {
+                    line: 1,
+                    field: "src",
+                },
+            ),
+            (
+                "{\"op\":\"frob\",\"src\":1,\"dst\":2}",
+                DeltaError::UnknownOp {
+                    line: 1,
+                    op: "frob".into(),
+                },
+            ),
+        ] {
+            assert_eq!(
+                DeltaBatch::<Edge>::parse_ndjson(text).unwrap_err(),
+                want,
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_validates_and_compact_flips_epoch() {
+        let dg = DeltaGraph::new(base_graph());
+        assert_eq!(dg.epoch(), 0);
+        let bad = DeltaBatch {
+            ops: vec![DeltaOp::Insert(Edge::new(0, 9))],
+        };
+        assert_eq!(
+            dg.apply(&bad).unwrap_err(),
+            DeltaError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 5
+            }
+        );
+        assert_eq!(dg.pending_ops(), 0);
+
+        let good = DeltaBatch {
+            ops: vec![
+                DeltaOp::Insert(Edge::new(3, 4)),
+                DeltaOp::Delete { src: 0, dst: 2 },
+            ],
+        };
+        assert_eq!(dg.apply(&good).unwrap(), 2);
+        assert!(dg.delta_fraction() > 0.0);
+        let merged = dg.merged();
+        assert_eq!(merged.num_edges(), 5);
+
+        let reader = dg.snapshot(); // pinned to epoch 0
+        let stats = dg.compact();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.merged_ops, 2);
+        assert_eq!(stats.edges_after, 5);
+        assert_eq!(dg.epoch(), 1);
+        assert_eq!(dg.pending_ops(), 0);
+        // The pinned reader still sees the pre-compaction graph.
+        assert_eq!(reader.epoch, 0);
+        assert_eq!(reader.edges.num_edges(), 5);
+        assert_eq!(dg.snapshot().edges.num_edges(), 5);
+        // Compacting an empty log is a no-op.
+        assert_eq!(dg.compact().epoch, 1);
+    }
+
+    /// Satellite: readers pinned on the old epoch observe a consistent
+    /// graph while the compactor publishes new ones. Runs under miri
+    /// (the pointer-flip path is pure `Mutex<Arc>` + atomics).
+    #[test]
+    fn concurrent_readers_see_consistent_snapshots_during_compaction() {
+        let stress = if cfg!(miri) { 4 } else { 64 };
+        let dg = std::sync::Arc::new(DeltaGraph::new(base_graph()));
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let dg = std::sync::Arc::clone(&dg);
+                    s.spawn(move || {
+                        for _ in 0..stress {
+                            let snap = dg.snapshot();
+                            // Consistency: the edge list of a pinned
+                            // snapshot never changes, whatever the
+                            // compactor does meanwhile.
+                            let n1 = snap.edges.num_edges();
+                            std::thread::yield_now();
+                            let n2 = snap.edges.num_edges();
+                            assert_eq!(n1, n2);
+                            assert!(snap.epoch <= dg.epoch());
+                            for e in snap.edges.edges() {
+                                assert!((e.src() as usize) < snap.edges.num_vertices());
+                                assert!((e.dst() as usize) < snap.edges.num_vertices());
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let writer = {
+                let dg = std::sync::Arc::clone(&dg);
+                s.spawn(move || {
+                    for i in 0..stress {
+                        let v = (i % 4) as u32;
+                        dg.apply(&DeltaBatch {
+                            ops: vec![DeltaOp::Insert(Edge::new(v, v + 1))],
+                        })
+                        .unwrap();
+                        let stats = dg.compact();
+                        assert_eq!(stats.epoch, (i + 1) as u64);
+                    }
+                })
+            };
+            for r in readers {
+                r.join().unwrap();
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(dg.epoch(), stress as u64);
+        assert_eq!(dg.snapshot().edges.num_edges(), 5 + stress);
+    }
+}

@@ -14,13 +14,22 @@
 //!   layout adapted to in-memory processing); improves cache locality
 //!   and enables lock-free push (column ownership) and pull (row
 //!   ownership).
+//! * **Delta** ([`delta::DeltaAdjacency`], [`delta::DeltaList`]) — a
+//!   frozen CSR plus an append-only insert/delete log overlay; the
+//!   mutable layout, compacted into fresh snapshots behind an
+//!   epoch-published pointer flip (DESIGN.md §16).
 
 pub mod ccsr;
 pub mod csr;
+pub mod delta;
 pub mod grid;
 
 pub use ccsr::{CcsrAdjacency, CcsrError, CcsrList};
 pub use csr::{Adjacency, AdjacencyList, EdgeDirection, Storage};
+pub use delta::{
+    for_each_neighbor, CompactStats, DeltaAdjacency, DeltaBatch, DeltaError, DeltaGraph, DeltaList,
+    DeltaLog, DeltaOp, EpochCell, GraphSnapshot,
+};
 pub use grid::Grid;
 
 use crate::types::{EdgeRecord, VertexId};

@@ -65,8 +65,9 @@ pub mod prelude {
     pub use crate::frontier::{FrontierKind, VertexSubset};
     pub use crate::inspect::{summarize, GraphSummary};
     pub use crate::layout::{
-        Adjacency, AdjacencyList, CcsrAdjacency, CcsrError, CcsrList, EdgeDirection, Grid,
-        NeighborAccess, VertexLayout,
+        Adjacency, AdjacencyList, CcsrAdjacency, CcsrError, CcsrList, CompactStats, DeltaAdjacency,
+        DeltaBatch, DeltaError, DeltaGraph, DeltaList, DeltaLog, DeltaOp, EdgeDirection, EpochCell,
+        GraphSnapshot, Grid, NeighborAccess, VertexLayout,
     };
     pub use crate::metrics::{timed, IterStat, StepMode, TimeBreakdown};
     pub use crate::preprocess::{CcsrBuilder, CsrBuilder, GridBuilder, PreprocessStats, Strategy};

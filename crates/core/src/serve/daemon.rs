@@ -19,13 +19,31 @@
 //! slot: `{"id":1,"ok":false,"error":"..."}`. The connection stays
 //! open until the client closes it.
 //!
+//! Lines carrying an `op` field instead of `algo` mutate the served
+//! graph (DESIGN.md §16):
+//!
+//! ```text
+//! → {"op":"insert","src":3,"dst":9}          (also "delete"; weighted
+//! ← {"ok":true,"op":"update","applied":1,     graphs take "weight")
+//!    "pending":4}
+//! → {"op":"compact"}
+//! ← {"ok":true,"op":"compact","epoch":2,"merged_ops":4,
+//!    "resident_bytes":123456}
+//! ```
+//!
+//! Updates append to a pending log; queries keep answering from the
+//! current snapshot until `compact` merges the log, rebuilds the
+//! resident layout and publishes it under a bumped epoch — in-flight
+//! waves finish on the snapshot they started with.
+//!
 //! The daemon also answers plain HTTP on the query port, so load
 //! balancers and operators need no second port:
 //!
-//! - `GET /healthz` — `200 ok layout=<adj|grid|ccsr>
-//!   resident_bytes=<N> queue_depth=<Q> inflight=<I>` once the layout
-//!   build finished (`503 loading` before); queue depth and inflight
-//!   let a balancer shed load before saturation.
+//! - `GET /healthz` — `200 ok layout=<adj|grid|ccsr|delta>
+//!   resident_bytes=<N> queue_depth=<Q> inflight=<I> epoch=<E>
+//!   pending_ops=<P>` once the layout build finished (`503 loading`
+//!   before); queue depth and inflight let a balancer shed load before
+//!   saturation, and epoch confirms whether an update stream landed.
 //! - `GET /debug/queries?n=K` — the flight recorder's last `K` query
 //!   events (default 64, capped by the ring capacity) as NDJSON,
 //!   oldest first: every live daemon can always explain its recent
@@ -227,11 +245,13 @@ fn http_get(path: &str, engine: &ServeEngine) -> (&'static str, &'static str, St
                     "200 OK",
                     TEXT_PLAIN,
                     format!(
-                        "ok layout={} resident_bytes={} queue_depth={} inflight={}\n",
+                        "ok layout={} resident_bytes={} queue_depth={} inflight={} epoch={} pending_ops={}\n",
                         engine.layout_name(),
                         engine.resident_bytes(),
                         engine.queue_depth(),
-                        engine.inflight()
+                        engine.inflight(),
+                        engine.epoch(),
+                        engine.pending_ops()
                     ),
                 )
             } else {
@@ -267,6 +287,9 @@ fn http_get(path: &str, engine: &ServeEngine) -> (&'static str, &'static str, St
 /// Parses one request line and produces the response line (no trailing
 /// newline).
 fn answer(line: &str, engine: &ServeEngine) -> String {
+    if let Some(response) = answer_update(line, engine) {
+        return response;
+    }
     let (id, parsed) = match parse_request(line) {
         Ok(x) => x,
         Err((id, msg)) => return error_response(&id, &msg),
@@ -280,6 +303,36 @@ fn answer(line: &str, engine: &ServeEngine) -> String {
         Ok(outcome) => ok_response(&id, query, &outcome, want_values),
         Err(_) => error_response(&id, "engine shut down before the query completed"),
     }
+}
+
+/// Handles a graph-mutation line (one with an `op` field); `None`
+/// routes the line to the query path.
+fn answer_update(line: &str, engine: &ServeEngine) -> Option<String> {
+    let value = json::parse(line).ok()?;
+    let obj = value.as_object()?;
+    let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let op = field("op").and_then(Value::as_str)?;
+    let id = match field("id") {
+        Some(Value::Number(n)) => json::number(*n),
+        Some(Value::String(s)) => json::string(s),
+        _ => "null".to_string(),
+    };
+    if op == "compact" {
+        let c = engine.compact();
+        return Some(format!(
+            "{{\"id\":{id},\"ok\":true,\"op\":\"compact\",\"epoch\":{},\"merged_ops\":{},\"resident_bytes\":{}}}",
+            c.epoch, c.merged_ops, c.resident_bytes
+        ));
+    }
+    // insert/delete lines (and unknown ops, which come back as the
+    // typed parse error) are handed to the engine verbatim.
+    Some(match engine.apply_update(line) {
+        Ok(applied) => format!(
+            "{{\"id\":{id},\"ok\":true,\"op\":\"update\",\"applied\":{applied},\"pending\":{}}}",
+            engine.pending_ops()
+        ),
+        Err(e) => error_response(&id, &e.to_string()),
+    })
 }
 
 /// `(id-as-json, ((query, want_values)))` or `(id-as-json, message)`.
@@ -534,6 +587,47 @@ mod tests {
         // Oldest first: the last line is the most recent query.
         let last = json::parse(lines[1]).unwrap();
         assert_eq!(get_field(&last, "source").as_number(), Some(2.0));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn update_ops_mutate_the_graph_over_the_wire() {
+        let daemon = daemon_on_chain(16);
+        daemon.wait_ready();
+
+        // Insert a shortcut, confirm it is pending, compact, and watch
+        // the answer (and the healthz epoch) change.
+        let response = roundtrip(daemon.addr(), r#"{"id":1,"op":"insert","src":0,"dst":15}"#);
+        assert_eq!(get_field(&response, "ok"), &Value::Bool(true));
+        assert_eq!(get_field(&response, "applied").as_number(), Some(1.0));
+        assert_eq!(get_field(&response, "pending").as_number(), Some(1.0));
+
+        let response = roundtrip(daemon.addr(), r#"{"id":2,"op":"compact"}"#);
+        assert_eq!(get_field(&response, "ok"), &Value::Bool(true));
+        assert_eq!(get_field(&response, "epoch").as_number(), Some(2.0));
+        assert_eq!(get_field(&response, "merged_ops").as_number(), Some(1.0));
+
+        let response = roundtrip(
+            daemon.addr(),
+            r#"{"id":3,"algo":"bfs","source":0,"values":true}"#,
+        );
+        let values = get_field(&response, "values").as_array().unwrap();
+        assert_eq!(values[15].as_number(), Some(1.0), "shortcut landed");
+
+        let health = http_get_raw(daemon.addr(), "/healthz");
+        let body = health.rsplit("\r\n\r\n").next().unwrap();
+        assert!(body.contains("epoch=2"), "{health}");
+        assert!(body.contains("pending_ops=0"), "{health}");
+
+        // Malformed and unknown ops come back as in-band typed errors.
+        let response = roundtrip(daemon.addr(), r#"{"id":4,"op":"explode","src":0,"dst":1}"#);
+        assert_eq!(get_field(&response, "ok"), &Value::Bool(false));
+        assert!(get_field(&response, "error")
+            .as_str()
+            .unwrap()
+            .contains("unknown op"));
+        let response = roundtrip(daemon.addr(), r#"{"id":5,"op":"insert","src":0}"#);
+        assert_eq!(get_field(&response, "ok"), &Value::Bool(false));
         daemon.shutdown();
     }
 

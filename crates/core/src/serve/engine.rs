@@ -23,7 +23,10 @@ use egraph_parallel::ThreadPool;
 use egraph_perf::{CounterKind, PerfCounters};
 
 use crate::exec::ExecCtx;
-use crate::layout::{AdjacencyList, CcsrList, EdgeDirection, Grid};
+use crate::layout::{
+    AdjacencyList, CcsrList, DeltaBatch, DeltaError, DeltaList, DeltaLog, EdgeDirection, EpochCell,
+    Grid, VertexLayout,
+};
 use crate::preprocess::{CcsrBuilder, CsrBuilder, GridBuilder, Strategy};
 use crate::types::{Edge, EdgeList, VertexId, WEdge};
 use crate::variant::{default_grid_side, Algo, Layout, VariantError};
@@ -113,7 +116,9 @@ impl ServeGraph {
     }
 }
 
-/// The resident layout the engine traverses, built once at start-up.
+/// The resident layout the engine traverses, built at start-up and
+/// rebuilt by [`ServeEngine::compact`] (published via an epoch flip so
+/// in-flight waves keep their snapshot).
 enum Resident {
     AdjUnweighted(AdjacencyList<Edge>),
     AdjWeighted(AdjacencyList<WEdge>),
@@ -121,41 +126,65 @@ enum Resident {
     GridWeighted(Grid<WEdge>),
     CcsrUnweighted(CcsrList<Edge>),
     CcsrWeighted(CcsrList<WEdge>),
+    DeltaUnweighted(DeltaList<Edge>),
+    DeltaWeighted(DeltaList<WEdge>),
 }
 
 impl Resident {
     /// Builds the configured layout (radix sort, the §5 pick for large
     /// inputs; neighbor-sorted so adj and ccsr traverse identical
     /// orders).
-    fn build(graph: &ServeGraph, layout: Layout) -> Self {
-        match (layout, graph) {
-            (Layout::Adjacency, ServeGraph::Unweighted(g)) => Resident::AdjUnweighted(
+    fn build_unweighted(g: &EdgeList<Edge>, layout: Layout) -> Self {
+        match layout {
+            Layout::Adjacency => Resident::AdjUnweighted(
                 CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
                     .sort_neighbors(true)
                     .build(g),
             ),
-            (Layout::Adjacency, ServeGraph::Weighted(g)) => Resident::AdjWeighted(
+            Layout::Grid => Resident::GridUnweighted(
+                GridBuilder::new(Strategy::RadixSort)
+                    .side(default_grid_side(g.num_vertices()))
+                    .build(g),
+            ),
+            Layout::Ccsr => Resident::CcsrUnweighted(
+                CcsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(g),
+            ),
+            Layout::Delta => {
+                let (out, inc) = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+                    .sort_neighbors(true)
+                    .build(g)
+                    .into_parts();
+                Resident::DeltaUnweighted(DeltaList::new(out, inc, &DeltaLog::new()))
+            }
+            Layout::EdgeList => {
+                panic!("the edge layout has no servable per-vertex index; use adj, grid or ccsr")
+            }
+        }
+    }
+
+    fn build_weighted(g: &EdgeList<WEdge>, layout: Layout) -> Self {
+        match layout {
+            Layout::Adjacency => Resident::AdjWeighted(
                 CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
                     .sort_neighbors(true)
                     .build(g),
             ),
-            (Layout::Grid, ServeGraph::Unweighted(g)) => Resident::GridUnweighted(
+            Layout::Grid => Resident::GridWeighted(
                 GridBuilder::new(Strategy::RadixSort)
                     .side(default_grid_side(g.num_vertices()))
                     .build(g),
             ),
-            (Layout::Grid, ServeGraph::Weighted(g)) => Resident::GridWeighted(
-                GridBuilder::new(Strategy::RadixSort)
-                    .side(default_grid_side(g.num_vertices()))
-                    .build(g),
-            ),
-            (Layout::Ccsr, ServeGraph::Unweighted(g)) => Resident::CcsrUnweighted(
+            Layout::Ccsr => Resident::CcsrWeighted(
                 CcsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(g),
             ),
-            (Layout::Ccsr, ServeGraph::Weighted(g)) => Resident::CcsrWeighted(
-                CcsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out).build(g),
-            ),
-            (Layout::EdgeList, _) => {
+            Layout::Delta => {
+                let (out, inc) = CsrBuilder::new(Strategy::RadixSort, EdgeDirection::Out)
+                    .sort_neighbors(true)
+                    .build(g)
+                    .into_parts();
+                Resident::DeltaWeighted(DeltaList::new(out, inc, &DeltaLog::new()))
+            }
+            Layout::EdgeList => {
                 panic!("the edge layout has no servable per-vertex index; use adj, grid or ccsr")
             }
         }
@@ -171,8 +200,112 @@ impl Resident {
             Resident::GridWeighted(g) => g.resident_bytes(),
             Resident::CcsrUnweighted(c) => c.resident_bytes(),
             Resident::CcsrWeighted(c) => c.resident_bytes(),
+            Resident::DeltaUnweighted(d) => d.resident_bytes(),
+            Resident::DeltaWeighted(d) => d.resident_bytes(),
         }
     }
+}
+
+/// The authoritative graph behind the resident layout: the merged edge
+/// array plus the pending (applied but not yet compacted) delta log.
+/// Updates lock this; query waves never do — they read the epoch cell.
+enum MutableGraph {
+    Unweighted {
+        edges: EdgeList<Edge>,
+        log: DeltaLog<Edge>,
+    },
+    Weighted {
+        edges: EdgeList<WEdge>,
+        log: DeltaLog<WEdge>,
+    },
+}
+
+impl MutableGraph {
+    fn new(graph: ServeGraph) -> Self {
+        match graph {
+            ServeGraph::Unweighted(edges) => MutableGraph::Unweighted {
+                edges,
+                log: DeltaLog::new(),
+            },
+            ServeGraph::Weighted(edges) => MutableGraph::Weighted {
+                edges,
+                log: DeltaLog::new(),
+            },
+        }
+    }
+
+    fn pending_ops(&self) -> usize {
+        match self {
+            MutableGraph::Unweighted { log, .. } => log.len(),
+            MutableGraph::Weighted { log, .. } => log.len(),
+        }
+    }
+
+    /// Parses and appends an NDJSON delta stream; all-or-nothing — a
+    /// malformed or out-of-range line rejects the whole text.
+    fn apply(&mut self, ndjson: &str) -> Result<usize, DeltaError> {
+        match self {
+            MutableGraph::Unweighted { edges, log } => {
+                let batch = DeltaBatch::<Edge>::parse_ndjson(ndjson)?;
+                batch.validate(edges.num_vertices())?;
+                log.append(&batch);
+                Ok(batch.len())
+            }
+            MutableGraph::Weighted { edges, log } => {
+                let batch = DeltaBatch::<WEdge>::parse_ndjson(ndjson)?;
+                batch.validate(edges.num_vertices())?;
+                log.append(&batch);
+                Ok(batch.len())
+            }
+        }
+    }
+
+    /// Replays the pending log into the edge array and clears it,
+    /// returning how many ops were merged.
+    fn merge_pending(&mut self) -> usize {
+        match self {
+            MutableGraph::Unweighted { edges, log } => {
+                let merged_ops = log.len();
+                if merged_ops > 0 {
+                    *edges = log.merge_into(edges);
+                    *log = DeltaLog::new();
+                }
+                merged_ops
+            }
+            MutableGraph::Weighted { edges, log } => {
+                let merged_ops = log.len();
+                if merged_ops > 0 {
+                    *edges = log.merge_into(edges);
+                    *log = DeltaLog::new();
+                }
+                merged_ops
+            }
+        }
+    }
+
+    /// Builds the resident layout of the *merged* graph (current edges,
+    /// pending log ignored — callers merge first).
+    fn build_resident(&self, layout: Layout) -> Resident {
+        match self {
+            MutableGraph::Unweighted { edges, .. } => Resident::build_unweighted(edges, layout),
+            MutableGraph::Weighted { edges, .. } => Resident::build_weighted(edges, layout),
+        }
+    }
+}
+
+/// What [`ServeEngine::compact`] reports back to the caller (and the
+/// daemon puts on the wire).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeCompaction {
+    /// The epoch of the published snapshot (unchanged when the log was
+    /// empty).
+    pub epoch: u64,
+    /// How many delta ops were merged into the new snapshot.
+    pub merged_ops: usize,
+    /// Resident heap bytes of the (re)built layout.
+    pub resident_bytes: u64,
+    /// Wall seconds spent merging and rebuilding.
+    pub seconds: f64,
 }
 
 /// The algorithm of a point query.
@@ -455,10 +588,20 @@ impl Metrics {
     }
 }
 
+/// The graph state shared between the engine handle (updates,
+/// compaction) and the scheduler (wave execution): the mutable merged
+/// graph plus the epoch-published resident snapshot. Waves only touch
+/// the epoch cell, so updates and compaction never block readers.
+struct GraphState {
+    mutated: Mutex<MutableGraph>,
+    resident: EpochCell<Option<Resident>>,
+}
+
 /// A running batched-query engine. Dropping it drains the admission
 /// queue and joins the scheduler.
 pub struct ServeEngine {
     shared: Arc<Shared>,
+    state: Arc<GraphState>,
     scheduler: Option<JoinHandle<()>>,
     num_vertices: usize,
     weighted: bool,
@@ -506,8 +649,13 @@ impl ServeEngine {
         let resident_bytes = Arc::new(AtomicU64::new(0));
         let journal = Arc::new(QueryJournal::new(config.journal_capacity));
         let wave_perf = Arc::new(OnceLock::new());
+        let state = Arc::new(GraphState {
+            mutated: Mutex::new(MutableGraph::new(graph)),
+            resident: EpochCell::new(None),
+        });
         let scheduler = {
             let shared = Arc::clone(&shared);
+            let state = Arc::clone(&state);
             let ready = Arc::clone(&ready);
             let resident_bytes = Arc::clone(&resident_bytes);
             let journal = Arc::clone(&journal);
@@ -517,7 +665,7 @@ impl ServeEngine {
                 .name("egraph-serve-sched".into())
                 .spawn(move || {
                     scheduler_loop(
-                        graph,
+                        &state,
                         config,
                         &shared,
                         &ready,
@@ -530,6 +678,7 @@ impl ServeEngine {
         };
         Self {
             shared,
+            state,
             scheduler: Some(scheduler),
             num_vertices,
             weighted,
@@ -592,6 +741,61 @@ impl ServeEngine {
     /// [`ServeConfig::journal_capacity`] query events.
     pub fn journal(&self) -> &QueryJournal {
         &self.journal
+    }
+
+    /// The epoch of the published resident snapshot: `0` while loading,
+    /// `1` after the initial build, `+1` per [`Self::compact`] that
+    /// merged a non-empty log. `/healthz` reports this so clients can
+    /// confirm an update stream actually landed.
+    pub fn epoch(&self) -> u64 {
+        self.state.resident.epoch()
+    }
+
+    /// Delta ops applied but not yet compacted into the resident
+    /// snapshot.
+    pub fn pending_ops(&self) -> usize {
+        let mutated = self.state.mutated.lock().expect("mutated poisoned");
+        mutated.pending_ops()
+    }
+
+    /// Parses an NDJSON edge-delta stream and appends it to the pending
+    /// log. All-or-nothing: a malformed or out-of-range line rejects the
+    /// whole text and leaves the log untouched. The resident snapshot is
+    /// unchanged until [`Self::compact`] publishes the merge.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`DeltaError`] naming the offending line.
+    pub fn apply_update(&self, ndjson: &str) -> Result<usize, DeltaError> {
+        let mut mutated = self.state.mutated.lock().expect("mutated poisoned");
+        mutated.apply(ndjson)
+    }
+
+    /// Merges the pending delta log into the graph, rebuilds the
+    /// resident layout and publishes it with an epoch bump. In-flight
+    /// waves keep the snapshot they loaded; the next wave sees the new
+    /// one. An empty log is a no-op that keeps the current epoch.
+    pub fn compact(&self) -> ServeCompaction {
+        let mut mutated = self.state.mutated.lock().expect("mutated poisoned");
+        let merged_ops = mutated.merge_pending();
+        if merged_ops == 0 {
+            return ServeCompaction {
+                epoch: self.state.resident.epoch(),
+                merged_ops: 0,
+                resident_bytes: self.resident_bytes(),
+                seconds: 0.0,
+            };
+        }
+        let (resident, seconds) = crate::metrics::timed(|| mutated.build_resident(self.layout));
+        let resident_bytes = resident.resident_bytes();
+        let epoch = self.state.resident.publish(Some(resident));
+        self.resident_bytes.store(resident_bytes, Ordering::Release);
+        ServeCompaction {
+            epoch,
+            merged_ops,
+            resident_bytes,
+            seconds,
+        }
     }
 
     /// Which hardware counters the engine samples per wave, with typed
@@ -660,7 +864,7 @@ impl Drop for ServeEngine {
 }
 
 fn scheduler_loop(
-    graph: ServeGraph,
+    state: &GraphState,
     config: ServeConfig,
     shared: &Shared,
     ready: &AtomicBool,
@@ -668,10 +872,15 @@ fn scheduler_loop(
     journal: &QueryJournal,
     wave_perf: &OnceLock<WavePerfStatus>,
 ) {
-    // The graph is loaded once into a shared read-optimized layout;
-    // every wave traverses the same arrays.
-    let resident = Resident::build(&graph, config.layout);
+    // The graph is loaded into a read-optimized layout and published at
+    // epoch 1; compaction republishes at later epochs, and each wave
+    // loads whichever snapshot is current when it launches.
+    let resident = {
+        let mutated = state.mutated.lock().expect("mutated poisoned");
+        mutated.build_resident(config.layout)
+    };
     resident_bytes.store(resident.resident_bytes(), Ordering::Release);
+    state.resident.publish(Some(resident));
     let threads = if config.threads == 0 {
         egraph_parallel::pool::default_num_threads()
     } else {
@@ -704,7 +913,6 @@ fn scheduler_loop(
     ready.store(true, Ordering::Release);
 
     let runner = WaveRunner {
-        resident: &resident,
         pool: &pool,
         metrics: metrics.as_ref(),
         wave_counters: &wave_counters,
@@ -764,7 +972,14 @@ fn scheduler_loop(
             admission.queue = rest;
             wave
         };
-        runner.run(wave, wave_id);
+        // Pin this wave to the currently published snapshot; a compact
+        // racing us flips the pointer for *later* waves only.
+        let snapshot = state.resident.load();
+        let resident = snapshot
+            .as_ref()
+            .as_ref()
+            .expect("resident published before waves launch");
+        runner.run(resident, wave, wave_id);
         wave_id += 1;
     }
 }
@@ -772,7 +987,6 @@ fn scheduler_loop(
 /// Everything one wave execution needs, bundled so the scheduler loop
 /// stays readable.
 struct WaveRunner<'a> {
-    resident: &'a Resident,
     pool: &'a ThreadPool,
     metrics: Option<&'a Metrics>,
     wave_counters: &'a WaveCounterHists,
@@ -783,8 +997,7 @@ struct WaveRunner<'a> {
 }
 
 impl WaveRunner<'_> {
-    fn run(&self, wave: Vec<Pending>, wave_id: u64) {
-        let resident = self.resident;
+    fn run(&self, resident: &Resident, wave: Vec<Pending>, wave_id: u64) {
         let metrics = self.metrics;
         let journal = self.journal;
         let kind = wave[0].query.kind;
@@ -814,11 +1027,16 @@ impl WaveRunner<'_> {
                     .map(QueryValues::Dists)
                     .collect()
             }
+            (QueryKind::Sssp, Resident::DeltaWeighted(dl)) => multi_sssp(dl.out(), &sources, &ctx)
+                .into_iter()
+                .map(QueryValues::Dists)
+                .collect(),
             (
                 QueryKind::Sssp,
                 Resident::AdjUnweighted(_)
                 | Resident::GridUnweighted(_)
-                | Resident::CcsrUnweighted(_),
+                | Resident::CcsrUnweighted(_)
+                | Resident::DeltaUnweighted(_),
             ) => {
                 unreachable!("submit rejects sssp on unweighted graphs")
             }
@@ -843,6 +1061,14 @@ impl WaveRunner<'_> {
                 .map(QueryValues::Levels)
                 .collect(),
             (_, Resident::GridWeighted(grid)) => multi_bfs_grid(grid, &sources, max_depth, &ctx)
+                .into_iter()
+                .map(QueryValues::Levels)
+                .collect(),
+            (_, Resident::DeltaUnweighted(dl)) => multi_bfs(dl.out(), &sources, max_depth, &ctx)
+                .into_iter()
+                .map(QueryValues::Levels)
+                .collect(),
+            (_, Resident::DeltaWeighted(dl)) => multi_bfs(dl.out(), &sources, max_depth, &ctx)
                 .into_iter()
                 .map(QueryValues::Levels)
                 .collect(),
@@ -1351,6 +1577,106 @@ mod tests {
         ] {
             assert!(rendered.contains(name), "missing {name} in exposition");
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn updates_apply_and_compact_republishes_under_a_new_epoch() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(16)),
+            ServeConfig {
+                threads: 1,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        engine.wait_ready();
+        assert_eq!(engine.epoch(), 1, "initial build publishes epoch 1");
+        let bfs_levels = |engine: &ServeEngine| {
+            let rx = engine
+                .submit(Query {
+                    kind: QueryKind::Bfs,
+                    source: 0,
+                    depth: 0,
+                })
+                .unwrap();
+            match rx.recv().unwrap().values {
+                QueryValues::Levels(l) => l,
+                other => panic!("expected levels, got {other:?}"),
+            }
+        };
+        assert_eq!(bfs_levels(&engine)[15], 15);
+
+        // A shortcut edge is pending but invisible until compaction.
+        let applied = engine
+            .apply_update("{\"op\":\"insert\",\"src\":0,\"dst\":15}\n")
+            .unwrap();
+        assert_eq!(applied, 1);
+        assert_eq!(engine.pending_ops(), 1);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(bfs_levels(&engine)[15], 15, "pre-compaction snapshot");
+
+        let c = engine.compact();
+        assert_eq!(c.epoch, 2);
+        assert_eq!(c.merged_ops, 1);
+        assert_eq!(engine.pending_ops(), 0);
+        assert_eq!(bfs_levels(&engine)[15], 1, "post-compaction snapshot");
+
+        // Out-of-range and malformed streams are typed errors that
+        // leave the log untouched.
+        let err = engine
+            .apply_update("{\"op\":\"insert\",\"src\":0,\"dst\":99}\n")
+            .unwrap_err();
+        assert!(matches!(err, DeltaError::VertexOutOfRange { .. }), "{err}");
+        assert!(engine.apply_update("not json").is_err());
+        assert_eq!(engine.pending_ops(), 0);
+
+        // An empty log compacts to a no-op at the same epoch.
+        let c = engine.compact();
+        assert_eq!(c.epoch, 2);
+        assert_eq!(c.merged_ops, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn delta_layout_serves_and_survives_compaction() {
+        let engine = ServeEngine::start(
+            ServeGraph::Unweighted(chain_graph(32)),
+            ServeConfig {
+                threads: 1,
+                layout: Layout::Delta,
+                metrics: false,
+                ..ServeConfig::default()
+            },
+        );
+        engine.wait_ready();
+        assert_eq!(engine.layout_name(), "delta");
+        assert!(engine.resident_bytes() > 0);
+        let rx = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 0,
+                depth: 0,
+            })
+            .unwrap();
+        assert_eq!(rx.recv().unwrap().values.reachable(), 32);
+        engine
+            .apply_update("{\"op\":\"delete\",\"src\":15,\"dst\":16}\n")
+            .unwrap();
+        let c = engine.compact();
+        assert_eq!(c.epoch, 2);
+        let rx = engine
+            .submit(Query {
+                kind: QueryKind::Bfs,
+                source: 0,
+                depth: 0,
+            })
+            .unwrap();
+        assert_eq!(
+            rx.recv().unwrap().values.reachable(),
+            16,
+            "chain severed at 15→16"
+        );
         engine.shutdown();
     }
 

@@ -19,6 +19,15 @@
 
 use crate::telemetry::{CounterKind, RunTrace};
 
+/// Phases that legitimately come and go between runs. `compact`
+/// ([`crate::exec::PHASE_COMPACT`]) only exists when a run merged a
+/// delta log into a fresh snapshot, so a baseline recorded before any
+/// updates carries it at zero seconds — the "appeared from zero" rule
+/// must not turn the candidate's first compaction into a regression.
+/// Optional phases still gate on relative slowdown once both traces
+/// spend real time in them.
+pub const OPTIONAL_PHASES: &[&str] = &["compact"];
+
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRow {
@@ -186,13 +195,15 @@ pub fn diff_traces(old: &RunTrace, new: &RunTrace, opts: &DiffOptions) -> TraceD
             });
             continue;
         };
+        let appeared_from_zero = old_phase.seconds <= 0.0;
+        let exempt = appeared_from_zero && OPTIONAL_PHASES.contains(&new_phase.name.as_str());
         push_row(
             &mut diff,
             format!("phase.{}.seconds", new_phase.name),
             old_phase.seconds,
             new_phase.seconds,
-            true,
-            time_regressed(old_phase.seconds, new_phase.seconds),
+            !exempt,
+            !exempt && time_regressed(old_phase.seconds, new_phase.seconds),
             "s",
         );
         if let (Some(old_r), Some(new_r)) = (
@@ -576,6 +587,72 @@ mod tests {
             .rows
             .iter()
             .any(|r| r.metric == "phase.algorithm.peak_bytes"));
+    }
+
+    #[test]
+    fn optional_compact_phase_may_appear_from_zero() {
+        // Baseline recorded before any updates: compact phase at zero.
+        let old = trace_with(1.0, 20);
+        let mut old2 = old.clone();
+        old2.phases.push(PhaseProfile {
+            name: "compact".into(),
+            seconds: 0.0,
+            ..PhaseProfile::default()
+        });
+        let mut new = trace_with(1.0, 20);
+        new.phases.push(PhaseProfile {
+            name: "compact".into(),
+            seconds: 0.25,
+            ..PhaseProfile::default()
+        });
+        let diff = diff_traces(&old2, &new, &DiffOptions::default());
+        assert!(
+            !diff.has_regressions(),
+            "compact appearing from zero must not gate: {:?}",
+            diff.regressions
+        );
+        let row = diff
+            .rows
+            .iter()
+            .find(|r| r.metric == "phase.compact.seconds")
+            .expect("compact row still reported for context");
+        assert!(!row.gating && !row.regressed);
+
+        // A non-optional phase appearing from zero still gates.
+        let mut old3 = old.clone();
+        old3.phases.push(PhaseProfile {
+            name: "partition".into(),
+            seconds: 0.0,
+            ..PhaseProfile::default()
+        });
+        let mut new3 = trace_with(1.0, 20);
+        new3.phases.push(PhaseProfile {
+            name: "partition".into(),
+            seconds: 0.25,
+            ..PhaseProfile::default()
+        });
+        assert!(diff_traces(&old3, &new3, &DiffOptions::default()).has_regressions());
+
+        // And compact itself still gates on relative slowdown once both
+        // runs spend real time compacting.
+        let mut old4 = old.clone();
+        old4.phases.push(PhaseProfile {
+            name: "compact".into(),
+            seconds: 0.1,
+            ..PhaseProfile::default()
+        });
+        let mut new4 = trace_with(1.0, 20);
+        new4.phases.push(PhaseProfile {
+            name: "compact".into(),
+            seconds: 0.5,
+            ..PhaseProfile::default()
+        });
+        let diff = diff_traces(&old4, &new4, &DiffOptions::default());
+        assert!(diff.has_regressions());
+        assert!(diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "phase.compact.seconds" && r.gating && r.regressed));
     }
 
     #[test]

@@ -34,7 +34,9 @@ use std::sync::OnceLock;
 
 use crate::algo::{bfs, pagerank, spmv, sssp, wcc};
 use crate::exec::ExecCtx;
-use crate::layout::{AdjacencyList, CcsrList, EdgeDirection, Grid};
+use crate::layout::{
+    AdjacencyList, CcsrList, DeltaList, DeltaLog, EdgeDirection, Grid, NeighborAccess, VertexLayout,
+};
 use crate::metrics::timed;
 use crate::preprocess::{compress_sorted_csr, CcsrBuilder, CsrBuilder, GridBuilder, Strategy};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
@@ -88,15 +90,20 @@ pub enum Layout {
     /// Compressed CSR: delta/varint-encoded sorted neighbor lists,
     /// decoded on the fly (DESIGN.md §14).
     Ccsr,
+    /// The mutable layout: a frozen CSR plus an append-only
+    /// insert/delete log overlay (DESIGN.md §16). With an empty log it
+    /// behaves exactly like `Adjacency`.
+    Delta,
 }
 
 impl Layout {
     /// All layouts, in report order.
-    pub const ALL: [Layout; 4] = [
+    pub const ALL: [Layout; 5] = [
         Layout::Adjacency,
         Layout::EdgeList,
         Layout::Grid,
         Layout::Ccsr,
+        Layout::Delta,
     ];
 
     /// The CLI spelling.
@@ -106,6 +113,7 @@ impl Layout {
             Layout::EdgeList => "edge",
             Layout::Grid => "grid",
             Layout::Ccsr => "ccsr",
+            Layout::Delta => "delta",
         }
     }
 }
@@ -196,7 +204,7 @@ impl FromStr for Layout {
             .ok_or_else(|| VariantError::Parse {
                 what: "layout",
                 got: s.to_string(),
-                expected: "adj|edge|grid|ccsr",
+                expected: "adj|edge|grid|ccsr|delta",
             })
     }
 }
@@ -354,16 +362,17 @@ pub fn is_supported(id: &VariantId) -> bool {
     use Layout::*;
     let dirs: &[Direction] = match (id.algo, id.layout) {
         // The compressed CSR decodes to the same spans the kernels
-        // iterate on uncompressed CSR, so its support set mirrors
-        // `Adjacency` exactly.
-        (Algo::Bfs | Algo::Wcc, Adjacency | Ccsr) => &[Push, Pull, PushPull],
+        // iterate on uncompressed CSR, and the delta layout overlays
+        // the same spans over a frozen CSR, so both support sets
+        // mirror `Adjacency` exactly.
+        (Algo::Bfs | Algo::Wcc, Adjacency | Ccsr | Delta) => &[Push, Pull, PushPull],
         (Algo::Bfs | Algo::Wcc, EdgeList | Grid) => &[Push],
-        (Algo::Pagerank, Adjacency | Ccsr) => &[Push, Pull],
+        (Algo::Pagerank, Adjacency | Ccsr | Delta) => &[Push, Pull],
         (Algo::Pagerank, EdgeList) => &[Push],
         (Algo::Pagerank, Grid) => &[Push, Pull],
-        (Algo::Sssp, Adjacency | Ccsr | EdgeList) => &[Push],
+        (Algo::Sssp, Adjacency | Ccsr | Delta | EdgeList) => &[Push],
         (Algo::Sssp, Grid) => &[],
-        (Algo::Spmv, Adjacency | Ccsr) => &[Push, Pull],
+        (Algo::Spmv, Adjacency | Ccsr | Delta) => &[Push, Pull],
         (Algo::Spmv, EdgeList) => &[Push],
         (Algo::Spmv, Grid) => &[Push],
     };
@@ -393,13 +402,15 @@ pub fn supported_variants() -> Vec<VariantId> {
 pub fn sync_matters(id: &VariantId) -> bool {
     matches!(
         (id.algo, id.layout, id.direction),
-        (Algo::Bfs, Layout::Adjacency | Layout::Ccsr, Direction::Push)
-            | (
-                Algo::Pagerank,
-                Layout::Adjacency | Layout::Ccsr,
-                Direction::Push
-            )
-            | (Algo::Pagerank, Layout::EdgeList, Direction::Push)
+        (
+            Algo::Bfs,
+            Layout::Adjacency | Layout::Ccsr | Layout::Delta,
+            Direction::Push
+        ) | (
+            Algo::Pagerank,
+            Layout::Adjacency | Layout::Ccsr | Layout::Delta,
+            Direction::Push
+        ) | (Algo::Pagerank, Layout::EdgeList, Direction::Push)
             | (Algo::Pagerank, Layout::Grid, Direction::Push)
     )
 }
@@ -461,13 +472,17 @@ pub struct PreparedGraph<'a, E: EdgeRecord> {
     grid_strategy: Option<Strategy>,
     sorted: bool,
     side: Option<usize>,
+    deltas: Option<&'a DeltaLog<E>>,
     csr: [OnceLock<(AdjacencyList<E>, f64)>; 3],
     und_csr: OnceLock<(AdjacencyList<E>, f64)>,
     ccsr: [OnceLock<(CcsrList<E>, f64)>; 3],
     und_ccsr: OnceLock<(CcsrList<E>, f64)>,
+    dcsr: [OnceLock<(DeltaList<E>, f64)>; 3],
+    und_dcsr: OnceLock<(DeltaList<E>, f64)>,
     grid: OnceLock<(Grid<E>, f64)>,
     tgrid: OnceLock<(Grid<E>, f64)>,
     degrees: OnceLock<Vec<u32>>,
+    delta_degrees: OnceLock<Vec<u32>>,
 }
 
 impl<'a, E: EdgeRecord> PreparedGraph<'a, E> {
@@ -480,14 +495,27 @@ impl<'a, E: EdgeRecord> PreparedGraph<'a, E> {
             grid_strategy: None,
             sorted: false,
             side: None,
+            deltas: None,
             csr: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             und_csr: OnceLock::new(),
             ccsr: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             und_ccsr: OnceLock::new(),
+            dcsr: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            und_dcsr: OnceLock::new(),
             grid: OnceLock::new(),
             tgrid: OnceLock::new(),
             degrees: OnceLock::new(),
+            delta_degrees: OnceLock::new(),
         }
+    }
+
+    /// Attaches a pending delta log: `Layout::Delta` variants run on
+    /// *base + log* (the merged graph) without a CSR rebuild. Without
+    /// this, the delta layout runs with an empty overlay and behaves
+    /// exactly like `Adjacency`.
+    pub fn deltas(mut self, log: &'a DeltaLog<E>) -> Self {
+        self.deltas = Some(log);
+        self
     }
 
     /// Sets the CSR construction strategy.
@@ -606,6 +634,70 @@ impl<'a, E: EdgeRecord> PreparedGraph<'a, E> {
         })
     }
 
+    fn dcsr(&self, dir: EdgeDirection) -> &(DeltaList<E>, f64) {
+        let slot = match dir {
+            EdgeDirection::Out => &self.dcsr[0],
+            EdgeDirection::In => &self.dcsr[1],
+            EdgeDirection::Both => &self.dcsr[2],
+        };
+        slot.get_or_init(|| {
+            // The delta layout owns its base CSR (it outlives this
+            // call's borrows), so it builds one rather than borrowing
+            // the cached `csr` slot; base build plus overlay layering
+            // is the layout's preprocessing cost.
+            let (list, wall) = timed(|| {
+                let (out, inc) = CsrBuilder::new(self.strategy, dir)
+                    .sort_neighbors(self.sorted)
+                    .build(self.edges)
+                    .into_parts();
+                let empty = DeltaLog::new();
+                DeltaList::new(out, inc, self.deltas.unwrap_or(&empty))
+            });
+            (list, wall)
+        })
+    }
+
+    fn und_dcsr(&self) -> &(DeltaList<E>, f64) {
+        self.und_dcsr.get_or_init(|| {
+            let (list, wall) = timed(|| {
+                // Deletes are multiset-wide per *directed* edge, but the
+                // symmetrized view holds copies of (s, d) from both the
+                // directed (s, d) and (d, s) edges — a tombstone cannot
+                // tell them apart and would over-delete. Merge first in
+                // that case; insert-only logs overlay exactly.
+                let has_deletes = self.deltas.is_some_and(|log| log.as_batch().has_deletes());
+                let (undirected, log) = if has_deletes {
+                    let merged = self.deltas.expect("has_deletes").merge_into(self.edges);
+                    (merged.to_undirected(), DeltaLog::new())
+                } else {
+                    (
+                        self.edges.to_undirected(),
+                        self.deltas
+                            .map(DeltaLog::to_undirected)
+                            .unwrap_or_else(DeltaLog::new),
+                    )
+                };
+                let (out, inc) = CsrBuilder::new(self.strategy, EdgeDirection::Out)
+                    .sort_neighbors(self.sorted)
+                    .build(&undirected)
+                    .into_parts();
+                DeltaList::new(out, inc, &log)
+            });
+            (list, wall)
+        })
+    }
+
+    /// Out-degrees of the *merged* graph (base + attached delta log),
+    /// the normalization input of the delta PageRank variants.
+    pub fn delta_degrees(&self) -> &[u32] {
+        self.delta_degrees.get_or_init(|| {
+            let out = self.dcsr(EdgeDirection::Out).0.out();
+            (0..self.num_vertices() as VertexId)
+                .map(|v| out.degree(v) as u32)
+                .collect()
+        })
+    }
+
     fn grid(&self, transposed: bool) -> &(Grid<E>, f64) {
         let slot = if transposed { &self.tgrid } else { &self.grid };
         slot.get_or_init(|| {
@@ -630,6 +722,8 @@ impl<'a, E: EdgeRecord> PreparedGraph<'a, E> {
             (_, Layout::Adjacency) => self.csr(csr_direction(id)).1,
             (Algo::Wcc, Layout::Ccsr) => self.und_ccsr().1,
             (_, Layout::Ccsr) => self.ccsr(csr_direction(id)).1,
+            (Algo::Wcc, Layout::Delta) => self.und_dcsr().1,
+            (_, Layout::Delta) => self.dcsr(csr_direction(id)).1,
             (Algo::Pagerank, Layout::Grid) if id.direction == Direction::Pull => self.grid(true).1,
             (_, Layout::Grid) => self.grid(false).1,
         }
@@ -768,9 +862,11 @@ pub fn run_variant<E: EdgeRecord>(
         let preprocess_seconds = if id.layout == Layout::EdgeList {
             0.0
         } else {
-            ctx.profile("preprocess", || graph.prepare(id))
+            ctx.profile(crate::exec::PHASE_PREPROCESS, || graph.prepare(id))
         };
-        let output = ctx.profile("algorithm", || execute(id, ctx, graph, params));
+        let output = ctx.profile(crate::exec::PHASE_ALGORITHM, || {
+            execute(id, ctx, graph, params)
+        });
         Ok(VariantRun {
             algorithm_seconds: output.algorithm_seconds(),
             preprocess_seconds,
@@ -831,6 +927,18 @@ fn execute<E: EdgeRecord>(
             root,
             &c,
         )),
+        (Algo::Bfs, L::Delta, D::Push) => VariantOutput::Bfs(match params.sync {
+            SyncMode::Atomics => bfs::push_impl(&graph.dcsr(EdgeDirection::Out).0, root, &c),
+            SyncMode::Locks => bfs::push_locked(&graph.dcsr(EdgeDirection::Out).0, root),
+        }),
+        (Algo::Bfs, L::Delta, D::Pull) => {
+            VariantOutput::Bfs(bfs::pull_impl(&graph.dcsr(EdgeDirection::In).0, root, &c))
+        }
+        (Algo::Bfs, L::Delta, D::PushPull) => VariantOutput::Bfs(bfs::push_pull_impl(
+            &graph.dcsr(EdgeDirection::Both).0,
+            root,
+            &c,
+        )),
 
         (Algo::Pagerank, L::Adjacency, D::Push) => VariantOutput::Pagerank(pagerank::push_impl(
             graph.csr(EdgeDirection::Out).0.out(),
@@ -880,6 +988,19 @@ fn execute<E: EdgeRecord>(
             params.pagerank,
             &c,
         )),
+        (Algo::Pagerank, L::Delta, D::Push) => VariantOutput::Pagerank(pagerank::push_impl(
+            graph.dcsr(EdgeDirection::Out).0.out(),
+            graph.delta_degrees(),
+            params.pagerank,
+            pagerank_sync(params.sync),
+            &c,
+        )),
+        (Algo::Pagerank, L::Delta, D::Pull) => VariantOutput::Pagerank(pagerank::pull_impl(
+            graph.dcsr(EdgeDirection::In).0.incoming(),
+            graph.delta_degrees(),
+            params.pagerank,
+            &c,
+        )),
 
         (Algo::Sssp, L::Adjacency, D::Push) => {
             VariantOutput::Sssp(sssp::push_impl(&graph.csr(EdgeDirection::Out).0, root, &c))
@@ -889,6 +1010,9 @@ fn execute<E: EdgeRecord>(
         }
         (Algo::Sssp, L::Ccsr, D::Push) => {
             VariantOutput::Sssp(sssp::push_impl(&graph.ccsr(EdgeDirection::Out).0, root, &c))
+        }
+        (Algo::Sssp, L::Delta, D::Push) => {
+            VariantOutput::Sssp(sssp::push_impl(&graph.dcsr(EdgeDirection::Out).0, root, &c))
         }
 
         (Algo::Wcc, L::Adjacency, D::Push) => {
@@ -912,6 +1036,15 @@ fn execute<E: EdgeRecord>(
         }
         (Algo::Wcc, L::Ccsr, D::PushPull) => {
             VariantOutput::Wcc(wcc::push_pull_impl(&graph.und_ccsr().0, &c))
+        }
+        (Algo::Wcc, L::Delta, D::Push) => {
+            VariantOutput::Wcc(wcc::push_impl(&graph.und_dcsr().0, &c))
+        }
+        (Algo::Wcc, L::Delta, D::Pull) => {
+            VariantOutput::Wcc(wcc::pull_impl(&graph.und_dcsr().0, &c))
+        }
+        (Algo::Wcc, L::Delta, D::PushPull) => {
+            VariantOutput::Wcc(wcc::push_pull_impl(&graph.und_dcsr().0, &c))
         }
 
         (Algo::Spmv, L::Adjacency, D::Push) => VariantOutput::Spmv(spmv::push_impl(
@@ -937,6 +1070,16 @@ fn execute<E: EdgeRecord>(
         )),
         (Algo::Spmv, L::Ccsr, D::Pull) => VariantOutput::Spmv(spmv::pull_impl(
             graph.ccsr(EdgeDirection::In).0.incoming(),
+            x,
+            &c,
+        )),
+        (Algo::Spmv, L::Delta, D::Push) => VariantOutput::Spmv(spmv::push_impl(
+            graph.dcsr(EdgeDirection::Out).0.out(),
+            x,
+            &c,
+        )),
+        (Algo::Spmv, L::Delta, D::Pull) => VariantOutput::Spmv(spmv::pull_impl(
+            graph.dcsr(EdgeDirection::In).0.incoming(),
             x,
             &c,
         )),

@@ -178,7 +178,10 @@ pub fn weighted(graph: &EdgeList<Edge>) -> EdgeList<WEdge> {
 }
 
 /// A deterministic pseudo-random weight in `(0, 1]` for edge `(s, d)`.
-fn edge_weight(s: u32, d: u32) -> f32 {
+/// Public so the update oracle can weight *inserted* edges the same way
+/// [`weighted`] weights base edges — merging weighted deltas then must
+/// equal weighting the merged graph.
+pub fn edge_weight(s: u32, d: u32) -> f32 {
     let h = mix(((s as u64) << 32) | d as u64);
     ((h >> 40) as f32 + 1.0) / (1u64 << 24) as f32
 }

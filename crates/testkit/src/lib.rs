@@ -29,11 +29,13 @@
 
 pub mod corpus;
 pub mod matrix;
+pub mod update;
 
 pub use corpus::{
     exhaustive_corpus, quick_corpus, ratings_graph, test_seed, weighted, NamedGraph, DEFAULT_SEED,
 };
 pub use matrix::{run_matrix, MatrixConfig, MatrixReport, Mismatch};
+pub use update::{run_update_matrix, UpdateConfig, UpdateReport};
 
 /// Thread counts exercised by the quick tier (inside `cargo test -q`).
 pub const QUICK_THREADS: &[usize] = &[1, 4, 8];
