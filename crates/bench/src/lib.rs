@@ -42,6 +42,10 @@ pub struct ExperimentCtx {
     /// HOST:PORT`. Held so the accept thread survives for the whole
     /// experiment; the last clone dropping shuts it down.
     pub metrics: Option<std::sync::Arc<egraph_metrics::MetricsServer>>,
+    /// PR (or commit-sequence) number stamped into trajectory records,
+    /// from `--pr N` or the `EGRAPH_PR` environment variable. `None`
+    /// renders as JSON `null` — local runs still append, just unpinned.
+    pub pr: Option<u64>,
 }
 
 impl ExperimentCtx {
@@ -56,6 +60,7 @@ impl ExperimentCtx {
         let mut out_dir = PathBuf::from("bench_results");
         let mut trace_out = None;
         let mut metrics_addr: Option<String> = None;
+        let mut pr: Option<u64> = std::env::var("EGRAPH_PR").ok().and_then(|s| s.parse().ok());
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -74,6 +79,10 @@ impl ExperimentCtx {
                 }
                 "--metrics-addr" if i + 1 < args.len() => {
                     metrics_addr = Some(args[i + 1].clone());
+                    i += 2;
+                }
+                "--pr" if i + 1 < args.len() => {
+                    pr = args[i + 1].parse().ok();
                     i += 2;
                 }
                 other => {
@@ -102,6 +111,7 @@ impl ExperimentCtx {
             out_dir,
             trace_out,
             metrics,
+            pr,
         }
     }
 
@@ -145,6 +155,36 @@ impl ExperimentCtx {
         match table.save_csv(&self.out_dir) {
             Ok(path) => println!("\nsaved: {}", path.display()),
             Err(e) => eprintln!("\ncould not save CSV: {e}"),
+        }
+    }
+
+    /// Appends one headline metric of this experiment to
+    /// `<out_dir>/trajectory.ndjson` — the cross-PR performance ledger
+    /// `scripts/bench_trajectory.sh` builds. One self-contained JSON
+    /// object per line, so successive PRs (each appending its own
+    /// stamped lines) accumulate into a plottable time series without
+    /// any of them parsing what came before. I/O failures are reported,
+    /// not fatal.
+    pub fn headline(&self, experiment: &str, metric: &str, value: f64) {
+        let pr = match self.pr {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        };
+        let line = format!(
+            r#"{{"pr":{pr},"experiment":"{experiment}","metric":"{metric}","value":{value},"scale":{}}}"#,
+            self.scale
+        );
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.out_dir)?;
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.out_dir.join("trajectory.ndjson"))?;
+            writeln!(f, "{line}")
+        };
+        if let Err(e) = write() {
+            eprintln!("could not append trajectory record: {e}");
         }
     }
 }

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use egraph_core::algo::pagerank;
 use egraph_core::exec::ExecCtx;
-use egraph_core::metrics::TimeBreakdown;
+use egraph_core::metrics::{StepMode, TimeBreakdown};
 use egraph_core::preprocess::Strategy;
 use egraph_core::roadmap;
 use egraph_core::serve::{ServeConfig, ServeDaemon, ServeGraph};
@@ -39,6 +39,9 @@ USAGE:
   egraph partition <FILE> [--nodes N]
   egraph convert <IN> <OUT> [--from snap|dimacs|bin] [--to snap|bin] [--weighted true]
   egraph trace diff <OLD> <NEW> [--threshold PCT] [--min-seconds S] [--min-bytes B]
+  egraph explain <TRACE>   (per-iteration report: table, density sparkline,
+                            and an English narrative of every push/pull switch
+                            reconstructed from the trace's decision log)
   egraph conformance [--threads LIST] [--seed N] [--full true]
 
 GENERATE OPTIONS:
@@ -92,7 +95,11 @@ SERVE OPTIONS:
   --journal-capacity N   flight-recorder ring size in events
                    (default 1024, 0 disables); the query port answers
                    HTTP GET /debug/queries?n=K with the last K
-                   completed queries as NDJSON
+                   completed queries as NDJSON (each line carries the
+                   graph epoch its wave executed against)
+  --timeline-out FILE  as for run: write per-worker timeline spans of
+                   the daemon's lifetime as Chrome trace-event JSON
+                   when the daemon shuts down
   The query-port /healthz line also reports queue_depth and inflight.
   The daemon answers newline-delimited JSON point queries
   ({\"id\":1,\"algo\":\"bfs|sssp|khop\",\"source\":N[,\"depth\":K][,\"values\":true]})
@@ -166,6 +173,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "partition" => cmd_partition(&args),
         "convert" => cmd_convert(&args),
         "trace" => cmd_trace(&args),
+        "explain" => cmd_explain(&args),
         "conformance" => cmd_conformance(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -396,6 +404,15 @@ struct MetricsRecorder<'a, R: Recorder> {
     iterations: egraph_metrics::Counter,
     edges: egraph_metrics::Counter,
     step_seconds: egraph_metrics::Histogram,
+    iter_seconds: egraph_metrics::Histogram,
+    iter_density: egraph_metrics::Histogram,
+    iter_frontier: egraph_metrics::Histogram,
+    direction_flips: egraph_metrics::Counter,
+    current_iter: egraph_metrics::Gauge,
+    /// Previous step's direction, for live flip counting: 0 = no step
+    /// seen yet, 1 = push, 2 = pull. Atomic because `record_iteration`
+    /// takes `&self`.
+    last_mode: std::sync::atomic::AtomicU8,
 }
 
 impl<'a, R: Recorder> MetricsRecorder<'a, R> {
@@ -410,6 +427,30 @@ impl<'a, R: Recorder> MetricsRecorder<'a, R> {
             ),
             step_seconds: reg
                 .histogram_seconds("egraph_algo_step_seconds", "Wall time per algorithm step."),
+            iter_seconds: reg
+                .histogram_seconds("egraph_iter_seconds", "Wall time per iteration record."),
+            iter_density: reg.histogram_with_bounds(
+                "egraph_iter_density",
+                "Frontier density (observed load / |E|) per iteration; the \
+                 Ligra pull cutoff sits at 0.05.",
+                &[],
+                vec![0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0],
+            ),
+            iter_frontier: reg.histogram_with_bounds(
+                "egraph_iter_frontier_vertices",
+                "Active vertices per iteration.",
+                &[],
+                egraph_metrics::Histogram::log2_bounds(0, 30),
+            ),
+            direction_flips: reg.counter(
+                "egraph_iter_direction_flips_total",
+                "Push/pull direction switches observed across iterations.",
+            ),
+            current_iter: reg.gauge(
+                "egraph_iter_current",
+                "Step index of the most recent iteration record.",
+            ),
+            last_mode: std::sync::atomic::AtomicU8::new(0),
         }
     }
 }
@@ -432,6 +473,20 @@ impl<R: Recorder> Recorder for MetricsRecorder<'_, R> {
         self.iterations.inc();
         self.edges.add(record.edges_scanned as u64);
         self.step_seconds.observe(record.seconds);
+        self.iter_seconds.observe(record.seconds);
+        self.iter_density.observe(record.density);
+        self.iter_frontier.observe(record.frontier_size as f64);
+        self.current_iter.set(record.step as f64);
+        let mode = match record.mode {
+            StepMode::Push => 1,
+            StepMode::Pull => 2,
+        };
+        let prev = self
+            .last_mode
+            .swap(mode, std::sync::atomic::Ordering::Relaxed);
+        if prev != 0 && prev != mode {
+            self.direction_flips.inc();
+        }
         self.inner.record_iteration(record);
     }
 
@@ -485,6 +540,12 @@ fn cmd_run(args: &Args) -> CliResult {
     } else {
         PhaseProfiler::disabled()
     };
+    // The per-iteration counter windows share the same constraint as
+    // the profiler: their handle must exist before the pool spawns so
+    // `inherit` covers every worker thread.
+    let mut iter_counters = trace_out
+        .as_ref()
+        .map(|_| egraph_core::telemetry::PerfCounters::open());
     if trace_out.is_some() || metrics_server.is_some() {
         // Counters must be collecting before the load phase starts.
         // enable() opens a fresh collection window (it zeroes first),
@@ -525,7 +586,10 @@ fn cmd_run(args: &Args) -> CliResult {
             }
         }
         Some(out_path) => {
-            let recorder = TraceRecorder::new();
+            let recorder = match iter_counters.take() {
+                Some(counters) => TraceRecorder::with_iteration_perf(counters),
+                None => TraceRecorder::new(),
+            };
             let breakdown = if metrics_server.is_some() {
                 dispatch_run(&spec, any, &MetricsRecorder::new(&recorder))?
             } else {
@@ -796,8 +860,17 @@ fn cmd_serve(args: &Args) -> CliResult {
         ServeConfig::default().journal_capacity,
         "integer",
     )?;
+    let timeline_out = args.get("timeline-out").map(str::to_string);
     let (metrics_server, metrics_linger) = maybe_serve_metrics(args)?;
     args.reject_unknown()?;
+
+    // Same ordering constraint as `run`: the track count is fixed when
+    // recording first turns on, so enable before the daemon spawns its
+    // wave pool.
+    if timeline_out.is_some() {
+        timeline::reset();
+        timeline::enable();
+    }
 
     // Load balancers polling either /healthz (query port or metrics
     // port) see `loading` until the layout build completes.
@@ -829,6 +902,15 @@ fn cmd_serve(args: &Args) -> CliResult {
     }
     println!("shutting down: draining in-flight queries");
     daemon.shutdown();
+    if let Some(out_path) = &timeline_out {
+        timeline::disable();
+        std::fs::write(out_path, timeline::chrome_trace_json())?;
+        let dropped = timeline::dropped_spans();
+        if dropped > 0 {
+            eprintln!("warning: {dropped} timeline spans dropped (per-worker track full)");
+        }
+        println!("wrote timeline to {out_path}");
+    }
     finish_metrics(metrics_server, metrics_linger);
     println!("serve: clean shutdown");
     Ok(())
@@ -1048,6 +1130,18 @@ fn load_trace(path: &str) -> Result<RunTrace, Box<dyn Error>> {
         RunTrace::from_csv(&text)?
     };
     Ok(trace)
+}
+
+/// Renders a trace's iteration telemetry as a human-readable report;
+/// exits non-zero when the file predates schema v4 only if it cannot be
+/// parsed at all (an old trace simply reports "no per-iteration
+/// records").
+fn cmd_explain(args: &Args) -> CliResult {
+    let path = args.positional(1, "trace file")?.to_string();
+    args.reject_unknown()?;
+    let trace = load_trace(&path)?;
+    print!("{}", egraph_core::explain::explain(&trace));
+    Ok(())
 }
 
 fn cmd_trace_diff(args: &Args) -> CliResult {

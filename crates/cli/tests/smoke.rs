@@ -282,9 +282,9 @@ fn trace_diff_gates_on_regression() {
 }
 
 #[test]
-fn trace_out_emits_v3_schema_with_memory_section() {
-    let graph = tmp("smoke_v3.egr");
-    let trace = tmp("smoke_v3.json");
+fn trace_out_emits_v4_schema_with_memory_section() {
+    let graph = tmp("smoke_v4.egr");
+    let trace = tmp("smoke_v4.json");
     dispatch(&argv(&[
         "generate", "rmat", "--scale", "9", "--out", &graph,
     ]))
@@ -292,8 +292,8 @@ fn trace_out_emits_v3_schema_with_memory_section() {
     dispatch(&argv(&["run", "bfs", &graph, "--trace-out", &trace])).expect("bfs with trace");
     let text = std::fs::read_to_string(&trace).unwrap();
     assert!(
-        text.contains("egraph-trace/3"),
-        "trace must declare the v3 schema: {text}"
+        text.contains("egraph-trace/4"),
+        "trace must declare the v4 schema: {text}"
     );
     let parsed = egraph_core::telemetry::RunTrace::from_json(&text).unwrap();
     assert_eq!(parsed.schema, egraph_core::telemetry::TRACE_SCHEMA);
@@ -390,7 +390,7 @@ fn trace_diff_rejects_unknown_schema_with_its_tag() {
         "error must name the offending schema tag: {msg}"
     );
     assert!(
-        msg.contains("egraph-trace/3"),
+        msg.contains("egraph-trace/4"),
         "error must list what this build reads: {msg}"
     );
 }

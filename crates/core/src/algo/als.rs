@@ -18,7 +18,7 @@ use egraph_cachesim::MemProbe;
 
 use crate::layout::Adjacency;
 use crate::linalg::cholesky_solve_in_place;
-use crate::metrics::{timed, StepMode};
+use crate::metrics::{direction_cutoff, frontier_density, timed, DirectionDecision, StepMode};
 use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeRecord, VertexId, WEdge};
 use crate::util::UnsyncSlice;
@@ -131,12 +131,17 @@ pub(crate) fn als_impl<P: MemProbe, R: Recorder>(
         });
         total += seconds;
         if ctx.recorder.enabled() {
+            let scanned = out.num_edges() + incoming.num_edges();
             ctx.recorder.record_iteration(IterRecord {
                 step,
                 frontier_size: nv,
-                edges_scanned: out.num_edges() + incoming.num_edges(),
+                edges_scanned: scanned,
                 seconds,
                 mode: StepMode::Pull,
+                // Both bipartite halves stream all their edges; the
+                // pull direction is structural, never chosen.
+                density: frontier_density(nv + scanned, scanned),
+                decision: DirectionDecision::forced(nv + scanned, direction_cutoff(scanned)),
             });
         }
         rmse_history.push(rmse(&factors, out, k, num_users));

@@ -10,7 +10,9 @@ use egraph_cachesim::MemProbe;
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
 use crate::layout::{Adjacency, Grid, NeighborAccess, VertexLayout};
-use crate::metrics::{timed, IterStat, StepMode};
+use crate::metrics::{
+    direction_cutoff, frontier_density, timed, DirectionDecision, IterStat, StepMode,
+};
 use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId, INVALID_VERTEX};
 use crate::util::{AtomicBitmap, StripedLocks, UnsyncSlice};
@@ -33,10 +35,6 @@ pub(crate) fn record_iter<P: MemProbe, R: Recorder>(
 /// cache line only contains the metadata associated with very few
 /// vertices (64 in the case of BFS)", §5.2).
 const BFS_META_BYTES: u64 = 1;
-
-/// The direction-optimizing switch thresholds (Beamer et al. \[2\]):
-/// switch to pull when the frontier's out-edges exceed |E| / 20.
-const PUSH_PULL_EDGE_DIVISOR: usize = 20;
 
 /// The result of a BFS run.
 #[derive(Debug, Clone)]
@@ -142,6 +140,7 @@ pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
 ) -> BfsResult {
     let ctx = *ctx;
     let out = adj.out();
+    let cutoff = direction_cutoff(out.num_edges());
     let state = BfsState::new(out.num_vertices(), root);
     let op = AtomicPushOp { state: &state };
     let mut frontier = VertexSubset::single(root);
@@ -149,6 +148,8 @@ pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
     while !frontier.is_empty() {
         state.round.fetch_add(1, Ordering::Relaxed);
         let frontier_size = frontier.len();
+        let frontier_edges = frontier.out_edge_count(|v| out.degree(v));
+        let observed = frontier_edges + frontier_size;
         let (next, seconds) =
             timed(|| engine::vertex_push(out, &frontier, &op, ctx, FrontierKind::Sparse));
         record_iter(
@@ -156,9 +157,11 @@ pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
             &mut iterations,
             IterStat {
                 frontier_size,
-                edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
+                edges_scanned: frontier_edges,
                 seconds,
                 mode: StepMode::Push,
+                density: frontier_density(observed, out.num_edges()),
+                decision: DirectionDecision::forced(observed, cutoff),
             },
         );
         frontier = next;
@@ -207,11 +210,14 @@ pub fn push_locked<E: EdgeRecord, L: VertexLayout<E>>(adj: &L, root: VertexId) -
         }
     }
 
+    let cutoff = direction_cutoff(out.num_edges());
     let mut frontier = VertexSubset::single(root);
     let mut round = 0u32;
     while !frontier.is_empty() {
         round += 1;
         let frontier_size = frontier.len();
+        let frontier_edges = frontier.out_edge_count(|v| out.degree(v));
+        let observed = frontier_edges + frontier_size;
         let op = LockedPushOp {
             parent: UnsyncSlice::new(&mut parent),
             level: UnsyncSlice::new(&mut level),
@@ -229,9 +235,11 @@ pub fn push_locked<E: EdgeRecord, L: VertexLayout<E>>(adj: &L, root: VertexId) -
         });
         iterations.push(IterStat {
             frontier_size,
-            edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
+            edges_scanned: frontier_edges,
             seconds,
             mode: StepMode::Push,
+            density: frontier_density(observed, out.num_edges()),
+            decision: DirectionDecision::forced(observed, cutoff),
         });
         frontier = next;
     }
@@ -326,6 +334,13 @@ pub(crate) fn pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
                 edges_scanned: 0,
                 seconds,
                 mode: StepMode::Pull,
+                // Pure pull never sums frontier degrees, so the load
+                // estimate degrades to the vertex term alone.
+                density: frontier_density(frontier_size, incoming.num_edges()),
+                decision: DirectionDecision::forced(
+                    frontier_size,
+                    direction_cutoff(incoming.num_edges()),
+                ),
             },
         );
         frontier = next;
@@ -350,7 +365,8 @@ pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: 
     let out = adj.out();
     let incoming = adj.incoming();
     let nv = out.num_vertices();
-    let edge_threshold = (out.num_edges() / PUSH_PULL_EDGE_DIVISOR).max(1);
+    // Beamer's switch threshold (|E| / 20) as adopted by Ligra.
+    let edge_threshold = direction_cutoff(out.num_edges());
     let state = BfsState::new(nv, root);
     let mut iterations = Vec::new();
 
@@ -359,8 +375,9 @@ pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: 
         state.round.fetch_add(1, Ordering::Relaxed);
         let frontier_size = frontier.len();
         let frontier_edges = frontier.out_edge_count(|v| out.degree(v));
-        let use_pull = frontier_edges + frontier_size > edge_threshold;
-        if use_pull {
+        let decision = DirectionDecision::heuristic(frontier_edges + frontier_size, edge_threshold);
+        let density = frontier_density(frontier_edges + frontier_size, out.num_edges());
+        if decision.says_pull() {
             let dense = frontier.into_dense(nv);
             let in_frontier = match &dense {
                 VertexSubset::Dense { bitmap, .. } => bitmap,
@@ -382,6 +399,8 @@ pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: 
                     edges_scanned: frontier_edges,
                     seconds,
                     mode: StepMode::Pull,
+                    density,
+                    decision,
                 },
             );
             frontier = next;
@@ -397,6 +416,8 @@ pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: 
                     edges_scanned: frontier_edges,
                     seconds,
                     mode: StepMode::Push,
+                    density,
+                    decision,
                 },
             );
             frontier = next;
@@ -434,6 +455,13 @@ pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
                 edges_scanned: edges.num_edges(),
                 seconds,
                 mode: StepMode::Push,
+                // Edge-centric scans everything every round: the load
+                // is the full edge array plus the active vertices.
+                density: frontier_density(edges.num_edges() + active, edges.num_edges()),
+                decision: DirectionDecision::forced(
+                    edges.num_edges() + active,
+                    direction_cutoff(edges.num_edges()),
+                ),
             },
         );
         active = next.len();
@@ -470,6 +498,11 @@ pub(crate) fn grid_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
                 edges_scanned: grid.num_edges(),
                 seconds,
                 mode: StepMode::Push,
+                density: frontier_density(grid.num_edges() + active, grid.num_edges()),
+                decision: DirectionDecision::forced(
+                    grid.num_edges() + active,
+                    direction_cutoff(grid.num_edges()),
+                ),
             },
         );
         active = next.len();
@@ -510,6 +543,7 @@ pub fn reference<E: EdgeRecord>(out: &Adjacency<E>, root: VertexId) -> Vec<u32> 
 pub struct IncrementalBfs {
     root: VertexId,
     level: Vec<u32>,
+    batches_applied: usize,
 }
 
 impl IncrementalBfs {
@@ -524,6 +558,7 @@ impl IncrementalBfs {
         Self {
             root,
             level: Self::from_scratch(merged, root),
+            batches_applied: 0,
         }
     }
 
@@ -560,6 +595,51 @@ impl IncrementalBfs {
     /// Repairs the levels after `batch` was applied; `merged` is the
     /// post-batch graph with both directions present.
     pub fn apply<E, L>(
+        &mut self,
+        merged: &L,
+        batch: &crate::layout::DeltaBatch<E>,
+    ) -> super::IncrementalOutcome
+    where
+        E: EdgeRecord,
+        L: VertexLayout<E>,
+    {
+        self.apply_ctx(merged, batch, &ExecContext::new())
+    }
+
+    /// [`apply`](Self::apply) with telemetry: each batch repair is
+    /// recorded as one iteration — the touched vertices as the
+    /// frontier, the batch size as the scanned edges, and the
+    /// repair-vs-fallback threshold as the decision log.
+    pub fn apply_ctx<E, L, P: MemProbe, R: Recorder>(
+        &mut self,
+        merged: &L,
+        batch: &crate::layout::DeltaBatch<E>,
+        ctx: &ExecContext<'_, P, R>,
+    ) -> super::IncrementalOutcome
+    where
+        E: EdgeRecord,
+        L: VertexLayout<E>,
+    {
+        let (outcome, seconds) = timed(|| self.apply_inner(merged, batch));
+        let step = self.batches_applied;
+        self.batches_applied += 1;
+        if ctx.recorder.enabled() {
+            let ne = merged.num_edges();
+            let cutoff = ((ne as f64 * super::INCREMENTAL_FALLBACK_FRACTION) as usize).max(1);
+            ctx.recorder.record_iteration(IterRecord {
+                step,
+                frontier_size: outcome.touched,
+                edges_scanned: batch.len(),
+                seconds,
+                mode: StepMode::Push,
+                density: frontier_density(batch.len(), ne),
+                decision: DirectionDecision::heuristic(batch.len(), cutoff),
+            });
+        }
+        outcome
+    }
+
+    fn apply_inner<E, L>(
         &mut self,
         merged: &L,
         batch: &crate::layout::DeltaBatch<E>,

@@ -14,7 +14,7 @@ use std::sync::atomic::Ordering;
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
 use crate::layout::{Adjacency, Grid, NeighborAccess};
-use crate::metrics::{timed, StepMode};
+use crate::metrics::{direction_cutoff, frontier_density, timed, DirectionDecision, StepMode};
 use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
 use crate::util::{StripedLocks, UnsyncSlice};
@@ -130,6 +130,10 @@ where
     let mut ranks = vec![1.0 / nv.max(1) as f32; nv];
     let mut executed = 0usize;
     let mut total = 0.0f64;
+    // Power iteration activates every vertex every step; the direction
+    // is a property of the variant, never a per-iteration choice.
+    let observed = nv + edges_per_iter;
+    let cutoff = direction_cutoff(edges_per_iter);
     for _ in 0..cfg.iterations {
         let (new_ranks, seconds) = timed(|| {
             let contrib = contributions(&ranks, out_degrees);
@@ -144,6 +148,8 @@ where
                 edges_scanned: edges_per_iter,
                 seconds,
                 mode,
+                density: frontier_density(observed, edges_per_iter),
+                decision: DirectionDecision::forced(observed, cutoff),
             });
         }
         executed += 1;
@@ -685,6 +691,7 @@ const REPAIR_EPS: f64 = 1e-8;
 pub struct IncrementalPagerank {
     damping: f64,
     ranks: Vec<f64>,
+    batches_applied: usize,
 }
 
 impl IncrementalPagerank {
@@ -699,6 +706,7 @@ impl IncrementalPagerank {
         let mut engine = Self {
             damping: f64::from(damping),
             ranks: vec![1.0 / nv.max(1) as f64; nv],
+            batches_applied: 0,
         };
         engine.solve(merged, degrees, (0..nv as VertexId).collect());
         engine
@@ -714,6 +722,52 @@ impl IncrementalPagerank {
     /// [`crate::layout::DeltaList`] over the unchanged base CSR) and
     /// `degrees` its out-degrees.
     pub fn apply<E, L>(
+        &mut self,
+        merged: &L,
+        degrees: &[u32],
+        batch: &crate::layout::DeltaBatch<E>,
+    ) -> super::IncrementalOutcome
+    where
+        E: EdgeRecord,
+        L: crate::layout::VertexLayout<E>,
+    {
+        self.apply_ctx(merged, degrees, batch, &ExecContext::new())
+    }
+
+    /// [`Self::apply`] with an execution context: each applied batch is
+    /// reported to the recorder as one iteration (the decision log
+    /// shows the batch size against the full-solve fallback cutoff).
+    pub fn apply_ctx<E, L, P: MemProbe, R: Recorder>(
+        &mut self,
+        merged: &L,
+        degrees: &[u32],
+        batch: &crate::layout::DeltaBatch<E>,
+        ctx: &ExecContext<'_, P, R>,
+    ) -> super::IncrementalOutcome
+    where
+        E: EdgeRecord,
+        L: crate::layout::VertexLayout<E>,
+    {
+        let (outcome, seconds) = timed(|| self.apply_inner(merged, degrees, batch));
+        let step = self.batches_applied;
+        self.batches_applied += 1;
+        if ctx.recorder.enabled() {
+            let ne = merged.num_edges();
+            let cutoff = ((ne as f64 * super::INCREMENTAL_FALLBACK_FRACTION) as usize).max(1);
+            ctx.recorder.record_iteration(IterRecord {
+                step,
+                frontier_size: outcome.touched,
+                edges_scanned: batch.len(),
+                seconds,
+                mode: StepMode::Push,
+                density: frontier_density(batch.len(), ne),
+                decision: DirectionDecision::heuristic(batch.len(), cutoff),
+            });
+        }
+        outcome
+    }
+
+    fn apply_inner<E, L>(
         &mut self,
         merged: &L,
         degrees: &[u32],

@@ -15,7 +15,7 @@ use egraph_parallel::atomicf::AtomicF32;
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
 use crate::layout::NeighborAccess;
-use crate::metrics::{timed, StepMode};
+use crate::metrics::{direction_cutoff, frontier_density, timed, DirectionDecision, StepMode};
 use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
 use crate::util::UnsyncSlice;
@@ -35,6 +35,9 @@ fn record_pass<P: MemProbe, R: Recorder>(
             edges_scanned: edges,
             seconds,
             mode,
+            // A single full pass: every vertex active, every edge read.
+            density: frontier_density(nv + edges, edges),
+            decision: DirectionDecision::forced(nv + edges, direction_cutoff(edges)),
         });
     }
 }

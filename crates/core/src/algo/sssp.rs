@@ -15,7 +15,9 @@ use super::bfs::record_iter;
 use crate::engine::{self, PushOp};
 use crate::frontier::{FrontierKind, NextFrontier, VertexSubset};
 use crate::layout::{AdjacencyList, NeighborAccess, VertexLayout};
-use crate::metrics::{timed, IterStat, StepMode};
+use crate::metrics::{
+    direction_cutoff, frontier_density, timed, DirectionDecision, IterStat, StepMode,
+};
 use crate::telemetry::{ExecContext, Recorder};
 use crate::types::{EdgeList, EdgeRecord, VertexId};
 
@@ -81,8 +83,11 @@ pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
     let op = SsspPushOp { dist: &dist };
     let mut frontier = VertexSubset::single(source);
     let mut iterations = Vec::new();
+    let cutoff = direction_cutoff(out.num_edges());
     while !frontier.is_empty() {
         let frontier_size = frontier.len();
+        let frontier_edges = frontier.out_edge_count(|v| out.degree(v));
+        let observed = frontier_edges + frontier_size;
         // Dense accumulation: a vertex improved several times in one
         // step must appear once in the next frontier.
         let (next, seconds) =
@@ -92,9 +97,11 @@ pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
             &mut iterations,
             IterStat {
                 frontier_size,
-                edges_scanned: frontier.out_edge_count(|v| out.degree(v)),
+                edges_scanned: frontier_edges,
                 seconds,
                 mode: StepMode::Push,
+                density: frontier_density(observed, out.num_edges()),
+                decision: DirectionDecision::forced(observed, cutoff),
             },
         );
         frontier = next.into_sparse();
@@ -165,6 +172,12 @@ pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
                 edges_scanned: edges.num_edges(),
                 seconds,
                 mode: StepMode::Push,
+                // Edge-centric streams the full edge array every round.
+                density: frontier_density(edges.num_edges() + frontier_size, edges.num_edges()),
+                decision: DirectionDecision::forced(
+                    edges.num_edges() + frontier_size,
+                    direction_cutoff(edges.num_edges()),
+                ),
             },
         );
         frontier = next;
@@ -248,6 +261,13 @@ pub fn delta_stepping<E: EdgeRecord>(
                 edges_scanned: 0,
                 seconds,
                 mode: StepMode::Push,
+                // Bucketed relaxation has no pull alternative; the
+                // bucket membership alone is the observed load.
+                density: frontier_density(frontier.len(), out.num_edges()),
+                decision: DirectionDecision::forced(
+                    frontier.len(),
+                    direction_cutoff(out.num_edges()),
+                ),
             });
             // Re-bucket light activations (serially — `buckets` is not
             // shared); heavy edges are handled after the round.

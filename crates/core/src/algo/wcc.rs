@@ -17,8 +17,10 @@ use super::bfs::record_iter;
 use crate::engine::{self, PullOp, PushOp};
 use crate::frontier::{FrontierKind, VertexSubset};
 use crate::layout::{NeighborAccess, VertexLayout};
-use crate::metrics::{timed, IterStat, StepMode};
-use crate::telemetry::{ExecContext, Recorder};
+use crate::metrics::{
+    direction_cutoff, frontier_density, timed, DirectionDecision, IterStat, StepMode,
+};
+use crate::telemetry::{ExecContext, IterRecord, Recorder};
 use crate::types::VertexId;
 use crate::types::{EdgeList, EdgeRecord};
 use crate::util::AtomicBitmap;
@@ -81,6 +83,7 @@ pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
     let nv = out.num_vertices();
     let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
     let op = WccPushOp { label: &label };
+    let cutoff = direction_cutoff(out.num_edges());
     let mut frontier = VertexSubset::all(nv);
     let mut iterations = Vec::new();
     while !frontier.is_empty() {
@@ -94,7 +97,11 @@ pub(crate) fn push_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
                 frontier_size,
                 edges_scanned: 0,
                 seconds,
+                // Pure push never sums frontier degrees here, so the
+                // load estimate degrades to the vertex term alone.
+                density: frontier_density(frontier_size, out.num_edges()),
                 mode: StepMode::Push,
+                decision: DirectionDecision::forced(frontier_size, cutoff),
             },
         );
         frontier = next;
@@ -152,6 +159,11 @@ pub(crate) fn edge_centric_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
                 edges_scanned: edges.num_edges(),
                 seconds,
                 mode: StepMode::Push,
+                density: frontier_density(edges.num_edges() + nv, edges.num_edges()),
+                decision: DirectionDecision::forced(
+                    edges.num_edges() + nv,
+                    direction_cutoff(edges.num_edges()),
+                ),
             },
         );
         if !changed.load(Ordering::Relaxed) {
@@ -255,6 +267,14 @@ pub(crate) fn pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: Recor
                 edges_scanned: incoming.num_edges(),
                 seconds,
                 mode: StepMode::Pull,
+                density: frontier_density(
+                    incoming.num_edges() + frontier_size,
+                    incoming.num_edges(),
+                ),
+                decision: DirectionDecision::forced(
+                    incoming.num_edges() + frontier_size,
+                    direction_cutoff(incoming.num_edges()),
+                ),
             },
         );
         frontier = next;
@@ -279,14 +299,17 @@ pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: 
     let ctx = *ctx;
     let out = adj.out();
     let nv = out.num_vertices();
-    let edge_threshold = (out.num_edges() / 20).max(1);
+    // Beamer's switch threshold (|E| / 20) as adopted by Ligra.
+    let edge_threshold = direction_cutoff(out.num_edges());
     let label: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
     let mut frontier = VertexSubset::all(nv);
     let mut iterations = Vec::new();
     while !frontier.is_empty() {
         let frontier_size = frontier.len();
         let frontier_edges = frontier.out_edge_count(|v| out.degree(v));
-        if frontier_edges + frontier_size > edge_threshold {
+        let decision = DirectionDecision::heuristic(frontier_edges + frontier_size, edge_threshold);
+        let density = frontier_density(frontier_edges + frontier_size, out.num_edges());
+        if decision.says_pull() {
             // Pull round.
             let dense = frontier.into_dense(nv);
             let in_frontier = match &dense {
@@ -308,6 +331,8 @@ pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: 
                     edges_scanned: out.num_edges(),
                     seconds,
                     mode: StepMode::Pull,
+                    density,
+                    decision,
                 },
             );
             frontier = next;
@@ -323,6 +348,8 @@ pub(crate) fn push_pull_impl<E: EdgeRecord, L: VertexLayout<E>, P: MemProbe, R: 
                     edges_scanned: frontier_edges,
                     seconds,
                     mode: StepMode::Push,
+                    density,
+                    decision,
                 },
             );
             frontier = next;
@@ -381,6 +408,11 @@ pub(crate) fn grid_impl<E: EdgeRecord, P: MemProbe, R: Recorder>(
                 edges_scanned: grid.num_edges(),
                 seconds,
                 mode: StepMode::Push,
+                density: frontier_density(grid.num_edges() + nv, grid.num_edges()),
+                decision: DirectionDecision::forced(
+                    grid.num_edges() + nv,
+                    direction_cutoff(grid.num_edges()),
+                ),
             },
         );
         if !changed.load(Ordering::Relaxed) {
@@ -439,6 +471,7 @@ pub fn reference<E: EdgeRecord>(edges: &EdgeList<E>) -> Vec<u32> {
 #[derive(Debug, Clone)]
 pub struct IncrementalWcc {
     labels: Vec<u32>,
+    batches_applied: usize,
 }
 
 impl IncrementalWcc {
@@ -447,6 +480,7 @@ impl IncrementalWcc {
     pub fn new<E: EdgeRecord>(edges: &EdgeList<E>) -> Self {
         Self {
             labels: reference(edges),
+            batches_applied: 0,
         }
     }
 
@@ -458,6 +492,43 @@ impl IncrementalWcc {
     /// Repairs the labels after `batch` was applied. `merged` is the
     /// post-batch edge list (only traversed on the fallback path).
     pub fn apply<E: EdgeRecord>(
+        &mut self,
+        merged: &EdgeList<E>,
+        batch: &crate::layout::DeltaBatch<E>,
+    ) -> super::IncrementalOutcome {
+        self.apply_ctx(merged, batch, &ExecContext::new())
+    }
+
+    /// [`apply`](Self::apply) with telemetry: each batch repair is
+    /// recorded as one iteration, with the batch-size-vs-fallback
+    /// threshold as the decision log (deletes force the fallback
+    /// regardless of the comparison).
+    pub fn apply_ctx<E: EdgeRecord, P: MemProbe, R: Recorder>(
+        &mut self,
+        merged: &EdgeList<E>,
+        batch: &crate::layout::DeltaBatch<E>,
+        ctx: &ExecContext<'_, P, R>,
+    ) -> super::IncrementalOutcome {
+        let (outcome, seconds) = timed(|| self.apply_inner(merged, batch));
+        let step = self.batches_applied;
+        self.batches_applied += 1;
+        if ctx.recorder.enabled() {
+            let ne = merged.num_edges();
+            let cutoff = ((ne as f64 * super::INCREMENTAL_FALLBACK_FRACTION) as usize).max(1);
+            ctx.recorder.record_iteration(IterRecord {
+                step,
+                frontier_size: outcome.touched,
+                edges_scanned: batch.len(),
+                seconds,
+                mode: StepMode::Push,
+                density: frontier_density(batch.len(), ne),
+                decision: DirectionDecision::heuristic(batch.len(), cutoff),
+            });
+        }
+        outcome
+    }
+
+    fn apply_inner<E: EdgeRecord>(
         &mut self,
         merged: &EdgeList<E>,
         batch: &crate::layout::DeltaBatch<E>,

@@ -43,6 +43,7 @@
 pub mod algo;
 pub mod engine;
 pub mod exec;
+pub mod explain;
 pub mod frontier;
 pub mod inspect;
 pub mod layout;

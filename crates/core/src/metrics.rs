@@ -63,6 +63,79 @@ pub struct IterStat {
     pub seconds: f64,
     /// Whether the step pushed or pulled.
     pub mode: StepMode,
+    /// Measured frontier density: the Ligra-style load estimate
+    /// (frontier out-edges + frontier vertices) as a fraction of |E|.
+    pub density: f64,
+    /// The structured record of how `mode` was chosen.
+    pub decision: DirectionDecision,
+}
+
+/// The structured direction-decision log of one step: the Ligra-style
+/// threshold comparison (Beamer's heuristic as adopted by Ligra \[29\])
+/// that picked push or pull, kept per iteration so traces can replay
+/// *why* a kernel switched, not just *that* it did.
+///
+/// The comparison is `observed > cutoff` → pull. Kernels with a fixed
+/// direction (pure push, pure pull, edge-centric, grid) still fill in
+/// both sides but set `forced`, so an offline reader can tell "the
+/// heuristic chose this" from "the variant had no choice".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DirectionDecision {
+    /// The observed load estimate: frontier out-edges + frontier
+    /// vertices (Ligra's `m_f + n_f`).
+    pub observed: usize,
+    /// The switch cutoff the estimate was compared against
+    /// (`|E| / 20`, floored at 1).
+    pub cutoff: usize,
+    /// `true` when the variant's direction is fixed and the comparison
+    /// is informational only.
+    pub forced: bool,
+}
+
+impl DirectionDecision {
+    /// A decision made by the direction-optimizing heuristic.
+    pub fn heuristic(observed: usize, cutoff: usize) -> Self {
+        Self {
+            observed,
+            cutoff,
+            forced: false,
+        }
+    }
+
+    /// A fixed-direction step: the comparison is recorded but did not
+    /// choose anything.
+    pub fn forced(observed: usize, cutoff: usize) -> Self {
+        Self {
+            observed,
+            cutoff,
+            forced: true,
+        }
+    }
+
+    /// What the Ligra comparison says: pull when the observed load
+    /// exceeds the cutoff.
+    pub fn says_pull(&self) -> bool {
+        self.observed > self.cutoff
+    }
+}
+
+impl Default for DirectionDecision {
+    fn default() -> Self {
+        Self::forced(0, 0)
+    }
+}
+
+/// The Ligra-style switch cutoff for a graph with `num_edges` edges:
+/// `|E| / 20`, floored at 1 (Beamer's push→pull threshold).
+pub fn direction_cutoff(num_edges: usize) -> usize {
+    (num_edges / 20).max(1)
+}
+
+/// The measured density backing a [`DirectionDecision`]: the observed
+/// load estimate as a fraction of |E| (so the pull cutoff sits at
+/// 1/20 = 0.05).
+pub fn frontier_density(observed: usize, num_edges: usize) -> f64 {
+    observed as f64 / num_edges.max(1) as f64
 }
 
 /// Information-flow direction of one computation step.
@@ -122,5 +195,30 @@ mod tests {
         let (value, secs) = timed(|| 41 + 1);
         assert_eq!(value, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn direction_cutoff_matches_the_ligra_divisor() {
+        assert_eq!(direction_cutoff(2000), 100);
+        assert_eq!(direction_cutoff(19), 1, "floored at 1");
+        assert_eq!(direction_cutoff(0), 1);
+    }
+
+    #[test]
+    fn decision_comparison_is_strict() {
+        let d = DirectionDecision::heuristic(100, 100);
+        assert!(!d.says_pull(), "equal load stays push");
+        assert!(DirectionDecision::heuristic(101, 100).says_pull());
+        assert!(DirectionDecision::forced(101, 100).forced);
+    }
+
+    #[test]
+    fn density_is_the_load_fraction() {
+        assert!((frontier_density(100, 2000) - 0.05).abs() < 1e-12);
+        assert_eq!(
+            frontier_density(5, 0),
+            5.0,
+            "empty graph never divides by zero"
+        );
     }
 }

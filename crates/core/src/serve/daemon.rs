@@ -583,6 +583,9 @@ mod tests {
             assert_eq!(get_field(&event, "kind").as_str(), Some("bfs"));
             assert_eq!(get_field(&event, "outcome").as_str(), Some("ok"));
             assert!(get_field(&event, "total_us").as_number().is_some());
+            // No update has run, so every wave executed against the
+            // initially published snapshot (epoch 1).
+            assert_eq!(get_field(&event, "epoch").as_number(), Some(1.0));
         }
         // Oldest first: the last line is the most recent query.
         let last = json::parse(lines[1]).unwrap();
@@ -618,6 +621,26 @@ mod tests {
         let body = health.rsplit("\r\n\r\n").next().unwrap();
         assert!(body.contains("epoch=2"), "{health}");
         assert!(body.contains("pending_ops=0"), "{health}");
+
+        // The post-compact query's flight-recorder event is stamped
+        // with the epoch its wave executed against. The deposit trails
+        // the result send, so poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let response = http_get_raw(daemon.addr(), "/debug/queries?n=1");
+            let body = response.rsplit("\r\n\r\n").next().unwrap().to_string();
+            if let Some(line) = body.lines().last() {
+                let event = json::parse(line).expect("ndjson line parses");
+                if get_field(&event, "epoch").as_number() == Some(2.0) {
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "journal never showed an epoch-2 event: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
 
         // Malformed and unknown ops come back as in-band typed errors.
         let response = roundtrip(daemon.addr(), r#"{"id":4,"op":"explode","src":0,"dst":1}"#);

@@ -973,13 +973,14 @@ fn scheduler_loop(
             wave
         };
         // Pin this wave to the currently published snapshot; a compact
-        // racing us flips the pointer for *later* waves only.
-        let snapshot = state.resident.load();
+        // racing us flips the pointer for *later* waves only. The epoch
+        // read with it stamps the wave's journal events.
+        let (snapshot, epoch) = state.resident.load_with_epoch();
         let resident = snapshot
             .as_ref()
             .as_ref()
             .expect("resident published before waves launch");
-        runner.run(resident, wave, wave_id);
+        runner.run(resident, wave, wave_id, epoch);
         wave_id += 1;
     }
 }
@@ -997,7 +998,7 @@ struct WaveRunner<'a> {
 }
 
 impl WaveRunner<'_> {
-    fn run(&self, resident: &Resident, wave: Vec<Pending>, wave_id: u64) {
+    fn run(&self, resident: &Resident, wave: Vec<Pending>, wave_id: u64, epoch: u64) {
         let metrics = self.metrics;
         let journal = self.journal;
         let kind = wave[0].query.kind;
@@ -1120,6 +1121,7 @@ impl WaveRunner<'_> {
                 lane: lane as u8,
                 wave_size: wave_size as u8,
                 kind,
+                epoch,
                 source: pending.query.source,
                 depth: pending.query.depth,
                 enqueued_us: journal.micros_since_epoch(pending.enqueued),

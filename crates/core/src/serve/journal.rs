@@ -57,6 +57,10 @@ pub struct QueryEvent {
     pub wave_size: u8,
     /// The algorithm run.
     pub kind: QueryKind,
+    /// The graph epoch the wave executed against (bumps on every
+    /// `update`/compact publish), so a dump can tell which snapshot of
+    /// a mutating graph answered each query.
+    pub epoch: u64,
     /// The source vertex.
     pub source: u32,
     /// Depth bound (k-hop only; 0 otherwise).
@@ -103,7 +107,7 @@ impl QueryEvent {
         format!(
             concat!(
                 r#"{{"id":{},"kind":"{}","source":{},"depth":{},"wave":{},"lane":{},"#,
-                r#""wave_size":{},"enqueued_us":{},"queue_us":{},"exec_us":{},"#,
+                r#""wave_size":{},"epoch":{},"enqueued_us":{},"queue_us":{},"exec_us":{},"#,
                 r#""demux_us":{},"total_us":{},"checksum":"{:#018x}","outcome":"{}"}}"#
             ),
             self.id,
@@ -113,6 +117,7 @@ impl QueryEvent {
             self.wave,
             self.lane,
             self.wave_size,
+            self.epoch,
             self.enqueued_us,
             self.queue_us(),
             self.exec_us(),
@@ -125,7 +130,7 @@ impl QueryEvent {
 }
 
 /// Payload words per slot (see [`encode`]).
-const WORDS: usize = 9;
+const WORDS: usize = 10;
 
 fn encode(e: &QueryEvent) -> [u64; WORDS] {
     let kind = match e.kind {
@@ -147,6 +152,7 @@ fn encode(e: &QueryEvent) -> [u64; WORDS] {
         e.executed_us,
         e.done_us,
         e.checksum,
+        e.epoch,
     ]
 }
 
@@ -168,6 +174,7 @@ fn decode(w: [u64; WORDS]) -> QueryEvent {
         executed_us: w[6],
         done_us: w[7],
         checksum: w[8],
+        epoch: w[9],
         outcome: if (w[2] >> 24) & 0xff == 0 {
             EventOutcome::Answered
         } else {
@@ -328,6 +335,7 @@ mod tests {
             lane: (id % 4) as u8,
             wave_size: 4,
             kind: QueryKind::Bfs,
+            epoch: 1 + id % 3,
             source: id as u32,
             depth: 0,
             enqueued_us: id * 10,
@@ -394,6 +402,7 @@ mod tests {
         assert!(line.contains(r#""queue_us":3"#), "{line}");
         assert!(line.contains(r#""exec_us":4"#), "{line}");
         assert!(line.contains(r#""demux_us":1"#), "{line}");
+        assert!(line.contains(r#""epoch":3"#), "{line}");
         assert!(line.contains(r#""outcome":"ok""#), "{line}");
     }
 

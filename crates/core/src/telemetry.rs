@@ -23,9 +23,9 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 pub use egraph_cachesim::{CacheStats, MemProbe, NullProbe};
-pub use egraph_perf::{CounterKind, PerfCounters};
+pub use egraph_perf::{CounterKind, CounterReading, PerfCounters};
 
-use crate::metrics::{IterStat, StepMode, TimeBreakdown};
+use crate::metrics::{DirectionDecision, IterStat, StepMode, TimeBreakdown};
 
 /// One record per computation step of a frontier algorithm, as captured
 /// by a [`Recorder`].
@@ -41,6 +41,13 @@ pub struct IterRecord {
     pub seconds: f64,
     /// Direction the step ran in.
     pub mode: StepMode,
+    /// Measured frontier density at the start of the step (schema v4;
+    /// 0 for records parsed from older documents).
+    pub density: f64,
+    /// The threshold comparison that chose `mode` (schema v4; the
+    /// default forced decision for records parsed from older
+    /// documents).
+    pub decision: DirectionDecision,
 }
 
 impl IterRecord {
@@ -52,7 +59,39 @@ impl IterRecord {
             edges_scanned: stat.edges_scanned,
             seconds: stat.seconds,
             mode: stat.mode,
+            density: stat.density,
+            decision: stat.decision,
         }
+    }
+}
+
+/// One entry of [`RunTrace::iterations`]: the per-step record plus the
+/// hardware-counter deltas sampled over that step's window (schema v4;
+/// empty for older documents, hosts without counters, or recorders
+/// built without [`TraceRecorder::with_iteration_perf`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceIteration {
+    /// The per-step record.
+    pub record: IterRecord,
+    /// Hardware counter deltas over the step window, by canonical
+    /// counter name.
+    pub hardware: BTreeMap<String, f64>,
+}
+
+impl From<IterRecord> for TraceIteration {
+    fn from(record: IterRecord) -> Self {
+        Self {
+            record,
+            hardware: BTreeMap::new(),
+        }
+    }
+}
+
+impl std::ops::Deref for TraceIteration {
+    type Target = IterRecord;
+
+    fn deref(&self) -> &IterRecord {
+        &self.record
     }
 }
 
@@ -121,16 +160,25 @@ impl Recorder for NullRecorder {
 
 /// A recorder that collects everything into memory, for `--trace-out`
 /// and the bench reporter.
+///
+/// Built with [`with_iteration_perf`](Self::with_iteration_perf) it
+/// also attributes hardware-counter deltas to each iteration window:
+/// the window for step *n* runs from the previous `record_iteration`
+/// call (or recorder construction) to step *n*'s own call, which
+/// matches how the kernels time their steps.
 #[derive(Debug, Default)]
 pub struct TraceRecorder {
     inner: Mutex<TraceInner>,
+    perf: Option<PerfCounters>,
 }
 
 #[derive(Debug, Default)]
 struct TraceInner {
     iterations: Vec<IterRecord>,
+    iteration_hardware: Vec<BTreeMap<String, f64>>,
     counters: BTreeMap<&'static str, u64>,
     spans: Vec<Span>,
+    last_reading: Option<CounterReading>,
 }
 
 impl TraceRecorder {
@@ -139,9 +187,33 @@ impl TraceRecorder {
         Self::default()
     }
 
+    /// A recorder that additionally samples `counters` at every
+    /// `record_iteration` call, attributing the deltas to the iteration
+    /// window that just ended. Open the counters *before* the first
+    /// parallel operation so worker threads are covered (see the
+    /// `egraph-perf` crate docs).
+    pub fn with_iteration_perf(counters: PerfCounters) -> Self {
+        let first = counters.reading();
+        Self {
+            inner: Mutex::new(TraceInner {
+                last_reading: Some(first),
+                ..TraceInner::default()
+            }),
+            perf: Some(counters),
+        }
+    }
+
     /// The per-iteration records collected so far.
     pub fn iterations(&self) -> Vec<IterRecord> {
         self.inner.lock().iterations.clone()
+    }
+
+    /// Per-iteration hardware counter deltas, parallel to
+    /// [`iterations`](Self::iterations); maps are empty without
+    /// [`with_iteration_perf`](Self::with_iteration_perf) or on
+    /// restricted hosts.
+    pub fn iteration_hardware(&self) -> Vec<BTreeMap<String, f64>> {
+        self.inner.lock().iteration_hardware.clone()
     }
 
     /// The counters collected so far.
@@ -166,7 +238,18 @@ impl Recorder for TraceRecorder {
     }
 
     fn record_iteration(&self, record: IterRecord) {
-        self.inner.lock().iterations.push(record);
+        let mut inner = self.inner.lock();
+        let mut hardware = BTreeMap::new();
+        if let Some(perf) = &self.perf {
+            if let Some(prev) = &inner.last_reading {
+                for (kind, value) in perf.delta_since(prev).iter() {
+                    hardware.insert(kind.name().to_string(), value as f64);
+                }
+            }
+            inner.last_reading = Some(perf.reading());
+        }
+        inner.iterations.push(record);
+        inner.iteration_hardware.push(hardware);
     }
 
     fn record_span(&self, name: &'static str, seconds: f64) {
@@ -322,17 +405,17 @@ impl PhaseProfile {
 /// and whatever counters the engine, pool and storage layers reported.
 ///
 /// Serializes to JSON ([`RunTrace::to_json`], schema
-/// `egraph-trace/3`) and CSV ([`RunTrace::to_csv`]); parses back from
+/// `egraph-trace/4`) and CSV ([`RunTrace::to_csv`]); parses back from
 /// its own JSON ([`RunTrace::from_json`]) and CSV
 /// ([`RunTrace::from_csv`]). Schema-v1 documents (which predate
-/// [`PhaseProfile`]) and v2 documents (which predate [`PhaseMemory`])
-/// still parse, with the missing sections empty/`None`.
+/// [`PhaseProfile`]), v2 documents (which predate [`PhaseMemory`]) and
+/// v3 documents (which predate per-iteration density/decision/hardware)
+/// still parse, with the missing sections empty/defaulted.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunTrace {
     /// The schema tag the document declared when parsed (one of
-    /// [`TRACE_SCHEMA`], [`TRACE_SCHEMA_V2`], [`TRACE_SCHEMA_V1`]);
-    /// [`TRACE_SCHEMA`] for freshly built traces. Serialization always
-    /// writes the current schema.
+    /// [`ACCEPTED_SCHEMAS`]); [`TRACE_SCHEMA`] for freshly built
+    /// traces. Serialization always writes the current schema.
     pub schema: String,
     /// Algorithm name (e.g. `"bfs"`).
     pub algorithm: String,
@@ -340,8 +423,9 @@ pub struct RunTrace {
     pub config: BTreeMap<String, String>,
     /// End-to-end phase timings.
     pub breakdown: TimeBreakdown,
-    /// One record per computation step.
-    pub iterations: Vec<IterRecord>,
+    /// One record per computation step, with its per-step hardware
+    /// counter deltas (schema v4).
+    pub iterations: Vec<TraceIteration>,
     /// Named counters from all layers (engine, pool, storage).
     pub counters: BTreeMap<String, f64>,
     /// Named phase spans beyond the fixed breakdown phases.
@@ -367,7 +451,11 @@ impl Default for RunTrace {
 }
 
 /// Schema tag embedded in every JSON trace this version writes.
-pub const TRACE_SCHEMA: &str = "egraph-trace/3";
+pub const TRACE_SCHEMA: &str = "egraph-trace/4";
+
+/// The v3 schema tag (iterations without density, decision log, or
+/// per-iteration hardware); still accepted by the parsers.
+pub const TRACE_SCHEMA_V3: &str = "egraph-trace/3";
 
 /// The v2 schema tag (phases without memory); still accepted by the
 /// parsers.
@@ -377,12 +465,17 @@ pub const TRACE_SCHEMA_V2: &str = "egraph-trace/2";
 pub const TRACE_SCHEMA_V1: &str = "egraph-trace/1";
 
 /// The schema tags this build reads, newest first.
-pub const ACCEPTED_SCHEMAS: [&str; 3] = [TRACE_SCHEMA, TRACE_SCHEMA_V2, TRACE_SCHEMA_V1];
+pub const ACCEPTED_SCHEMAS: [&str; 4] = [
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_V3,
+    TRACE_SCHEMA_V2,
+    TRACE_SCHEMA_V1,
+];
 
 /// Output format for a [`RunTrace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceFormat {
-    /// One JSON object (schema `egraph-trace/1`).
+    /// One JSON object (schema [`TRACE_SCHEMA`]).
     Json,
     /// Flat CSV with a `record` discriminator column.
     Csv,
@@ -435,9 +528,24 @@ impl RunTrace {
 
     /// Merges everything a [`TraceRecorder`] collected into this trace.
     pub fn absorb(&mut self, recorder: &TraceRecorder) {
-        self.iterations.extend(recorder.iterations());
+        self.iterations.extend(
+            recorder
+                .iterations()
+                .into_iter()
+                .zip(recorder.iteration_hardware())
+                .map(|(record, hardware)| TraceIteration { record, hardware }),
+        );
         self.counters.extend(recorder.counters());
         self.spans.extend(recorder.spans());
+    }
+
+    /// Counts the direction flips in the iteration sequence: steps
+    /// whose mode differs from the previous step's.
+    pub fn direction_flips(&self) -> usize {
+        self.iterations
+            .windows(2)
+            .filter(|w| w[0].record.mode != w[1].record.mode)
+            .count()
     }
 
     /// Renders the trace in `format`.
@@ -481,15 +589,29 @@ impl RunTrace {
             if i > 0 {
                 out.push(',');
             }
+            let r = &it.record;
             out.push_str(&format!(
                 "\n    {{\"step\": {}, \"frontier_size\": {}, \"edges_scanned\": {}, \
-                 \"seconds\": {}, \"mode\": {}}}",
-                it.step,
-                it.frontier_size,
-                it.edges_scanned,
-                json::number(it.seconds),
-                json::string(it.mode.as_str()),
+                 \"seconds\": {}, \"mode\": {}, \"density\": {}, \
+                 \"decision\": {{\"observed\": {}, \"cutoff\": {}, \"forced\": {}}}, \
+                 \"hardware\": {{",
+                r.step,
+                r.frontier_size,
+                r.edges_scanned,
+                json::number(r.seconds),
+                json::string(r.mode.as_str()),
+                json::number(r.density),
+                r.decision.observed,
+                r.decision.cutoff,
+                r.decision.forced,
             ));
+            for (j, (k, v)) in it.hardware.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json::string(k), json::number(*v)));
+            }
+            out.push_str("}}");
         }
         if !self.iterations.is_empty() {
             out.push_str("\n  ");
@@ -614,7 +736,7 @@ impl RunTrace {
             let o = it
                 .as_object()
                 .ok_or_else(|| err("iteration is not an object"))?;
-            trace.iterations.push(IterRecord {
+            let record = IterRecord {
                 step: num_field(o, "step")? as usize,
                 frontier_size: num_field(o, "frontier_size")? as usize,
                 edges_scanned: num_field(o, "edges_scanned")? as usize,
@@ -625,7 +747,46 @@ impl RunTrace {
                         .ok_or_else(|| err("mode is not a string"))?,
                 )
                 .ok_or_else(|| err("unknown step mode"))?,
-            });
+                // `density` and `decision` arrived with schema v4;
+                // tolerate their absence in older documents.
+                density: match get(o, "density") {
+                    Err(_) => 0.0,
+                    Ok(v) => v
+                        .as_number()
+                        .ok_or_else(|| err("density is not a number"))?,
+                },
+                decision: match get(o, "decision") {
+                    Err(_) => DirectionDecision::default(),
+                    Ok(d) => {
+                        let d = d
+                            .as_object()
+                            .ok_or_else(|| err("decision is not an object"))?;
+                        DirectionDecision {
+                            observed: num_field(d, "observed")? as usize,
+                            cutoff: num_field(d, "cutoff")? as usize,
+                            forced: match get(d, "forced")? {
+                                json::Value::Bool(b) => *b,
+                                _ => return Err(err("decision forced is not a bool")),
+                            },
+                        }
+                    }
+                },
+            };
+            let mut iteration = TraceIteration::from(record);
+            // `hardware` is also v4-only; missing means empty.
+            if let Ok(hw) = get(o, "hardware") {
+                for (k, v) in hw
+                    .as_object()
+                    .ok_or_else(|| err("iteration hardware is not an object"))?
+                {
+                    iteration.hardware.insert(
+                        k.clone(),
+                        v.as_number()
+                            .ok_or_else(|| err("hardware counter is not a number"))?,
+                    );
+                }
+            }
+            trace.iterations.push(iteration);
         }
         for (k, v) in get(obj, "counters")?
             .as_object()
@@ -710,10 +871,14 @@ impl RunTrace {
     }
 
     /// Serializes to flat CSV. The first column discriminates the
-    /// record type (`meta`, `breakdown`, `iteration`, `counter`,
-    /// `span`, `phase`, `phase_hw`, `phase_sim`, `phase_mem`); unused
-    /// columns are left empty. Fields containing separators are quoted
-    /// per RFC 4180, and [`RunTrace::from_csv`] parses the result back.
+    /// record type (`meta`, `breakdown`, `iteration`, `iter_decision`,
+    /// `iter_hw`, `counter`, `span`, `phase`, `phase_hw`, `phase_sim`,
+    /// `phase_mem`); unused columns are left empty. An `iteration` row
+    /// carries its density in the `value` column (schema v4; empty in
+    /// older documents); `iter_decision`/`iter_hw` rows attach to the
+    /// preceding `iteration` row via the `step` column. Fields
+    /// containing separators are quoted per RFC 4180, and
+    /// [`RunTrace::from_csv`] parses the result back.
     pub fn to_csv(&self) -> String {
         let q = csv::field;
         let mut out = String::new();
@@ -738,14 +903,26 @@ impl RunTrace {
             out.push_str(&format!("breakdown,{name},,,,{secs},,\n"));
         }
         for it in &self.iterations {
+            let r = &it.record;
             out.push_str(&format!(
-                "iteration,,{},{},{},{},{},\n",
-                it.step,
-                it.frontier_size,
-                it.edges_scanned,
-                it.seconds,
-                it.mode.as_str()
+                "iteration,,{},{},{},{},{},{}\n",
+                r.step,
+                r.frontier_size,
+                r.edges_scanned,
+                r.seconds,
+                r.mode.as_str(),
+                r.density
             ));
+            for (field, value) in [
+                ("observed", r.decision.observed as u64),
+                ("cutoff", r.decision.cutoff as u64),
+                ("forced", r.decision.forced as u64),
+            ] {
+                out.push_str(&format!("iter_decision,,{},,,,{field},{value}\n", r.step));
+            }
+            for (k, v) in &it.hardware {
+                out.push_str(&format!("iter_hw,,{},,,,{},{v}\n", r.step, q(k)));
+            }
         }
         for (k, v) in &self.counters {
             out.push_str(&format!("counter,{},,,,,,{v}\n", q(k)));
@@ -843,13 +1020,33 @@ impl RunTrace {
                         }
                     }
                 }
-                "iteration" => trace.iterations.push(IterRecord {
+                "iteration" => trace.iterations.push(TraceIteration::from(IterRecord {
                     step: numcol(2)? as usize,
                     frontier_size: numcol(3)? as usize,
                     edges_scanned: numcol(4)? as usize,
                     seconds: numcol(5)?,
                     mode: StepMode::parse(col(6)).ok_or_else(|| err("unknown step mode"))?,
-                }),
+                    // The `value` column is empty in pre-v4 documents.
+                    density: if col(7).is_empty() { 0.0 } else { numcol(7)? },
+                    decision: DirectionDecision::default(),
+                })),
+                "iter_decision" => {
+                    let value = numcol(7)?;
+                    let it = iteration_mut(&mut trace, numcol(2)? as usize)?;
+                    match col(6) {
+                        "observed" => it.record.decision.observed = value as usize,
+                        "cutoff" => it.record.decision.cutoff = value as usize,
+                        "forced" => it.record.decision.forced = value != 0.0,
+                        other => {
+                            return Err(err(&format!("unknown iter_decision field '{other}'")));
+                        }
+                    }
+                }
+                "iter_hw" => {
+                    let value = numcol(7)?;
+                    let it = iteration_mut(&mut trace, numcol(2)? as usize)?;
+                    it.hardware.insert(col(6).to_string(), value);
+                }
                 "counter" => {
                     trace.counters.insert(col(1).to_string(), numcol(7)?);
                 }
@@ -901,6 +1098,18 @@ impl RunTrace {
         }
         Ok(trace)
     }
+}
+
+/// Finds the already-declared iteration an `iter_decision`/`iter_hw`
+/// row refers to (rows follow their `iteration` row, so it is the last
+/// one with that step).
+fn iteration_mut(trace: &mut RunTrace, step: usize) -> Result<&mut TraceIteration, TraceError> {
+    trace
+        .iterations
+        .iter_mut()
+        .rev()
+        .find(|it| it.record.step == step)
+        .ok_or_else(|| err(&format!("iteration row for undeclared step {step}")))
 }
 
 /// Finds the already-declared phase a `phase_hw`/`phase_sim` row refers
@@ -1393,6 +1602,8 @@ mod tests {
             edges_scanned: 0,
             seconds: 0.0,
             mode: StepMode::Push,
+            density: 0.0,
+            decision: DirectionDecision::default(),
         });
         r.record_span("x", 0.0);
     }
@@ -1410,10 +1621,51 @@ mod tests {
             edges_scanned: 2,
             seconds: 0.5,
             mode: StepMode::Pull,
+            density: 0.125,
+            decision: DirectionDecision::heuristic(3, 2),
         });
         assert_eq!(r.counters()["edges"], 15.0);
         assert_eq!(r.spans()[0].name, "load");
         assert_eq!(r.iterations()[0].mode, StepMode::Pull);
+        assert!(r.iterations()[0].decision.says_pull());
+        // Without `with_iteration_perf` the hardware maps exist but
+        // stay empty, keeping the two vectors parallel.
+        assert_eq!(r.iteration_hardware(), vec![BTreeMap::new()]);
+    }
+
+    #[test]
+    fn iteration_perf_recorder_keeps_vectors_parallel() {
+        let r = TraceRecorder::with_iteration_perf(PerfCounters::open());
+        for step in 0..3 {
+            let mut x = 1u64;
+            for i in 0..200_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(x);
+            r.record_iteration(IterRecord {
+                step,
+                frontier_size: 1,
+                edges_scanned: 1,
+                seconds: 0.001,
+                mode: StepMode::Push,
+                density: 0.0,
+                decision: DirectionDecision::default(),
+            });
+        }
+        assert_eq!(r.iterations().len(), 3);
+        assert_eq!(r.iteration_hardware().len(), 3);
+        let mut trace = RunTrace::new("bfs");
+        trace.absorb(&r);
+        assert_eq!(trace.iterations.len(), 3);
+        // Every iteration window samples the same counter set (which is
+        // legitimately empty on restricted hosts).
+        let keys: Vec<Vec<&String>> = trace
+            .iterations
+            .iter()
+            .map(|it| it.hardware.keys().collect())
+            .collect();
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[1], keys[2]);
     }
 
     #[test]
@@ -1435,21 +1687,27 @@ mod tests {
             algorithm: 0.125,
             store: 0.0625,
         };
+        let mut first = TraceIteration::from(IterRecord {
+            step: 0,
+            frontier_size: 1,
+            edges_scanned: 3,
+            seconds: 0.001,
+            mode: StepMode::Push,
+            density: 0.002,
+            decision: DirectionDecision::heuristic(4, 97),
+        });
+        first.hardware.insert("cycles".into(), 1.5e6);
         t.iterations = vec![
-            IterRecord {
-                step: 0,
-                frontier_size: 1,
-                edges_scanned: 3,
-                seconds: 0.001,
-                mode: StepMode::Push,
-            },
-            IterRecord {
+            first,
+            TraceIteration::from(IterRecord {
                 step: 1,
                 frontier_size: 42,
                 edges_scanned: 977,
                 seconds: 0.0025,
                 mode: StepMode::Pull,
-            },
+                density: 0.52,
+                decision: DirectionDecision::heuristic(1019, 97),
+            }),
         ];
         t.counters.insert("pool.steals".into(), 7.0);
         t.counters.insert("storage.bytes_read".into(), 65536.0);
@@ -1512,6 +1770,9 @@ mod tests {
             "meta,algorithm",
             "breakdown,total",
             "iteration,",
+            "iter_decision,,0,,,,observed,4",
+            "iter_decision,,1,,,,forced,0",
+            "iter_hw,,0,,,,cycles",
             "counter,pool.steals",
             "span,",
             "phase,algorithm",
@@ -1522,11 +1783,11 @@ mod tests {
             assert!(text.contains(tag), "missing {tag} in:\n{text}");
         }
         // header + 2 meta + 2 config + 6 breakdown + 2 iterations
-        // + 2 counters + 1 span + 2 phases + 2 phase_hw + 2 phase_sim
-        // + 4 phase_mem.
+        // + 6 iter_decision + 1 iter_hw + 2 counters + 1 span
+        // + 2 phases + 2 phase_hw + 2 phase_sim + 4 phase_mem.
         assert_eq!(
             text.lines().count(),
-            1 + 2 + 2 + 6 + 2 + 2 + 1 + 2 + 2 + 2 + 4
+            1 + 2 + 2 + 6 + 2 + 6 + 1 + 2 + 1 + 2 + 2 + 2 + 4
         );
     }
 
@@ -1599,6 +1860,70 @@ mod tests {
         v2.schema = TRACE_SCHEMA_V2.to_string();
         let parsed = RunTrace::from_csv(&csv_text).unwrap();
         assert_eq!(parsed, v2);
+    }
+
+    #[test]
+    fn schema_v3_documents_still_parse() {
+        // A v3 producer wrote iterations without density, decision or
+        // per-iteration hardware; both parsers must accept the tag and
+        // leave those at their defaults.
+        let mut v3 = sample_trace();
+        for it in &mut v3.iterations {
+            it.record.density = 0.0;
+            it.record.decision = DirectionDecision::default();
+            it.hardware.clear();
+        }
+        let json_text = v3.to_json().replacen(TRACE_SCHEMA, TRACE_SCHEMA_V3, 1);
+        // Drop the v4 keys entirely, as a real v3 document would.
+        let json_text = json_text.replace(
+            ", \"density\": 0, \"decision\": {\"observed\": 0, \"cutoff\": 0, \
+             \"forced\": true}, \"hardware\": {}",
+            "",
+        );
+        assert!(json_text.contains(TRACE_SCHEMA_V3));
+        assert!(!json_text.contains("\"density\""));
+        assert!(!json_text.contains("\"decision\""));
+        v3.schema = TRACE_SCHEMA_V3.to_string();
+        let parsed = RunTrace::from_json(&json_text).unwrap();
+        assert_eq!(parsed, v3);
+
+        v3.schema = TRACE_SCHEMA.to_string();
+        let csv_v4 = v3.to_csv().replacen(TRACE_SCHEMA, TRACE_SCHEMA_V3, 1);
+        // A v3 document has no iter_* rows and an empty value column on
+        // iteration rows.
+        let csv_text: String = csv_v4
+            .lines()
+            .filter(|l| !l.starts_with("iter_decision") && !l.starts_with("iter_hw"))
+            .map(|l| {
+                if let Some(stripped) = l.strip_prefix("iteration") {
+                    format!("iteration{}\n", stripped.strip_suffix('0').unwrap())
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert!(!csv_text.contains("iter_decision"));
+        v3.schema = TRACE_SCHEMA_V3.to_string();
+        let parsed = RunTrace::from_csv(&csv_text).unwrap();
+        assert_eq!(parsed, v3);
+    }
+
+    #[test]
+    fn direction_flips_counts_mode_changes() {
+        let mut t = sample_trace();
+        assert_eq!(t.direction_flips(), 1); // push → pull
+        t.iterations.push(TraceIteration::from(IterRecord {
+            step: 2,
+            frontier_size: 9,
+            edges_scanned: 12,
+            seconds: 0.001,
+            mode: StepMode::Push,
+            density: 0.006,
+            decision: DirectionDecision::heuristic(21, 97),
+        }));
+        assert_eq!(t.direction_flips(), 2); // ... → push again
+        t.iterations.clear();
+        assert_eq!(t.direction_flips(), 0);
     }
 
     #[test]

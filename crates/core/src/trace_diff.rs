@@ -182,6 +182,61 @@ pub fn diff_traces(old: &RunTrace, new: &RunTrace, opts: &DiffOptions) -> TraceD
         );
     }
 
+    // Schema-v4 iteration telemetry. Two derived metrics gate:
+    //
+    // * `iterations.count` — convergence regressions (a kernel change
+    //   that makes BFS take 40 levels instead of 8) hide inside the
+    //   relative time rule when each level got cheaper. The count gates
+    //   on the relative threshold with an absolute slack of 2 steps, so
+    //   data-dependent one-off levels never trip it.
+    // * `iterations.direction_flips` — a healthy direction-optimizing
+    //   run switches push→pull→push a handful of times; a mistuned
+    //   cutoff "flaps" every step. More than one extra flip against the
+    //   baseline is a decision-logic regression, no matter how fast the
+    //   run was.
+    //
+    // A baseline recorded before schema v4 carries no iterations, so
+    // the candidate's records are reported for context but cannot gate.
+    if new.iterations.is_empty() || old.iterations.is_empty() {
+        if !new.iterations.is_empty() {
+            for (metric, value) in [
+                ("iterations.count", new.iterations.len() as f64),
+                ("iterations.direction_flips", new.direction_flips() as f64),
+            ] {
+                diff.rows.push(DiffRow {
+                    metric: metric.to_string(),
+                    old: 0.0,
+                    new: value,
+                    gating: false,
+                    regressed: false,
+                });
+            }
+        }
+    } else {
+        let (old_n, new_n) = (old.iterations.len() as f64, new.iterations.len() as f64);
+        let count_regressed =
+            new_n > old_n * (1.0 + opts.threshold_pct / 100.0) && new_n > old_n + 2.0;
+        push_row(
+            &mut diff,
+            "iterations.count".to_string(),
+            old_n,
+            new_n,
+            true,
+            count_regressed,
+            "",
+        );
+        let (old_f, new_f) = (old.direction_flips() as f64, new.direction_flips() as f64);
+        push_row(
+            &mut diff,
+            "iterations.direction_flips".to_string(),
+            old_f,
+            new_f,
+            true,
+            new_f > old_f + 1.0,
+            "",
+        );
+    }
+
     // Schema-v2 phases, matched by name; a phase present on only one
     // side is reported but cannot gate (there is nothing to compare).
     for new_phase in &new.phases {
@@ -653,6 +708,83 @@ mod tests {
             .rows
             .iter()
             .any(|r| r.metric == "phase.compact.seconds" && r.gating && r.regressed));
+    }
+
+    /// `trace` plus one iteration record per entry of `modes`.
+    fn with_iterations(modes: &[crate::metrics::StepMode]) -> RunTrace {
+        use crate::metrics::DirectionDecision;
+        use crate::telemetry::IterRecord;
+        let mut t = trace_with(1.0, 20);
+        for (step, &mode) in modes.iter().enumerate() {
+            t.iterations.push(
+                IterRecord {
+                    step,
+                    frontier_size: 10,
+                    edges_scanned: 100,
+                    seconds: 0.01,
+                    mode,
+                    density: 0.1,
+                    decision: DirectionDecision::heuristic(110, 50),
+                }
+                .into(),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn iteration_count_blowup_gates_but_small_growth_passes() {
+        use crate::metrics::StepMode::Push;
+        let old = with_iterations(&[Push; 8]);
+        // +2 steps is inside the absolute slack even though it exceeds
+        // the 10% relative threshold.
+        let near = with_iterations(&[Push; 10]);
+        assert!(!diff_traces(&old, &near, &DiffOptions::default()).has_regressions());
+        // A convergence blowup trips the gate even with identical times.
+        let blowup = with_iterations(&[Push; 40]);
+        let diff = diff_traces(&old, &blowup, &DiffOptions::default());
+        assert!(diff.has_regressions());
+        assert!(diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "iterations.count" && r.gating && r.regressed));
+    }
+
+    #[test]
+    fn direction_flapping_gates() {
+        use crate::metrics::StepMode::{Pull, Push};
+        // Healthy run: push, two pull steps in the dense middle, push.
+        let old = with_iterations(&[Push, Pull, Pull, Push]);
+        // One extra flip is tolerated (data-dependent frontier shapes).
+        let ok = with_iterations(&[Push, Pull, Push, Push]);
+        assert!(!diff_traces(&old, &ok, &DiffOptions::default()).has_regressions());
+        // Flapping every step is a decision-logic regression.
+        let flapping = with_iterations(&[Push, Pull, Push, Pull, Push, Pull]);
+        let diff = diff_traces(&old, &flapping, &DiffOptions::default());
+        assert!(diff.has_regressions());
+        assert!(diff
+            .rows
+            .iter()
+            .any(|r| r.metric == "iterations.direction_flips" && r.gating && r.regressed));
+    }
+
+    #[test]
+    fn pre_v4_baseline_keeps_iteration_metrics_informational() {
+        use crate::metrics::StepMode::{Pull, Push};
+        let old = trace_with(1.0, 20); // no iteration records (v3 era)
+        let new = with_iterations(&[Push, Pull, Push, Pull, Push, Pull]);
+        let diff = diff_traces(&old, &new, &DiffOptions::default());
+        assert!(!diff.has_regressions());
+        for metric in ["iterations.count", "iterations.direction_flips"] {
+            let row = diff.rows.iter().find(|r| r.metric == metric).unwrap();
+            assert!(!row.gating, "{metric} must not gate without a baseline");
+        }
+        // And nothing at all when the candidate has no iterations either.
+        let diff = diff_traces(&old, &old, &DiffOptions::default());
+        assert!(!diff
+            .rows
+            .iter()
+            .any(|r| r.metric.starts_with("iterations.")));
     }
 
     #[test]

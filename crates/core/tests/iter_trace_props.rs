@@ -1,0 +1,315 @@
+//! Property and compatibility tests for the schema-v4 iteration
+//! telemetry: whatever per-iteration records a run produces must
+//! survive both serializations bit-for-bit, older schema generations
+//! must keep parsing (with the v4-only sections defaulted), a foreign
+//! schema must stay a *typed* error, and the decision log itself must
+//! be a pure function of the graph — identical across thread counts.
+
+use std::collections::BTreeMap;
+
+use egraph_core::exec::ExecCtx;
+use egraph_core::metrics::{DirectionDecision, StepMode};
+use egraph_core::telemetry::{
+    IterRecord, RunTrace, TraceError, TraceIteration, TraceRecorder, TRACE_SCHEMA,
+};
+use egraph_core::types::{Edge, EdgeList};
+use egraph_core::variant::{run_variant, PreparedGraph, RunParams, VariantId};
+use egraph_parallel::ThreadPool;
+use proptest::prelude::*;
+
+/// Builds one iteration entry from raw integer draws, with every
+/// v4 field (density, decision, hardware) populated. Seconds and
+/// density go through f64 `Display`, whose shortest-round-trip
+/// formatting both parsers read back exactly.
+#[allow(clippy::cast_precision_loss)]
+fn iteration(
+    step: usize,
+    (frontier, edges): (usize, usize),
+    secs_us: u32,
+    (observed, cutoff, forced): (usize, usize, bool),
+    hw_keys: usize,
+) -> TraceIteration {
+    let decision = if forced {
+        DirectionDecision::forced(observed, cutoff)
+    } else {
+        DirectionDecision::heuristic(observed, cutoff)
+    };
+    let mut hardware = BTreeMap::new();
+    for (i, key) in ["cycles", "instructions", "llc_load_misses"]
+        .iter()
+        .take(hw_keys)
+        .enumerate()
+    {
+        hardware.insert(key.to_string(), (step * 1000 + i) as f64 * 0.5);
+    }
+    TraceIteration {
+        record: IterRecord {
+            step,
+            frontier_size: frontier,
+            edges_scanned: edges,
+            seconds: f64::from(secs_us) * 1e-6,
+            mode: if decision.says_pull() {
+                StepMode::Pull
+            } else {
+                StepMode::Push
+            },
+            density: frontier as f64 / edges.max(1) as f64,
+            decision,
+        },
+        hardware,
+    }
+}
+
+/// A full v4 trace around the given iterations.
+fn v4_trace(iterations: Vec<TraceIteration>) -> RunTrace {
+    let mut t = RunTrace::new("bfs");
+    t.config.insert("layout".into(), "adj".into());
+    t.config.insert("flow".into(), "push-pull".into());
+    t.breakdown.load = 0.25;
+    t.breakdown.algorithm = 1.5;
+    t.iterations = iterations;
+    t
+}
+
+type IterDraw = ((usize, usize), u32, (usize, usize, bool), usize);
+
+fn iterations_strategy() -> impl Strategy<Value = Vec<IterDraw>> {
+    prop::collection::vec(
+        (
+            (0usize..5_000, 0usize..100_000),
+            0u32..1_000_000,
+            (0usize..200_000, 1usize..10_000, any::<bool>()),
+            0usize..4,
+        ),
+        0..12,
+    )
+}
+
+proptest! {
+    #[test]
+    fn v4_iterations_round_trip_through_json(draws in iterations_strategy()) {
+        let trace = v4_trace(
+            draws
+                .iter()
+                .enumerate()
+                .map(|(step, &(fe, us, d, hw))| iteration(step, fe, us, d, hw))
+                .collect(),
+        );
+        let parsed = RunTrace::from_json(&trace.to_json()).expect("own JSON parses");
+        prop_assert_eq!(&parsed.schema, TRACE_SCHEMA);
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn v4_iterations_round_trip_through_csv(draws in iterations_strategy()) {
+        let trace = v4_trace(
+            draws
+                .iter()
+                .enumerate()
+                .map(|(step, &(fe, us, d, hw))| iteration(step, fe, us, d, hw))
+                .collect(),
+        );
+        let parsed = RunTrace::from_csv(&trace.to_csv()).expect("own CSV parses");
+        prop_assert_eq!(parsed.iterations, trace.iterations);
+        prop_assert_eq!(parsed.config, trace.config);
+    }
+
+    #[test]
+    fn foreign_schema_versions_stay_typed_errors(version in 5u32..10_000) {
+        let tag = format!("egraph-trace/{version}");
+        let doc = format!(
+            r#"{{"schema": "{tag}", "algorithm": "bfs", "config": {{}},
+                "breakdown": {{"load": 0, "preprocess": 0, "partition": 0,
+                               "algorithm": 0, "store": 0, "total": 0}},
+                "iterations": [], "counters": {{}}, "spans": []}}"#
+        );
+        match RunTrace::from_json(&doc) {
+            Err(TraceError::UnsupportedSchema(got)) => prop_assert_eq!(got, tag.clone()),
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected UnsupportedSchema, got {other:?}"
+                )))
+            }
+        }
+        let csv = format!("record,key,step,frontier_size,edges_scanned,seconds,mode,value\nmeta,schema,,,,,,{tag}\n");
+        match RunTrace::from_csv(&csv) {
+            Err(TraceError::UnsupportedSchema(got)) => prop_assert_eq!(got, tag),
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected UnsupportedSchema, got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+#[test]
+fn v1_fixture_parses_with_empty_v2_plus_sections() {
+    // A pre-phases document: no `phases` key at all, iterations without
+    // density/decision/hardware.
+    let doc = r#"{
+        "schema": "egraph-trace/1",
+        "algorithm": "bfs",
+        "config": {"layout": "adj"},
+        "breakdown": {"load": 0.1, "preprocess": 0.2, "partition": 0,
+                      "algorithm": 0.5, "store": 0, "total": 0.8},
+        "iterations": [
+            {"step": 0, "frontier_size": 1, "edges_scanned": 5,
+             "seconds": 0.01, "mode": "push"}
+        ],
+        "counters": {"pool.tasks": 4},
+        "spans": []
+    }"#;
+    let trace = RunTrace::from_json(doc).expect("v1 parses");
+    assert_eq!(trace.schema, "egraph-trace/1");
+    assert!(trace.phases.is_empty());
+    assert_eq!(trace.iterations.len(), 1);
+    let it = &trace.iterations[0];
+    assert_eq!(it.record.frontier_size, 1);
+    assert_eq!(it.record.density, 0.0);
+    assert_eq!(it.record.decision, DirectionDecision::default());
+    assert!(it.hardware.is_empty());
+}
+
+#[test]
+fn v2_fixture_parses_with_phase_memory_absent() {
+    // Phases arrived in v2, per-phase memory in v3: a v2 phase object
+    // has no `memory` key.
+    let doc = r#"{
+        "schema": "egraph-trace/2",
+        "algorithm": "pagerank",
+        "config": {},
+        "breakdown": {"load": 0, "preprocess": 0, "partition": 0,
+                      "algorithm": 1.0, "store": 0, "total": 1.0},
+        "iterations": [],
+        "counters": {},
+        "spans": [],
+        "phases": [
+            {"name": "algorithm", "seconds": 1.0,
+             "hardware": {"cycles": 100.0}, "simulated": null}
+        ]
+    }"#;
+    let trace = RunTrace::from_json(doc).expect("v2 parses");
+    assert_eq!(trace.schema, "egraph-trace/2");
+    assert_eq!(trace.phases.len(), 1);
+    assert!(trace.phases[0].memory.is_none());
+    assert_eq!(trace.phases[0].hardware["cycles"], 100.0);
+}
+
+#[test]
+fn v3_fixtures_parse_with_default_decision_log() {
+    let doc = r#"{
+        "schema": "egraph-trace/3",
+        "algorithm": "wcc",
+        "config": {"flow": "push-pull"},
+        "breakdown": {"load": 0, "preprocess": 0, "partition": 0,
+                      "algorithm": 0.3, "store": 0, "total": 0.3},
+        "iterations": [
+            {"step": 0, "frontier_size": 10, "edges_scanned": 40,
+             "seconds": 0.01, "mode": "push"},
+            {"step": 1, "frontier_size": 900, "edges_scanned": 4000,
+             "seconds": 0.02, "mode": "pull"}
+        ],
+        "counters": {},
+        "spans": [],
+        "phases": [
+            {"name": "algorithm", "seconds": 0.3, "hardware": {},
+             "simulated": null,
+             "memory": {"allocated_bytes": 10, "freed_bytes": 5,
+                        "peak_bytes": 10, "end_rss_bytes": 100}}
+        ]
+    }"#;
+    let trace = RunTrace::from_json(doc).expect("v3 JSON parses");
+    assert_eq!(trace.schema, "egraph-trace/3");
+    assert_eq!(trace.iterations.len(), 2);
+    for it in &trace.iterations {
+        assert_eq!(it.record.density, 0.0);
+        assert_eq!(it.record.decision, DirectionDecision::default());
+        assert!(it.hardware.is_empty());
+    }
+    assert!(trace.phases[0].memory.is_some());
+
+    // The CSV form of the same generation: iteration rows with an
+    // empty `value` column and no iter_decision/iter_hw rows.
+    let csv = "record,key,step,frontier_size,edges_scanned,seconds,mode,value\n\
+               meta,schema,,,,,,egraph-trace/3\n\
+               meta,algorithm,,,,,,wcc\n\
+               iteration,,0,10,40,0.01,push,\n\
+               iteration,,1,900,4000,0.02,pull,\n";
+    let trace = RunTrace::from_csv(csv).expect("v3 CSV parses");
+    assert_eq!(trace.schema, "egraph-trace/3");
+    assert_eq!(trace.iterations.len(), 2);
+    assert_eq!(trace.iterations[1].record.mode, StepMode::Pull);
+    assert_eq!(trace.iterations[0].record.density, 0.0);
+    assert_eq!(
+        trace.iterations[0].record.decision,
+        DirectionDecision::default()
+    );
+}
+
+/// A density-skewed graph: a short lead-in chain, a hub step that
+/// lights up almost every vertex at once, and a short tail — BFS
+/// push-pull must switch push → pull at the hub and back after it.
+fn skewed_graph() -> EdgeList {
+    let spokes = 1200u32;
+    let nv = spokes + 3; // chain 0,1 + spokes + tail 2
+    let mut edges = vec![Edge::new(0, 1)];
+    for v in 2..spokes + 2 {
+        edges.push(Edge::new(1, v));
+        edges.push(Edge::new(v, spokes + 2));
+    }
+    EdgeList::new(nv as usize, edges).expect("valid edge list")
+}
+
+/// Runs BFS push-pull over the skewed graph on a pool of `threads`
+/// workers and returns the recorded decision log (everything except
+/// the wall-clock seconds, which legitimately vary).
+fn decision_log(threads: usize) -> Vec<(usize, usize, usize, StepMode, u64, DirectionDecision)> {
+    let graph = skewed_graph();
+    let recorder = TraceRecorder::new();
+    let pool = ThreadPool::new(threads);
+    let prepared = PreparedGraph::new(&graph);
+    let id: VariantId = "bfs/adj/push-pull".parse().expect("valid variant spec");
+    run_variant(
+        &id,
+        &ExecCtx::new(&pool).recorder(&recorder),
+        &prepared,
+        &RunParams::default(),
+    )
+    .expect("variant is in the support matrix");
+    recorder
+        .iterations()
+        .into_iter()
+        .map(|r| {
+            (
+                r.step,
+                r.frontier_size,
+                r.edges_scanned,
+                r.mode,
+                r.density.to_bits(),
+                r.decision,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn decision_log_is_identical_across_thread_counts() {
+    let baseline = decision_log(1);
+    assert!(
+        baseline.len() >= 3,
+        "expected a multi-step run, got {baseline:?}"
+    );
+    let flips = baseline.windows(2).filter(|w| w[0].3 != w[1].3).count();
+    assert!(
+        flips >= 2,
+        "the skewed graph must force a pull round trip, got {baseline:?}"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            decision_log(threads),
+            baseline,
+            "decision log diverged at {threads} threads"
+        );
+    }
+}

@@ -22,6 +22,7 @@ fn event_for(id: u64) -> QueryEvent {
             1 => QueryKind::Sssp,
             _ => QueryKind::KHop,
         },
+        epoch: 1 + id % 5,
         source: id as u32,
         depth: (id % 7) as u32,
         enqueued_us: id * 100,

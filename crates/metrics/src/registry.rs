@@ -420,7 +420,11 @@ impl MetricsRegistry {
     /// - metric names and label keys match the Prometheus charset
     ///   (`[a-zA-Z_:][a-zA-Z0-9_:]*`, no `:` in label keys);
     /// - counters (stored and scrape-time) end in `_total`;
-    /// - histograms observing seconds end in `_seconds`.
+    /// - histograms observing seconds end in `_seconds`;
+    /// - the suffixes are honest the other way around too: gauges and
+    ///   histograms must not end in `_total` (that suffix promises
+    ///   monotonic counter semantics to recording rules), and a
+    ///   histogram not observing seconds must not claim `_seconds`.
     ///
     /// An empty vec means the registry is clean; the conventions test
     /// asserts exactly that after registering every built-in family.
@@ -458,8 +462,25 @@ impl MetricsRegistry {
                             e.name
                         ));
                     }
+                    if e.unit != Unit::Seconds && e.name.ends_with("_seconds") {
+                        violations.push(format!(
+                            "`{}`: histogram is not observing seconds, drop `_seconds`",
+                            e.name
+                        ));
+                    }
+                    if e.name.ends_with("_total") {
+                        violations
+                            .push(format!("`{}`: histogram must not end in `_total`", e.name));
+                    }
                 }
-                Instrument::Gauge(_) | Instrument::GaugeFn(_) => {}
+                Instrument::Gauge(_) | Instrument::GaugeFn(_) => {
+                    if e.name.ends_with("_total") {
+                        violations.push(format!(
+                            "`{}`: gauge must not end in `_total` (counters own that suffix)",
+                            e.name
+                        ));
+                    }
+                }
             }
         }
         violations
@@ -625,6 +646,26 @@ mod tests {
         assert_eq!(violations.len(), 2, "{violations:?}");
         assert!(violations[0].contains("bad_counter"));
         assert!(violations[1].contains("bad_latency"));
+    }
+
+    #[test]
+    fn lint_names_flags_dishonest_suffixes() {
+        // A gauge claiming `_total` masquerades as a counter.
+        let r = MetricsRegistry::new();
+        r.gauge("connections_total", "not actually monotonic");
+        let violations = r.lint_names();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("connections_total"));
+
+        // A unit-less histogram claiming `_seconds` lies about its unit;
+        // one claiming `_total` lies about its kind.
+        let r = MetricsRegistry::new();
+        r.histogram_with_bounds("queue_depth_seconds", "depths", &[], vec![1.0, 8.0]);
+        r.histogram_with_bounds("waves_total", "sizes", &[], vec![1.0, 8.0]);
+        let violations = r.lint_names();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("queue_depth_seconds"));
+        assert!(violations[1].contains("waves_total"));
     }
 
     #[test]

@@ -19,6 +19,32 @@ fn built_in_metric_families_pass_the_naming_lint() {
 }
 
 #[test]
+fn iteration_telemetry_families_pass_the_naming_lint() {
+    // The exact shapes `egraph run --metrics-addr` registers for the
+    // per-iteration stream (schema-v4 telemetry): histograms for the
+    // step distributions, a counter for direction flips, and a gauge
+    // for the live iteration index.
+    let r = global();
+    r.histogram_seconds("egraph_iter_seconds", "lint shape check");
+    r.histogram_with_bounds(
+        "egraph_iter_density",
+        "lint shape check",
+        &[],
+        vec![0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0],
+    );
+    r.histogram_with_bounds(
+        "egraph_iter_frontier_vertices",
+        "lint shape check",
+        &[],
+        egraph_metrics::Histogram::log2_bounds(0, 30),
+    );
+    r.counter("egraph_iter_direction_flips_total", "lint shape check");
+    r.gauge("egraph_iter_current", "lint shape check");
+    let violations = r.lint_names();
+    assert!(violations.is_empty(), "naming violations: {violations:?}");
+}
+
+#[test]
 fn serve_style_labelled_registrations_pass_the_naming_lint() {
     let r = global();
     r.histogram_seconds_with_labels(

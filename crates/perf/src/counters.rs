@@ -181,8 +181,39 @@ impl PerfCounters {
         }
     }
 
+    /// Takes a point-in-time reading for later use with
+    /// [`delta_since`](Self::delta_since). Unlike [`phase`](Self::phase)
+    /// this does not borrow the handle, so a stream of back-to-back
+    /// windows (one per algorithm iteration) can keep the previous
+    /// reading around without self-referential lifetimes.
+    pub fn reading(&self) -> CounterReading {
+        CounterReading {
+            raw: self.inner.read_raw(),
+        }
+    }
+
+    /// The multiplex-scaled counter deltas accumulated between `start`
+    /// and now. The reading must come from this handle; mixing handles
+    /// yields meaningless (but safe) numbers.
+    pub fn delta_since(&self, start: &CounterReading) -> CounterSample {
+        self.inner.delta_since(&start.raw)
+    }
+
     fn sample_since(&self, start: &imp::RawReading) -> CounterSample {
         self.inner.delta_since(start)
+    }
+}
+
+/// An opaque point-in-time counter reading from
+/// [`PerfCounters::reading`]; feed it back to
+/// [`PerfCounters::delta_since`] to close the window.
+pub struct CounterReading {
+    raw: imp::RawReading,
+}
+
+impl fmt::Debug for CounterReading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CounterReading")
     }
 }
 
@@ -413,6 +444,31 @@ mod tests {
         if counters.available_kinds().contains(&CounterKind::Cycles) {
             assert!(sample.get(CounterKind::Cycles).unwrap_or(0) > 0);
         }
+    }
+
+    #[test]
+    fn reading_windows_chain_without_borrowing() {
+        let counters = PerfCounters::open();
+        let mut last = counters.reading();
+        for _ in 0..3 {
+            let mut x = 1u64;
+            for i in 0..500_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(x);
+            let sample = counters.delta_since(&last);
+            last = counters.reading();
+            if counters
+                .available_kinds()
+                .contains(&CounterKind::TaskClockNanos)
+            {
+                assert!(sample.get(CounterKind::TaskClockNanos).unwrap_or(0) > 0);
+            }
+        }
+        // A disabled handle yields empty samples through the same path.
+        let disabled = PerfCounters::disabled();
+        let start = disabled.reading();
+        assert!(!disabled.delta_since(&start).any_available());
     }
 
     #[test]

@@ -62,4 +62,4 @@ mod counters;
 #[cfg(target_os = "linux")]
 mod sys;
 
-pub use counters::{CounterKind, CounterSample, PerfCounters, PhaseCounters};
+pub use counters::{CounterKind, CounterReading, CounterSample, PerfCounters, PhaseCounters};

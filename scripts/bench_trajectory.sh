@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Cross-PR performance ledger: run each experiment's headline metric at
+# a small, CI-friendly scale and append one JSON line per metric to
+# bench_results/trajectory.ndjson (see ExperimentCtx::headline). Every
+# PR that runs this script extends the same file, so plotting
+# value-over-PR per (experiment, metric) pair shows the repo's
+# performance trajectory.
+#
+# Usage:
+#   scripts/bench_trajectory.sh [PR_NUMBER]
+#
+# The PR number may also come from the EGRAPH_PR environment variable
+# (the positional argument wins); unset, records carry "pr":null.
+# Scale defaults to 12 (fast enough for CI); override with
+# EGRAPH_SCALE. Output directory defaults to bench_results; override
+# with EGRAPH_OUT.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" != "" ]; then
+    EGRAPH_PR="$1"
+    export EGRAPH_PR
+fi
+SCALE="${EGRAPH_SCALE:-12}"
+OUT="${EGRAPH_OUT:-bench_results}"
+
+echo "== building experiment binaries (release) =="
+cargo build --release -p egraph-bench \
+    --bin exp_fig1 --bin exp_fig2 --bin exp_table2 \
+    --bin exp_compress --bin exp_update_throughput
+
+# Each binary appends its headline metric(s) itself; the console tables
+# still print for humans watching the job.
+for exp in exp_fig1 exp_fig2 exp_table2 exp_compress exp_update_throughput; do
+    echo "== $exp (scale $SCALE) =="
+    "target/release/$exp" --scale "$SCALE" --out "$OUT"
+done
+
+echo "== trajectory tail =="
+tail -n 20 "$OUT/trajectory.ndjson"
+echo "trajectory: $(wc -l <"$OUT/trajectory.ndjson") records in $OUT/trajectory.ndjson"
